@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper, prints the
+same rows/series the paper reports (run with ``-s`` to see them inline) and
+writes the rendered text to ``benchmarks/out/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it."""
+    print(f"\n{text}\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

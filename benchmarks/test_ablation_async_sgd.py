@@ -1,0 +1,86 @@
+"""Extension bench: synchronous vs asynchronous SGD (paper §6 future work).
+
+Runs both training modes functionally on the simulated cluster and reports
+updates/second, staleness statistics and final accuracy — the quantities
+one would use to decide whether DIMD + the communication work carry over
+to the asynchronous setting.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.data import DIMDStore
+from repro.data.codec import encode_image
+from repro.models.nn import Dense, Flatten, Network, ReLU
+from repro.train.async_sgd import AsyncSGDTrainer
+from repro.utils.ascii import render_table
+
+N_CLASSES = 4
+N_WORKERS = 4
+
+
+def net_factory(rng):
+    return Network(
+        [Flatten(), Dense(16, 16, rng), ReLU(), Dense(16, N_CLASSES, rng)]
+    )
+
+
+def make_stores(seed=0, per_worker=32):
+    rng = np.random.default_rng(seed)
+    stores = []
+    for w in range(N_WORKERS):
+        labels = rng.integers(0, N_CLASSES, size=per_worker)
+        records = []
+        for lab in labels:
+            img = rng.integers(0, 50, size=(1, 4, 4), dtype=np.uint8)
+            img[0, int(lab) % 4, :] = 255
+            records.append(encode_image(img))
+        stores.append(DIMDStore(records, labels, learner=w))
+    return stores
+
+
+def run_async_comparison():
+    results = {}
+    for label, aware in (("async", False), ("async+staleness-aware", True)):
+        stores = make_stores(seed=1)
+        trainer = AsyncSGDTrainer(
+            net_factory, stores, lr=0.08, staleness_aware=aware,
+            compute_jitter=0.5, seed=2,
+        )
+        r = trainer.run(iterations_per_worker=25)
+        x = np.concatenate(
+            [s.random_batch(16, np.random.default_rng(9))[0] for s in stores]
+        )
+        y = np.concatenate(
+            [s.random_batch(16, np.random.default_rng(9))[1] for s in stores]
+        )
+        results[label] = {
+            "updates_per_s": r.updates_per_second,
+            "mean_staleness": r.mean_staleness,
+            "max_staleness": r.max_staleness,
+            "accuracy": trainer.evaluate(x, y),
+        }
+    return results
+
+
+def test_ablation_async_sgd(benchmark):
+    results = benchmark.pedantic(run_async_comparison, rounds=1, iterations=1)
+    table = render_table(
+        ["mode", "updates/s (sim)", "mean staleness", "max", "top-1"],
+        [
+            [k, f"{v['updates_per_s']:,.0f}", f"{v['mean_staleness']:.2f}",
+             v["max_staleness"], f"{v['accuracy']:.1%}"]
+            for k, v in results.items()
+        ],
+        title="Extension — asynchronous SGD with a parameter server (§6)",
+    )
+    emit("ablation_async_sgd", table)
+
+    for v in results.values():
+        assert v["accuracy"] > 0.6          # both modes learn
+        assert v["mean_staleness"] > 0      # staleness genuinely emerges
+    # Same push schedule in both modes -> identical staleness profile.
+    assert (
+        results["async"]["mean_staleness"]
+        == results["async+staleness-aware"]["mean_staleness"]
+    )

@@ -1,0 +1,49 @@
+"""Ablation: batch size per GPU vs compute/communication ratio.
+
+§1: scaling out forces smaller per-worker batches, so "the communication
+algorithm become[s] an important factor".  This bench sweeps batch/GPU at
+32 nodes and reports the fraction of each iteration spent communicating,
+for the multi-color and default allreduce.
+"""
+
+from conftest import emit
+
+from repro.core import ClusterExperiment, ExperimentConfig
+from repro.utils.ascii import render_table
+
+BATCHES = (8, 16, 32, 64)
+
+
+def sweep_batch():
+    rows = {}
+    for alg in ("multicolor", "openmpi_default"):
+        for b in BATCHES:
+            cfg = ExperimentConfig(
+                model="resnet50", n_nodes=32, batch_per_gpu=b, allreduce=alg
+            )
+            br = ClusterExperiment(cfg).breakdown()
+            comm = br.inter_allreduce + br.intra_reduce + br.intra_broadcast
+            rows[(alg, b)] = (br.total, comm / br.total)
+    return rows
+
+
+def test_ablation_batch_size(benchmark):
+    rows = benchmark.pedantic(sweep_batch, rounds=1, iterations=1)
+    table = render_table(
+        ["allreduce", "batch/GPU", "iter (ms)", "comm fraction"],
+        [
+            [alg, b, f"{total * 1e3:.1f}", f"{frac:.1%}"]
+            for (alg, b), (total, frac) in rows.items()
+        ],
+        title="Ablation — batch size vs communication share (32 nodes)",
+    )
+    emit("ablation_batch_size", table)
+
+    # Smaller batches raise the communication share (both algorithms)...
+    for alg in ("multicolor", "openmpi_default"):
+        fracs = [rows[(alg, b)][1] for b in BATCHES]
+        assert fracs[0] > fracs[-1]
+    # ...and the multi-color advantage grows as batches shrink.
+    gain_small = rows[("openmpi_default", 8)][0] - rows[("multicolor", 8)][0]
+    gain_large = rows[("openmpi_default", 64)][0] - rows[("multicolor", 64)][0]
+    assert gain_small >= gain_large * 0.9

@@ -1,0 +1,44 @@
+"""Ablation: how many colors should the multi-color allreduce use?
+
+DESIGN.md calls out the color count as the algorithm's central design
+choice.  One color is a plain pipelined tree (one summing chain); more
+colors parallelize the reduction across disjoint internal nodes until the
+per-node NIC is saturated.
+"""
+
+from conftest import emit
+
+from repro.mpi import simulate_allreduce
+from repro.utils.ascii import render_table
+from repro.utils.units import MB
+
+PAYLOAD = 93 * MB
+N_RANKS = 16
+
+
+def sweep_colors(colors=(1, 2, 4, 8)):
+    out = {}
+    for k in colors:
+        res = simulate_allreduce(
+            N_RANKS, PAYLOAD, algorithm="multicolor",
+            n_colors=k, segment_bytes=1024 * 1024,
+        )
+        out[k] = res.elapsed
+    return out
+
+
+def test_ablation_color_count(benchmark):
+    times = benchmark.pedantic(sweep_colors, rounds=1, iterations=1)
+    table = render_table(
+        ["colors", "allreduce (ms)", "throughput (GB/s)"],
+        [[k, f"{t * 1e3:.2f}", f"{PAYLOAD / t / 1e9:.2f}"] for k, t in times.items()],
+        title=f"Ablation — color count, {N_RANKS} nodes, 93 MB payload",
+    )
+    emit("ablation_colors", table)
+
+    # More colors must help up to the paper's choice of 4.
+    assert times[2] < times[1]
+    assert times[4] < times[1]
+    # 4 colors within 25% of the best observed configuration.
+    best = min(times.values())
+    assert times[4] <= best * 1.25

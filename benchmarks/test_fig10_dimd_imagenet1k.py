@@ -1,0 +1,48 @@
+"""Figure 10: epoch time with/without DIMD, ImageNet-1k.
+
+Paper: with the multi-color reduction in place, DIMD improves per-epoch
+time by 33% for GoogleNetBN and 25% for ResNet-50.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import PAPER_FIG10_GAINS, fig_dimd_series
+from repro.train.metrics import speedup
+from repro.utils.ascii import render_table
+
+
+def run_fig10():
+    return fig_dimd_series("imagenet-1k")
+
+
+def test_fig10_dimd_imagenet1k(benchmark):
+    x, series, _meta = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+
+    rows = []
+    gains = {}
+    for model in ("googlenet_bn", "resnet50"):
+        for i, n in enumerate(x):
+            no = series[f"{model} file I/O"][i]
+            yes = series[f"{model} DIMD"][i]
+            # The paper's improvement convention, as in Table 1: (old-new)/new.
+            gain = speedup(no, yes)
+            gains.setdefault(model, []).append(gain)
+            rows.append(
+                [model, n, f"{no:.1f}", f"{yes:.1f}", f"{gain:.1f}",
+                 f"{PAPER_FIG10_GAINS[model]:.0f}"]
+            )
+    table = render_table(
+        ["model", "nodes", "file I/O (s)", "DIMD (s)", "gain %", "paper %"],
+        rows,
+        title="Figure 10 — DIMD effect on ImageNet-1k epoch time",
+    )
+    emit("fig10_dimd_imagenet1k", table)
+
+    # Shape: DIMD always wins; gains within +-6 points of the paper's.
+    for model, gs in gains.items():
+        for g in gs:
+            assert g > 5.0
+            assert g == pytest.approx(PAPER_FIG10_GAINS[model], abs=6.0)
+    # GoogleNetBN (lighter compute) benefits more than ResNet-50.
+    assert min(gains["googlenet_bn"]) > max(gains["resnet50"]) - 2.0

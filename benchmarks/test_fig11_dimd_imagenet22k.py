@@ -1,0 +1,44 @@
+"""Figure 11: epoch time with/without DIMD, ImageNet-22k.
+
+Same experiment as Figure 10 on the 7M-image / 22k-class dataset; the
+paper reports comparable relative gains (the I/O path cost per image is
+dataset-independent).
+"""
+
+from conftest import emit
+
+from repro.analysis import fig_dimd_series
+from repro.analysis.compare import improvement_pct
+from repro.utils.ascii import render_table
+
+
+def run_fig11():
+    return fig_dimd_series("imagenet-22k")
+
+
+def test_fig11_dimd_imagenet22k(benchmark):
+    x, series, _meta = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    rows = []
+    for model in ("googlenet_bn", "resnet50"):
+        for i, n in enumerate(x):
+            no = series[f"{model} file I/O"][i]
+            yes = series[f"{model} DIMD"][i]
+            rows.append(
+                [model, n, f"{no:.0f}", f"{yes:.0f}",
+                 f"{improvement_pct(no, yes):.1f}"]
+            )
+    table = render_table(
+        ["model", "nodes", "file I/O (s)", "DIMD (s)", "gain %"],
+        rows,
+        title="Figure 11 — DIMD effect on ImageNet-22k epoch time",
+    )
+    emit("fig11_dimd_imagenet22k", table)
+
+    for model in ("googlenet_bn", "resnet50"):
+        for i in range(len(x)):
+            no = series[f"{model} file I/O"][i]
+            yes = series[f"{model} DIMD"][i]
+            assert 5.0 < improvement_pct(no, yes) < 50.0
+        # 22k epochs are ~5.5x longer than 1k (7M vs 1.28M images).
+        assert series[f"{model} DIMD"][0] > 500

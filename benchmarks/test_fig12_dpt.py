@@ -1,0 +1,56 @@
+"""Figure 12: epoch time with/without the DataParallelTable optimizations.
+
+Paper: with DIMD + multi-color in place, the re-designed DPT improves
+per-epoch time by 15% (GoogleNetBN) and 18% (ResNet-50); the improvement
+in *scaling* is marginal.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import PAPER_FIG12_GAINS, fig_dpt_series
+from repro.analysis.compare import improvement_pct
+from repro.train.metrics import scaling_efficiency
+from repro.utils.ascii import render_table
+
+
+def run_fig12():
+    return fig_dpt_series()
+
+
+def test_fig12_dpt_optimizations(benchmark):
+    x, series, _meta = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+
+    rows = []
+    gains = {}
+    for model in ("googlenet_bn", "resnet50"):
+        for i, n in enumerate(x):
+            base = series[f"{model} baseline"][i]
+            opt = series[f"{model} optimized"][i]
+            gain = improvement_pct(base, opt)
+            gains.setdefault(model, []).append(gain)
+            rows.append(
+                [model, n, f"{base:.1f}", f"{opt:.1f}", f"{gain:.1f}",
+                 f"{PAPER_FIG12_GAINS[model]:.0f}"]
+            )
+    table = render_table(
+        ["model", "nodes", "baseline DPT (s)", "optimized DPT (s)",
+         "gain %", "paper %"],
+        rows,
+        title="Figure 12 — DataParallelTable optimization effect",
+    )
+    emit("fig12_dpt", table)
+
+    # Shape: optimized always wins, gains in the paper's 10-20% band.
+    for model, gs in gains.items():
+        for g in gs:
+            assert g == pytest.approx(PAPER_FIG12_GAINS[model], abs=8.0)
+    # "The improvement in scaling is marginal": efficiency changes < 5 pts.
+    for model in ("googlenet_bn", "resnet50"):
+        eff_base = scaling_efficiency(
+            x[0], series[f"{model} baseline"][0], x[-1], series[f"{model} baseline"][-1]
+        )
+        eff_opt = scaling_efficiency(
+            x[0], series[f"{model} optimized"][0], x[-1], series[f"{model} optimized"][-1]
+        )
+        assert abs(eff_base - eff_opt) < 5.0

@@ -1,0 +1,46 @@
+"""Figure 13: ResNet-50 validation top-1 vs training time, 8/16/32 nodes.
+
+Paper: all node counts reach ~75.5-76% top-1; more nodes reach it in less
+wall-clock time; curves show the LR-decay staircase.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import fig_accuracy_series
+from repro.utils.ascii import render_series, render_table
+
+
+def run_fig13():
+    return fig_accuracy_series("resnet50")
+
+
+def test_fig13_resnet50_accuracy_vs_time(benchmark):
+    series, meta = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+
+    rows = []
+    for name, (hours, top1) in series.items():
+        rows.append([name, f"{hours[-1]:.2f}", f"{top1[-1]:.2f}"])
+    table = render_table(
+        ["config", "total hours", "final top-1 %"], rows,
+        title="Figure 13 — ResNet-50 top-1 vs training time",
+    )
+    # Downsample one curve for the chart.
+    h32, t32 = series["32 nodes"]
+    chart = render_series(
+        h32[:: max(1, len(h32) // 60)],
+        {"32 nodes": t32[:: max(1, len(t32) // 60)]},
+        title="Figure 13 (32-node curve)", **meta,
+    )
+    emit("fig13_resnet_accuracy", table + "\n\n" + chart)
+
+    finals = {name: top1[-1] for name, (_h, top1) in series.items()}
+    hours = {name: h[-1] for name, (h, _t) in series.items()}
+    # All configurations converge to ~the same accuracy...
+    assert max(finals.values()) - min(finals.values()) < 1.0
+    assert all(74.5 < v < 76.6 for v in finals.values())
+    # ...but more nodes finish faster.
+    assert hours["8 nodes"] > hours["16 nodes"] > hours["32 nodes"]
+    # Curves are monotone non-decreasing.
+    for _name, (_h, top1) in series.items():
+        assert np.all(np.diff(top1) >= -1e-9)

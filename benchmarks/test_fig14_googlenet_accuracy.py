@@ -1,0 +1,37 @@
+"""Figure 14: GoogleNetBN validation top-1 vs training time, 8/16/32 nodes."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import fig_accuracy_series
+from repro.utils.ascii import render_table
+
+
+def run_fig14():
+    return fig_accuracy_series("googlenet_bn")
+
+
+def test_fig14_googlenet_accuracy_vs_time(benchmark):
+    series, _meta = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{hours[-1]:.2f}", f"{top1[-1]:.2f}"]
+        for name, (hours, top1) in series.items()
+    ]
+    emit(
+        "fig14_googlenet_accuracy",
+        render_table(
+            ["config", "total hours", "final top-1 %"], rows,
+            title="Figure 14 — GoogleNetBN top-1 vs training time",
+        ),
+    )
+
+    finals = {name: top1[-1] for name, (_h, top1) in series.items()}
+    hours = {name: h[-1] for name, (h, _t) in series.items()}
+    assert all(73.5 < v < 75.5 for v in finals.values())
+    assert hours["8 nodes"] > hours["16 nodes"] > hours["32 nodes"]
+    # GoogleNetBN epochs are faster than ResNet-50's: 90 epochs at 8 nodes
+    # in under 4.5 hours (155 s/epoch ~ 3.9 h).
+    assert hours["8 nodes"] < 4.5
+    for _name, (_h, top1) in series.items():
+        assert np.all(np.diff(top1) >= -1e-9)

@@ -1,0 +1,36 @@
+"""Figure 15: ResNet-50 training error vs training time, 8/16/32 nodes."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import fig_error_series
+from repro.utils.ascii import render_table
+
+
+def run_fig15():
+    return fig_error_series("resnet50")
+
+
+def test_fig15_resnet50_error_vs_time(benchmark):
+    series, _meta = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{err[0]:.2f}", f"{err[-1]:.3f}", f"{hours[-1]:.2f}"]
+        for name, (hours, err) in series.items()
+    ]
+    emit(
+        "fig15_resnet_error",
+        render_table(
+            ["config", "initial error", "final error", "hours"], rows,
+            title="Figure 15 — ResNet-50 training error vs time",
+        ),
+    )
+
+    for _name, (hours, err) in series.items():
+        # Starts near ln(1000) ~ 6.9, decreases monotonically, ends low.
+        assert err[0] > 6.0
+        assert np.all(np.diff(err) <= 1e-9)
+        assert err[-1] < 0.6
+    # More nodes: same final error reached in less time.
+    finals = {name: err[-1] for name, (_h, err) in series.items()}
+    assert max(finals.values()) - min(finals.values()) < 0.1

@@ -1,0 +1,34 @@
+"""Figure 16: GoogleNetBN training error vs training time, 8/16/32 nodes."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import fig_error_series
+from repro.utils.ascii import render_table
+
+
+def run_fig16():
+    return fig_error_series("googlenet_bn")
+
+
+def test_fig16_googlenet_error_vs_time(benchmark):
+    series, _meta = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{err[0]:.2f}", f"{err[-1]:.3f}", f"{hours[-1]:.2f}"]
+        for name, (hours, err) in series.items()
+    ]
+    emit(
+        "fig16_googlenet_error",
+        render_table(
+            ["config", "initial error", "final error", "hours"], rows,
+            title="Figure 16 — GoogleNetBN training error vs time",
+        ),
+    )
+
+    hours_final = {name: h[-1] for name, (h, _e) in series.items()}
+    assert hours_final["8 nodes"] > hours_final["16 nodes"] > hours_final["32 nodes"]
+    for _name, (_h, err) in series.items():
+        assert err[0] > 6.0
+        assert np.all(np.diff(err) <= 1e-9)
+        assert err[-1] < 0.7

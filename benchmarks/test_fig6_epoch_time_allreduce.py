@@ -1,0 +1,47 @@
+"""Figure 6: GoogleNetBN epoch time under the three allreduce schemes.
+
+Paper: 8/16/32 learners, 93 MB reduction payload; all three scale, the
+multi-color algorithm gives the best scaling efficiency (90.5%).
+"""
+
+from conftest import emit
+
+from repro.analysis import fig6_series
+from repro.train.metrics import scaling_efficiency
+from repro.utils.ascii import render_series, render_table
+
+
+def run_fig6():
+    return fig6_series()
+
+
+def test_fig6_epoch_time_per_allreduce(benchmark):
+    x, series, meta = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    rows = [
+        [f"{n} nodes"] + [f"{series[alg][i]:.1f}" for alg in series]
+        for i, n in enumerate(x)
+    ]
+    effs = {
+        alg: scaling_efficiency(x[0], series[alg][0], x[-1], series[alg][-1])
+        for alg in series
+    }
+    table = render_table(
+        ["learners"] + [f"{a} (s)" for a in series], rows,
+        title="Figure 6 — GoogleNetBN epoch time per allreduce scheme",
+    )
+    eff_text = "scaling efficiency 8->32 nodes: " + ", ".join(
+        f"{a}={e:.1f}%" for a, e in effs.items()
+    ) + "  (paper: multicolor best, 90.5%)"
+    chart = render_series(x, series, title="Figure 6", **meta)
+    emit("fig6_epoch_time_allreduce", table + "\n" + eff_text + "\n\n" + chart)
+
+    # Shape: every scheme scales down with nodes; multicolor always fastest
+    # and with the best scaling efficiency.
+    for alg in series:
+        assert series[alg][0] > series[alg][1] > series[alg][2]
+    for i in range(len(x)):
+        assert series["multicolor"][i] <= series["ring"][i]
+        assert series["multicolor"][i] < series["openmpi_default"][i]
+    assert effs["multicolor"] >= max(effs.values()) - 1e-9
+    assert effs["multicolor"] > 85.0

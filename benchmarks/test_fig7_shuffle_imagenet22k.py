@@ -1,0 +1,35 @@
+"""Figure 7: ImageNet-22k shuffle time + memory/node at 8/16/32 learners.
+
+Paper: shuffle time decreases with more learners; the full 220 GB set
+shuffles across 32 learners in just 4.2 s; memory/node halves per doubling.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import PAPER_SHUFFLE_22K_32, fig_shuffle_series
+from repro.utils.ascii import render_table
+
+
+def run_fig7():
+    return fig_shuffle_series("imagenet-22k")
+
+
+def test_fig7_shuffle_imagenet22k(benchmark):
+    x, series, _meta = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    times = series["shuffle time (s)"]
+    mems = series["memory/node (GB)"]
+
+    table = render_table(
+        ["learners", "shuffle (s)", "memory/node (GB)"],
+        [[n, f"{times[i]:.2f}", f"{mems[i]:.1f}"] for i, n in enumerate(x)],
+        title=(
+            "Figure 7 — ImageNet-22k shuffle "
+            f"(paper: 4.2 s at 32 learners; measured {times[-1]:.1f} s)"
+        ),
+    )
+    emit("fig7_shuffle_imagenet22k", table)
+
+    assert times[0] > times[1] > times[2]
+    assert mems[0] == pytest.approx(2 * mems[1], rel=0.01)
+    assert times[-1] == pytest.approx(PAPER_SHUFFLE_22K_32, rel=0.5)

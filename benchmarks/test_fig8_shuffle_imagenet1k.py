@@ -1,0 +1,31 @@
+"""Figure 8: ImageNet-1k shuffle time + memory/node at 8/16/32 learners."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import fig_shuffle_series
+from repro.utils.ascii import render_table
+
+
+def run_fig8():
+    return fig_shuffle_series("imagenet-1k")
+
+
+def test_fig8_shuffle_imagenet1k(benchmark):
+    x, series, _meta = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    times = series["shuffle time (s)"]
+    mems = series["memory/node (GB)"]
+
+    table = render_table(
+        ["learners", "shuffle (s)", "memory/node (GB)"],
+        [[n, f"{times[i]:.2f}", f"{mems[i]:.1f}"] for i, n in enumerate(x)],
+        title="Figure 8 — ImageNet-1k shuffle time and memory per node",
+    )
+    emit("fig8_shuffle_imagenet1k", table)
+
+    # Shape: time decreases with learners, memory halves per doubling,
+    # and the 70 GB set is ~3x faster to shuffle than the 220 GB set.
+    assert times[0] > times[1] > times[2]
+    assert mems[0] == pytest.approx(70 / 8, rel=0.01)
+    assert mems[2] == pytest.approx(70 / 32, rel=0.01)
+    assert times[2] < 4.0  # well under the 22k shuffle at the same scale

@@ -1,0 +1,34 @@
+"""Figure 9: group-based shuffle of ImageNet-22k on 32 nodes.
+
+Paper: with 1/4/8/16 groups "there is not much improvement with the group
+based shuffle (compared to single group)" because the cluster's links are
+symmetric — group locality buys nothing.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import fig_group_shuffle_series
+from repro.utils.ascii import render_table
+
+
+def run_fig9():
+    return fig_group_shuffle_series()
+
+
+def test_fig9_group_shuffle(benchmark):
+    x, series, _meta = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    times = series["shuffle time (s)"]
+
+    table = render_table(
+        ["groups", "shuffle (s)"],
+        [[g, f"{times[i]:.2f}"] for i, g in enumerate(x)],
+        title="Figure 9 — group-based ImageNet-22k shuffle on 32 nodes "
+        "(paper: roughly flat across group counts)",
+    )
+    emit("fig9_group_shuffle", table)
+
+    # Shape: roughly flat — every grouping within 50% of the single group.
+    base = times[0]
+    for t in times[1:]:
+        assert t == pytest.approx(base, rel=0.5)

@@ -1,0 +1,37 @@
+"""Table 1: total improvement — open-source vs fully optimized.
+
+The acceptance benchmark: every epoch time within 10% of the paper's
+(GoogleNetBN 249/131/65 -> 155/76/41; ResNet-50 498/251/128 -> 224/109/58),
+speedups in the published bands, peak accuracies within noise.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import PAPER_TABLE1, render_table1, table1_rows
+
+
+def run_table1():
+    return table1_rows()
+
+
+def test_table1_total_improvement(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit("table1_total_improvement", render_table1(rows))
+
+    for r in rows:
+        paper_base, paper_opt, paper_speedup, paper_acc = PAPER_TABLE1[
+            (r["model"], r["nodes"])
+        ]
+        assert r["base_s"] == pytest.approx(paper_base, rel=0.10)
+        assert r["opt_s"] == pytest.approx(paper_opt, rel=0.10)
+        # The ratio amplifies the (bounded) epoch deviations: the paper's
+        # speedups swing 110-130% across node counts while the underlying
+        # mechanism is node-count-independent; accept +-20 points.
+        assert r["speedup_pct"] == pytest.approx(paper_speedup, abs=20.0)
+        assert r["top1_pct"] == pytest.approx(paper_acc, abs=0.5)
+
+    # ResNet-50 gains roughly twice GoogleNetBN's, as the paper found.
+    g_speedups = [r["speedup_pct"] for r in rows if r["model"] == "googlenet_bn"]
+    r_speedups = [r["speedup_pct"] for r in rows if r["model"] == "resnet50"]
+    assert min(r_speedups) > max(g_speedups)

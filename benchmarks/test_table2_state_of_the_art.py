@@ -1,0 +1,36 @@
+"""Table 2: comparison with the state of the art.
+
+Paper: 90 epochs of ResNet-50 on 256 P100 GPUs (batch 8k) in 48 minutes at
+75.4% top-1, vs Goyal et al. 65 min / 76.2% (same hardware) and You et al.
+60 min on 512 KNL.  Shape requirement: this work is the fastest and the
+P100 accuracy ordering holds.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import render_table2, table2_rows
+
+
+def run_table2():
+    return table2_rows()
+
+
+def test_table2_state_of_the_art(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit("table2_state_of_the_art", render_table2(rows))
+
+    ours = next(r for r in rows if r["measured"])
+    goyal = next(r for r in rows if "Goyal" in r["description"])
+    you = next(r for r in rows if "You" in r["description"])
+    paper = next(r for r in rows if "Kumar" in r["description"])
+
+    # Fastest time-to-90-epochs of the cohort, in the paper's 45-60 min band.
+    assert ours["minutes"] < goyal["minutes"]
+    assert ours["minutes"] < you["minutes"]
+    assert 45 < ours["minutes"] < 60
+    # Accuracy matches the paper's own 75.4 +- noise, below Goyal's 76.2
+    # (large-batch penalty) and above You et al.'s 74.7.
+    assert ours["top1_pct"] == pytest.approx(paper["top1_pct"], abs=0.5)
+    assert ours["top1_pct"] < goyal["top1_pct"]
+    assert ours["batch"] == 8192

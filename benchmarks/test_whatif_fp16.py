@@ -1,0 +1,64 @@
+"""What-if: fp16 gradient compression halves the allreduce payload.
+
+A natural companion to the paper's communication work: communicating
+gradients in half precision halves every byte count in the reduction
+pipeline.  This bench quantifies the epoch-level effect per algorithm —
+large for the default OpenMPI path, modest once the multi-color algorithm
+has already driven communication close to the wire.
+"""
+
+from conftest import emit
+
+from repro.cluster import MINSKY_NODE, ClusterSpec
+from repro.core.calibration import compute_model_for
+from repro.data import IMAGENET_1K
+from repro.models import build_resnet50
+from repro.train import EpochTimeModel
+from repro.utils.ascii import render_table
+
+MODEL = build_resnet50()
+
+
+def build(allreduce, fp16):
+    grads = MODEL.gradient_bytes // 2 if fp16 else MODEL.gradient_bytes
+    return EpochTimeModel(
+        model=MODEL,
+        cluster=ClusterSpec(name="w", n_nodes=32, node=MINSKY_NODE),
+        dataset=IMAGENET_1K,
+        compute=compute_model_for("resnet50"),
+        allreduce_algorithm=allreduce,
+        gradient_bytes_override=grads,
+    )
+
+
+def run_fp16_whatif():
+    rows = {}
+    for alg in ("multicolor", "openmpi_default"):
+        for fp16 in (False, True):
+            b = build(alg, fp16).iteration_breakdown()
+            comm = b.inter_allreduce + b.intra_reduce + b.intra_broadcast
+            rows[(alg, fp16)] = (b.total, comm)
+    return rows
+
+
+def test_whatif_fp16(benchmark):
+    rows = benchmark.pedantic(run_fp16_whatif, rounds=1, iterations=1)
+    table = render_table(
+        ["allreduce", "precision", "iter (ms)", "comm (ms)"],
+        [
+            [alg, "fp16" if fp16 else "fp32", f"{t * 1e3:.1f}", f"{c * 1e3:.2f}"]
+            for (alg, fp16), (t, c) in rows.items()
+        ],
+        title="What-if — fp16 gradients (ResNet-50, 32 nodes)",
+    )
+    emit("whatif_fp16", table)
+
+    for alg in ("multicolor", "openmpi_default"):
+        fp32_comm = rows[(alg, False)][1]
+        fp16_comm = rows[(alg, True)][1]
+        # Communication roughly halves (latency terms keep it above 0.5x).
+        assert 0.4 < fp16_comm / fp32_comm < 0.75
+    # Absolute saving is larger where communication was worse to begin with.
+    save_default = rows[("openmpi_default", False)][0] - rows[("openmpi_default", True)][0]
+    save_mc = rows[("multicolor", False)][0] - rows[("multicolor", True)][0]
+    assert save_default > save_mc

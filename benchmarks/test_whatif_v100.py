@@ -1,0 +1,68 @@
+"""What-if: swap the Minsky's P100s for V100s, keep the 2017 network.
+
+A forward-looking extension: as GPU compute outpaces the interconnect,
+the communication share of each iteration grows and the paper's allreduce
+work matters *more*, not less.  This bench re-runs the 32-node ResNet-50
+configuration with a V100-equipped node and compares iteration breakdowns.
+"""
+
+from dataclasses import replace
+
+from conftest import emit
+
+from repro.cluster import MINSKY_NODE, V100, ClusterSpec, GPUComputeModel
+from repro.core.calibration import GPU_EFFICIENCY
+from repro.data import IMAGENET_1K
+from repro.models import build_resnet50
+from repro.train import EpochTimeModel
+from repro.utils.ascii import render_table
+
+
+def build(gpu, allreduce):
+    node = replace(MINSKY_NODE, gpu=gpu)
+    return EpochTimeModel(
+        model=build_resnet50(),
+        cluster=ClusterSpec(name="whatif", n_nodes=32, node=node),
+        dataset=IMAGENET_1K,
+        compute=GPUComputeModel(gpu=gpu, efficiency=GPU_EFFICIENCY["resnet50"]),
+        allreduce_algorithm=allreduce,
+    )
+
+
+def run_whatif():
+    from repro.cluster import P100
+
+    rows = {}
+    for gpu in (P100, V100):
+        for alg in ("multicolor", "openmpi_default"):
+            b = build(gpu, alg).iteration_breakdown()
+            comm = b.inter_allreduce + b.intra_reduce + b.intra_broadcast
+            rows[(gpu.name, alg)] = (b.total, comm / b.total)
+    return rows
+
+
+def test_whatif_v100(benchmark):
+    rows = benchmark.pedantic(run_whatif, rounds=1, iterations=1)
+    table = render_table(
+        ["GPU", "allreduce", "iter (ms)", "comm share"],
+        [
+            [gpu, alg, f"{total * 1e3:.1f}", f"{share:.1%}"]
+            for (gpu, alg), (total, share) in rows.items()
+        ],
+        title="What-if — V100 compute on the 2017 network (ResNet-50, 32 nodes)",
+    )
+    emit("whatif_v100", table)
+
+    # Faster GPUs shrink the iteration but inflate the communication share…
+    assert rows[("V100-SXM2", "multicolor")][0] < rows[("P100-SXM2", "multicolor")][0]
+    assert rows[("V100-SXM2", "multicolor")][1] > rows[("P100-SXM2", "multicolor")][1]
+    # …so the multicolor-vs-default gap widens in relative terms.
+    gap_p100 = (
+        rows[("P100-SXM2", "openmpi_default")][0]
+        / rows[("P100-SXM2", "multicolor")][0]
+    )
+    gap_v100 = (
+        rows[("V100-SXM2", "openmpi_default")][0]
+        / rows[("V100-SXM2", "multicolor")][0]
+    )
+    assert gap_v100 > gap_p100

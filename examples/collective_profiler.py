@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Profile the collective algorithms: where do the bytes and time go?
+
+Uses the collective profiler and the fabric's per-link accounting to show,
+for each allreduce algorithm at the paper's 93 MB payload:
+
+* achieved time vs the bandwidth lower bound (pipelining efficiency),
+* hop-weighted wire amplification,
+* how much traffic crosses the leaf-spine core vs stays at the edge,
+* the busiest links.
+
+Run:  python examples/collective_profiler.py
+"""
+
+from repro.mpi.profiler import profile_allreduce
+from repro.utils.ascii import render_table
+from repro.utils.units import MB, format_bytes, format_duration
+
+PAYLOAD = int(93 * MB)
+N = 16
+
+
+def main() -> None:
+    rows = []
+    for alg in ("multicolor", "ring", "rsag", "hierarchical", "openmpi_default"):
+        kwargs = {"group_size": 4} if alg == "hierarchical" else {}
+        p = profile_allreduce(N, PAYLOAD, algorithm=alg, **kwargs)
+        rows.append(
+            [
+                alg,
+                format_duration(p.elapsed),
+                f"{p.efficiency:.0%}",
+                f"{p.wire_amplification:.1f}x",
+                format_bytes(p.core_bytes),
+                f"{p.max_rank_imbalance:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["algorithm", "time", "vs bound", "wire amp",
+             "core traffic", "rank imbalance"],
+            rows,
+            title=f"Allreduce profile — {N} nodes, 93 MB (GoogleNetBN gradients)",
+        )
+    )
+    print(
+        "\nReading guide: 'vs bound' compares against the 2n(N-1)/N uplink "
+        "lower bound; 'core traffic' is what crosses the leaf-spine layer "
+        "(the multi-color trees trade core traffic for pipeline parallelism; "
+        "the hierarchical 2-D layout minimizes it)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The DIMD data store and Algorithm 2 shuffle, end to end (§4.1).
+
+Builds a record file, partition-loads it onto 4 learners, samples random
+in-memory batches, runs the distributed AlltoAllv shuffle (with the 32-bit
+segmentation workaround forced on), verifies that no record was lost or
+duplicated, and finally times the full-scale ImageNet-22k shuffle the
+paper reports (4.2 s on 32 learners).
+
+Run:  python examples/dimd_shuffle_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import (
+    GroupLayout,
+    IMAGENET_22K,
+    RecordReader,
+    build_synthetic_record_file,
+    distributed_shuffle,
+    partitioned_load,
+    simulate_shuffle,
+)
+from repro.mpi import build_world
+from repro.utils.units import format_bytes
+
+N_LEARNERS = 4
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-dimd-"))
+    _ds, base = build_synthetic_record_file(
+        workdir / "imagenet", n_images=64, n_classes=10, seed=11
+    )
+    print(f"record file: {base}.data + index")
+
+    # API (i): partitioned load.
+    layout = GroupLayout(N_LEARNERS, 1)
+    with RecordReader(base) as reader:
+        print(f"{len(reader)} records, {format_bytes(reader.data_bytes)} total")
+        stores = [partitioned_load(reader, l, layout) for l in range(N_LEARNERS)]
+    for s in stores:
+        print(f"  learner {s.learner}: {len(s)} records, {format_bytes(s.nbytes)}")
+
+    # API (ii): random in-memory batch load.
+    images, labels = stores[0].random_batch(8, np.random.default_rng(0))
+    print(f"random batch: images {images.shape}, labels {labels.tolist()}")
+
+    # API (iii): distributed shuffle (Algorithm 2), multi-pass forced by a
+    # tiny 'MPI offset limit' so the sub-tensor loop is visible.
+    before = sorted(p for s in stores for p in s.content_multiset())
+    engine, world, comm = build_world(N_LEARNERS, topology="star")
+    procs = [
+        engine.process(
+            distributed_shuffle(comm, r, stores[r], seed=5, max_chunk_bytes=4096),
+            name=f"shuffle{r}",
+        )
+        for r in range(N_LEARNERS)
+    ]
+    engine.run(engine.all_of(procs))
+    after = sorted(p for s in stores for p in s.content_multiset())
+    report = procs[0].value
+    assert before == after, "shuffle must conserve the record multiset"
+    print(
+        f"\nshuffle done in {report.n_passes} AlltoAllv passes; "
+        f"records conserved; new partition sizes: {[len(s) for s in stores]}"
+    )
+
+    # Full-scale timing (Figure 7's headline).
+    r = simulate_shuffle(32, IMAGENET_22K)
+    print(
+        f"\nfull ImageNet-22k shuffle across 32 learners: {r.elapsed:.1f} s "
+        f"(paper: 4.2 s), {format_bytes(r.memory_per_node)} per node, "
+        f"{r.n_passes} passes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""End-to-end functional training: Algorithm 1 on a synthetic ImageNet.
+
+This example exercises the whole *functional* stack — synthetic images are
+encoded into a DIMD record file, partition-loaded by four learners, and
+trained with real NumPy CNNs whose gradients travel through the simulated
+multi-color MPI allreduce.  Data is reshuffled across learners with
+Algorithm 2 every few steps.  Watch the loss fall and accuracy rise.
+
+Run:  python examples/imagenet_training.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import (
+    GroupLayout,
+    RecordReader,
+    build_synthetic_record_file,
+    partitioned_load,
+)
+from repro.models.nn import Conv2d, Dense, Flatten, MaxPool2d, Network, ReLU
+from repro.train import DistributedSGDTrainer, WarmupStepSchedule
+
+N_LEARNERS = 4
+GPUS_PER_NODE = 2
+N_CLASSES = 8
+IMG = 16  # synthetic "ImageNet" resolution
+
+
+def cnn_factory(rng: np.random.Generator) -> Network:
+    return Network(
+        [
+            Conv2d(3, 8, 3, rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(8, 16, 3, rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(16 * (IMG // 4) ** 2, N_CLASSES, rng),
+        ]
+    )
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-train-"))
+    print(f"writing synthetic record file under {workdir}")
+    dataset, base = build_synthetic_record_file(
+        workdir / "train", n_images=512, n_classes=N_CLASSES,
+        height=IMG, width=IMG, seed=7,
+    )
+
+    layout = GroupLayout(N_LEARNERS, 1)
+    with RecordReader(base) as reader:
+        stores = [partitioned_load(reader, l, layout) for l in range(N_LEARNERS)]
+    print(
+        f"{len(stores[0])} records/learner, {sum(len(s) for s in stores)} total"
+    )
+
+    schedule = WarmupStepSchedule(
+        batch_per_gpu=8,
+        n_workers=N_LEARNERS * GPUS_PER_NODE,
+        base_lr=0.02,
+        reference_batch=64,
+        warmup_epochs=1.0,
+        total_epochs=12,
+        decay_every=6,
+    )
+    # Validation set drawn from the same synthetic distribution.
+    val_ids = np.arange(0, 512, 7)
+    val_x, val_y = dataset.batch(val_ids)
+
+    with DistributedSGDTrainer(
+        cnn_factory,
+        stores,
+        gpus_per_node=GPUS_PER_NODE,
+        batch_per_gpu=8,
+        schedule=schedule,
+        momentum=0.9,
+        weight_decay=1e-4,
+        reducer="multicolor",   # gradients really go through the simulated MPI
+        seed=3,
+        shuffle_every=4,        # Algorithm 2 every 4 steps
+    ) as trainer:
+        print(f"global batch {trainer.global_batch}, "
+              f"{trainer.steps_per_epoch} steps/epoch")
+        for epoch in range(6):
+            results = trainer.train_epoch()
+            trainer.check_synchronized()
+            acc = trainer.evaluate(val_x, val_y)
+            print(
+                f"epoch {epoch + 1}: loss {np.mean([r.loss for r in results]):.3f}"
+                f"  lr {results[-1].lr:.4f}  val top-1 {acc:.1%}"
+            )
+        final = trainer.evaluate(val_x, val_y)
+    print(f"final validation top-1: {final:.1%} (chance = {1 / N_CLASSES:.1%})")
+
+
+if __name__ == "__main__":
+    main()

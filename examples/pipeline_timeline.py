@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Render one training iteration's timeline: baseline vs optimized DPT.
+
+Recreates Figures 3 and 4 of the paper as executable timelines: the same
+node-level iteration (input staging, four GPU forward/backward passes,
+criterion, serialized Torch callbacks, gradient reduction) is simulated
+under both DataParallelTable designs and drawn with the event tracer, so
+the serialization the paper removed is directly visible.
+
+Run:  python examples/pipeline_timeline.py
+"""
+
+from repro.cluster import MINSKY_NODE
+from repro.core.calibration import compute_model_for
+from repro.cluster.interconnect import IntraNodeFabric
+from repro.dpt.timing import DPTTimingModel
+from repro.models import build_resnet50
+from repro.sim import Engine, Resource
+from repro.sim.trace import Tracer
+
+BATCH_PER_GPU = 64
+MODEL = build_resnet50()
+NODE = MINSKY_NODE
+
+
+def simulate_iteration(variant: str) -> Tracer:
+    """One node-level iteration as concurrent processes with tracing."""
+    engine = Engine()
+    tracer = Tracer(engine)
+    fabric = IntraNodeFabric(NODE)
+    dpt = DPTTimingModel(NODE, variant)
+    compute = compute_model_for("resnet50")
+    gpu_time = compute.step_time(
+        MODEL.forward_flops, BATCH_PER_GPU, MODEL.n_layers
+    )
+    batch_bytes = BATCH_PER_GPU * NODE.n_gpus * 3 * 224 * 224 * 4
+    output_bytes = BATCH_PER_GPU * NODE.n_gpus * 1000 * 4
+    main_thread = Resource(engine, 1, name="main")
+
+    def gpu(g: int, ready_events, done_events):
+        yield ready_events[g]
+        start = engine.now
+        yield engine.timeout(gpu_time)
+        tracer.record(f"gpu{g}", "fwd+bwd", start, engine.now)
+        # Ending callback: serialized on the main Lua thread.
+        t0 = engine.now
+        yield from main_thread.use(dpt.callback_cost * dpt.sync_points)
+        tracer.record("main", f"callbacks g{g}", t0, engine.now)
+        done_events[g].succeed()
+
+    def driver():
+        ready = [engine.event() for _ in range(NODE.n_gpus)]
+        done = [engine.event() for _ in range(NODE.n_gpus)]
+        for g in range(NODE.n_gpus):
+            engine.process(gpu(g, ready, done), name=f"gpu{g}")
+        # Input staging.
+        t0 = engine.now
+        yield engine.timeout(dpt.input_time(batch_bytes))
+        tracer.record("host", f"input ({variant})", t0, engine.now)
+        for ev in ready:
+            ev.succeed()
+        yield engine.all_of(done)
+        # Criterion placement differs between designs.
+        t0 = engine.now
+        yield engine.timeout(dpt.criterion_time(output_bytes))
+        tracer.record("host", "criterion", t0, engine.now)
+        # Intra-node gradient reduction + broadcast.
+        t0 = engine.now
+        yield engine.timeout(fabric.allreduce_time(MODEL.gradient_bytes))
+        tracer.record("host", "grad reduce", t0, engine.now)
+
+    engine.run(engine.process(driver(), name="driver"))
+    return tracer
+
+
+def main() -> None:
+    for variant in ("baseline", "optimized"):
+        tracer = simulate_iteration(variant)
+        total = max(s.end for s in tracer.spans)
+        print(f"\n=== {variant} DataParallelTable — iteration {total * 1e3:.1f} ms ===")
+        print(tracer.render(width=68))
+        print(f"main-thread busy: {tracer.busy_time('main') * 1e3:.1f} ms "
+              f"({tracer.utilization('main', total):.0%} of the iteration)")
+
+
+if __name__ == "__main__":
+    main()

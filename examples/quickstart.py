@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: reproduce the paper's headline numbers in a few lines.
+
+Builds the paper's cluster configuration, prints the per-epoch time with
+and without the three optimizations (Table 1), the per-iteration breakdown,
+and the 90-epoch / 256-GPU result (Table 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterExperiment, ExperimentConfig
+from repro.utils.units import format_duration
+
+
+def main() -> None:
+    # ---- Table 1, one row: ResNet-50 on 8 Minsky nodes (32 P100s). -------
+    cfg = ExperimentConfig(model="resnet50", dataset="imagenet-1k", n_nodes=8)
+
+    base = ClusterExperiment(cfg.open_source_baseline())
+    opt = ClusterExperiment(cfg.fully_optimized())
+    t_base, t_opt = base.epoch_time(), opt.epoch_time()
+    print("ResNet-50, ImageNet-1k, 8 nodes x 4 P100")
+    print(f"  open-source baseline : {t_base:6.1f} s/epoch   (paper: 498 s)")
+    print(f"  fully optimized      : {t_opt:6.1f} s/epoch   (paper: 224 s)")
+    print(f"  speedup              : {(t_base - t_opt) / t_opt:6.1%}        (paper: 120%)")
+
+    # ---- where the time goes -------------------------------------------------
+    print("\nPer-iteration breakdown (fully optimized):")
+    for name, seconds in opt.breakdown().as_dict().items():
+        print(f"  {name:16s} {format_duration(seconds):>10s}")
+
+    # ---- Table 2: the 48-minute run. -----------------------------------------
+    cfg256 = ExperimentConfig(model="resnet50", n_nodes=64, batch_per_gpu=32)
+    run = ClusterExperiment(cfg256).run(n_epochs=90)
+    print(
+        f"\n90 epochs on 256 P100s (batch 8192): "
+        f"{run.total_minutes:.0f} min at {run.peak_top1:.1f}% top-1"
+        f"   (paper: 48 min, 75.4%; Goyal et al.: 65 min)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scaling study: epoch time, throughput and time-to-accuracy vs nodes.
+
+Sweeps the cluster from 8 to 64 nodes for both models, reporting epoch
+times, images/second, strong-scaling efficiency and the 90-epoch
+time-to-solution — the scan behind Figures 6/13/14 and Table 2.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import ClusterExperiment, ExperimentConfig
+from repro.train import scaling_efficiency
+from repro.utils.ascii import render_table
+
+NODE_COUNTS = (8, 16, 32, 64)
+
+
+def main() -> None:
+    for model in ("googlenet_bn", "resnet50"):
+        rows = []
+        base_time = None
+        for n in NODE_COUNTS:
+            cfg = ExperimentConfig(model=model, n_nodes=n).fully_optimized()
+            exp = ClusterExperiment(cfg)
+            t = exp.epoch_time()
+            if base_time is None:
+                base_time = t
+            eff = scaling_efficiency(NODE_COUNTS[0], base_time, n, t)
+            run = exp.run(n_epochs=90)
+            rows.append(
+                [
+                    n,
+                    n * 4,
+                    f"{t:.1f}",
+                    f"{exp.images_per_second():,.0f}",
+                    f"{eff:.1f}",
+                    f"{run.total_minutes:.0f}",
+                    f"{run.peak_top1:.2f}",
+                ]
+            )
+        print(
+            render_table(
+                ["nodes", "GPUs", "epoch (s)", "img/s", "scaling %",
+                 "90 epochs (min)", "top-1 %"],
+                rows,
+                title=f"\nScaling study — {model}, ImageNet-1k, batch 64/GPU",
+            )
+        )
+
+    # The Table 2 configuration: batch 32/GPU on 64 nodes.
+    cfg = ExperimentConfig(model="resnet50", n_nodes=64, batch_per_gpu=32)
+    run = ClusterExperiment(cfg).run(n_epochs=90)
+    print(
+        f"\nTable 2 configuration (256 P100, batch 8192): "
+        f"{run.total_minutes:.0f} min, {run.peak_top1:.1f}% top-1 "
+        f"(paper: 48 min, 75.4%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

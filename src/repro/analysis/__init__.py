@@ -1,0 +1,43 @@
+"""Reporting: paper reference values, table/figure generators, comparators."""
+
+from repro.analysis.reference import (
+    PAPER_FIG10_GAINS,
+    PAPER_FIG12_GAINS,
+    PAPER_SHUFFLE_22K_32,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+)
+from repro.analysis.tables import table1_rows, table2_rows, render_table1, render_table2
+from repro.analysis.figures import (
+    fig5_series,
+    fig6_series,
+    fig_shuffle_series,
+    fig_group_shuffle_series,
+    fig_dimd_series,
+    fig_dpt_series,
+    fig_accuracy_series,
+    fig_error_series,
+)
+from repro.analysis.compare import relative_error, ordering_matches
+
+__all__ = [
+    "PAPER_FIG10_GAINS",
+    "PAPER_FIG12_GAINS",
+    "PAPER_SHUFFLE_22K_32",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "fig5_series",
+    "fig6_series",
+    "fig_accuracy_series",
+    "fig_dimd_series",
+    "fig_dpt_series",
+    "fig_error_series",
+    "fig_group_shuffle_series",
+    "fig_shuffle_series",
+    "ordering_matches",
+    "relative_error",
+    "render_table1",
+    "render_table2",
+    "table1_rows",
+    "table2_rows",
+]

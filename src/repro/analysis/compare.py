@@ -1,0 +1,31 @@
+"""Shape comparators: 'who wins, by roughly what factor'."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["relative_error", "ordering_matches", "improvement_pct"]
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference|."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return abs(measured - reference) / abs(reference)
+
+
+def improvement_pct(slow: float, fast: float) -> float:
+    """Percentage by which ``fast`` improves on ``slow`` ((slow-fast)/slow)."""
+    if slow <= 0 or fast <= 0:
+        raise ValueError("times must be positive")
+    return 100.0 * (slow - fast) / slow
+
+
+def ordering_matches(values: Sequence[float], expected_order: str = "asc") -> bool:
+    """True if the sequence is sorted ascending/descending (strict)."""
+    if expected_order not in ("asc", "desc"):
+        raise ValueError("expected_order must be 'asc' or 'desc'")
+    pairs = zip(values, list(values)[1:])
+    if expected_order == "asc":
+        return all(a < b for a, b in pairs)
+    return all(a > b for a, b in pairs)

@@ -1,0 +1,152 @@
+"""Regenerate every figure's data series from the simulation.
+
+Each ``fig*_series`` function returns ``(x_values, {series_name: y_values},
+meta)`` matching the corresponding paper figure's axes; the benchmarks
+print them with :func:`repro.utils.ascii.render_series`.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import DATASETS
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import ClusterExperiment
+from repro.data.shuffle import simulate_shuffle
+from repro.mpi.runner import simulate_allreduce
+from repro.utils.units import MB
+
+__all__ = [
+    "fig5_series",
+    "fig6_series",
+    "fig_shuffle_series",
+    "fig_group_shuffle_series",
+    "fig_dimd_series",
+    "fig_dpt_series",
+    "fig_accuracy_series",
+    "fig_error_series",
+]
+
+FIG5_ALGORITHMS = ("multicolor", "ring", "openmpi_default")
+FIG5_PAYLOADS_MB = (1, 4, 16, 64, 93, 128)
+
+
+def fig5_series(
+    n_ranks: int = 16,
+    payloads_mb=FIG5_PAYLOADS_MB,
+    algorithms=FIG5_ALGORITHMS,
+    segment_bytes: int | None = None,
+):
+    """Figure 5: allreduce throughput (GB/s) vs payload, 16 nodes.
+
+    Pipelined algorithms pick their segment size per payload (~64 segments,
+    floor 64 KiB), as a tuned implementation would.
+    """
+    x = list(payloads_mb)
+    series: dict[str, list[float]] = {}
+    for alg in algorithms:
+        ys = []
+        for mb in payloads_mb:
+            nbytes = int(mb * MB)
+            seg = segment_bytes or max(64 * 1024, nbytes // 64)
+            out = simulate_allreduce(
+                n_ranks, nbytes, algorithm=alg, segment_bytes=seg
+            )
+            ys.append(out.throughput(nbytes) / 1e9)
+        series[alg] = ys
+    return x, series, {"xlabel": "payload (MB)", "ylabel": "throughput (GB/s)"}
+
+
+def fig6_series(node_counts=(8, 16, 32), algorithms=FIG5_ALGORITHMS):
+    """Figure 6: GoogleNetBN epoch time vs nodes per allreduce scheme."""
+    x = list(node_counts)
+    series: dict[str, list[float]] = {}
+    for alg in algorithms:
+        ys = []
+        for n in node_counts:
+            cfg = ExperimentConfig(
+                model="googlenet_bn", n_nodes=n, allreduce=alg,
+                dimd=False, dpt_variant="baseline",
+            )
+            ys.append(ClusterExperiment(cfg).epoch_time())
+        series[alg] = ys
+    return x, series, {"xlabel": "learners", "ylabel": "epoch time (s)"}
+
+
+def fig_shuffle_series(dataset_name: str, node_counts=(8, 16, 32)):
+    """Figures 7 (imagenet-22k) and 8 (imagenet-1k): shuffle time and
+    memory per node vs learners."""
+    dataset = DATASETS[dataset_name]
+    x = list(node_counts)
+    times, mems = [], []
+    for n in node_counts:
+        r = simulate_shuffle(n, dataset)
+        times.append(r.elapsed)
+        mems.append(r.memory_per_node / 1e9)
+    return (
+        x,
+        {"shuffle time (s)": times, "memory/node (GB)": mems},
+        {"xlabel": "learners", "ylabel": "seconds / GB"},
+    )
+
+
+def fig_group_shuffle_series(group_counts=(1, 4, 8, 16), n_learners: int = 32):
+    """Figure 9: ImageNet-22k shuffle time on 32 nodes vs group count."""
+    x = list(group_counts)
+    times = []
+    for g in group_counts:
+        times.append(simulate_shuffle(n_learners, DATASETS["imagenet-22k"], n_groups=g).elapsed)
+    return x, {"shuffle time (s)": times}, {"xlabel": "groups", "ylabel": "seconds"}
+
+
+def fig_dimd_series(dataset_name: str, node_counts=(8, 16, 32)):
+    """Figures 10/11: epoch time with/without DIMD, both models."""
+    x = list(node_counts)
+    series: dict[str, list[float]] = {}
+    for model in ("googlenet_bn", "resnet50"):
+        for dimd in (False, True):
+            label = f"{model} {'DIMD' if dimd else 'file I/O'}"
+            ys = []
+            for n in node_counts:
+                cfg = ExperimentConfig(
+                    model=model, dataset=dataset_name, n_nodes=n,
+                    dimd=dimd, dpt_variant="baseline", allreduce="multicolor",
+                )
+                ys.append(ClusterExperiment(cfg).epoch_time())
+            series[label] = ys
+    return x, series, {"xlabel": "learners", "ylabel": "epoch time (s)"}
+
+
+def fig_dpt_series(node_counts=(8, 16, 32)):
+    """Figure 12: epoch time with/without the DPT optimizations."""
+    x = list(node_counts)
+    series: dict[str, list[float]] = {}
+    for model in ("googlenet_bn", "resnet50"):
+        for variant in ("baseline", "optimized"):
+            ys = []
+            for n in node_counts:
+                cfg = ExperimentConfig(
+                    model=model, n_nodes=n, dimd=True,
+                    dpt_variant=variant, allreduce="multicolor",
+                )
+                ys.append(ClusterExperiment(cfg).epoch_time())
+            series[f"{model} {variant}"] = ys
+    return x, series, {"xlabel": "learners", "ylabel": "epoch time (s)"}
+
+
+def fig_accuracy_series(model: str, node_counts=(8, 16, 32), n_epochs: int = 90):
+    """Figures 13/14: validation top-1 vs wall-clock hours per node count."""
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for n in node_counts:
+        cfg = ExperimentConfig(model=model, n_nodes=n).fully_optimized()
+        run = ClusterExperiment(cfg).run(n_epochs=n_epochs)
+        series[f"{n} nodes"] = (run.hours.tolist(), run.top1.tolist())
+    return series, {"xlabel": "hours", "ylabel": "top-1 (%)"}
+
+
+def fig_error_series(model: str, node_counts=(8, 16, 32), n_epochs: int = 90):
+    """Figures 15/16: training error vs wall-clock hours per node count."""
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for n in node_counts:
+        cfg = ExperimentConfig(model=model, n_nodes=n).fully_optimized()
+        run = ClusterExperiment(cfg).run(n_epochs=n_epochs)
+        series[f"{n} nodes"] = (run.hours.tolist(), run.train_error.tolist())
+    return series, {"xlabel": "hours", "ylabel": "training error"}

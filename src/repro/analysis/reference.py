@@ -1,0 +1,45 @@
+"""The paper's published numbers, verbatim, for paper-vs-measured reports."""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_FIG10_GAINS",
+    "PAPER_FIG12_GAINS",
+    "PAPER_SHUFFLE_22K_32",
+    "PAPER_MPI_CLAIM",
+]
+
+#: Table 1: (model, nodes) -> (open-source s/epoch, optimized s/epoch,
+#: speedup %, peak top-1 %).
+PAPER_TABLE1: dict[tuple[str, int], tuple[float, float, float, float]] = {
+    ("googlenet_bn", 8): (249.0, 155.0, 60.0, 74.86),
+    ("googlenet_bn", 16): (131.0, 76.0, 72.0, 74.36),
+    ("googlenet_bn", 32): (65.0, 41.0, 58.0, 74.19),
+    ("resnet50", 8): (498.0, 224.0, 120.0, 75.99),
+    ("resnet50", 16): (251.0, 109.0, 130.0, 75.78),
+    ("resnet50", 32): (128.0, 58.0, 110.0, 75.56),
+}
+
+#: Table 2 rows: description -> (hardware, epochs, global batch, top-1 %,
+#: minutes).
+PAPER_TABLE2: dict[str, tuple[str, int, int, float, float]] = {
+    "Goyal et al. [27]": ("256 P100", 90, 8192, 76.2, 65.0),
+    "You et al. [35]": ("512 KNL", 90, 32768, 74.7, 60.0),
+    "Kumar et al. (paper)": ("256 P100", 90, 8192, 75.4, 48.0),
+}
+
+#: §5.2: DIMD per-epoch improvement, (model -> %).
+PAPER_FIG10_GAINS = {"googlenet_bn": 33.0, "resnet50": 25.0}
+
+#: §5.3: DataParallelTable optimization per-epoch improvement.
+PAPER_FIG12_GAINS = {"googlenet_bn": 15.0, "resnet50": 18.0}
+
+#: §5.2: "the time to shuffle the entire data among 32 learners is just
+#: 4.2 seconds" (ImageNet-22k).
+PAPER_SHUFFLE_22K_32 = 4.2
+
+#: §5.1: the multi-color allreduce "takes 50-60% lesser time in comparison
+#: to the MPI Allreduce implementation of the OpenMPI library".
+PAPER_MPI_CLAIM = (50.0, 60.0)

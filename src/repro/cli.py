@@ -1,0 +1,232 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro table2
+    python -m repro epoch --model resnet50 --nodes 8 --baseline
+    python -m repro allreduce --ranks 16 --mbytes 93 --algorithm multicolor
+    python -m repro shuffle --dataset imagenet-22k --learners 32
+    python -m repro memory --dataset imagenet-22k --learners 32
+    python -m repro trees --ranks 8 --colors 4
+    python -m repro fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils.units import MB, format_bytes, format_duration, format_rate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Kumar et al., CLUSTER 2018",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: open-source vs optimized epoch times")
+    sub.add_parser("table2", help="Table 2: 90-epoch state-of-the-art comparison")
+    sub.add_parser("fig5", help="Figure 5: allreduce throughput sweep")
+
+    p = sub.add_parser("report", help="full paper-vs-measured markdown report")
+    p.add_argument("--output", default=None, help="write to file instead of stdout")
+
+    p = sub.add_parser("epoch", help="epoch time + breakdown for one config")
+    p.add_argument("--model", default="resnet50")
+    p.add_argument("--dataset", default="imagenet-1k")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--batch", type=int, default=64, help="batch per GPU")
+    p.add_argument("--allreduce", default="multicolor")
+    p.add_argument("--baseline", action="store_true",
+                   help="use the open-source baseline configuration")
+
+    p = sub.add_parser("allreduce", help="simulate one allreduce")
+    p.add_argument("--ranks", type=int, default=16)
+    p.add_argument("--mbytes", type=float, default=93.0)
+    p.add_argument("--algorithm", default="multicolor")
+    p.add_argument("--segment-kib", type=int, default=1024)
+
+    p = sub.add_parser("shuffle", help="full-scale DIMD shuffle timing")
+    p.add_argument("--dataset", default="imagenet-22k")
+    p.add_argument("--learners", type=int, default=32)
+    p.add_argument("--groups", type=int, default=1)
+
+    p = sub.add_parser("memory", help="DIMD memory feasibility planning")
+    p.add_argument("--dataset", default="imagenet-22k")
+    p.add_argument("--learners", type=int, default=32)
+
+    p = sub.add_parser("trees", help="print the multi-color spanning trees")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--colors", type=int, default=4)
+    p.add_argument("--arity", type=int, default=None)
+    return parser
+
+
+def _cmd_table1(_args) -> int:
+    from repro.analysis import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    from repro.analysis import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _cmd_fig5(_args) -> int:
+    from repro.analysis import fig5_series
+    from repro.utils.ascii import render_table
+
+    x, series, _meta = fig5_series()
+    rows = [
+        [f"{mb} MB"] + [f"{series[a][i]:.2f}" for a in series]
+        for i, mb in enumerate(x)
+    ]
+    print(
+        render_table(
+            ["payload"] + [f"{a} GB/s" for a in series], rows,
+            title="Figure 5 — allreduce throughput, 16 nodes",
+        )
+    )
+    return 0
+
+
+def _cmd_epoch(args) -> int:
+    from repro.core import ClusterExperiment, ExperimentConfig
+
+    cfg = ExperimentConfig(
+        model=args.model,
+        dataset=args.dataset,
+        n_nodes=args.nodes,
+        batch_per_gpu=args.batch,
+        allreduce=args.allreduce,
+    )
+    if args.baseline:
+        cfg = cfg.open_source_baseline()
+    exp = ClusterExperiment(cfg)
+    print(f"configuration : {cfg}")
+    print(f"epoch time    : {format_duration(exp.epoch_time())}")
+    print(f"throughput    : {exp.images_per_second():,.0f} images/s")
+    print(f"peak top-1    : {exp.peak_top1():.2f}%")
+    print("breakdown per iteration:")
+    for name, seconds in exp.breakdown().as_dict().items():
+        print(f"  {name:16s} {format_duration(seconds):>10s}")
+    return 0
+
+
+def _cmd_allreduce(args) -> int:
+    from repro.mpi import ALLREDUCE_ALGORITHMS, simulate_allreduce
+
+    if args.algorithm not in ALLREDUCE_ALGORITHMS:
+        print(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {sorted(ALLREDUCE_ALGORITHMS)}",
+            file=sys.stderr,
+        )
+        return 2
+    nbytes = int(args.mbytes * MB)
+    out = simulate_allreduce(
+        args.ranks,
+        nbytes,
+        algorithm=args.algorithm,
+        segment_bytes=args.segment_kib * 1024,
+    )
+    print(
+        f"{args.algorithm} allreduce of {format_bytes(nbytes)} across "
+        f"{args.ranks} nodes: {format_duration(out.elapsed)} "
+        f"({format_rate(out.throughput(nbytes))} algorithmic)"
+    )
+    return 0
+
+
+def _cmd_shuffle(args) -> int:
+    from repro.core.calibration import DATASETS
+    from repro.data import simulate_shuffle
+
+    dataset = DATASETS[args.dataset]
+    report = simulate_shuffle(args.learners, dataset, n_groups=args.groups)
+    print(
+        f"{dataset.name} shuffle across {args.learners} learners "
+        f"({args.groups} group(s)): {report.elapsed:.2f} s, "
+        f"{format_bytes(report.memory_per_node)} per node, "
+        f"{report.n_passes} AlltoAllv passes"
+    )
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.cluster import MINSKY_NODE
+    from repro.core.calibration import DATASETS
+    from repro.data import GroupLayout, max_replication_groups, plan_memory
+
+    dataset = DATASETS[args.dataset]
+    single = plan_memory(dataset, MINSKY_NODE, GroupLayout(args.learners, 1))
+    print(
+        f"single copy across {args.learners} learners: "
+        f"{format_bytes(single.partition_bytes)}/node "
+        f"({single.utilization:.0%} of budget) — "
+        f"{'fits' if single.fits else 'DOES NOT FIT'}"
+    )
+    g = max_replication_groups(dataset, MINSKY_NODE, args.learners)
+    plan = plan_memory(dataset, MINSKY_NODE, GroupLayout(args.learners, g))
+    print(
+        f"max replication: {g} group(s) of {args.learners // g} learner(s), "
+        f"{format_bytes(plan.partition_bytes)}/node"
+    )
+    return 0
+
+
+def _cmd_trees(args) -> int:
+    from repro.mpi.collectives import color_trees, internal_nodes
+
+    trees = color_trees(args.ranks, args.colors, args.arity)
+    for color, tree in enumerate(trees):
+        print(
+            f"color {color}: root {tree.root}, "
+            f"internal {sorted(internal_nodes(tree))}, "
+            f"parents {dict(sorted(tree.parent.items()))}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "report": _cmd_report,
+    "table2": _cmd_table2,
+    "fig5": _cmd_fig5,
+    "epoch": _cmd_epoch,
+    "allreduce": _cmd_allreduce,
+    "shuffle": _cmd_shuffle,
+    "memory": _cmd_memory,
+    "trees": _cmd_trees,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

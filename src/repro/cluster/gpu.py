@@ -1,0 +1,75 @@
+"""GPU training-step compute model.
+
+Forward+backward time for a mini-batch is derived from the model
+descriptor's FLOP count and the GPU's peak throughput, scaled by a cuDNN
+*efficiency* that (a) differs per network (ResNet-50's large uniform
+convolutions utilize the GPU better than GoogleNetBN's many small inception
+branches) and (b) improves with batch size (small batches under-fill the
+SMs).  Per-layer kernel-launch overhead adds a batch-independent floor.
+
+The backward pass is modelled as twice the forward FLOPs (grad-input +
+grad-weight convolutions), the standard 1:2 fwd:bwd accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.specs import GPUSpec
+
+__all__ = ["GPUComputeModel"]
+
+#: fwd:bwd FLOP ratio — backward computes both input and weight gradients.
+BACKWARD_FLOP_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class GPUComputeModel:
+    """Maps (model FLOPs, batch size) to step time on one GPU."""
+
+    gpu: GPUSpec
+    efficiency: float          # asymptotic fraction of peak FLOPs achieved
+    batch_half_point: float = 8.0   # batch size at which efficiency is halved
+    kernels_per_layer: float = 2.5  # avg kernels launched per layer per pass
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.batch_half_point <= 0:
+            raise ValueError("batch_half_point must be positive")
+
+    def effective_flops(self, batch: int) -> float:
+        """Achieved FLOP/s at the given per-GPU batch size."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        utilization = batch / (batch + self.batch_half_point)
+        return self.gpu.fp32_tflops * 1e12 * self.efficiency * utilization
+
+    def step_time(self, forward_flops_per_image: float, batch: int, n_layers: int) -> float:
+        """Seconds for one forward+backward pass of ``batch`` images."""
+        if forward_flops_per_image <= 0:
+            raise ValueError("forward_flops_per_image must be positive")
+        if n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        total_flops = (
+            forward_flops_per_image * batch * (1.0 + BACKWARD_FLOP_FACTOR)
+        )
+        launch = 2 * n_layers * self.kernels_per_layer * self.gpu.kernel_overhead
+        return total_flops / self.effective_flops(batch) + launch
+
+    def forward_time(self, forward_flops_per_image: float, batch: int, n_layers: int) -> float:
+        """Seconds for inference only (used by validation passes)."""
+        if forward_flops_per_image <= 0:
+            raise ValueError("forward_flops_per_image must be positive")
+        if n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        launch = n_layers * self.kernels_per_layer * self.gpu.kernel_overhead
+        return (
+            forward_flops_per_image * batch / self.effective_flops(batch) + launch
+        )
+
+    def images_per_second(
+        self, forward_flops_per_image: float, batch: int, n_layers: int
+    ) -> float:
+        """Training throughput of one GPU at this batch size."""
+        return batch / self.step_time(forward_flops_per_image, batch, n_layers)

@@ -1,0 +1,87 @@
+"""Intra-node data movement: NVLink peer copies and host staging.
+
+The Torch DataParallelTable experiments (§4.3) hinge on *where* batches and
+gradients move inside a node:
+
+* baseline design — the full input batch lands on GPU1 first and is
+  re-scattered to the other GPUs over NVLink (extra hop + GPU1 memory);
+* optimized design — the host partitions the batch and DMAs each slice
+  directly to its GPU.
+
+Gradient accumulation inside a node uses a binary tree over NVLink pairs
+followed by a host gather (the paper's "local intra-node summation").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.specs import NodeSpec
+
+__all__ = ["IntraNodeFabric"]
+
+
+@dataclass(frozen=True)
+class IntraNodeFabric:
+    """Closed-form transfer/reduce times inside one node."""
+
+    node: NodeSpec
+
+    def h2d_time(self, nbytes: float) -> float:
+        """Host -> one device copy."""
+        self._check(nbytes)
+        return nbytes / self.node.h2d_bandwidth
+
+    def d2d_time(self, nbytes: float) -> float:
+        """Device -> device peer copy over NVLink."""
+        self._check(nbytes)
+        return nbytes / self.node.nvlink_bandwidth
+
+    def scatter_via_first_gpu(self, batch_bytes: float) -> float:
+        """Baseline DataParallelTable input path.
+
+        The whole batch goes host->GPU1, then GPU1 sends each other GPU its
+        slice.  The second stage's transfers share GPU1's NVLink egress, so
+        they serialize.
+        """
+        self._check(batch_bytes)
+        m = self.node.n_gpus
+        slice_bytes = batch_bytes / m
+        return self.h2d_time(batch_bytes) + self.d2d_time(slice_bytes * (m - 1))
+
+    def scatter_direct(self, batch_bytes: float) -> float:
+        """Optimized input path: host DMAs each slice to its GPU directly.
+
+        Copies to distinct GPUs proceed concurrently on separate NVLink
+        pairs, so the critical path is one slice.
+        """
+        self._check(batch_bytes)
+        return self.h2d_time(batch_bytes / self.node.n_gpus)
+
+    def allreduce_time(self, grad_bytes: float) -> float:
+        """Intra-node gradient sum + result on the host.
+
+        Binary-tree pairwise NVLink reduction (ceil(log2 m) rounds of a full
+        gradient copy+add) followed by one device->host copy.
+        """
+        self._check(grad_bytes)
+        m = self.node.n_gpus
+        rounds = math.ceil(math.log2(m)) if m > 1 else 0
+        return rounds * self.d2d_time(grad_bytes) + self.h2d_time(grad_bytes)
+
+    def broadcast_time(self, grad_bytes: float) -> float:
+        """Host -> all GPUs broadcast of the reduced gradients.
+
+        One host->device copy feeds a binary NVLink fan-out tree
+        (ceil(log2 m) peer-copy rounds).
+        """
+        self._check(grad_bytes)
+        m = self.node.n_gpus
+        rounds = math.ceil(math.log2(m)) if m > 1 else 0
+        return self.h2d_time(grad_bytes) + rounds * self.d2d_time(grad_bytes)
+
+    @staticmethod
+    def _check(nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")

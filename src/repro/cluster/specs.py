@@ -1,0 +1,201 @@
+"""Hardware specification dataclasses and the paper's testbed constants.
+
+Numbers are public datasheet values where available (P100, POWER8 Minsky,
+KNL); behavioural efficiencies (cuDNN utilization, filesystem randomness
+penalties) live in :mod:`repro.core.calibration` where they are pinned to
+the paper's measured baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.params import CONNECTX5_DUAL, NetworkParams
+from repro.utils.units import GB, GIB, MB
+
+__all__ = [
+    "GPUSpec",
+    "NodeSpec",
+    "StorageSpec",
+    "ClusterSpec",
+    "P100",
+    "V100",
+    "MINSKY_NODE",
+    "KNL_NODE",
+    "NFS_STORAGE",
+    "FLASH_STORAGE",
+    "LOCAL_MEMORY",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An accelerator's raw capabilities."""
+
+    name: str
+    fp32_tflops: float            # peak single-precision throughput
+    memory_bytes: float           # device memory
+    mem_bandwidth: float          # device memory bandwidth (B/s)
+    kernel_overhead: float = 6e-6  # per-kernel launch cost (seconds)
+
+    def __post_init__(self) -> None:
+        if self.fp32_tflops <= 0 or self.memory_bytes <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError(f"GPUSpec {self.name}: capabilities must be positive")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node (learner)."""
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    cpu_cores: int
+    host_memory_bytes: float
+    h2d_bandwidth: float          # host -> device copy rate per GPU (B/s)
+    nvlink_bandwidth: float       # GPU <-> GPU peer rate (B/s)
+    host_reduce_bandwidth: float  # CPU vectorized summing rate (B/s)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        if min(
+            self.host_memory_bytes,
+            self.h2d_bandwidth,
+            self.nvlink_bandwidth,
+            self.host_reduce_bandwidth,
+        ) <= 0:
+            raise ValueError(f"NodeSpec {self.name}: rates must be positive")
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """A storage tier as seen by one node."""
+
+    name: str
+    sequential_bandwidth: float   # B/s for streaming reads
+    random_iops: float            # random-read operations per second
+    latency: float = 0.0          # fixed per-request latency (seconds)
+
+    def __post_init__(self) -> None:
+        if self.sequential_bandwidth <= 0 or self.random_iops <= 0:
+            raise ValueError(f"StorageSpec {self.name}: rates must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+
+    def read_time(self, nbytes: float, n_requests: int = 1) -> float:
+        """Closed-form time to read ``nbytes`` in ``n_requests`` random reads."""
+        if nbytes < 0 or n_requests < 1:
+            raise ValueError("nbytes >= 0 and n_requests >= 1 required")
+        return (
+            self.latency * n_requests
+            + n_requests / self.random_iops
+            + nbytes / self.sequential_bandwidth
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The whole machine: nodes, network, storage."""
+
+    name: str
+    n_nodes: int
+    node: NodeSpec
+    network: NetworkParams = field(default=CONNECTX5_DUAL)
+    storage: StorageSpec = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.storage is None:
+            object.__setattr__(self, "storage", NFS_STORAGE)
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.node.n_gpus
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        """The same machine scaled to a different node count."""
+        return ClusterSpec(
+            name=self.name,
+            n_nodes=n_nodes,
+            node=self.node,
+            network=self.network,
+            storage=self.storage,
+        )
+
+
+#: NVIDIA Tesla P100 (SXM2): 10.6 TFLOPS fp32, 16 GB HBM2 at 732 GB/s.
+P100 = GPUSpec(
+    name="P100-SXM2",
+    fp32_tflops=10.6,
+    memory_bytes=16 * GIB,
+    mem_bandwidth=732e9,
+)
+
+#: NVIDIA Tesla V100 (SXM2): the P100's successor — for what-if studies of
+#: how the paper's balance shifts as compute outpaces the network.
+V100 = GPUSpec(
+    name="V100-SXM2",
+    fp32_tflops=15.7,
+    memory_bytes=16 * GIB,
+    mem_bandwidth=900e9,
+)
+
+#: POWER8 "Minsky" (S822LC): 20 cores, 256 GB, 4x P100 on NVLink 1.0.
+#: NVLink 1.0 gives 2 links x 20 GB/s per GPU to the CPU and between GPU
+#: pairs; host summing uses the altivec vector unit.
+MINSKY_NODE = NodeSpec(
+    name="POWER8-Minsky",
+    gpu=P100,
+    n_gpus=4,
+    cpu_cores=20,
+    host_memory_bytes=256 * GIB,
+    h2d_bandwidth=32e9,
+    nvlink_bandwidth=40e9,
+    host_reduce_bandwidth=30e9,
+)
+
+#: Intel Xeon Phi 7250 (KNL) node, for the Table 2 comparison row
+#: (You et al. use 512 of these).  Modelled as a 1-GPU-equivalent node.
+KNL_NODE = NodeSpec(
+    name="KNL-7250",
+    gpu=GPUSpec(
+        name="KNL-7250",
+        fp32_tflops=5.2,  # ~half of P100 in practice for conv nets
+        memory_bytes=16 * GIB,
+        mem_bandwidth=400e9,
+    ),
+    n_gpus=1,
+    cpu_cores=68,
+    host_memory_bytes=96 * GIB,
+    h2d_bandwidth=80e9,   # MCDRAM is on-package; no PCIe staging
+    nvlink_bandwidth=80e9,
+    host_reduce_bandwidth=30e9,
+)
+
+#: A shared parallel filesystem under random-read image load: the paper's
+#: bottleneck.  Throughput per node is modest and each image read is an
+#: independent random request.
+NFS_STORAGE = StorageSpec(
+    name="shared-fs",
+    sequential_bandwidth=350 * MB,
+    random_iops=2800.0,
+    latency=0.3e-3,
+)
+
+#: A flash/NVMe tier ("typically costly", §1) for the storage ablation.
+FLASH_STORAGE = StorageSpec(
+    name="flash",
+    sequential_bandwidth=2.4 * GB,
+    random_iops=200_000.0,
+    latency=0.08e-3,
+)
+
+#: Host DRAM treated as a storage tier: what DIMD effectively provides.
+LOCAL_MEMORY = StorageSpec(
+    name="dram",
+    sequential_bandwidth=60 * GB,
+    random_iops=5e7,
+    latency=0.0,
+)

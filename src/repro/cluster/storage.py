@@ -1,0 +1,50 @@
+"""A storage device as a simulated resource.
+
+One :class:`StorageDevice` per node models that node's view of the image
+store.  Reads are serialized through the device (one head / one NFS client
+stream) and each read pays per-request latency + IOPS cost + transfer time,
+so a mini-batch of individually-fetched JPEG files is dominated by request
+overheads — the paper's observed bottleneck ("the Torch donkeys were unable
+to load the next samples of the mini-batch before the GPUs finished").
+
+DIMD replaces this device with :data:`~repro.cluster.specs.LOCAL_MEMORY`,
+whose request cost is negligible.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.specs import StorageSpec
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Resource
+
+__all__ = ["StorageDevice"]
+
+
+class StorageDevice:
+    """Serialized access to one node's storage tier."""
+
+    def __init__(self, engine: Engine, spec: StorageSpec, *, streams: int = 1):
+        """``streams`` parallel channels (e.g. NFS mounts); reads beyond
+        that queue."""
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        self.engine = engine
+        self.spec = spec
+        self._channel = Resource(engine, streams, name=f"storage:{spec.name}")
+        self.bytes_read = 0.0
+        self.requests = 0
+
+    def read(self, nbytes: float, n_requests: int = 1):
+        """Generator: perform a (possibly multi-request) read."""
+        if nbytes < 0 or n_requests < 1:
+            raise ValueError("nbytes >= 0 and n_requests >= 1 required")
+        duration = self.spec.read_time(nbytes, n_requests)
+        yield from self._channel.use(duration)
+        self.bytes_read += nbytes
+        self.requests += n_requests
+
+    def read_event(self, nbytes: float, n_requests: int = 1) -> Event:
+        """Process-wrapped :meth:`read`, for callers that want an event."""
+        return self.engine.process(
+            self.read(nbytes, n_requests), name=f"read:{self.spec.name}"
+        )

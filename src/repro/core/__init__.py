@@ -1,0 +1,24 @@
+"""The paper's contribution, assembled: configs, calibration, experiments."""
+
+from repro.core.calibration import (
+    DATASETS,
+    GOOGLENET_PAPER_PAYLOAD,
+    GPU_EFFICIENCY,
+    OPEN_SOURCE_COMPUTE_FACTOR,
+    compute_model_for,
+    shuffle_seconds_for,
+)
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import ClusterExperiment, TrainingRun
+
+__all__ = [
+    "ClusterExperiment",
+    "DATASETS",
+    "ExperimentConfig",
+    "GOOGLENET_PAPER_PAYLOAD",
+    "GPU_EFFICIENCY",
+    "OPEN_SOURCE_COMPUTE_FACTOR",
+    "TrainingRun",
+    "compute_model_for",
+    "shuffle_seconds_for",
+]

@@ -1,0 +1,85 @@
+"""Calibration constants pinning the simulation to the paper's baselines.
+
+Everything behavioural (not datasheet) lives here, with the evidence that
+fixes it:
+
+* **GPU efficiencies** — chosen so the *fully-optimized* Table 1 epoch
+  times are met: ResNet-50 at 8 nodes/224 s implies ~200 img/s/GPU (P100
+  fp32 ResNet-50 throughput of the era); GoogleNetBN at 155 s implies
+  ~320 img/s/GPU.
+* **Open-source compute factors** — Table 1's baseline ResNet-50 runs
+  ~2.2x slower than optimized while GoogleNetBN runs only ~1.6x slower;
+  the model-independent terms (I/O, MPI, DPT) cannot produce that
+  asymmetry, so the stock paths carry a kernel-level slowdown (cuDNN
+  algorithm fallback under DataParallelTable's GPU1 memory pressure:
+  strong for ResNet-50's workspace-hungry large convolutions, mild for
+  GoogleNetBN's small inception branches).  DESIGN.md and EXPERIMENTS.md
+  document this as the one free parameter per model.
+* **GoogleNetBN paper payload** — §5.1 quotes a 93 MB reduction payload;
+  our faithful BN-Inception descriptor carries ~57 MB, so experiments
+  reproducing Figures 5-6 pin the payload to the paper's number.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cluster.gpu import GPUComputeModel
+from repro.cluster.specs import P100
+from repro.data.shuffle import simulate_shuffle
+from repro.data.synthetic import IMAGENET_1K, IMAGENET_22K, DatasetSpec
+from repro.utils.units import MB
+
+__all__ = [
+    "DATASETS",
+    "GOOGLENET_PAPER_PAYLOAD",
+    "GPU_EFFICIENCY",
+    "OPEN_SOURCE_COMPUTE_FACTOR",
+    "compute_model_for",
+    "shuffle_seconds_for",
+]
+
+#: Fraction of P100 peak fp32 each network's cuDNN kernels achieve.
+GPU_EFFICIENCY: dict[str, float] = {
+    "resnet50": 0.565,
+    "googlenet_bn": 0.43,
+    "alexnet": 0.50,
+    "vgg16": 0.55,
+}
+
+#: Stock (open-source) kernel slowdown; see module docstring.
+OPEN_SOURCE_COMPUTE_FACTOR: dict[str, float] = {
+    "resnet50": 2.05,
+    "googlenet_bn": 1.12,
+    "alexnet": 1.0,
+    "vgg16": 1.0,
+}
+
+#: §5.1: "GoogleNetBN with a reduction payload of 93MB".
+GOOGLENET_PAPER_PAYLOAD = int(93 * MB)
+
+DATASETS: dict[str, DatasetSpec] = {
+    "imagenet-1k": IMAGENET_1K,
+    "imagenet-22k": IMAGENET_22K,
+}
+
+
+def compute_model_for(model_name: str) -> GPUComputeModel:
+    """The calibrated P100 compute model for a network."""
+    try:
+        eff = GPU_EFFICIENCY[model_name]
+    except KeyError:
+        raise ValueError(
+            f"no calibrated efficiency for {model_name!r}; "
+            f"known: {sorted(GPU_EFFICIENCY)}"
+        ) from None
+    return GPUComputeModel(gpu=P100, efficiency=eff)
+
+
+@lru_cache(maxsize=64)
+def shuffle_seconds_for(n_nodes: int, dataset_name: str, n_groups: int = 1) -> float:
+    """Cached full-scale shuffle time for the epoch model's amortization."""
+    if n_nodes == 1:
+        return 0.0
+    dataset = DATASETS[dataset_name]
+    return simulate_shuffle(n_nodes, dataset, n_groups=n_groups).elapsed

@@ -1,0 +1,149 @@
+"""The end-to-end experiment runner: config -> epoch times -> 90-epoch run.
+
+This is the layer the benchmarks call.  It assembles the calibrated
+substrates (cluster spec, GPU model, epoch-time pipeline, LR schedule,
+accuracy surrogate) for an :class:`~repro.core.config.ExperimentConfig`
+and produces the quantities the paper reports: per-epoch seconds,
+component breakdowns, time-to-accuracy curves and peak top-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.specs import MINSKY_NODE, ClusterSpec
+from repro.core.calibration import (
+    DATASETS,
+    GOOGLENET_PAPER_PAYLOAD,
+    OPEN_SOURCE_COMPUTE_FACTOR,
+    compute_model_for,
+    shuffle_seconds_for,
+)
+from repro.core.config import ExperimentConfig
+from repro.models.zoo import get_model
+from repro.train.accuracy import ACCURACY_MODELS, AccuracyModel
+from repro.train.pipeline import EpochTimeModel, IterationBreakdown
+from repro.train.schedule import WarmupStepSchedule
+
+__all__ = ["ClusterExperiment", "TrainingRun"]
+
+
+@dataclass(frozen=True)
+class TrainingRun:
+    """Summary of a simulated multi-epoch training run."""
+
+    config: ExperimentConfig
+    epoch_seconds: float
+    total_seconds: float
+    peak_top1: float
+    epochs: np.ndarray          # epoch index per sample point
+    hours: np.ndarray           # wall-clock hours per sample point
+    top1: np.ndarray            # validation top-1 (%) per sample point
+    train_error: np.ndarray     # training objective per sample point
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+
+class ClusterExperiment:
+    """Everything derivable from one :class:`ExperimentConfig`."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.descriptor = get_model(config.model)
+        self.dataset = DATASETS[config.dataset]
+        node = MINSKY_NODE
+        if config.gpus_per_node != node.n_gpus:
+            from dataclasses import replace as _replace
+
+            node = _replace(node, n_gpus=config.gpus_per_node)
+        self.cluster = ClusterSpec(
+            name="minsky-cluster", n_nodes=config.n_nodes, node=node
+        )
+        payload = None
+        if config.use_paper_payload and config.model == "googlenet_bn":
+            payload = GOOGLENET_PAPER_PAYLOAD
+        compute_factor = (
+            OPEN_SOURCE_COMPUTE_FACTOR[config.model]
+            if config.open_source_kernels
+            else 1.0
+        )
+        shuffle_secs = (
+            shuffle_seconds_for(config.n_nodes, config.dataset, config.n_groups)
+            if config.dimd and config.shuffles_per_epoch
+            else 0.0
+        )
+        self.pipeline = EpochTimeModel(
+            model=self.descriptor,
+            cluster=self.cluster,
+            dataset=self.dataset,
+            compute=compute_model_for(config.model),
+            batch_per_gpu=config.batch_per_gpu,
+            allreduce_algorithm=config.allreduce,
+            dimd=config.dimd,
+            dpt_variant=config.dpt_variant,
+            compute_factor=compute_factor,
+            gradient_bytes_override=payload,
+            shuffles_per_epoch=config.shuffles_per_epoch,
+            shuffle_seconds=shuffle_secs,
+        )
+        self.schedule = WarmupStepSchedule(
+            batch_per_gpu=config.batch_per_gpu, n_workers=config.n_workers
+        )
+        self.accuracy: AccuracyModel = ACCURACY_MODELS[config.model]
+
+    # -- headline quantities ---------------------------------------------------
+    def validation_time(self) -> float:
+        """Seconds for one full validation sweep (§5.4's per-epoch pass)."""
+        from repro.train.validation import ValidationTimeModel
+
+        return ValidationTimeModel(
+            model=self.descriptor,
+            compute=self.pipeline.compute,
+            dataset=self.dataset,
+            n_nodes=self.config.n_nodes,
+            gpus_per_node=self.config.gpus_per_node,
+            batch_per_gpu=self.config.batch_per_gpu,
+        ).pass_time()
+
+    def epoch_time(self) -> float:
+        """Simulated seconds per training epoch (+ optional validation)."""
+        t = self.pipeline.epoch_time()
+        if self.config.include_validation:
+            t += self.validation_time()
+        return t
+
+    def breakdown(self) -> IterationBreakdown:
+        return self.pipeline.iteration_breakdown()
+
+    def images_per_second(self) -> float:
+        return self.pipeline.images_per_second()
+
+    def peak_top1(self, seed: int = 0) -> float:
+        return self.accuracy.peak_top1(self.config.global_batch, seed)
+
+    def run(
+        self, n_epochs: int = 90, *, seed: int = 0, points_per_epoch: int = 1
+    ) -> TrainingRun:
+        """Simulate a full training regime; returns curves vs wall-clock."""
+        if n_epochs < 1 or points_per_epoch < 1:
+            raise ValueError("n_epochs and points_per_epoch must be >= 1")
+        epoch_s = self.epoch_time()
+        epochs = np.linspace(0, n_epochs, n_epochs * points_per_epoch + 1)
+        hours = epochs * epoch_s / 3600.0
+        batch = self.config.global_batch
+        top1 = self.accuracy.curve(epochs, batch, seed)
+        err = self.accuracy.error_curve(epochs, batch, seed)
+        return TrainingRun(
+            config=self.config,
+            epoch_seconds=epoch_s,
+            total_seconds=epoch_s * n_epochs,
+            peak_top1=self.accuracy.peak_top1(batch, seed),
+            epochs=epochs,
+            hours=hours,
+            top1=top1,
+            train_error=err,
+        )

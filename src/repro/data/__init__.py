@@ -1,0 +1,53 @@
+"""The DIMD data substrate (§4.1).
+
+The paper resizes images, compresses them, concatenates them into one large
+data file with an index file (offset + length + label per image), loads
+partitions of it into node memory, serves random batches from memory, and
+periodically reshuffles partitions across nodes with ``MPI_AlltoAllv``.
+
+Every piece is implemented for real here — the record files are actual
+bytes on disk (or in memory), the shuffle really moves image payloads
+through the simulated MPI — on synthetic datasets scaled to test size.
+Full-scale ImageNet-1k/22k *byte counts* (for the timing studies) come from
+:data:`IMAGENET_1K` / :data:`IMAGENET_22K`.
+"""
+
+from repro.data.codec import decode_image, encode_image
+from repro.data.records import RecordReader, RecordWriter, write_record_file
+from repro.data.synthetic import (
+    IMAGENET_1K,
+    IMAGENET_22K,
+    DatasetSpec,
+    SyntheticImageDataset,
+    build_synthetic_record_file,
+)
+from repro.data.dimd import DIMDStore, GroupLayout, partitioned_load
+from repro.data.shuffle import ShuffleReport, distributed_shuffle, simulate_shuffle
+from repro.data.filestore import FileBackedLoader
+from repro.data.memory import MemoryPlan, max_replication_groups, plan_memory
+from repro.data.augment import augment_batch, normalize_batch
+
+__all__ = [
+    "DIMDStore",
+    "DatasetSpec",
+    "FileBackedLoader",
+    "GroupLayout",
+    "IMAGENET_1K",
+    "IMAGENET_22K",
+    "MemoryPlan",
+    "RecordReader",
+    "RecordWriter",
+    "ShuffleReport",
+    "SyntheticImageDataset",
+    "augment_batch",
+    "build_synthetic_record_file",
+    "decode_image",
+    "distributed_shuffle",
+    "encode_image",
+    "max_replication_groups",
+    "normalize_batch",
+    "plan_memory",
+    "partitioned_load",
+    "simulate_shuffle",
+    "write_record_file",
+]

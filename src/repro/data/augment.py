@@ -1,0 +1,98 @@
+"""Input augmentation: scale+aspect random crop, flip, normalization.
+
+§5: "we used scale and aspect ratio data augmentation as in [fb.resnet].
+The input image is a 224x224 pixel random crop from a scaled image or its
+horizontal flip ... normalized by the per-color mean and standard
+deviation."  Implemented here for NCHW float batches at any resolution
+(the synthetic datasets are small, so the crop size is a parameter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["augment_batch", "normalize_batch", "random_resized_crop"]
+
+
+def random_resized_crop(
+    image: np.ndarray,
+    out_size: int,
+    rng: np.random.Generator,
+    *,
+    scale_range: tuple[float, float] = (0.25, 1.0),
+    aspect_range: tuple[float, float] = (3 / 4, 4 / 3),
+) -> np.ndarray:
+    """Sample a scale/aspect crop and resize it to ``out_size`` (nearest).
+
+    Follows the GoogleNet/fb.resnet recipe: draw a target area fraction and
+    aspect ratio, crop, then resize.  Falls back to a center crop when the
+    sampled box does not fit.
+    """
+    if image.ndim != 3:
+        raise ValueError(f"image must be (C, H, W), got {image.shape}")
+    if out_size < 1:
+        raise ValueError("out_size must be >= 1")
+    _c, h, w = image.shape
+    for _attempt in range(10):
+        area = h * w * rng.uniform(*scale_range)
+        aspect = rng.uniform(*aspect_range)
+        ch = int(round(np.sqrt(area / aspect)))
+        cw = int(round(np.sqrt(area * aspect)))
+        if 0 < ch <= h and 0 < cw <= w:
+            top = int(rng.integers(0, h - ch + 1))
+            left = int(rng.integers(0, w - cw + 1))
+            crop = image[:, top : top + ch, left : left + cw]
+            return _resize_nearest(crop, out_size)
+    # Fallback: center crop of the short side.
+    side = min(h, w)
+    top = (h - side) // 2
+    left = (w - side) // 2
+    return _resize_nearest(image[:, top : top + side, left : left + side], out_size)
+
+
+def _resize_nearest(image: np.ndarray, out_size: int) -> np.ndarray:
+    _c, h, w = image.shape
+    rows = np.clip((np.arange(out_size) + 0.5) * h / out_size, 0, h - 1).astype(int)
+    cols = np.clip((np.arange(out_size) + 0.5) * w / out_size, 0, w - 1).astype(int)
+    return image[:, rows[:, None], cols[None, :]]
+
+
+def augment_batch(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    out_size: int | None = None,
+    flip_prob: float = 0.5,
+) -> np.ndarray:
+    """Random resized crop + horizontal flip for an NCHW batch."""
+    if images.ndim != 4:
+        raise ValueError(f"batch must be (N, C, H, W), got {images.shape}")
+    size = out_size if out_size is not None else images.shape[-1]
+    out = np.empty(images.shape[:2] + (size, size), dtype=images.dtype)
+    for i in range(images.shape[0]):
+        img = random_resized_crop(images[i], size, rng)
+        if rng.random() < flip_prob:
+            img = img[:, :, ::-1]
+        out[i] = img
+    return out
+
+
+def normalize_batch(
+    images: np.ndarray,
+    mean: np.ndarray | None = None,
+    std: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-channel standardization; stats default to the batch's own."""
+    if images.ndim != 4:
+        raise ValueError(f"batch must be (N, C, H, W), got {images.shape}")
+    if mean is None:
+        mean = images.mean(axis=(0, 2, 3))
+    if std is None:
+        std = images.std(axis=(0, 2, 3))
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if mean.shape != (images.shape[1],) or std.shape != (images.shape[1],):
+        raise ValueError("mean/std must have one value per channel")
+    return (images - mean[None, :, None, None]) / np.maximum(
+        std[None, :, None, None], 1e-8
+    )

@@ -1,0 +1,50 @@
+"""Image codec: the in-memory "JPEG" stand-in.
+
+The paper stores compressed images and uses "an in-memory JPEG
+decompresser ... to decompress images to generate image tensor objects"
+during SGD.  Offline we have no libjpeg, so records hold zlib-compressed
+uint8 tensors with a small shape header.  What matters for the reproduction
+is preserved: records are variable-length compressed blobs that must be
+decoded CPU-side before a batch can reach the GPU.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = ["encode_image", "decode_image"]
+
+_HEADER = struct.Struct("<BHHH")  # ndim tag (always 3), C, H, W
+_MAGIC_LEVEL = 6
+
+
+def encode_image(image: np.ndarray, level: int = _MAGIC_LEVEL) -> bytes:
+    """Compress a (C, H, W) uint8 image into a record blob."""
+    img = np.ascontiguousarray(image)
+    if img.dtype != np.uint8:
+        raise ValueError(f"images must be uint8, got {img.dtype}")
+    if img.ndim != 3:
+        raise ValueError(f"images must be (C, H, W), got shape {img.shape}")
+    c, h, w = img.shape
+    if max(c, h, w) > 0xFFFF:
+        raise ValueError(f"image dimension too large: {img.shape}")
+    return _HEADER.pack(3, c, h, w) + zlib.compress(img.tobytes(), level)
+
+
+def decode_image(blob: bytes) -> np.ndarray:
+    """Decompress a record blob back into a (C, H, W) uint8 image."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("record blob too short for header")
+    ndim, c, h, w = _HEADER.unpack_from(blob)
+    if ndim != 3:
+        raise ValueError(f"unsupported record format tag {ndim}")
+    raw = zlib.decompress(blob[_HEADER.size :])
+    expected = c * h * w
+    if len(raw) != expected:
+        raise ValueError(
+            f"decompressed size {len(raw)} != expected {expected} for ({c},{h},{w})"
+        )
+    return np.frombuffer(raw, dtype=np.uint8).reshape(c, h, w)

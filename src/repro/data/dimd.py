@@ -1,0 +1,150 @@
+"""The Distributed In-Memory Data store (§4.1).
+
+Implements the three DIMD APIs:
+
+i)   **Partitioned load** (:func:`partitioned_load`) — each learner loads a
+     contiguous slice of the record file into memory.  Learners are divided
+     into *groups* that each collectively own the full dataset
+     (:class:`GroupLayout`); one group of all learners is maximal
+     partitioning, ``n_groups == n_learners`` replicates the full set on
+     every node.
+
+ii)  **Random in-memory batch load** (:meth:`DIMDStore.random_batch`) —
+     sample a batch of (decoded image, label) pairs straight from memory,
+     each learner with its own seeded RNG as in Algorithm 1.
+
+iii) **Shuffle across learners** — in :mod:`repro.data.shuffle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.codec import decode_image
+from repro.data.records import RecordReader
+from repro.mpi.datatypes import chunk_ranges
+
+__all__ = ["GroupLayout", "DIMDStore", "partitioned_load"]
+
+
+@dataclass(frozen=True)
+class GroupLayout:
+    """How learners are grouped for partitioning and shuffling."""
+
+    n_learners: int
+    n_groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_learners < 1:
+            raise ValueError("n_learners must be >= 1")
+        if not 1 <= self.n_groups <= self.n_learners:
+            raise ValueError(
+                f"n_groups must be in [1, {self.n_learners}], got {self.n_groups}"
+            )
+        if self.n_learners % self.n_groups != 0:
+            raise ValueError(
+                f"{self.n_learners} learners not divisible into "
+                f"{self.n_groups} groups"
+            )
+
+    @property
+    def learners_per_group(self) -> int:
+        return self.n_learners // self.n_groups
+
+    def group_of(self, learner: int) -> int:
+        if not 0 <= learner < self.n_learners:
+            raise ValueError(f"learner {learner} out of range")
+        return learner // self.learners_per_group
+
+    def position_in_group(self, learner: int) -> int:
+        return learner % self.learners_per_group
+
+    def group_members(self, group: int) -> list[int]:
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range")
+        base = group * self.learners_per_group
+        return list(range(base, base + self.learners_per_group))
+
+
+class DIMDStore:
+    """One learner's in-memory partition of the dataset."""
+
+    def __init__(self, records: list[bytes], labels: np.ndarray, *, learner: int = 0):
+        if len(records) != len(labels):
+            raise ValueError(
+                f"{len(records)} records vs {len(labels)} labels"
+            )
+        self.records = list(records)
+        self.labels = np.asarray(labels, dtype=np.int64).copy()
+        self.learner = learner
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the compressed records (index overhead excluded)."""
+        return sum(len(r) for r in self.records)
+
+    def random_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode a random batch: (images float64 [0,1] NCHW, labels)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not self.records:
+            raise ValueError("store is empty")
+        ids = rng.integers(0, len(self.records), size=batch_size)
+        images = np.stack([decode_image(self.records[i]) for i in ids])
+        return images.astype(np.float64) / 255.0, self.labels[ids]
+
+    def random_batch_ids(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Just the record indices (for callers that decode lazily)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return rng.integers(0, len(self.records), size=batch_size)
+
+    def take(self, ids: np.ndarray) -> tuple[list[bytes], np.ndarray]:
+        """Extract (blobs, labels) for the given indices (no removal)."""
+        blobs = [self.records[int(i)] for i in ids]
+        return blobs, self.labels[np.asarray(ids, dtype=int)]
+
+    def replace_contents(self, records: list[bytes], labels: np.ndarray) -> None:
+        """Swap in a new partition (after a shuffle)."""
+        if len(records) != len(labels):
+            raise ValueError("records/labels length mismatch")
+        self.records = list(records)
+        self.labels = np.asarray(labels, dtype=np.int64).copy()
+
+    def local_permute(self, rng: np.random.Generator) -> None:
+        """In-node random permutation (the tail of Algorithm 2)."""
+        perm = rng.permutation(len(self.records))
+        self.records = [self.records[i] for i in perm]
+        self.labels = self.labels[perm]
+
+    def content_multiset(self) -> list[tuple[bytes, int]]:
+        """Sorted (blob, label) pairs — for conservation checks in tests."""
+        return sorted(zip(self.records, (int(l) for l in self.labels)))
+
+
+def partitioned_load(
+    reader: RecordReader,
+    learner: int,
+    layout: GroupLayout,
+) -> DIMDStore:
+    """DIMD API (i): load this learner's slice of the record file.
+
+    Within each group the dataset is split contiguously by group position;
+    every group holds a complete copy.
+    """
+    n = len(reader)
+    per_group = layout.learners_per_group
+    pos = layout.position_in_group(learner)
+    lo, hi = chunk_ranges(n, per_group)[pos]
+    ids = np.arange(lo, hi)
+    blobs, labels = reader.read_many(ids)
+    return DIMDStore(blobs, labels, learner=learner)

@@ -1,0 +1,105 @@
+"""DIMD memory-capacity planning.
+
+§4.1: "If there is sufficient memory on each node, then the entire dataset
+can be stored in its memory, otherwise the data needs to be partitioned".
+This module answers the operational questions behind that sentence: does a
+given (dataset, cluster, group layout) fit, with how much headroom, and
+what is the most-replicated layout (fewest learners per copy -> cheapest
+shuffles, most local randomness) a cluster can afford?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.specs import NodeSpec
+from repro.data.dimd import GroupLayout
+from repro.data.synthetic import DatasetSpec
+
+__all__ = ["MemoryPlan", "plan_memory", "max_replication_groups"]
+
+#: Fraction of host RAM the DIMD store may use; the rest is for the OS,
+#: framework, decode buffers and pinned staging areas.
+DEFAULT_MEMORY_FRACTION = 0.80
+
+#: Per-node working memory besides the store: decode scratch, batch
+#: staging, model/optimizer host copies.
+WORKING_SET_BYTES = 8e9
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Feasibility verdict for one layout."""
+
+    dataset: str
+    n_learners: int
+    n_groups: int
+    partition_bytes: float
+    budget_bytes: float
+    fits: bool
+
+    @property
+    def headroom_bytes(self) -> float:
+        return self.budget_bytes - self.partition_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.partition_bytes / self.budget_bytes if self.budget_bytes else 1.0
+
+
+def plan_memory(
+    dataset: DatasetSpec,
+    node: NodeSpec,
+    layout: GroupLayout,
+    *,
+    memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+    working_set: float = WORKING_SET_BYTES,
+) -> MemoryPlan:
+    """Check whether ``layout`` fits the node's RAM budget."""
+    if not 0 < memory_fraction <= 1:
+        raise ValueError("memory_fraction must be in (0, 1]")
+    if working_set < 0:
+        raise ValueError("working_set must be >= 0")
+    partition = dataset.partition_bytes(layout.n_learners, layout.n_groups)
+    budget = node.host_memory_bytes * memory_fraction - working_set
+    return MemoryPlan(
+        dataset=dataset.name,
+        n_learners=layout.n_learners,
+        n_groups=layout.n_groups,
+        partition_bytes=partition,
+        budget_bytes=max(0.0, budget),
+        fits=partition <= budget,
+    )
+
+
+def max_replication_groups(
+    dataset: DatasetSpec,
+    node: NodeSpec,
+    n_learners: int,
+    *,
+    memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+    working_set: float = WORKING_SET_BYTES,
+) -> int:
+    """The largest feasible group count (most replication) for a cluster.
+
+    Returns ``g``: learners are split into ``g`` groups, each holding one
+    full dataset copy.  ``g == n_learners`` means full replication on every
+    node; ``g == 1`` means one copy across the whole machine.  Raises if
+    even the single-copy layout does not fit.
+    """
+    for g in range(n_learners, 0, -1):
+        if n_learners % g != 0:
+            continue
+        plan = plan_memory(
+            dataset,
+            node,
+            GroupLayout(n_learners, g),
+            memory_fraction=memory_fraction,
+            working_set=working_set,
+        )
+        if plan.fits:
+            return g
+    raise ValueError(
+        f"{dataset.name} does not fit across {n_learners} x "
+        f"{node.host_memory_bytes / 1e9:.0f} GB nodes even fully partitioned"
+    )

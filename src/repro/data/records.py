@@ -1,0 +1,140 @@
+"""The DIMD record-file format: one big data file + an index file.
+
+Layout (§4.1): "the resized images are compressed and concatenated into two
+large files for the training and validation data sets ... we also maintain
+an index file which contains the start location of each image along with
+its label id".
+
+* ``<name>.data`` — the record blobs, back to back.
+* ``<name>.idx``  — int64 array of shape (n, 3): (offset, length, label).
+
+Readers memory-map nothing fancy — they read the index eagerly and fetch
+record byte ranges on demand, which is exactly the random-access pattern
+the partitioned loader needs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["RecordWriter", "RecordReader", "write_record_file"]
+
+_IDX_DTYPE = np.int64
+
+
+class RecordWriter:
+    """Append records; call :meth:`close` (or use as context manager)."""
+
+    def __init__(self, base_path: str | os.PathLike):
+        self.base = Path(base_path)
+        self.base.parent.mkdir(parents=True, exist_ok=True)
+        self._data = open(self.base.with_suffix(".data"), "wb")
+        self._entries: list[tuple[int, int, int]] = []
+        self._offset = 0
+        self._closed = False
+
+    def append(self, blob: bytes, label: int) -> int:
+        """Write one record; returns its index."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        if label < 0:
+            raise ValueError(f"label must be >= 0, got {label}")
+        self._data.write(blob)
+        self._entries.append((self._offset, len(blob), label))
+        self._offset += len(blob)
+        return len(self._entries) - 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._data.close()
+        index = np.asarray(self._entries, dtype=_IDX_DTYPE).reshape(-1, 3)
+        np.save(self.base.with_suffix(".idx"), index)
+        self._closed = True
+
+    def __enter__(self) -> "RecordWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def n_records(self) -> int:
+        return len(self._entries)
+
+    @property
+    def data_bytes(self) -> int:
+        return self._offset
+
+
+class RecordReader:
+    """Random access to a record file pair."""
+
+    def __init__(self, base_path: str | os.PathLike):
+        self.base = Path(base_path)
+        idx_path = self.base.with_suffix(".idx.npy")
+        if not idx_path.exists():
+            idx_path = self.base.with_suffix(".idx")
+        self.index = np.load(idx_path)
+        if self.index.ndim != 2 or self.index.shape[1] != 3:
+            raise ValueError(f"malformed index file {idx_path}")
+        self._data = open(self.base.with_suffix(".data"), "rb")
+
+    def __len__(self) -> int:
+        return int(self.index.shape[0])
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.index[:, 2]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.index[:, 1]
+
+    @property
+    def data_bytes(self) -> int:
+        return int(self.index[:, 1].sum())
+
+    def read(self, i: int) -> tuple[bytes, int]:
+        """Fetch record ``i``: (blob, label)."""
+        if not 0 <= i < len(self):
+            raise IndexError(f"record {i} out of range [0, {len(self)})")
+        offset, length, label = (int(v) for v in self.index[i])
+        self._data.seek(offset)
+        blob = self._data.read(length)
+        if len(blob) != length:
+            raise IOError(f"short read for record {i}")
+        return blob, label
+
+    def read_many(self, ids: np.ndarray) -> tuple[list[bytes], np.ndarray]:
+        """Fetch several records; returns (blobs, labels)."""
+        blobs = []
+        labels = np.empty(len(ids), dtype=np.int64)
+        for j, i in enumerate(ids):
+            blob, label = self.read(int(i))
+            blobs.append(blob)
+            labels[j] = label
+        return blobs, labels
+
+    def close(self) -> None:
+        self._data.close()
+
+    def __enter__(self) -> "RecordReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_record_file(
+    base_path: str | os.PathLike,
+    records: list[tuple[bytes, int]],
+) -> Path:
+    """Write a complete record file pair in one call; returns the base path."""
+    with RecordWriter(base_path) as w:
+        for blob, label in records:
+            w.append(blob, label)
+    return Path(base_path)

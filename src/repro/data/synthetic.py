@@ -1,0 +1,173 @@
+"""Synthetic image datasets standing in for ImageNet-1k / ImageNet-22k.
+
+Two roles:
+
+* **Functional** — :class:`SyntheticImageDataset` generates small labelled
+  images with class-dependent structure (each class has a characteristic
+  low-frequency pattern plus noise), so real training runs can actually
+  learn and the DIMD machinery moves real compressed bytes.
+
+* **Scale modelling** — :class:`DatasetSpec` carries the full-scale byte
+  counts the paper quotes (§4.1/§5.2: Imagenet-1k training set ≈ 70 GB as a
+  single concatenated file, Imagenet-22k ≈ 220 GB, 1.28 M / 7 M images) for
+  the shuffle- and epoch-timing experiments, where only sizes matter.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.codec import encode_image
+from repro.data.records import write_record_file
+from repro.utils.rng import rng_for
+from repro.utils.units import GB
+
+__all__ = [
+    "DatasetSpec",
+    "IMAGENET_1K",
+    "IMAGENET_22K",
+    "SyntheticImageDataset",
+    "build_synthetic_record_file",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Full-scale dataset metadata used by the timing models."""
+
+    name: str
+    n_images: int
+    n_classes: int
+    record_file_bytes: float   # concatenated training file size (§5.2)
+    val_images: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.n_images < 1 or self.n_classes < 1 or self.record_file_bytes <= 0:
+            raise ValueError(f"DatasetSpec {self.name}: counts must be positive")
+
+    @property
+    def mean_image_bytes(self) -> float:
+        return self.record_file_bytes / self.n_images
+
+    def partition_bytes(self, n_learners: int, n_groups: int = 1) -> float:
+        """Bytes held by one learner when each group owns the full set.
+
+        With ``n_groups == 1`` all learners together hold one copy (maximal
+        partitioning); with ``n_groups == n_learners`` every learner holds
+        the full dataset.
+        """
+        if n_learners < 1 or n_groups < 1 or n_groups > n_learners:
+            raise ValueError("need 1 <= n_groups <= n_learners")
+        if n_learners % n_groups != 0:
+            raise ValueError(
+                f"{n_learners} learners not divisible into {n_groups} groups"
+            )
+        learners_per_group = n_learners // n_groups
+        return self.record_file_bytes / learners_per_group
+
+
+#: §5.2: "the training data set along with the map indices of Imagenet-1k
+#: form a single file of size 70 GB".
+IMAGENET_1K = DatasetSpec(
+    name="imagenet-1k",
+    n_images=1_281_167,
+    n_classes=1000,
+    record_file_bytes=70 * GB,
+)
+
+#: §5.2: "for Imagenet-22k they form a single file of size 220 GB";
+#: 7 M images, 22 000 classes.
+IMAGENET_22K = DatasetSpec(
+    name="imagenet-22k",
+    n_images=7_000_000,
+    n_classes=22_000,
+    record_file_bytes=220 * GB,
+)
+
+
+class SyntheticImageDataset:
+    """Deterministic labelled images with learnable class structure."""
+
+    def __init__(
+        self,
+        n_images: int,
+        n_classes: int,
+        *,
+        channels: int = 3,
+        height: int = 16,
+        width: int = 16,
+        seed: int = 0,
+        noise: float = 0.25,
+    ):
+        if n_images < 1 or n_classes < 1:
+            raise ValueError("n_images and n_classes must be >= 1")
+        if n_classes > n_images:
+            raise ValueError("need at least one image per class")
+        self.n_images = n_images
+        self.n_classes = n_classes
+        self.channels = channels
+        self.height = height
+        self.width = width
+        self.seed = seed
+        self.noise = noise
+        proto_rng = rng_for(seed, "prototypes")
+        # Smooth class prototypes: random low-frequency sinusoid mixtures.
+        yy, xx = np.mgrid[0:height, 0:width]
+        self._prototypes = np.empty((n_classes, channels, height, width))
+        freq = proto_rng.uniform(0.5, 2.5, size=(n_classes, channels, 2))
+        phase = proto_rng.uniform(0, 2 * np.pi, size=(n_classes, channels, 2))
+        for k in range(n_classes):
+            for c in range(channels):
+                fy, fx = freq[k, c]
+                py, px = phase[k, c]
+                wave = np.sin(2 * np.pi * fy * yy / height + py) + np.cos(
+                    2 * np.pi * fx * xx / width + px
+                )
+                self._prototypes[k, c] = wave
+        labels_rng = rng_for(seed, "labels")
+        self.labels = labels_rng.integers(0, n_classes, size=n_images)
+        # Guarantee every class appears at least once.
+        self.labels[:n_classes] = np.arange(n_classes)
+
+    def image(self, i: int) -> np.ndarray:
+        """The i-th image as (C, H, W) uint8."""
+        if not 0 <= i < self.n_images:
+            raise IndexError(f"image {i} out of range")
+        rng = rng_for(self.seed, "image", i)
+        label = int(self.labels[i])
+        base = self._prototypes[label]
+        img = base + rng.standard_normal(base.shape) * self.noise * 2.0
+        img = (img - img.min()) / max(float(np.ptp(img)), 1e-9)
+        return (img * 255).astype(np.uint8)
+
+    def batch(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(images, labels) for the given indices, images float in [0,1]."""
+        imgs = np.stack([self.image(int(i)) for i in ids]).astype(np.float64) / 255.0
+        return imgs, self.labels[np.asarray(ids, dtype=int)]
+
+    def records(self) -> list[tuple[bytes, int]]:
+        """All images encoded as record blobs."""
+        return [
+            (encode_image(self.image(i)), int(self.labels[i]))
+            for i in range(self.n_images)
+        ]
+
+
+def build_synthetic_record_file(
+    base_path: str | os.PathLike,
+    n_images: int,
+    n_classes: int,
+    *,
+    seed: int = 0,
+    **dataset_kwargs,
+):
+    """Generate a synthetic dataset and write it in DIMD record format.
+
+    Returns ``(dataset, base_path)``.
+    """
+    ds = SyntheticImageDataset(n_images, n_classes, seed=seed, **dataset_kwargs)
+    write_record_file(base_path, ds.records())
+    return ds, base_path

@@ -1,0 +1,87 @@
+"""Per-step timing models of the two DataParallelTable designs.
+
+The epoch-time experiments need the *overhead* each design adds on top of
+the raw GPU forward+backward: input staging, criterion placement, and the
+serialized Torch-thread ending callbacks.  Constants are calibrated so the
+optimized design saves 15-18 % of the epoch at the paper's configurations
+(Figure 12); see ``repro.core.calibration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.interconnect import IntraNodeFabric
+from repro.cluster.specs import NodeSpec
+
+__all__ = ["DPTTimingModel", "DPT_VARIANTS"]
+
+#: Main-thread cost of one serialized ending callback (Lua/Torch thread
+#: hand-off, deserialization, GC pressure).
+CALLBACK_COST = 3.2e-3
+
+#: GPU-side loss-layer throughput (softmax + NLL over logits), bytes/s.
+CRITERION_BANDWIDTH = 6e9
+
+
+@dataclass(frozen=True)
+class DPTTimingModel:
+    """Overhead of one training step on one node for one DPT design."""
+
+    node: NodeSpec
+    variant: str  # "baseline" | "optimized"
+    callback_cost: float = CALLBACK_COST
+    criterion_bandwidth: float = CRITERION_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("baseline", "optimized"):
+            raise ValueError(f"unknown DPT variant {self.variant!r}")
+        if self.callback_cost < 0 or self.criterion_bandwidth <= 0:
+            raise ValueError("invalid timing constants")
+
+    @property
+    def sync_points(self) -> int:
+        """Serialized callback rounds per step (matches the functional
+        tables' ``sync_points_per_step``)."""
+        return 4 if self.variant == "baseline" else 1
+
+    def input_time(self, batch_bytes: float) -> float:
+        """Move one node-batch of input tensors to the GPUs."""
+        fabric = IntraNodeFabric(self.node)
+        if self.variant == "baseline":
+            return fabric.scatter_via_first_gpu(batch_bytes)
+        return fabric.scatter_direct(batch_bytes)
+
+    def criterion_time(self, output_bytes: float) -> float:
+        """Loss evaluation: serial over the node batch vs parallel slices."""
+        if self.variant == "baseline":
+            # Gather outputs to GPU1 + criterion over the full node batch.
+            gather = output_bytes / self.node.nvlink_bandwidth
+            return gather + output_bytes / self.criterion_bandwidth
+        return output_bytes / (self.criterion_bandwidth * self.node.n_gpus)
+
+    def serialization_time(self) -> float:
+        """Main-thread ending-callback cost per step."""
+        return self.sync_points * self.node.n_gpus * self.callback_cost
+
+    def step_overhead(self, batch_bytes: float, output_bytes: float) -> float:
+        """Total per-step overhead beyond raw GPU compute and gradient
+        reduction (which are design-independent)."""
+        if batch_bytes < 0 or output_bytes < 0:
+            raise ValueError("byte counts must be >= 0")
+        return (
+            self.input_time(batch_bytes)
+            + self.criterion_time(output_bytes)
+            + self.serialization_time()
+        )
+
+    def breakdown(self, batch_bytes: float, output_bytes: float) -> dict[str, float]:
+        """Per-component overhead (for reports and ablations)."""
+        return {
+            "input": self.input_time(batch_bytes),
+            "criterion": self.criterion_time(output_bytes),
+            "serialization": self.serialization_time(),
+        }
+
+
+DPT_VARIANTS = ("baseline", "optimized")

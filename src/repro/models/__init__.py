@@ -1,0 +1,31 @@
+"""Model zoo: performance descriptors + an executable NumPy NN substrate."""
+
+from repro.models.classic import build_alexnet, build_vgg16
+from repro.models.descriptors import (
+    LayerSpec,
+    ModelDescriptor,
+    batch_norm,
+    conv2d,
+    dense,
+    pool,
+)
+from repro.models.googlenet import build_googlenet_bn
+from repro.models.resnet import RESNET50_PARAMS, build_resnet, build_resnet50
+from repro.models.zoo import MODELS, get_model
+
+__all__ = [
+    "LayerSpec",
+    "MODELS",
+    "ModelDescriptor",
+    "RESNET50_PARAMS",
+    "batch_norm",
+    "build_alexnet",
+    "build_googlenet_bn",
+    "build_resnet",
+    "build_resnet50",
+    "build_vgg16",
+    "conv2d",
+    "dense",
+    "get_model",
+    "pool",
+]

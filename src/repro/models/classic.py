@@ -1,0 +1,55 @@
+"""AlexNet and VGG-16 descriptors.
+
+AlexNet is needed for the Table 2 comparison row (You et al. train AlexNet
+on 512 KNL nodes); VGG-16 is included as the communication-heavy extreme
+(~528 MB of gradients) for the batch-size/comm-ratio ablations.
+"""
+
+from __future__ import annotations
+
+from repro.models.descriptors import ModelDescriptor, conv2d, dense, pool
+
+__all__ = ["build_alexnet", "build_vgg16"]
+
+
+def build_alexnet(n_classes: int = 1000) -> ModelDescriptor:
+    """AlexNet (single-tower variant, Krizhevsky 2014 'one weird trick')."""
+    m = ModelDescriptor(name="alexnet", input_shape=(3, 227, 227))
+    m.add(conv2d("conv1", 3, 64, 11, 55, 55, bias=True))
+    m.add(pool("pool1", 64, 27, 27, 3))
+    m.add(conv2d("conv2", 64, 192, 5, 27, 27, bias=True))
+    m.add(pool("pool2", 192, 13, 13, 3))
+    m.add(conv2d("conv3", 192, 384, 3, 13, 13, bias=True))
+    m.add(conv2d("conv4", 384, 256, 3, 13, 13, bias=True))
+    m.add(conv2d("conv5", 256, 256, 3, 13, 13, bias=True))
+    m.add(pool("pool5", 256, 6, 6, 3))
+    m.add(dense("fc6", 256 * 6 * 6, 4096))
+    m.add(dense("fc7", 4096, 4096))
+    m.add(dense("fc8", 4096, n_classes))
+    return m
+
+
+_VGG16_CFG = [
+    (64, 2, 224),
+    (128, 2, 112),
+    (256, 3, 56),
+    (512, 3, 28),
+    (512, 3, 14),
+]
+
+
+def build_vgg16(n_classes: int = 1000) -> ModelDescriptor:
+    """VGG-16 (Simonyan & Zisserman configuration D)."""
+    m = ModelDescriptor(name="vgg16", input_shape=(3, 224, 224))
+    cin = 3
+    for stage, (width, n_convs, size) in enumerate(_VGG16_CFG, start=1):
+        for i in range(n_convs):
+            m.add(
+                conv2d(f"conv{stage}_{i + 1}", cin, width, 3, size, size, bias=True)
+            )
+            cin = width
+        m.add(pool(f"pool{stage}", width, size // 2, size // 2, 2))
+    m.add(dense("fc6", 512 * 7 * 7, 4096))
+    m.add(dense("fc7", 4096, 4096))
+    m.add(dense("fc8", 4096, n_classes))
+    return m

@@ -1,0 +1,123 @@
+"""Network descriptors: per-layer parameter and FLOP accounting.
+
+A :class:`ModelDescriptor` is the static view of a CNN the performance
+model needs: how many parameters (-> gradient payload bytes for the
+allreduce), how many forward FLOPs per image (-> GPU step time), and how
+many layers (-> kernel-launch overhead).  The builders in
+:mod:`repro.models.resnet` / :mod:`repro.models.googlenet` construct these
+layer-by-layer from the published architectures, so parameter totals can be
+checked against the literature (ResNet-50: 25.56 M).
+
+FLOP convention: one multiply-accumulate = 2 FLOPs, forward pass only
+(backward is scaled in :mod:`repro.cluster.gpu`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LayerSpec", "ModelDescriptor", "conv2d", "dense", "batch_norm", "pool"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer's static cost."""
+
+    name: str
+    kind: str                 # "conv" | "fc" | "bn" | "pool" | "act" | ...
+    params: int               # trainable parameter count
+    fwd_flops: float          # forward FLOPs per image
+    out_shape: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.params < 0 or self.fwd_flops < 0:
+            raise ValueError(f"layer {self.name}: negative cost")
+
+
+@dataclass
+class ModelDescriptor:
+    """A named stack of layers with aggregate cost properties."""
+
+    name: str
+    input_shape: tuple[int, int, int]  # (C, H, W)
+    layers: list[LayerSpec] = field(default_factory=list)
+
+    def add(self, layer: LayerSpec) -> "ModelDescriptor":
+        self.layers.append(layer)
+        return self
+
+    @property
+    def n_params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def gradient_bytes(self) -> int:
+        """fp32 gradient payload for the inter-node allreduce."""
+        return 4 * self.n_params
+
+    @property
+    def forward_flops(self) -> float:
+        """Forward FLOPs per image."""
+        return sum(l.fwd_flops for l in self.layers)
+
+    @property
+    def n_layers(self) -> int:
+        """Layers with compute kernels (excludes activations folded in)."""
+        return sum(1 for l in self.layers if l.kind in ("conv", "fc", "bn", "pool"))
+
+    @property
+    def n_weight_layers(self) -> int:
+        return sum(1 for l in self.layers if l.params > 0)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.n_params / 1e6:.2f}M params "
+            f"({self.gradient_bytes / 1e6:.1f} MB grads), "
+            f"{self.forward_flops / 1e9:.2f} GFLOPs/img fwd, "
+            f"{self.n_layers} layers"
+        )
+
+
+def conv2d(
+    name: str,
+    cin: int,
+    cout: int,
+    kernel: int,
+    h_out: int,
+    w_out: int,
+    *,
+    groups: int = 1,
+    bias: bool = False,
+) -> LayerSpec:
+    """A 2-D convolution producing a (cout, h_out, w_out) map."""
+    if min(cin, cout, kernel, h_out, w_out, groups) < 1:
+        raise ValueError(f"conv {name}: dimensions must be >= 1")
+    if cin % groups or cout % groups:
+        raise ValueError(f"conv {name}: groups must divide channels")
+    weights = kernel * kernel * (cin // groups) * cout
+    params = weights + (cout if bias else 0)
+    flops = 2.0 * weights * h_out * w_out
+    return LayerSpec(name, "conv", params, flops, (cout, h_out, w_out))
+
+
+def dense(name: str, n_in: int, n_out: int, *, bias: bool = True) -> LayerSpec:
+    """A fully-connected layer."""
+    if min(n_in, n_out) < 1:
+        raise ValueError(f"fc {name}: dimensions must be >= 1")
+    params = n_in * n_out + (n_out if bias else 0)
+    return LayerSpec(name, "fc", params, 2.0 * n_in * n_out, (n_out,))
+
+
+def batch_norm(name: str, channels: int, h: int, w: int) -> LayerSpec:
+    """Batch normalization over a (channels, h, w) map (scale + shift)."""
+    if min(channels, h, w) < 1:
+        raise ValueError(f"bn {name}: dimensions must be >= 1")
+    return LayerSpec(name, "bn", 2 * channels, 4.0 * channels * h * w, (channels, h, w))
+
+
+def pool(name: str, channels: int, h_out: int, w_out: int, kernel: int) -> LayerSpec:
+    """Max/avg pooling (no parameters, comparison/add FLOPs only)."""
+    if min(channels, h_out, w_out, kernel) < 1:
+        raise ValueError(f"pool {name}: dimensions must be >= 1")
+    flops = float(channels * h_out * w_out * kernel * kernel)
+    return LayerSpec(name, "pool", 0, flops, (channels, h_out, w_out))

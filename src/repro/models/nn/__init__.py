@@ -1,0 +1,51 @@
+"""A real (NumPy) neural network for functional training experiments.
+
+This is the executable counterpart of the performance descriptors: small
+CNNs/MLPs with exact forward/backward passes, used to *prove* properties of
+the distributed algorithm — e.g. that Algorithm 1 (gradient allreduce +
+identical SGD updates) is numerically equivalent to serial large-batch SGD —
+and to run end-to-end training demos on synthetic data.
+
+All layers are vectorized (im2col convolutions); no autograd framework is
+used.
+"""
+
+from repro.models.nn.blocks import (
+    AvgPool2d,
+    Dropout,
+    GlobalAvgPool,
+    Residual,
+    Sequential,
+    build_tiny_resnet,
+)
+from repro.models.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2d,
+    ReLU,
+)
+from repro.models.nn.losses import softmax_cross_entropy
+from repro.models.nn.network import Network
+from repro.models.nn.optim import SGD
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm",
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "GlobalAvgPool",
+    "Flatten",
+    "Layer",
+    "MaxPool2d",
+    "Network",
+    "ReLU",
+    "Residual",
+    "Sequential",
+    "SGD",
+    "build_tiny_resnet",
+    "softmax_cross_entropy",
+]

@@ -1,0 +1,217 @@
+"""Composite layers: residual blocks, average pooling, dropout.
+
+ResNet-50 is the paper's headline workload; these blocks let the
+*functional* NumPy substrate train genuinely residual networks (skip
+connections, global pooling) rather than plain stacks, so the
+distributed-equals-serial guarantees are exercised on the same
+architecture family the paper runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.nn.layers import Conv2d, Layer, ReLU
+
+__all__ = ["AvgPool2d", "GlobalAvgPool", "Dropout", "Residual", "Sequential"]
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ValueError(f"input {h}x{w} not divisible by pool kernel {k}")
+        self._shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        n, c, h, w = self._shape
+        k = self.kernel
+        g = grad_out[:, :, :, None, :, None] / (k * k)
+        return np.broadcast_to(
+            g, (n, c, h // k, k, w // k, k)
+        ).reshape(n, c, h, w)
+
+
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got {x.shape}")
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        n, c, h, w = self._shape
+        return np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), (n, c, h, w)
+        ).copy()
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference.
+
+    The mask RNG is owned by the layer and seeded at construction, so runs
+    are reproducible; note that dropout makes *distributed* training differ
+    from serial unless every replica processes the same slice, which is why
+    the equivalence tests use dropout-free networks (true of real
+    frameworks as well).
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0 <= p < 1:
+            raise ValueError(f"drop probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if not train or self.p == 0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Sequential(Layer):
+    """A sub-stack usable as a single layer (for residual branches)."""
+
+    def __init__(self, layers: list[Layer]):
+        super().__init__()
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = layers
+        self.params = [p for l in layers for p in l.params]
+        self.grads = [g for l in layers for g in l.grads]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+
+class Residual(Layer):
+    """``y = relu(branch(x) + shortcut(x))`` — the ResNet building block.
+
+    ``shortcut`` defaults to identity; pass a 1x1 conv stack when the
+    branch changes shape (the descriptor family's "downsample").
+    """
+
+    def __init__(self, branch: Layer, shortcut: Layer | None = None):
+        super().__init__()
+        self.branch = branch
+        self.shortcut = shortcut
+        self._relu = ReLU()
+        self.params = list(branch.params) + (
+            list(shortcut.params) if shortcut else []
+        )
+        self.grads = list(branch.grads) + (
+            list(shortcut.grads) if shortcut else []
+        )
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        main = self.branch.forward(x, train=train)
+        skip = self.shortcut.forward(x, train=train) if self.shortcut else x
+        if main.shape != skip.shape:
+            raise ValueError(
+                f"branch output {main.shape} does not match shortcut {skip.shape}"
+            )
+        return self._relu.forward(main + skip, train=train)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self._relu.backward(grad_out)
+        g_main = self.branch.backward(g)
+        g_skip = self.shortcut.backward(g) if self.shortcut else g
+        return g_main + g_skip
+
+    def zero_grads(self) -> None:
+        self.branch.zero_grads()
+        if self.shortcut:
+            self.shortcut.zero_grads()
+
+
+def build_tiny_resnet(
+    rng: np.random.Generator,
+    *,
+    n_classes: int = 4,
+    channels: int = 8,
+    in_channels: int = 3,
+    input_size: int = 8,
+):
+    """A small but genuinely residual CNN for functional experiments.
+
+    stem conv -> residual block -> strided residual block (1x1 shortcut)
+    -> global average pool -> classifier, mirroring the descriptor
+    family's structure at test scale.
+    """
+    from repro.models.nn.layers import Dense
+    from repro.models.nn.network import Network
+
+    def conv_relu(cin, cout, stride=1):
+        return Sequential(
+            [Conv2d(cin, cout, 3, rng, stride=stride, pad=1), ReLU()]
+        )
+
+    block1 = Residual(
+        Sequential(
+            [
+                Conv2d(channels, channels, 3, rng, pad=1),
+                ReLU(),
+                Conv2d(channels, channels, 3, rng, pad=1),
+            ]
+        )
+    )
+    block2 = Residual(
+        Sequential(
+            [
+                Conv2d(channels, 2 * channels, 3, rng, stride=2, pad=1),
+                ReLU(),
+                Conv2d(2 * channels, 2 * channels, 3, rng, pad=1),
+            ]
+        ),
+        shortcut=Conv2d(channels, 2 * channels, 1, rng, stride=2, pad=0),
+    )
+    return Network(
+        [
+            conv_relu(in_channels, channels),
+            block1,
+            block2,
+            GlobalAvgPool(),
+            Dense(2 * channels, n_classes, rng),
+        ]
+    )

@@ -1,0 +1,277 @@
+"""Neural-net layers with exact forward/backward passes (NumPy).
+
+Conventions: activations are float64 (so distributed-equals-serial tests
+can assert tight tolerances), images are NCHW, parameters are exposed as
+``layer.params`` / ``layer.grads`` aligned lists of arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer", "Dense", "Conv2d", "ReLU", "MaxPool2d", "Flatten", "BatchNorm"]
+
+
+class Layer:
+    """Base class; stateless layers keep ``params == []``."""
+
+    def __init__(self):
+        self.params: list[np.ndarray] = []
+        self.grads: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for g in self.grads:
+            g[...] = 0.0
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x W + b`` with He-uniform init."""
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator):
+        super().__init__()
+        if n_in < 1 or n_out < 1:
+            raise ValueError("Dense dimensions must be >= 1")
+        bound = np.sqrt(6.0 / n_in)
+        self.W = rng.uniform(-bound, bound, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.W.shape[0]:
+            raise ValueError(
+                f"Dense expected (*, {self.W.shape[0]}), got {x.shape}"
+            )
+        self._x = x if train else None
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        self.grads[0] += self._x.T @ grad_out
+        self.grads[1] += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """(N, C, H, W) -> (N, out_h, out_w, C*kh*kw) patch matrix."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    # -> (N, out_h, out_w, C, kh, kw) -> flatten patch dims
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
+    return cols, out_h, out_w
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col, stride/pad supported, He init."""
+
+    def __init__(
+        self,
+        cin: int,
+        cout: int,
+        kernel: int,
+        rng: np.random.Generator,
+        *,
+        stride: int = 1,
+        pad: int | None = None,
+    ):
+        super().__init__()
+        if min(cin, cout, kernel, stride) < 1:
+            raise ValueError("Conv2d dimensions must be >= 1")
+        self.cin, self.cout, self.kernel = cin, cout, kernel
+        self.stride = stride
+        self.pad = kernel // 2 if pad is None else pad
+        fan_in = cin * kernel * kernel
+        std = np.sqrt(2.0 / fan_in)
+        self.W = rng.normal(0.0, std, size=(cout, cin, kernel, kernel))
+        self.b = np.zeros(cout)
+        self.params = [self.W, self.b]
+        self.grads = [np.zeros_like(self.W), np.zeros_like(self.b)]
+        self._cache = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.cin:
+            raise ValueError(f"Conv2d expected (N, {self.cin}, H, W), got {x.shape}")
+        cols, out_h, out_w = _im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        w_mat = self.W.reshape(self.cout, -1)  # (cout, cin*k*k)
+        out = cols @ w_mat.T + self.b  # (N, oh, ow, cout)
+        self._cache = (x.shape, cols) if train else None
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        x_shape, cols = self._cache
+        n, _c, h, w = x_shape
+        g = grad_out.transpose(0, 2, 3, 1)  # (N, oh, ow, cout)
+        oh, ow = g.shape[1], g.shape[2]
+        g_flat = g.reshape(-1, self.cout)
+        cols_flat = cols.reshape(-1, cols.shape[-1])
+        self.grads[0] += (g_flat.T @ cols_flat).reshape(self.W.shape)
+        self.grads[1] += g_flat.sum(axis=0)
+        # Gradient to input: scatter patch gradients back (col2im).
+        w_mat = self.W.reshape(self.cout, -1)
+        dcols = (g_flat @ w_mat).reshape(n, oh, ow, self.cin, self.kernel, self.kernel)
+        dx = np.zeros((n, self.cin, h + 2 * self.pad, w + 2 * self.pad))
+        for ki in range(self.kernel):
+            for kj in range(self.kernel):
+                dx[
+                    :,
+                    :,
+                    ki : ki + oh * self.stride : self.stride,
+                    kj : kj + ow * self.stride : self.stride,
+                ] += dcols[:, :, :, :, ki, kj].transpose(0, 3, 1, 2)
+        if self.pad:
+            dx = dx[:, :, self.pad : -self.pad or None, self.pad : -self.pad or None]
+        return dx
+
+
+class ReLU(Layer):
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if train else None
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        return grad_out * self._mask
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ValueError(f"input {h}x{w} not divisible by pool kernel {k}")
+        # (n, c, h//k, w//k, k, k): one trailing (k, k) block per output cell.
+        blocks = x.reshape(n, c, h // k, k, w // k, k).transpose(0, 1, 2, 4, 3, 5)
+        flat = blocks.reshape(n, c, h // k, w // k, k * k)
+        out = flat.max(axis=-1)
+        if train:
+            # argmax breaks ties deterministically (first max in the block).
+            self._cache = (x.shape, np.argmax(flat, axis=-1))
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        x_shape, first = self._cache
+        n, c, h, w = x_shape
+        k = self.kernel
+        dx_flat = np.zeros((n, c, h // k, w // k, k * k))
+        np.put_along_axis(dx_flat, first[..., None], grad_out[..., None], axis=-1)
+        dx = dx_flat.reshape(n, c, h // k, w // k, k, k).transpose(0, 1, 2, 4, 3, 5)
+        return dx.reshape(n, c, h, w)
+
+
+class Flatten(Layer):
+    def __init__(self):
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        return grad_out.reshape(self._shape)
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the channel axis of NCHW or NF inputs.
+
+    Note: per-worker batch statistics make distributed training *not*
+    bitwise-equal to serial large-batch training (true of real frameworks
+    too); the equivalence tests use BN-free networks.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.params = [self.gamma, self.beta]
+        self.grads = [np.zeros_like(self.gamma), np.zeros_like(self.beta)]
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+
+    @staticmethod
+    def _axes(x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 4:
+            return (0, 2, 3)
+        if x.ndim == 2:
+            return (0,)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def _bcast(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v.reshape(1, -1, 1, 1) if ndim == 4 else v
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        axes = self._axes(x)
+        if train:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._bcast(mean, x.ndim)) * self._bcast(inv_std, x.ndim)
+        if train:
+            self._cache = (x_hat, inv_std, axes)
+        return self._bcast(self.gamma, x.ndim) * x_hat + self._bcast(self.beta, x.ndim)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() before forward(train=True)")
+        x_hat, inv_std, axes = self._cache
+        m = np.prod([grad_out.shape[a] for a in axes])
+        self.grads[0] += (grad_out * x_hat).sum(axis=axes)
+        self.grads[1] += grad_out.sum(axis=axes)
+        g = grad_out * self._bcast(self.gamma, grad_out.ndim)
+        term1 = g
+        term2 = self._bcast(g.sum(axis=axes) / m, grad_out.ndim)
+        term3 = x_hat * self._bcast((g * x_hat).sum(axis=axes) / m, grad_out.ndim)
+        return (term1 - term2 - term3) * self._bcast(inv_std, grad_out.ndim)

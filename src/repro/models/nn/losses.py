@@ -1,0 +1,36 @@
+"""Loss functions (the "criterion" in Torch terminology)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. the logits.
+
+    ``labels`` are integer class ids.  The gradient is already divided by
+    the batch size, so summing worker gradients weighted by worker batch
+    fractions reproduces the full-batch gradient (the invariant Algorithm 1
+    relies on).
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+        )
+    n, c = logits.shape
+    if labels.min() < 0 or labels.max() >= c:
+        raise ValueError("label id out of range")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    nll = -np.log(np.clip(probs[np.arange(n), labels], 1e-300, None))
+    loss = float(nll.mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,92 @@
+"""A sequential network with flat-gradient access for the allreduce path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.nn.layers import Layer
+from repro.models.nn.losses import softmax_cross_entropy
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A stack of layers trained with softmax cross-entropy."""
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.layers = layers
+
+    # -- parameter plumbing -------------------------------------------------
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads]
+
+    @property
+    def n_params(self) -> int:
+        return sum(p.size for p in self.params)
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def get_flat_params(self) -> np.ndarray:
+        """All parameters concatenated into one vector (a copy)."""
+        return np.concatenate([p.ravel() for p in self.params])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        if flat.shape != (self.n_params,):
+            raise ValueError(f"expected {self.n_params} values, got {flat.shape}")
+        offset = 0
+        for p in self.params:
+            p[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """All gradients concatenated into one vector (a copy).
+
+        This is exactly the buffer the data-parallel allreduce sums.
+        """
+        return np.concatenate([g.ravel() for g in self.grads])
+
+    def set_flat_grads(self, flat: np.ndarray) -> None:
+        if flat.shape != (self.n_params,):
+            raise ValueError(f"expected {self.n_params} values, got {flat.shape}")
+        offset = 0
+        for g in self.grads:
+            g[...] = flat[offset : offset + g.size].reshape(g.shape)
+            offset += g.size
+
+    # -- compute ---------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def loss_and_grad(
+        self, x: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Zero grads, run forward+backward, return (loss, flat grads)."""
+        self.zero_grads()
+        logits = self.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        self.backward(dlogits)
+        return loss, self.get_flat_grads()
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class ids for a batch (inference mode)."""
+        return np.argmax(self.forward(x, train=False), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a batch."""
+        return float(np.mean(self.predict(x) == labels))

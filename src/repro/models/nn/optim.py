@@ -1,0 +1,67 @@
+"""SGD with momentum and weight decay, applied to flat gradients.
+
+Matches the update the paper's Torch trainer performs on every GPU after
+the broadcast of globally-summed gradients:
+
+    v <- mu * v + g + wd * w
+    w <- w - lr * v
+
+(heavy-ball momentum with L2 regularization folded into the gradient, the
+fb.resnet.torch convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.nn.network import Network
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Momentum SGD over a :class:`Network`'s flat parameter vector."""
+
+    def __init__(
+        self,
+        network: Network,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.network = network
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = np.zeros(network.n_params)
+
+    def step(self, flat_grads: np.ndarray | None = None) -> None:
+        """Apply one update; uses the network's own grads if none given."""
+        g = flat_grads if flat_grads is not None else self.network.get_flat_grads()
+        if g.shape != self._velocity.shape:
+            raise ValueError(f"gradient shape {g.shape} != {self._velocity.shape}")
+        w = self.network.get_flat_params()
+        if self.weight_decay:
+            g = g + self.weight_decay * w
+        self._velocity = self.momentum * self._velocity + g
+        self.network.set_flat_params(w - self.lr * self._velocity)
+
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": self._velocity.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.momentum = state["momentum"]
+        self.weight_decay = state["weight_decay"]
+        self._velocity = state["velocity"].copy()

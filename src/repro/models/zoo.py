@@ -1,0 +1,30 @@
+"""Model registry: name -> descriptor builder."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.classic import build_alexnet, build_vgg16
+from repro.models.descriptors import ModelDescriptor
+from repro.models.googlenet import build_googlenet_bn
+from repro.models.resnet import build_resnet50
+
+__all__ = ["MODELS", "get_model"]
+
+MODELS: dict[str, Callable[[], ModelDescriptor]] = {
+    "resnet50": build_resnet50,
+    "googlenet_bn": build_googlenet_bn,
+    "alexnet": build_alexnet,
+    "vgg16": build_vgg16,
+}
+
+
+def get_model(name: str) -> ModelDescriptor:
+    """Build a registered model descriptor by name."""
+    try:
+        builder = MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(MODELS)}"
+        ) from None
+    return builder()

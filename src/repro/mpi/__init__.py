@@ -1,0 +1,34 @@
+"""Simulated MPI: an executable, network-timed message-passing layer.
+
+Rank programs are Python generators scheduled on the discrete-event engine;
+messages travel as flows on a :class:`~repro.net.Fabric`, optionally
+carrying real NumPy payloads so collective *results* are checked against
+ground truth with the very same code that produces collective *timings*.
+"""
+
+from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.mpi.datatypes import ArrayBuffer, Buffer, SizeBuffer, chunk_ranges
+from repro.mpi.runner import (
+    CollectiveOutcome,
+    allreduce_throughput,
+    build_world,
+    run_rank_programs,
+    simulate_allreduce,
+)
+from repro.mpi.world import Communicator, Message, MPIWorld
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "ArrayBuffer",
+    "Buffer",
+    "CollectiveOutcome",
+    "Communicator",
+    "Message",
+    "MPIWorld",
+    "SizeBuffer",
+    "allreduce_throughput",
+    "build_world",
+    "chunk_ranges",
+    "run_rank_programs",
+    "simulate_allreduce",
+]

@@ -1,0 +1,193 @@
+"""Closed-form alpha-beta cost models for the collective algorithms.
+
+The classical LogP/alpha-beta accounting (Thakur et al., the paper's
+reference [12]): a message of ``n`` bytes costs ``alpha + n * beta``; a
+reduction of ``n`` bytes costs ``n * gamma``.  These formulas serve two
+purposes:
+
+* **verification** — the discrete-event simulator must never beat an
+  algorithm's bandwidth lower bound, and should approach it for large
+  pipelined payloads (tested in ``tests/mpi/test_analytic.py``);
+* **intuition** — the per-algorithm byte/round counts quoted in DESIGN.md
+  come from here.
+
+``beta`` is taken per NIC rail (one flow cannot stripe), matching the
+fabric's ``per_flow_cap``; node-aggregate bandwidth is ``rails * rail``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AlphaBetaModel", "CollectiveCost"]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Predicted cost decomposition of one collective."""
+
+    latency_rounds: int        # alpha terms on the critical path
+    bytes_on_path: float       # beta-weighted bytes on the critical path
+    reduce_bytes: float        # gamma-weighted bytes on the critical path
+    time: float                # total seconds
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("negative time")
+
+
+@dataclass(frozen=True)
+class AlphaBetaModel:
+    """Network/CPU constants for the closed-form predictions."""
+
+    alpha: float = 1.5e-6          # per-message software/latency cost
+    rail_bandwidth: float = 12.125e9   # one flow's max rate (B/s)
+    rails: int = 2                 # NIC rails per node
+    reduce_bandwidth: float = 30e9  # CPU summing rate (B/s)
+
+    def __post_init__(self) -> None:
+        if min(self.alpha, self.rail_bandwidth, self.reduce_bandwidth) < 0:
+            raise ValueError("constants must be non-negative")
+        if self.rails < 1:
+            raise ValueError("rails must be >= 1")
+
+    @property
+    def beta(self) -> float:
+        return 1.0 / self.rail_bandwidth
+
+    @property
+    def gamma(self) -> float:
+        return 1.0 / self.reduce_bandwidth
+
+    @property
+    def node_bandwidth(self) -> float:
+        return self.rail_bandwidth * self.rails
+
+    # -- fundamental bounds -------------------------------------------------
+    def allreduce_lower_bound(self, n_ranks: int, nbytes: float) -> float:
+        """Bandwidth lower bound for any allreduce: every node must send
+        and receive ``2 n (N-1)/N`` bytes through its uplink."""
+        if n_ranks < 2:
+            return 0.0
+        return 2.0 * nbytes * (n_ranks - 1) / n_ranks / self.node_bandwidth
+
+    # -- per-algorithm predictions -------------------------------------------
+    def ring_pipelined(
+        self, n_ranks: int, nbytes: float, segment_bytes: float
+    ) -> CollectiveCost:
+        """The paper's reduce-to-root + opposite broadcast ring.
+
+        Steady state: each node relays the full payload twice (reduce in/
+        out and broadcast in/out overlap on opposite rails); pipeline fill
+        costs ``2 N`` stages of one segment each.
+        """
+        self._check(n_ranks, nbytes)
+        n_seg = max(1, math.ceil(nbytes / segment_bytes))
+        seg = nbytes / n_seg
+        stage = self.alpha + seg * self.beta + seg * self.gamma
+        fill = 2 * n_ranks * stage
+        steady = (n_seg - 1) * max(
+            seg * self.beta + seg * self.gamma, seg * self.beta
+        )
+        return CollectiveCost(
+            latency_rounds=2 * n_ranks + n_seg - 1,
+            bytes_on_path=nbytes + 2 * n_ranks * seg,
+            reduce_bytes=nbytes,
+            time=fill + steady,
+        )
+
+    def multicolor(
+        self,
+        n_ranks: int,
+        nbytes: float,
+        n_colors: int,
+        segment_bytes: float,
+        arity: int | None = None,
+    ) -> CollectiveCost:
+        """k pipelined tree reductions + broadcasts of ``n/k`` chunks.
+
+        Depth is ``ceil(log_a N)`` per phase; an internal node receives
+        ``a`` child segments per pipeline slot, so the slot time is
+        ``a * (seg * beta + seg * gamma)``; the k colors progress
+        concurrently on disjoint internal nodes, but each *node* still
+        moves ~2n bytes total, so throughput saturates at the node uplink.
+        """
+        self._check(n_ranks, nbytes)
+        if n_colors < 1:
+            raise ValueError("n_colors must be >= 1")
+        a = arity if arity is not None else max(2, n_colors)
+        chunk = nbytes / n_colors
+        n_seg = max(1, math.ceil(chunk / segment_bytes))
+        seg = chunk / n_seg
+        depth = max(1, math.ceil(math.log(max(n_ranks, 2), a)))
+        slot = self.alpha + a * seg * (self.beta + self.gamma)
+        fill = 2 * depth * slot
+        # Aggregate steady-state: every node sends/receives ~2n(N-1)/N over
+        # its full uplink (the k colors stripe across rails).
+        steady = max(
+            (n_seg - 1) * slot,
+            self.allreduce_lower_bound(n_ranks, nbytes),
+        )
+        return CollectiveCost(
+            latency_rounds=2 * depth + n_seg - 1,
+            bytes_on_path=2 * depth * a * seg + nbytes,
+            reduce_bytes=chunk * a * depth,
+            time=fill + steady,
+        )
+
+    def reduce_scatter_allgather(self, n_ranks: int, nbytes: float) -> CollectiveCost:
+        """2(N-1) rounds of ``n/N`` chunks; bandwidth-optimal, latency-poor."""
+        self._check(n_ranks, nbytes)
+        if n_ranks == 1:
+            return CollectiveCost(0, 0.0, 0.0, 0.0)
+        chunk = nbytes / n_ranks
+        rounds = 2 * (n_ranks - 1)
+        time = rounds * (self.alpha + chunk * self.beta) + (
+            n_ranks - 1
+        ) * chunk * self.gamma
+        return CollectiveCost(
+            latency_rounds=rounds,
+            bytes_on_path=rounds * chunk,
+            reduce_bytes=(n_ranks - 1) * chunk,
+            time=time,
+        )
+
+    def recursive_doubling(self, n_ranks: int, nbytes: float) -> CollectiveCost:
+        """log2(N) rounds of the full payload."""
+        self._check(n_ranks, nbytes)
+        if n_ranks == 1:
+            return CollectiveCost(0, 0.0, 0.0, 0.0)
+        rounds = max(1, math.ceil(math.log2(n_ranks)))
+        time = rounds * (self.alpha + nbytes * (self.beta + self.gamma))
+        return CollectiveCost(
+            latency_rounds=rounds,
+            bytes_on_path=rounds * nbytes,
+            reduce_bytes=rounds * nbytes,
+            time=time,
+        )
+
+    def rabenseifner(self, n_ranks: int, nbytes: float) -> CollectiveCost:
+        """Halving reduce-scatter + doubling allgather: 2 log2(N) rounds,
+        ``2 n (N-1)/N`` bytes."""
+        self._check(n_ranks, nbytes)
+        if n_ranks == 1:
+            return CollectiveCost(0, 0.0, 0.0, 0.0)
+        rounds = 2 * max(1, math.ceil(math.log2(n_ranks)))
+        moved = 2.0 * nbytes * (n_ranks - 1) / n_ranks
+        time = rounds * self.alpha + moved * self.beta + (
+            nbytes * (n_ranks - 1) / n_ranks
+        ) * self.gamma
+        return CollectiveCost(
+            latency_rounds=rounds,
+            bytes_on_path=moved,
+            reduce_bytes=nbytes * (n_ranks - 1) / n_ranks,
+            time=time,
+        )
+
+    @staticmethod
+    def _check(n_ranks: int, nbytes: float) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")

@@ -1,0 +1,72 @@
+"""Collective algorithms for the simulated MPI.
+
+``ALLREDUCE_ALGORITHMS`` maps public algorithm names to rank programs:
+
+* ``"multicolor"`` — the paper's k-color tree allreduce (§4.2).
+* ``"ring"`` — the paper's pipelined reduce-to-root ring baseline (§5.1).
+* ``"openmpi_default"`` — models OpenMPI's stock large-message allreduce
+  (Rabenseifner halving/doubling): correct and bandwidth-reasonable, but
+  unpipelined and rail-capped, giving the slowest curve in Figures 5–6.
+* ``"rsag"`` — reduce-scatter+allgather ring (NCCL/Horovod reference).
+* ``"recursive_doubling"`` / ``"rabenseifner"`` — classical algorithms
+  under their own names for ablations.
+"""
+
+from repro.mpi.collectives.alltoall import alltoallv
+from repro.mpi.collectives.hierarchical import hierarchical_allreduce
+from repro.mpi.collectives.basic import (
+    binomial_bcast,
+    binomial_reduce,
+    dissemination_barrier,
+    ring_allgatherv,
+)
+from repro.mpi.collectives.multicolor import (
+    DEFAULT_SEGMENT_BYTES,
+    multicolor_allreduce,
+    segments_of,
+)
+from repro.mpi.collectives.recursive import (
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+)
+from repro.mpi.collectives.ring import pipelined_ring_allreduce
+from repro.mpi.collectives.rsag import reduce_scatter_allgather_allreduce
+from repro.mpi.collectives.trees import (
+    Tree,
+    binomial_tree,
+    color_trees,
+    internal_nodes,
+    kary_bfs_tree,
+)
+
+ALLREDUCE_ALGORITHMS = {
+    "multicolor": multicolor_allreduce,
+    "ring": pipelined_ring_allreduce,
+    "rsag": reduce_scatter_allgather_allreduce,
+    "recursive_doubling": recursive_doubling_allreduce,
+    "rabenseifner": rabenseifner_allreduce,
+    "openmpi_default": rabenseifner_allreduce,
+    "hierarchical": hierarchical_allreduce,
+}
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "DEFAULT_SEGMENT_BYTES",
+    "Tree",
+    "alltoallv",
+    "binomial_bcast",
+    "binomial_reduce",
+    "binomial_tree",
+    "color_trees",
+    "dissemination_barrier",
+    "hierarchical_allreduce",
+    "internal_nodes",
+    "kary_bfs_tree",
+    "multicolor_allreduce",
+    "pipelined_ring_allreduce",
+    "rabenseifner_allreduce",
+    "recursive_doubling_allreduce",
+    "reduce_scatter_allgather_allreduce",
+    "ring_allgatherv",
+    "segments_of",
+]

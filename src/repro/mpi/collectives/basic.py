@@ -1,0 +1,123 @@
+"""Basic collectives: broadcast, reduce, barrier, allgatherv.
+
+These are the building blocks the training loop and the DIMD shuffle use
+around the headline allreduce: binomial-tree bcast/reduce (the classical
+MPI algorithms) and a dissemination barrier.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.trees import binomial_tree
+from repro.mpi.datatypes import ArrayBuffer, Buffer, SizeBuffer
+from repro.mpi.world import Communicator
+
+__all__ = [
+    "binomial_bcast",
+    "binomial_reduce",
+    "dissemination_barrier",
+    "ring_allgatherv",
+]
+
+
+def binomial_bcast(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    root: int = 0,
+    tag: object = None,
+):
+    """Rank program: broadcast ``buf`` from ``root`` over a binomial tree."""
+    n = comm.size
+    if n == 1:
+        return buf
+    tree = binomial_tree(n, root)
+    parent = tree.parent.get(rank)
+    if parent is not None:
+        msg = yield comm.recv(rank, parent, ("bc", tag))
+        buf.copy_(msg.payload)
+        yield from comm.copy_cpu(rank, buf.nbytes)
+    # Children in binomial order: largest subtree first (classical schedule).
+    for child in tree.children.get(rank, ()):
+        comm.isend(rank, child, ("bc", tag), buf)
+    return buf
+
+
+def binomial_reduce(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    root: int = 0,
+    tag: object = None,
+):
+    """Rank program: sum-reduce ``buf`` to ``root`` over a binomial tree.
+
+    Non-root ranks' buffers hold partial sums afterwards (like MPI, only the
+    root's result is defined).
+    """
+    n = comm.size
+    if n == 1:
+        return buf
+    tree = binomial_tree(n, root)
+    for child in tree.children.get(rank, ()):
+        msg = yield comm.recv(rank, child, ("rd", tag))
+        buf.add_(msg.payload)
+        yield from comm.reduce_cpu(rank, buf.nbytes)
+    parent = tree.parent.get(rank)
+    if parent is not None:
+        comm.isend(rank, parent, ("rd", tag), buf)
+    return buf
+
+
+def dissemination_barrier(comm: Communicator, rank: int, *, tag: object = None):
+    """Rank program: dissemination barrier (ceil(log2 N) zero-byte rounds)."""
+    n = comm.size
+    token = SizeBuffer(0)
+    step = 1
+    round_no = 0
+    while step < n:
+        dst = (rank + step) % n
+        src = (rank - step) % n
+        comm.isend(rank, dst, ("bar", tag, round_no), token)
+        yield comm.recv(rank, src, ("bar", tag, round_no))
+        step <<= 1
+        round_no += 1
+
+
+def ring_allgatherv(
+    comm: Communicator,
+    rank: int,
+    contribution: Buffer,
+    *,
+    tag: object = None,
+):
+    """Rank program: gather every rank's (variable-size) buffer everywhere.
+
+    Returns a list of payloads indexed by source group rank.  Uses the ring
+    algorithm: in step ``t`` each rank forwards the block it received in
+    step ``t-1``.
+    """
+    n = comm.size
+    gathered: list[object] = [None] * n
+    gathered[rank] = contribution.extract()
+    if n == 1:
+        return gathered
+    succ = (rank + 1) % n
+    pred = (rank - 1) % n
+    carry: Buffer = contribution
+    for t in range(n - 1):
+        comm.isend(rank, succ, ("agv", tag, t), carry)
+        msg = yield comm.recv(rank, pred, ("agv", tag, t))
+        src = (rank - t - 1) % n
+        gathered[src] = msg.payload
+        carry = _as_buffer(msg)
+    return gathered
+
+
+def _as_buffer(msg) -> Buffer:
+    """Wrap a received payload back into a Buffer for forwarding."""
+    if msg.payload is None:
+        # Size-only mode: reconstruct a SizeBuffer of the same byte count.
+        return SizeBuffer(msg.nbytes, itemsize=1)
+    return ArrayBuffer(msg.payload)

@@ -1,0 +1,84 @@
+"""Hierarchical 2-D allreduce — an extension beyond the paper.
+
+The multi-color algorithm treats the network as flat; on an
+*oversubscribed* fat-tree (uplinks thinner than downlinks, or per-flow
+rail caps) the winning strategy is two-dimensional:
+
+1. **intra-group ring reduce-scatter** — after it, group member *k* owns
+   the group-sum of shard *k* (traffic stays inside the leaf switch);
+2. **cross-group shard allreduce** — the *k*-th members of all groups run
+   a ring allreduce over shard *k* only, so the constrained core carries
+   each byte once and ``group_size`` independent flows per leaf keep every
+   NIC rail busy;
+3. **intra-group ring allgather** — finished shards circulate locally.
+
+This is the NCCL-2D / Horovod-hierarchical layout, built from the ring
+phases in :mod:`.rsag`.  Group sizes that do not divide the communicator
+fall back to the flat ring (documented, tested).  Registered as
+``"hierarchical"`` in ``ALLREDUCE_ALGORITHMS``.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.rsag import (
+    reduce_scatter_allgather_allreduce,
+    ring_allgather,
+    ring_reduce_scatter,
+)
+from repro.mpi.datatypes import Buffer, chunk_ranges
+from repro.mpi.world import Communicator
+
+__all__ = ["hierarchical_allreduce"]
+
+
+def hierarchical_allreduce(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    group_size: int = 4,
+    tag: object = None,
+    segment_bytes: int | None = None,  # accepted for API uniformity; unused
+):
+    """Rank program: 2-D (group x cross-group) ring allreduce.
+
+    ``group_size`` should match the physical hosts-per-leaf.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    n = comm.size
+    if n == 1:
+        return buf
+    g = min(group_size, n)
+    if n % g != 0 or g == 1:
+        # Ragged or degenerate grouping: flat ring is the safe equivalent.
+        yield from reduce_scatter_allgather_allreduce(
+            comm, rank, buf, tag=("hflat", tag)
+        )
+        return buf
+
+    group_index = rank // g
+    group_members = [comm.world_rank(r) for r in range(group_index * g, (group_index + 1) * g)]
+    group_comm = Communicator(comm.world, group_members)
+    my_group_rank = rank % g
+
+    # Phase 1: local reduce-scatter; I end up owning shard (my_group_rank+1)%g.
+    owned = yield from ring_reduce_scatter(
+        group_comm, my_group_rank, buf, tag=("h1", tag)
+    )
+
+    # Phase 2: allreduce my shard with the same-position members elsewhere.
+    n_groups = n // g
+    if n_groups > 1:
+        peers = [comm.world_rank(gi * g + my_group_rank) for gi in range(n_groups)]
+        cross_comm = Communicator(comm.world, peers)
+        lo, hi = chunk_ranges(buf.count, g)[owned]
+        shard = buf.view(lo, hi)
+        yield from reduce_scatter_allgather_allreduce(
+            cross_comm, cross_comm.group_rank(comm.world_rank(rank)), shard,
+            tag=("h2", tag),
+        )
+
+    # Phase 3: local allgather of the finished shards.
+    yield from ring_allgather(group_comm, my_group_rank, buf, tag=("h3", tag))
+    return buf

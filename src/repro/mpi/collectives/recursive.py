@@ -1,0 +1,178 @@
+"""Recursive-doubling and Rabenseifner (halving/doubling) allreduce.
+
+:func:`recursive_doubling_allreduce` exchanges the *full* payload in each of
+``log2 N`` rounds — latency-optimal but bandwidth-poor (``log2(N) * n``
+bytes per rank).  Untuned OpenMPI falls back to this basic algorithm, which
+is why the paper's Figure 5/6 "default OpenMPI" curve trails both the ring
+and the multi-color algorithm at gradient-sized payloads; we therefore use
+it as the *default OpenMPI* model (see :data:`..ALLREDUCE_ALGORITHMS`).
+
+:func:`rabenseifner_allreduce` is the tuned MPICH/OpenMPI large-message
+algorithm (recursive *halving* reduce-scatter followed by recursive
+doubling allgather, ``2 n (N-1)/N`` bytes per rank).
+
+Both handle non-power-of-two sizes with the classical fold: the first
+``2 r`` ranks (``r = N - 2^⌊log2 N⌋``) pre-combine pairwise so a
+power-of-two set of survivors runs the core exchange, then results are
+copied back to the folded ranks.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.datatypes import Buffer, chunk_ranges
+from repro.mpi.world import Communicator
+
+__all__ = ["recursive_doubling_allreduce", "rabenseifner_allreduce"]
+
+
+def _pow2_below(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def _fold_prelude(comm, rank, buf, tag):
+    """Pre-combine the remainder ranks; returns the survivor rank or None.
+
+    With ``r = N - 2^⌊log2 N⌋``: even ranks ``< 2r`` ship their payload to
+    the odd neighbour and drop out; odd ranks ``< 2r`` absorb it.  Survivor
+    numbering: odd rank ``k`` becomes ``k // 2``; ranks ``>= 2r`` become
+    ``rank - r``.
+    """
+    n = comm.size
+    p = _pow2_below(n)
+    r = n - p
+    if rank < 2 * r:
+        if rank % 2 == 0:
+            comm.isend(rank, rank + 1, ("fold", tag), buf)
+            return None
+        msg = yield comm.recv(rank, rank - 1, ("fold", tag))
+        buf.add_(msg.payload)
+        yield from comm.reduce_cpu(rank, buf.nbytes)
+        return rank // 2
+    return rank - r
+
+
+def _fold_postlude(comm, rank, buf, tag):
+    """Deliver the final result back to the folded-out even ranks."""
+    n = comm.size
+    p = _pow2_below(n)
+    r = n - p
+    if rank < 2 * r:
+        if rank % 2 == 0:
+            msg = yield comm.recv(rank, rank + 1, ("unfold", tag))
+            buf.copy_(msg.payload)
+            yield from comm.copy_cpu(rank, buf.nbytes)
+        else:
+            comm.isend(rank, rank - 1, ("unfold", tag), buf)
+
+
+def _survivor_to_world(new_rank: int, n: int) -> int:
+    """Inverse of the survivor numbering in :func:`_fold_prelude`."""
+    p = _pow2_below(n)
+    r = n - p
+    if new_rank < r:
+        return 2 * new_rank + 1
+    return new_rank + r
+
+
+def recursive_doubling_allreduce(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    tag: object = None,
+    segment_bytes: int | None = None,  # accepted for API uniformity; unused
+):
+    """Rank program: recursive-doubling allreduce (full payload per round)."""
+    n = comm.size
+    if n == 1:
+        return buf
+    new_rank = yield from _fold_prelude(comm, rank, buf, tag)
+    if new_rank is not None:
+        p = _pow2_below(n)
+        mask = 1
+        round_no = 0
+        while mask < p:
+            partner = _survivor_to_world(new_rank ^ mask, n)
+            comm.isend(rank, partner, ("rd", tag, round_no), buf)
+            msg = yield comm.recv(rank, partner, ("rd", tag, round_no))
+            buf.add_(msg.payload)
+            yield from comm.reduce_cpu(rank, buf.nbytes)
+            mask <<= 1
+            round_no += 1
+    yield from _fold_postlude(comm, rank, buf, tag)
+    return buf
+
+
+def rabenseifner_allreduce(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    tag: object = None,
+    segment_bytes: int | None = None,  # accepted for API uniformity; unused
+):
+    """Rank program: recursive halving reduce-scatter + doubling allgather."""
+    n = comm.size
+    if n == 1:
+        return buf
+    new_rank = yield from _fold_prelude(comm, rank, buf, tag)
+    if new_rank is not None:
+        p = _pow2_below(n)
+        chunks = chunk_ranges(buf.count, p)
+
+        def span_view(lo_chunk: int, hi_chunk: int):
+            lo = chunks[lo_chunk][0]
+            hi = chunks[hi_chunk - 1][1]
+            return buf.view(lo, hi)
+
+        # Recursive halving reduce-scatter: each round exchanges half of the
+        # currently-owned span with the partner and keeps the other half.
+        lo_chunk, hi_chunk = 0, p
+        mask = p // 2
+        round_no = 0
+        while mask >= 1:
+            # The partner differs in the current bit of the survivor rank.
+            partner_new = new_rank ^ mask
+            partner = _survivor_to_world(partner_new, n)
+            mid = (lo_chunk + hi_chunk) // 2
+            if new_rank & mask:
+                # Keep the upper half, send the lower half.
+                comm.isend(rank, partner, ("rh", tag, round_no), span_view(lo_chunk, mid))
+                msg = yield comm.recv(rank, partner, ("rh", tag, round_no))
+                keep = span_view(mid, hi_chunk)
+                keep.add_(msg.payload)
+                yield from comm.reduce_cpu(rank, keep.nbytes)
+                lo_chunk = mid
+            else:
+                comm.isend(rank, partner, ("rh", tag, round_no), span_view(mid, hi_chunk))
+                msg = yield comm.recv(rank, partner, ("rh", tag, round_no))
+                keep = span_view(lo_chunk, mid)
+                keep.add_(msg.payload)
+                yield from comm.reduce_cpu(rank, keep.nbytes)
+                hi_chunk = mid
+            mask >>= 1
+            round_no += 1
+
+        # Recursive doubling allgather: widen the owned span back out.
+        mask = 1
+        while mask < p:
+            partner_new = new_rank ^ mask
+            partner = _survivor_to_world(partner_new, n)
+            comm.isend(rank, partner, ("ag2", tag, mask), span_view(lo_chunk, hi_chunk))
+            msg = yield comm.recv(rank, partner, ("ag2", tag, mask))
+            width = hi_chunk - lo_chunk
+            if new_rank & mask:
+                other_lo, other_hi = lo_chunk - width, lo_chunk
+            else:
+                other_lo, other_hi = hi_chunk, hi_chunk + width
+            view = span_view(other_lo, other_hi)
+            view.copy_(msg.payload)
+            yield from comm.copy_cpu(rank, view.nbytes)
+            lo_chunk = min(lo_chunk, other_lo)
+            hi_chunk = max(hi_chunk, other_hi)
+            mask <<= 1
+    yield from _fold_postlude(comm, rank, buf, tag)
+    return buf

@@ -1,0 +1,89 @@
+"""Ring allreduce algorithms.
+
+Two variants:
+
+* :func:`pipelined_ring_allreduce` — the ring the paper implemented as its
+  strong baseline (§5.1): "a pipelined ring algorithm where packets are
+  reduced to a single root node along the ring then broadcast from the root
+  to all peers in the opposite direction".  Segment *s* travels rank
+  ``N-1 -> N-2 -> ... -> 0`` being summed at every hop, then ``0 -> 1 -> ...
+  -> N-1`` carrying the final value; the two directions use opposite sides
+  of each full-duplex cable, and segments are pipelined so all links stay
+  busy.
+
+* :func:`reduce_scatter_allgather_allreduce` (in :mod:`.rsag`) — the
+  bandwidth-optimal ring used by NCCL/Horovod, provided as an additional
+  modern reference point.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.multicolor import DEFAULT_SEGMENT_BYTES, segments_of
+from repro.mpi.datatypes import Buffer
+from repro.mpi.world import Communicator
+
+__all__ = ["pipelined_ring_allreduce"]
+
+
+def pipelined_ring_allreduce(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    tag: object = None,
+):
+    """Rank program: the paper's pipelined reduce-to-root ring allreduce.
+
+    Reduction flows from rank ``N-1`` toward rank 0 (the root); the
+    broadcast of finished segments flows from rank 0 toward ``N-1``.  Both
+    phases run concurrently per rank so the pipeline covers the whole ring.
+    """
+    n = comm.size
+    if n == 1:
+        return buf
+    segs = segments_of(0, buf.count, buf.itemsize, segment_bytes)
+    engine = comm.engine
+    reduced = [engine.event() for _ in segs] if rank == 0 else []
+    procs = [
+        engine.process(
+            _ring_reduce(comm, rank, buf, segs, reduced, tag),
+            name=f"ringr-{rank}",
+        ),
+        engine.process(
+            _ring_bcast(comm, rank, buf, segs, reduced, tag),
+            name=f"ringb-{rank}",
+        ),
+    ]
+    yield engine.all_of(procs)
+    return buf
+
+
+def _ring_reduce(comm, rank, buf, segs, reduced, tag):
+    n = comm.size
+    upstream = rank + 1  # data flows from high ranks toward the root at 0
+    downstream = rank - 1
+    for s, slo, shi in segs:
+        seg_view = buf.view(slo, shi)
+        if upstream < n:
+            msg = yield comm.recv(rank, upstream, ("rr", tag, s))
+            seg_view.add_(msg.payload)
+            yield from comm.reduce_cpu(rank, seg_view.nbytes)
+        if downstream >= 0:
+            comm.isend(rank, downstream, ("rr", tag, s), seg_view)
+        else:
+            reduced[s].succeed()
+
+
+def _ring_bcast(comm, rank, buf, segs, reduced, tag):
+    n = comm.size
+    for s, slo, shi in segs:
+        seg_view = buf.view(slo, shi)
+        if rank == 0:
+            yield reduced[s]
+        else:
+            msg = yield comm.recv(rank, rank - 1, ("rb", tag, s))
+            seg_view.copy_(msg.payload)
+            yield from comm.copy_cpu(rank, seg_view.nbytes)
+        if rank + 1 < n:
+            comm.isend(rank, rank + 1, ("rb", tag, s), seg_view)

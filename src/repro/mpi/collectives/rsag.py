@@ -1,0 +1,104 @@
+"""Reduce-scatter + allgather ring allreduce (the NCCL/Horovod ring).
+
+Bandwidth-optimal: each rank sends ``2 (N-1)/N`` of the payload in total.
+The payload is split into N chunks; in step *t* of the reduce-scatter phase
+rank *r* sends chunk ``(r - t) mod N`` to its successor and accumulates the
+chunk arriving from its predecessor.  After ``N-1`` steps rank *r* owns the
+fully-reduced chunk ``(r + 1) mod N``; the allgather phase circulates the
+finished chunks the same way without arithmetic.
+
+The two phases are exposed separately (:func:`ring_reduce_scatter`,
+:func:`ring_allgather`) because the hierarchical 2-D allreduce composes
+them with a cross-group exchange in between.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.datatypes import Buffer, chunk_ranges
+from repro.mpi.world import Communicator
+
+__all__ = [
+    "reduce_scatter_allgather_allreduce",
+    "ring_reduce_scatter",
+    "ring_allgather",
+]
+
+
+def ring_reduce_scatter(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    tag: object = None,
+):
+    """Ring reduce-scatter over N equal chunks of ``buf``.
+
+    Returns the chunk index this rank owns (fully reduced) afterwards:
+    ``(rank + 1) mod N``.  Other chunks hold partial sums.
+    """
+    n = comm.size
+    if n == 1:
+        return 0
+    chunks = chunk_ranges(buf.count, n)
+    succ = (rank + 1) % n
+    pred = (rank - 1) % n
+
+    def chunk_view(idx: int):
+        lo, hi = chunks[idx % n]
+        return buf.view(lo, hi)
+
+    for t in range(n - 1):
+        send_idx = (rank - t) % n
+        recv_idx = (rank - t - 1) % n
+        comm.isend(rank, succ, ("rs", tag, t), chunk_view(send_idx))
+        msg = yield comm.recv(rank, pred, ("rs", tag, t))
+        view = chunk_view(recv_idx)
+        view.add_(msg.payload)
+        yield from comm.reduce_cpu(rank, view.nbytes)
+    return (rank + 1) % n
+
+
+def ring_allgather(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    tag: object = None,
+):
+    """Ring allgather assuming rank owns chunk ``(rank + 1) mod N``."""
+    n = comm.size
+    if n == 1:
+        return buf
+    chunks = chunk_ranges(buf.count, n)
+    succ = (rank + 1) % n
+    pred = (rank - 1) % n
+
+    def chunk_view(idx: int):
+        lo, hi = chunks[idx % n]
+        return buf.view(lo, hi)
+
+    for t in range(n - 1):
+        send_idx = (rank + 1 - t) % n
+        recv_idx = (rank - t) % n
+        comm.isend(rank, succ, ("ag", tag, t), chunk_view(send_idx))
+        msg = yield comm.recv(rank, pred, ("ag", tag, t))
+        view = chunk_view(recv_idx)
+        view.copy_(msg.payload)
+        yield from comm.copy_cpu(rank, view.nbytes)
+    return buf
+
+
+def reduce_scatter_allgather_allreduce(
+    comm: Communicator,
+    rank: int,
+    buf: Buffer,
+    *,
+    tag: object = None,
+    segment_bytes: int | None = None,  # accepted for API uniformity; unused
+):
+    """Rank program: reduce-scatter + allgather ring allreduce in place."""
+    if comm.size == 1:
+        return buf
+    yield from ring_reduce_scatter(comm, rank, buf, tag=("p1", tag))
+    yield from ring_allgather(comm, rank, buf, tag=("p2", tag))
+    return buf

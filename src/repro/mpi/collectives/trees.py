@@ -1,0 +1,194 @@
+"""Spanning-tree construction for tree-based collectives.
+
+Two families:
+
+* **Color trees** (§4.2, Figure 2): for a k-color allreduce over N ranks,
+  color *c*'s tree is a k-ary BFS tree over the rank sequence rotated by
+  ``c * N / k``.  The internal (non-leaf) vertices of a k-ary BFS tree are a
+  prefix of its vertex order, so rotating by N/k makes the internal sets of
+  the k colors pairwise disjoint whenever each tree has at most N/k internal
+  vertices — exactly the paper's "non-leaf nodes are disjoint among the
+  colors" property.  For N = 8, k = 4, arity 4 this reproduces Figure 2:
+  color 0 is rooted at rank 0 with rank 1 the only non-leaf, color 1 at
+  rank 2 with non-leaf 3, and so on.
+
+* **Binomial trees**: used for the baseline MPI_Bcast / MPI_Reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Tree", "kary_bfs_tree", "color_trees", "binomial_tree", "internal_nodes"]
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A rooted spanning tree over group ranks ``0 .. n-1``."""
+
+    root: int
+    parent: dict[int, int]  # child -> parent (root absent)
+    children: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.parent) + 1
+
+    def depth_of(self, rank: int) -> int:
+        d = 0
+        while rank != self.root:
+            rank = self.parent[rank]
+            d += 1
+            if d > self.n_ranks:
+                raise ValueError("parent pointers contain a cycle")
+        return d
+
+    def validate(self) -> None:
+        """Check the tree spans exactly its ranks with consistent pointers."""
+        ranks = set(self.parent) | {self.root}
+        if len(ranks) != self.n_ranks:
+            raise ValueError("rank set inconsistent with parent map")
+        for child, parent in self.parent.items():
+            if child == self.root:
+                raise ValueError("root appears as a child")
+            if child not in self.children.get(parent, ()):
+                raise ValueError(f"child {child} missing from {parent}'s child list")
+        for parent, kids in self.children.items():
+            for child in kids:
+                if self.parent.get(child) != parent:
+                    raise ValueError(f"child list of {parent} disagrees with parents")
+        for rank in ranks:
+            self.depth_of(rank)  # raises on cycles / disconnection
+
+
+def kary_bfs_tree(order: list[int], arity: int) -> Tree:
+    """A k-ary BFS tree whose vertex *positions* follow ``order``.
+
+    Position ``p``'s children are positions ``arity*p + 1 .. arity*p + arity``
+    (the classical array heap layout), so internal vertices occupy a prefix
+    of ``order``.
+    """
+    if arity < 1:
+        raise ValueError(f"arity must be >= 1, got {arity}")
+    if not order:
+        raise ValueError("order must be non-empty")
+    n = len(order)
+    parent: dict[int, int] = {}
+    children: dict[int, tuple[int, ...]] = {}
+    for p in range(n):
+        kid_positions = range(arity * p + 1, min(arity * p + arity + 1, n))
+        kids = tuple(order[q] for q in kid_positions)
+        if kids:
+            children[order[p]] = kids
+        for q in kid_positions:
+            parent[order[q]] = order[p]
+    return Tree(root=order[0], parent=parent, children=children)
+
+
+def internal_nodes(tree: Tree) -> set[int]:
+    """Vertices with at least one child (root included if it has children)."""
+    return {v for v, kids in tree.children.items() if kids}
+
+
+def n_internal_for(n_ranks: int, arity: int) -> int:
+    """Number of internal vertices of a k-ary BFS tree on ``n_ranks``."""
+    if n_ranks <= 1:
+        return 0
+    # positions 0..ceil((n-1)/arity)-1 have at least one child
+    return (n_ranks - 1 + arity - 1) // arity
+
+
+def color_trees(n_ranks: int, n_colors: int, arity: int | None = None) -> list[Tree]:
+    """Build the k color trees of the multi-color allreduce.
+
+    Parameters
+    ----------
+    n_ranks:
+        Group size N.
+    n_colors:
+        Number of colors k (payload chunks reduced concurrently).
+    arity:
+        Tree arity; defaults to ``n_colors`` (the paper's "k-color k-ary").
+
+    Raises
+    ------
+    ValueError
+        If the internal vertices of the k trees cannot be made disjoint
+        (``k * n_internal > N``) — the construction would lose the paper's
+        key contention-avoidance property, so we refuse rather than silently
+        degrade.
+    """
+    if n_colors < 1:
+        raise ValueError(f"n_colors must be >= 1, got {n_colors}")
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if n_colors > n_ranks:
+        raise ValueError(f"n_colors={n_colors} exceeds n_ranks={n_ranks}")
+    if arity is None:
+        arity = max(2, n_colors)
+    if n_colors > 1:
+        n_int = n_internal_for(n_ranks, arity)
+        if n_colors * n_int > n_ranks:
+            raise ValueError(
+                f"cannot build {n_colors} internally-disjoint {arity}-ary trees "
+                f"on {n_ranks} ranks ({n_int} internal each); "
+                f"use fewer colors or higher arity"
+            )
+        if n_ranks % n_colors != 0:
+            raise ValueError(
+                f"n_ranks={n_ranks} must be divisible by n_colors={n_colors} "
+                f"for the rotation construction"
+            )
+    stride = n_ranks // n_colors
+    trees = []
+    base = list(range(n_ranks))
+    for c in range(n_colors):
+        offset = c * stride
+        order = base[offset:] + base[:offset]
+        trees.append(kary_bfs_tree(order, arity))
+    return trees
+
+
+def feasible_colors(n_ranks: int, requested: int, arity: int | None = None) -> int:
+    """Largest color count ``<= requested`` buildable on ``n_ranks`` ranks.
+
+    Used by the allreduce front-end so the default 4-color configuration
+    degrades gracefully on tiny groups (e.g. 2 ranks -> 1 color) instead of
+    failing.  Explicit :func:`color_trees` calls stay strict.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if requested < 1:
+        raise ValueError(f"requested colors must be >= 1, got {requested}")
+    for k in range(min(requested, n_ranks), 1, -1):
+        a = arity if arity is not None else max(2, k)
+        if n_ranks % k != 0:
+            continue
+        if k * n_internal_for(n_ranks, a) <= n_ranks:
+            return k
+    return 1
+
+
+def binomial_tree(n_ranks: int, root: int = 0) -> Tree:
+    """A binomial broadcast tree rooted at ``root`` (MPI textbook layout).
+
+    Relative rank ``r``'s parent is ``r`` with its lowest set bit cleared.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if not 0 <= root < n_ranks:
+        raise ValueError(f"root {root} out of range")
+    parent: dict[int, int] = {}
+    children: dict[int, list[int]] = {}
+    for rel in range(1, n_ranks):
+        lowbit = rel & (-rel)
+        rel_parent = rel - lowbit
+        child = (rel + root) % n_ranks
+        par = (rel_parent + root) % n_ranks
+        parent[child] = par
+        children.setdefault(par, []).append(child)
+    return Tree(
+        root=root,
+        parent=parent,
+        children={k: tuple(v) for k, v in children.items()},
+    )

@@ -1,0 +1,124 @@
+"""Collective profiling: where a collective's bytes and time go.
+
+Wraps a standalone collective run with per-rank send accounting and
+link-class traffic classification, producing the numbers behind statements
+like "the multi-color trees push 4x more bytes through the leaf-spine core
+than a contiguous ring".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.mpi.datatypes import SizeBuffer
+from repro.mpi.runner import build_world, run_rank_programs
+from repro.net.params import CONNECTX5_DUAL, NetworkParams
+from repro.net.topology import Topology
+from repro.net.visualize import core_traffic
+from repro.mpi.analytic import AlphaBetaModel
+
+__all__ = ["CollectiveProfile", "profile_allreduce"]
+
+
+@dataclass(frozen=True)
+class CollectiveProfile:
+    """One profiled allreduce."""
+
+    algorithm: str
+    n_ranks: int
+    payload_bytes: int
+    elapsed: float
+    total_wire_bytes: float      # payload bytes that crossed the fabric
+    core_bytes: float            # hop-weighted bytes on leaf-spine links
+    edge_bytes: float
+    bandwidth_lower_bound: float
+    per_rank_sent: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def efficiency(self) -> float:
+        """Lower-bound time / achieved time (1.0 = optimal)."""
+        if self.elapsed <= 0:
+            return 1.0
+        return min(1.0, self.bandwidth_lower_bound / self.elapsed)
+
+    @property
+    def hop_weighted_bytes(self) -> float:
+        """Bytes summed per link traversed (a 4-hop transfer counts 4x)."""
+        return self.core_bytes + self.edge_bytes
+
+    @property
+    def wire_amplification(self) -> float:
+        """Hop-weighted wire bytes / payload bytes."""
+        return self.hop_weighted_bytes / self.payload_bytes if self.payload_bytes else 0.0
+
+    @property
+    def max_rank_imbalance(self) -> float:
+        """max sent / mean sent across ranks (1.0 = perfectly balanced)."""
+        if not self.per_rank_sent:
+            return 1.0
+        values = list(self.per_rank_sent.values())
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0 else 1.0
+
+
+def profile_allreduce(
+    n_ranks: int,
+    nbytes: int,
+    *,
+    algorithm: str = "multicolor",
+    topology: str | Topology = "fat_tree",
+    network: NetworkParams = CONNECTX5_DUAL,
+    segment_bytes: int = 1024 * 1024,
+    **alg_kwargs,
+) -> CollectiveProfile:
+    """Run one size-only allreduce and collect its traffic profile."""
+    if algorithm not in ALLREDUCE_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {sorted(ALLREDUCE_ALGORITHMS)}"
+        )
+    engine, world, comm = build_world(
+        n_ranks, topology=topology, network=network
+    )
+    # Track per-rank sends by wrapping isend accounting at the world level.
+    sent: dict[int, float] = {r: 0.0 for r in range(n_ranks)}
+    original_isend = world.isend
+
+    def counting_isend(src, dst, tag, buf):
+        sent[src] += buf.nbytes
+        return original_isend(src, dst, tag, buf)
+
+    world.isend = counting_isend  # type: ignore[method-assign]
+    bufs = [SizeBuffer(max(1, nbytes // 4), 4) for _ in range(n_ranks)]
+    kwargs = dict(alg_kwargs)
+    program = ALLREDUCE_ALGORITHMS[algorithm]
+    if algorithm in ("multicolor", "ring"):
+        kwargs.setdefault("segment_bytes", segment_bytes)
+    outcome = run_rank_programs(
+        comm, program, per_rank_args=[(b,) for b in bufs], **kwargs
+    )
+    classes = core_traffic(world.fabric)
+    bound = AlphaBetaModel(
+        rail_bandwidth=network.per_flow_cap
+        if network.per_flow_cap != float("inf")
+        else network.host_link.bandwidth,
+        rails=max(
+            1,
+            round(
+                network.host_link.bandwidth
+                / min(network.per_flow_cap, network.host_link.bandwidth)
+            ),
+        ),
+    ).allreduce_lower_bound(n_ranks, nbytes)
+    return CollectiveProfile(
+        algorithm=algorithm,
+        n_ranks=n_ranks,
+        payload_bytes=nbytes,
+        elapsed=outcome.elapsed,
+        total_wire_bytes=outcome.bytes_on_wire,
+        core_bytes=classes["core"],
+        edge_bytes=classes["edge"],
+        bandwidth_lower_bound=bound,
+        per_rank_sent=sent,
+    )

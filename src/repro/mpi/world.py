@@ -1,0 +1,260 @@
+"""The simulated MPI world: ranks, messaging and communicators.
+
+One MPI rank per cluster node (the paper runs one MPI process per learner).
+Messages travel as fabric flows; delivery is *eager* — a send completes
+locally at once and the payload appears in the destination mailbox when the
+last byte arrives, so rank programs written as generators never deadlock on
+send order.  Receives match on ``(source, tag)`` exactly, FIFO per key, as
+in MPI with deterministic tags.
+
+CPU-side reduction arithmetic (the paper sums network buffers with PowerPC
+altivec instructions) is modelled by a per-rank CPU resource with a
+configurable reduce bandwidth, so pipelined algorithms naturally overlap
+compute with communication.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.mpi.datatypes import Buffer
+from repro.net.fabric import Fabric
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Resource
+
+__all__ = ["MPIWorld", "Communicator", "Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message: payload plus byte count (for assertions)."""
+
+    source: int
+    tag: object
+    payload: object
+    nbytes: int
+
+
+class MPIWorld:
+    """All ranks plus the network they communicate over."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        n_ranks: int,
+        *,
+        reduce_bandwidth: float = 15e9,
+        copy_bandwidth: float = 40e9,
+    ):
+        """
+        Parameters
+        ----------
+        reduce_bandwidth:
+            Bytes/second a rank's CPU can sum (vectorized add of a network
+            buffer into a local buffer — altivec on POWER8).
+        copy_bandwidth:
+            Bytes/second for plain buffer copies (broadcast stores).
+        """
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if fabric.topology.n_hosts < n_ranks:
+            raise ValueError(
+                f"topology has {fabric.topology.n_hosts} hosts < {n_ranks} ranks"
+            )
+        if reduce_bandwidth <= 0 or copy_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.engine = engine
+        self.fabric = fabric
+        self.n_ranks = n_ranks
+        self.reduce_bandwidth = reduce_bandwidth
+        self.copy_bandwidth = copy_bandwidth
+        self._mailbox: list[dict[tuple[int, object], deque[Message]]] = [
+            {} for _ in range(n_ranks)
+        ]
+        self._waiting: list[dict[tuple[int, object], deque[Event]]] = [
+            {} for _ in range(n_ranks)
+        ]
+        self._any_waiting: list[dict[object, deque[Event]]] = [
+            {} for _ in range(n_ranks)
+        ]
+        self._cpu = [Resource(engine, 1, name=f"cpu{r}") for r in range(n_ranks)]
+        self._channel_tail: dict[tuple[int, int], Event] = {}
+
+    def comm_world(self) -> "Communicator":
+        return Communicator(self, list(range(self.n_ranks)))
+
+    # -- messaging (world-rank addressed) -----------------------------------
+    def isend(self, src: int, dst: int, tag: object, buf: Buffer) -> Event:
+        """Start a send; the returned event fires on *delivery*.
+
+        Sends between the same ``(src, dst)`` pair are serialized FIFO, like
+        a NIC send queue: message *m+1*'s bytes follow message *m*'s on the
+        wire.  This preserves pipelining order (segment *s* arrives before
+        segment *s+1*) which a pure fair-share fluid model would destroy.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = buf.extract()
+        nbytes = buf.nbytes
+        done = self.engine.event()
+        prev_tail = self._channel_tail.get((src, dst))
+        self._channel_tail[(src, dst)] = done
+
+        def channel_program():
+            if prev_tail is not None:
+                yield prev_tail
+            yield self.fabric.transfer(src, dst, nbytes)
+            self._deposit(dst, Message(src, tag, payload, nbytes))
+            done.succeed()
+
+        self.engine.process(channel_program(), name=f"send{src}->{dst}")
+        return done
+
+    def recv(self, rank: int, src: int, tag: object) -> Event:
+        """Event that fires with the :class:`Message` from ``(src, tag)``."""
+        self._check_rank(rank)
+        self._check_rank(src)
+        key = (src, tag)
+        queue = self._mailbox[rank].get(key)
+        ev = self.engine.event()
+        if queue:
+            ev.succeed(queue.popleft())
+            if not queue:
+                del self._mailbox[rank][key]
+        else:
+            self._waiting[rank].setdefault(key, deque()).append(ev)
+        return ev
+
+    def recv_any(self, rank: int, tag: object) -> Event:
+        """Event that fires with the next message carrying ``tag`` from *any*
+        source (MPI_ANY_SOURCE).  Used by the parameter-server extension."""
+        self._check_rank(rank)
+        ev = self.engine.event()
+        for key in self._mailbox[rank]:
+            if key[1] == tag:
+                queue = self._mailbox[rank][key]
+                ev.succeed(queue.popleft())
+                if not queue:
+                    del self._mailbox[rank][key]
+                return ev
+        self._any_waiting[rank].setdefault(tag, deque()).append(ev)
+        return ev
+
+    def _deposit(self, dst: int, msg: Message) -> None:
+        key = (msg.source, msg.tag)
+        waiters = self._waiting[dst].get(key)
+        if waiters:
+            waiters.popleft().succeed(msg)
+            if not waiters:
+                del self._waiting[dst][key]
+            return
+        any_waiters = self._any_waiting[dst].get(msg.tag)
+        if any_waiters:
+            any_waiters.popleft().succeed(msg)
+            if not any_waiters:
+                del self._any_waiting[dst][msg.tag]
+            return
+        self._mailbox[dst].setdefault(key, deque()).append(msg)
+
+    # -- local compute --------------------------------------------------------
+    def reduce_cpu(self, rank: int, nbytes: float):
+        """Generator: occupy ``rank``'s CPU for a reduction of ``nbytes``."""
+        yield from self._cpu[rank].use(nbytes / self.reduce_bandwidth)
+
+    def copy_cpu(self, rank: int, nbytes: float):
+        """Generator: occupy ``rank``'s CPU for a copy of ``nbytes``."""
+        yield from self._cpu[rank].use(nbytes / self.copy_bandwidth)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def assert_quiescent(self) -> None:
+        """Raise if any mailbox holds undelivered messages (test helper)."""
+        for rank, box in enumerate(self._mailbox):
+            if box:
+                leftovers = {k: len(v) for k, v in box.items()}
+                raise AssertionError(f"rank {rank} has unconsumed messages: {leftovers}")
+        for rank, waits in enumerate(self._waiting):
+            if waits:
+                raise AssertionError(f"rank {rank} has receives still pending: {list(waits)}")
+
+
+class Communicator:
+    """An ordered group of world ranks, MPI-communicator style.
+
+    Group rank ``i`` maps to world rank ``members[i]``.  All collective
+    algorithms address peers by *group* rank, so they work unchanged on
+    sub-communicators (used for the paper's group-restricted shuffles).
+    """
+
+    def __init__(self, world: MPIWorld, members: list[int]):
+        if not members:
+            raise ValueError("communicator needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate members in communicator: {members}")
+        for m in members:
+            world._check_rank(m)
+        self.world = world
+        self.members = list(members)
+        self._index = {m: i for i, m in enumerate(self.members)}
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def engine(self) -> Engine:
+        return self.world.engine
+
+    def world_rank(self, group_rank: int) -> int:
+        return self.members[group_rank]
+
+    def group_rank(self, world_rank: int) -> int:
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise ValueError(f"world rank {world_rank} not in communicator") from None
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    # -- messaging (group-rank addressed) -----------------------------------
+    def isend(self, src: int, dst: int, tag: object, buf: Buffer) -> Event:
+        return self.world.isend(self.members[src], self.members[dst], tag, buf)
+
+    def recv(self, rank: int, src: int, tag: object) -> Event:
+        return self.world.recv(self.members[rank], self.members[src], tag)
+
+    def reduce_cpu(self, rank: int, nbytes: float):
+        yield from self.world.reduce_cpu(self.members[rank], nbytes)
+
+    def copy_cpu(self, rank: int, nbytes: float):
+        yield from self.world.copy_cpu(self.members[rank], nbytes)
+
+    # -- topology-ish helpers -------------------------------------------------
+    def split(self, n_groups: int) -> list["Communicator"]:
+        """Partition into ``n_groups`` contiguous sub-communicators.
+
+        Mirrors ``MPI_Comm_split`` with ``color = rank // group_size``; the
+        paper uses this to restrict shuffles to learner groups.
+        """
+        if n_groups < 1 or n_groups > self.size:
+            raise ValueError(
+                f"n_groups must be in [1, {self.size}], got {n_groups}"
+            )
+        if self.size % n_groups != 0:
+            raise ValueError(
+                f"communicator of size {self.size} not divisible into "
+                f"{n_groups} equal groups"
+            )
+        per = self.size // n_groups
+        return [
+            Communicator(self.world, self.members[g * per : (g + 1) * per])
+            for g in range(n_groups)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Communicator(size={self.size}, members={self.members})"

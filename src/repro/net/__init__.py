@@ -1,0 +1,27 @@
+"""Network substrate: topologies, routing and a flow-level fabric simulator.
+
+The paper's multi-color allreduce is motivated by *how collective traffic
+shares fat-tree links*; this package models exactly that.  A
+:class:`Topology` is a directed graph of hosts and switches with per-link
+capacity and latency; the :class:`Fabric` simulates concurrent transfers as
+fluid flows with max-min fair bandwidth sharing, integrated with the
+discrete-event engine.
+"""
+
+from repro.net.params import LinkParams, NetworkParams, CONNECTX5_DUAL, CONNECTX5_SINGLE
+from repro.net.topology import Topology, fat_tree, full_mesh, ring, star
+from repro.net.fabric import Fabric, Flow
+
+__all__ = [
+    "CONNECTX5_DUAL",
+    "CONNECTX5_SINGLE",
+    "Fabric",
+    "Flow",
+    "LinkParams",
+    "NetworkParams",
+    "Topology",
+    "fat_tree",
+    "full_mesh",
+    "ring",
+    "star",
+]

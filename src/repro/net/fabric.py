@@ -1,0 +1,250 @@
+"""Flow-level network simulator with max-min fair bandwidth sharing.
+
+Every in-flight transfer is a fluid *flow* along a routed path.  Whenever the
+set of active flows changes, bandwidth is re-allocated max-min fairly
+(progressive filling): the most-contended link is saturated first, its flows
+are fixed at the fair share, and the procedure recurses on the residual
+capacities.  This is the standard fluid approximation for congestion-
+controlled fabrics such as InfiniBand with credit-based flow control, and it
+is exactly the regime that distinguishes the paper's collective algorithms —
+the multi-color trees win because their flows *avoid* sharing links, which a
+fixed-latency model could not show.
+
+The fabric is driven by the discrete-event :class:`~repro.sim.Engine`: flow
+completions are events, and rate changes reschedule the next completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import Topology
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Fabric", "Flow", "FabricStats"]
+
+_BYTES_EPS = 1e-6  # flows with fewer remaining bytes are considered done
+
+
+@dataclass
+class Flow:
+    """One in-flight transfer."""
+
+    fid: int
+    src: int
+    dst: int
+    path: tuple[int, ...]
+    nbytes: float
+    remaining: float
+    event: Event
+    rate: float = 0.0
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric counters (useful for tests and reports)."""
+
+    transfers_started: int = 0
+    transfers_completed: int = 0
+    bytes_completed: float = 0.0
+    link_bytes: dict[int, float] = field(default_factory=dict)
+
+
+class Fabric:
+    """Simulates concurrent transfers over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        *,
+        software_overhead: float = 0.0,
+        loopback_bandwidth: float = 60e9,
+        per_flow_cap: float = float("inf"),
+    ):
+        """
+        Parameters
+        ----------
+        software_overhead:
+            Fixed per-message cost (seconds) added before a flow starts —
+            models MPI/verbs software stack ("alpha" in alpha-beta models).
+        loopback_bandwidth:
+            Rate for ``src == dst`` transfers (a host-local memcpy).
+        per_flow_cap:
+            Upper bound on any single flow's rate (one NIC rail / QP); see
+            :class:`~repro.net.params.NetworkParams.per_flow_cap`.
+        """
+        if software_overhead < 0:
+            raise ValueError("software_overhead must be >= 0")
+        if loopback_bandwidth <= 0:
+            raise ValueError("loopback_bandwidth must be positive")
+        if per_flow_cap <= 0:
+            raise ValueError("per_flow_cap must be positive")
+        self.engine = engine
+        self.topology = topology
+        self.software_overhead = software_overhead
+        self.loopback_bandwidth = loopback_bandwidth
+        self.per_flow_cap = per_flow_cap
+        self.stats = FabricStats()
+        self._active: dict[int, Flow] = {}
+        self._next_fid = 0
+        self._last_update = 0.0
+        self._timer_generation = 0
+        self._realloc_pending = False
+
+    # -- public API --------------------------------------------------------
+    @property
+    def active_flows(self) -> tuple[Flow, ...]:
+        return tuple(self._active.values())
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> Event:
+        """Start moving ``nbytes`` from host ``src`` to host ``dst``.
+
+        Returns an event that triggers (value = the :class:`Flow`) when the
+        last byte arrives.  Zero-byte transfers still pay latency/overhead.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        ev = self.engine.event()
+        self.stats.transfers_started += 1
+        fid = self._next_fid
+        self._next_fid += 1
+        if src == dst:
+            duration = self.software_overhead + nbytes / self.loopback_bandwidth
+            flow = Flow(fid, src, dst, (), float(nbytes), 0.0, ev)
+            self.engine.process(self._delayed_complete(flow, duration))
+            return ev
+        path = self.topology.route(src, dst)
+        delay = self.software_overhead + self.topology.path_latency(path)
+        flow = Flow(fid, src, dst, path, float(nbytes), float(nbytes), ev)
+        if nbytes <= _BYTES_EPS:
+            self.engine.process(self._delayed_complete(flow, delay))
+            return ev
+        self.engine.process(self._delayed_activate(flow, delay))
+        return ev
+
+    # -- internals -----------------------------------------------------------
+    def _delayed_complete(self, flow: Flow, delay: float):
+        yield self.engine.timeout(delay)
+        self._finish(flow)
+
+    def _delayed_activate(self, flow: Flow, delay: float):
+        yield self.engine.timeout(delay)
+        self._update_progress()
+        self._active[flow.fid] = flow
+        self._request_reallocate()
+
+    def _request_reallocate(self) -> None:
+        """Coalesce rate recomputation: many flow arrivals/completions at
+        one simulation timestamp trigger a single max-min pass."""
+        if self._realloc_pending:
+            return
+        self._realloc_pending = True
+        ev = Event(self.engine)
+        ev.callbacks.append(self._run_reallocate)
+        ev.succeed()
+
+    def _run_reallocate(self, _ev: Event) -> None:
+        self._realloc_pending = False
+        self._reallocate()
+
+    def _finish(self, flow: Flow) -> None:
+        self.stats.transfers_completed += 1
+        self.stats.bytes_completed += flow.nbytes
+        for link in flow.path:
+            self.stats.link_bytes[link] = (
+                self.stats.link_bytes.get(link, 0.0) + flow.nbytes
+            )
+        flow.event.succeed(flow)
+
+    def _update_progress(self) -> None:
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._active.values():
+                flow.remaining -= flow.rate * dt
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and reschedule the next completion."""
+        self._compute_maxmin_rates()
+        self._timer_generation += 1
+        if not self._active:
+            return
+        horizon = min(
+            (f.remaining / f.rate) for f in self._active.values() if f.rate > 0
+        )
+        horizon = max(horizon, 0.0)
+        generation = self._timer_generation
+        self.engine.process(self._completion_timer(horizon, generation))
+
+    def _completion_timer(self, delay: float, generation: int):
+        yield self.engine.timeout(delay)
+        if generation != self._timer_generation:
+            return  # superseded by a later reallocation
+        self._update_progress()
+        finished = [
+            f for f in self._active.values() if f.remaining <= _BYTES_EPS * f.nbytes
+        ]
+        if not finished:
+            # Numerical guard: force the closest flow to completion.
+            finished = [min(self._active.values(), key=lambda f: f.remaining)]
+        for flow in finished:
+            del self._active[flow.fid]
+            self._finish(flow)
+        self._request_reallocate()
+
+    def _compute_maxmin_rates(self) -> None:
+        """Progressive-filling max-min fair allocation over active flows.
+
+        Per-link unfixed-flow counts are maintained incrementally, so each
+        pass costs O(bottlenecks * used_links + flows * path_length).
+        """
+        flows = list(self._active.values())
+        if not flows:
+            return
+        links = self.topology.links
+        residual: dict[int, float] = {}
+        link_flows: dict[int, list[Flow]] = {}
+        for flow in flows:
+            flow.rate = 0.0
+            for li in flow.path:
+                if li not in residual:
+                    residual[li] = links[li].params.bandwidth
+                    link_flows[li] = []
+                link_flows[li].append(flow)
+        unfixed_count = {li: len(fl) for li, fl in link_flows.items()}
+        fixed: set[int] = set()
+        n_unfixed = len(flows)
+        cap = self.per_flow_cap
+
+        def fix(flow: Flow, rate: float) -> None:
+            nonlocal n_unfixed
+            flow.rate = rate
+            fixed.add(flow.fid)
+            n_unfixed -= 1
+            for li in flow.path:
+                residual[li] = max(0.0, residual[li] - rate)
+                unfixed_count[li] -= 1
+
+        while n_unfixed:
+            best_link = -1
+            best_share = float("inf")
+            for li, cnt in unfixed_count.items():
+                if cnt <= 0:
+                    continue
+                share = residual[li] / cnt
+                if share < best_share:
+                    best_share = share
+                    best_link = li
+            if best_link < 0:
+                raise RuntimeError("active flow with no links (fabric bug)")
+            if best_share >= cap:
+                # Every remaining flow is rail-limited, not link-limited.
+                for flow in flows:
+                    if flow.fid not in fixed:
+                        fix(flow, cap)
+                break
+            for flow in list(link_flows[best_link]):
+                if flow.fid not in fixed:
+                    fix(flow, best_share)

@@ -1,0 +1,82 @@
+"""Topology and traffic rendering (ASCII).
+
+Turn a :class:`~repro.net.topology.Topology` and, optionally, a
+:class:`~repro.net.fabric.Fabric`'s per-link byte counters into readable
+text — the tool behind the topology-ablation discussion of *where* each
+collective's bytes go.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.net.fabric import Fabric
+from repro.net.topology import Topology
+from repro.utils.units import format_bytes
+
+__all__ = ["describe_topology", "link_utilization_table", "core_traffic"]
+
+
+def describe_topology(topo: Topology) -> str:
+    """Summarize vertices, links and attachment structure."""
+    switches = sorted(v for v in topo.vertices if v.startswith("s:"))
+    lines = [
+        f"topology {topo.name!r}: {topo.n_hosts} hosts, "
+        f"{len(switches)} switches, {len(topo.links)} directed links"
+    ]
+    for sw in switches:
+        hosts = sorted(
+            link.src for link in topo.links if link.dst == sw and not link.src.startswith("s:")
+        )
+        peers = sorted(
+            link.dst for link in topo.links if link.src == sw and link.dst.startswith("s:")
+        )
+        bw = sum(
+            link.params.bandwidth for link in topo.links if link.src == sw
+        )
+        lines.append(
+            f"  {sw}: hosts={hosts or '-'} uplinks={peers or '-'} "
+            f"egress={format_bytes(bw)}/s"
+        )
+    return "\n".join(lines)
+
+
+def link_utilization_table(
+    fabric: Fabric, *, top: int = 10, elapsed: float | None = None
+) -> str:
+    """The ``top`` busiest links by bytes carried, with mean utilization."""
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    topo = fabric.topology
+    horizon = elapsed if elapsed is not None else fabric.engine.now
+    rows = sorted(
+        fabric.stats.link_bytes.items(), key=lambda kv: kv[1], reverse=True
+    )[:top]
+    if not rows:
+        return "(no traffic recorded)"
+    lines = [f"{'link':28s} {'bytes':>12s} {'mean util':>10s}"]
+    for li, nbytes in rows:
+        link = topo.links[li]
+        util = (
+            nbytes / (link.params.bandwidth * horizon) if horizon > 0 else 0.0
+        )
+        lines.append(
+            f"{link.src + '->' + link.dst:28s} {format_bytes(nbytes):>12s} "
+            f"{util:>9.1%}"
+        )
+    return "\n".join(lines)
+
+
+def core_traffic(fabric: Fabric) -> dict[str, float]:
+    """Bytes by link class: host-edge vs leaf-spine core vs loopback."""
+    topo = fabric.topology
+    out: dict[str, float] = defaultdict(float)
+    for li, nbytes in fabric.stats.link_bytes.items():
+        link = topo.links[li]
+        if link.src.startswith("s:") and link.dst.startswith("s:"):
+            out["core"] += nbytes
+        else:
+            out["edge"] += nbytes
+    out.setdefault("core", 0.0)
+    out.setdefault("edge", 0.0)
+    return dict(out)

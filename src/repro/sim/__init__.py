@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal SimPy-style kernel: an :class:`Engine` owns a priority queue of
+timestamped events; :class:`Process` objects are Python generators that yield
+events (timeouts, other processes, resource requests) and are resumed when
+those events trigger.  Everything in the cluster/network/training simulators
+is built on this substrate.
+
+Determinism: ties in the event queue are broken by insertion order, so a
+simulation with the same inputs always produces the same trace.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityResource, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "PriorityResource",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,151 @@
+"""Shared-resource primitives for the event engine.
+
+* :class:`Resource` — a counted resource (e.g. a GPU, a disk head, a host
+  thread slot).  Processes ``request()`` a slot, yield the returned event,
+  and must ``release()`` when done.
+* :class:`PriorityResource` — same, with lower-priority-number-first grants.
+* :class:`Store` — an unbounded-or-bounded FIFO of Python objects (used for
+  work queues such as the Torch "donkey" mini-batch queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store"]
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots, FIFO grant order."""
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that triggers when a slot is granted."""
+        ev = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free one slot; grants the longest-waiting request if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            ev = self._waiters.popleft()
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """Generator helper: acquire, hold for ``duration``, release."""
+        yield self.request()
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.release()
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are granted lowest-priority-number first."""
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        super().__init__(engine, capacity, name)
+        self._prio_waiters: list[tuple[int, int, Event]] = []
+        self._seq = 0
+
+    def request(self, priority: int = 0) -> Event:  # type: ignore[override]
+        ev = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._seq += 1
+            self._prio_waiters.append((priority, self._seq, ev))
+            self._prio_waiters.sort(key=lambda t: (t[0], t[1]))
+        return ev
+
+    def release(self) -> None:  # type: ignore[override]
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._prio_waiters:
+            _prio, _seq, ev = self._prio_waiters.pop(0)
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity bound.
+
+    ``put`` returns an event that triggers when the item is accepted;
+    ``get`` returns an event that triggers with the next item.
+    """
+
+    def __init__(self, engine: Engine, capacity: float = float("inf"), name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = self.engine.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(item)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(item)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = self.engine.event()
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            if self._putters:
+                put_ev, put_item = self._putters.popleft()
+                self._items.append(put_item)
+                put_ev.succeed(put_item)
+        else:
+            self._getters.append(ev)
+        return ev

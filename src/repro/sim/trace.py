@@ -1,0 +1,139 @@
+"""Event tracing: record named spans on simulation timelines.
+
+A :class:`Tracer` collects ``(track, name, start, end)`` spans from
+anywhere in a simulation (collectives, storage reads, GPU steps) and can
+render them as an ASCII timeline — the tool used to *see* why the baseline
+DataParallelTable serializes and how the multi-color pipeline overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Engine
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval on a track."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects spans; attach one per simulation."""
+
+    engine: Engine
+    spans: list[Span] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, track: str, name: str, start: float, end: float) -> None:
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self.spans.append(Span(track, name, start, end))
+
+    def span(self, track: str, name: str):
+        """Context manager capturing ``engine.now`` at enter/exit.
+
+        Works inside process generators::
+
+            with tracer.span("gpu0", "fwd"):
+                yield engine.timeout(0.3)    # NOT supported - see below
+
+        Note: generators cannot yield inside a ``with`` across suspension
+        reliably for timing; prefer :meth:`record` with explicit times, or
+        use :meth:`timed` to wrap a process.
+        """
+        return _SpanContext(self, track, name)
+
+    def timed(self, track: str, name: str, generator):
+        """Wrap a process generator, recording its full lifetime as a span."""
+        start = self.engine.now
+
+        def wrapper():
+            result = yield from generator
+            self.record(track, name, start, self.engine.now)
+            return result
+
+        return wrapper()
+
+    # -- queries -----------------------------------------------------------
+    def tracks(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track)
+        return list(seen)
+
+    def busy_time(self, track: str) -> float:
+        """Total (possibly overlapping) span time on a track."""
+        return sum(s.duration for s in self.spans if s.track == track)
+
+    def utilization(self, track: str, horizon: float | None = None) -> float:
+        """Union-of-spans busy fraction over the horizon (default: now)."""
+        end_time = horizon if horizon is not None else self.engine.now
+        if end_time <= 0:
+            return 0.0
+        intervals = sorted(
+            (s.start, s.end) for s in self.spans if s.track == track
+        )
+        busy = 0.0
+        cur_start, cur_end = None, None
+        for start, end in intervals:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    busy += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            busy += cur_end - cur_start
+        return min(1.0, busy / end_time)
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, width: int = 72) -> str:
+        """ASCII timeline: one row per track, '#' where the track is busy."""
+        if not self.spans:
+            return "(no spans recorded)"
+        t_max = max(s.end for s in self.spans)
+        t_max = t_max or 1.0
+        lines = []
+        name_w = max(len(t) for t in self.tracks()) + 1
+        for track in self.tracks():
+            row = [" "] * width
+            for s in self.spans:
+                if s.track != track:
+                    continue
+                lo = int(s.start / t_max * (width - 1))
+                hi = max(lo, int(s.end / t_max * (width - 1)))
+                for c in range(lo, hi + 1):
+                    row[c] = "#"
+            lines.append(f"{track.ljust(name_w)}|{''.join(row)}|")
+        lines.append(f"{' ' * name_w}0{' ' * (width - 8)}{t_max:.3g}s")
+        return "\n".join(lines)
+
+
+class _SpanContext:
+    def __init__(self, tracer: Tracer, track: str, name: str):
+        self.tracer = tracer
+        self.track = track
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = self.tracer.engine.now
+        return self
+
+    def __exit__(self, *exc):
+        self.tracer.record(self.track, self.name, self._start, self.tracer.engine.now)

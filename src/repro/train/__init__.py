@@ -1,0 +1,29 @@
+"""Training: Algorithm 1 (functional), epoch timing, LR schedules, accuracy.
+
+* :mod:`repro.train.schedule` — the Goyal et al. warm-up + step schedule
+  the paper uses (§5).
+* :mod:`repro.train.distributed` — Algorithm 1 executed for real on NumPy
+  networks over the simulated MPI (gradients actually allreduced).
+* :mod:`repro.train.pipeline` — the per-iteration/epoch timing model that
+  combines storage, DPT, GPU and collective costs.
+* :mod:`repro.train.accuracy` — the convergence surrogate producing
+  top-1/loss curves (Figures 13-16) without 10^18 real FLOPs.
+"""
+
+from repro.train.schedule import WarmupStepSchedule
+from repro.train.distributed import DistributedSGDTrainer, TrainStepResult
+from repro.train.pipeline import EpochTimeModel, IterationBreakdown
+from repro.train.accuracy import AccuracyModel
+from repro.train.metrics import scaling_efficiency, speedup, time_to_epoch
+
+__all__ = [
+    "AccuracyModel",
+    "DistributedSGDTrainer",
+    "EpochTimeModel",
+    "IterationBreakdown",
+    "TrainStepResult",
+    "WarmupStepSchedule",
+    "scaling_efficiency",
+    "speedup",
+    "time_to_epoch",
+]

@@ -1,0 +1,223 @@
+"""Asynchronous SGD with a parameter server — the paper's §6 future work.
+
+"In future, we would like to explore the use and impact of our
+optimizations for the case of asynchronous SGD."  This module builds that
+exploration: a parameter-server trainer running on the same simulated
+cluster, with real NumPy gradients and genuinely emergent staleness.
+
+Design (the classical Downpour/EASGD-family setup the paper cites):
+
+* rank 0 is the **parameter server** (PS); ranks ``1..N`` are workers;
+* each worker pulls the current weights, computes a gradient on its own
+  mini-batch (its simulated compute time includes per-worker jitter, so
+  workers genuinely desynchronize), and pushes the gradient to the PS;
+* the PS applies updates in *arrival order*; a gradient computed against
+  weight version ``v`` applied at version ``V`` has staleness ``V - v``;
+* optionally, updates are **staleness-aware** (Zhang et al., the paper's
+  reference [10]): the learning rate is scaled by ``1 / (1 + staleness)``.
+
+Because pushes ride the simulated network and compute times differ, the
+staleness distribution is an *output* of the simulation, not an input.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dimd import DIMDStore
+from repro.models.nn.network import Network
+from repro.mpi.datatypes import ArrayBuffer, SizeBuffer
+from repro.mpi.runner import build_world
+from repro.utils.rng import rng_for
+
+__all__ = ["AsyncSGDResult", "AsyncSGDTrainer"]
+
+_PUSH = "ps-push"
+_PULL = "ps-pull"
+
+
+@dataclass
+class AsyncSGDResult:
+    """Outcome of an asynchronous training run."""
+
+    iterations: int                  # total gradient updates applied
+    simulated_seconds: float         # wall-clock on the simulated cluster
+    mean_loss: float                 # mean loss over the last quarter
+    staleness: list[int] = field(default_factory=list)
+
+    @property
+    def mean_staleness(self) -> float:
+        return float(np.mean(self.staleness)) if self.staleness else 0.0
+
+    @property
+    def max_staleness(self) -> int:
+        return max(self.staleness) if self.staleness else 0
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return self.iterations / self.simulated_seconds
+
+
+class AsyncSGDTrainer:
+    """Parameter-server asynchronous SGD on the simulated cluster."""
+
+    def __init__(
+        self,
+        network_factory: Callable[[np.random.Generator], Network],
+        stores: list[DIMDStore],
+        *,
+        batch_size: int = 8,
+        lr: float = 0.05,
+        staleness_aware: bool = False,
+        compute_time: float = 1e-3,
+        compute_jitter: float = 0.3,
+        worker_speed_factors: list[float] | None = None,
+        seed: int = 0,
+    ):
+        """
+        Parameters
+        ----------
+        stores:
+            One DIMD store per *worker* (the PS holds no data).
+        compute_time / compute_jitter:
+            Mean simulated seconds per gradient computation, and the
+            relative spread across workers/iterations — the jitter is what
+            makes workers drift apart and staleness appear.
+        worker_speed_factors:
+            Optional per-worker compute multipliers (>= 1 = slower), for
+            straggler studies: async training degrades gracefully where
+            synchronous SGD barriers on the slowest node.
+        """
+        if not stores:
+            raise ValueError("need at least one worker store")
+        if batch_size < 1 or lr <= 0:
+            raise ValueError("batch_size >= 1 and lr > 0 required")
+        if compute_time <= 0 or not 0 <= compute_jitter < 1:
+            raise ValueError("compute_time > 0 and 0 <= jitter < 1 required")
+        if worker_speed_factors is not None:
+            if len(worker_speed_factors) != len(stores):
+                raise ValueError("need one speed factor per worker")
+            if min(worker_speed_factors) <= 0:
+                raise ValueError("speed factors must be positive")
+        self.n_workers = len(stores)
+        self.stores = stores
+        self.batch_size = batch_size
+        self.lr = lr
+        self.staleness_aware = staleness_aware
+        self.compute_time = compute_time
+        self.compute_jitter = compute_jitter
+        self.worker_speed_factors = (
+            list(worker_speed_factors)
+            if worker_speed_factors is not None
+            else [1.0] * self.n_workers
+        )
+        self.seed = seed
+
+        self.master = network_factory(rng_for(seed, "init"))
+        self.worker_nets = [
+            network_factory(rng_for(seed, "w", w)) for w in range(self.n_workers)
+        ]
+        for net in self.worker_nets:
+            net.set_flat_params(self.master.get_flat_params())
+        self._losses: list[float] = []
+
+    def run(
+        self,
+        iterations_per_worker: int | None = None,
+        *,
+        time_limit: float | None = None,
+    ) -> AsyncSGDResult:
+        """Run the parameter server and workers; returns stats.
+
+        Exactly one of ``iterations_per_worker`` (fixed per-worker quota)
+        or ``time_limit`` (simulated seconds; workers stop starting new
+        iterations past it) must be given.  The time-budget mode is the
+        right one for straggler studies: a slow worker merely contributes
+        fewer updates instead of gating the whole run.
+        """
+        if (iterations_per_worker is None) == (time_limit is None):
+            raise ValueError(
+                "give exactly one of iterations_per_worker or time_limit"
+            )
+        if iterations_per_worker is not None and iterations_per_worker < 1:
+            raise ValueError("iterations_per_worker must be >= 1")
+        if time_limit is not None and time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        engine, world, comm = build_world(self.n_workers + 1, topology="star")
+        version = [0]                      # PS weight version counter
+        worker_version = [0] * self.n_workers
+        staleness: list[int] = []
+        self._losses = []
+
+        def ps_program():
+            active = self.n_workers
+            while active:
+                msg = yield world.recv_any(0, _PUSH)
+                if msg.nbytes == 0:  # retirement sentinel
+                    active -= 1
+                    continue
+                worker = msg.source - 1
+                grad = msg.payload
+                stale = version[0] - worker_version[worker]
+                staleness.append(stale)
+                lr = self.lr / (1 + stale) if self.staleness_aware else self.lr
+                w = self.master.get_flat_params()
+                self.master.set_flat_params(w - lr * grad)
+                version[0] += 1
+                worker_version[worker] = version[0]
+                world.isend(
+                    0, msg.source, _PULL,
+                    ArrayBuffer(self.master.get_flat_params()),
+                )
+
+        def worker_program(w: int):
+            rank = w + 1
+            net = self.worker_nets[w]
+            rng = rng_for(self.seed, "jitter", w)
+            it = 0
+            while True:
+                if iterations_per_worker is not None:
+                    if it >= iterations_per_worker:
+                        break
+                elif engine.now >= time_limit:
+                    break
+                batch_rng = rng_for(self.seed, "abatch", w, it)
+                images, labels = self.stores[w].random_batch(
+                    self.batch_size, batch_rng
+                )
+                loss, grad = net.loss_and_grad(images, labels)
+                self._losses.append(loss)
+                duration = (
+                    self.compute_time
+                    * self.worker_speed_factors[w]
+                    * (1.0 + self.compute_jitter * (2 * rng.random() - 1))
+                )
+                yield engine.timeout(duration)
+                world.isend(rank, 0, _PUSH, ArrayBuffer(grad))
+                msg = yield world.recv(rank, 0, _PULL)
+                net.set_flat_params(msg.payload)
+                it += 1
+            world.isend(rank, 0, _PUSH, SizeBuffer(0))
+
+        procs = [engine.process(ps_program(), name="ps")]
+        procs += [
+            engine.process(worker_program(w), name=f"worker{w}")
+            for w in range(self.n_workers)
+        ]
+        engine.run(engine.all_of(procs))
+        tail = self._losses[-max(1, len(self._losses) // 4):]
+        return AsyncSGDResult(
+            iterations=version[0],
+            simulated_seconds=engine.now,
+            mean_loss=float(np.mean(tail)),
+            staleness=staleness,
+        )
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy of the PS master weights."""
+        return self.master.accuracy(images, labels)

@@ -1,0 +1,93 @@
+"""Fault and straggler analysis for synchronous data-parallel SGD.
+
+Synchronous SGD advances at the pace of the slowest learner: a single
+degraded node throttles the whole allreduce and every iteration behind
+it.  These helpers quantify that — the operational risk the paper's
+synchronous design accepts in exchange for exact convergence (asynchronous
+SGD, in :mod:`repro.train.async_sgd`, is the resilient alternative §6
+points to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.train.pipeline import EpochTimeModel, IterationBreakdown
+
+__all__ = ["StragglerReport", "straggler_epoch_time", "degraded_allreduce_time"]
+
+
+@dataclass(frozen=True)
+class StragglerReport:
+    """Effect of slow nodes on one configuration."""
+
+    healthy_epoch: float
+    degraded_epoch: float
+    slowdown_factor: float     # compute slowdown applied to the stragglers
+    n_stragglers: int
+
+    @property
+    def penalty(self) -> float:
+        """Fractional epoch-time increase caused by the stragglers."""
+        return self.degraded_epoch / self.healthy_epoch - 1.0
+
+
+def straggler_epoch_time(
+    model: EpochTimeModel,
+    *,
+    slowdown: float,
+    n_stragglers: int = 1,
+) -> StragglerReport:
+    """Epoch time when ``n_stragglers`` nodes compute ``slowdown``x slower.
+
+    Every iteration barriers on the allreduce, so the iteration time is the
+    *straggler's* iteration time whenever at least one straggler exists —
+    regardless of how many healthy nodes there are.
+    """
+    if slowdown < 1.0:
+        raise ValueError("slowdown must be >= 1.0 (1 = healthy)")
+    if not 0 <= n_stragglers <= model.cluster.n_nodes:
+        raise ValueError("n_stragglers out of range")
+    healthy: IterationBreakdown = model.iteration_breakdown()
+    healthy_epoch = model.epoch_time()
+    if n_stragglers == 0 or slowdown == 1.0:
+        return StragglerReport(healthy_epoch, healthy_epoch, slowdown, n_stragglers)
+    slow_iter = healthy.total + healthy.gpu_compute * (slowdown - 1.0)
+    shuffle = model.shuffle_seconds * model.shuffles_per_epoch if model.dimd else 0.0
+    degraded_epoch = model.iterations_per_epoch * slow_iter + shuffle
+    return StragglerReport(healthy_epoch, degraded_epoch, slowdown, n_stragglers)
+
+
+def degraded_allreduce_time(
+    n_ranks: int,
+    nbytes: int,
+    *,
+    algorithm: str = "multicolor",
+    degraded_rank: int = 0,
+    link_factor: float = 0.25,
+    segment_bytes: int = 1024 * 1024,
+) -> tuple[float, float]:
+    """(healthy, degraded) allreduce times with one host's links scaled.
+
+    Models a flapping NIC: the degraded host's links run at
+    ``link_factor`` of nominal bandwidth.
+    """
+    from repro.mpi.runner import simulate_allreduce
+    from repro.net.params import CONNECTX5_DUAL
+    from repro.net.topology import fat_tree
+
+    if not 0 < link_factor <= 1:
+        raise ValueError("link_factor must be in (0, 1]")
+    healthy_topo = fat_tree(n_ranks, CONNECTX5_DUAL, hosts_per_leaf=4)
+    degraded_topo = healthy_topo.with_scaled_links(
+        healthy_topo.host(degraded_rank), link_factor
+    )
+    healthy = simulate_allreduce(
+        n_ranks, nbytes, algorithm=algorithm,
+        topology=healthy_topo, segment_bytes=segment_bytes,
+    ).elapsed
+    degraded = simulate_allreduce(
+        n_ranks, nbytes, algorithm=algorithm,
+        topology=degraded_topo, segment_bytes=segment_bytes,
+    ).elapsed
+    return healthy, degraded

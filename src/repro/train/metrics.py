@@ -1,0 +1,34 @@
+"""Scaling/speedup metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+__all__ = ["speedup", "scaling_efficiency", "time_to_epoch"]
+
+
+def speedup(baseline_time: float, optimized_time: float) -> float:
+    """Table 1's speedup convention: (old - new) / new, as a percentage.
+
+    (249 s -> 155 s reads as "60%" in the paper.)
+    """
+    if baseline_time <= 0 or optimized_time <= 0:
+        raise ValueError("times must be positive")
+    return 100.0 * (baseline_time - optimized_time) / optimized_time
+
+
+def scaling_efficiency(
+    base_nodes: int, base_time: float, scaled_nodes: int, scaled_time: float
+) -> float:
+    """Strong-scaling efficiency (%) going from base_nodes to scaled_nodes."""
+    if min(base_nodes, scaled_nodes) < 1:
+        raise ValueError("node counts must be >= 1")
+    if base_time <= 0 or scaled_time <= 0:
+        raise ValueError("times must be positive")
+    ideal = base_time * base_nodes / scaled_nodes
+    return 100.0 * ideal / scaled_time
+
+
+def time_to_epoch(epoch_time: float, n_epochs: int) -> float:
+    """Wall-clock seconds to complete ``n_epochs``."""
+    if epoch_time <= 0 or n_epochs < 0:
+        raise ValueError("epoch_time > 0 and n_epochs >= 0 required")
+    return epoch_time * n_epochs

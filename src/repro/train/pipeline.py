@@ -1,0 +1,216 @@
+"""Per-iteration and per-epoch timing model of the training pipeline.
+
+One training iteration on every node is::
+
+    [data serialization] + max(prefetch I/O - step, 0) + [step]
+    step = DPT overhead + GPU fwd/bwd + intra-node reduce
+         + inter-node allreduce + intra-node broadcast + SGD update
+
+* **data serialization** — main-thread batch assembly; large on the stock
+  file path (per-image filesystem accesses the donkeys cannot hide, §4.1),
+  small on DIMD (records come straight from memory).
+* **prefetch I/O** — the donkeys' storage reads, overlapped with the step;
+  only the excess over the step stalls the pipeline.
+* the communication terms run the actual collective algorithms on the
+  simulated network (results cached per configuration).
+
+Epoch time = iterations/epoch x iteration time + amortized DIMD shuffles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.cluster.gpu import GPUComputeModel
+from repro.cluster.interconnect import IntraNodeFabric
+from repro.cluster.specs import ClusterSpec
+from repro.data.synthetic import DatasetSpec
+from repro.dpt.timing import DPTTimingModel
+from repro.models.descriptors import ModelDescriptor
+from repro.mpi.runner import simulate_allreduce
+
+__all__ = ["EpochTimeModel", "IterationBreakdown"]
+
+#: Main-thread cost per image on the stock file path (open/stat/queue per
+#: JPEG) vs the DIMD in-memory path (pointer arithmetic into the blob).
+FILE_SERIAL_PER_IMAGE = 0.42e-3
+DIMD_SERIAL_PER_IMAGE = 0.03e-3
+
+#: fp32 bytes per input pixel and the crop geometry used for input sizing.
+INPUT_BYTES_PER_IMAGE = 3 * 224 * 224 * 4
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Seconds per component of one training iteration (per node)."""
+
+    data_serial: float
+    data_stall: float
+    dpt_overhead: float
+    gpu_compute: float
+    intra_reduce: float
+    inter_allreduce: float
+    intra_broadcast: float
+    sgd_update: float
+
+    @property
+    def step_time(self) -> float:
+        """Everything except the data path."""
+        return (
+            self.dpt_overhead
+            + self.gpu_compute
+            + self.intra_reduce
+            + self.inter_allreduce
+            + self.intra_broadcast
+            + self.sgd_update
+        )
+
+    @property
+    def total(self) -> float:
+        return self.data_serial + self.data_stall + self.step_time
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "data_serial": self.data_serial,
+            "data_stall": self.data_stall,
+            "dpt_overhead": self.dpt_overhead,
+            "gpu_compute": self.gpu_compute,
+            "intra_reduce": self.intra_reduce,
+            "inter_allreduce": self.inter_allreduce,
+            "intra_broadcast": self.intra_broadcast,
+            "sgd_update": self.sgd_update,
+            "total": self.total,
+        }
+
+
+@lru_cache(maxsize=256)
+def _allreduce_time(
+    n_nodes: int, nbytes: int, algorithm: str, reduce_bandwidth: float
+) -> float:
+    """Simulated inter-node allreduce time (cached)."""
+    if n_nodes == 1:
+        return 0.0
+    return simulate_allreduce(
+        n_nodes,
+        nbytes,
+        algorithm=algorithm,
+        segment_bytes=1024 * 1024,
+        reduce_bandwidth=reduce_bandwidth,
+    ).elapsed
+
+
+@dataclass
+class EpochTimeModel:
+    """Timing of the full data-parallel pipeline for one configuration."""
+
+    model: ModelDescriptor
+    cluster: ClusterSpec
+    dataset: DatasetSpec
+    compute: GPUComputeModel
+    batch_per_gpu: int = 64
+    allreduce_algorithm: str = "multicolor"
+    dimd: bool = True
+    dpt_variant: str = "optimized"
+    compute_factor: float = 1.0        # open-source kernel inefficiency
+    gradient_bytes_override: int | None = None
+    shuffles_per_epoch: int = 1
+    shuffle_seconds: float = 0.0       # supplied by the experiment layer
+    file_serial_per_image: float = FILE_SERIAL_PER_IMAGE
+    dimd_serial_per_image: float = DIMD_SERIAL_PER_IMAGE
+    dpt: DPTTimingModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_per_gpu < 1:
+            raise ValueError("batch_per_gpu must be >= 1")
+        if self.compute_factor < 1.0:
+            raise ValueError("compute_factor must be >= 1.0")
+        if self.shuffles_per_epoch < 0 or self.shuffle_seconds < 0:
+            raise ValueError("shuffle settings must be >= 0")
+        self.dpt = DPTTimingModel(self.cluster.node, self.dpt_variant)
+
+    # -- sizes ---------------------------------------------------------------
+    @property
+    def node_batch(self) -> int:
+        return self.batch_per_gpu * self.cluster.node.n_gpus
+
+    @property
+    def global_batch(self) -> int:
+        return self.node_batch * self.cluster.n_nodes
+
+    @property
+    def iterations_per_epoch(self) -> int:
+        return max(1, round(self.dataset.n_images / self.global_batch))
+
+    @property
+    def gradient_bytes(self) -> int:
+        if self.gradient_bytes_override is not None:
+            return self.gradient_bytes_override
+        return self.model.gradient_bytes
+
+    # -- per-iteration components ---------------------------------------------
+    def iteration_breakdown(self) -> IterationBreakdown:
+        node = self.cluster.node
+        fabric = IntraNodeFabric(node)
+        batch_bytes = self.node_batch * INPUT_BYTES_PER_IMAGE
+        output_bytes = self.node_batch * self.dataset.n_classes * 4
+        grads = self.gradient_bytes
+
+        gpu_compute = (
+            self.compute.step_time(
+                self.model.forward_flops, self.batch_per_gpu, self.model.n_layers
+            )
+            * self.compute_factor
+        )
+        dpt_overhead = self.dpt.step_overhead(batch_bytes, output_bytes)
+        intra_reduce = fabric.allreduce_time(grads)
+        inter = _allreduce_time(
+            self.cluster.n_nodes,
+            grads,
+            self.allreduce_algorithm,
+            node.host_reduce_bandwidth,
+        )
+        intra_bcast = fabric.broadcast_time(grads)
+        # Vectorized momentum update: ~4 parameter-sized streams on the GPU.
+        sgd = 4 * grads / node.gpu.mem_bandwidth
+
+        step = (
+            dpt_overhead + gpu_compute + intra_reduce + inter + intra_bcast + sgd
+        )
+        if self.dimd:
+            serial = self.node_batch * self.dimd_serial_per_image
+            stall = 0.0
+        else:
+            serial = self.node_batch * self.file_serial_per_image
+            prefetch = self.cluster.storage.read_time(
+                self.node_batch * self.dataset.mean_image_bytes, self.node_batch
+            )
+            stall = max(prefetch - step, 0.0)
+        return IterationBreakdown(
+            data_serial=serial,
+            data_stall=stall,
+            dpt_overhead=dpt_overhead,
+            gpu_compute=gpu_compute,
+            intra_reduce=intra_reduce,
+            inter_allreduce=inter,
+            intra_broadcast=intra_bcast,
+            sgd_update=sgd,
+        )
+
+    # -- aggregates -----------------------------------------------------------
+    def iteration_time(self) -> float:
+        return self.iteration_breakdown().total
+
+    def epoch_time(self) -> float:
+        epoch = self.iterations_per_epoch * self.iteration_time()
+        if self.dimd and self.shuffles_per_epoch:
+            epoch += self.shuffles_per_epoch * self.shuffle_seconds
+        return epoch
+
+    def images_per_second(self) -> float:
+        return self.global_batch / self.iteration_time()
+
+    def time_for_epochs(self, n_epochs: int) -> float:
+        if n_epochs < 0:
+            raise ValueError("n_epochs must be >= 0")
+        return n_epochs * self.epoch_time()

@@ -1,0 +1,65 @@
+"""The warm-start learning-rate schedule (§5, following Goyal et al.).
+
+"The starting learning rate was fixed at 0.1.  This is linearly ramped to
+``0.1 * k n / 256``, where k is the batch size per GPU and n is the total
+number of workers ... a 90 epoch training regime with the learning rate
+dropped by a factor of 10 after every 30 epochs."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WarmupStepSchedule"]
+
+
+@dataclass(frozen=True)
+class WarmupStepSchedule:
+    """Linear warm-up to the scaled LR, then stepwise 10x decays."""
+
+    batch_per_gpu: int
+    n_workers: int                      # total GPUs (nodes * GPUs per node)
+    base_lr: float = 0.1
+    reference_batch: int = 256
+    warmup_epochs: float = 5.0
+    total_epochs: int = 90
+    decay_every: int = 30
+    decay_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.batch_per_gpu < 1 or self.n_workers < 1:
+            raise ValueError("batch_per_gpu and n_workers must be >= 1")
+        if self.base_lr <= 0 or not 0 < self.decay_factor < 1:
+            raise ValueError("base_lr > 0 and 0 < decay_factor < 1 required")
+        if self.warmup_epochs < 0 or self.total_epochs < 1 or self.decay_every < 1:
+            raise ValueError("invalid schedule horizon")
+
+    @property
+    def global_batch(self) -> int:
+        return self.batch_per_gpu * self.n_workers
+
+    @property
+    def peak_lr(self) -> float:
+        """The scaled target LR, 0.1 * k n / 256."""
+        return self.base_lr * self.global_batch / self.reference_batch
+
+    def lr_at(self, epoch: float) -> float:
+        """Learning rate at a (fractional) epoch."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        # Step decays apply to the peak LR; warm-up ramps toward it.
+        n_decays = int(epoch // self.decay_every)
+        decayed = self.peak_lr * (self.decay_factor**n_decays)
+        if epoch < self.warmup_epochs and self.warmup_epochs > 0:
+            frac = epoch / self.warmup_epochs
+            return self.base_lr + (self.peak_lr - self.base_lr) * frac
+        return decayed
+
+    def curve(self, steps_per_epoch: int) -> list[float]:
+        """Per-iteration LRs over the whole regime (for plots and tests)."""
+        if steps_per_epoch < 1:
+            raise ValueError("steps_per_epoch must be >= 1")
+        return [
+            self.lr_at(step / steps_per_epoch)
+            for step in range(self.total_epochs * steps_per_epoch)
+        ]

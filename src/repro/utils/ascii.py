@@ -1,0 +1,113 @@
+"""Plain-text rendering of tables and line charts.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent and dependency-free (no matplotlib in
+the offline environment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` cells are converted with ``str``; numeric alignment is applied
+    to cells that parse as floats.
+    """
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str], pad: str = " ") -> str:
+        return "| " + " | ".join(c.rjust(w, pad) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_series(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more line series as an ASCII scatter chart.
+
+    Each series gets a distinct marker character.  Intended for eyeballing
+    figure shapes (monotonicity, crossovers) in terminal output.
+    """
+    markers = "*o+x#@%&"
+    xs = [float(v) for v in x]
+    all_y = [float(v) for ys in series.values() for v in ys]
+    if not xs or not all_y:
+        return "(empty chart)"
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(all_y), max(all_y)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for xv, yv in zip(xs, ys):
+            col = int(round((xv - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((float(yv) - ymin) / (ymax - ymin) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{ymax:.3g} ".rjust(10) + "+" + "-" * width + "+")
+    for row in grid:
+        out.append(" " * 10 + "|" + "".join(row) + "|")
+    out.append(f"{ymin:.3g} ".rjust(10) + "+" + "-" * width + "+")
+    footer = f"{xmin:.3g}".ljust(width // 2) + f"{xmax:.3g}".rjust(width // 2)
+    out.append(" " * 11 + footer)
+    if xlabel or ylabel:
+        out.append(" " * 11 + f"x: {xlabel}   y: {ylabel}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    out.append(" " * 11 + legend)
+    return "\n".join(out)

@@ -1,0 +1,82 @@
+"""Unit constants and human-readable formatting helpers.
+
+The simulator works in SI base units throughout: bytes, seconds, and
+bytes/second.  Network hardware is usually quoted in Gbit/s while payloads
+are quoted in MiB; these helpers keep the conversions in one place so the
+rest of the codebase never multiplies by a bare ``1e9 / 8``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB", "KIB", "MIB", "GIB", "TIB",
+    "Gbps", "bytes_per_second", "format_bytes", "format_duration", "format_rate",
+]
+
+# Decimal byte units (storage vendors, network payload sizes).
+KB: int = 1000
+MB: int = 1000**2
+GB: int = 1000**3
+TB: int = 1000**4
+
+# Binary byte units (memory, buffer sizes).
+KIB: int = 1024
+MIB: int = 1024**2
+GIB: int = 1024**3
+TIB: int = 1024**4
+
+
+def Gbps(gigabits: float) -> float:
+    """Convert a link rate in gigabits/second to bytes/second.
+
+    >>> Gbps(100)
+    12500000000.0
+    """
+    return gigabits * 1e9 / 8.0
+
+
+def bytes_per_second(nbytes: float, seconds: float) -> float:
+    """Average throughput of ``nbytes`` moved in ``seconds`` (B/s)."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return nbytes / seconds
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count using binary units, e.g. ``93.1 MiB``."""
+    sign = "-" if nbytes < 0 else ""
+    n = abs(float(nbytes))
+    for unit, label in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.1f} {label}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly, e.g. ``48m00s``, ``4.2s``, ``310us``."""
+    sign = "-" if seconds < 0 else ""
+    s = abs(float(seconds))
+    if s >= 3600:
+        hours = int(s // 3600)
+        minutes = int((s % 3600) // 60)
+        return f"{sign}{hours}h{minutes:02d}m"
+    if s >= 60:
+        minutes = int(s // 60)
+        rem = s % 60
+        return f"{sign}{minutes}m{rem:02.0f}s"
+    if s >= 1:
+        return f"{sign}{s:.1f}s"
+    if s >= 1e-3:
+        return f"{sign}{s * 1e3:.1f}ms"
+    if s >= 1e-6:
+        return f"{sign}{s * 1e6:.0f}us"
+    return f"{sign}{s * 1e9:.0f}ns"
+
+
+def format_rate(bytes_per_sec: float) -> str:
+    """Render a throughput, e.g. ``11.6 GB/s``."""
+    n = float(bytes_per_sec)
+    for unit, label in ((GB, "GB/s"), (MB, "MB/s"), (KB, "KB/s")):
+        if abs(n) >= unit:
+            return f"{n / unit:.1f} {label}"
+    return f"{n:.0f} B/s"

@@ -1,0 +1,62 @@
+"""Unit tests for the GPU compute model."""
+
+import pytest
+
+from repro.cluster import P100, GPUComputeModel
+
+RESNET_FWD_FLOPS = 3.9e9  # per 224x224 image
+RESNET_LAYERS = 53
+
+
+def model(eff=0.25):
+    return GPUComputeModel(gpu=P100, efficiency=eff)
+
+
+def test_effective_flops_saturates_with_batch():
+    m = model()
+    small = m.effective_flops(1)
+    big = m.effective_flops(64)
+    assert small < big
+    assert big < P100.fp32_tflops * 1e12 * 0.25
+
+
+def test_step_time_scales_roughly_linearly_in_batch():
+    m = model()
+    t32 = m.step_time(RESNET_FWD_FLOPS, 32, RESNET_LAYERS)
+    t64 = m.step_time(RESNET_FWD_FLOPS, 64, RESNET_LAYERS)
+    assert 1.5 < t64 / t32 < 2.0  # sub-linear: bigger batch = better util
+
+
+def test_images_per_second_in_p100_ballpark():
+    """P100 ResNet-50 training throughput was ~170-250 img/s in 2017."""
+    m = model(eff=0.25)
+    rate = m.images_per_second(RESNET_FWD_FLOPS, 64, RESNET_LAYERS)
+    assert 120 < rate < 350
+
+
+def test_forward_cheaper_than_step():
+    m = model()
+    fwd = m.forward_time(RESNET_FWD_FLOPS, 64, RESNET_LAYERS)
+    step = m.step_time(RESNET_FWD_FLOPS, 64, RESNET_LAYERS)
+    assert fwd < step / 2
+
+
+def test_kernel_overhead_floors_small_batches():
+    m = model()
+    t1 = m.step_time(RESNET_FWD_FLOPS, 1, RESNET_LAYERS)
+    floor = 2 * RESNET_LAYERS * m.kernels_per_layer * P100.kernel_overhead
+    assert t1 > floor
+
+
+def test_validation_errors():
+    m = model()
+    with pytest.raises(ValueError):
+        m.effective_flops(0)
+    with pytest.raises(ValueError):
+        m.step_time(-1.0, 8, 10)
+    with pytest.raises(ValueError):
+        m.step_time(1e9, 8, 0)
+    with pytest.raises(ValueError):
+        GPUComputeModel(gpu=P100, efficiency=1.5)
+    with pytest.raises(ValueError):
+        GPUComputeModel(gpu=P100, efficiency=0.2, batch_half_point=0)

@@ -1,0 +1,69 @@
+"""Unit tests for intra-node transfer models."""
+
+import pytest
+
+from repro.cluster import MINSKY_NODE, IntraNodeFabric
+
+
+@pytest.fixture
+def fabric():
+    return IntraNodeFabric(MINSKY_NODE)
+
+
+def test_direct_scatter_beats_staging(fabric):
+    """The optimized DPT input path must be faster for any batch size."""
+    for batch_bytes in (1e6, 50e6, 500e6):
+        assert fabric.scatter_direct(batch_bytes) < fabric.scatter_via_first_gpu(
+            batch_bytes
+        )
+
+
+def test_scatter_direct_is_one_slice(fabric):
+    batch = 64e6
+    assert fabric.scatter_direct(batch) == pytest.approx(
+        (batch / 4) / MINSKY_NODE.h2d_bandwidth
+    )
+
+
+def test_staged_scatter_components(fabric):
+    batch = 64e6
+    expected = batch / MINSKY_NODE.h2d_bandwidth + (
+        (batch / 4) * 3
+    ) / MINSKY_NODE.nvlink_bandwidth
+    assert fabric.scatter_via_first_gpu(batch) == pytest.approx(expected)
+
+
+def test_allreduce_log_rounds(fabric):
+    grad = 100e6
+    expected = 2 * grad / MINSKY_NODE.nvlink_bandwidth + grad / MINSKY_NODE.h2d_bandwidth
+    assert fabric.allreduce_time(grad) == pytest.approx(expected)
+
+
+def test_broadcast_time(fabric):
+    grad = 100e6
+    expected = grad / MINSKY_NODE.h2d_bandwidth + 2 * grad / MINSKY_NODE.nvlink_bandwidth
+    assert fabric.broadcast_time(grad) == pytest.approx(expected)
+
+
+def test_single_gpu_node_skips_peer_rounds():
+    from repro.cluster import NodeSpec, P100
+
+    node = NodeSpec(
+        name="single",
+        gpu=P100,
+        n_gpus=1,
+        cpu_cores=8,
+        host_memory_bytes=64e9,
+        h2d_bandwidth=10e9,
+        nvlink_bandwidth=10e9,
+        host_reduce_bandwidth=10e9,
+    )
+    fab = IntraNodeFabric(node)
+    assert fab.allreduce_time(1e6) == pytest.approx(1e6 / 10e9)
+
+
+def test_negative_bytes_rejected(fabric):
+    with pytest.raises(ValueError):
+        fabric.h2d_time(-1)
+    with pytest.raises(ValueError):
+        fabric.allreduce_time(-1)

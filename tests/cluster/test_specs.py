@@ -1,0 +1,86 @@
+"""Unit tests for hardware spec dataclasses."""
+
+import pytest
+
+from repro.cluster import (
+    FLASH_STORAGE,
+    LOCAL_MEMORY,
+    MINSKY_NODE,
+    NFS_STORAGE,
+    P100,
+    ClusterSpec,
+    GPUSpec,
+    NodeSpec,
+    StorageSpec,
+)
+
+
+def test_p100_datasheet_values():
+    assert P100.fp32_tflops == pytest.approx(10.6)
+    assert P100.memory_bytes == 16 * 1024**3
+
+
+def test_minsky_matches_paper_testbed():
+    """§5: 20 cores, 256 GB host memory, four P100 per node."""
+    assert MINSKY_NODE.cpu_cores == 20
+    assert MINSKY_NODE.n_gpus == 4
+    assert MINSKY_NODE.host_memory_bytes == 256 * 1024**3
+    assert MINSKY_NODE.gpu is P100
+
+
+def test_gpu_spec_validation():
+    with pytest.raises(ValueError):
+        GPUSpec(name="bad", fp32_tflops=0, memory_bytes=1, mem_bandwidth=1)
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(
+            name="bad",
+            gpu=P100,
+            n_gpus=0,
+            cpu_cores=1,
+            host_memory_bytes=1,
+            h2d_bandwidth=1,
+            nvlink_bandwidth=1,
+            host_reduce_bandwidth=1,
+        )
+
+
+def test_storage_read_time_components():
+    spec = StorageSpec(
+        name="t", sequential_bandwidth=100.0, random_iops=10.0, latency=0.5
+    )
+    # 2 requests: 2*0.5 latency + 2/10 iops + 200/100 transfer
+    assert spec.read_time(200.0, 2) == pytest.approx(1.0 + 0.2 + 2.0)
+
+
+def test_storage_read_time_validation():
+    with pytest.raises(ValueError):
+        NFS_STORAGE.read_time(-1.0)
+    with pytest.raises(ValueError):
+        NFS_STORAGE.read_time(1.0, 0)
+
+
+def test_storage_tier_ordering():
+    """dram >> flash >> shared fs for random image-sized reads."""
+    nbytes, reqs = 110_000.0, 1
+    t_nfs = NFS_STORAGE.read_time(nbytes, reqs)
+    t_flash = FLASH_STORAGE.read_time(nbytes, reqs)
+    t_mem = LOCAL_MEMORY.read_time(nbytes, reqs)
+    assert t_mem < t_flash < t_nfs
+
+
+def test_cluster_spec_defaults_and_scaling():
+    cluster = ClusterSpec(name="c", n_nodes=8, node=MINSKY_NODE)
+    assert cluster.storage is NFS_STORAGE
+    assert cluster.total_gpus == 32
+    bigger = cluster.with_nodes(32)
+    assert bigger.n_nodes == 32
+    assert bigger.node is MINSKY_NODE
+    assert cluster.n_nodes == 8  # original unchanged
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(name="c", n_nodes=0, node=MINSKY_NODE)

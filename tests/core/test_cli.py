@@ -1,0 +1,87 @@
+"""CLI tests: in-process (fast paths) and one subprocess smoke test."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_allreduce_command(capsys):
+    code, out = run_cli(
+        capsys, "allreduce", "--ranks", "8", "--mbytes", "4",
+        "--algorithm", "multicolor",
+    )
+    assert code == 0
+    assert "multicolor allreduce" in out
+    assert "8 nodes" in out
+
+
+def test_allreduce_unknown_algorithm(capsys):
+    code = main(["allreduce", "--algorithm", "warp"])
+    assert code == 2
+
+
+def test_epoch_command(capsys):
+    code, out = run_cli(capsys, "epoch", "--model", "googlenet_bn", "--nodes", "8")
+    assert code == 0
+    assert "epoch time" in out
+    assert "gpu_compute" in out
+
+
+def test_epoch_baseline_flag(capsys):
+    _code, opt_out = run_cli(capsys, "epoch", "--nodes", "8")
+    _code, base_out = run_cli(capsys, "epoch", "--nodes", "8", "--baseline")
+
+    def epoch_seconds(text):
+        line = [l for l in text.splitlines() if "epoch time" in l][0]
+        return line
+
+    assert epoch_seconds(base_out) != epoch_seconds(opt_out)
+
+
+def test_shuffle_command(capsys):
+    code, out = run_cli(
+        capsys, "shuffle", "--dataset", "imagenet-1k", "--learners", "16"
+    )
+    assert code == 0
+    assert "16 learners" in out
+    assert "AlltoAllv passes" in out
+
+
+def test_memory_command(capsys):
+    code, out = run_cli(capsys, "memory", "--dataset", "imagenet-22k",
+                        "--learners", "32")
+    assert code == 0
+    assert "fits" in out
+    assert "max replication" in out
+
+
+def test_trees_command(capsys):
+    code, out = run_cli(capsys, "trees", "--ranks", "8", "--colors", "4")
+    assert code == 0
+    assert "color 0: root 0" in out
+    assert "color 1: root 2" in out
+
+
+def test_module_invocation_smoke():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "trees", "--ranks", "8", "--colors", "4"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "color 3" in result.stdout

@@ -1,0 +1,69 @@
+"""Tests for ExperimentConfig and calibration helpers."""
+
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    GOOGLENET_PAPER_PAYLOAD,
+    compute_model_for,
+    shuffle_seconds_for,
+)
+
+
+def test_default_config_is_paper_setup():
+    cfg = ExperimentConfig()
+    assert cfg.model == "resnet50"
+    assert cfg.gpus_per_node == 4
+    assert cfg.batch_per_gpu == 64
+    assert cfg.n_workers == 32
+    assert cfg.global_batch == 2048
+
+
+def test_presets_flip_the_three_optimizations():
+    cfg = ExperimentConfig(n_nodes=16)
+    base = cfg.open_source_baseline()
+    assert base.allreduce == "openmpi_default"
+    assert not base.dimd
+    assert base.dpt_variant == "baseline"
+    assert base.open_source_kernels
+    opt = base.fully_optimized()
+    assert opt.allreduce == "multicolor"
+    assert opt.dimd and opt.dpt_variant == "optimized"
+    assert not opt.open_source_kernels
+    assert opt.n_nodes == 16  # preserved
+
+
+def test_with_nodes():
+    cfg = ExperimentConfig(n_nodes=8).with_nodes(32)
+    assert cfg.n_nodes == 32
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(n_nodes=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(allreduce="warp")
+    with pytest.raises(ValueError):
+        ExperimentConfig(dataset="cifar")
+    with pytest.raises(ValueError):
+        ExperimentConfig(dpt_variant="hyper")
+    with pytest.raises(ValueError):
+        ExperimentConfig(shuffles_per_epoch=-1)
+
+
+def test_googlenet_payload_is_93mb():
+    assert GOOGLENET_PAPER_PAYLOAD == 93_000_000
+
+
+def test_compute_model_lookup():
+    m = compute_model_for("resnet50")
+    assert m.gpu.name.startswith("P100")
+    with pytest.raises(ValueError):
+        compute_model_for("lenet")
+
+
+def test_shuffle_seconds_cached_and_single_node_zero():
+    assert shuffle_seconds_for(1, "imagenet-1k") == 0.0
+    a = shuffle_seconds_for(8, "imagenet-1k")
+    b = shuffle_seconds_for(8, "imagenet-1k")
+    assert a == b > 0

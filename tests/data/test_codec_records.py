@@ -1,0 +1,108 @@
+"""Unit + property tests for the codec and record-file format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import RecordReader, RecordWriter, decode_image, encode_image, write_record_file
+
+
+def random_image(rng, c=3, h=8, w=8):
+    return rng.integers(0, 256, size=(c, h, w), dtype=np.uint8)
+
+
+def test_codec_roundtrip():
+    rng = np.random.default_rng(0)
+    img = random_image(rng)
+    np.testing.assert_array_equal(decode_image(encode_image(img)), img)
+
+
+def test_codec_compresses_structured_images():
+    flat = np.zeros((3, 32, 32), dtype=np.uint8)
+    blob = encode_image(flat)
+    assert len(blob) < flat.nbytes / 4
+
+
+def test_codec_validation():
+    with pytest.raises(ValueError):
+        encode_image(np.zeros((3, 4, 4), dtype=np.float32))
+    with pytest.raises(ValueError):
+        encode_image(np.zeros((4, 4), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        decode_image(b"xx")
+
+
+def test_codec_rejects_corrupt_payload():
+    img = random_image(np.random.default_rng(1))
+    blob = encode_image(img)
+    # Corrupt the declared shape: decompressed size no longer matches.
+    bad = blob[:1] + b"\xff\xff" + blob[3:]
+    with pytest.raises(ValueError):
+        decode_image(bad)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    c=st.integers(1, 4),
+    h=st.integers(1, 16),
+    w=st.integers(1, 16),
+    seed=st.integers(0, 100),
+)
+def test_codec_roundtrip_property(c, h, w, seed):
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, size=(c, h, w), dtype=np.uint8)
+    np.testing.assert_array_equal(decode_image(encode_image(img)), img)
+
+
+def test_record_file_roundtrip(tmp_path):
+    rng = np.random.default_rng(2)
+    records = [
+        (encode_image(random_image(rng)), int(rng.integers(0, 10)))
+        for _ in range(20)
+    ]
+    base = write_record_file(tmp_path / "train", records)
+    with RecordReader(base) as reader:
+        assert len(reader) == 20
+        for i, (blob, label) in enumerate(records):
+            got_blob, got_label = reader.read(i)
+            assert got_blob == blob
+            assert got_label == label
+
+
+def test_record_reader_metadata(tmp_path):
+    records = [(b"abc", 1), (b"defgh", 2), (b"x", 0)]
+    base = write_record_file(tmp_path / "t", records)
+    with RecordReader(base) as reader:
+        assert reader.lengths.tolist() == [3, 5, 1]
+        assert reader.labels.tolist() == [1, 2, 0]
+        assert reader.data_bytes == 9
+
+
+def test_record_reader_read_many(tmp_path):
+    records = [(bytes([i]) * (i + 1), i) for i in range(5)]
+    base = write_record_file(tmp_path / "t", records)
+    with RecordReader(base) as reader:
+        blobs, labels = reader.read_many(np.array([3, 0, 4]))
+        assert blobs == [records[3][0], records[0][0], records[4][0]]
+        assert labels.tolist() == [3, 0, 4]
+
+
+def test_record_reader_bounds(tmp_path):
+    base = write_record_file(tmp_path / "t", [(b"a", 0)])
+    with RecordReader(base) as reader:
+        with pytest.raises(IndexError):
+            reader.read(1)
+
+
+def test_writer_validation(tmp_path):
+    w = RecordWriter(tmp_path / "t")
+    with pytest.raises(ValueError):
+        w.append(b"a", -1)
+    w.append(b"a", 0)
+    assert w.n_records == 1
+    assert w.data_bytes == 1
+    w.close()
+    w.close()  # idempotent
+    with pytest.raises(ValueError):
+        w.append(b"b", 1)

@@ -1,0 +1,120 @@
+"""Tests for the DIMD store, group layouts and partitioned load."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DIMDStore,
+    GroupLayout,
+    RecordReader,
+    build_synthetic_record_file,
+    partitioned_load,
+)
+from repro.data.codec import encode_image
+
+
+def make_store(n=10, seed=0, learner=0):
+    rng = np.random.default_rng(seed)
+    records = [
+        encode_image(rng.integers(0, 256, size=(1, 4, 4), dtype=np.uint8))
+        for _ in range(n)
+    ]
+    labels = rng.integers(0, 5, size=n)
+    return DIMDStore(records, labels, learner=learner)
+
+
+def test_group_layout_single_group():
+    layout = GroupLayout(8, 1)
+    assert layout.learners_per_group == 8
+    assert layout.group_of(5) == 0
+    assert layout.position_in_group(5) == 5
+    assert layout.group_members(0) == list(range(8))
+
+
+def test_group_layout_four_groups():
+    layout = GroupLayout(32, 4)
+    assert layout.learners_per_group == 8
+    assert layout.group_of(9) == 1
+    assert layout.position_in_group(9) == 1
+    assert layout.group_members(3) == list(range(24, 32))
+
+
+def test_group_layout_validation():
+    with pytest.raises(ValueError):
+        GroupLayout(8, 3)
+    with pytest.raises(ValueError):
+        GroupLayout(8, 9)
+    with pytest.raises(ValueError):
+        GroupLayout(0, 1)
+    layout = GroupLayout(4, 2)
+    with pytest.raises(ValueError):
+        layout.group_of(4)
+    with pytest.raises(ValueError):
+        layout.group_members(2)
+
+
+def test_store_basics():
+    store = make_store(10)
+    assert len(store) == 10
+    assert store.nbytes == sum(len(r) for r in store.records)
+
+
+def test_store_random_batch_decodes():
+    store = make_store(10)
+    rng = np.random.default_rng(1)
+    imgs, labels = store.random_batch(4, rng)
+    assert imgs.shape == (4, 1, 4, 4)
+    assert labels.shape == (4,)
+    assert imgs.max() <= 1.0
+
+
+def test_store_random_batch_seeded():
+    store = make_store(10)
+    a = store.random_batch_ids(6, np.random.default_rng(3))
+    b = store.random_batch_ids(6, np.random.default_rng(3))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_store_local_permute_preserves_pairs():
+    store = make_store(12)
+    before = store.content_multiset()
+    store.local_permute(np.random.default_rng(5))
+    assert store.content_multiset() == before
+    # and it actually permutes (overwhelmingly likely for n=12)
+    store2 = make_store(12)
+    store.local_permute(np.random.default_rng(6))
+    assert store.records != store2.records
+
+
+def test_store_validation():
+    with pytest.raises(ValueError):
+        DIMDStore([b"a"], np.array([1, 2]))
+    store = make_store(3)
+    with pytest.raises(ValueError):
+        store.random_batch(0, np.random.default_rng(0))
+    empty = DIMDStore([], np.array([], dtype=np.int64))
+    with pytest.raises(ValueError):
+        empty.random_batch(1, np.random.default_rng(0))
+
+
+def test_partitioned_load_covers_dataset(tmp_path):
+    ds, base = build_synthetic_record_file(tmp_path / "p", 20, 4, seed=2)
+    layout = GroupLayout(4, 1)
+    with RecordReader(base) as reader:
+        stores = [partitioned_load(reader, l, layout) for l in range(4)]
+    assert sum(len(s) for s in stores) == 20
+    assert all(len(s) == 5 for s in stores)
+    # Concatenated labels in order match the dataset.
+    all_labels = np.concatenate([s.labels for s in stores])
+    np.testing.assert_array_equal(all_labels, ds.labels)
+
+
+def test_partitioned_load_groups_replicate(tmp_path):
+    _ds, base = build_synthetic_record_file(tmp_path / "g", 12, 3, seed=3)
+    layout = GroupLayout(4, 2)  # 2 groups of 2 learners
+    with RecordReader(base) as reader:
+        stores = [partitioned_load(reader, l, layout) for l in range(4)]
+    # learners 0/2 hold the same slice (position 0 of each group).
+    assert stores[0].records == stores[2].records
+    assert stores[1].records == stores[3].records
+    assert len(stores[0]) + len(stores[1]) == 12

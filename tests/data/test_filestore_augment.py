@@ -1,0 +1,137 @@
+"""Tests for the file-backed loader and the augmentation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import NFS_STORAGE, StorageDevice, StorageSpec
+from repro.data import FileBackedLoader, augment_batch, normalize_batch
+from repro.data.augment import random_resized_crop
+from repro.sim import Engine
+
+
+def make_loader(engine, spec=None, **kw):
+    device = StorageDevice(engine, spec or NFS_STORAGE)
+    defaults = dict(batch_images=64, mean_image_bytes=110_000.0)
+    defaults.update(kw)
+    return FileBackedLoader(engine, device, **defaults)
+
+
+def test_loader_produces_requested_batches():
+    eng = Engine()
+    loader = make_loader(eng)
+    loader.start(n_batches=5)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            b = yield loader.next_batch()
+            got.append((eng.now, b))
+
+    eng.run(eng.process(consumer()))
+    assert len(got) == 5
+    assert got[0][0] > 0
+
+
+def test_loader_throughput_is_storage_bound():
+    """Consuming batches as fast as possible should take ~n * service time."""
+    eng = Engine()
+    loader = make_loader(eng)
+    n = 6
+
+    def consumer():
+        for _ in range(n):
+            yield loader.next_batch()
+
+    loader.start(n)
+    eng.run(eng.process(consumer()))
+    expected = n * loader.batch_service_time()
+    assert eng.now == pytest.approx(expected, rel=0.35)
+
+
+def test_loader_prefetch_hides_io_behind_compute():
+    """If compute per batch exceeds I/O per batch, the pipeline is
+    compute-bound: total ~ n * compute."""
+    eng = Engine()
+    fast = StorageSpec(name="fast", sequential_bandwidth=10e9, random_iops=1e6)
+    loader = make_loader(eng, spec=fast)
+    io_time = loader.batch_service_time()
+    compute = 10 * io_time
+    n = 4
+
+    def gpu():
+        for _ in range(n):
+            yield loader.next_batch()
+            yield eng.timeout(compute)
+
+    loader.start(n)
+    eng.run(eng.process(gpu()))
+    assert eng.now == pytest.approx(n * compute + io_time, rel=0.1)
+
+
+def test_loader_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        make_loader(eng, batch_images=0)
+    loader = make_loader(eng)
+    with pytest.raises(ValueError):
+        loader.start(0)
+    loader.start(1)
+    with pytest.raises(RuntimeError):
+        loader.start(1)
+
+
+def test_random_resized_crop_shape_and_determinism():
+    rng1 = np.random.default_rng(0)
+    rng2 = np.random.default_rng(0)
+    img = np.arange(3 * 16 * 16, dtype=float).reshape(3, 16, 16)
+    a = random_resized_crop(img, 8, rng1)
+    b = random_resized_crop(img, 8, rng2)
+    assert a.shape == (3, 8, 8)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_random_resized_crop_values_from_source():
+    rng = np.random.default_rng(1)
+    img = np.random.default_rng(2).standard_normal((3, 12, 12))
+    crop = random_resized_crop(img, 6, rng)
+    assert np.isin(crop, img).all()
+
+
+def test_augment_batch_shapes():
+    rng = np.random.default_rng(3)
+    batch = np.random.default_rng(4).random((5, 3, 16, 16))
+    out = augment_batch(batch, rng, out_size=8)
+    assert out.shape == (5, 3, 8, 8)
+
+
+def test_augment_flip_probability():
+    rng = np.random.default_rng(5)
+    batch = np.random.default_rng(6).random((64, 1, 4, 4))
+    out = augment_batch(batch, rng, flip_prob=1.0, out_size=4)
+    assert out.shape == batch.shape
+
+
+def test_normalize_batch_standardizes():
+    batch = np.random.default_rng(7).random((16, 3, 8, 8)) * 7 + 3
+    out = normalize_batch(batch)
+    np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+    np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, rtol=1e-6)
+
+
+def test_normalize_batch_explicit_stats():
+    batch = np.ones((2, 2, 2, 2))
+    out = normalize_batch(batch, mean=np.array([1.0, 0.0]), std=np.array([1.0, 2.0]))
+    assert out[0, 0, 0, 0] == pytest.approx(0.0)
+    assert out[0, 1, 0, 0] == pytest.approx(0.5)
+
+
+def test_augment_validation():
+    rng = np.random.default_rng(8)
+    with pytest.raises(ValueError):
+        augment_batch(np.zeros((3, 4, 4)), rng)
+    with pytest.raises(ValueError):
+        normalize_batch(np.zeros((2, 2)), None, None)
+    with pytest.raises(ValueError):
+        random_resized_crop(np.zeros((3, 4, 4)), 0, rng)
+    with pytest.raises(ValueError):
+        normalize_batch(np.zeros((1, 2, 2, 2)), mean=np.zeros(3), std=np.ones(3))

@@ -1,0 +1,61 @@
+"""Tests for DIMD memory planning."""
+
+import pytest
+
+from repro.cluster import MINSKY_NODE
+from repro.data import GroupLayout, IMAGENET_1K, IMAGENET_22K
+from repro.data.memory import max_replication_groups, plan_memory
+
+
+def test_imagenet1k_fully_replicated_fits_on_minsky():
+    """74 GB per node fits comfortably in 256 GB — the paper's 'each
+    learner can hold the entire data set' extreme."""
+    plan = plan_memory(IMAGENET_1K, MINSKY_NODE, GroupLayout(8, 8))
+    assert plan.fits
+    assert plan.partition_bytes == pytest.approx(70e9)
+    assert plan.headroom_bytes > 50e9
+
+
+def test_imagenet22k_fully_replicated_does_not_fit():
+    """220 GB per node exceeds the usable budget of a 256 GB node."""
+    plan = plan_memory(IMAGENET_22K, MINSKY_NODE, GroupLayout(32, 32))
+    assert not plan.fits
+
+
+def test_imagenet22k_partitioned_fits():
+    """One copy across 32 learners: ~6.9 GB per node (Figure 7's setup)."""
+    plan = plan_memory(IMAGENET_22K, MINSKY_NODE, GroupLayout(32, 1))
+    assert plan.fits
+    assert plan.partition_bytes == pytest.approx(220e9 / 32)
+    assert plan.utilization < 0.05
+
+
+def test_max_replication_1k():
+    """ImageNet-1k can be fully replicated at any node count."""
+    assert max_replication_groups(IMAGENET_1K, MINSKY_NODE, 8) == 8
+    assert max_replication_groups(IMAGENET_1K, MINSKY_NODE, 32) == 32
+
+
+def test_max_replication_22k():
+    """ImageNet-22k needs >= 2 learners per copy (110 GB each) on 256 GB."""
+    g = max_replication_groups(IMAGENET_22K, MINSKY_NODE, 32)
+    assert g == 16  # 2 learners/copy -> 110 GB/node, fits under 0.8*256-8
+    plan = plan_memory(IMAGENET_22K, MINSKY_NODE, GroupLayout(32, g))
+    assert plan.fits
+
+
+def test_infeasible_dataset_raises():
+    from repro.data import DatasetSpec
+
+    huge = DatasetSpec(
+        name="huge", n_images=10**8, n_classes=10**5, record_file_bytes=1e13
+    )
+    with pytest.raises(ValueError, match="does not fit"):
+        max_replication_groups(huge, MINSKY_NODE, 4)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        plan_memory(IMAGENET_1K, MINSKY_NODE, GroupLayout(8, 1), memory_fraction=0)
+    with pytest.raises(ValueError):
+        plan_memory(IMAGENET_1K, MINSKY_NODE, GroupLayout(8, 1), working_set=-1)

@@ -1,0 +1,172 @@
+"""Tests for the Algorithm 2 distributed shuffle (functional + timing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DIMDStore, IMAGENET_1K, IMAGENET_22K, distributed_shuffle, simulate_shuffle
+from repro.data.codec import encode_image
+from repro.mpi import build_world
+
+
+def make_stores(n_ranks, per_rank, seed=0):
+    rng = np.random.default_rng(seed)
+    stores = []
+    for r in range(n_ranks):
+        records = [
+            encode_image(rng.integers(0, 256, size=(1, 4, 4), dtype=np.uint8))
+            for _ in range(per_rank)
+        ]
+        labels = rng.integers(0, 7, size=per_rank)
+        stores.append(DIMDStore(records, labels, learner=r))
+    return stores
+
+
+def run_shuffle(stores, *, seed=0, n_groups=1, max_chunk_bytes=2**31):
+    n = len(stores)
+    engine, world, comm = build_world(n, topology="star")
+    comms = comm.split(n_groups)
+    procs = []
+    for r in range(n):
+        g = r // (n // n_groups)
+        sub = comms[g]
+        procs.append(
+            engine.process(
+                distributed_shuffle(
+                    sub,
+                    sub.group_rank(r),
+                    stores[r],
+                    seed=seed,
+                    max_chunk_bytes=max_chunk_bytes,
+                ),
+                name=f"shuf{r}",
+            )
+        )
+    engine.run(engine.all_of(procs))
+    world.assert_quiescent()
+    return [p.value for p in procs]
+
+
+def global_multiset(stores):
+    out = []
+    for s in stores:
+        out.extend(s.content_multiset())
+    return sorted(out)
+
+
+def test_shuffle_preserves_global_multiset():
+    stores = make_stores(4, 8, seed=1)
+    before = global_multiset(stores)
+    run_shuffle(stores, seed=42)
+    assert global_multiset(stores) == before
+
+
+def test_shuffle_moves_records_between_nodes():
+    stores = make_stores(4, 16, seed=2)
+    originals = [set(s.records) for s in stores]
+    run_shuffle(stores, seed=7)
+    # With 16 records per node and uniform destinations, each node keeps
+    # ~1/4 of its own records; all-stay is essentially impossible.
+    moved = sum(
+        1
+        for r, s in enumerate(stores)
+        for rec in s.records
+        if rec not in originals[r]
+    )
+    assert moved > 0
+
+
+def test_shuffle_is_deterministic_per_seed():
+    s1 = make_stores(3, 6, seed=3)
+    s2 = make_stores(3, 6, seed=3)
+    run_shuffle(s1, seed=11)
+    run_shuffle(s2, seed=11)
+    for a, b in zip(s1, s2):
+        assert a.records == b.records
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_shuffle_different_seeds_differ():
+    s1 = make_stores(3, 12, seed=4)
+    s2 = make_stores(3, 12, seed=4)
+    run_shuffle(s1, seed=1)
+    run_shuffle(s2, seed=2)
+    assert any(a.records != b.records for a, b in zip(s1, s2))
+
+
+def test_shuffle_multi_pass_32bit_workaround():
+    """Tiny max_chunk_bytes forces several AlltoAllv passes (Algorithm 2's
+    m sub-tensors); conservation must still hold."""
+    stores = make_stores(4, 10, seed=5)
+    before = global_multiset(stores)
+    reports = run_shuffle(stores, seed=9, max_chunk_bytes=64)
+    assert all(r.n_passes > 1 for r in reports)
+    assert global_multiset(stores) == before
+
+
+def test_group_restricted_shuffle_stays_in_group():
+    stores = make_stores(4, 10, seed=6)
+    group_a_before = global_multiset(stores[:2])
+    group_b_before = global_multiset(stores[2:])
+    run_shuffle(stores, seed=13, n_groups=2)
+    assert global_multiset(stores[:2]) == group_a_before
+    assert global_multiset(stores[2:]) == group_b_before
+
+
+def test_single_rank_shuffle_is_local_permute():
+    stores = make_stores(1, 8, seed=7)
+    before = global_multiset(stores)
+    run_shuffle(stores, seed=3)
+    assert global_multiset(stores) == before
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n_ranks=st.sampled_from([2, 3, 4]),
+    per_rank=st.integers(1, 12),
+    seed=st.integers(0, 50),
+)
+def test_shuffle_conservation_property(n_ranks, per_rank, seed):
+    stores = make_stores(n_ranks, per_rank, seed=seed)
+    before = global_multiset(stores)
+    run_shuffle(stores, seed=seed + 100)
+    assert global_multiset(stores) == before
+
+
+# -- full-scale timing (Figures 7-9) ------------------------------------------
+
+
+def test_simulate_shuffle_imagenet22k_32_learners():
+    """§5.2: 'For Imagenet-22k the time to shuffle the entire data among 32
+    learners is just 4.2 seconds' — we require the same few-second scale."""
+    report = simulate_shuffle(32, IMAGENET_22K)
+    assert 2.0 < report.elapsed < 8.0
+    assert report.memory_per_node == pytest.approx(220e9 / 32)
+    assert report.n_passes >= 2  # 6.9 GB partitions exceed the 2 GiB limit
+
+
+def test_simulate_shuffle_time_decreases_with_learners():
+    """Figures 7-8: doubling learners roughly halves the shuffle time."""
+    times = [simulate_shuffle(n, IMAGENET_1K).elapsed for n in (8, 16, 32)]
+    assert times[0] > times[1] > times[2]
+    assert times[0] / times[2] > 2.0
+
+
+def test_simulate_shuffle_memory_halves_per_doubling():
+    mems = [simulate_shuffle(n, IMAGENET_22K).memory_per_node for n in (8, 16, 32)]
+    assert mems[0] == pytest.approx(2 * mems[1])
+    assert mems[1] == pytest.approx(2 * mems[2])
+
+
+def test_simulate_group_shuffle_roughly_flat():
+    """Figure 9: on a symmetric network, group count changes little."""
+    base = simulate_shuffle(32, IMAGENET_22K, n_groups=1).elapsed
+    for g in (4, 8, 16):
+        t = simulate_shuffle(32, IMAGENET_22K, n_groups=g).elapsed
+        assert t == pytest.approx(base, rel=0.5)
+
+
+def test_simulate_shuffle_validation():
+    with pytest.raises(ValueError):
+        simulate_shuffle(8, IMAGENET_1K, pack_bandwidth=0)

@@ -1,0 +1,110 @@
+"""Tests for synthetic datasets and full-scale dataset specs."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    IMAGENET_1K,
+    IMAGENET_22K,
+    DatasetSpec,
+    SyntheticImageDataset,
+    build_synthetic_record_file,
+)
+
+
+def test_imagenet_specs_match_paper():
+    """§4.1/§5.2: 1.28M/7M images, 1k/22k classes, 70/220 GB files."""
+    assert IMAGENET_1K.n_classes == 1000
+    assert 1.2e6 < IMAGENET_1K.n_images < 1.3e6
+    assert IMAGENET_1K.record_file_bytes == 70e9
+    assert IMAGENET_22K.n_classes == 22_000
+    assert IMAGENET_22K.n_images == 7_000_000
+    assert IMAGENET_22K.record_file_bytes == 220e9
+
+
+def test_partition_bytes_single_group():
+    # 32 learners, one group: each holds 1/32 of the file.
+    per = IMAGENET_22K.partition_bytes(32, 1)
+    assert per == pytest.approx(220e9 / 32)
+
+
+def test_partition_bytes_grouped():
+    # 32 learners in 4 groups: 8 learners share a copy -> 1/8 each.
+    per = IMAGENET_22K.partition_bytes(32, 4)
+    assert per == pytest.approx(220e9 / 8)
+    # full replication
+    assert IMAGENET_1K.partition_bytes(8, 8) == pytest.approx(70e9)
+
+
+def test_partition_bytes_validation():
+    with pytest.raises(ValueError):
+        IMAGENET_1K.partition_bytes(8, 3)
+    with pytest.raises(ValueError):
+        IMAGENET_1K.partition_bytes(8, 0)
+    with pytest.raises(ValueError):
+        IMAGENET_1K.partition_bytes(4, 8)
+
+
+def test_dataset_spec_validation():
+    with pytest.raises(ValueError):
+        DatasetSpec(name="bad", n_images=0, n_classes=1, record_file_bytes=1)
+
+
+def test_synthetic_images_deterministic():
+    ds1 = SyntheticImageDataset(10, 3, seed=7)
+    ds2 = SyntheticImageDataset(10, 3, seed=7)
+    np.testing.assert_array_equal(ds1.image(4), ds2.image(4))
+    np.testing.assert_array_equal(ds1.labels, ds2.labels)
+
+
+def test_synthetic_seed_changes_content():
+    a = SyntheticImageDataset(10, 3, seed=1).image(0)
+    b = SyntheticImageDataset(10, 3, seed=2).image(0)
+    assert not np.array_equal(a, b)
+
+
+def test_synthetic_every_class_present():
+    ds = SyntheticImageDataset(20, 5, seed=0)
+    assert set(ds.labels.tolist()) == set(range(5))
+
+
+def test_synthetic_classes_are_distinguishable():
+    """Same-class images must be more alike than cross-class images."""
+    ds = SyntheticImageDataset(40, 2, seed=3, noise=0.2)
+    by_class = {0: [], 1: []}
+    for i in range(40):
+        by_class[int(ds.labels[i])].append(ds.image(i).astype(float).ravel())
+    mean0 = np.mean(by_class[0], axis=0)
+    mean1 = np.mean(by_class[1], axis=0)
+    within = np.mean([np.linalg.norm(v - mean0) for v in by_class[0]])
+    between = np.linalg.norm(mean0 - mean1) * np.sqrt(len(by_class[0]))
+    assert between > within * 0.5
+
+
+def test_batch_shapes_and_range():
+    ds = SyntheticImageDataset(10, 3, seed=0, height=8, width=8)
+    imgs, labels = ds.batch(np.array([0, 3, 5]))
+    assert imgs.shape == (3, 3, 8, 8)
+    assert labels.shape == (3,)
+    assert 0.0 <= imgs.min() and imgs.max() <= 1.0
+
+
+def test_build_record_file(tmp_path):
+    ds, base = build_synthetic_record_file(tmp_path / "syn", 12, 4, seed=1)
+    from repro.data import RecordReader, decode_image
+
+    with RecordReader(base) as reader:
+        assert len(reader) == 12
+        blob, label = reader.read(3)
+        np.testing.assert_array_equal(decode_image(blob), ds.image(3))
+        assert label == ds.labels[3]
+
+
+def test_synthetic_validation():
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(0, 1)
+    with pytest.raises(ValueError):
+        SyntheticImageDataset(3, 5)
+    ds = SyntheticImageDataset(3, 2)
+    with pytest.raises(IndexError):
+        ds.image(3)

@@ -1,0 +1,77 @@
+"""Tests for the Torch-threads-style pool."""
+
+import threading
+
+import pytest
+
+from repro.dpt import TorchThreads
+
+
+def test_jobs_run_and_return_values():
+    with TorchThreads(2) as pool:
+        pool.add_job(lambda: 1)
+        pool.add_job(lambda: 2)
+        assert pool.synchronize() == [1, 2]
+        assert pool.jobs_run == 2
+
+
+def test_ending_callbacks_serialized_in_order():
+    order = []
+    lock = threading.Lock()
+    with TorchThreads(4) as pool:
+        for i in range(8):
+            pool.add_job(lambda i=i: i, lambda v: order.append(v))
+        pool.synchronize()
+    # Callbacks run in submission order regardless of job completion order.
+    assert order == list(range(8))
+
+
+def test_callbacks_run_on_synchronizing_thread():
+    callback_threads = []
+    with TorchThreads(3) as pool:
+        for _ in range(3):
+            pool.add_job(
+                lambda: threading.get_ident(),
+                lambda _v: callback_threads.append(threading.get_ident()),
+            )
+        job_threads = pool.synchronize()
+    main = threading.get_ident()
+    assert all(t == main for t in callback_threads)
+    assert any(t != main for t in job_threads)  # jobs ran off-main
+
+
+def test_jobs_actually_parallel():
+    """With n threads and n sleeping jobs, wall time ~ one job."""
+    import time
+
+    with TorchThreads(4) as pool:
+        start = time.monotonic()
+        for _ in range(4):
+            pool.add_job(lambda: time.sleep(0.1))
+        pool.synchronize()
+        elapsed = time.monotonic() - start
+    assert elapsed < 0.35
+
+
+def test_exception_propagates_at_synchronize():
+    with TorchThreads(1) as pool:
+        pool.add_job(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            pool.synchronize()
+
+
+def test_synchronize_empty_is_noop():
+    with TorchThreads(1) as pool:
+        assert pool.synchronize() == []
+
+
+def test_use_after_shutdown_rejected():
+    pool = TorchThreads(1)
+    pool.shutdown()
+    with pytest.raises(RuntimeError):
+        pool.add_job(lambda: 1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TorchThreads(0)

@@ -1,0 +1,72 @@
+"""Tests for the DPT timing models."""
+
+import pytest
+
+from repro.cluster import MINSKY_NODE
+from repro.dpt import DPTTimingModel, DPT_VARIANTS
+
+BATCH_BYTES = 256 * 3 * 224 * 224 * 4  # 256 images/node, fp32
+OUTPUT_BYTES = 256 * 1000 * 4
+
+
+@pytest.fixture
+def baseline():
+    return DPTTimingModel(MINSKY_NODE, "baseline")
+
+
+@pytest.fixture
+def optimized():
+    return DPTTimingModel(MINSKY_NODE, "optimized")
+
+
+def test_optimized_is_faster_everywhere(baseline, optimized):
+    assert optimized.input_time(BATCH_BYTES) < baseline.input_time(BATCH_BYTES)
+    assert optimized.criterion_time(OUTPUT_BYTES) < baseline.criterion_time(
+        OUTPUT_BYTES
+    )
+    assert optimized.serialization_time() < baseline.serialization_time()
+    assert optimized.step_overhead(BATCH_BYTES, OUTPUT_BYTES) < baseline.step_overhead(
+        BATCH_BYTES, OUTPUT_BYTES
+    )
+
+
+def test_sync_points_match_functional_tables(baseline, optimized):
+    assert baseline.sync_points == 4
+    assert optimized.sync_points == 1
+
+
+def test_serialization_scales_with_gpus(baseline):
+    assert baseline.serialization_time() == pytest.approx(
+        4 * MINSKY_NODE.n_gpus * baseline.callback_cost
+    )
+
+
+def test_breakdown_sums_to_overhead(baseline):
+    parts = baseline.breakdown(BATCH_BYTES, OUTPUT_BYTES)
+    assert sum(parts.values()) == pytest.approx(
+        baseline.step_overhead(BATCH_BYTES, OUTPUT_BYTES)
+    )
+    assert set(parts) == {"input", "criterion", "serialization"}
+
+
+def test_overhead_magnitude_sensible(baseline, optimized):
+    """The per-step saving should sit in the tens-of-ms range that yields
+    the paper's 15-18% epoch improvement at ~350 ms steps."""
+    saved = baseline.step_overhead(BATCH_BYTES, OUTPUT_BYTES) - optimized.step_overhead(
+        BATCH_BYTES, OUTPUT_BYTES
+    )
+    assert 0.02 < saved < 0.12
+
+
+def test_variants_registry():
+    assert DPT_VARIANTS == ("baseline", "optimized")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DPTTimingModel(MINSKY_NODE, "turbo")
+    with pytest.raises(ValueError):
+        DPTTimingModel(MINSKY_NODE, "baseline", criterion_bandwidth=0)
+    model = DPTTimingModel(MINSKY_NODE, "baseline")
+    with pytest.raises(ValueError):
+        model.step_overhead(-1, 0)

@@ -1,0 +1,80 @@
+"""Smoke tests: the example scripts must run and produce their claims."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "fully optimized" in out
+    assert "90 epochs on 256 P100s" in out
+
+
+def test_multicolor_trees_example():
+    out = run_example("multicolor_trees.py")
+    assert "color 3" in out
+    assert "results match NumPy" in out
+    assert "multicolor" in out
+
+
+def test_dimd_shuffle_example():
+    out = run_example("dimd_shuffle_demo.py")
+    assert "records conserved" in out
+    assert "ImageNet-22k shuffle across 32 learners" in out
+
+
+def test_imagenet_training_example():
+    out = run_example("imagenet_training.py")
+    assert "final validation top-1" in out
+    # The CNN must actually learn the synthetic classes.
+    final_line = [l for l in out.splitlines() if "final validation" in l][0]
+    pct = float(final_line.split(":")[1].split("%")[0])
+    assert pct > 60.0
+
+
+@pytest.mark.slow
+def test_scaling_study_example():
+    out = run_example("scaling_study.py", timeout=600)
+    assert "Scaling study — resnet50" in out
+    assert "Table 2 configuration" in out
+
+
+def test_async_sgd_study_example():
+    out = run_example("async_sgd_study.py")
+    assert "synchronous Algorithm 1" in out
+    assert "staleness-aware" in out
+
+
+def test_pipeline_timeline_example():
+    out = run_example("pipeline_timeline.py")
+    assert "baseline DataParallelTable" in out
+    assert "optimized DataParallelTable" in out
+    # The optimization must shrink main-thread serialization visibly.
+    busy = [
+        float(l.split("busy:")[1].split("ms")[0])
+        for l in out.splitlines()
+        if "main-thread busy" in l
+    ]
+    assert busy[1] < busy[0]
+
+
+def test_collective_profiler_example():
+    out = run_example("collective_profiler.py")
+    assert "Allreduce profile" in out
+    assert "multicolor" in out and "hierarchical" in out

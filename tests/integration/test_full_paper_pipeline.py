@@ -1,0 +1,108 @@
+"""The whole paper in one functional test.
+
+Record file -> memory plan -> partitioned load -> warm-up schedule ->
+Algorithm 1 training with multicolor gradient allreduce and periodic
+Algorithm 2 shuffles -> distributed validation -> accuracy, exercising
+every functional subsystem against one another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MINSKY_NODE
+from repro.data import (
+    GroupLayout,
+    RecordReader,
+    build_synthetic_record_file,
+    partitioned_load,
+    plan_memory,
+)
+from repro.data.synthetic import DatasetSpec
+from repro.models.nn import Conv2d, Dense, Flatten, MaxPool2d, Network, ReLU
+from repro.train import DistributedSGDTrainer, WarmupStepSchedule
+from repro.train.validation import distributed_accuracy
+
+N_LEARNERS = 4
+GPUS = 2
+N_CLASSES = 6
+IMG = 8
+N_IMAGES = 240
+
+
+def cnn_factory(rng):
+    return Network(
+        [
+            Conv2d(3, 8, 3, rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(8 * (IMG // 2) ** 2, N_CLASSES, rng),
+        ]
+    )
+
+
+def test_full_paper_pipeline(tmp_path):
+    # 1. Build the dataset and its DIMD record file.
+    dataset, base = build_synthetic_record_file(
+        tmp_path / "train", n_images=N_IMAGES, n_classes=N_CLASSES,
+        height=IMG, width=IMG, seed=42, noise=0.1,
+    )
+
+    # 2. Memory planning (the full synthetic set trivially fits).
+    spec = DatasetSpec(
+        name="synthetic", n_images=N_IMAGES, n_classes=N_CLASSES,
+        record_file_bytes=max(1, sum(len(b) for b, _ in dataset.records())),
+    )
+    plan = plan_memory(spec, MINSKY_NODE, GroupLayout(N_LEARNERS, 1))
+    assert plan.fits
+
+    # 3. Partitioned load.
+    layout = GroupLayout(N_LEARNERS, 1)
+    with RecordReader(base) as reader:
+        stores = [partitioned_load(reader, l, layout) for l in range(N_LEARNERS)]
+    assert sum(len(s) for s in stores) == N_IMAGES
+
+    # 4. Warm-up LR schedule (the paper's 0.1 * kn/256 rule, scaled down).
+    schedule = WarmupStepSchedule(
+        batch_per_gpu=5,
+        n_workers=N_LEARNERS * GPUS,
+        base_lr=0.05,
+        reference_batch=40,
+        warmup_epochs=0.5,
+        total_epochs=12,
+        decay_every=6,
+    )
+
+    # 5. Algorithm 1 with real multicolor allreduce + Algorithm 2 shuffles.
+    val_ids = np.arange(0, N_IMAGES, 5)
+    val_x, val_y = dataset.batch(val_ids)
+    with DistributedSGDTrainer(
+        cnn_factory,
+        stores,
+        gpus_per_node=GPUS,
+        batch_per_gpu=5,
+        schedule=schedule,
+        momentum=0.9,
+        weight_decay=1e-4,
+        reducer="multicolor",
+        seed=42,
+        shuffle_every=3,
+    ) as trainer:
+        initial = trainer.evaluate(val_x, val_y)
+        losses = []
+        for _epoch in range(6):
+            losses.extend(r.loss for r in trainer.train_epoch())
+            trainer.check_synchronized()
+        final_single = trainer.evaluate(val_x, val_y)
+
+        # 6. Distributed validation agrees exactly with single-process.
+        replicas = [t.replicas[0] for t in trainer.tables]
+        final_distributed = distributed_accuracy(replicas, val_x, val_y)
+
+    assert final_distributed == pytest.approx(final_single)
+    assert final_single > initial
+    assert final_single > 0.5  # chance is ~17%
+    assert np.mean(losses[-8:]) < np.mean(losses[:8])
+
+    # 7. Data conservation survived the repeated shuffles.
+    assert sum(len(s) for s in stores) == N_IMAGES

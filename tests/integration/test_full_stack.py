@@ -1,0 +1,102 @@
+"""Cross-module integration tests: the whole stack wired together."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterExperiment,
+    DistributedSGDTrainer,
+    ExperimentConfig,
+    WarmupStepSchedule,
+)
+from repro.data import (
+    GroupLayout,
+    RecordReader,
+    build_synthetic_record_file,
+    partitioned_load,
+)
+from repro.models.nn import Dense, Flatten, Network, ReLU
+
+
+def test_record_file_to_distributed_training(tmp_path):
+    """Synthetic dataset -> record file -> partitioned load -> Algorithm 1
+    with MPI-backed gradients and periodic Algorithm 2 shuffles."""
+    n_learners, n_classes = 4, 5
+    dataset, base = build_synthetic_record_file(
+        tmp_path / "train", n_images=80, n_classes=n_classes,
+        height=8, width=8, seed=13,
+    )
+    layout = GroupLayout(n_learners, 1)
+    with RecordReader(base) as reader:
+        stores = [partitioned_load(reader, l, layout) for l in range(n_learners)]
+
+    def factory(rng):
+        return Network(
+            [Flatten(), Dense(3 * 8 * 8, 24, rng), ReLU(), Dense(24, n_classes, rng)]
+        )
+
+    schedule = WarmupStepSchedule(
+        batch_per_gpu=5, n_workers=8, base_lr=0.05,
+        reference_batch=40, warmup_epochs=0.0,
+    )
+    val_x, val_y = dataset.batch(np.arange(0, 80, 3))
+    with DistributedSGDTrainer(
+        factory, stores, gpus_per_node=2, batch_per_gpu=5,
+        schedule=schedule, reducer="multicolor", seed=1, shuffle_every=3,
+    ) as trainer:
+        first = trainer.evaluate(val_x, val_y)
+        for _ in range(3):
+            trainer.train_epoch()
+        trainer.check_synchronized()
+        final = trainer.evaluate(val_x, val_y)
+    assert final > first
+    assert final > 0.5  # well above 20% chance
+
+
+def test_experiment_pipeline_consistency():
+    """ClusterExperiment numbers must be self-consistent across views."""
+    cfg = ExperimentConfig(model="googlenet_bn", n_nodes=16)
+    exp = ClusterExperiment(cfg)
+    breakdown = exp.breakdown()
+    iters = exp.pipeline.iterations_per_epoch
+    shuffle = exp.pipeline.shuffle_seconds * exp.pipeline.shuffles_per_epoch
+    assert exp.epoch_time() == pytest.approx(iters * breakdown.total + shuffle)
+    run = exp.run(n_epochs=5)
+    assert run.total_seconds == pytest.approx(5 * exp.epoch_time())
+
+
+def test_optimization_chain_is_monotone():
+    """Adding each optimization must never slow the epoch down."""
+    base = ExperimentConfig(model="resnet50", n_nodes=8).open_source_baseline()
+    from dataclasses import replace
+
+    steps = [
+        base,
+        replace(base, allreduce="multicolor"),
+        replace(base, allreduce="multicolor", dimd=True),
+        replace(base, allreduce="multicolor", dimd=True, dpt_variant="optimized"),
+        base.fully_optimized(),
+    ]
+    times = [ClusterExperiment(c).epoch_time() for c in steps]
+    for earlier, later in zip(times, times[1:]):
+        assert later <= earlier + 1e-9
+
+
+def test_paper_payload_flag():
+    cfg = ExperimentConfig(model="googlenet_bn", n_nodes=8, use_paper_payload=True)
+    exp = ClusterExperiment(cfg)
+    assert exp.pipeline.gradient_bytes == 93_000_000
+    cfg2 = ExperimentConfig(model="googlenet_bn", n_nodes=8, use_paper_payload=False)
+    exp2 = ClusterExperiment(cfg2)
+    assert exp2.pipeline.gradient_bytes == exp2.descriptor.gradient_bytes
+
+
+def test_dataset_switch_scales_epoch():
+    """ImageNet-22k epochs ~5.5x ImageNet-1k's (7M vs 1.28M images)."""
+    t1k = ClusterExperiment(
+        ExperimentConfig(model="resnet50", n_nodes=32, dataset="imagenet-1k")
+    ).epoch_time()
+    t22k = ClusterExperiment(
+        ExperimentConfig(model="resnet50", n_nodes=32, dataset="imagenet-22k")
+    ).epoch_time()
+    assert t22k / t1k == pytest.approx(7_000_000 / 1_281_167, rel=0.05)

@@ -1,0 +1,103 @@
+"""Unit tests for model descriptors and the zoo."""
+
+import pytest
+
+from repro.models import (
+    MODELS,
+    RESNET50_PARAMS,
+    ModelDescriptor,
+    build_alexnet,
+    build_googlenet_bn,
+    build_resnet50,
+    build_vgg16,
+    conv2d,
+    dense,
+    get_model,
+    pool,
+)
+
+
+def test_conv2d_accounting():
+    layer = conv2d("c", 3, 64, 7, 112, 112)
+    assert layer.params == 7 * 7 * 3 * 64
+    assert layer.fwd_flops == 2.0 * 7 * 7 * 3 * 64 * 112 * 112
+
+
+def test_conv2d_bias_and_groups():
+    layer = conv2d("c", 8, 16, 3, 4, 4, groups=4, bias=True)
+    assert layer.params == 3 * 3 * 2 * 16 + 16
+    with pytest.raises(ValueError):
+        conv2d("c", 8, 16, 3, 4, 4, groups=3)
+
+
+def test_dense_accounting():
+    layer = dense("fc", 2048, 1000)
+    assert layer.params == 2048 * 1000 + 1000
+    assert layer.fwd_flops == 2.0 * 2048 * 1000
+
+
+def test_resnet50_canonical_param_count():
+    """The headline check: exact agreement with torchvision/fb.resnet."""
+    assert build_resnet50().n_params == RESNET50_PARAMS
+
+
+def test_resnet50_gflops_in_range():
+    """~4.1 GMACs = ~8.2 GFLOPs forward at 224x224."""
+    flops = build_resnet50().forward_flops
+    assert 7.5e9 < flops < 9.0e9
+
+
+def test_resnet50_gradient_payload_matches_paper():
+    """fp32 gradients ~102 MB (the ResNet-50 allreduce payload)."""
+    assert build_resnet50().gradient_bytes == pytest.approx(102.2e6, rel=0.01)
+
+
+def test_alexnet_canonical_param_count():
+    assert build_alexnet().n_params == pytest.approx(61.1e6, rel=0.01)
+
+
+def test_vgg16_canonical_param_count():
+    assert build_vgg16().n_params == pytest.approx(138.36e6, rel=0.005)
+
+
+def test_googlenet_bn_structure():
+    m = build_googlenet_bn()
+    # BN-Inception ends in a 1024-wide global pool + classifier.
+    fc = [l for l in m.layers if l.name == "fc"][0]
+    assert fc.params == 1024 * 1000 + 1000
+    assert 10e6 < m.n_params < 20e6
+    # The aux tower must be optional.
+    assert build_googlenet_bn(aux_head=False).n_params < m.n_params
+
+
+def test_googlenet_cheaper_than_resnet():
+    """GoogleNetBN trains faster per image than ResNet-50 (paper's Table 1
+    epoch times: 249s vs 498s open-source), so it must have fewer FLOPs."""
+    assert build_googlenet_bn().forward_flops < 0.6 * build_resnet50().forward_flops
+
+
+def test_zoo_lookup():
+    assert set(MODELS) == {"resnet50", "googlenet_bn", "alexnet", "vgg16"}
+    assert get_model("resnet50").name == "resnet50"
+    with pytest.raises(ValueError, match="unknown model"):
+        get_model("lenet")
+
+
+def test_descriptor_aggregates():
+    m = ModelDescriptor(name="toy", input_shape=(3, 8, 8))
+    m.add(conv2d("c1", 3, 8, 3, 8, 8))
+    m.add(pool("p1", 8, 4, 4, 2))
+    m.add(dense("fc", 128, 10))
+    assert m.n_params == 3 * 3 * 3 * 8 + 128 * 10 + 10
+    assert m.n_layers == 3
+    assert m.n_weight_layers == 2
+    assert "toy" in m.summary()
+
+
+def test_layer_validation():
+    with pytest.raises(ValueError):
+        conv2d("bad", 0, 8, 3, 8, 8)
+    with pytest.raises(ValueError):
+        dense("bad", 10, 0)
+    with pytest.raises(ValueError):
+        pool("bad", 1, 0, 1, 2)

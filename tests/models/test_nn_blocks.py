@@ -1,0 +1,150 @@
+"""Gradient checks and behaviour tests for composite NN blocks."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool,
+    ReLU,
+    Residual,
+    SGD,
+    Sequential,
+    build_tiny_resnet,
+)
+from tests.models.test_nn_layers import check_layer_gradients, numerical_grad
+
+RNG = np.random.default_rng(7)
+
+
+def test_avgpool_forward_values():
+    layer = AvgPool2d(2)
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    out = layer.forward(x)
+    assert out.ravel().tolist() == [2.5, 4.5, 10.5, 12.5]
+
+
+def test_avgpool_gradients():
+    layer = AvgPool2d(2)
+    x = RNG.standard_normal((2, 3, 4, 4))
+    check_layer_gradients(layer, x, check_params=False)
+
+
+def test_avgpool_validation():
+    with pytest.raises(ValueError):
+        AvgPool2d(0)
+    with pytest.raises(ValueError):
+        AvgPool2d(2).forward(np.zeros((1, 1, 5, 4)))
+
+
+def test_global_avgpool_gradients():
+    layer = GlobalAvgPool()
+    x = RNG.standard_normal((3, 2, 4, 4))
+    check_layer_gradients(layer, x, check_params=False)
+
+
+def test_global_avgpool_shape():
+    out = GlobalAvgPool().forward(np.ones((2, 5, 3, 3)))
+    assert out.shape == (2, 5)
+    np.testing.assert_allclose(out, 1.0)
+    with pytest.raises(ValueError):
+        GlobalAvgPool().forward(np.zeros((2, 5)))
+
+
+def test_dropout_identity_at_eval():
+    layer = Dropout(0.5, np.random.default_rng(0))
+    x = RNG.standard_normal((4, 6))
+    np.testing.assert_array_equal(layer.forward(x, train=False), x)
+
+
+def test_dropout_scales_kept_units():
+    layer = Dropout(0.5, np.random.default_rng(1))
+    x = np.ones((500, 4))
+    out = layer.forward(x, train=True)
+    kept = out[out != 0]
+    np.testing.assert_allclose(kept, 2.0)
+    # Expectation preserved.
+    assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+
+def test_dropout_backward_uses_same_mask():
+    layer = Dropout(0.3, np.random.default_rng(2))
+    x = RNG.standard_normal((5, 5))
+    out = layer.forward(x, train=True)
+    grad = layer.backward(np.ones_like(out))
+    np.testing.assert_array_equal((grad != 0), (out != 0))
+
+
+def test_dropout_validation():
+    with pytest.raises(ValueError):
+        Dropout(1.0, np.random.default_rng(0))
+
+
+def test_sequential_matches_manual_stack():
+    rng = np.random.default_rng(3)
+    conv = Conv2d(2, 3, 3, rng)
+    seq = Sequential([conv, ReLU()])
+    x = RNG.standard_normal((2, 2, 4, 4))
+    manual = ReLU().forward(conv.forward(x))
+    np.testing.assert_array_equal(seq.forward(x), manual)
+    assert seq.params == conv.params
+    with pytest.raises(ValueError):
+        Sequential([])
+
+
+def test_residual_identity_gradients():
+    rng = np.random.default_rng(4)
+    block = Residual(
+        Sequential([Conv2d(2, 2, 3, rng), ReLU(), Conv2d(2, 2, 3, rng)])
+    )
+    x = RNG.standard_normal((2, 2, 4, 4))
+    check_layer_gradients(block, x, atol=1e-5)
+
+
+def test_residual_projection_gradients():
+    rng = np.random.default_rng(5)
+    block = Residual(
+        Sequential([Conv2d(2, 4, 3, rng, stride=2, pad=1)]),
+        shortcut=Conv2d(2, 4, 1, rng, stride=2, pad=0),
+    )
+    x = RNG.standard_normal((1, 2, 4, 4))
+    check_layer_gradients(block, x, atol=1e-5)
+
+
+def test_residual_shape_mismatch_raises():
+    rng = np.random.default_rng(6)
+    block = Residual(Sequential([Conv2d(2, 4, 3, rng)]))  # 4ch vs 2ch skip
+    with pytest.raises(ValueError, match="shortcut"):
+        block.forward(RNG.standard_normal((1, 2, 4, 4)))
+
+
+def test_tiny_resnet_learns_synthetic_classes():
+    rng = np.random.default_rng(8)
+    net = build_tiny_resnet(rng, n_classes=2, channels=6)
+    n = 48
+    x = rng.standard_normal((n, 3, 8, 8)) * 0.1
+    y = rng.integers(0, 2, size=n)
+    x[y == 0, :, :4, :] += 1.0
+    x[y == 1, :, 4:, :] += 1.0
+    opt = SGD(net, lr=0.05, momentum=0.9)
+    first_loss, _ = net.loss_and_grad(x, y)
+    for _ in range(30):
+        _, g = net.loss_and_grad(x, y)
+        opt.step(g)
+    final_loss, _ = net.loss_and_grad(x, y)
+    assert final_loss < first_loss
+    assert net.accuracy(x, y) > 0.85
+
+
+def test_tiny_resnet_grad_batch_linearity():
+    """The residual network keeps the data-parallel invariant."""
+    rng = np.random.default_rng(9)
+    net = build_tiny_resnet(rng, n_classes=3, channels=4)
+    x = rng.standard_normal((8, 3, 8, 8))
+    y = rng.integers(0, 3, size=8)
+    _, g_full = net.loss_and_grad(x, y)
+    _, g_a = net.loss_and_grad(x[:4], y[:4])
+    _, g_b = net.loss_and_grad(x[4:], y[4:])
+    np.testing.assert_allclose(g_full, 0.5 * (g_a + g_b), rtol=1e-9, atol=1e-11)

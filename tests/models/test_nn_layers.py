@@ -1,0 +1,161 @@
+"""Gradient checks and behaviour tests for the NumPy NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    MaxPool2d,
+    ReLU,
+    softmax_cross_entropy,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=float)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_layer_gradients(layer, x, *, check_params=True, atol=1e-6):
+    """Verify backward() against central differences for input and params."""
+
+    def loss():
+        return float(np.sum(layer.forward(x, train=True) ** 2))
+
+    layer.zero_grads()
+    out = layer.forward(x, train=True)
+    dx = layer.backward(2.0 * out)
+    analytic = [g.copy() for g in layer.grads]
+
+    np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=atol, rtol=1e-4)
+    if check_params:
+        for g, p in zip(analytic, layer.params):
+            np.testing.assert_allclose(
+                g, numerical_grad(loss, p), atol=atol, rtol=1e-4
+            )
+
+
+def test_dense_gradients():
+    layer = Dense(5, 4, RNG)
+    x = RNG.standard_normal((3, 5))
+    check_layer_gradients(layer, x)
+
+
+def test_conv2d_gradients():
+    layer = Conv2d(2, 3, 3, RNG)
+    x = RNG.standard_normal((2, 2, 5, 5))
+    check_layer_gradients(layer, x, atol=1e-5)
+
+
+def test_conv2d_stride_gradients():
+    layer = Conv2d(2, 2, 3, RNG, stride=2, pad=1)
+    x = RNG.standard_normal((1, 2, 6, 6))
+    check_layer_gradients(layer, x, atol=1e-5)
+
+
+def test_conv2d_output_shape():
+    layer = Conv2d(3, 8, 3, RNG)  # same padding
+    out = layer.forward(RNG.standard_normal((2, 3, 8, 8)))
+    assert out.shape == (2, 8, 8, 8)
+    strided = Conv2d(3, 8, 3, RNG, stride=2, pad=1)
+    assert strided.forward(RNG.standard_normal((2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+
+def test_relu_gradients():
+    layer = ReLU()
+    x = RNG.standard_normal((4, 6)) + 0.1  # keep away from the kink
+    check_layer_gradients(layer, x, check_params=False)
+
+
+def test_maxpool_forward():
+    layer = MaxPool2d(2)
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    out = layer.forward(x)
+    assert out.shape == (1, 1, 2, 2)
+    assert out.ravel().tolist() == [5.0, 7.0, 13.0, 15.0]
+
+
+def test_maxpool_gradients():
+    layer = MaxPool2d(2)
+    x = RNG.standard_normal((2, 3, 4, 4))
+    check_layer_gradients(layer, x, check_params=False)
+
+
+def test_maxpool_rejects_indivisible():
+    with pytest.raises(ValueError):
+        MaxPool2d(2).forward(np.zeros((1, 1, 5, 4)))
+
+
+def test_flatten_roundtrip():
+    layer = Flatten()
+    x = RNG.standard_normal((2, 3, 4, 4))
+    out = layer.forward(x)
+    assert out.shape == (2, 48)
+    assert layer.backward(out).shape == x.shape
+
+
+def test_batchnorm_normalizes():
+    layer = BatchNorm(3)
+    x = RNG.standard_normal((16, 3, 4, 4)) * 5 + 2
+    out = layer.forward(x, train=True)
+    assert abs(out.mean()) < 1e-7
+    assert out.std() == pytest.approx(1.0, abs=0.05)
+
+
+def test_batchnorm_gradients():
+    layer = BatchNorm(2)
+    x = RNG.standard_normal((4, 2, 3, 3))
+    check_layer_gradients(layer, x, atol=1e-5)
+
+
+def test_batchnorm_eval_uses_running_stats():
+    layer = BatchNorm(2, momentum=0.0)  # running stats = last batch
+    x = RNG.standard_normal((32, 2)) * 3 + 1
+    layer.forward(x, train=True)
+    y = layer.forward(np.zeros((4, 2)), train=False)
+    expected = (0 - layer.running_mean) / np.sqrt(layer.running_var + layer.eps)
+    np.testing.assert_allclose(y[0], expected, rtol=1e-6)
+
+
+def test_softmax_cross_entropy_gradcheck():
+    logits = RNG.standard_normal((5, 4))
+    labels = np.array([0, 1, 2, 3, 1])
+
+    loss, grad = softmax_cross_entropy(logits, labels)
+
+    def f():
+        return softmax_cross_entropy(logits, labels)[0]
+
+    np.testing.assert_allclose(grad, numerical_grad(f, logits), atol=1e-7)
+    assert loss > 0
+
+
+def test_softmax_cross_entropy_validation():
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 5]))
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+
+def test_backward_requires_forward():
+    for layer in (Dense(2, 2, RNG), ReLU(), MaxPool2d(2), BatchNorm(2)):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))

@@ -1,0 +1,163 @@
+"""Tests for Network plumbing, SGD, and real end-to-end learning."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn import (
+    Conv2d,
+    Dense,
+    Flatten,
+    MaxPool2d,
+    Network,
+    ReLU,
+    SGD,
+)
+
+
+def make_mlp(rng, n_in=8, n_hidden=16, n_out=3):
+    return Network(
+        [Dense(n_in, n_hidden, rng), ReLU(), Dense(n_hidden, n_out, rng)]
+    )
+
+
+def make_cnn(rng, n_classes=4):
+    return Network(
+        [
+            Conv2d(1, 8, 3, rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(8 * 4 * 4, n_classes, rng),
+        ]
+    )
+
+
+def blobs_dataset(rng, n=256, n_in=8, n_classes=3):
+    """Linearly-separable Gaussian blobs."""
+    centers = rng.standard_normal((n_classes, n_in)) * 3.0
+    labels = rng.integers(0, n_classes, size=n)
+    x = centers[labels] + rng.standard_normal((n, n_in)) * 0.5
+    return x, labels
+
+
+def test_flat_param_roundtrip():
+    rng = np.random.default_rng(0)
+    net = make_mlp(rng)
+    flat = net.get_flat_params()
+    assert flat.shape == (net.n_params,)
+    net.set_flat_params(flat * 2.0)
+    np.testing.assert_allclose(net.get_flat_params(), flat * 2.0)
+
+
+def test_flat_grad_roundtrip():
+    rng = np.random.default_rng(0)
+    net = make_mlp(rng)
+    g = rng.standard_normal(net.n_params)
+    net.set_flat_grads(g)
+    np.testing.assert_allclose(net.get_flat_grads(), g)
+
+
+def test_flat_shape_validation():
+    rng = np.random.default_rng(0)
+    net = make_mlp(rng)
+    with pytest.raises(ValueError):
+        net.set_flat_params(np.zeros(3))
+    with pytest.raises(ValueError):
+        net.set_flat_grads(np.zeros(3))
+
+
+def test_loss_and_grad_zeroes_first():
+    rng = np.random.default_rng(0)
+    net = make_mlp(rng)
+    x, y = blobs_dataset(rng, n=16)
+    _, g1 = net.loss_and_grad(x, y)
+    _, g2 = net.loss_and_grad(x, y)
+    np.testing.assert_allclose(g1, g2)  # no accumulation across calls
+
+
+def test_gradient_batch_linearity():
+    """grad(full batch) == average of per-half gradients — the invariant
+    that makes data-parallel summation correct."""
+    rng = np.random.default_rng(1)
+    net = make_mlp(rng)
+    x, y = blobs_dataset(rng, n=32)
+    _, g_full = net.loss_and_grad(x, y)
+    _, g_a = net.loss_and_grad(x[:16], y[:16])
+    _, g_b = net.loss_and_grad(x[16:], y[16:])
+    np.testing.assert_allclose(g_full, 0.5 * (g_a + g_b), rtol=1e-10, atol=1e-12)
+
+
+def test_sgd_decreases_loss_on_blobs():
+    rng = np.random.default_rng(2)
+    net = make_mlp(rng)
+    x, y = blobs_dataset(rng, n=256)
+    opt = SGD(net, lr=0.1, momentum=0.9)
+    first_loss, _ = net.loss_and_grad(x, y)
+    for _ in range(60):
+        _, g = net.loss_and_grad(x, y)
+        opt.step(g)
+    final_loss, _ = net.loss_and_grad(x, y)
+    assert final_loss < first_loss * 0.2
+    assert net.accuracy(x, y) > 0.95
+
+
+def test_cnn_learns_synthetic_images():
+    rng = np.random.default_rng(3)
+    net = make_cnn(rng, n_classes=2)
+    # Class 0: bright top half; class 1: bright bottom half.
+    n = 64
+    x = rng.standard_normal((n, 1, 8, 8)) * 0.1
+    y = rng.integers(0, 2, size=n)
+    x[y == 0, :, :4, :] += 1.0
+    x[y == 1, :, 4:, :] += 1.0
+    opt = SGD(net, lr=0.05, momentum=0.9)
+    for _ in range(40):
+        _, g = net.loss_and_grad(x, y)
+        opt.step(g)
+    assert net.accuracy(x, y) > 0.9
+
+
+def test_sgd_momentum_matches_manual_update():
+    rng = np.random.default_rng(4)
+    net = make_mlp(rng, n_in=3, n_hidden=4, n_out=2)
+    opt = SGD(net, lr=0.1, momentum=0.5, weight_decay=0.01)
+    w0 = net.get_flat_params()
+    g = np.ones(net.n_params)
+    opt.step(g)
+    v1 = g + 0.01 * w0
+    np.testing.assert_allclose(net.get_flat_params(), w0 - 0.1 * v1)
+    w1 = w0 - 0.1 * v1
+    opt.step(g)
+    v2 = 0.5 * v1 + g + 0.01 * w1
+    np.testing.assert_allclose(net.get_flat_params(), w1 - 0.1 * v2)
+
+
+def test_sgd_state_dict_roundtrip():
+    rng = np.random.default_rng(5)
+    net = make_mlp(rng)
+    opt = SGD(net, lr=0.2, momentum=0.9)
+    opt.step(np.ones(net.n_params))
+    state = opt.state_dict()
+    opt2 = SGD(net, lr=0.1)
+    opt2.load_state_dict(state)
+    assert opt2.lr == 0.2
+    np.testing.assert_allclose(opt2._velocity, opt._velocity)
+
+
+def test_sgd_validation():
+    rng = np.random.default_rng(6)
+    net = make_mlp(rng)
+    with pytest.raises(ValueError):
+        SGD(net, lr=0)
+    with pytest.raises(ValueError):
+        SGD(net, momentum=1.0)
+    with pytest.raises(ValueError):
+        SGD(net, weight_decay=-1)
+    opt = SGD(net)
+    with pytest.raises(ValueError):
+        opt.step(np.zeros(3))
+
+
+def test_network_requires_layers():
+    with pytest.raises(ValueError):
+        Network([])

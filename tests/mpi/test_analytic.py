@@ -1,0 +1,89 @@
+"""Cross-checks: discrete-event results vs alpha-beta closed forms."""
+
+import pytest
+
+from repro.mpi import simulate_allreduce
+from repro.mpi.analytic import AlphaBetaModel
+from repro.utils.units import MB
+
+MODEL = AlphaBetaModel()
+
+
+def test_simulator_never_beats_bandwidth_lower_bound():
+    """No algorithm may move 2n(N-1)/N bytes faster than the uplink allows."""
+    nbytes = 32 * MB
+    for alg in ("multicolor", "ring", "rsag", "openmpi_default", "hierarchical"):
+        for n in (4, 8, 16):
+            simulated = simulate_allreduce(
+                n, int(nbytes), algorithm=alg, segment_bytes=1024 * 1024
+            ).elapsed
+            bound = MODEL.allreduce_lower_bound(n, nbytes)
+            assert simulated >= bound * 0.999, (alg, n)
+
+
+def test_pipelined_algorithms_approach_lower_bound():
+    """At large payloads the pipelined ring/multicolor should be within a
+    small factor of the bandwidth bound (pipelining works)."""
+    nbytes = 128 * MB
+    bound = MODEL.allreduce_lower_bound(16, nbytes)
+    for alg in ("multicolor", "ring"):
+        t = simulate_allreduce(
+            16, int(nbytes), algorithm=alg, segment_bytes=2 * 1024 * 1024
+        ).elapsed
+        assert t < 3.0 * bound, alg
+
+
+def test_analytic_ordering_matches_simulation():
+    """The closed forms and the DES must agree on who wins at 93 MB."""
+    nbytes = 93 * MB
+    analytic = {
+        "multicolor": MODEL.multicolor(16, nbytes, 4, 1024 * 1024).time,
+        "ring": MODEL.ring_pipelined(16, nbytes, 1024 * 1024).time,
+        "rabenseifner": MODEL.rabenseifner(16, nbytes).time,
+        "recursive_doubling": MODEL.recursive_doubling(16, nbytes).time,
+    }
+    assert analytic["multicolor"] < analytic["rabenseifner"]
+    assert analytic["ring"] < analytic["rabenseifner"]
+    assert analytic["rabenseifner"] < analytic["recursive_doubling"]
+
+    simulated = {
+        alg: simulate_allreduce(
+            16, int(nbytes), algorithm=alg, segment_bytes=1024 * 1024
+        ).elapsed
+        for alg in ("multicolor", "ring", "rabenseifner", "recursive_doubling")
+    }
+    assert simulated["multicolor"] < simulated["rabenseifner"]
+    assert simulated["rabenseifner"] < simulated["recursive_doubling"]
+
+
+def test_rd_byte_count():
+    cost = MODEL.recursive_doubling(8, 1000.0)
+    assert cost.latency_rounds == 3
+    assert cost.bytes_on_path == pytest.approx(3000.0)
+
+
+def test_rsag_byte_count():
+    cost = MODEL.reduce_scatter_allgather(8, 800.0)
+    assert cost.latency_rounds == 14
+    assert cost.bytes_on_path == pytest.approx(14 * 100.0)
+    assert cost.reduce_bytes == pytest.approx(700.0)
+
+
+def test_rabenseifner_moves_optimal_bytes():
+    cost = MODEL.rabenseifner(16, 1600.0)
+    assert cost.bytes_on_path == pytest.approx(2 * 1600.0 * 15 / 16)
+
+
+def test_single_rank_costs_nothing():
+    assert MODEL.recursive_doubling(1, 100.0).time == 0.0
+    assert MODEL.reduce_scatter_allgather(1, 100.0).time == 0.0
+    assert MODEL.allreduce_lower_bound(1, 100.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AlphaBetaModel(rails=0)
+    with pytest.raises(ValueError):
+        MODEL.recursive_doubling(0, 1.0)
+    with pytest.raises(ValueError):
+        MODEL.multicolor(8, 100.0, 0, 10.0)

@@ -1,0 +1,103 @@
+"""Unit tests for Buffer abstractions and chunking."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import ArrayBuffer, SizeBuffer, chunk_ranges
+
+
+def test_array_buffer_basic():
+    buf = ArrayBuffer(np.arange(10, dtype=np.float64))
+    assert buf.count == 10
+    assert buf.itemsize == 8
+    assert buf.nbytes == 80
+
+
+def test_array_buffer_rejects_2d():
+    with pytest.raises(ValueError):
+        ArrayBuffer(np.zeros((2, 3)))
+
+
+def test_array_buffer_view_shares_memory():
+    arr = np.zeros(10)
+    buf = ArrayBuffer(arr)
+    view = buf.view(2, 5)
+    view.add_(np.ones(3))
+    assert arr[2:5].tolist() == [1.0, 1.0, 1.0]
+    assert arr[0] == 0.0
+
+
+def test_array_buffer_view_bounds_checked():
+    buf = ArrayBuffer(np.zeros(4))
+    with pytest.raises(ValueError):
+        buf.view(2, 5)
+    with pytest.raises(ValueError):
+        buf.view(-1, 2)
+
+
+def test_array_buffer_extract_is_a_copy():
+    arr = np.arange(4, dtype=float)
+    buf = ArrayBuffer(arr)
+    snapshot = buf.extract()
+    arr[:] = 0
+    assert snapshot.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_array_buffer_copy_overwrites():
+    buf = ArrayBuffer(np.zeros(3))
+    buf.copy_(np.array([7.0, 8.0, 9.0]))
+    assert buf.array.tolist() == [7.0, 8.0, 9.0]
+
+
+def test_size_buffer_math_is_noop():
+    buf = SizeBuffer(100, itemsize=4)
+    assert buf.nbytes == 400
+    buf.add_(None)
+    buf.copy_(None)
+    assert buf.extract() is None
+    sub = buf.view(10, 30)
+    assert sub.nbytes == 80
+
+
+def test_size_buffer_validation():
+    with pytest.raises(ValueError):
+        SizeBuffer(-1)
+    with pytest.raises(ValueError):
+        SizeBuffer(1, itemsize=0)
+
+
+def test_chunk_ranges_exact_division():
+    assert chunk_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_chunk_ranges_remainder_goes_first():
+    assert chunk_ranges(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+
+def test_chunk_ranges_more_chunks_than_elements():
+    ranges = chunk_ranges(2, 4)
+    assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+def test_chunk_ranges_validation():
+    with pytest.raises(ValueError):
+        chunk_ranges(4, 0)
+    with pytest.raises(ValueError):
+        chunk_ranges(-1, 2)
+
+
+@given(count=st.integers(0, 1000), n=st.integers(1, 64))
+def test_chunk_ranges_partition_property(count, n):
+    """Chunks tile [0, count) contiguously with sizes differing by <= 1."""
+    ranges = chunk_ranges(count, n)
+    assert len(ranges) == n
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == count
+    sizes = []
+    for (lo, hi), (nlo, _nhi) in zip(ranges, ranges[1:]):
+        assert hi == nlo
+        sizes.append(hi - lo)
+    sizes.append(ranges[-1][1] - ranges[-1][0])
+    assert max(sizes) - min(sizes) <= 1

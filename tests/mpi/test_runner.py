@@ -1,0 +1,65 @@
+"""Tests for the standalone collective drivers."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import build_world, run_rank_programs, simulate_allreduce
+from repro.mpi.runner import CollectiveOutcome, allreduce_throughput
+from repro.net import CONNECTX5_SINGLE, fat_tree
+
+
+def test_build_world_with_topology_object():
+    topo = fat_tree(8, CONNECTX5_SINGLE, hosts_per_leaf=4)
+    engine, world, comm = build_world(8, topology=topo)
+    assert world.fabric.topology is topo
+    assert comm.size == 8
+
+
+def test_build_world_network_params_propagate():
+    engine, world, comm = build_world(4, network=CONNECTX5_SINGLE)
+    assert world.fabric.software_overhead == CONNECTX5_SINGLE.software_overhead
+    assert world.fabric.per_flow_cap == CONNECTX5_SINGLE.per_flow_cap
+
+
+def test_run_rank_programs_collects_returns():
+    engine, world, comm = build_world(3, topology="star")
+
+    def program(comm, rank, offset):
+        yield comm.engine.timeout(0.1 * (rank + 1))
+        return rank * 10 + offset
+
+    out = run_rank_programs(comm, program, per_rank_args=[(1,), (2,), (3,)])
+    assert isinstance(out, CollectiveOutcome)
+    assert out.results == [1, 12, 23]
+    assert out.elapsed == pytest.approx(0.3)
+
+
+def test_outcome_throughput():
+    out = CollectiveOutcome(elapsed=2.0, results=[], bytes_on_wire=0.0)
+    assert out.throughput(100.0) == pytest.approx(50.0)
+    zero = CollectiveOutcome(elapsed=0.0, results=[], bytes_on_wire=0.0)
+    assert zero.throughput(1.0) == float("inf")
+
+
+def test_allreduce_throughput_helper():
+    t = allreduce_throughput(4, 1 << 20, algorithm="ring")
+    assert t > 0
+
+
+def test_single_adapter_slower_than_dual():
+    from repro.net import CONNECTX5_DUAL
+
+    t_single = simulate_allreduce(
+        8, 32 << 20, algorithm="multicolor", network=CONNECTX5_SINGLE
+    ).elapsed
+    t_dual = simulate_allreduce(
+        8, 32 << 20, algorithm="multicolor", network=CONNECTX5_DUAL
+    ).elapsed
+    assert t_single > t_dual * 1.4  # roughly half the uplink bandwidth
+
+
+def test_seed_changes_payload_not_timing():
+    a = simulate_allreduce(4, 4096, algorithm="ring", payload=True, seed=1)
+    b = simulate_allreduce(4, 4096, algorithm="ring", payload=True, seed=2)
+    assert a.elapsed == pytest.approx(b.elapsed)
+    assert not np.allclose(a.results[0].array, b.results[0].array)

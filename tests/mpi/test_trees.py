@@ -1,0 +1,138 @@
+"""Unit + property tests for spanning-tree construction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.collectives.trees import (
+    binomial_tree,
+    color_trees,
+    internal_nodes,
+    kary_bfs_tree,
+)
+
+
+def test_kary_bfs_tree_layout():
+    tree = kary_bfs_tree(list(range(7)), arity=2)
+    assert tree.root == 0
+    assert tree.children[0] == (1, 2)
+    assert tree.children[1] == (3, 4)
+    assert tree.children[2] == (5, 6)
+    tree.validate()
+
+
+def test_kary_bfs_tree_respects_order():
+    tree = kary_bfs_tree([5, 3, 1], arity=4)
+    assert tree.root == 5
+    assert tree.children[5] == (3, 1)
+    assert tree.parent[3] == 5
+
+
+def test_kary_tree_validation_errors():
+    with pytest.raises(ValueError):
+        kary_bfs_tree([], arity=2)
+    with pytest.raises(ValueError):
+        kary_bfs_tree([0, 1], arity=0)
+
+
+def test_figure2_reproduction():
+    """Figure 2: 4-color 4-ary trees on 8 nodes.
+
+    'chunk-0 is summed on the tree color-0 rooted at node 0 with node 1 as
+    the only non-leaf node.  Similarly, chunk-1 is summed on the tree
+    color-1 rooted at node 2 with node 3 as the only non-leaf node.'
+    """
+    trees = color_trees(8, 4, arity=4)
+    assert trees[0].root == 0
+    assert internal_nodes(trees[0]) == {0, 1}
+    assert trees[1].root == 2
+    assert internal_nodes(trees[1]) == {2, 3}
+    assert trees[2].root == 4
+    assert internal_nodes(trees[2]) == {4, 5}
+    assert trees[3].root == 6
+    assert internal_nodes(trees[3]) == {6, 7}
+
+
+def test_color_trees_internal_disjointness_16():
+    trees = color_trees(16, 4, arity=4)
+    seen: set[int] = set()
+    for t in trees:
+        inner = internal_nodes(t)
+        assert not (inner & seen), "internal nodes must be disjoint across colors"
+        seen |= inner
+
+
+def test_color_trees_span_all_ranks():
+    for t in color_trees(12, 4, arity=4):
+        t.validate()
+        assert set(t.parent) | {t.root} == set(range(12))
+
+
+def test_color_trees_infeasible_raises():
+    # 3-ary trees on 8 ranks have 3 internal nodes; 4 colors need 12 > 8.
+    with pytest.raises(ValueError, match="disjoint"):
+        color_trees(8, 4, arity=3)
+
+
+def test_color_trees_divisibility_enforced():
+    with pytest.raises(ValueError, match="divisible"):
+        color_trees(10, 4, arity=8)
+
+
+def test_color_trees_single_color():
+    (tree,) = color_trees(5, 1, arity=2)
+    tree.validate()
+    assert tree.root == 0
+
+
+def test_color_trees_param_validation():
+    with pytest.raises(ValueError):
+        color_trees(8, 0)
+    with pytest.raises(ValueError):
+        color_trees(2, 4)
+
+
+@given(
+    n=st.integers(1, 64),
+    root=st.integers(0, 63),
+)
+def test_binomial_tree_properties(n, root):
+    root = root % n
+    tree = binomial_tree(n, root)
+    tree.validate()
+    assert tree.root == root
+    assert set(tree.parent) | {root} == set(range(n))
+    # Binomial depth bound: ceil(log2 n)
+    max_depth = max(tree.depth_of(r) for r in range(n))
+    assert max_depth <= max(1, n - 1).bit_length()
+
+
+@given(
+    colors=st.sampled_from([1, 2, 4, 8]),
+    mult=st.integers(1, 6),
+)
+def test_color_trees_properties(colors, mult):
+    """Whenever construction succeeds: spanning + disjoint internals."""
+    n = colors * mult * 2
+    arity = max(2, colors)
+    try:
+        trees = color_trees(n, colors, arity=arity)
+    except ValueError:
+        return  # infeasible combination, correctly refused
+    assert len(trees) == colors
+    seen: set[int] = set()
+    for t in trees:
+        t.validate()
+        assert set(t.parent) | {t.root} == set(range(n))
+        inner = internal_nodes(t)
+        if colors > 1:
+            assert not (inner & seen)
+        seen |= inner
+
+
+def test_depth_cycle_detection():
+    from repro.mpi.collectives.trees import Tree
+
+    bad = Tree(root=0, parent={1: 2, 2: 1}, children={1: (2,), 2: (1,)})
+    with pytest.raises(ValueError):
+        bad.depth_of(1)

@@ -1,0 +1,109 @@
+"""Property-based tests for the flow fabric (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Fabric, LinkParams, NetworkParams, fat_tree, star
+from repro.sim import Engine
+
+FAST = NetworkParams(
+    host_link=LinkParams(bandwidth=100.0, latency=0.0),
+    fabric_link=LinkParams(bandwidth=100.0, latency=0.0),
+    software_overhead=0.0,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transfers=st.lists(
+        st.tuples(
+            st.integers(0, 7),          # src
+            st.integers(0, 7),          # dst
+            st.floats(1.0, 500.0),      # bytes
+            st.floats(0.0, 5.0),        # start offset
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_all_transfers_complete_and_conserve_bytes(transfers):
+    eng = Engine()
+    fab = Fabric(eng, star(8, FAST))
+    total = 0.0
+
+    def launch(src, dst, nbytes, offset):
+        yield eng.timeout(offset)
+        yield fab.transfer(src, dst, nbytes)
+
+    for src, dst, nbytes, offset in transfers:
+        total += nbytes
+        eng.process(launch(src, dst, nbytes, offset))
+    eng.run()
+    assert fab.stats.transfers_completed == len(transfers)
+    assert fab.stats.bytes_completed == pytest.approx(total)
+    assert not fab.active_flows
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_flows=st.integers(1, 12),
+    nbytes=st.floats(10.0, 1000.0),
+)
+def test_completion_no_faster_than_physics(n_flows, nbytes):
+    """n identical flows into one sink take >= n * nbytes / bandwidth."""
+    eng = Engine()
+    fab = Fabric(eng, star(8, FAST))
+    evs = [fab.transfer(src % 7, 7, nbytes) for src in range(n_flows)]
+    eng.run(eng.all_of(evs))
+    lower_bound = n_flows * nbytes / 100.0
+    assert eng.now >= lower_bound * (1 - 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=2,
+        max_size=12,
+    ),
+    cap=st.floats(10.0, 100.0),
+)
+def test_per_flow_cap_respected(pairs, cap):
+    eng = Engine()
+    topo = fat_tree(16, FAST, hosts_per_leaf=4)
+    fab = Fabric(eng, topo, per_flow_cap=cap)
+    evs = [fab.transfer(a, b, 200.0) for a, b in pairs]
+
+    def audit():
+        while fab.stats.transfers_completed < len(evs):
+            for flow in fab.active_flows:
+                assert flow.rate <= cap * (1 + 1e-9)
+            yield eng.timeout(0.05)
+
+    eng.process(audit())
+    eng.run(eng.all_of(evs))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_fabric_deterministic(seed):
+    import numpy as np
+
+    def simulate():
+        rng = np.random.default_rng(seed)
+        eng = Engine()
+        fab = Fabric(eng, star(6, FAST))
+        finish = []
+        evs = []
+        for _ in range(8):
+            src, dst = rng.integers(0, 6, size=2)
+            if src == dst:
+                dst = (dst + 1) % 6
+            ev = fab.transfer(int(src), int(dst), float(rng.uniform(10, 300)))
+            ev.callbacks.append(lambda _e: finish.append(eng.now))
+            evs.append(ev)
+        eng.run(eng.all_of(evs))
+        return finish
+
+    assert simulate() == simulate()

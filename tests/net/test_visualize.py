@@ -1,0 +1,48 @@
+"""Tests for topology/traffic rendering."""
+
+import pytest
+
+from repro.net import CONNECTX5_DUAL, Fabric, fat_tree, star
+from repro.net.visualize import core_traffic, describe_topology, link_utilization_table
+from repro.sim import Engine
+
+
+def test_describe_topology_lists_switches():
+    topo = fat_tree(8, CONNECTX5_DUAL, hosts_per_leaf=4)
+    text = describe_topology(topo)
+    assert "8 hosts" in text
+    assert "s:leaf0" in text and "s:spine" in text
+    assert "h0" in text
+
+
+def test_link_utilization_table_orders_by_bytes():
+    eng = Engine()
+    fab = Fabric(eng, star(4, CONNECTX5_DUAL))
+    eng.run(eng.all_of([fab.transfer(0, 1, 1e6), fab.transfer(2, 3, 5e6)]))
+    text = link_utilization_table(fab, top=2)
+    lines = text.splitlines()
+    assert "h2" in lines[1]  # busiest first
+    assert "%" in lines[1]
+
+
+def test_link_utilization_empty():
+    eng = Engine()
+    fab = Fabric(eng, star(2, CONNECTX5_DUAL))
+    assert "no traffic" in link_utilization_table(fab)
+    with pytest.raises(ValueError):
+        link_utilization_table(fab, top=0)
+
+
+def test_core_traffic_classification():
+    eng = Engine()
+    topo = fat_tree(8, CONNECTX5_DUAL, hosts_per_leaf=4)
+    fab = Fabric(eng, topo)
+    # Intra-leaf transfer: edge only.
+    eng.run(fab.transfer(0, 1, 1e6))
+    classes = core_traffic(fab)
+    assert classes["core"] == 0.0
+    assert classes["edge"] == pytest.approx(2e6)
+    # Cross-leaf transfer adds core bytes.
+    eng.run(fab.transfer(0, 7, 1e6))
+    classes = core_traffic(fab)
+    assert classes["core"] == pytest.approx(2e6)

@@ -1,0 +1,263 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AllOf, Engine, Event, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    t = eng.timeout(2.5)
+    eng.run(t)
+    assert eng.now == pytest.approx(2.5)
+
+
+def test_timeout_value_passthrough():
+    eng = Engine()
+    t = eng.timeout(1.0, value="payload")
+    assert eng.run(t) == "payload"
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_process_returns_value():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+        yield eng.timeout(2.0)
+        return "done"
+
+    p = eng.process(proc())
+    assert eng.run(p) == "done"
+    assert eng.now == pytest.approx(3.0)
+
+
+def test_process_receives_event_value():
+    eng = Engine()
+    seen = []
+
+    def proc():
+        v = yield eng.timeout(1.0, value=41)
+        seen.append(v + 1)
+
+    eng.run(eng.process(proc()))
+    assert seen == [42]
+
+
+def test_processes_interleave_deterministically():
+    eng = Engine()
+    trace = []
+
+    def worker(name, delay):
+        yield eng.timeout(delay)
+        trace.append((name, eng.now))
+
+    eng.process(worker("a", 2.0))
+    eng.process(worker("b", 1.0))
+    eng.process(worker("c", 2.0))
+    eng.run()
+    assert trace == [("b", 1.0), ("a", 2.0), ("c", 2.0)]
+
+
+def test_event_succeed_wakes_waiter():
+    eng = Engine()
+    gate = eng.event()
+    results = []
+
+    def waiter():
+        v = yield gate
+        results.append((eng.now, v))
+
+    def opener():
+        yield eng.timeout(5.0)
+        gate.succeed("open")
+
+    eng.process(waiter())
+    eng.process(opener())
+    eng.run()
+    assert results == [(5.0, "open")]
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_process():
+    eng = Engine()
+    gate = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    eng.process(waiter())
+    gate.fail(ValueError("boom"))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates():
+    eng = Engine()
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise RuntimeError("model bug")
+
+    p = eng.process(bad())
+    with pytest.raises(RuntimeError, match="model bug"):
+        eng.run(p)
+
+
+def test_yield_non_event_fails_process():
+    eng = Engine()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    p = eng.process(bad())
+    with pytest.raises(SimulationError):
+        eng.run(p)
+
+
+def test_wait_on_already_processed_event():
+    eng = Engine()
+    first = eng.timeout(1.0, value="v")
+    trace = []
+
+    def late_waiter():
+        yield eng.timeout(3.0)
+        v = yield first  # already processed at t=1
+        trace.append((eng.now, v))
+
+    eng.run(eng.process(late_waiter()))
+    assert trace == [(3.0, "v")]
+
+
+def test_all_of_waits_for_all():
+    eng = Engine()
+
+    def proc():
+        values = yield eng.all_of([eng.timeout(1.0, "a"), eng.timeout(3.0, "b")])
+        return (eng.now, values)
+
+    assert eng.run(eng.process(proc())) == (3.0, ["a", "b"])
+
+
+def test_all_of_empty_triggers_immediately():
+    eng = Engine()
+    cond = AllOf(eng, [])
+    eng.run(cond)
+    assert cond.value == []
+    assert eng.now == 0.0
+
+
+def test_any_of_takes_first():
+    eng = Engine()
+
+    def proc():
+        v = yield eng.any_of([eng.timeout(5.0, "slow"), eng.timeout(1.0, "fast")])
+        return (eng.now, v)
+
+    assert eng.run(eng.process(proc())) == (1.0, "fast")
+
+
+def test_all_of_propagates_failure():
+    eng = Engine()
+    gate = eng.event()
+
+    def proc():
+        yield eng.all_of([eng.timeout(1.0), gate])
+
+    p = eng.process(proc())
+    gate.fail(KeyError("nope"))
+    with pytest.raises(KeyError):
+        eng.run(p)
+
+
+def test_run_until_time_stops_clock():
+    eng = Engine()
+    hits = []
+
+    def ticker():
+        while True:
+            yield eng.timeout(1.0)
+            hits.append(eng.now)
+
+    eng.process(ticker())
+    eng.run(until=3.5)
+    assert hits == [1.0, 2.0, 3.0]
+    assert eng.now == pytest.approx(3.5)
+
+
+def test_run_until_event_deadlock_detected():
+    eng = Engine()
+    never = eng.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run(never)
+
+
+def test_interrupt_delivers_cause():
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as intr:
+            log.append((eng.now, intr.cause))
+
+    def killer(target):
+        yield eng.timeout(2.0)
+        target.interrupt("wake up")
+
+    p = eng.process(sleeper())
+    eng.process(killer(p))
+    eng.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    eng = Engine()
+
+    def quick():
+        yield eng.timeout(0.1)
+
+    p = eng.process(quick())
+    eng.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_nested_process_wait():
+    eng = Engine()
+
+    def inner():
+        yield eng.timeout(2.0)
+        return "inner-result"
+
+    def outer():
+        v = yield eng.process(inner())
+        return f"outer({v})"
+
+    assert eng.run(eng.process(outer())) == "outer(inner-result)"
+    assert eng.now == pytest.approx(2.0)
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    assert eng.peek() == float("inf")
+    eng.timeout(4.0)
+    eng.timeout(2.0)
+    assert eng.peek() == pytest.approx(2.0)

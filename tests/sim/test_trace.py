@@ -1,0 +1,76 @@
+"""Tests for the event tracer."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.trace import Tracer
+
+
+def test_record_and_query():
+    eng = Engine()
+    tracer = Tracer(eng)
+    tracer.record("gpu0", "fwd", 0.0, 1.0)
+    tracer.record("gpu0", "bwd", 1.0, 3.0)
+    tracer.record("net", "allreduce", 2.0, 4.0)
+    assert tracer.tracks() == ["gpu0", "net"]
+    assert tracer.busy_time("gpu0") == pytest.approx(3.0)
+    assert tracer.busy_time("net") == pytest.approx(2.0)
+
+
+def test_utilization_merges_overlaps():
+    eng = Engine()
+    tracer = Tracer(eng)
+    tracer.record("t", "a", 0.0, 2.0)
+    tracer.record("t", "b", 1.0, 3.0)  # overlaps a
+    assert tracer.utilization("t", horizon=4.0) == pytest.approx(0.75)
+    assert tracer.utilization("t", horizon=3.0) == pytest.approx(1.0)
+
+
+def test_timed_wraps_process():
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def work():
+        yield eng.timeout(2.0)
+        return "done"
+
+    p = eng.process(tracer.timed("worker", "job", work()))
+    assert eng.run(p) == "done"
+    (span,) = tracer.spans
+    assert span.track == "worker"
+    assert span.start == 0.0
+    assert span.end == pytest.approx(2.0)
+
+
+def test_span_context_manager():
+    eng = Engine()
+    tracer = Tracer(eng)
+    with tracer.span("cpu", "setup"):
+        pass  # no time passes
+    assert tracer.spans[0].duration == 0.0
+
+
+def test_disabled_tracer_records_nothing():
+    eng = Engine()
+    tracer = Tracer(eng, enabled=False)
+    tracer.record("t", "x", 0.0, 1.0)
+    assert tracer.spans == []
+
+
+def test_render_timeline():
+    eng = Engine()
+    tracer = Tracer(eng)
+    tracer.record("gpu", "fwd", 0.0, 0.5)
+    tracer.record("net", "ar", 0.5, 1.0)
+    text = tracer.render(width=20)
+    assert "gpu" in text and "net" in text
+    assert "#" in text
+    empty = Tracer(eng)
+    assert empty.render() == "(no spans recorded)"
+
+
+def test_validation():
+    eng = Engine()
+    tracer = Tracer(eng)
+    with pytest.raises(ValueError):
+        tracer.record("t", "bad", 2.0, 1.0)

@@ -1,0 +1,99 @@
+"""Tests for the accuracy surrogate and scaling metrics."""
+
+import numpy as np
+import pytest
+
+from repro.train import AccuracyModel, scaling_efficiency, speedup, time_to_epoch
+from repro.train.accuracy import ACCURACY_MODELS
+
+
+@pytest.fixture
+def resnet():
+    return ACCURACY_MODELS["resnet50"]
+
+
+@pytest.fixture
+def googlenet():
+    return ACCURACY_MODELS["googlenet_bn"]
+
+
+def test_peak_top1_matches_table1(resnet, googlenet):
+    """Table 1: ResNet 75.99/75.78/75.56 at 2k/4k/8k; GoogleNet
+    74.86/74.36/74.19.  The surrogate must land within noise (~0.35)."""
+    for batch, paper in ((2048, 75.99), (4096, 75.78), (8192, 75.56)):
+        assert resnet.peak_top1(batch) == pytest.approx(paper, abs=0.45)
+    for batch, paper in ((2048, 74.86), (4096, 74.36), (8192, 74.19)):
+        assert googlenet.peak_top1(batch) == pytest.approx(paper, abs=0.45)
+
+
+def test_peak_top1_batch_penalty_monotone(resnet):
+    peaks = [resnet.peak_top1(b, seed=1) for b in (2048, 8192, 32768)]
+    # strip noise by averaging over seeds
+    avg = [
+        np.mean([resnet.peak_top1(b, seed=s) for s in range(20)])
+        for b in (2048, 8192, 32768)
+    ]
+    assert avg[0] > avg[1] > avg[2]
+
+
+def test_peak_deterministic_per_seed(resnet):
+    assert resnet.peak_top1(8192, seed=3) == resnet.peak_top1(8192, seed=3)
+    assert resnet.peak_top1(8192, seed=3) != resnet.peak_top1(8192, seed=4)
+
+
+def test_curve_monotone_nondecreasing(resnet):
+    epochs = np.linspace(0, 90, 181)
+    curve = resnet.curve(epochs, 2048)
+    assert np.all(np.diff(curve) >= -1e-9)
+    assert curve[0] == pytest.approx(0.0, abs=1.0)
+    assert curve[-1] == pytest.approx(resnet.peak_top1(2048), abs=0.5)
+
+
+def test_curve_jumps_at_lr_drops(resnet):
+    """The staircase: accuracy gains right after epochs 30 and 60."""
+    c = resnet.curve([28, 29, 31, 35, 40], 2048)
+    pre_drop_slope = c[1] - c[0]
+    post_drop_slope = (c[3] - c[2]) / 4
+    assert post_drop_slope > pre_drop_slope
+
+
+def test_error_curve_decreasing(resnet):
+    epochs = np.linspace(0, 90, 91)
+    err = resnet.error_curve(epochs, 2048)
+    assert err[0] > 6.0  # ~ln(1000)
+    assert np.all(np.diff(err) <= 1e-9)
+    assert err[-1] < 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AccuracyModel(name="x", base_top1=0.0)
+    with pytest.raises(ValueError):
+        AccuracyModel(name="x", base_top1=70, phase_fractions=(0.9, 1.0))
+    m = ACCURACY_MODELS["resnet50"]
+    with pytest.raises(ValueError):
+        m.top1_at(-1, 2048)
+    with pytest.raises(ValueError):
+        m.peak_top1(0)
+
+
+def test_speedup_matches_paper_convention():
+    """249 -> 155 should read ~60% like Table 1's GoogleNetBN row."""
+    assert speedup(249, 155) == pytest.approx(60.6, abs=0.1)
+    assert speedup(498, 224) == pytest.approx(122.3, abs=0.1)
+    with pytest.raises(ValueError):
+        speedup(0, 1)
+
+
+def test_scaling_efficiency():
+    # Perfect scaling: 8 nodes at 100s -> 16 nodes at 50s = 100%.
+    assert scaling_efficiency(8, 100, 16, 50) == pytest.approx(100.0)
+    assert scaling_efficiency(8, 100, 16, 62.5) == pytest.approx(80.0)
+    with pytest.raises(ValueError):
+        scaling_efficiency(0, 1, 1, 1)
+
+
+def test_time_to_epoch():
+    assert time_to_epoch(32.0, 90) == pytest.approx(2880.0)
+    with pytest.raises(ValueError):
+        time_to_epoch(-1, 2)

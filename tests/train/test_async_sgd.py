@@ -1,0 +1,119 @@
+"""Tests for the asynchronous-SGD extension (paper §6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.data import DIMDStore
+from repro.data.codec import encode_image
+from repro.models.nn import Dense, Flatten, Network, ReLU
+from repro.train.async_sgd import AsyncSGDTrainer
+
+N_CLASSES = 3
+
+
+def net_factory(rng):
+    return Network(
+        [Flatten(), Dense(16, 12, rng), ReLU(), Dense(12, N_CLASSES, rng)]
+    )
+
+
+def make_stores(n_workers, per_worker=24, seed=0):
+    rng = np.random.default_rng(seed)
+    stores = []
+    for w in range(n_workers):
+        labels = rng.integers(0, N_CLASSES, size=per_worker)
+        records = []
+        for lab in labels:
+            img = rng.integers(0, 50, size=(1, 4, 4), dtype=np.uint8)
+            img[0, int(lab) % 4, :] = 255
+            records.append(encode_image(img))
+        stores.append(DIMDStore(records, labels, learner=w))
+    return stores
+
+
+def val_batch(stores):
+    xs, ys = [], []
+    rng = np.random.default_rng(99)
+    for s in stores:
+        x, y = s.random_batch(16, rng)
+        xs.append(x)
+        ys.append(y)
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def test_async_updates_all_applied():
+    stores = make_stores(3)
+    trainer = AsyncSGDTrainer(net_factory, stores, seed=1)
+    result = trainer.run(iterations_per_worker=5)
+    assert result.iterations == 15
+    assert len(result.staleness) == 15
+    assert result.simulated_seconds > 0
+    assert result.updates_per_second > 0
+
+
+def test_staleness_emerges_with_multiple_workers():
+    stores = make_stores(4)
+    trainer = AsyncSGDTrainer(net_factory, stores, compute_jitter=0.5, seed=2)
+    result = trainer.run(iterations_per_worker=8)
+    # With 4 desynchronized workers some pushes must land stale.
+    assert result.max_staleness >= 1
+    assert result.mean_staleness > 0
+
+
+def test_single_worker_never_stale():
+    stores = make_stores(1)
+    trainer = AsyncSGDTrainer(net_factory, stores, seed=3)
+    result = trainer.run(iterations_per_worker=10)
+    assert result.max_staleness == 0
+
+
+def test_async_training_learns():
+    stores = make_stores(3, per_worker=40, seed=4)
+    trainer = AsyncSGDTrainer(net_factory, stores, lr=0.08, seed=4)
+    x, y = val_batch(stores)
+    before = trainer.evaluate(x, y)
+    trainer.run(iterations_per_worker=40)
+    after = trainer.evaluate(x, y)
+    assert after > before
+    assert after > 0.7
+
+
+def test_staleness_aware_scales_lr_down():
+    """With identical seeds, the staleness-aware run takes smaller steps on
+    stale pushes, so master weights differ from the plain-async run while
+    zero-staleness behaviour is identical."""
+    stores_a = make_stores(4, seed=5)
+    stores_b = make_stores(4, seed=5)
+    plain = AsyncSGDTrainer(
+        net_factory, stores_a, compute_jitter=0.5, seed=5, staleness_aware=False
+    )
+    aware = AsyncSGDTrainer(
+        net_factory, stores_b, compute_jitter=0.5, seed=5, staleness_aware=True
+    )
+    rp = plain.run(iterations_per_worker=6)
+    ra = aware.run(iterations_per_worker=6)
+    assert rp.staleness == ra.staleness  # same schedule, same staleness
+    if rp.max_staleness > 0:
+        assert not np.allclose(
+            plain.master.get_flat_params(), aware.master.get_flat_params()
+        )
+
+
+def test_deterministic_given_seed():
+    r1 = AsyncSGDTrainer(net_factory, make_stores(3, seed=6), seed=7).run(5)
+    r2 = AsyncSGDTrainer(net_factory, make_stores(3, seed=6), seed=7).run(5)
+    assert r1.staleness == r2.staleness
+    assert r1.simulated_seconds == pytest.approx(r2.simulated_seconds)
+
+
+def test_validation():
+    stores = make_stores(2)
+    with pytest.raises(ValueError):
+        AsyncSGDTrainer(net_factory, [])
+    with pytest.raises(ValueError):
+        AsyncSGDTrainer(net_factory, stores, batch_size=0)
+    with pytest.raises(ValueError):
+        AsyncSGDTrainer(net_factory, stores, compute_jitter=1.5)
+    trainer = AsyncSGDTrainer(net_factory, stores)
+    with pytest.raises(ValueError):
+        trainer.run(0)

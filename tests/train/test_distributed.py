@@ -1,0 +1,183 @@
+"""Algorithm 1 correctness: the headline equivalence tests.
+
+Distributed synchronous SGD with the gradient allreduce must match serial
+large-batch SGD exactly — that is the property that makes the paper's
+performance work sound without accuracy loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DIMDStore
+from repro.data.codec import encode_image
+from repro.models.nn import Dense, Flatten, Network, ReLU, SGD
+from repro.train import DistributedSGDTrainer, WarmupStepSchedule
+from repro.utils.rng import rng_for
+
+IMG_SHAPE = (1, 4, 4)
+N_CLASSES = 3
+
+
+def net_factory(rng):
+    return Network(
+        [Flatten(), Dense(16, 10, rng), ReLU(), Dense(10, N_CLASSES, rng)]
+    )
+
+
+def make_stores(n_learners, per_learner=24, seed=0):
+    """Learnable data: each class has a bright stripe at a fixed row."""
+    rng = np.random.default_rng(seed)
+    stores = []
+    for l in range(n_learners):
+        labels = rng.integers(0, N_CLASSES, size=per_learner)
+        records = []
+        for lab in labels:
+            img = rng.integers(0, 60, size=IMG_SHAPE, dtype=np.uint8)
+            img[0, int(lab) % 4, :] = 255
+            records.append(encode_image(img))
+        stores.append(DIMDStore(records, labels, learner=l))
+    return stores
+
+
+def flat_schedule(lr=0.05):
+    return WarmupStepSchedule(
+        batch_per_gpu=1, n_workers=1, base_lr=lr, reference_batch=1, warmup_epochs=0.0
+    )
+
+
+def serial_reference(trainer, n_steps, seed):
+    """Replay the exact same batches through one serial network."""
+    net = net_factory(rng_for(seed, "init"))
+    opt = SGD(net, lr=trainer.schedule.lr_at(0), momentum=trainer.momentum,
+              weight_decay=trainer.weight_decay)
+    for it in range(n_steps):
+        batches = []
+        for learner in range(trainer.n_learners):
+            rng = rng_for(seed, "batch", learner, it)
+            imgs, labels = trainer.stores[learner].random_batch(
+                trainer.node_batch, rng
+            )
+            batches.append((imgs, labels))
+        x = np.concatenate([b[0] for b in batches])
+        y = np.concatenate([b[1] for b in batches])
+        _, g = net.loss_and_grad(x, y)
+        opt.lr = trainer.schedule.lr_at(it / trainer.steps_per_epoch)
+        opt.step(g)
+    return net.get_flat_params()
+
+
+@pytest.mark.parametrize("reducer", ["exact", "multicolor", "ring"])
+def test_distributed_equals_serial_large_batch(reducer):
+    """2 learners x 2 GPUs == serial SGD on the concatenated batch."""
+    seed = 17
+    stores = make_stores(2, seed=seed)
+    with DistributedSGDTrainer(
+        net_factory,
+        stores,
+        gpus_per_node=2,
+        batch_per_gpu=4,
+        schedule=flat_schedule(),
+        momentum=0.9,
+        weight_decay=1e-3,
+        reducer=reducer,
+        seed=seed,
+    ) as trainer:
+        for _ in range(4):
+            trainer.step()
+        dist_params = trainer.params()
+        trainer.check_synchronized()
+    ref = serial_reference_params(seed, stores)
+    np.testing.assert_allclose(dist_params, ref, rtol=1e-9, atol=1e-11)
+
+
+def serial_reference_params(seed, stores):
+    with DistributedSGDTrainer(
+        net_factory,
+        stores,
+        gpus_per_node=2,
+        batch_per_gpu=4,
+        schedule=flat_schedule(),
+        momentum=0.9,
+        weight_decay=1e-3,
+        reducer="exact",
+        seed=seed,
+    ) as t:
+        return serial_reference(t, 4, seed)
+
+
+def test_replicas_stay_synchronized_across_epoch():
+    stores = make_stores(3, per_learner=12, seed=4)
+    with DistributedSGDTrainer(
+        net_factory, stores, gpus_per_node=2, batch_per_gpu=2,
+        schedule=flat_schedule(), seed=5,
+    ) as trainer:
+        trainer.train_epoch()
+        trainer.check_synchronized()
+
+
+def test_baseline_and_optimized_dpt_train_identically():
+    seed = 9
+    results = {}
+    for variant in ("baseline", "optimized"):
+        stores = make_stores(2, seed=seed)
+        with DistributedSGDTrainer(
+            net_factory, stores, gpus_per_node=2, batch_per_gpu=4,
+            schedule=flat_schedule(), dpt_variant=variant, seed=seed,
+        ) as trainer:
+            for _ in range(3):
+                trainer.step()
+            results[variant] = trainer.params()
+    np.testing.assert_allclose(
+        results["baseline"], results["optimized"], rtol=1e-10, atol=1e-12
+    )
+
+
+def test_loss_decreases_over_training():
+    stores = make_stores(2, per_learner=32, seed=21)
+    with DistributedSGDTrainer(
+        net_factory, stores, gpus_per_node=2, batch_per_gpu=4,
+        schedule=flat_schedule(lr=0.08), momentum=0.9, seed=21,
+    ) as trainer:
+        losses = [trainer.step().loss for _ in range(30)]
+    assert np.mean(losses[-5:]) < np.mean(losses[:5]) * 0.9
+
+
+def test_shuffle_every_preserves_data_and_training_continues():
+    stores = make_stores(3, per_learner=9, seed=8)
+    all_before = sorted(
+        pair for s in stores for pair in s.content_multiset()
+    )
+    with DistributedSGDTrainer(
+        net_factory, stores, gpus_per_node=1, batch_per_gpu=3,
+        schedule=flat_schedule(), seed=8, shuffle_every=2,
+    ) as trainer:
+        for _ in range(4):
+            trainer.step()
+        trainer.check_synchronized()
+    all_after = sorted(pair for s in stores for pair in s.content_multiset())
+    assert all_after == all_before
+
+
+def test_step_result_fields():
+    stores = make_stores(1, seed=2)
+    with DistributedSGDTrainer(
+        net_factory, stores, gpus_per_node=2, batch_per_gpu=2,
+        schedule=flat_schedule(), seed=2,
+    ) as trainer:
+        r = trainer.step()
+    assert r.iteration == 1
+    assert r.loss > 0
+    assert r.lr == pytest.approx(0.05)
+    assert r.grad_norm > 0
+
+
+def test_trainer_validation():
+    stores = make_stores(2)
+    with pytest.raises(ValueError, match="unknown reducer"):
+        DistributedSGDTrainer(net_factory, stores, reducer="magic")
+    with pytest.raises(ValueError, match="dpt_variant"):
+        DistributedSGDTrainer(net_factory, stores, dpt_variant="quantum")
+    with pytest.raises(ValueError):
+        DistributedSGDTrainer(net_factory, [])
+    with pytest.raises(ValueError):
+        DistributedSGDTrainer(net_factory, stores, batch_per_gpu=0)

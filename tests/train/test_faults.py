@@ -1,0 +1,97 @@
+"""Failure-injection tests: stragglers and degraded links."""
+
+import pytest
+
+from repro.cluster import MINSKY_NODE, ClusterSpec
+from repro.core.calibration import compute_model_for
+from repro.data import IMAGENET_1K
+from repro.models import build_resnet50
+from repro.net import CONNECTX5_DUAL, fat_tree
+from repro.net.fabric import Fabric
+from repro.sim import Engine
+from repro.train import EpochTimeModel
+from repro.train.faults import degraded_allreduce_time, straggler_epoch_time
+
+
+def make_model(n_nodes=8):
+    return EpochTimeModel(
+        model=build_resnet50(),
+        cluster=ClusterSpec(name="c", n_nodes=n_nodes, node=MINSKY_NODE),
+        dataset=IMAGENET_1K,
+        compute=compute_model_for("resnet50"),
+    )
+
+
+def test_one_straggler_throttles_everything():
+    model = make_model()
+    report = straggler_epoch_time(model, slowdown=2.0, n_stragglers=1)
+    # Compute dominates the iteration, so a 2x-slow node costs ~80-95%.
+    assert 0.5 < report.penalty < 1.0
+    # The penalty is independent of how many nodes straggle (barrier).
+    report8 = straggler_epoch_time(model, slowdown=2.0, n_stragglers=8)
+    assert report8.degraded_epoch == pytest.approx(report.degraded_epoch)
+
+
+def test_no_straggler_no_penalty():
+    model = make_model()
+    report = straggler_epoch_time(model, slowdown=3.0, n_stragglers=0)
+    assert report.penalty == 0.0
+    report = straggler_epoch_time(model, slowdown=1.0, n_stragglers=4)
+    assert report.penalty == 0.0
+
+
+def test_straggler_validation():
+    model = make_model()
+    with pytest.raises(ValueError):
+        straggler_epoch_time(model, slowdown=0.5)
+    with pytest.raises(ValueError):
+        straggler_epoch_time(model, slowdown=2.0, n_stragglers=99)
+
+
+def test_scaled_links_topology():
+    topo = fat_tree(8, CONNECTX5_DUAL, hosts_per_leaf=4)
+    slow = topo.with_scaled_links(topo.host(0), 0.5)
+    h0_links = [l for l in slow.links if "h0" in (l.src, l.dst)]
+    ref = [l for l in topo.links if "h0" in (l.src, l.dst)]
+    for s, r in zip(h0_links, ref):
+        assert s.params.bandwidth == pytest.approx(r.params.bandwidth * 0.5)
+    other = [l for l in slow.links if "h1" == l.src][0]
+    ref_other = [l for l in topo.links if "h1" == l.src][0]
+    assert other.params.bandwidth == ref_other.params.bandwidth
+    with pytest.raises(ValueError):
+        topo.with_scaled_links("h0", 0.0)
+
+
+def test_degraded_transfer_takes_longer():
+    topo = fat_tree(8, CONNECTX5_DUAL, hosts_per_leaf=4)
+    slow = topo.with_scaled_links(topo.host(2), 0.25)
+    times = {}
+    for name, t in (("healthy", topo), ("degraded", slow)):
+        eng = Engine()
+        fab = Fabric(eng, t)
+        ev = fab.transfer(2, 5, 100e6)
+        eng.run(ev)
+        times[name] = eng.now
+    assert times["degraded"] == pytest.approx(4 * times["healthy"], rel=0.05)
+
+
+@pytest.mark.parametrize(
+    "algorithm,min_ratio",
+    [("multicolor", 1.8), ("ring", 1.15)],
+)
+def test_degraded_node_slows_allreduce(algorithm, min_ratio):
+    """A synchronous collective cannot route around one slow member.
+
+    The multicolor trees push the degraded host's full uplink (several
+    concurrent color flows), so it feels the 4x link cut almost fully; the
+    ring was already rail-capped per hop, so the cut bites less.
+    """
+    healthy, degraded = degraded_allreduce_time(
+        8, 8 << 20, algorithm=algorithm, link_factor=0.25
+    )
+    assert degraded > healthy * min_ratio
+
+
+def test_degraded_allreduce_validation():
+    with pytest.raises(ValueError):
+        degraded_allreduce_time(8, 1024, link_factor=0.0)

@@ -1,0 +1,111 @@
+"""Tests for bucketed comm/compute overlap."""
+
+import pytest
+
+from repro.train.overlap import bucketed_iteration_time
+
+
+def linear_allreduce(alpha=0.001, beta=1e-8):
+    return lambda nbytes: alpha + nbytes * beta
+
+
+def test_single_bucket_equals_serial():
+    r = bucketed_iteration_time(
+        forward_time=0.1,
+        backward_time=0.2,
+        allreduce_time=linear_allreduce(),
+        gradient_bytes=100_000_000,
+        n_buckets=1,
+    )
+    assert r.iteration_time == pytest.approx(r.serial_iteration_time)
+    assert r.overlap_gain == pytest.approx(0.0)
+
+
+def test_many_buckets_hide_communication():
+    r = bucketed_iteration_time(
+        forward_time=0.1,
+        backward_time=0.3,
+        allreduce_time=linear_allreduce(alpha=1e-5),
+        gradient_bytes=100_000_000,
+        n_buckets=20,
+    )
+    # Comm (1 s total at beta=1e-8? no: 1e8 * 1e-8 = 1 s) dominates; with
+    # overlap only the tail past the backward is exposed.
+    assert r.iteration_time < r.serial_iteration_time
+    assert r.overlap_gain > 0.1
+
+
+def test_comm_fully_hidden_when_small():
+    r = bucketed_iteration_time(
+        forward_time=0.1,
+        backward_time=0.5,
+        allreduce_time=lambda n: 0.01,  # 8 buckets * 10ms = 80ms << bwd
+        gradient_bytes=1000,
+        n_buckets=8,
+    )
+    # Exposed communication is only the final bucket's tail.
+    assert r.exposed_comm <= 0.01 + 1e-12
+    assert r.iteration_time == pytest.approx(0.6 + 0.01 / 8, abs=0.011)
+
+
+def test_alpha_cost_punishes_excessive_buckets():
+    """Per-message overhead makes very many buckets worse again."""
+    def ar(nbytes):
+        return 0.004 + nbytes * 1e-10  # latency-heavy collective
+
+    few = bucketed_iteration_time(
+        forward_time=0.05, backward_time=0.1, allreduce_time=ar,
+        gradient_bytes=10_000_000, n_buckets=4,
+    )
+    many = bucketed_iteration_time(
+        forward_time=0.05, backward_time=0.1, allreduce_time=ar,
+        gradient_bytes=10_000_000, n_buckets=256,
+    )
+    assert many.iteration_time > few.iteration_time
+
+
+def test_iteration_never_faster_than_compute_or_comm():
+    r = bucketed_iteration_time(
+        forward_time=0.1, backward_time=0.2,
+        allreduce_time=linear_allreduce(), gradient_bytes=50_000_000,
+        n_buckets=10,
+    )
+    assert r.iteration_time >= r.compute_time
+    assert r.iteration_time >= r.total_comm_time
+
+
+def test_with_simulated_allreduce_times():
+    """Plug the real simulated multicolor collective in as the cost fn."""
+    from functools import lru_cache
+
+    from repro.mpi import simulate_allreduce
+
+    @lru_cache(maxsize=None)
+    def ar(nbytes):
+        return simulate_allreduce(
+            8, nbytes, algorithm="multicolor",
+            segment_bytes=max(64 * 1024, nbytes // 16),
+        ).elapsed
+
+    r = bucketed_iteration_time(
+        forward_time=0.110,
+        backward_time=0.220,
+        allreduce_time=ar,
+        gradient_bytes=102_000_000,
+        n_buckets=8,
+    )
+    assert r.iteration_time < r.serial_iteration_time
+    assert 0.0 < r.overlap_gain < 0.2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        bucketed_iteration_time(
+            forward_time=-1, backward_time=0, allreduce_time=lambda n: 0,
+            gradient_bytes=1, n_buckets=1,
+        )
+    with pytest.raises(ValueError):
+        bucketed_iteration_time(
+            forward_time=0, backward_time=0, allreduce_time=lambda n: 0,
+            gradient_bytes=0, n_buckets=1,
+        )

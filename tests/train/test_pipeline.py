@@ -1,0 +1,103 @@
+"""Tests for the epoch-time pipeline model."""
+
+import pytest
+
+from repro.cluster import MINSKY_NODE, ClusterSpec
+from repro.core.calibration import compute_model_for
+from repro.data import IMAGENET_1K
+from repro.models import build_resnet50
+from repro.train import EpochTimeModel
+
+
+def make_model(**kw):
+    defaults = dict(
+        model=build_resnet50(),
+        cluster=ClusterSpec(name="c", n_nodes=8, node=MINSKY_NODE),
+        dataset=IMAGENET_1K,
+        compute=compute_model_for("resnet50"),
+    )
+    defaults.update(kw)
+    return EpochTimeModel(**defaults)
+
+
+def test_iterations_per_epoch():
+    m = make_model()
+    # 1.281M / (8 * 4 * 64) = 625.6 -> 626
+    assert m.iterations_per_epoch == 626
+    assert m.global_batch == 2048
+
+
+def test_breakdown_components_positive_and_sum():
+    b = make_model().iteration_breakdown()
+    d = b.as_dict()
+    assert all(v >= 0 for v in d.values())
+    assert b.total == pytest.approx(
+        b.data_serial + b.data_stall + b.step_time
+    )
+    assert b.gpu_compute > b.inter_allreduce  # compute-dominated at batch 64
+
+
+def test_dimd_removes_data_cost():
+    with_dimd = make_model(dimd=True).iteration_breakdown()
+    without = make_model(dimd=False).iteration_breakdown()
+    assert without.data_serial > with_dimd.data_serial * 5
+    assert with_dimd.data_stall == 0.0
+    assert without.total > with_dimd.total
+
+
+def test_optimized_dpt_faster():
+    opt = make_model(dpt_variant="optimized").iteration_time()
+    base = make_model(dpt_variant="baseline").iteration_time()
+    assert base > opt
+
+
+def test_multicolor_beats_default():
+    mc = make_model(allreduce_algorithm="multicolor").iteration_time()
+    default = make_model(allreduce_algorithm="openmpi_default").iteration_time()
+    assert default > mc
+
+
+def test_compute_factor_scales_gpu_term():
+    b1 = make_model().iteration_breakdown()
+    b2 = make_model(compute_factor=2.0).iteration_breakdown()
+    assert b2.gpu_compute == pytest.approx(2 * b1.gpu_compute)
+
+
+def test_epoch_time_includes_shuffles():
+    base = make_model(shuffles_per_epoch=0).epoch_time()
+    with_shuffle = make_model(shuffles_per_epoch=2, shuffle_seconds=3.0).epoch_time()
+    assert with_shuffle == pytest.approx(base + 6.0)
+
+
+def test_single_node_has_no_internode_cost():
+    m = make_model(cluster=ClusterSpec(name="c", n_nodes=1, node=MINSKY_NODE))
+    assert m.iteration_breakdown().inter_allreduce == 0.0
+
+
+def test_gradient_override():
+    m = make_model(gradient_bytes_override=93_000_000)
+    assert m.gradient_bytes == 93_000_000
+    assert make_model().gradient_bytes == build_resnet50().gradient_bytes
+
+
+def test_images_per_second_consistent():
+    m = make_model()
+    assert m.images_per_second() == pytest.approx(
+        m.global_batch / m.iteration_time()
+    )
+
+
+def test_time_for_epochs():
+    m = make_model()
+    assert m.time_for_epochs(3) == pytest.approx(3 * m.epoch_time())
+    with pytest.raises(ValueError):
+        m.time_for_epochs(-1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_model(batch_per_gpu=0)
+    with pytest.raises(ValueError):
+        make_model(compute_factor=0.5)
+    with pytest.raises(ValueError):
+        make_model(shuffle_seconds=-1)

@@ -1,0 +1,71 @@
+"""Tests for the warm-up + step LR schedule (§5 / Goyal et al.)."""
+
+import pytest
+
+from repro.train import WarmupStepSchedule
+
+
+def paper_schedule(n_nodes=8, batch=64):
+    """The paper's setup: batch 64/GPU, 4 GPUs/node."""
+    return WarmupStepSchedule(batch_per_gpu=batch, n_workers=n_nodes * 4)
+
+
+def test_peak_lr_formula():
+    """lr = 0.1 * k n / 256 (§5)."""
+    sched = paper_schedule(n_nodes=8)  # 32 workers * 64 = 2048
+    assert sched.peak_lr == pytest.approx(0.1 * 2048 / 256)
+    assert sched.global_batch == 2048
+
+
+def test_warmup_starts_at_base_and_ramps_linearly():
+    sched = paper_schedule()
+    assert sched.lr_at(0.0) == pytest.approx(0.1)
+    mid = sched.lr_at(2.5)
+    assert mid == pytest.approx(0.1 + (sched.peak_lr - 0.1) / 2)
+    assert sched.lr_at(5.0) == pytest.approx(sched.peak_lr)
+
+
+def test_decay_by_10_every_30_epochs():
+    sched = paper_schedule()
+    assert sched.lr_at(29.9) == pytest.approx(sched.peak_lr)
+    assert sched.lr_at(30.0) == pytest.approx(sched.peak_lr * 0.1)
+    assert sched.lr_at(60.0) == pytest.approx(sched.peak_lr * 0.01)
+    assert sched.lr_at(89.0) == pytest.approx(sched.peak_lr * 0.01)
+
+
+def test_table2_batch_8k():
+    """Table 2: 256 GPUs, batch 32/GPU -> 8k batch, peak lr 3.2."""
+    sched = WarmupStepSchedule(batch_per_gpu=32, n_workers=256)
+    assert sched.global_batch == 8192
+    assert sched.peak_lr == pytest.approx(3.2)
+
+
+def test_curve_is_monotone_within_phases():
+    sched = paper_schedule()
+    curve = sched.curve(steps_per_epoch=10)
+    assert len(curve) == 900
+    # warm-up rises
+    assert curve[0] < curve[49]
+    # post-warm-up plateau
+    assert curve[60] == pytest.approx(curve[290])
+    # drops happen
+    assert curve[310] == pytest.approx(curve[290] * 0.1)
+
+
+def test_no_warmup_variant():
+    sched = WarmupStepSchedule(batch_per_gpu=8, n_workers=4, warmup_epochs=0.0)
+    assert sched.lr_at(0.0) == pytest.approx(sched.peak_lr)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WarmupStepSchedule(batch_per_gpu=0, n_workers=1)
+    with pytest.raises(ValueError):
+        WarmupStepSchedule(batch_per_gpu=1, n_workers=1, base_lr=0)
+    with pytest.raises(ValueError):
+        WarmupStepSchedule(batch_per_gpu=1, n_workers=1, decay_factor=1.5)
+    sched = paper_schedule()
+    with pytest.raises(ValueError):
+        sched.lr_at(-1)
+    with pytest.raises(ValueError):
+        sched.curve(0)
