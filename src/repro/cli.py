@@ -9,6 +9,7 @@ Examples::
     python -m repro shuffle --dataset imagenet-22k --learners 32
     python -m repro memory --dataset imagenet-22k --learners 32
     python -m repro trees --ranks 8 --colors 4
+    python -m repro faults --learners 4 --crash-rank 1 --crash-at 4
     python -m repro fig5
 """
 
@@ -64,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=8)
     p.add_argument("--colors", type=int, default=4)
     p.add_argument("--arity", type=int, default=None)
+
+    p = sub.add_parser(
+        "faults", help="inject faults into a training run and recover live"
+    )
+    p.add_argument("--learners", type=int, default=4)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--crash-rank", type=int, default=1,
+                   help="rank to fail-stop permanently (-1 to disable)")
+    p.add_argument("--crash-at", type=int, default=4,
+                   help="iteration at which the crash fires")
+    p.add_argument("--drop-at", type=int, default=1,
+                   help="iteration whose gradient message is lost "
+                        "(-1 to disable)")
     return parser
 
 
@@ -197,6 +212,77 @@ def _cmd_trees(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import numpy as np
+
+    from repro.data import DIMDStore
+    from repro.data.codec import encode_image
+    from repro.models.nn import Dense, Flatten, Network, ReLU
+    from repro.train import (
+        DistributedSGDTrainer,
+        FaultPlan,
+        WarmupStepSchedule,
+        crash,
+        drop_messages,
+    )
+
+    n_classes = 3
+
+    def net_factory(rng):
+        return Network(
+            [Flatten(), Dense(16, 10, rng), ReLU(), Dense(10, n_classes, rng)]
+        )
+
+    rng = np.random.default_rng(args.seed)
+    stores = []
+    for w in range(args.learners):
+        labels = rng.integers(0, n_classes, size=24)
+        records = []
+        for lab in labels:
+            img = rng.integers(0, 60, size=(1, 4, 4), dtype=np.uint8)
+            img[0, int(lab) % 4, :] = 255
+            records.append(encode_image(img))
+        stores.append(DIMDStore(records, labels, learner=w))
+
+    specs = []
+    if args.drop_at >= 0:
+        specs.append(drop_messages(args.drop_at, count=1))
+    if args.crash_rank >= 0:
+        if not 0 <= args.crash_rank < args.learners:
+            print(
+                f"--crash-rank {args.crash_rank} out of range "
+                f"[0, {args.learners})",
+                file=sys.stderr,
+            )
+            return 2
+        specs.append(crash(args.crash_rank, args.crash_at))
+    schedule = WarmupStepSchedule(
+        batch_per_gpu=4, n_workers=args.learners, base_lr=0.08,
+        reference_batch=4 * args.learners, warmup_epochs=0.0,
+    )
+    trainer = DistributedSGDTrainer(
+        net_factory, stores, gpus_per_node=1, batch_per_gpu=4,
+        schedule=schedule, reducer="multicolor", seed=args.seed,
+        fault_plan=FaultPlan(specs),
+    )
+    total = sum(len(s) for s in trainer.stores)
+    print(f"{'it':>3} {'learners':>8} {'loss':>8} {'retries':>7}  faults")
+    for _ in range(args.steps):
+        r = trainer.step()
+        note = "; ".join(r.faults) if r.faults else "-"
+        print(
+            f"{r.iteration:>3} {r.n_learners:>8} {r.loss:>8.4f} "
+            f"{r.retries:>7}  {note}"
+        )
+    trainer.check_synchronized()
+    print(
+        f"survivors {trainer.n_learners}/{args.learners}, replicas "
+        f"synchronized, records conserved "
+        f"{sum(len(s) for s in trainer.stores)}/{total}"
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -220,6 +306,7 @@ _COMMANDS = {
     "shuffle": _cmd_shuffle,
     "memory": _cmd_memory,
     "trees": _cmd_trees,
+    "faults": _cmd_faults,
 }
 
 

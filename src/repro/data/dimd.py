@@ -113,6 +113,16 @@ class DIMDStore:
         blobs = [self.records[int(i)] for i in ids]
         return blobs, self.labels[np.asarray(ids, dtype=int)]
 
+    def extend(self, records: list[bytes], labels: np.ndarray) -> None:
+        """Absorb extra records (elastic recovery: a dead learner's share)."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(records) != len(labels):
+            raise ValueError(
+                f"{len(records)} records vs {len(labels)} labels"
+            )
+        self.records.extend(records)
+        self.labels = np.concatenate([self.labels, labels])
+
     def replace_contents(self, records: list[bytes], labels: np.ndarray) -> None:
         """Swap in a new partition (after a shuffle)."""
         if len(records) != len(labels):

@@ -81,6 +81,10 @@ class MPIWorld:
         ]
         self._cpu = [Resource(engine, 1, name=f"cpu{r}") for r in range(n_ranks)]
         self._channel_tail: dict[tuple[int, int], Event] = {}
+        #: Optional message-fault hook (see :mod:`repro.train.injection`).
+        #: Must expose ``on_send(src, dst, tag, nbytes) -> (action, seconds)``
+        #: where action is ``"deliver"``, ``"delay"`` or ``"drop"``.
+        self.fault_controller: object | None = None
 
     def comm_world(self) -> "Communicator":
         return Communicator(self, list(range(self.n_ranks)))
@@ -93,6 +97,12 @@ class MPIWorld:
         a NIC send queue: message *m+1*'s bytes follow message *m*'s on the
         wire.  This preserves pipelining order (segment *s* arrives before
         segment *s+1*) which a pure fair-share fluid model would destroy.
+
+        A :attr:`fault_controller`, if installed, may delay the message on
+        the wire or drop its payload in transit.  A dropped message still
+        completes locally (fail-silent network loss: the sender's NIC is
+        unaware) — only the deposit at the destination is suppressed, so
+        the receiver hangs until a higher-level timeout detects the loss.
         """
         self._check_rank(src)
         self._check_rank(dst)
@@ -105,8 +115,16 @@ class MPIWorld:
         def channel_program():
             if prev_tail is not None:
                 yield prev_tail
+            action = "deliver"
+            if self.fault_controller is not None:
+                action, seconds = self.fault_controller.on_send(
+                    src, dst, tag, nbytes
+                )
+                if action == "delay" and seconds > 0:
+                    yield self.engine.timeout(seconds)
             yield self.fabric.transfer(src, dst, nbytes)
-            self._deposit(dst, Message(src, tag, payload, nbytes))
+            if action != "drop":
+                self._deposit(dst, Message(src, tag, payload, nbytes))
             done.succeed()
 
         self.engine.process(channel_program(), name=f"send{src}->{dst}")

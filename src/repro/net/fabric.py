@@ -16,6 +16,7 @@ completions are events, and rate changes reschedule the next completion.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.net.topology import Topology
@@ -91,6 +92,7 @@ class Fabric:
         self._last_update = 0.0
         self._timer_generation = 0
         self._realloc_pending = False
+        self._link_scale: dict[int, float] = {}
 
     # -- public API --------------------------------------------------------
     @property
@@ -122,6 +124,43 @@ class Fabric:
             return ev
         self.engine.process(self._delayed_activate(flow, delay))
         return ev
+
+    def link_bandwidth(self, link_index: int) -> float:
+        """Effective bandwidth of a link: nominal capacity times any live
+        degradation factor installed by :meth:`scale_links`."""
+        nominal = self.topology.links[link_index].params.bandwidth
+        return nominal * self._link_scale.get(link_index, 1.0)
+
+    def scale_links(self, link_indices: Iterable[int], factor: float) -> None:
+        """Degrade (or restore) links *mid-flight*.
+
+        Unlike :meth:`Topology.with_scaled_links`, which builds a new static
+        topology, this changes the capacity seen by flows already on the
+        wire: progress at the old rates is accounted first, then the max-min
+        shares are recomputed.  ``factor == 1.0`` removes the degradation.
+        """
+        if factor <= 0:
+            raise ValueError(f"link scale factor must be positive, got {factor}")
+        n_links = len(self.topology.links)
+        for li in link_indices:
+            if not 0 <= li < n_links:
+                raise ValueError(f"link index {li} out of range [0, {n_links})")
+            if factor == 1.0:
+                self._link_scale.pop(li, None)
+            else:
+                self._link_scale[li] = factor
+        self._update_progress()
+        self._request_reallocate()
+
+    def scale_host_links(self, host_rank: int, factor: float) -> None:
+        """Scale every link touching ``host_rank`` (a flapping NIC, live)."""
+        vertex = self.topology.host(host_rank)
+        indices = [
+            link.index
+            for link in self.topology.links
+            if vertex in (link.src, link.dst)
+        ]
+        self.scale_links(indices, factor)
 
     # -- internals -----------------------------------------------------------
     def _delayed_complete(self, flow: Flow, delay: float):
@@ -203,14 +242,13 @@ class Fabric:
         flows = list(self._active.values())
         if not flows:
             return
-        links = self.topology.links
         residual: dict[int, float] = {}
         link_flows: dict[int, list[Flow]] = {}
         for flow in flows:
             flow.rate = 0.0
             for li in flow.path:
                 if li not in residual:
-                    residual[li] = links[li].params.bandwidth
+                    residual[li] = self.link_bandwidth(li)
                     link_flows[li] = []
                 link_flows[li].append(flow)
         unfixed_count = {li: len(fl) for li, fl in link_flows.items()}

@@ -8,21 +8,47 @@
   combines storage, DPT, GPU and collective costs.
 * :mod:`repro.train.accuracy` — the convergence surrogate producing
   top-1/loss curves (Figures 13-16) without 10^18 real FLOPs.
+* :mod:`repro.train.injection` — live fault injection (crash / degrade /
+  delay / drop) into the simulated collectives, with elastic recovery in
+  the trainer and bit-exact checkpoint/restore in
+  :mod:`repro.train.checkpoint`.
 """
 
 from repro.train.schedule import WarmupStepSchedule
 from repro.train.distributed import DistributedSGDTrainer, TrainStepResult
 from repro.train.pipeline import EpochTimeModel, IterationBreakdown
 from repro.train.accuracy import AccuracyModel
+from repro.train.checkpoint import TrainerCheckpoint
+from repro.train.injection import (
+    CollectiveTimeout,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RankFailure,
+    crash,
+    degrade_links,
+    delay_messages,
+    drop_messages,
+)
 from repro.train.metrics import scaling_efficiency, speedup, time_to_epoch
 
 __all__ = [
     "AccuracyModel",
+    "CollectiveTimeout",
     "DistributedSGDTrainer",
     "EpochTimeModel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "IterationBreakdown",
+    "RankFailure",
     "TrainStepResult",
+    "TrainerCheckpoint",
     "WarmupStepSchedule",
+    "crash",
+    "degrade_links",
+    "delay_messages",
+    "drop_messages",
     "scaling_efficiency",
     "speedup",
     "time_to_epoch",

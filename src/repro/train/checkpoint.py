@@ -1,0 +1,132 @@
+"""Checkpoint/restore for :class:`~repro.train.distributed.DistributedSGDTrainer`.
+
+A checkpoint captures everything the trainer's state math depends on:
+
+* model weights and the optimizer's momentum (velocity) vector,
+* the iteration counter and shuffle round — the trainer derives every RNG
+  stream counter-style from ``(seed, purpose, learner_id, iteration)``
+  (:func:`repro.utils.rng.rng_for`), so restoring the counters restores
+  the streams exactly, with no generator state to serialize,
+* the DIMD partition map: each live learner's identity plus its current
+  records and labels (partitions drift across shuffles and elastic
+  shrinks, so the map must travel with the weights),
+* the hyperparameter configuration, including the (possibly rescaled)
+  LR schedule.
+
+Restore is **bit-exact**: a run interrupted at iteration *k* and resumed
+from its checkpoint produces weights identical to an uninterrupted run —
+the equivalence test in ``tests/train/test_elastic.py`` asserts
+``np.array_equal``, not approximate closeness.
+
+Serialization uses :mod:`pickle` (stdlib): the payload is NumPy arrays,
+``bytes`` blobs and primitive config — no custom classes beyond the
+checkpoint itself and the frozen schedule dataclass.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dimd import DIMDStore
+from repro.train.schedule import WarmupStepSchedule
+
+__all__ = ["TrainerCheckpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class TrainerCheckpoint:
+    """Complete, bit-exact snapshot of a distributed training run."""
+
+    version: int
+    seed: int
+    iteration: int
+    shuffle_round: int
+    learner_ids: list[int]
+    params: np.ndarray
+    velocity: np.ndarray
+    records: list[list[bytes]]
+    labels: list[np.ndarray]
+    gpus_per_node: int
+    batch_per_gpu: int
+    momentum: float
+    weight_decay: float
+    reducer: str
+    dpt_variant: str
+    shuffle_every: int | None
+    schedule: WarmupStepSchedule
+
+    # -- capture ------------------------------------------------------------
+    @classmethod
+    def capture(cls, trainer) -> "TrainerCheckpoint":
+        return cls(
+            version=CHECKPOINT_VERSION,
+            seed=trainer.seed,
+            iteration=trainer.iteration,
+            shuffle_round=trainer._shuffle_round,
+            learner_ids=list(trainer.learner_ids),
+            params=trainer.params().copy(),
+            velocity=trainer._velocity.copy(),
+            records=[list(s.records) for s in trainer.stores],
+            labels=[s.labels.copy() for s in trainer.stores],
+            gpus_per_node=trainer.gpus_per_node,
+            batch_per_gpu=trainer.batch_per_gpu,
+            momentum=trainer.momentum,
+            weight_decay=trainer.weight_decay,
+            reducer=trainer.reducer,
+            dpt_variant=trainer.dpt_variant,
+            shuffle_every=trainer.shuffle_every,
+            schedule=trainer.schedule,
+        )
+
+    # -- restore ------------------------------------------------------------
+    def restore(self, trainer_cls, network_factory, **overrides):
+        """Rebuild a live trainer from this snapshot.
+
+        ``overrides`` lets the caller change operational knobs (fault plan,
+        timeouts, reducer) without touching the training state.
+        """
+        if self.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {self.version} != {CHECKPOINT_VERSION}"
+            )
+        stores = [
+            DIMDStore(recs, labs, learner=lid)
+            for recs, labs, lid in zip(self.records, self.labels, self.learner_ids)
+        ]
+        kwargs = dict(
+            gpus_per_node=self.gpus_per_node,
+            batch_per_gpu=self.batch_per_gpu,
+            schedule=self.schedule,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            reducer=self.reducer,
+            dpt_variant=self.dpt_variant,
+            seed=self.seed,
+            shuffle_every=self.shuffle_every,
+        )
+        kwargs.update(overrides)
+        trainer = trainer_cls(network_factory, stores, **kwargs)
+        trainer.learner_ids = list(self.learner_ids)
+        trainer.iteration = self.iteration
+        trainer._shuffle_round = self.shuffle_round
+        trainer._velocity = self.velocity.copy()
+        for table in trainer.tables:
+            table.broadcast_params(self.params)
+        return trainer
+
+    # -- (de)serialization --------------------------------------------------
+    def save(self, path) -> None:
+        Path(path).write_bytes(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+    @classmethod
+    def load(cls, path) -> "TrainerCheckpoint":
+        ckpt = pickle.loads(Path(path).read_bytes())
+        if not isinstance(ckpt, cls):
+            raise TypeError(f"{path} does not contain a TrainerCheckpoint")
+        return ckpt

@@ -16,12 +16,21 @@ replicas stay synchronized — asserted by :meth:`check_synchronized`.
 The equivalence test in ``tests/train`` shows a K-learner trainer matches
 serial large-batch SGD to float precision, which is the correctness claim
 behind the paper's Algorithm 1.
+
+Fault tolerance (see DESIGN.md §"Failure semantics"): with a
+:class:`~repro.train.injection.FaultPlan` attached, the simulated
+collective is guarded by a watchdog timeout.  Transient faults (delayed
+or dropped messages, temporary link degradation) are retried with bounded
+exponential backoff and surfaced in :class:`TrainStepResult`; a permanent
+rank crash triggers an *elastic shrink* — the dead learner's DIMD records
+are repartitioned over the survivors, the LR schedule is rescaled to the
+smaller effective batch, and training continues on the remaining ranks.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -34,8 +43,15 @@ from repro.dpt.table import (
 )
 from repro.models.nn.network import Network
 from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
-from repro.mpi.datatypes import ArrayBuffer
+from repro.mpi.datatypes import ArrayBuffer, chunk_ranges
 from repro.mpi.runner import build_world
+from repro.sim.engine import Interrupt
+from repro.train.injection import (
+    CollectiveTimeout,
+    FaultInjector,
+    FaultPlan,
+    RankFailure,
+)
 from repro.train.schedule import WarmupStepSchedule
 from repro.utils.rng import rng_for
 
@@ -44,12 +60,17 @@ __all__ = ["DistributedSGDTrainer", "TrainStepResult"]
 
 @dataclass
 class TrainStepResult:
-    """Per-iteration outcome."""
+    """Per-iteration outcome, including fault/recovery telemetry."""
 
     iteration: int
     loss: float
     lr: float
     grad_norm: float
+    n_learners: int = 0          # learners that contributed to this step
+    sim_time: float = 0.0        # simulated seconds spent in collectives
+    retries: int = 0             # collective attempts beyond the first
+    backoff: float = 0.0         # simulated seconds of retry backoff
+    faults: tuple[str, ...] = () # human-readable fault events this step
 
 
 class DistributedSGDTrainer:
@@ -69,6 +90,12 @@ class DistributedSGDTrainer:
         dpt_variant: str = "optimized",
         seed: int = 0,
         shuffle_every: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        collective_timeout: float = 60.0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.5,
+        lr_rescale: str = "linear",
+        reshuffle_on_shrink: bool = True,
     ):
         """
         Parameters
@@ -85,6 +112,25 @@ class DistributedSGDTrainer:
         shuffle_every:
             If set, run the Algorithm 2 distributed shuffle across learners
             every that many iterations.
+        fault_plan:
+            Faults to inject into the simulated collectives (requires a
+            simulated ``reducer``, not ``"exact"``).
+        collective_timeout:
+            Simulated seconds before an unfinished collective is declared
+            lost and retried (the failure detector).
+        max_retries:
+            Transient-fault retry budget per iteration; exceeding it raises
+            :class:`~repro.train.injection.CollectiveTimeout`.
+        retry_backoff:
+            Simulated seconds of backoff before the first retry; doubles on
+            each subsequent retry (bounded by ``max_retries``).
+        lr_rescale:
+            ``"linear"`` rescales the schedule's worker count after an
+            elastic shrink (linear-scaling rule follows the smaller
+            effective batch); ``"none"`` keeps the schedule fixed.
+        reshuffle_on_shrink:
+            After absorbing a dead learner's records, rebalance survivor
+            partitions with the Algorithm 2 distributed shuffle.
         """
         if not stores:
             raise ValueError("need at least one learner store")
@@ -97,18 +143,43 @@ class DistributedSGDTrainer:
             raise ValueError(f"unknown dpt_variant {dpt_variant!r}")
         if batch_per_gpu < 1 or gpus_per_node < 1:
             raise ValueError("batch_per_gpu and gpus_per_node must be >= 1")
-        self.n_learners = len(stores)
+        if fault_plan is not None and reducer == "exact":
+            raise ValueError(
+                "fault injection needs a simulated reducer (faults live in "
+                "the MPI simulation); reducer='exact' bypasses it"
+            )
+        if lr_rescale not in ("linear", "none"):
+            raise ValueError(f"unknown lr_rescale {lr_rescale!r}")
+        if collective_timeout <= 0:
+            raise ValueError("collective_timeout must be positive")
+        if max_retries < 0 or retry_backoff < 0:
+            raise ValueError("max_retries and retry_backoff must be >= 0")
         self.gpus_per_node = gpus_per_node
         self.batch_per_gpu = batch_per_gpu
         self.stores = stores
         self.reducer = reducer
+        self.dpt_variant = dpt_variant
         self.seed = seed
         self.shuffle_every = shuffle_every
         self.momentum = momentum
         self.weight_decay = weight_decay
+        self.collective_timeout = collective_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.lr_rescale = lr_rescale
+        self.reshuffle_on_shrink = reshuffle_on_shrink
+        self.fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        #: Original learner identity of each live slot; identities are
+        #: stable across elastic shrinks so RNG streams never collide.
+        self.learner_ids = [s.learner for s in stores]
+        if len(set(self.learner_ids)) != len(self.learner_ids):
+            # Stores built without distinct learner tags: fall back to index.
+            self.learner_ids = list(range(len(stores)))
         self.schedule = schedule or WarmupStepSchedule(
             batch_per_gpu=batch_per_gpu,
-            n_workers=self.n_learners * gpus_per_node,
+            n_workers=len(stores) * gpus_per_node,
             warmup_epochs=0.0,
         )
 
@@ -120,7 +191,7 @@ class DistributedSGDTrainer:
             else BaselineDataParallelTable
         )
         self.tables: list[_DataParallelTableBase] = []
-        for learner in range(self.n_learners):
+        for learner in range(len(stores)):
             replicas = [
                 network_factory(rng_for(seed, "replica", learner, g))
                 for g in range(gpus_per_node)
@@ -132,8 +203,14 @@ class DistributedSGDTrainer:
         self._velocity = np.zeros(self.n_params)
         self.iteration = 0
         self._shuffle_round = 0
+        self._step_stats = _StepStats()
 
     # -- public API ----------------------------------------------------------
+    @property
+    def n_learners(self) -> int:
+        """Learners currently alive (shrinks after a permanent rank loss)."""
+        return len(self.stores)
+
     @property
     def node_batch(self) -> int:
         return self.batch_per_gpu * self.gpus_per_node
@@ -147,21 +224,28 @@ class DistributedSGDTrainer:
         total = sum(len(s) for s in self.stores)
         return max(1, total // self.global_batch)
 
+    @property
+    def fault_log(self) -> list:
+        """Every fault event that fired so far (empty without a plan)."""
+        return list(self.fault_injector.events) if self.fault_injector else []
+
     def params(self) -> np.ndarray:
         return self.tables[0].replicas[0].get_flat_params()
 
     def step(self) -> TrainStepResult:
-        """One iteration of Algorithm 1 across all learners."""
+        """One iteration of Algorithm 1 across all live learners."""
+        self._step_stats = _StepStats()
         per_learner_grads: list[np.ndarray] = []
         losses: list[float] = []
-        for learner, table in enumerate(self.tables):
-            rng = rng_for(self.seed, "batch", learner, self.iteration)
-            images, labels = self.stores[learner].random_batch(self.node_batch, rng)
+        for slot, table in enumerate(self.tables):
+            rng = rng_for(self.seed, "batch", self.learner_ids[slot], self.iteration)
+            images, labels = self.stores[slot].random_batch(self.node_batch, rng)
             loss, grads = table.forward_backward(images, labels)
             per_learner_grads.append(grads)
             losses.append(loss)
 
-        mean_grad = self._allreduce(per_learner_grads) / self.n_learners
+        summed, n_contributing = self._allreduce(per_learner_grads)
+        mean_grad = summed / n_contributing
         epoch = self.iteration / self.steps_per_epoch
         lr = self.schedule.lr_at(epoch)
         self._apply_update(mean_grad, lr)
@@ -169,11 +253,17 @@ class DistributedSGDTrainer:
         self.iteration += 1
         if self.shuffle_every and self.iteration % self.shuffle_every == 0:
             self.shuffle()
+        stats = self._step_stats
         return TrainStepResult(
             iteration=self.iteration,
             loss=float(np.mean(losses)),
             lr=lr,
             grad_norm=float(np.linalg.norm(mean_grad)),
+            n_learners=n_contributing,
+            sim_time=stats.sim_time,
+            retries=stats.retries,
+            backoff=stats.backoff,
+            faults=tuple(str(ev) for ev in stats.fault_events),
         )
 
     def train_epoch(self) -> list[TrainStepResult]:
@@ -218,6 +308,33 @@ class DistributedSGDTrainer:
                         f"replica (learner {li}, gpu {gi}) diverged"
                     )
 
+    # -- checkpoint / restore -------------------------------------------------
+    def checkpoint(self):
+        """Snapshot the full training state (see :mod:`repro.train.checkpoint`)."""
+        from repro.train.checkpoint import TrainerCheckpoint
+
+        return TrainerCheckpoint.capture(self)
+
+    def save_checkpoint(self, path) -> None:
+        self.checkpoint().save(path)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        source,
+        network_factory: Callable[[np.random.Generator], Network],
+        **overrides,
+    ) -> "DistributedSGDTrainer":
+        """Rebuild a trainer from a checkpoint (object or path), bit-exact."""
+        from repro.train.checkpoint import TrainerCheckpoint
+
+        ckpt = (
+            source
+            if isinstance(source, TrainerCheckpoint)
+            else TrainerCheckpoint.load(source)
+        )
+        return ckpt.restore(cls, network_factory, **overrides)
+
     def close(self) -> None:
         for table in self.tables:
             table.close()
@@ -229,21 +346,97 @@ class DistributedSGDTrainer:
         self.close()
 
     # -- internals ----------------------------------------------------------
-    def _allreduce(self, grads: list[np.ndarray]) -> np.ndarray:
+    def _allreduce(self, grads: list[np.ndarray]) -> tuple[np.ndarray, int]:
+        """Sum gradients across live learners.
+
+        Returns ``(summed, n_contributing)``: a permanent rank loss during
+        the collective shrinks the trainer mid-call, in which case the sum
+        covers the survivors only and ``n_contributing < len(grads)``.
+        """
         if self.reducer == "exact" or self.n_learners == 1:
-            return np.sum(grads, axis=0)
-        engine, _world, comm = build_world(self.n_learners, topology="star")
-        program = ALLREDUCE_ALGORITHMS[self.reducer]
-        buffers = [ArrayBuffer(g.copy()) for g in grads]
-        procs = [
-            engine.process(
-                program(comm, r, buffers[r], tag=("it", self.iteration)),
-                name=f"ar{r}",
+            return np.sum(grads, axis=0), len(grads)
+        stats = self._step_stats
+        attempts = 0
+        backoff = self.retry_backoff
+        while True:
+            n = len(grads)
+            if n == 1:
+                return grads[0].copy(), 1
+            engine, world, comm = build_world(n, topology="star")
+            program = ALLREDUCE_ALGORITHMS[self.reducer]
+            buffers = [ArrayBuffer(g.copy()) for g in grads]
+            procs = [
+                engine.process(
+                    program(comm, r, buffers[r], tag=("it", self.iteration)),
+                    name=f"ar{r}",
+                )
+                for r in range(n)
+            ]
+            mark = len(self.fault_injector.events) if self.fault_injector else 0
+            if self.fault_injector is not None:
+                self.fault_injector.arm(engine, world, procs, self.iteration)
+            done = engine.all_of(procs)
+            deadline = engine.timeout(self.collective_timeout)
+            try:
+                engine.run(engine.any_of([done, deadline]))
+            except Interrupt as exc:
+                stats.sim_time += engine.now
+                self._collect_fault_events(mark)
+                cause = exc.cause
+                if not isinstance(cause, RankFailure):
+                    raise
+                grads = self._shrink(cause.rank, grads)
+                continue
+            stats.sim_time += engine.now
+            self._collect_fault_events(mark)
+            if done.triggered:
+                return buffers[0].array, len(grads)
+            # Watchdog fired first: transient fault suspected — retry with
+            # bounded exponential backoff (accounted in simulated time).
+            attempts += 1
+            stats.retries += 1
+            if attempts > self.max_retries:
+                raise CollectiveTimeout(
+                    self.collective_timeout, self.iteration, attempts
+                )
+            stats.backoff += backoff
+            stats.sim_time += backoff
+            backoff *= 2
+
+    def _collect_fault_events(self, mark: int) -> None:
+        if self.fault_injector is not None:
+            self._step_stats.fault_events.extend(
+                self.fault_injector.events_since(mark)
             )
-            for r in range(self.n_learners)
-        ]
-        engine.run(engine.all_of(procs))
-        return buffers[0].array
+
+    def _shrink(self, lost_slot: int, grads: list[np.ndarray]) -> list[np.ndarray]:
+        """Elastic recovery from a permanent rank loss.
+
+        The dead learner's DIMD records are dealt contiguously to the
+        survivors (then rebalanced with the Algorithm 2 shuffle), its table
+        is released, and the LR schedule is rescaled to the new effective
+        batch.  The lost learner's gradient contribution for the current
+        iteration is gone — the global batch shrinks for good.
+        """
+        if self.n_learners <= 1:
+            raise RankFailure(lost_slot)  # nobody left to recover on
+        dead_store = self.stores.pop(lost_slot)
+        dead_table = self.tables.pop(lost_slot)
+        dead_table.close()
+        self.learner_ids.pop(lost_slot)
+        survivors = len(self.stores)
+        for slot, (lo, hi) in enumerate(chunk_ranges(len(dead_store), survivors)):
+            if hi > lo:
+                self.stores[slot].extend(
+                    dead_store.records[lo:hi], dead_store.labels[lo:hi]
+                )
+        if self.reshuffle_on_shrink and survivors > 1:
+            self.shuffle()
+        if self.lr_rescale == "linear":
+            prev_workers = self.schedule.n_workers
+            new_workers = max(1, round(prev_workers * survivors / (survivors + 1)))
+            self.schedule = replace(self.schedule, n_workers=new_workers)
+        return [g for slot, g in enumerate(grads) if slot != lost_slot]
 
     def _apply_update(self, mean_grad: np.ndarray, lr: float) -> None:
         """The identical SGD step every GPU performs."""
@@ -255,3 +448,13 @@ class DistributedSGDTrainer:
         new_w = w - lr * self._velocity
         for table in self.tables:
             table.broadcast_params(new_w)
+
+
+@dataclass
+class _StepStats:
+    """Scratch accumulator for one step's fault telemetry."""
+
+    sim_time: float = 0.0
+    retries: int = 0
+    backoff: float = 0.0
+    fault_events: list = field(default_factory=list)

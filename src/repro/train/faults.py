@@ -6,6 +6,11 @@ it.  These helpers quantify that — the operational risk the paper's
 synchronous design accepts in exchange for exact convergence (asynchronous
 SGD, in :mod:`repro.train.async_sgd`, is the resilient alternative §6
 points to).
+
+These are *closed-form* penalty models.  For failures exercised live
+through the simulation — injected crashes, dropped messages, mid-flight
+link degradation, and the trainer's elastic recovery — see
+:mod:`repro.train.injection`.
 """
 
 from __future__ import annotations
@@ -19,7 +24,17 @@ __all__ = ["StragglerReport", "straggler_epoch_time", "degraded_allreduce_time"]
 
 @dataclass(frozen=True)
 class StragglerReport:
-    """Effect of slow nodes on one configuration."""
+    """Effect of slow nodes on one configuration.
+
+    Invariant (the *barrier-max* model): every iteration barriers on the
+    gradient allreduce, so the degraded iteration time is the **max** over
+    nodes — one straggler already sets the pace, and additional equally
+    slow stragglers change nothing.  ``degraded_epoch`` is therefore
+    deliberately independent of ``n_stragglers`` for any
+    ``n_stragglers >= 1``; the count is still carried through verbatim so
+    reports remain auditable (it round-trips from
+    :func:`straggler_epoch_time` unchanged).
+    """
 
     healthy_epoch: float
     degraded_epoch: float
@@ -78,6 +93,10 @@ def degraded_allreduce_time(
 
     if not 0 < link_factor <= 1:
         raise ValueError("link_factor must be in (0, 1]")
+    if not 0 <= degraded_rank < n_ranks:
+        raise ValueError(
+            f"degraded_rank {degraded_rank} out of range [0, {n_ranks})"
+        )
     healthy_topo = fat_tree(n_ranks, CONNECTX5_DUAL, hosts_per_leaf=4)
     degraded_topo = healthy_topo.with_scaled_links(
         healthy_topo.host(degraded_rank), link_factor

@@ -1,0 +1,342 @@
+"""Live fault injection for the simulated MPI world.
+
+Where :mod:`repro.train.faults` *models* failures analytically (closed-form
+straggler and degraded-link penalties), this module *injects* them into the
+running discrete-event simulation so that detection and recovery execute
+through the real code paths:
+
+* **crash** — a rank process is killed mid-collective via
+  :meth:`~repro.sim.engine.Process.interrupt` carrying a
+  :class:`RankFailure` (fail-stop, permanent).
+* **degrade** — a host's links are rescaled *mid-flight* through
+  :meth:`~repro.net.fabric.Fabric.scale_host_links`; in-flight flows
+  re-share bandwidth immediately (transient if ``duration`` is set).
+* **delay** — messages leaving a rank are held on the wire for extra
+  seconds before transfer (a congested or flapping path).
+* **drop** — message payloads are lost in transit; the sender completes
+  locally and the receiver hangs until a collective timeout fires.
+
+A :class:`FaultPlan` is a declarative schedule of :class:`FaultSpec`
+entries keyed by trainer iteration; :class:`FaultInjector` arms the live
+specs against each collective attempt (engine + world + rank processes)
+and logs every fault that actually fires.  Transient specs are consumed
+per *attempt* (``max_firings``), so a retry after a timeout observes the
+fault gone — the transient-fault model of §6's discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mpi.world import MPIWorld
+from repro.sim.engine import Engine, Process
+
+__all__ = [
+    "CollectiveTimeout",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RankFailure",
+    "crash",
+    "degrade_links",
+    "delay_messages",
+    "drop_messages",
+]
+
+_KINDS = ("crash", "degrade", "delay", "drop")
+
+
+class RankFailure(RuntimeError):
+    """Fail-stop: a learner process died and will not come back."""
+
+    def __init__(self, rank: int, when: float = 0.0):
+        super().__init__(f"rank {rank} failed at t={when:.6f}s")
+        self.rank = rank
+        self.when = when
+
+
+class CollectiveTimeout(RuntimeError):
+    """A collective did not complete within the detection deadline."""
+
+    def __init__(self, timeout: float, iteration: int, attempts: int):
+        super().__init__(
+            f"collective at iteration {iteration} timed out "
+            f"({timeout:g}s simulated) after {attempts} attempt(s)"
+        )
+        self.timeout = timeout
+        self.iteration = iteration
+        self.attempts = attempts
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    ``rank`` is the *group rank at arm time* of the target (the victim for
+    ``crash``/``degrade``, the sender for ``delay``/``drop``; ``None``
+    matches any sender).  ``at`` is simulated seconds into the collective.
+    ``max_firings`` bounds how many collective *attempts* the spec can hit;
+    retried attempts past that see the fault cleared (transient faults).
+    """
+
+    kind: str
+    iteration: int
+    rank: int | None = None
+    at: float = 0.0
+    factor: float = 0.25          # degrade: link bandwidth multiplier
+    duration: float | None = None  # degrade: restore after this long
+    seconds: float = 0.0          # delay: extra on-wire time per message
+    count: int = 1                # delay/drop: messages affected per attempt
+    max_firings: int = 1
+    firings: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use {_KINDS}")
+        if self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.kind == "degrade" and not 0 < self.factor <= 1:
+            raise ValueError("degrade factor must be in (0, 1]")
+        if self.kind == "delay" and self.seconds <= 0:
+            raise ValueError("delay needs seconds > 0")
+        if self.kind in ("delay", "drop") and self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.max_firings < 1:
+            raise ValueError("max_firings must be >= 1")
+        if self.kind == "crash" and self.rank is None:
+            raise ValueError("crash needs a target rank")
+        if self.kind == "degrade" and self.rank is None:
+            raise ValueError("degrade needs a target rank")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.firings >= self.max_firings
+
+    @property
+    def permanent(self) -> bool:
+        """Crashes remove a learner for good; everything else is transient."""
+        return self.kind == "crash"
+
+
+def crash(rank: int, iteration: int, *, at: float = 0.0) -> FaultSpec:
+    """Kill ``rank`` permanently, ``at`` seconds into the collective."""
+    return FaultSpec("crash", iteration, rank=rank, at=at)
+
+
+def degrade_links(
+    rank: int,
+    iteration: int,
+    *,
+    factor: float = 0.25,
+    at: float = 0.0,
+    duration: float | None = None,
+    max_firings: int = 1,
+) -> FaultSpec:
+    """Scale ``rank``'s host links to ``factor`` of nominal, mid-flight."""
+    return FaultSpec(
+        "degrade", iteration, rank=rank, at=at, factor=factor,
+        duration=duration, max_firings=max_firings,
+    )
+
+
+def delay_messages(
+    iteration: int,
+    *,
+    seconds: float,
+    rank: int | None = None,
+    count: int = 1,
+    max_firings: int = 1,
+) -> FaultSpec:
+    """Hold the next ``count`` messages (from ``rank``, or any sender)."""
+    return FaultSpec(
+        "delay", iteration, rank=rank, seconds=seconds, count=count,
+        max_firings=max_firings,
+    )
+
+
+def drop_messages(
+    iteration: int,
+    *,
+    rank: int | None = None,
+    count: int = 1,
+    max_firings: int = 1,
+) -> FaultSpec:
+    """Lose the next ``count`` message payloads in transit."""
+    return FaultSpec(
+        "drop", iteration, rank=rank, count=count, max_firings=max_firings,
+    )
+
+
+class FaultPlan:
+    """A declarative schedule of faults, keyed by trainer iteration."""
+
+    def __init__(self, specs: list[FaultSpec] | None = None):
+        self.specs: list[FaultSpec] = []
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        if not isinstance(spec, FaultSpec):
+            raise TypeError(f"expected FaultSpec, got {spec!r}")
+        self.specs.append(spec)
+        return self
+
+    def live_specs(self, iteration: int) -> list[FaultSpec]:
+        """Specs that still have firings left for ``iteration``."""
+        return [
+            s for s in self.specs
+            if s.iteration == iteration and not s.exhausted
+        ]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.specs!r})"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (for metrics and logs)."""
+
+    kind: str
+    iteration: int
+    rank: int | None
+    t: float
+    detail: str
+
+    def __str__(self) -> str:
+        who = "any" if self.rank is None else f"rank {self.rank}"
+        return f"{self.kind}[{who}]@it{self.iteration}+{self.t:.3g}s {self.detail}"
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against successive collective attempts.
+
+    One injector lives for a whole training run; :meth:`arm` binds the
+    plan's live specs for the current iteration to a freshly built
+    (engine, world, rank processes) triple.  Crash and degrade specs run
+    as watchdog processes inside the simulation; delay and drop specs
+    intercept sends through :attr:`MPIWorld.fault_controller`.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.events: list[FaultEvent] = []
+
+    def arm(
+        self,
+        engine: Engine,
+        world: MPIWorld,
+        procs: list[Process],
+        iteration: int,
+    ) -> None:
+        specs = self.plan.live_specs(iteration)
+        if not specs:
+            return
+        armed = _ArmedFaults(self, engine, world, procs, specs, iteration)
+        if armed.message_specs:
+            world.fault_controller = armed
+
+    def record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def events_since(self, mark: int) -> list[FaultEvent]:
+        return self.events[mark:]
+
+
+class _ArmedFaults:
+    """Plan specs bound to one collective attempt."""
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        engine: Engine,
+        world: MPIWorld,
+        procs: list[Process],
+        specs: list[FaultSpec],
+        iteration: int,
+    ):
+        self.injector = injector
+        self.engine = engine
+        self.world = world
+        self.procs = procs
+        self.iteration = iteration
+        self.message_specs: list[FaultSpec] = []
+        # Per-attempt budget of messages each delay/drop spec may hit.
+        self._budget: dict[int, int] = {}
+        for spec in specs:
+            if spec.kind == "crash":
+                if not 0 <= spec.rank < len(procs):
+                    continue  # target already gone (world shrank)
+                engine.process(self._crash_watch(spec), name=f"fault-crash{spec.rank}")
+            elif spec.kind == "degrade":
+                if not 0 <= spec.rank < world.n_ranks:
+                    continue  # target already gone (world shrank)
+                engine.process(
+                    self._degrade_watch(spec), name=f"fault-degrade{spec.rank}"
+                )
+            else:
+                self.message_specs.append(spec)
+                self._budget[id(spec)] = spec.count
+
+    # -- watchdog processes -------------------------------------------------
+    def _crash_watch(self, spec: FaultSpec):
+        yield self.engine.timeout(spec.at)
+        proc = self.procs[spec.rank]
+        if not proc.is_alive:
+            return
+        spec.firings += 1
+        self.injector.record(
+            FaultEvent("crash", self.iteration, spec.rank, self.engine.now,
+                       "fail-stop (permanent)")
+        )
+        proc.interrupt(RankFailure(spec.rank, when=self.engine.now))
+
+    def _degrade_watch(self, spec: FaultSpec):
+        yield self.engine.timeout(spec.at)
+        spec.firings += 1
+        self.world.fabric.scale_host_links(spec.rank, spec.factor)
+        self.injector.record(
+            FaultEvent("degrade", self.iteration, spec.rank, self.engine.now,
+                       f"links x{spec.factor:g}"
+                       + (f" for {spec.duration:g}s" if spec.duration else ""))
+        )
+        if spec.duration is not None:
+            yield self.engine.timeout(spec.duration)
+            self.world.fabric.scale_host_links(spec.rank, 1.0)
+            self.injector.record(
+                FaultEvent("degrade", self.iteration, spec.rank,
+                           self.engine.now, "links restored")
+            )
+
+    # -- MPIWorld.fault_controller protocol ---------------------------------
+    def on_send(
+        self, src: int, dst: int, tag: object, nbytes: int
+    ) -> tuple[str, float]:
+        for spec in self.message_specs:
+            if spec.rank is not None and spec.rank != src:
+                continue
+            if self.engine.now < spec.at:
+                continue
+            budget = self._budget[id(spec)]
+            if budget <= 0:
+                continue
+            if budget == spec.count:  # first hit this attempt
+                spec.firings += 1
+            self._budget[id(spec)] = budget - 1
+            if spec.kind == "drop":
+                self.injector.record(
+                    FaultEvent("drop", self.iteration, src, self.engine.now,
+                               f"{nbytes}B to rank {dst} lost in transit")
+                )
+                return "drop", 0.0
+            self.injector.record(
+                FaultEvent("delay", self.iteration, src, self.engine.now,
+                           f"{nbytes}B to rank {dst} held {spec.seconds:g}s")
+            )
+            return "delay", spec.seconds
+        return "deliver", 0.0

@@ -76,6 +76,21 @@ def test_trees_command(capsys):
     assert "color 1: root 2" in out
 
 
+def test_faults_command(capsys):
+    code, out = run_cli(
+        capsys, "faults", "--steps", "6", "--crash-at", "3", "--drop-at", "-1"
+    )
+    assert code == 0
+    assert "crash[rank 1]" in out
+    assert "survivors 3/4" in out
+    assert "records conserved 96/96" in out
+
+
+def test_faults_command_rejects_bad_crash_rank(capsys):
+    code = main(["faults", "--learners", "4", "--crash-rank", "9"])
+    assert code == 2
+
+
 def test_module_invocation_smoke():
     result = subprocess.run(
         [sys.executable, "-m", "repro", "trees", "--ranks", "8", "--colors", "4"],

@@ -74,6 +74,18 @@ def test_pipeline_timeline_example():
     assert busy[1] < busy[0]
 
 
+def test_fault_recovery_example():
+    out = run_example("fault_recovery.py")
+    assert "elastic recovery: 4 -> 3 learners" in out
+    assert "records conserved 96/96" in out
+    assert "bit-identical" in out and "DIVERGED" not in out
+    # The transient drop must surface as exactly one retried iteration.
+    retry_rows = [
+        l for l in out.splitlines() if "lost in transit" in l
+    ]
+    assert len(retry_rows) == 1
+
+
 def test_collective_profiler_example():
     out = run_example("collective_profiler.py")
     assert "Allreduce profile" in out

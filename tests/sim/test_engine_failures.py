@@ -1,0 +1,253 @@
+"""Failure-path semantics of the event engine.
+
+These are the primitives the fault injector (:mod:`repro.train.injection`)
+relies on: ``Event.fail`` propagation through ``AllOf``/``AnyOf``
+composites, ``Interrupt`` delivery into a suspended process, and defused
+failures that the engine must not crash on.
+"""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Interrupt, SimulationError
+
+
+class Boom(RuntimeError):
+    pass
+
+
+# -- Event.fail propagation through AllOf ------------------------------------
+
+def test_all_of_fails_when_any_child_fails():
+    eng = Engine()
+    ok, bad = eng.event(), eng.event()
+    combo = AllOf(eng, [ok, bad])
+    ok.succeed("fine")
+    bad.fail(Boom("child died"))
+    with pytest.raises(Boom, match="child died"):
+        eng.run(combo)
+
+
+def test_all_of_over_already_processed_failure_fails():
+    """A composite built over an event that already failed (and was
+    handled) must itself fail immediately — stale failures propagate."""
+    eng = Engine()
+    bad = eng.event()
+
+    def catcher():
+        try:
+            yield bad
+        except Boom:
+            pass
+        return "ok"
+
+    proc = eng.process(catcher())
+    bad.fail(Boom("early"))
+    assert eng.run(proc) == "ok"
+    combo = AllOf(eng, [bad])
+    with pytest.raises(Boom, match="early"):
+        eng.run(combo)
+
+
+def test_all_of_failure_reaches_waiting_process():
+    eng = Engine()
+    children = [eng.event(), eng.event()]
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(eng, children)
+        except Boom as exc:
+            caught.append(str(exc))
+        return "recovered"
+
+    proc = eng.process(waiter())
+    children[1].fail(Boom("rank 1 lost"))
+    assert eng.run(proc) == "recovered"
+    assert caught == ["rank 1 lost"]
+
+
+# -- Event.fail propagation through AnyOf ------------------------------------
+
+def test_any_of_fails_if_first_triggered_child_failed():
+    eng = Engine()
+    a, b = eng.event(), eng.event()
+    combo = AnyOf(eng, [a, b])
+    a.fail(Boom("first to trigger"))
+    with pytest.raises(Boom, match="first to trigger"):
+        eng.run(combo)
+
+
+def test_any_of_success_defuses_late_failure():
+    """A failure arriving after AnyOf already triggered must be defused —
+    the winner decides, the loser's failure must not crash the engine."""
+    eng = Engine()
+    winner = eng.timeout(1.0, value="won")
+    loser = eng.event()
+
+    def late_failure():
+        yield eng.timeout(2.0)
+        loser.fail(Boom("too late to matter"))
+
+    combo = AnyOf(eng, [winner, loser])
+    eng.process(late_failure())
+    assert eng.run(combo) == "won"
+    eng.run()  # drain: the defused failure must not raise
+    assert loser.triggered and not loser.ok
+
+
+def test_any_of_timeout_vs_completion_race_is_deterministic():
+    """The watchdog pattern the trainer uses: AnyOf([work, deadline])."""
+    eng = Engine()
+
+    def work():
+        yield eng.timeout(5.0)
+        return "done"
+
+    proc = eng.process(work())
+    deadline = eng.timeout(2.0, value="timeout")
+    eng.run(AnyOf(eng, [proc, deadline]))
+    assert not proc.processed  # watchdog fired first; work still pending
+    assert eng.now == pytest.approx(2.0)
+
+
+# -- Interrupt delivery into a suspended process ------------------------------
+
+def test_interrupt_suspended_process_receives_cause_object():
+    eng = Engine()
+    seen = []
+
+    def victim():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as exc:
+            seen.append(exc.cause)
+        return "bailed"
+
+    proc = eng.process(victim())
+
+    def killer():
+        yield eng.timeout(1.0)
+        proc.interrupt({"reason": "fail-stop", "rank": 3})
+
+    eng.process(killer())
+    assert eng.run(proc) == "bailed"
+    assert seen == [{"reason": "fail-stop", "rank": 3}]
+    assert eng.now == pytest.approx(1.0)  # did not wait out the 100s
+
+
+def test_interrupt_detaches_from_waited_event():
+    """After an interrupt, the originally awaited event firing later must
+    not resume (or double-trigger) the process."""
+    eng = Engine()
+    slow = eng.event()
+
+    def victim():
+        try:
+            yield slow
+        except Interrupt:
+            return "interrupted"
+        return "normal"
+
+    proc = eng.process(victim())
+
+    def driver():
+        yield eng.timeout(1.0)
+        proc.interrupt()
+        yield eng.timeout(1.0)
+        slow.succeed("orphaned")
+
+    eng.process(driver())
+    assert eng.run(proc) == "interrupted"
+    eng.run()  # the orphaned event fires with no waiter: must be harmless
+    assert slow.ok
+
+
+def test_uncaught_interrupt_fails_the_process():
+    eng = Engine()
+
+    def victim():
+        yield eng.timeout(100.0)
+
+    proc = eng.process(victim())
+
+    def killer():
+        yield eng.timeout(1.0)
+        proc.interrupt("cause")
+
+    eng.process(killer())
+    with pytest.raises(Interrupt):
+        eng.run(proc)
+    assert not proc.is_alive
+
+
+def test_interrupt_propagates_through_all_of_like_a_failure():
+    """The elastic-recovery path: one rank interrupted mid-collective
+    fails the AllOf guarding the whole collective."""
+    eng = Engine()
+
+    def rank(duration):
+        yield eng.timeout(duration)
+        return "ok"
+
+    procs = [eng.process(rank(5.0), name=f"r{i}") for i in range(3)]
+
+    def injector():
+        yield eng.timeout(1.0)
+        procs[1].interrupt("rank 1 fail-stop")
+
+    eng.process(injector())
+    combo = eng.all_of(procs)
+    with pytest.raises(Interrupt) as exc_info:
+        eng.run(combo)
+    assert exc_info.value.cause == "rank 1 fail-stop"
+
+
+# -- Defused-failure behaviour ------------------------------------------------
+
+def test_defused_failure_does_not_crash_the_engine():
+    eng = Engine()
+    ev = eng.event()
+    ev.fail(Boom("handled elsewhere"))
+    ev.defuse()
+    eng.run()  # processing the failed-but-defused event must not raise
+    assert ev.triggered and not ev.ok
+
+
+def test_undefused_failure_crashes_the_engine():
+    eng = Engine()
+    ev = eng.event()
+    ev.fail(Boom("nobody handled me"))
+    with pytest.raises(Boom, match="nobody handled me"):
+        eng.run()
+
+
+def test_process_catching_failure_auto_defuses():
+    """A process that catches a yielded event's failure defuses it: the
+    engine keeps running and the process continues."""
+    eng = Engine()
+    bad = eng.event()
+
+    def tolerant():
+        try:
+            yield bad
+        except Boom:
+            pass
+        yield eng.timeout(1.0)
+        return "survived"
+
+    proc = eng.process(tolerant())
+    bad.fail(Boom("transient"))
+    assert eng.run(proc) == "survived"
+    assert eng.now == pytest.approx(1.0)
+
+
+def test_interrupt_finished_process_is_a_structural_error():
+    eng = Engine()
+
+    def quick():
+        yield eng.timeout(0.1)
+
+    proc = eng.process(quick())
+    eng.run(proc)
+    with pytest.raises(SimulationError):
+        proc.interrupt()

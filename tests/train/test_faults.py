@@ -95,3 +95,23 @@ def test_degraded_node_slows_allreduce(algorithm, min_ratio):
 def test_degraded_allreduce_validation():
     with pytest.raises(ValueError):
         degraded_allreduce_time(8, 1024, link_factor=0.0)
+
+
+@pytest.mark.parametrize("bad_rank", [-1, 8, 99])
+def test_degraded_rank_bounds_checked(bad_rank):
+    """An out-of-range rank must fail fast with ValueError, not blow up
+    deep inside the topology lookup."""
+    with pytest.raises(ValueError, match="degraded_rank"):
+        degraded_allreduce_time(8, 1024, degraded_rank=bad_rank)
+
+
+@pytest.mark.parametrize("n_stragglers", [1, 2, 5, 8])
+def test_straggler_report_roundtrips_count(n_stragglers):
+    """The barrier-max model ignores the straggler count for timing, but
+    the report must still carry the requested count through verbatim."""
+    model = make_model()
+    report = straggler_epoch_time(model, slowdown=2.0, n_stragglers=n_stragglers)
+    assert report.n_stragglers == n_stragglers
+    # Documented invariant: degraded time is count-independent for >= 1.
+    one = straggler_epoch_time(model, slowdown=2.0, n_stragglers=1)
+    assert report.degraded_epoch == pytest.approx(one.degraded_epoch)

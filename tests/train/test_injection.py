@@ -1,0 +1,253 @@
+"""Unit tests for the live fault-injection layer.
+
+Covers the plan/spec model, the fabric's mid-flight link degradation, the
+world's message delay/drop interception, and the injector's crash
+delivery — each exercised directly against a small simulated world.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import ArrayBuffer
+from repro.mpi.runner import build_world
+from repro.net.params import LinkParams, NetworkParams
+from repro.sim.engine import Interrupt
+from repro.train.injection import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RankFailure,
+    crash,
+    degrade_links,
+    delay_messages,
+    drop_messages,
+)
+
+
+# -- FaultSpec / FaultPlan ----------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("meteor", 0)
+    with pytest.raises(ValueError, match="target rank"):
+        FaultSpec("crash", 0, rank=None)
+    with pytest.raises(ValueError, match="factor"):
+        degrade_links(0, 0, factor=0.0)
+    with pytest.raises(ValueError, match="seconds"):
+        delay_messages(0, seconds=0.0)
+    with pytest.raises(ValueError, match="count"):
+        drop_messages(0, count=0)
+    with pytest.raises(ValueError, match="iteration"):
+        crash(0, -1)
+    with pytest.raises(ValueError, match="max_firings"):
+        drop_messages(0, max_firings=0)
+
+
+def test_plan_filters_by_iteration_and_exhaustion():
+    a = crash(0, 3)
+    b = drop_messages(3, rank=1, max_firings=2)
+    c = delay_messages(7, seconds=1.0)
+    plan = FaultPlan([a, b, c])
+    assert plan.live_specs(3) == [a, b]
+    assert plan.live_specs(7) == [c]
+    assert plan.live_specs(0) == []
+    b.firings = 2
+    assert plan.live_specs(3) == [a]
+    assert len(plan) == 3
+    with pytest.raises(TypeError):
+        plan.add("not a spec")
+
+
+def test_helper_constructors_set_kind():
+    assert crash(1, 2).kind == "crash"
+    assert degrade_links(1, 2).kind == "degrade"
+    assert delay_messages(2, seconds=1.0).kind == "delay"
+    assert drop_messages(2).kind == "drop"
+    assert crash(1, 2).permanent
+    assert not drop_messages(2).permanent
+
+
+# -- Fabric mid-flight degradation -------------------------------------------
+
+#: Idealized network for exact arithmetic: 1 GB/s, no cap, no latency.
+IDEAL_NET = NetworkParams(
+    host_link=LinkParams(bandwidth=1e9, latency=0.0),
+    fabric_link=LinkParams(bandwidth=1e9, latency=0.0),
+    software_overhead=0.0,
+)
+
+
+def test_scale_links_mid_flight_slows_inflight_transfer():
+    """Degrading a host's links while a flow is on the wire must stretch
+    the remaining bytes, not just future transfers."""
+    engine, world, _comm = build_world(4, topology="star", network=IDEAL_NET)
+    fabric = world.fabric
+    nbytes = 100e6
+    healthy_time = nbytes / 1e9  # 0.1 s
+
+    def degrade_midway():
+        yield engine.timeout(healthy_time / 2)
+        fabric.scale_host_links(0, 0.25)
+
+    ev = fabric.transfer(0, 1, nbytes)
+    engine.process(degrade_midway())
+    engine.run(ev)
+    # First half at full speed, second half at 1/4 speed -> 2.5x total.
+    assert engine.now == pytest.approx(healthy_time * 2.5, rel=1e-6)
+
+
+def test_scale_links_restore_mid_flight():
+    engine, world, _comm = build_world(2, topology="star", network=IDEAL_NET)
+    fabric = world.fabric
+    fabric.scale_host_links(0, 0.5)
+    nbytes = 100e6
+    healthy_time = nbytes / 1e9
+
+    def restore_midway():
+        # Half the *bytes* pass in the first `healthy_time` at half rate.
+        yield engine.timeout(healthy_time)
+        fabric.scale_host_links(0, 1.0)
+
+    ev = fabric.transfer(0, 1, nbytes)
+    engine.process(restore_midway())
+    engine.run(ev)
+    assert engine.now == pytest.approx(healthy_time * 1.5, rel=1e-6)
+
+
+def test_scale_links_validation():
+    _engine, world, _comm = build_world(2, topology="star")
+    with pytest.raises(ValueError, match="positive"):
+        world.fabric.scale_host_links(0, 0.0)
+    with pytest.raises(ValueError, match="out of range"):
+        world.fabric.scale_links([999], 0.5)
+
+
+# -- MPIWorld delay / drop interception ---------------------------------------
+
+class _OneShotController:
+    """Scripted fault_controller: verdict per (src, dst) key."""
+
+    def __init__(self, verdicts):
+        self.verdicts = dict(verdicts)
+        self.seen = []
+
+    def on_send(self, src, dst, tag, nbytes):
+        self.seen.append((src, dst, tag, nbytes))
+        return self.verdicts.pop((src, dst), ("deliver", 0.0))
+
+
+def test_dropped_message_never_arrives():
+    engine, world, _comm = build_world(2, topology="star")
+    world.fault_controller = _OneShotController({(0, 1): ("drop", 0.0)})
+    payload = np.arange(4, dtype=np.float64)
+    send_done = world.isend(0, 1, "t", ArrayBuffer(payload))
+    recv_ev = world.recv(1, 0, "t")
+    engine.run(send_done)  # local completion: the sender is unaware
+    assert send_done.ok
+    engine.run()  # drain everything — the receive must still be pending
+    assert not recv_ev.triggered
+
+
+def test_delayed_message_arrives_late():
+    timings = {}
+    for name, verdicts in (
+        ("normal", {}),
+        ("delayed", {(0, 1): ("delay", 5.0)}),
+    ):
+        engine, world, _comm = build_world(2, topology="star")
+        world.fault_controller = _OneShotController(verdicts)
+        world.isend(0, 1, "t", ArrayBuffer(np.ones(8)))
+        recv_ev = world.recv(1, 0, "t")
+        engine.run(recv_ev)
+        timings[name] = engine.now
+        assert recv_ev.value.payload.tolist() == [1.0] * 8
+    assert timings["delayed"] == pytest.approx(timings["normal"] + 5.0)
+
+
+def test_drop_only_affects_selected_message():
+    engine, world, _comm = build_world(3, topology="star")
+    world.fault_controller = _OneShotController({(0, 2): ("drop", 0.0)})
+    world.isend(0, 2, "t", ArrayBuffer(np.zeros(2)))
+    world.isend(1, 2, "t", ArrayBuffer(np.ones(2)))
+    ok_recv = world.recv(2, 1, "t")
+    lost_recv = world.recv(2, 0, "t")
+    engine.run(ok_recv)
+    assert ok_recv.value.source == 1
+    engine.run()
+    assert not lost_recv.triggered
+
+
+# -- FaultInjector against real collectives -----------------------------------
+
+def _armed_allreduce(n_ranks, specs, iteration=0, nelem=64):
+    from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+
+    engine, world, comm = build_world(n_ranks, topology="star")
+    program = ALLREDUCE_ALGORITHMS["multicolor"]
+    buffers = [ArrayBuffer(np.full(nelem, float(r))) for r in range(n_ranks)]
+    procs = [
+        engine.process(program(comm, r, buffers[r], tag="t"), name=f"r{r}")
+        for r in range(n_ranks)
+    ]
+    injector = FaultInjector(FaultPlan(specs))
+    injector.arm(engine, world, procs, iteration)
+    return engine, injector, procs, buffers
+
+
+def test_injected_crash_interrupts_rank_and_fails_collective():
+    engine, injector, procs, _buffers = _armed_allreduce(4, [crash(2, 0)])
+    with pytest.raises(Interrupt) as exc_info:
+        engine.run(engine.all_of(procs))
+    cause = exc_info.value.cause
+    assert isinstance(cause, RankFailure)
+    assert cause.rank == 2
+    assert [ev.kind for ev in injector.events] == ["crash"]
+    assert injector.plan.specs[0].exhausted
+
+
+def test_injected_drop_hangs_collective_until_watchdog():
+    engine, injector, procs, _buffers = _armed_allreduce(
+        4, [drop_messages(0, rank=1, count=1)]
+    )
+    done = engine.all_of(procs)
+    deadline = engine.timeout(60.0)
+    engine.run(engine.any_of([done, deadline]))
+    assert not done.triggered  # the collective is stuck on the lost payload
+    assert engine.now == pytest.approx(60.0)
+    assert [ev.kind for ev in injector.events] == ["drop"]
+
+
+def test_injected_degrade_slows_but_completes():
+    nelem = 1 << 18  # 2 MB of float64: bandwidth-dominated timing
+    healthy_engine, _inj, procs, buffers = _armed_allreduce(4, [], nelem=nelem)
+    healthy_engine.run(healthy_engine.all_of(procs))
+    healthy_time = healthy_engine.now
+    expected = buffers[0].array.copy()
+
+    engine, injector, procs, buffers = _armed_allreduce(
+        4, [degrade_links(1, 0, factor=0.1)], nelem=nelem
+    )
+    engine.run(engine.all_of(procs))
+    assert engine.now > healthy_time * 1.5
+    np.testing.assert_allclose(buffers[0].array, expected)
+    assert [ev.kind for ev in injector.events] == ["degrade"]
+
+
+def test_spec_for_vanished_rank_is_skipped():
+    """After an elastic shrink the world is smaller; stale specs
+    targeting ranks that no longer exist must be ignored, not crash."""
+    engine, injector, procs, buffers = _armed_allreduce(3, [crash(7, 0)])
+    engine.run(engine.all_of(procs))  # completes: no fault armed
+    assert injector.events == []
+    assert not injector.plan.specs[0].exhausted
+
+
+def test_injector_event_log_and_since():
+    engine, injector, procs, _buffers = _armed_allreduce(
+        4, [delay_messages(0, seconds=0.001, rank=0, count=2)]
+    )
+    engine.run(engine.all_of(procs))
+    assert len(injector.events) == 2
+    assert injector.events_since(1) == injector.events[1:]
+    assert all(ev.kind == "delay" for ev in injector.events)
+    assert "held" in str(injector.events[0])
