@@ -5,6 +5,9 @@ algorithm outperforms both the pipelined ring and default OpenMPI; §5.1
 quotes 50-60% less time than the default at the 93 MB GoogleNetBN payload.
 """
 
+import json
+from pathlib import Path
+
 from conftest import emit
 
 from repro.analysis import fig5_series
@@ -52,3 +55,27 @@ def test_fig5_allreduce_throughput(benchmark):
         f"(paper: 50-60%)",
     )
     assert 30 < gain < 75
+
+
+def test_fig5_matches_pre_refactor_goldens():
+    """Every Figure 5 timing must stay within 1% of the pre-schedule-IR
+    goldens (captured from the generator collectives; currently bit-exact
+    through the strand-fused executor)."""
+    path = Path(__file__).parent / "data" / "fig5_goldens.json"
+    goldens = json.loads(path.read_text())["elapsed_s"]
+    worst = 0.0
+    for key, want in goldens.items():
+        algorithm, size = key.split("/")
+        nbytes = int(float(size[:-2]) * MB)
+        kwargs = {}
+        if algorithm in ("multicolor", "ring"):
+            kwargs["segment_bytes"] = max(64 * 1024, nbytes // 64)
+        got = simulate_allreduce(16, nbytes, algorithm=algorithm, **kwargs).elapsed
+        rel = abs(got - want) / want
+        worst = max(worst, rel)
+        assert rel <= 0.01, f"{key}: got {got:.6g}, golden {want:.6g} ({rel:.2%})"
+    emit(
+        "fig5_golden_drift",
+        f"worst relative drift vs pre-refactor goldens over "
+        f"{len(goldens)} points: {worst:.2e}",
+    )

@@ -52,6 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", default="multicolor")
     p.add_argument("--segment-kib", type=int, default=1024)
 
+    p = sub.add_parser(
+        "schedule",
+        help="compile an allreduce to its point-to-point schedule and print it",
+    )
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--kib", type=float, default=64.0, help="payload size in KiB")
+    p.add_argument("--algorithm", default="multicolor")
+    p.add_argument("--segment-kib", type=int, default=64)
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="print at most this many steps per rank")
+
     p = sub.add_parser("shuffle", help="full-scale DIMD shuffle timing")
     p.add_argument("--dataset", default="imagenet-22k")
     p.add_argument("--learners", type=int, default=32)
@@ -117,13 +128,17 @@ def _cmd_fig5(_args) -> int:
 def _cmd_epoch(args) -> int:
     from repro.core import ClusterExperiment, ExperimentConfig
 
-    cfg = ExperimentConfig(
-        model=args.model,
-        dataset=args.dataset,
-        n_nodes=args.nodes,
-        batch_per_gpu=args.batch,
-        allreduce=args.allreduce,
-    )
+    try:
+        cfg = ExperimentConfig(
+            model=args.model,
+            dataset=args.dataset,
+            n_nodes=args.nodes,
+            batch_per_gpu=args.batch,
+            allreduce=args.allreduce,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.baseline:
         cfg = cfg.open_source_baseline()
     exp = ClusterExperiment(cfg)
@@ -158,6 +173,30 @@ def _cmd_allreduce(args) -> int:
         f"{args.algorithm} allreduce of {format_bytes(nbytes)} across "
         f"{args.ranks} nodes: {format_duration(out.elapsed)} "
         f"({format_rate(out.throughput(nbytes))} algorithmic)"
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.mpi import ALLREDUCE_COMPILERS, format_schedule, validate_schedule
+
+    if args.algorithm not in ALLREDUCE_COMPILERS:
+        print(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {sorted(ALLREDUCE_COMPILERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    itemsize = 4
+    count = max(1, int(args.kib * 1024) // itemsize)
+    schedule = ALLREDUCE_COMPILERS[args.algorithm](
+        args.ranks, count, itemsize, segment_bytes=args.segment_kib * 1024
+    )
+    report = validate_schedule(schedule)
+    print(format_schedule(schedule, max_steps=args.max_steps))
+    print(
+        f"lint ok: {report['n_steps']} steps, {report['n_messages']} messages, "
+        f"sends/rank {report['sends_per_rank']}"
     )
     return 0
 
@@ -303,6 +342,7 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "epoch": _cmd_epoch,
     "allreduce": _cmd_allreduce,
+    "schedule": _cmd_schedule,
     "shuffle": _cmd_shuffle,
     "memory": _cmd_memory,
     "trees": _cmd_trees,

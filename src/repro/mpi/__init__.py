@@ -6,7 +6,7 @@ carrying real NumPy payloads so collective *results* are checked against
 ground truth with the very same code that produces collective *timings*.
 """
 
-from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.mpi.collectives import ALLREDUCE_ALGORITHMS, ALLREDUCE_COMPILERS
 from repro.mpi.datatypes import ArrayBuffer, Buffer, SizeBuffer, chunk_ranges
 from repro.mpi.runner import (
     CollectiveOutcome,
@@ -15,20 +15,55 @@ from repro.mpi.runner import (
     run_rank_programs,
     simulate_allreduce,
 )
+from repro.mpi.schedule import (
+    CollectiveTelemetry,
+    CollectiveTimeout,
+    CopyStep,
+    RankFailure,
+    RecvReduceStep,
+    ReduceLocalStep,
+    Schedule,
+    ScheduleBuilder,
+    ScheduleError,
+    ScheduleExecutor,
+    SendStep,
+    execute_rank,
+    format_schedule,
+    memoize_compiler,
+    run_guarded,
+    validate_schedule,
+)
 from repro.mpi.world import Communicator, Message, MPIWorld
 
 __all__ = [
     "ALLREDUCE_ALGORITHMS",
+    "ALLREDUCE_COMPILERS",
     "ArrayBuffer",
     "Buffer",
     "CollectiveOutcome",
+    "CollectiveTelemetry",
+    "CollectiveTimeout",
     "Communicator",
+    "CopyStep",
     "Message",
     "MPIWorld",
+    "RankFailure",
+    "RecvReduceStep",
+    "ReduceLocalStep",
+    "Schedule",
+    "ScheduleBuilder",
+    "ScheduleError",
+    "ScheduleExecutor",
+    "SendStep",
     "SizeBuffer",
     "allreduce_throughput",
     "build_world",
     "chunk_ranges",
+    "execute_rank",
+    "format_schedule",
+    "memoize_compiler",
+    "run_guarded",
     "run_rank_programs",
     "simulate_allreduce",
+    "validate_schedule",
 ]

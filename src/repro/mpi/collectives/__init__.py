@@ -1,6 +1,18 @@
 """Collective algorithms for the simulated MPI.
 
-``ALLREDUCE_ALGORITHMS`` maps public algorithm names to rank programs:
+Every fixed-size collective is a *compiler* that emits a
+:class:`~repro.mpi.schedule.Schedule` (a point-to-point step DAG) executed
+by the single :class:`~repro.mpi.schedule.ScheduleExecutor`.  Two parallel
+registries expose them:
+
+* ``ALLREDUCE_ALGORITHMS`` — name -> rank program (generator wrappers with
+  the legacy ``program(comm, rank, buf, tag=...)`` signature, for embedding
+  in larger simulations);
+* ``ALLREDUCE_COMPILERS`` — name -> ``compile(n_ranks, count, itemsize,
+  **kwargs) -> Schedule``, for direct executor-level use (profiling,
+  guarded training collectives, bucketed overlap).
+
+Registered allreduce algorithms:
 
 * ``"multicolor"`` — the paper's k-color tree allreduce (§4.2).
 * ``"ring"`` — the paper's pipelined reduce-to-root ring baseline (§5.1).
@@ -10,27 +22,50 @@
 * ``"rsag"`` — reduce-scatter+allgather ring (NCCL/Horovod reference).
 * ``"recursive_doubling"`` / ``"rabenseifner"`` — classical algorithms
   under their own names for ablations.
+* ``"hierarchical"`` — the 2-D group x cross-group ring.
+* ``"binomial"`` — naive reduce-to-root + broadcast (latency baseline).
 """
 
 from repro.mpi.collectives.alltoall import alltoallv
-from repro.mpi.collectives.hierarchical import hierarchical_allreduce
 from repro.mpi.collectives.basic import (
+    binomial_allreduce,
     binomial_bcast,
     binomial_reduce,
+    compile_binomial_allreduce,
+    compile_binomial_bcast,
+    compile_binomial_reduce,
+    compile_dissemination_barrier,
     dissemination_barrier,
     ring_allgatherv,
 )
+from repro.mpi.collectives.hierarchical import (
+    compile_hierarchical,
+    hierarchical_allreduce,
+)
 from repro.mpi.collectives.multicolor import (
     DEFAULT_SEGMENT_BYTES,
+    compile_multicolor,
     multicolor_allreduce,
     segments_of,
 )
 from repro.mpi.collectives.recursive import (
+    compile_rabenseifner,
+    compile_recursive_doubling,
     rabenseifner_allreduce,
     recursive_doubling_allreduce,
 )
-from repro.mpi.collectives.ring import pipelined_ring_allreduce
-from repro.mpi.collectives.rsag import reduce_scatter_allgather_allreduce
+from repro.mpi.collectives.ring import (
+    compile_pipelined_ring,
+    pipelined_ring_allreduce,
+)
+from repro.mpi.collectives.rsag import (
+    compile_ring_allgather,
+    compile_ring_reduce_scatter,
+    compile_rsag,
+    reduce_scatter_allgather_allreduce,
+    ring_allgather,
+    ring_reduce_scatter,
+)
 from repro.mpi.collectives.trees import (
     Tree,
     binomial_tree,
@@ -47,17 +82,45 @@ ALLREDUCE_ALGORITHMS = {
     "rabenseifner": rabenseifner_allreduce,
     "openmpi_default": rabenseifner_allreduce,
     "hierarchical": hierarchical_allreduce,
+    "binomial": binomial_allreduce,
+}
+
+#: name -> ``compile(n_ranks, count, itemsize, **kwargs) -> Schedule``.
+#: Keys mirror :data:`ALLREDUCE_ALGORITHMS` exactly.
+ALLREDUCE_COMPILERS = {
+    "multicolor": compile_multicolor,
+    "ring": compile_pipelined_ring,
+    "rsag": compile_rsag,
+    "recursive_doubling": compile_recursive_doubling,
+    "rabenseifner": compile_rabenseifner,
+    "openmpi_default": compile_rabenseifner,
+    "hierarchical": compile_hierarchical,
+    "binomial": compile_binomial_allreduce,
 }
 
 __all__ = [
     "ALLREDUCE_ALGORITHMS",
+    "ALLREDUCE_COMPILERS",
     "DEFAULT_SEGMENT_BYTES",
     "Tree",
     "alltoallv",
+    "binomial_allreduce",
     "binomial_bcast",
     "binomial_reduce",
     "binomial_tree",
     "color_trees",
+    "compile_binomial_allreduce",
+    "compile_binomial_bcast",
+    "compile_binomial_reduce",
+    "compile_dissemination_barrier",
+    "compile_hierarchical",
+    "compile_multicolor",
+    "compile_pipelined_ring",
+    "compile_rabenseifner",
+    "compile_recursive_doubling",
+    "compile_ring_allgather",
+    "compile_ring_reduce_scatter",
+    "compile_rsag",
     "dissemination_barrier",
     "hierarchical_allreduce",
     "internal_nodes",
@@ -67,6 +130,8 @@ __all__ = [
     "rabenseifner_allreduce",
     "recursive_doubling_allreduce",
     "reduce_scatter_allgather_allreduce",
+    "ring_allgather",
     "ring_allgatherv",
+    "ring_reduce_scatter",
     "segments_of",
 ]

@@ -12,8 +12,11 @@ rail caps) the winning strategy is two-dimensional:
    NIC rail busy;
 3. **intra-group ring allgather** — finished shards circulate locally.
 
-This is the NCCL-2D / Horovod-hierarchical layout, built from the ring
-phases in :mod:`.rsag`.  Group sizes that do not divide the communicator
+This is the NCCL-2D / Horovod-hierarchical layout.  The compiler composes
+the ring-phase *emitters* from :mod:`.rsag` into one flat
+:class:`~repro.mpi.schedule.Schedule` — no sub-communicators at runtime,
+just namespaced keys and per-rank dependency chains threading phase 1 into
+phase 2 into phase 3.  Group sizes that do not divide the communicator
 fall back to the flat ring (documented, tested).  Registered as
 ``"hierarchical"`` in ``ALLREDUCE_ALGORITHMS``.
 """
@@ -21,14 +24,91 @@ fall back to the flat ring (documented, tested).  Registered as
 from __future__ import annotations
 
 from repro.mpi.collectives.rsag import (
-    reduce_scatter_allgather_allreduce,
-    ring_allgather,
-    ring_reduce_scatter,
+    emit_ring_allgather,
+    emit_ring_reduce_scatter,
 )
 from repro.mpi.datatypes import Buffer, chunk_ranges
+from repro.mpi.schedule import (
+    Schedule,
+    ScheduleBuilder,
+    execute_rank,
+    memoize_compiler,
+)
 from repro.mpi.world import Communicator
 
-__all__ = ["hierarchical_allreduce"]
+__all__ = ["hierarchical_allreduce", "compile_hierarchical"]
+
+
+@memoize_compiler
+def compile_hierarchical(
+    n_ranks: int,
+    count: int,
+    itemsize: int,
+    *,
+    group_size: int = 4,
+    segment_bytes: int | None = None,  # accepted for API uniformity; unused
+) -> Schedule:
+    """Compile the 2-D (group x cross-group) ring allreduce.
+
+    ``group_size`` should match the physical hosts-per-leaf.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    g = min(group_size, n_ranks)
+    b = ScheduleBuilder(
+        n_ranks, name=f"hierarchical(n={n_ranks}, g={g})",
+        count=count, itemsize=itemsize,
+    )
+    if n_ranks == 1:
+        return b.build()
+    if n_ranks % g != 0 or g == 1:
+        # Ragged or degenerate grouping: flat ring is the safe equivalent.
+        members = list(range(n_ranks))
+        chunks = chunk_ranges(count, n_ranks)
+        tails = emit_ring_reduce_scatter(
+            b, members, chunks, ("hflat", "p1"), [None] * n_ranks
+        )
+        emit_ring_allgather(b, members, chunks, ("hflat", "p2"), tails)
+        return b.build()
+
+    n_groups = n_ranks // g
+    group_chunks = chunk_ranges(count, g)
+    tails: list[int | None] = [None] * n_ranks
+
+    # Phase 1: local reduce-scatter; member k ends up owning shard (k+1)%g.
+    for gi in range(n_groups):
+        members = list(range(gi * g, (gi + 1) * g))
+        phase_tails = emit_ring_reduce_scatter(
+            b, members, group_chunks, ("h1", gi), [None] * g
+        )
+        for pos, rank in enumerate(members):
+            tails[rank] = phase_tails[pos]
+
+    # Phase 2: the k-th members of all groups allreduce shard (k+1)%g.
+    if n_groups > 1:
+        for k in range(g):
+            peers = [gi * g + k for gi in range(n_groups)]
+            slo, shi = group_chunks[(k + 1) % g]
+            shard_chunks = [
+                (slo + clo, slo + chi)
+                for clo, chi in chunk_ranges(shi - slo, n_groups)
+            ]
+            entry = [tails[rank] for rank in peers]
+            phase_tails = emit_ring_reduce_scatter(
+                b, peers, shard_chunks, ("h2", k, "p1"), entry
+            )
+            phase_tails = emit_ring_allgather(
+                b, peers, shard_chunks, ("h2", k, "p2"), phase_tails
+            )
+            for pos, rank in enumerate(peers):
+                tails[rank] = phase_tails[pos]
+
+    # Phase 3: local allgather of the finished shards.
+    for gi in range(n_groups):
+        members = list(range(gi * g, (gi + 1) * g))
+        entry = [tails[rank] for rank in members]
+        emit_ring_allgather(b, members, group_chunks, ("h3", gi), entry)
+    return b.build()
 
 
 def hierarchical_allreduce(
@@ -40,45 +120,12 @@ def hierarchical_allreduce(
     tag: object = None,
     segment_bytes: int | None = None,  # accepted for API uniformity; unused
 ):
-    """Rank program: 2-D (group x cross-group) ring allreduce.
-
-    ``group_size`` should match the physical hosts-per-leaf.
-    """
+    """Rank program: 2-D (group x cross-group) ring allreduce."""
+    n = comm.size
     if group_size < 1:
         raise ValueError(f"group_size must be >= 1, got {group_size}")
-    n = comm.size
     if n == 1:
         return buf
-    g = min(group_size, n)
-    if n % g != 0 or g == 1:
-        # Ragged or degenerate grouping: flat ring is the safe equivalent.
-        yield from reduce_scatter_allgather_allreduce(
-            comm, rank, buf, tag=("hflat", tag)
-        )
-        return buf
-
-    group_index = rank // g
-    group_members = [comm.world_rank(r) for r in range(group_index * g, (group_index + 1) * g)]
-    group_comm = Communicator(comm.world, group_members)
-    my_group_rank = rank % g
-
-    # Phase 1: local reduce-scatter; I end up owning shard (my_group_rank+1)%g.
-    owned = yield from ring_reduce_scatter(
-        group_comm, my_group_rank, buf, tag=("h1", tag)
-    )
-
-    # Phase 2: allreduce my shard with the same-position members elsewhere.
-    n_groups = n // g
-    if n_groups > 1:
-        peers = [comm.world_rank(gi * g + my_group_rank) for gi in range(n_groups)]
-        cross_comm = Communicator(comm.world, peers)
-        lo, hi = chunk_ranges(buf.count, g)[owned]
-        shard = buf.view(lo, hi)
-        yield from reduce_scatter_allgather_allreduce(
-            cross_comm, cross_comm.group_rank(comm.world_rank(rank)), shard,
-            tag=("h2", tag),
-        )
-
-    # Phase 3: local allgather of the finished shards.
-    yield from ring_allgather(group_comm, my_group_rank, buf, tag=("h3", tag))
+    schedule = compile_hierarchical(n, buf.count, buf.itemsize, group_size=group_size)
+    yield from execute_rank(comm, rank, schedule, buf, tag=tag)
     return buf

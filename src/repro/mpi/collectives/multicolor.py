@@ -1,4 +1,4 @@
-"""The paper's multi-color MPI_Allreduce (§4.2).
+"""The paper's multi-color MPI_Allreduce (§4.2), as a schedule compiler.
 
 The payload is split into ``n_colors`` chunks.  Chunk *c* is reduced down
 color *c*'s k-ary BFS spanning tree to that color's root and then broadcast
@@ -9,13 +9,15 @@ concurrently on a fat-tree without sharing the summing nodes.
 Within a color the chunk is pipelined in fixed-size segments, and the
 reduce and broadcast phases themselves overlap: the root broadcasts segment
 *s* the moment it finishes summing it, while segments ``> s`` are still
-being reduced below.  Each rank therefore runs *two* concurrent generator
-processes per color (one reducing upward, one forwarding downward), matching
-the paper's description of k pipelined reductions followed by pipelined
-broadcasts over RDMA pulls (the verbs stack appears as the fabric's low
-per-message software overhead).
+being reduced below.  :func:`compile_multicolor` emits exactly that
+structure as a :class:`~repro.mpi.schedule.Schedule`: per rank and color,
+a *reduce strand* (chained recv+reduce steps ending in a send to the
+parent) and a *broadcast strand* (chained copy/send steps); at the root
+the broadcast of segment *s* additionally depends on the last reduce step
+of segment *s* — the explicit form of the old generator's ``reduced[s]``
+hand-off event.
 
-The same code performs real NumPy arithmetic when given
+The same schedule performs real NumPy arithmetic when executed over
 :class:`~repro.mpi.datatypes.ArrayBuffer` payloads, so correctness and
 timing come from one implementation.
 """
@@ -24,9 +26,20 @@ from __future__ import annotations
 
 from repro.mpi.collectives.trees import Tree, color_trees, feasible_colors
 from repro.mpi.datatypes import Buffer, chunk_ranges
+from repro.mpi.schedule import (
+    Schedule,
+    ScheduleBuilder,
+    execute_rank,
+    memoize_compiler,
+)
 from repro.mpi.world import Communicator
 
-__all__ = ["multicolor_allreduce", "segments_of", "DEFAULT_SEGMENT_BYTES"]
+__all__ = [
+    "multicolor_allreduce",
+    "compile_multicolor",
+    "segments_of",
+    "DEFAULT_SEGMENT_BYTES",
+]
 
 #: Pipeline segment size.  64 KiB segments keep tree stages busy without
 #: excessive per-message overhead (matches InfiniBand mid-size messages).
@@ -34,11 +47,13 @@ DEFAULT_SEGMENT_BYTES = 64 * 1024
 
 
 def segments_of(start: int, stop: int, itemsize: int, segment_bytes: int):
-    """(seg_index, lo, hi) element ranges covering ``[start, stop)``."""
-    if segment_bytes < itemsize:
-        raise ValueError(
-            f"segment_bytes={segment_bytes} smaller than itemsize={itemsize}"
-        )
+    """(seg_index, lo, hi) element ranges covering ``[start, stop)``.
+
+    ``segment_bytes`` smaller than one element clamps to one element per
+    segment (the finest pipelining the datatype allows).
+    """
+    if segment_bytes < 1:
+        raise ValueError(f"segment_bytes must be >= 1, got {segment_bytes}")
     per = max(1, segment_bytes // itemsize)
     out = []
     s = 0
@@ -49,6 +64,81 @@ def segments_of(start: int, stop: int, itemsize: int, segment_bytes: int):
         s += 1
         lo = hi
     return out
+
+
+@memoize_compiler
+def compile_multicolor(
+    n_ranks: int,
+    count: int,
+    itemsize: int,
+    *,
+    n_colors: int = 4,
+    arity: int | None = None,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    trees: tuple[Tree, ...] | list[Tree] | None = None,
+) -> Schedule:
+    """Compile the k-color pipelined tree allreduce to a schedule.
+
+    Parameters mirror §4.2: ``n_colors`` concurrent trees of the given
+    ``arity`` (default ``n_colors``), pipelined in ``segment_bytes``
+    segments.  ``trees`` may be passed to override the (deterministic)
+    construction.
+    """
+    if trees is None:
+        trees = color_trees(n_ranks, feasible_colors(n_ranks, n_colors, arity), arity)
+    chunks = chunk_ranges(count, len(trees))
+    b = ScheduleBuilder(
+        n_ranks,
+        name=f"multicolor(n={n_ranks}, colors={len(trees)})",
+        count=count,
+        itemsize=itemsize,
+    )
+    for color, tree in enumerate(trees):
+        lo, hi = chunks[color]
+        if hi <= lo:
+            continue
+        segs = segments_of(lo, hi, itemsize, segment_bytes)
+        for rank in range(n_ranks):
+            parent = tree.parent.get(rank)
+            children = tree.children.get(rank, ())
+            # Reduce strand: sum each segment from the children, forward up.
+            rprev = None
+            reduce_done: dict[int, int | None] = {}
+            for s, slo, shi in segs:
+                note = f"c{color} s{s}"
+                for child in children:
+                    rprev = b.recv_reduce(
+                        rank, child, ("mcr", color, s), slo, shi,
+                        deps=rprev, note=note,
+                    )
+                if parent is not None:
+                    rprev = b.send(
+                        rank, parent, ("mcr", color, s), slo, shi,
+                        deps=rprev, note=note,
+                    )
+                else:
+                    reduce_done[s] = rprev
+            # Broadcast strand: forward finished segments down the tree.
+            bprev = None
+            for s, slo, shi in segs:
+                note = f"c{color} s{s}"
+                if parent is None:
+                    # Root hand-off: segment s leaves once it is fully
+                    # summed here (the generator's reduced[s] event).
+                    deps = [bprev, reduce_done[s]]
+                else:
+                    bprev = b.copy(
+                        rank, parent, ("mcb", color, s), slo, shi,
+                        deps=bprev, note=note,
+                    )
+                    deps = [bprev]
+                for child in children:
+                    bprev = b.send(
+                        rank, child, ("mcb", color, s), slo, shi,
+                        deps=deps, note=note,
+                    )
+                    deps = [bprev]
+    return b.build()
 
 
 def multicolor_allreduce(
@@ -64,74 +154,17 @@ def multicolor_allreduce(
 ):
     """Rank program: allreduce ``buf`` in place across ``comm``.
 
-    Parameters mirror §4.2: ``n_colors`` concurrent trees of the given
-    ``arity`` (default ``n_colors``), pipelined in ``segment_bytes``
-    segments.  ``trees`` may be passed to share the (deterministic)
-    construction across ranks; ``tag`` namespaces messages so several
-    collectives can be in flight on one communicator.
+    Thin wrapper over :func:`compile_multicolor` +
+    :func:`~repro.mpi.schedule.execute_rank`; the public generator API is
+    unchanged.
     """
     n = comm.size
     if n == 1:
         return buf
-    if trees is None:
-        trees = color_trees(n, feasible_colors(n, n_colors, arity), arity)
-    chunks = chunk_ranges(buf.count, len(trees))
-
-    engine = comm.engine
-    phase_procs = []
-    for color, tree in enumerate(trees):
-        lo, hi = chunks[color]
-        if hi <= lo:
-            continue
-        segs = segments_of(lo, hi, buf.itemsize, segment_bytes)
-        # Root-side hand-off: reduce phase fires one event per segment when
-        # that segment is fully summed at the root.
-        is_root = tree.root == rank
-        reduced = [engine.event() for _ in segs] if is_root else []
-        phase_procs.append(
-            engine.process(
-                _reduce_phase(comm, rank, buf, color, tree, segs, reduced, tag),
-                name=f"mcr-r{rank}-c{color}",
-            )
-        )
-        phase_procs.append(
-            engine.process(
-                _bcast_phase(comm, rank, buf, color, tree, segs, reduced, tag),
-                name=f"mcb-r{rank}-c{color}",
-            )
-        )
-    if phase_procs:
-        yield engine.all_of(phase_procs)
+    schedule = compile_multicolor(
+        n, buf.count, buf.itemsize,
+        n_colors=n_colors, arity=arity, segment_bytes=segment_bytes,
+        trees=tuple(trees) if trees is not None else None,
+    )
+    yield from execute_rank(comm, rank, schedule, buf, tag=tag)
     return buf
-
-
-def _reduce_phase(comm, rank, buf, color, tree, segs, reduced, tag):
-    """Sum segments up the color tree; fire ``reduced[s]`` at the root."""
-    parent = tree.parent.get(rank)
-    children = tree.children.get(rank, ())
-    for s, slo, shi in segs:
-        seg_view = buf.view(slo, shi)
-        for child in children:
-            msg = yield comm.recv(rank, child, ("mcr", tag, color, s))
-            seg_view.add_(msg.payload)
-            yield from comm.reduce_cpu(rank, seg_view.nbytes)
-        if parent is not None:
-            comm.isend(rank, parent, ("mcr", tag, color, s), seg_view)
-        else:
-            reduced[s].succeed()
-
-
-def _bcast_phase(comm, rank, buf, color, tree, segs, reduced, tag):
-    """Forward fully-reduced segments back down the color tree."""
-    parent = tree.parent.get(rank)
-    children = tree.children.get(rank, ())
-    for s, slo, shi in segs:
-        seg_view = buf.view(slo, shi)
-        if parent is None:
-            yield reduced[s]
-        else:
-            msg = yield comm.recv(rank, parent, ("mcb", tag, color, s))
-            seg_view.copy_(msg.payload)
-            yield from comm.copy_cpu(rank, seg_view.nbytes)
-        for child in children:
-            comm.isend(rank, child, ("mcb", tag, color, s), seg_view)

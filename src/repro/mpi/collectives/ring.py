@@ -14,15 +14,72 @@ Two variants:
 * :func:`reduce_scatter_allgather_allreduce` (in :mod:`.rsag`) — the
   bandwidth-optimal ring used by NCCL/Horovod, provided as an additional
   modern reference point.
+
+:func:`compile_pipelined_ring` emits the schedule: per rank, a reduce
+strand (chained toward rank 0) and a broadcast strand (chained away from
+it); at rank 0 the broadcast of segment *s* depends on the reduce strand
+finishing that segment — the explicit form of the old ``reduced[s]``
+hand-off event.
 """
 
 from __future__ import annotations
 
 from repro.mpi.collectives.multicolor import DEFAULT_SEGMENT_BYTES, segments_of
 from repro.mpi.datatypes import Buffer
+from repro.mpi.schedule import (
+    Schedule,
+    ScheduleBuilder,
+    execute_rank,
+    memoize_compiler,
+)
 from repro.mpi.world import Communicator
 
-__all__ = ["pipelined_ring_allreduce"]
+__all__ = ["pipelined_ring_allreduce", "compile_pipelined_ring"]
+
+
+@memoize_compiler
+def compile_pipelined_ring(
+    n_ranks: int,
+    count: int,
+    itemsize: int,
+    *,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+) -> Schedule:
+    """Compile the paper's pipelined reduce-to-root ring to a schedule."""
+    segs = segments_of(0, count, itemsize, segment_bytes)
+    b = ScheduleBuilder(
+        n_ranks, name=f"ring(n={n_ranks})", count=count, itemsize=itemsize
+    )
+    for rank in range(n_ranks):
+        upstream = rank + 1   # data flows from high ranks toward the root at 0
+        downstream = rank - 1
+        rprev = None
+        reduce_done: dict[int, int | None] = {}
+        for s, slo, shi in segs:
+            if upstream < n_ranks:
+                rprev = b.recv_reduce(
+                    rank, upstream, ("rr", s), slo, shi, deps=rprev, note=f"s{s}"
+                )
+            if downstream >= 0:
+                rprev = b.send(
+                    rank, downstream, ("rr", s), slo, shi, deps=rprev, note=f"s{s}"
+                )
+            else:
+                reduce_done[s] = rprev
+        bprev = None
+        for s, slo, shi in segs:
+            if rank == 0:
+                deps = [bprev, reduce_done[s]]
+            else:
+                bprev = b.copy(
+                    rank, rank - 1, ("rb", s), slo, shi, deps=bprev, note=f"s{s}"
+                )
+                deps = [bprev]
+            if rank + 1 < n_ranks:
+                bprev = b.send(
+                    rank, rank + 1, ("rb", s), slo, shi, deps=deps, note=f"s{s}"
+                )
+    return b.build()
 
 
 def pipelined_ring_allreduce(
@@ -35,55 +92,14 @@ def pipelined_ring_allreduce(
 ):
     """Rank program: the paper's pipelined reduce-to-root ring allreduce.
 
-    Reduction flows from rank ``N-1`` toward rank 0 (the root); the
-    broadcast of finished segments flows from rank 0 toward ``N-1``.  Both
-    phases run concurrently per rank so the pipeline covers the whole ring.
+    Thin wrapper over :func:`compile_pipelined_ring` +
+    :func:`~repro.mpi.schedule.execute_rank`.
     """
     n = comm.size
     if n == 1:
         return buf
-    segs = segments_of(0, buf.count, buf.itemsize, segment_bytes)
-    engine = comm.engine
-    reduced = [engine.event() for _ in segs] if rank == 0 else []
-    procs = [
-        engine.process(
-            _ring_reduce(comm, rank, buf, segs, reduced, tag),
-            name=f"ringr-{rank}",
-        ),
-        engine.process(
-            _ring_bcast(comm, rank, buf, segs, reduced, tag),
-            name=f"ringb-{rank}",
-        ),
-    ]
-    yield engine.all_of(procs)
+    schedule = compile_pipelined_ring(
+        n, buf.count, buf.itemsize, segment_bytes=segment_bytes
+    )
+    yield from execute_rank(comm, rank, schedule, buf, tag=tag)
     return buf
-
-
-def _ring_reduce(comm, rank, buf, segs, reduced, tag):
-    n = comm.size
-    upstream = rank + 1  # data flows from high ranks toward the root at 0
-    downstream = rank - 1
-    for s, slo, shi in segs:
-        seg_view = buf.view(slo, shi)
-        if upstream < n:
-            msg = yield comm.recv(rank, upstream, ("rr", tag, s))
-            seg_view.add_(msg.payload)
-            yield from comm.reduce_cpu(rank, seg_view.nbytes)
-        if downstream >= 0:
-            comm.isend(rank, downstream, ("rr", tag, s), seg_view)
-        else:
-            reduced[s].succeed()
-
-
-def _ring_bcast(comm, rank, buf, segs, reduced, tag):
-    n = comm.size
-    for s, slo, shi in segs:
-        seg_view = buf.view(slo, shi)
-        if rank == 0:
-            yield reduced[s]
-        else:
-            msg = yield comm.recv(rank, rank - 1, ("rb", tag, s))
-            seg_view.copy_(msg.payload)
-            yield from comm.copy_cpu(rank, seg_view.nbytes)
-        if rank + 1 < n:
-            comm.isend(rank, rank + 1, ("rb", tag, s), seg_view)

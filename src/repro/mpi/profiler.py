@@ -1,22 +1,26 @@
 """Collective profiling: where a collective's bytes and time go.
 
-Wraps a standalone collective run with per-rank send accounting and
-link-class traffic classification, producing the numbers behind statements
-like "the multi-color trees push 4x more bytes through the leaf-spine core
-than a contiguous ring".
+Profiles a compiled collective schedule: the
+:class:`~repro.mpi.schedule.ScheduleExecutor` already accounts per-rank
+sends and message counts through the world's send observers, so this module
+adds only the link-class traffic classification and the alpha-beta lower
+bound — producing the numbers behind statements like "the multi-color trees
+push 4x more bytes through the leaf-spine core than a contiguous ring".
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.mpi.analytic import AlphaBetaModel
+from repro.mpi.collectives import ALLREDUCE_COMPILERS
 from repro.mpi.datatypes import SizeBuffer
-from repro.mpi.runner import build_world, run_rank_programs
+from repro.mpi.runner import build_world
+from repro.mpi.schedule import ScheduleExecutor
 from repro.net.params import CONNECTX5_DUAL, NetworkParams
 from repro.net.topology import Topology
 from repro.net.visualize import core_traffic
-from repro.mpi.analytic import AlphaBetaModel
 
 __all__ = ["CollectiveProfile", "profile_allreduce"]
 
@@ -34,6 +38,8 @@ class CollectiveProfile:
     edge_bytes: float
     bandwidth_lower_bound: float
     per_rank_sent: dict[int, float] = field(default_factory=dict)
+    step_counts: dict[str, int] = field(default_factory=dict)
+    n_messages: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -72,32 +78,34 @@ def profile_allreduce(
     segment_bytes: int = 1024 * 1024,
     **alg_kwargs,
 ) -> CollectiveProfile:
-    """Run one size-only allreduce and collect its traffic profile."""
-    if algorithm not in ALLREDUCE_ALGORITHMS:
+    """Run one size-only allreduce and collect its traffic profile.
+
+    Per-rank send accounting comes from the executor's send observer — it
+    is written once at the executor layer, not per algorithm.
+    """
+    if algorithm not in ALLREDUCE_COMPILERS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; "
-            f"choose from {sorted(ALLREDUCE_ALGORITHMS)}"
+            f"choose from {sorted(ALLREDUCE_COMPILERS)}"
         )
     engine, world, comm = build_world(
         n_ranks, topology=topology, network=network
     )
-    # Track per-rank sends by wrapping isend accounting at the world level.
-    sent: dict[int, float] = {r: 0.0 for r in range(n_ranks)}
-    original_isend = world.isend
-
-    def counting_isend(src, dst, tag, buf):
-        sent[src] += buf.nbytes
-        return original_isend(src, dst, tag, buf)
-
-    world.isend = counting_isend  # type: ignore[method-assign]
     bufs = [SizeBuffer(max(1, nbytes // 4), 4) for _ in range(n_ranks)]
     kwargs = dict(alg_kwargs)
-    program = ALLREDUCE_ALGORITHMS[algorithm]
     if algorithm in ("multicolor", "ring"):
         kwargs.setdefault("segment_bytes", segment_bytes)
-    outcome = run_rank_programs(
-        comm, program, per_rank_args=[(b,) for b in bufs], **kwargs
+    schedule = ALLREDUCE_COMPILERS[algorithm](
+        n_ranks, bufs[0].count, bufs[0].itemsize, **kwargs
     )
+    executor = ScheduleExecutor(comm, schedule, bufs)
+    wire_before = world.fabric.stats.bytes_completed
+    start = engine.now
+    engine.run(executor.launch())
+    elapsed = engine.now - start
+    wire_bytes = world.fabric.stats.bytes_completed - wire_before
+    sent = {r: executor.stats.per_rank_sent.get(r, 0.0) for r in range(n_ranks)}
+    step_counts = Counter(type(step).__name__ for step in schedule.steps)
     classes = core_traffic(world.fabric)
     bound = AlphaBetaModel(
         rail_bandwidth=network.per_flow_cap
@@ -115,10 +123,12 @@ def profile_allreduce(
         algorithm=algorithm,
         n_ranks=n_ranks,
         payload_bytes=nbytes,
-        elapsed=outcome.elapsed,
-        total_wire_bytes=outcome.bytes_on_wire,
+        elapsed=elapsed,
+        total_wire_bytes=wire_bytes,
         core_bytes=classes["core"],
         edge_bytes=classes["edge"],
         bandwidth_lower_bound=bound,
         per_rank_sent=sent,
+        step_counts=dict(step_counts),
+        n_messages=executor.stats.n_messages,
     )

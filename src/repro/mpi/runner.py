@@ -12,8 +12,9 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.mpi.collectives import ALLREDUCE_COMPILERS
 from repro.mpi.datatypes import ArrayBuffer, Buffer, SizeBuffer
+from repro.mpi.schedule import ScheduleExecutor
 from repro.mpi.world import Communicator, MPIWorld
 from repro.net.fabric import Fabric
 from repro.net.params import CONNECTX5_DUAL, NetworkParams
@@ -130,17 +131,20 @@ def simulate_allreduce(
 ) -> CollectiveOutcome:
     """Simulate one allreduce of ``nbytes`` across ``n_ranks`` nodes.
 
-    With ``payload=True`` real arrays are reduced (slower, used by tests);
-    otherwise only sizes travel, which produces identical timing.
+    Compiles the named algorithm to a point-to-point
+    :class:`~repro.mpi.schedule.Schedule` and runs it through the
+    :class:`~repro.mpi.schedule.ScheduleExecutor`.  With ``payload=True``
+    real arrays are reduced (slower, used by tests); otherwise only sizes
+    travel, which produces identical timing.
     """
     try:
-        program = ALLREDUCE_ALGORITHMS[algorithm]
+        compiler = ALLREDUCE_COMPILERS[algorithm]
     except KeyError:
         raise ValueError(
             f"unknown allreduce algorithm {algorithm!r}; "
-            f"choose from {sorted(ALLREDUCE_ALGORITHMS)}"
+            f"choose from {sorted(ALLREDUCE_COMPILERS)}"
         ) from None
-    _engine, _world, comm = build_world(
+    engine, world, comm = build_world(
         n_ranks,
         topology=topology,
         network=network,
@@ -158,8 +162,16 @@ def simulate_allreduce(
         ]
     else:
         buffers = [SizeBuffer(count, itemsize) for _ in range(n_ranks)]
-    return run_rank_programs(
-        comm, program, per_rank_args=[(b,) for b in buffers], **alg_kwargs
+    tag = alg_kwargs.pop("tag", None)
+    schedule = compiler(n_ranks, count, itemsize, **alg_kwargs)
+    executor = ScheduleExecutor(comm, schedule, buffers, tag=tag)
+    start = engine.now
+    wire_before = world.fabric.stats.bytes_completed
+    engine.run(executor.launch())
+    return CollectiveOutcome(
+        elapsed=engine.now - start,
+        results=buffers,
+        bytes_on_wire=world.fabric.stats.bytes_completed - wire_before,
     )
 
 

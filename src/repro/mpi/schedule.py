@@ -1,0 +1,855 @@
+"""Collective schedule IR: compile collectives to point-to-point DAGs.
+
+Every collective in :mod:`repro.mpi.collectives` is a *compiler* that emits
+a :class:`Schedule` — a rank-annotated DAG of four primitive step types —
+and one :class:`ScheduleExecutor` runs any schedule on the existing sim
+engine and :class:`~repro.mpi.world.MPIWorld` channels.  This follows the
+DAG model of synchronous SGD communication (Shi et al., arXiv:1805.03812):
+once the communication pattern is explicit data, timing, profiling, fault
+retry and overlap analysis are written once at the executor layer instead
+of once per algorithm.
+
+Step types
+----------
+* :class:`SendStep` — post an eager send of a buffer range to a peer.  A
+  send completes locally the moment it is posted (MPI ``isend``); channel
+  FIFO order is preserved because steps on one rank are chained by
+  dependency edges in program order.
+* :class:`RecvReduceStep` — receive the matching message and accumulate it
+  into a buffer range (charging the rank's reduce CPU).
+* :class:`CopyStep` — receive the matching message and overwrite a buffer
+  range (charging the copy CPU).  With ``buf=None`` the message is consumed
+  without touching memory (barrier tokens).
+* :class:`ReduceLocalStep` — add one local buffer range into another
+  without any communication (charging the reduce CPU).
+
+Dependency edges (``deps``) connect steps *on the same rank* only;
+cross-rank ordering comes exclusively from message matching on
+``(src, dst, key)``, exactly like MPI.  Compilers annotate steps with a
+``note`` (segment/chunk metadata) so :func:`format_schedule` can render a
+human-readable pipeline.
+
+Executor-layer services
+-----------------------
+* :class:`ScheduleExecutor` — spawns one sim process per step plus one
+  *proxy* process per rank; fault injectors interrupt the proxies exactly
+  as they interrupted generator rank-programs.  Per-rank sent-byte
+  accounting taps :attr:`MPIWorld.send_observers` (no monkeypatching).
+* :func:`execute_rank` — a generator adapter so the legacy rank-program
+  API (``program(comm, rank, buf, tag=...)``) keeps working on top of
+  compiled schedules.
+* :func:`run_guarded` — the watchdog/retry/fault-arming loop that used to
+  live inside ``DistributedSGDTrainer._allreduce``, written once here.
+* :func:`validate_schedule` — the schedule lint: acyclic (including
+  cross-rank message edges), every receive matched by a send, balanced
+  per-rank step counts, consistent element ranges.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.mpi.datatypes import Buffer, SizeBuffer
+from repro.mpi.world import Communicator
+from repro.sim.engine import Interrupt, Process
+
+__all__ = [
+    "CollectiveTelemetry",
+    "CollectiveTimeout",
+    "CopyStep",
+    "ExecutionStats",
+    "RankFailure",
+    "RecvReduceStep",
+    "ReduceLocalStep",
+    "Schedule",
+    "ScheduleBuilder",
+    "ScheduleError",
+    "ScheduleExecutor",
+    "SendStep",
+    "execute_rank",
+    "format_schedule",
+    "memoize_compiler",
+    "run_guarded",
+    "validate_schedule",
+]
+
+
+class ScheduleError(ValueError):
+    """A schedule failed validation (cycle, unmatched message, bad range)."""
+
+
+class RankFailure(RuntimeError):
+    """Fail-stop: a learner process died and will not come back."""
+
+    def __init__(self, rank: int, when: float = 0.0):
+        super().__init__(f"rank {rank} failed at t={when:.6f}s")
+        self.rank = rank
+        self.when = when
+
+
+class CollectiveTimeout(RuntimeError):
+    """A collective did not complete within the detection deadline."""
+
+    def __init__(self, timeout: float, iteration: int, attempts: int):
+        super().__init__(
+            f"collective at iteration {iteration} timed out "
+            f"({timeout:g}s simulated) after {attempts} attempt(s)"
+        )
+        self.timeout = timeout
+        self.iteration = iteration
+        self.attempts = attempts
+
+
+# -- IR -----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Step:
+    """Common step fields: identity, owning rank, same-rank dependencies."""
+
+    sid: int
+    rank: int
+    deps: tuple[int, ...]
+    note: str
+
+
+@dataclass(frozen=True)
+class SendStep(_Step):
+    """Post an eager send of ``buf[lo:hi]`` to ``dst`` under ``key``."""
+
+    dst: int = 0
+    key: object = None
+    buf: str | None = "data"
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass(frozen=True)
+class RecvReduceStep(_Step):
+    """Receive from ``src`` under ``key`` and add into ``buf[lo:hi]``."""
+
+    src: int = 0
+    key: object = None
+    buf: str = "data"
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass(frozen=True)
+class CopyStep(_Step):
+    """Receive from ``src`` under ``key`` and overwrite ``buf[lo:hi]``.
+
+    With ``buf=None`` the message is consumed without a memory write
+    (zero-byte synchronization tokens).
+    """
+
+    src: int = 0
+    key: object = None
+    buf: str | None = "data"
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass(frozen=True)
+class ReduceLocalStep(_Step):
+    """Add local ``src_buf[src_lo:src_hi]`` into ``buf[lo:hi]``."""
+
+    buf: str = "data"
+    lo: int = 0
+    hi: int = 0
+    src_buf: str = "data"
+    src_lo: int = 0
+    src_hi: int = 0
+
+
+Step = SendStep | RecvReduceStep | CopyStep | ReduceLocalStep
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A compiled collective: an immutable DAG of steps over ``n_ranks``.
+
+    ``count``/``itemsize`` describe the main (``"data"``) buffer the
+    schedule was compiled for; the executor checks bound buffers against
+    them.  Schedules are safely shared across executors and cached by
+    :func:`memoize_compiler`.
+    """
+
+    name: str
+    n_ranks: int
+    steps: tuple[Step, ...]
+    count: int | None = None
+    itemsize: int | None = None
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def rank_steps(self, rank: int) -> list[Step]:
+        return [s for s in self.steps if s.rank == rank]
+
+    def step_counts(self) -> dict[str, int]:
+        """Number of steps per step-type name (for profiles and displays)."""
+        counts: dict[str, int] = {}
+        for s in self.steps:
+            counts[type(s).__name__] = counts.get(type(s).__name__, 0) + 1
+        return counts
+
+
+def _norm_deps(deps: int | Iterable[int | None] | None) -> tuple[int, ...]:
+    if deps is None:
+        return ()
+    if isinstance(deps, int):
+        return (deps,)
+    return tuple(sorted({d for d in deps if d is not None}))
+
+
+class ScheduleBuilder:
+    """Appends steps in dependency order; emitting methods return the sid.
+
+    Builders are append-only: a step may only depend on already-emitted
+    steps of the same rank, which makes same-rank dependency cycles
+    impossible by construction (cross-rank message cycles are caught by
+    :func:`validate_schedule`).
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        name: str = "schedule",
+        count: int | None = None,
+        itemsize: int | None = None,
+    ):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.name = name
+        self.count = count
+        self.itemsize = itemsize
+        self._steps: list[Step] = []
+
+    def _admit(self, rank: int, deps: tuple[int, ...]) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ScheduleError(f"rank {rank} out of range [0, {self.n_ranks})")
+        for d in deps:
+            if not 0 <= d < len(self._steps):
+                raise ScheduleError(f"dep {d} references a step not yet emitted")
+            if self._steps[d].rank != rank:
+                raise ScheduleError(
+                    f"dep {d} crosses ranks ({self._steps[d].rank} -> {rank}); "
+                    "cross-rank ordering must use message matching"
+                )
+
+    def send(self, rank, dst, key, lo=0, hi=0, *, deps=None, buf="data", note=""):
+        deps = _norm_deps(deps)
+        self._admit(rank, deps)
+        sid = len(self._steps)
+        self._steps.append(SendStep(sid, rank, deps, note, dst, key, buf, lo, hi))
+        return sid
+
+    def recv_reduce(self, rank, src, key, lo, hi, *, deps=None, buf="data", note=""):
+        deps = _norm_deps(deps)
+        self._admit(rank, deps)
+        sid = len(self._steps)
+        self._steps.append(RecvReduceStep(sid, rank, deps, note, src, key, buf, lo, hi))
+        return sid
+
+    def copy(self, rank, src, key, lo=0, hi=0, *, deps=None, buf="data", note=""):
+        deps = _norm_deps(deps)
+        self._admit(rank, deps)
+        sid = len(self._steps)
+        self._steps.append(CopyStep(sid, rank, deps, note, src, key, buf, lo, hi))
+        return sid
+
+    def recv(self, rank, src, key, *, deps=None, note=""):
+        """Consume a message without writing memory (synchronization token)."""
+        return self.copy(rank, src, key, 0, 0, deps=deps, buf=None, note=note)
+
+    def reduce_local(
+        self, rank, lo, hi, src_lo, src_hi, *,
+        buf="data", src_buf="data", deps=None, note="",
+    ):
+        deps = _norm_deps(deps)
+        self._admit(rank, deps)
+        sid = len(self._steps)
+        self._steps.append(
+            ReduceLocalStep(sid, rank, deps, note, buf, lo, hi, src_buf, src_lo, src_hi)
+        )
+        return sid
+
+    def build(self, *, validate: bool = False) -> Schedule:
+        schedule = Schedule(
+            name=self.name,
+            n_ranks=self.n_ranks,
+            steps=tuple(self._steps),
+            count=self.count,
+            itemsize=self.itemsize,
+        )
+        if validate:
+            validate_schedule(schedule)
+        return schedule
+
+
+# -- lint ---------------------------------------------------------------------
+
+def _message_edges(schedule: Schedule) -> list[tuple[int, int]]:
+    """Pair sends with receives; returns (send_sid, recv_sid) edges.
+
+    Matching follows the runtime exactly: per ``(src, dst, key)`` triple,
+    the *i*-th posted send pairs with the *i*-th posted receive (channel
+    FIFO plus per-key mailbox FIFO).  Raises :class:`ScheduleError` on any
+    unmatched or inconsistent message.
+    """
+    sends: dict[tuple[int, int, object], list[SendStep]] = {}
+    recvs: dict[tuple[int, int, object], list[Step]] = {}
+    for s in schedule.steps:
+        if isinstance(s, SendStep):
+            sends.setdefault((s.rank, s.dst, s.key), []).append(s)
+        elif isinstance(s, (RecvReduceStep, CopyStep)):
+            recvs.setdefault((s.src, s.rank, s.key), []).append(s)
+    edges: list[tuple[int, int]] = []
+    for triple, send_list in sends.items():
+        recv_list = recvs.pop(triple, [])
+        if len(recv_list) != len(send_list):
+            src, dst, key = triple
+            raise ScheduleError(
+                f"{len(send_list)} send(s) {src}->{dst} key={key!r} but "
+                f"{len(recv_list)} matching receive(s)"
+            )
+        for snd, rcv in zip(send_list, recv_list):
+            if rcv.buf is not None and (rcv.hi - rcv.lo) != (snd.hi - snd.lo):
+                raise ScheduleError(
+                    f"element count mismatch on {triple}: send step {snd.sid} "
+                    f"carries {snd.hi - snd.lo}, receive step {rcv.sid} "
+                    f"expects {rcv.hi - rcv.lo}"
+                )
+            edges.append((snd.sid, rcv.sid))
+    if recvs:
+        (src, dst, key), orphans = next(iter(recvs.items()))
+        raise ScheduleError(
+            f"receive step {orphans[0].sid} at rank {dst} expects a message "
+            f"from {src} key={key!r} but no send posts it"
+        )
+    return edges
+
+
+def validate_schedule(schedule: Schedule) -> dict[str, Any]:
+    """Lint a schedule; raises :class:`ScheduleError` on any violation.
+
+    Checks: step ids are dense and deps are same-rank backward references;
+    buffer ranges are sane; every receive is matched by exactly one send
+    (and vice versa) with consistent element counts; per-rank send/receive
+    counts balance pairwise; and the full happens-before graph — same-rank
+    dependency edges plus send->receive message edges — is acyclic, which
+    rules out deadlock under eager sends.
+
+    Returns a summary dict (step counts, per-rank balance) for reporting.
+    """
+    n_steps = len(schedule.steps)
+    for i, s in enumerate(schedule.steps):
+        if s.sid != i:
+            raise ScheduleError(f"step at position {i} has sid {s.sid}")
+        if not 0 <= s.rank < schedule.n_ranks:
+            raise ScheduleError(f"step {i} rank {s.rank} out of range")
+        for d in s.deps:
+            if not 0 <= d < i:
+                raise ScheduleError(f"step {i} dep {d} is not a backward reference")
+            if schedule.steps[d].rank != s.rank:
+                raise ScheduleError(f"step {i} dep {d} crosses ranks")
+        for lo, hi in _ranges_of(s):
+            if not 0 <= lo <= hi:
+                raise ScheduleError(f"step {i} has invalid range [{lo}, {hi})")
+            if schedule.count is not None and hi > schedule.count:
+                raise ScheduleError(
+                    f"step {i} range [{lo}, {hi}) exceeds count {schedule.count}"
+                )
+        for peer in _peers_of(s):
+            if peer is not None and not 0 <= peer < schedule.n_ranks:
+                raise ScheduleError(f"step {i} peer rank {peer} out of range")
+
+    edges = _message_edges(schedule)
+
+    # Kahn's algorithm over dependency + message edges.
+    adj: list[list[int]] = [[] for _ in range(n_steps)]
+    indeg = [0] * n_steps
+    for s in schedule.steps:
+        for d in s.deps:
+            adj[d].append(s.sid)
+            indeg[s.sid] += 1
+    for snd, rcv in edges:
+        adj[snd].append(rcv)
+        indeg[rcv] += 1
+    queue = deque(i for i in range(n_steps) if indeg[i] == 0)
+    seen = 0
+    while queue:
+        u = queue.popleft()
+        seen += 1
+        for v in adj[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if seen != n_steps:
+        stuck = [i for i in range(n_steps) if indeg[i] > 0]
+        raise ScheduleError(
+            f"schedule has a dependency/message cycle involving steps {stuck[:8]}"
+        )
+
+    sent = [0] * schedule.n_ranks
+    received = [0] * schedule.n_ranks
+    for s in schedule.steps:
+        if isinstance(s, SendStep):
+            sent[s.rank] += 1
+        elif isinstance(s, (RecvReduceStep, CopyStep)):
+            received[s.rank] += 1
+    if sum(sent) != sum(received):
+        raise ScheduleError(
+            f"unbalanced step counts: {sum(sent)} sends vs {sum(received)} receives"
+        )
+    return {
+        "n_steps": n_steps,
+        "n_messages": len(edges),
+        "step_counts": schedule.step_counts(),
+        "sends_per_rank": sent,
+        "recvs_per_rank": received,
+    }
+
+
+def _ranges_of(s: Step) -> list[tuple[int, int]]:
+    if isinstance(s, ReduceLocalStep):
+        return [(s.lo, s.hi), (s.src_lo, s.src_hi)]
+    if s.buf is None:
+        return []
+    return [(s.lo, s.hi)]
+
+
+def _peers_of(s: Step) -> list[int | None]:
+    if isinstance(s, SendStep):
+        return [s.dst]
+    if isinstance(s, (RecvReduceStep, CopyStep)):
+        return [s.src]
+    return []
+
+
+def format_schedule(schedule: Schedule, *, max_steps: int | None = None) -> str:
+    """Human-readable rendering of a schedule, grouped by rank."""
+    counts = ", ".join(
+        f"{v} {k}" for k, v in sorted(schedule.step_counts().items())
+    )
+    lines = [
+        f"schedule {schedule.name!r}: {schedule.n_ranks} ranks, "
+        f"{schedule.n_steps} steps ({counts or 'empty'})"
+    ]
+    shown = 0
+    for rank in range(schedule.n_ranks):
+        steps = schedule.rank_steps(rank)
+        lines.append(f"rank {rank}: {len(steps)} steps")
+        for s in steps:
+            if max_steps is not None and shown >= max_steps:
+                lines.append(f"  ... ({schedule.n_steps - shown} more steps)")
+                return "\n".join(lines)
+            lines.append("  " + _format_step(s))
+            shown += 1
+    return "\n".join(lines)
+
+
+def _format_step(s: Step) -> str:
+    deps = f" after {list(s.deps)}" if s.deps else ""
+    note = f"  # {s.note}" if s.note else ""
+    span = f"[{s.lo}:{s.hi})" if getattr(s, "buf", None) is not None else "(token)"
+    if isinstance(s, SendStep):
+        body = f"send -> r{s.dst} key={s.key!r} {s.buf or ''}{span}"
+    elif isinstance(s, RecvReduceStep):
+        body = f"recv+reduce <- r{s.src} key={s.key!r} {s.buf}{span}"
+    elif isinstance(s, CopyStep):
+        body = f"recv+copy <- r{s.src} key={s.key!r} {s.buf or ''}{span}"
+    else:
+        body = (
+            f"reduce-local {s.src_buf}[{s.src_lo}:{s.src_hi}) "
+            f"-> {s.buf}[{s.lo}:{s.hi})"
+        )
+    return f"{s.sid:>4} {body}{deps}{note}"
+
+
+# -- execution ----------------------------------------------------------------
+
+def _wire_key(tag: object, key: object) -> tuple:
+    """Namespace a schedule-level message key into a world wire tag."""
+    return ("sx", tag, key)
+
+
+@dataclass
+class ExecutionStats:
+    """Per-run accounting the executor fills in (profiler food)."""
+
+    per_rank_sent: dict[int, float] = field(default_factory=dict)
+    n_messages: int = 0
+    reduced_bytes: float = 0.0
+    copied_bytes: float = 0.0
+
+
+def _bind(bufmap: dict[str, Buffer], name: str | None, lo: int, hi: int) -> Buffer | None:
+    if name is None:
+        return None
+    try:
+        base = bufmap[name]
+    except KeyError:
+        raise ScheduleError(f"schedule references unbound buffer {name!r}") from None
+    return base.view(lo, hi)
+
+
+def _perform_step(comm, step, bufmap, tag, stats):
+    """Generator performing one step's operation (deps already satisfied)."""
+    if isinstance(step, SendStep):
+        view = _bind(bufmap, step.buf, step.lo, step.hi)
+        payload = view if view is not None else SizeBuffer(0)
+        comm.isend(step.rank, step.dst, _wire_key(tag, step.key), payload)
+    elif isinstance(step, RecvReduceStep):
+        msg = yield comm.recv(step.rank, step.src, _wire_key(tag, step.key))
+        view = _bind(bufmap, step.buf, step.lo, step.hi)
+        view.add_(msg.payload)
+        yield from comm.reduce_cpu(step.rank, view.nbytes)
+        if stats is not None:
+            stats.reduced_bytes += view.nbytes
+    elif isinstance(step, CopyStep):
+        msg = yield comm.recv(step.rank, step.src, _wire_key(tag, step.key))
+        view = _bind(bufmap, step.buf, step.lo, step.hi)
+        if view is not None:
+            view.copy_(msg.payload)
+            yield from comm.copy_cpu(step.rank, view.nbytes)
+            if stats is not None:
+                stats.copied_bytes += view.nbytes
+    elif isinstance(step, ReduceLocalStep):
+        dst = _bind(bufmap, step.buf, step.lo, step.hi)
+        src = _bind(bufmap, step.src_buf, step.src_lo, step.src_hi)
+        dst.add_(src.extract())
+        yield from comm.reduce_cpu(step.rank, dst.nbytes)
+        if stats is not None:
+            stats.reduced_bytes += dst.nbytes
+    else:  # pragma: no cover - new step types must be handled here
+        raise ScheduleError(f"unknown step type {type(step).__name__}")
+
+
+def _partition_strands(steps):
+    """Partition one rank's steps (sid order) into maximal linear chains.
+
+    A step *fuses* onto the strand whose current tail is among its deps
+    (preferring the most recently produced tail); any remaining deps become
+    cross-strand waits.  Each strand then runs as a single sim process, so
+    chained steps execute back-to-back with no zero-delay completion hop in
+    between.  This reproduces the process structure of the hand-written
+    generator collectives (e.g. one ring-reduce and one ring-broadcast
+    process per rank) and therefore their exact resource-grant ordering at
+    equal timestamps — a requirement for bit-identical Figure 5/6 timings.
+
+    Returns a list of strands; each strand is a list of
+    ``(step, cross_dep_sids)`` pairs.
+    """
+    strands: list[list[tuple[Step, list[int]]]] = []
+    tails: dict[int, int] = {}  # sid of a strand's last step -> strand index
+    for step in steps:
+        fusable = [d for d in step.deps if d in tails]
+        if fusable:
+            link = max(fusable)
+            idx = tails.pop(link)
+            cross = [d for d in step.deps if d != link]
+        else:
+            idx = len(strands)
+            strands.append([])
+            cross = list(step.deps)
+        strands[idx].append((step, cross))
+        tails[step.sid] = idx
+    return strands
+
+
+def _strand_program(comm, entries, bufmap, tag, stats, done):
+    """One sim process per strand: run its steps back-to-back.
+
+    ``done`` maps the sids that other strands depend on to completion
+    events; a step waits on its cross-strand deps before running and
+    triggers its own event (if anyone waits on it) right after — the same
+    single event hand-off the legacy generators used between phases.
+    """
+    for step, cross in entries:
+        for d in cross:
+            yield done[d]  # already-triggered events resume immediately
+        yield from _perform_step(comm, step, bufmap, tag, stats)
+        ev = done.get(step.sid)
+        if ev is not None:
+            ev.succeed()
+
+
+def _spawn_rank_steps(
+    comm: Communicator,
+    rank: int,
+    schedule: Schedule,
+    bufmap: dict[str, Buffer],
+    tag: object,
+    stats: ExecutionStats | None,
+) -> list[Process]:
+    """Create one process per dependency strand owned by ``rank``."""
+    engine = comm.engine
+    strands = _partition_strands(schedule.rank_steps(rank))
+    done: dict[int, Any] = {}
+    for entries in strands:
+        for _step, cross in entries:
+            for d in cross:
+                done.setdefault(d, engine.event())
+    return [
+        engine.process(
+            _strand_program(comm, entries, bufmap, tag, stats, done),
+            name=f"sx{entries[0][0].sid}-r{rank}",
+        )
+        for entries in strands
+    ]
+
+
+def _as_bufmap(buf: Buffer | dict[str, Buffer] | None) -> dict[str, Buffer]:
+    if buf is None:
+        return {}
+    if isinstance(buf, dict):
+        return buf
+    return {"data": buf}
+
+
+def _check_binding(schedule: Schedule, bufmap: dict[str, Buffer]) -> None:
+    if schedule.count is not None and "data" in bufmap:
+        b = bufmap["data"]
+        if b.count != schedule.count:
+            raise ScheduleError(
+                f"buffer holds {b.count} elements but schedule "
+                f"{schedule.name!r} was compiled for {schedule.count}"
+            )
+
+
+def execute_rank(
+    comm: Communicator,
+    rank: int,
+    schedule: Schedule,
+    buf: Buffer | dict[str, Buffer] | None,
+    *,
+    tag: object = None,
+    stats: ExecutionStats | None = None,
+):
+    """Rank-program generator: run ``rank``'s slice of ``schedule``.
+
+    This is the adapter that keeps the legacy collective API alive: the
+    public wrappers in :mod:`repro.mpi.collectives` compile a schedule and
+    ``yield from`` this generator, so existing callers (tests, the shuffle,
+    fault-injection harnesses) see the same generator protocol as before.
+    """
+    if schedule.n_ranks != comm.size:
+        raise ScheduleError(
+            f"schedule {schedule.name!r} is for {schedule.n_ranks} ranks; "
+            f"communicator has {comm.size}"
+        )
+    bufmap = _as_bufmap(buf)
+    _check_binding(schedule, bufmap)
+    procs = _spawn_rank_steps(comm, rank, schedule, bufmap, tag, stats)
+    if procs:
+        yield comm.engine.all_of(procs)
+
+
+def _rank_proxy(engine, step_procs):
+    if step_procs:
+        yield engine.all_of(step_procs)
+
+
+class ScheduleExecutor:
+    """Runs one compiled schedule across all ranks of a communicator.
+
+    The executor spawns one process per dependency strand (maximal linear
+    chain of steps) up front plus one lightweight *proxy* process per rank.  The proxies are the interruption points for
+    fault injection (``FaultInjector.arm(engine, world, executor.rank_procs,
+    it)``) — killing a proxy fails the whole run exactly like killing a
+    generator rank-program used to.
+
+    Per-rank sent bytes are accounted through
+    :attr:`~repro.mpi.world.MPIWorld.send_observers`, filtered to this
+    executor's wire tag, so profiling needs no monkeypatching and multiple
+    executors can share one world (bucketed overlap).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        schedule: Schedule,
+        buffers: list[Buffer | dict[str, Buffer] | None],
+        *,
+        tag: object = None,
+    ):
+        if schedule.n_ranks != comm.size:
+            raise ScheduleError(
+                f"schedule {schedule.name!r} is for {schedule.n_ranks} ranks; "
+                f"communicator has {comm.size}"
+            )
+        if len(buffers) != comm.size:
+            raise ScheduleError(
+                f"need {comm.size} rank buffers, got {len(buffers)}"
+            )
+        self.comm = comm
+        self.schedule = schedule
+        self.tag = tag
+        self.bufmaps = [_as_bufmap(b) for b in buffers]
+        for bufmap in self.bufmaps:
+            _check_binding(schedule, bufmap)
+        self.stats = ExecutionStats(
+            per_rank_sent={r: 0.0 for r in range(comm.size)}
+        )
+        self.rank_procs: list[Process] = []
+        self._done = None
+
+    def launch(self):
+        """Spawn all step and proxy processes; returns the completion event."""
+        if self._done is not None:
+            raise ScheduleError("executor already launched")
+        engine = self.comm.engine
+        self.comm.world.send_observers.append(self._observer)
+        for rank in range(self.comm.size):
+            step_procs = _spawn_rank_steps(
+                self.comm, rank, self.schedule, self.bufmaps[rank],
+                self.tag, self.stats,
+            )
+            self.rank_procs.append(
+                engine.process(_rank_proxy(engine, step_procs), name=f"sxr{rank}")
+            )
+        self._done = engine.all_of(self.rank_procs)
+        return self._done
+
+    def _observer(self, src: int, dst: int, tag: object, nbytes: int) -> None:
+        if (
+            isinstance(tag, tuple)
+            and len(tag) == 3
+            and tag[0] == "sx"
+            and tag[1] == self.tag
+        ):
+            group_src = self.comm.group_rank(src) if self.comm.contains(src) else src
+            self.stats.per_rank_sent[group_src] += nbytes
+            self.stats.n_messages += 1
+
+    def run(self) -> float:
+        """Launch (if needed) and run the engine to completion; returns elapsed."""
+        engine = self.comm.engine
+        start = engine.now
+        done = self._done if self._done is not None else self.launch()
+        engine.run(done)
+        return engine.now - start
+
+
+# -- guarded execution (watchdog / retry / fault arming) ----------------------
+
+@dataclass
+class CollectiveTelemetry:
+    """What one guarded collective cost: time, retries, faults observed."""
+
+    sim_time: float = 0.0
+    retries: int = 0
+    backoff: float = 0.0
+    fault_events: list = field(default_factory=list)
+
+
+def run_guarded(
+    compiler: Callable[..., Schedule],
+    make_buffers: Callable[[], list[Buffer]],
+    *,
+    timeout: float,
+    max_retries: int = 3,
+    retry_backoff: float = 0.5,
+    topology: str = "star",
+    tag: object = None,
+    fault_injector=None,
+    iteration: int = 0,
+    telemetry: CollectiveTelemetry | None = None,
+    **compile_kwargs,
+) -> tuple[list[Buffer], CollectiveTelemetry]:
+    """Run one collective under a watchdog with bounded-backoff retries.
+
+    This is the failure-detection loop that previously lived inside
+    ``DistributedSGDTrainer._allreduce``, hoisted to the executor layer so
+    every schedule-compiled collective gets it for free:
+
+    * each attempt builds a fresh world and fresh buffers
+      (``make_buffers()``), compiles via ``compiler(n, count, itemsize,
+      **compile_kwargs)`` (cached), arms ``fault_injector`` against the
+      executor's rank proxies, and races completion against ``timeout``;
+    * a transient timeout retries up to ``max_retries`` times with
+      exponential backoff (accounted in simulated time), then raises
+      :class:`CollectiveTimeout`;
+    * a crash surfaces as :class:`RankFailure` — policy (elastic shrink,
+      abort, ...) stays with the caller.
+
+    Returns ``(buffers, telemetry)`` for the successful attempt;
+    ``telemetry`` is updated in place even when an exception is raised, so
+    callers can account partial attempts.
+    """
+    from repro.mpi.runner import build_world  # local import: avoids a cycle
+
+    telemetry = telemetry if telemetry is not None else CollectiveTelemetry()
+    attempts = 0
+    backoff = retry_backoff
+    while True:
+        buffers = make_buffers()
+        n = len(buffers)
+        if n == 1:
+            return buffers, telemetry
+        engine, world, comm = build_world(n, topology=topology)
+        schedule = compiler(n, buffers[0].count, buffers[0].itemsize, **compile_kwargs)
+        executor = ScheduleExecutor(comm, schedule, buffers, tag=tag)
+        done = executor.launch()
+        mark = len(fault_injector.events) if fault_injector is not None else 0
+        if fault_injector is not None:
+            fault_injector.arm(engine, world, executor.rank_procs, iteration)
+        deadline = engine.timeout(timeout)
+        try:
+            engine.run(engine.any_of([done, deadline]))
+        except Interrupt as exc:
+            telemetry.sim_time += engine.now
+            if fault_injector is not None:
+                telemetry.fault_events.extend(fault_injector.events_since(mark))
+            cause = exc.cause
+            if isinstance(cause, RankFailure):
+                raise cause from exc
+            raise
+        telemetry.sim_time += engine.now
+        if fault_injector is not None:
+            telemetry.fault_events.extend(fault_injector.events_since(mark))
+        if done.triggered:
+            return buffers, telemetry
+        # Watchdog fired first: transient fault suspected — retry with
+        # bounded exponential backoff (accounted in simulated time).
+        attempts += 1
+        telemetry.retries += 1
+        if attempts > max_retries:
+            raise CollectiveTimeout(timeout, iteration, attempts)
+        telemetry.backoff += backoff
+        telemetry.sim_time += backoff
+        backoff *= 2
+
+
+# -- compiler caching ---------------------------------------------------------
+
+def memoize_compiler(fn: Callable[..., Schedule]) -> Callable[..., Schedule]:
+    """Cache compiled schedules by argument value.
+
+    Schedules are immutable, so one compilation serves every rank, every
+    retry and every trainer iteration with the same shape.  Calls with
+    unhashable arguments (e.g. an explicit ``trees`` list) bypass the cache
+    and compile directly.
+    """
+    cache: dict = {}
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        key = (args, tuple(sorted(kwargs.items())))
+        try:
+            hash(key)
+        except TypeError:
+            return fn(*args, **kwargs)
+        if key not in cache:
+            cache[key] = fn(*args, **kwargs)
+        return cache[key]
+
+    wrapper.cache = cache  # type: ignore[attr-defined]
+    return wrapper

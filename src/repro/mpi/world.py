@@ -85,6 +85,11 @@ class MPIWorld:
         #: Must expose ``on_send(src, dst, tag, nbytes) -> (action, seconds)``
         #: where action is ``"deliver"``, ``"delay"`` or ``"drop"``.
         self.fault_controller: object | None = None
+        #: Passive send taps: callables ``(src, dst, tag, nbytes)`` invoked
+        #: at every :meth:`isend` posting.  Used by the schedule executor
+        #: and the profiler for per-rank accounting without monkeypatching;
+        #: observers must not mutate world state.
+        self.send_observers: list = []
 
     def comm_world(self) -> "Communicator":
         return Communicator(self, list(range(self.n_ranks)))
@@ -108,6 +113,8 @@ class MPIWorld:
         self._check_rank(dst)
         payload = buf.extract()
         nbytes = buf.nbytes
+        for observer in self.send_observers:
+            observer(src, dst, tag, nbytes)
         done = self.engine.event()
         prev_tail = self._channel_tail.get((src, dst))
         self._channel_tail[(src, dst)] = done

@@ -42,16 +42,11 @@ from repro.dpt.table import (
     _DataParallelTableBase,
 )
 from repro.models.nn.network import Network
-from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+from repro.mpi.collectives import ALLREDUCE_ALGORITHMS, ALLREDUCE_COMPILERS
 from repro.mpi.datatypes import ArrayBuffer, chunk_ranges
 from repro.mpi.runner import build_world
-from repro.sim.engine import Interrupt
-from repro.train.injection import (
-    CollectiveTimeout,
-    FaultInjector,
-    FaultPlan,
-    RankFailure,
-)
+from repro.mpi.schedule import CollectiveTelemetry, RankFailure, run_guarded
+from repro.train.injection import FaultInjector, FaultPlan
 from repro.train.schedule import WarmupStepSchedule
 from repro.utils.rng import rng_for
 
@@ -355,59 +350,35 @@ class DistributedSGDTrainer:
         """
         if self.reducer == "exact" or self.n_learners == 1:
             return np.sum(grads, axis=0), len(grads)
-        stats = self._step_stats
-        attempts = 0
-        backoff = self.retry_backoff
-        while True:
-            n = len(grads)
-            if n == 1:
-                return grads[0].copy(), 1
-            engine, world, comm = build_world(n, topology="star")
-            program = ALLREDUCE_ALGORITHMS[self.reducer]
-            buffers = [ArrayBuffer(g.copy()) for g in grads]
-            procs = [
-                engine.process(
-                    program(comm, r, buffers[r], tag=("it", self.iteration)),
-                    name=f"ar{r}",
-                )
-                for r in range(n)
-            ]
-            mark = len(self.fault_injector.events) if self.fault_injector else 0
-            if self.fault_injector is not None:
-                self.fault_injector.arm(engine, world, procs, self.iteration)
-            done = engine.all_of(procs)
-            deadline = engine.timeout(self.collective_timeout)
-            try:
-                engine.run(engine.any_of([done, deadline]))
-            except Interrupt as exc:
-                stats.sim_time += engine.now
-                self._collect_fault_events(mark)
-                cause = exc.cause
-                if not isinstance(cause, RankFailure):
-                    raise
-                grads = self._shrink(cause.rank, grads)
-                continue
-            stats.sim_time += engine.now
-            self._collect_fault_events(mark)
-            if done.triggered:
-                return buffers[0].array, len(grads)
-            # Watchdog fired first: transient fault suspected — retry with
-            # bounded exponential backoff (accounted in simulated time).
-            attempts += 1
-            stats.retries += 1
-            if attempts > self.max_retries:
-                raise CollectiveTimeout(
-                    self.collective_timeout, self.iteration, attempts
-                )
-            stats.backoff += backoff
-            stats.sim_time += backoff
-            backoff *= 2
-
-    def _collect_fault_events(self, mark: int) -> None:
-        if self.fault_injector is not None:
-            self._step_stats.fault_events.extend(
-                self.fault_injector.events_since(mark)
-            )
+        # The watchdog/retry/fault-arming loop lives at the executor layer
+        # (run_guarded); the trainer keeps only the elastic-shrink policy.
+        compiler = ALLREDUCE_COMPILERS[self.reducer]
+        telemetry = CollectiveTelemetry()
+        try:
+            while True:
+                try:
+                    buffers, _ = run_guarded(
+                        compiler,
+                        lambda: [ArrayBuffer(g.copy()) for g in grads],
+                        timeout=self.collective_timeout,
+                        max_retries=self.max_retries,
+                        retry_backoff=self.retry_backoff,
+                        topology="star",
+                        tag=("it", self.iteration),
+                        fault_injector=self.fault_injector,
+                        iteration=self.iteration,
+                        telemetry=telemetry,
+                    )
+                except RankFailure as failure:
+                    grads = self._shrink(failure.rank, grads)
+                    continue
+                return buffers[0].array, len(buffers)
+        finally:
+            stats = self._step_stats
+            stats.sim_time += telemetry.sim_time
+            stats.retries += telemetry.retries
+            stats.backoff += telemetry.backoff
+            stats.fault_events.extend(telemetry.fault_events)
 
     def _shrink(self, lost_slot: int, grads: list[np.ndarray]) -> list[np.ndarray]:
         """Elastic recovery from a permanent rank loss.

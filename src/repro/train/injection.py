@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.mpi.schedule import CollectiveTimeout, RankFailure
 from repro.mpi.world import MPIWorld
 from repro.sim.engine import Engine, Process
 
@@ -46,27 +47,9 @@ __all__ = [
 
 _KINDS = ("crash", "degrade", "delay", "drop")
 
-
-class RankFailure(RuntimeError):
-    """Fail-stop: a learner process died and will not come back."""
-
-    def __init__(self, rank: int, when: float = 0.0):
-        super().__init__(f"rank {rank} failed at t={when:.6f}s")
-        self.rank = rank
-        self.when = when
-
-
-class CollectiveTimeout(RuntimeError):
-    """A collective did not complete within the detection deadline."""
-
-    def __init__(self, timeout: float, iteration: int, attempts: int):
-        super().__init__(
-            f"collective at iteration {iteration} timed out "
-            f"({timeout:g}s simulated) after {attempts} attempt(s)"
-        )
-        self.timeout = timeout
-        self.iteration = iteration
-        self.attempts = attempts
+# RankFailure / CollectiveTimeout now live at the executor layer
+# (repro.mpi.schedule) where the watchdog and retry logic runs; they are
+# re-exported here for backward compatibility.
 
 
 @dataclass

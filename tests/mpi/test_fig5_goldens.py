@@ -1,0 +1,44 @@
+"""Regression guard: the schedule executor reproduces pre-IR Figure 5 timings.
+
+``benchmarks/data/fig5_goldens.json`` holds the simulated allreduce times
+captured from the generator-based collectives immediately before they were
+rewritten as schedule compilers.  The strand-fused executor must stay
+within 1% of every golden (it is currently bit-exact); the tier-1 suite
+checks the small payloads, ``benchmarks/test_fig5_allreduce_throughput.py``
+sweeps all 42.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.mpi import simulate_allreduce
+from repro.utils.units import MB
+
+GOLDENS_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "data" / "fig5_goldens.json"
+)
+
+
+def golden_elapsed(key: str) -> float:
+    """Simulate the golden's configuration and return the elapsed time."""
+    algorithm, size = key.split("/")
+    mb = float(size[:-2])
+    nbytes = int(mb * MB)
+    kwargs = {}
+    if algorithm in ("multicolor", "ring"):
+        kwargs["segment_bytes"] = max(64 * 1024, nbytes // 64)
+    return simulate_allreduce(16, nbytes, algorithm=algorithm, **kwargs).elapsed
+
+
+def golden_keys(max_mb: float) -> list[str]:
+    goldens = json.loads(GOLDENS_PATH.read_text())["elapsed_s"]
+    return [k for k in goldens if float(k.split("/")[1][:-2]) <= max_mb]
+
+
+@pytest.mark.parametrize("key", golden_keys(max_mb=4.0))
+def test_small_payload_goldens_within_1pct(key):
+    want = json.loads(GOLDENS_PATH.read_text())["elapsed_s"][key]
+    got = golden_elapsed(key)
+    assert got == pytest.approx(want, rel=0.01), key

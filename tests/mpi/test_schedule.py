@@ -1,0 +1,365 @@
+"""Tests for the collective schedule IR, its lint and the executor."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.collectives import ALLREDUCE_COMPILERS
+from repro.mpi.datatypes import ArrayBuffer, SizeBuffer
+from repro.mpi.runner import build_world, run_rank_programs
+from repro.mpi.schedule import (
+    CollectiveTimeout,
+    ScheduleBuilder,
+    ScheduleError,
+    ScheduleExecutor,
+    SendStep,
+    execute_rank,
+    format_schedule,
+    memoize_compiler,
+    run_guarded,
+    validate_schedule,
+)
+
+# -- builder ------------------------------------------------------------------
+
+
+def test_builder_emits_dense_sids_and_normalized_deps():
+    b = ScheduleBuilder(2, name="toy", count=4, itemsize=4)
+    s0 = b.send(1, 0, "k", 0, 4)
+    s1 = b.send(1, 0, "k2", 0, 4, deps=s0)
+    r0 = b.recv_reduce(0, 1, "k", 0, 4, deps=[None, None])
+    r1 = b.recv_reduce(0, 1, "k2", 0, 4, deps=[r0, r0, None])
+    sched = b.build(validate=True)
+    assert [s.sid for s in sched.steps] == [0, 1, 2, 3]
+    assert sched.steps[s1].deps == (s0,)
+    assert sched.steps[r0].deps == ()
+    assert sched.steps[r1].deps == (r0,)
+    assert sched.rank_steps(0) == [sched.steps[2], sched.steps[3]]
+    assert sched.step_counts() == {"SendStep": 2, "RecvReduceStep": 2}
+
+
+def test_builder_rejects_cross_rank_dep():
+    b = ScheduleBuilder(2)
+    s0 = b.send(0, 1, "k")
+    with pytest.raises(ScheduleError, match="crosses ranks"):
+        b.recv_reduce(1, 0, "k", 0, 1, deps=s0)
+
+
+def test_builder_rejects_forward_dep_and_bad_rank():
+    b = ScheduleBuilder(2)
+    with pytest.raises(ScheduleError, match="not yet emitted"):
+        b.send(0, 1, "k", deps=0)
+    with pytest.raises(ScheduleError, match="out of range"):
+        b.send(2, 0, "k")
+
+
+# -- lint ---------------------------------------------------------------------
+
+
+def test_validate_reports_summary():
+    b = ScheduleBuilder(2, count=8)
+    b.send(0, 1, "x", 0, 8)
+    b.recv_reduce(1, 0, "x", 0, 8)
+    report = validate_schedule(b.build())
+    assert report["n_steps"] == 2
+    assert report["n_messages"] == 1
+    assert report["sends_per_rank"] == [1, 0]
+    assert report["recvs_per_rank"] == [0, 1]
+
+
+def test_validate_catches_orphan_receive():
+    b = ScheduleBuilder(2)
+    b.recv_reduce(1, 0, "missing", 0, 1)
+    with pytest.raises(ScheduleError, match="no send posts it"):
+        validate_schedule(b.build())
+
+
+def test_validate_catches_unmatched_send():
+    b = ScheduleBuilder(2)
+    b.send(0, 1, "x", 0, 1)
+    b.send(0, 1, "x", 0, 1)
+    b.recv_reduce(1, 0, "x", 0, 1)
+    with pytest.raises(ScheduleError, match="matching receive"):
+        validate_schedule(b.build())
+
+
+def test_validate_catches_element_count_mismatch():
+    b = ScheduleBuilder(2)
+    b.send(0, 1, "x", 0, 4)
+    b.recv_reduce(1, 0, "x", 0, 2)
+    with pytest.raises(ScheduleError, match="count mismatch"):
+        validate_schedule(b.build())
+
+
+def test_validate_catches_cross_rank_message_cycle():
+    # Each rank receives before it sends: a deadlock under rendezvous
+    # semantics and a cycle in the happens-before graph.
+    b = ScheduleBuilder(2)
+    r0 = b.recv_reduce(0, 1, "b", 0, 1)
+    b.send(0, 1, "a", 0, 1, deps=r0)
+    r1 = b.recv_reduce(1, 0, "a", 0, 1)
+    b.send(1, 0, "b", 0, 1, deps=r1)
+    with pytest.raises(ScheduleError, match="cycle"):
+        validate_schedule(b.build())
+
+
+def test_validate_catches_range_beyond_count():
+    b = ScheduleBuilder(2, count=4)
+    b.send(0, 1, "x", 0, 8)
+    b.recv_reduce(1, 0, "x", 0, 8)
+    with pytest.raises(ScheduleError, match="exceeds count"):
+        validate_schedule(b.build())
+
+
+def test_format_schedule_renders_and_truncates():
+    sched = ALLREDUCE_COMPILERS["ring"](4, 1024, 4, segment_bytes=1024)
+    text = format_schedule(sched)
+    assert "rank 0:" in text and "send" in text and "recv" in text
+    short = format_schedule(sched, max_steps=3)
+    assert "more steps" in short and len(short) < len(text)
+
+
+def test_every_registered_compiler_passes_the_lint():
+    # The schedule lint run over the whole registry — every algorithm, a
+    # spread of rank counts (incl. non-powers-of-two) and payload sizes.
+    for name, compiler in sorted(ALLREDUCE_COMPILERS.items()):
+        for n_ranks in (1, 2, 3, 6, 16):
+            for count in (1, 1000):
+                sched = compiler(n_ranks, count, 4)
+                report = validate_schedule(sched)
+                assert report["n_steps"] == sched.n_steps, (name, n_ranks, count)
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def _reduce_to_root_schedule():
+    b = ScheduleBuilder(2, name="pair", count=4, itemsize=8)
+    b.send(1, 0, "g", 0, 4)
+    b.recv_reduce(0, 1, "g", 0, 4)
+    return b.build(validate=True)
+
+
+def test_executor_reduces_real_arrays():
+    sched = _reduce_to_root_schedule()
+    bufs = [ArrayBuffer(np.arange(4, dtype=np.int64)),
+            ArrayBuffer(10 * np.ones(4, dtype=np.int64))]
+    engine, world, comm = build_world(2, topology="star")
+    executor = ScheduleExecutor(comm, sched, bufs)
+    elapsed = executor.run()
+    assert elapsed > 0
+    np.testing.assert_array_equal(bufs[0].array, np.arange(4) + 10)
+    assert executor.stats.n_messages == 1
+    assert executor.stats.per_rank_sent == {0: 0.0, 1: 32.0}
+    assert executor.stats.reduced_bytes == 32.0
+
+
+def test_executor_rejects_mismatched_worlds_and_buffers():
+    sched = _reduce_to_root_schedule()
+    engine, world, comm = build_world(3, topology="star")
+    with pytest.raises(ScheduleError, match="ranks"):
+        ScheduleExecutor(comm, sched, [None, None, None])
+    engine, world, comm = build_world(2, topology="star")
+    with pytest.raises(ScheduleError, match="rank buffers"):
+        ScheduleExecutor(comm, sched, [None])
+    with pytest.raises(ScheduleError, match="compiled for"):
+        ScheduleExecutor(comm, sched, [SizeBuffer(9, 8), SizeBuffer(9, 8)])
+
+
+def test_executor_launch_is_single_shot():
+    sched = _reduce_to_root_schedule()
+    engine, world, comm = build_world(2, topology="star")
+    executor = ScheduleExecutor(
+        comm, sched, [SizeBuffer(4, 8), SizeBuffer(4, 8)]
+    )
+    executor.run()
+    with pytest.raises(ScheduleError, match="already launched"):
+        executor.launch()
+
+
+def test_execute_rank_legacy_adapter():
+    # The generator adapter drives one rank's slice of a schedule under the
+    # old rank-program protocol.
+    sched = _reduce_to_root_schedule()
+    engine, world, comm = build_world(2, topology="star")
+    bufs = [ArrayBuffer(np.full(4, 2, dtype=np.int64)),
+            ArrayBuffer(np.full(4, 3, dtype=np.int64))]
+
+    def program(comm, rank):
+        yield from execute_rank(comm, rank, sched, bufs[rank], tag="legacy")
+
+    run_rank_programs(comm, program)
+    np.testing.assert_array_equal(bufs[0].array, np.full(4, 5))
+
+
+def test_concurrent_executors_share_one_world():
+    # Two executors with different tags on the same world must not steal
+    # each other's messages or stats.
+    sched = _reduce_to_root_schedule()
+    engine, world, comm = build_world(2, topology="star")
+    bufs_a = [ArrayBuffer(np.ones(4, dtype=np.int64)) for _ in range(2)]
+    bufs_b = [ArrayBuffer(np.full(4, 7, dtype=np.int64)) for _ in range(2)]
+    ex_a = ScheduleExecutor(comm, sched, bufs_a, tag=("bkt", 0))
+    ex_b = ScheduleExecutor(comm, sched, bufs_b, tag=("bkt", 1))
+    done = engine.all_of([ex_a.launch(), ex_b.launch()])
+    engine.run(done)
+    np.testing.assert_array_equal(bufs_a[0].array, np.full(4, 2))
+    np.testing.assert_array_equal(bufs_b[0].array, np.full(4, 14))
+    assert ex_a.stats.n_messages == 1
+    assert ex_b.stats.n_messages == 1
+
+
+# -- cross-algorithm equivalence ----------------------------------------------
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4, 6, 16])
+@pytest.mark.parametrize("name", sorted(ALLREDUCE_COMPILERS))
+def test_all_algorithms_bit_identical(name, n_ranks):
+    # Integer payloads make every reduction order give the same bits, so
+    # all eight compilers must agree exactly — including a non-power-of-two
+    # rank count and a count that does not divide evenly.
+    compiler = ALLREDUCE_COMPILERS[name]
+    count = 1003  # prime-ish: ragged chunking everywhere
+    rng = np.random.default_rng(n_ranks)
+    arrays = [
+        rng.integers(-(2**40), 2**40, size=count).astype(np.int64)
+        for _ in range(n_ranks)
+    ]
+    want = np.sum(arrays, axis=0)
+    sched = compiler(n_ranks, count, 8)
+    validate_schedule(sched)
+    bufs = [ArrayBuffer(a.copy()) for a in arrays]
+    engine, world, comm = build_world(n_ranks, topology="star")
+    ScheduleExecutor(comm, sched, bufs).run()
+    for rank, buf in enumerate(bufs):
+        np.testing.assert_array_equal(buf.array, want, err_msg=f"{name} rank {rank}")
+
+
+# -- guarded execution --------------------------------------------------------
+
+
+def test_run_guarded_success_and_telemetry():
+    compiler = ALLREDUCE_COMPILERS["ring"]
+    make = lambda: [ArrayBuffer(np.full(8, r + 1, dtype=np.int64)) for r in range(4)]
+    buffers, telemetry = run_guarded(compiler, make, timeout=10.0)
+    np.testing.assert_array_equal(buffers[0].array, np.full(8, 10))
+    assert telemetry.sim_time > 0
+    assert telemetry.retries == 0 and telemetry.backoff == 0.0
+
+
+def test_run_guarded_single_rank_shortcut():
+    make = lambda: [ArrayBuffer(np.ones(4, dtype=np.int64))]
+    buffers, telemetry = run_guarded(
+        ALLREDUCE_COMPILERS["ring"], make, timeout=1.0
+    )
+    np.testing.assert_array_equal(buffers[0].array, np.ones(4))
+    assert telemetry.sim_time == 0.0
+
+
+def test_run_guarded_times_out_with_backoff():
+    # A schedule whose receive never gets its message: the watchdog must
+    # retry max_retries times with doubling backoff, then raise.
+    def stuck_compiler(n, count, itemsize):
+        b = ScheduleBuilder(n, name="stuck", count=count, itemsize=itemsize)
+        b.recv_reduce(0, 1, "never", 0, count)
+        return b.build()
+
+    make = lambda: [SizeBuffer(4, 4), SizeBuffer(4, 4)]
+    with pytest.raises(CollectiveTimeout) as exc:
+        run_guarded(
+            stuck_compiler, make, timeout=0.5, max_retries=2, retry_backoff=0.25
+        )
+    assert exc.value.attempts == 3
+    telemetry = exc.value  # message carries the attempt count
+    assert "timed out" in str(telemetry)
+
+
+def test_run_guarded_accounts_partial_attempts_in_place():
+    from repro.mpi.schedule import CollectiveTelemetry
+
+    def stuck_compiler(n, count, itemsize):
+        b = ScheduleBuilder(n, name="stuck", count=count, itemsize=itemsize)
+        b.recv_reduce(0, 1, "never", 0, count)
+        return b.build()
+
+    telemetry = CollectiveTelemetry()
+    with pytest.raises(CollectiveTimeout):
+        run_guarded(
+            lambda n, c, i: stuck_compiler(n, c, i),
+            lambda: [SizeBuffer(4, 4), SizeBuffer(4, 4)],
+            timeout=0.5, max_retries=1, retry_backoff=0.25,
+            telemetry=telemetry,
+        )
+    assert telemetry.retries == 2
+    assert telemetry.backoff == pytest.approx(0.25)
+    assert telemetry.sim_time >= 1.0  # two 0.5s watchdog windows
+
+
+# -- compiler cache -----------------------------------------------------------
+
+
+def test_memoize_compiler_caches_by_value():
+    calls = []
+
+    @memoize_compiler
+    def compiler(n, count, itemsize, *, flavor="x"):
+        calls.append((n, count, itemsize, flavor))
+        b = ScheduleBuilder(n, count=count, itemsize=itemsize)
+        return b.build()
+
+    a = compiler(2, 10, 4)
+    b = compiler(2, 10, 4)
+    c = compiler(2, 10, 4, flavor="y")
+    assert a is b and a is not c
+    assert len(calls) == 2
+
+
+def test_memoize_compiler_bypasses_unhashable_args():
+    @memoize_compiler
+    def compiler(n, count, itemsize, *, trees=None):
+        b = ScheduleBuilder(n, count=count, itemsize=itemsize)
+        return b.build()
+
+    a = compiler(2, 10, 4, trees=[1, 2])
+    b = compiler(2, 10, 4, trees=[1, 2])
+    assert a is not b  # unhashable kwargs skip the cache
+
+
+# -- strand fusion ------------------------------------------------------------
+
+
+def test_strand_fusion_groups_linear_chains():
+    from repro.mpi.schedule import _partition_strands
+
+    b = ScheduleBuilder(1, count=8)
+    # Strand A: two chained sends.  Strand B: starts independently; a later
+    # step depending on both tails fuses onto the most recent one (B) and
+    # waits on A's tail as a cross-strand event.
+    a0 = b.send(0, 0, "a0", 0, 1)
+    a1 = b.send(0, 0, "a1", 0, 1, deps=a0)
+    b0 = b.send(0, 0, "b0", 0, 1)
+    j = b.send(0, 0, "j", 0, 1, deps=[a1, b0])
+    strands = _partition_strands(b.build().rank_steps(0))
+    assert [[s.sid for s, _ in strand] for strand in strands] == [[a0, a1], [b0, j]]
+    (_, cross) = strands[1][1]
+    assert cross == [a1]
+
+
+def test_fused_execution_matches_eager_send_semantics():
+    # Rank 0's two sends sit on one strand; rank 1 receives them in order.
+    b = ScheduleBuilder(2, name="chain", count=2, itemsize=4)
+    s0 = b.send(0, 1, "m0", 0, 1)
+    b.send(0, 1, "m1", 1, 2, deps=s0)
+    r0 = b.recv_reduce(1, 0, "m0", 0, 1)
+    b.recv_reduce(1, 0, "m1", 1, 2, deps=r0)
+    sched = b.build(validate=True)
+    bufs = [ArrayBuffer(np.array([1, 2], dtype=np.int64)),
+            ArrayBuffer(np.array([10, 20], dtype=np.int64))]
+    engine, world, comm = build_world(2, topology="star")
+    ScheduleExecutor(comm, sched, bufs).run()
+    np.testing.assert_array_equal(bufs[1].array, [11, 22])
+
+
+def test_send_step_type_is_exported():
+    assert isinstance(
+        _reduce_to_root_schedule().steps[0], SendStep
+    )
