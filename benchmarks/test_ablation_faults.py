@@ -135,3 +135,59 @@ def test_ablation_faults(benchmark):
     assert async_penalty < sync.penalty
     # Elastic recovery finishes on the survivors with comparable loss.
     assert 0.25 < recovery < 2.0
+
+
+def run_mttr_study(n_ranks=4, count=1024):
+    """Mean time to a recovered result for a mid-collective crash.
+
+    *Restart* is the strategy available without failure attribution: the
+    crash is only detected when the watchdog window expires, after which
+    the survivor group reruns the collective from scratch.  *Surgical*
+    is the schedule-level path: the crash interrupts the executor at
+    fault time and the guarded attempt recompiles for the survivors
+    immediately, never waiting out the watchdog.
+    """
+    from repro.mpi.chaos import DEFAULT_TIMEOUT_FACTOR, chaos_input, reference_run
+    from repro.mpi.collectives import ALLREDUCE_COMPILERS
+    from repro.mpi.datatypes import ArrayBuffer
+    from repro.mpi.schedule import run_guarded
+    from repro.train.injection import FaultInjector
+
+    rows = []
+    for name in sorted(ALLREDUCE_COMPILERS):
+        ref = reference_run(name, n_ranks, count=count)
+        timeout = DEFAULT_TIMEOUT_FACTOR * ref.elapsed
+        injector = FaultInjector(
+            FaultPlan([crash(1, 0, at=ref.elapsed / 2.0)])
+        )
+        _, telemetry = run_guarded(
+            ALLREDUCE_COMPILERS[name],
+            lambda: [ArrayBuffer(chaos_input(r, count)) for r in range(n_ranks)],
+            timeout=timeout,
+            fault_injector=injector,
+            repair=True,
+        )
+        surgical = telemetry.sim_time
+        survivors = reference_run(name, n_ranks - 1, count=count)
+        restart = timeout + survivors.elapsed
+        rows.append((name, surgical, restart))
+    return rows
+
+
+def test_mttr_restart_vs_surgical(benchmark):
+    rows = benchmark.pedantic(run_mttr_study, rounds=1, iterations=1)
+    table = render_table(
+        ["algorithm", "surgical (ms)", "watchdog restart (ms)", "speedup"],
+        [
+            [name, f"{surgical * 1e3:.3g}", f"{restart * 1e3:.3g}",
+             f"x{restart / surgical:.1f}"]
+            for name, surgical, restart in rows
+        ],
+        title="MTTR — crash 1 of 4 mid-allreduce: surgical repair vs restart",
+    )
+    emit("ablation_mttr", table)
+    assert len(rows) == 8
+    for name, surgical, restart in rows:
+        # Attribution removes the watchdog wait from the recovery path.
+        assert surgical < restart, name
+        assert surgical > 0.0, name

@@ -10,6 +10,7 @@ Examples::
     python -m repro memory --dataset imagenet-22k --learners 32
     python -m repro trees --ranks 8 --colors 4
     python -m repro faults --learners 4 --crash-rank 1 --crash-at 4
+    python -m repro chaos --ranks 4 --algorithms smoke
     python -m repro fig5
 """
 
@@ -90,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-at", type=int, default=1,
                    help="iteration whose gradient message is lost "
                         "(-1 to disable)")
+
+    p = sub.add_parser(
+        "chaos",
+        help="sweep every schedule-level fault point and check the "
+             "no-deadlock / bit-exactness / telemetry invariants",
+    )
+    p.add_argument("--ranks", type=int, nargs="+", default=[4],
+                   help="group sizes to sweep")
+    p.add_argument("--algorithms", default="smoke",
+                   help="'smoke' (one per family), 'all', or a comma list")
+    p.add_argument("--kinds", default="crash,drop,delay",
+                   help="comma list of fault kinds to inject")
+    p.add_argument("--count", type=int, default=24,
+                   help="elements per rank buffer")
+    p.add_argument("--max-points", type=int, default=None,
+                   help="cap fault points per rank (evenly subsampled)")
     return parser
 
 
@@ -322,6 +339,37 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.mpi.chaos import chaos_sweep, smoke_algorithms
+    from repro.mpi.collectives import ALLREDUCE_COMPILERS
+
+    if args.algorithms == "smoke":
+        algorithms = smoke_algorithms()
+    elif args.algorithms == "all":
+        algorithms = sorted(ALLREDUCE_COMPILERS)
+    else:
+        algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    unknown = [a for a in algorithms if a not in ALLREDUCE_COMPILERS]
+    if unknown:
+        print(
+            f"unknown algorithm(s) {unknown}; "
+            f"choose from {sorted(ALLREDUCE_COMPILERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    try:
+        report = chaos_sweep(
+            algorithms, tuple(args.ranks), kinds=kinds, count=args.count,
+            max_points_per_rank=args.max_points,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.all_ok else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -347,6 +395,7 @@ _COMMANDS = {
     "memory": _cmd_memory,
     "trees": _cmd_trees,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
 }
 
 

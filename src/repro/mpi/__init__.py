@@ -6,7 +6,11 @@ carrying real NumPy payloads so collective *results* are checked against
 ground truth with the very same code that produces collective *timings*.
 """
 
-from repro.mpi.collectives import ALLREDUCE_ALGORITHMS, ALLREDUCE_COMPILERS
+from repro.mpi.collectives import (
+    ALLREDUCE_ALGORITHMS,
+    ALLREDUCE_COMPILERS,
+    ALLREDUCE_FAMILIES,
+)
 from repro.mpi.datatypes import ArrayBuffer, Buffer, SizeBuffer, chunk_ranges
 from repro.mpi.runner import (
     CollectiveOutcome,
@@ -19,6 +23,8 @@ from repro.mpi.schedule import (
     CollectiveTelemetry,
     CollectiveTimeout,
     CopyStep,
+    ExecutionProgress,
+    FailureDiagnosis,
     RankFailure,
     RecvReduceStep,
     ReduceLocalStep,
@@ -27,6 +33,8 @@ from repro.mpi.schedule import (
     ScheduleError,
     ScheduleExecutor,
     SendStep,
+    StalledStep,
+    diagnose_execution,
     execute_rank,
     format_schedule,
     memoize_compiler,
@@ -38,6 +46,7 @@ from repro.mpi.world import Communicator, Message, MPIWorld
 __all__ = [
     "ALLREDUCE_ALGORITHMS",
     "ALLREDUCE_COMPILERS",
+    "ALLREDUCE_FAMILIES",
     "ArrayBuffer",
     "Buffer",
     "CollectiveOutcome",
@@ -45,6 +54,8 @@ __all__ = [
     "CollectiveTimeout",
     "Communicator",
     "CopyStep",
+    "ExecutionProgress",
+    "FailureDiagnosis",
     "Message",
     "MPIWorld",
     "RankFailure",
@@ -56,9 +67,11 @@ __all__ = [
     "ScheduleExecutor",
     "SendStep",
     "SizeBuffer",
+    "StalledStep",
     "allreduce_throughput",
     "build_world",
     "chunk_ranges",
+    "diagnose_execution",
     "execute_rank",
     "format_schedule",
     "memoize_compiler",

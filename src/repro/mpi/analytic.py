@@ -20,7 +20,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["AlphaBetaModel", "CollectiveCost"]
+__all__ = [
+    "AlphaBetaModel",
+    "CollectiveCost",
+    "DEFAULT_DEADLINE_GRACE",
+    "DEFAULT_DEADLINE_SLACK",
+]
+
+#: A schedule step is "overdue" once it has waited this many multiples of
+#: its analytic alpha-beta time (congestion, sharing and pipeline skew make
+#: the simulator slower than the closed form, never orders of magnitude).
+DEFAULT_DEADLINE_GRACE = 32.0
+
+#: Absolute floor added to every per-step deadline so tiny steps (alpha-only
+#: sends, sub-KB segments) are not declared late on scheduling noise.
+DEFAULT_DEADLINE_SLACK = 1e-3
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,45 @@ class AlphaBetaModel:
     @property
     def node_bandwidth(self) -> float:
         return self.rail_bandwidth * self.rails
+
+    # -- per-step costs (schedule-executor deadlines) -----------------------
+    def step_seconds(self, kind: str, nbytes: float) -> float:
+        """Analytic time for one schedule step of ``kind`` moving ``nbytes``.
+
+        ``kind`` is a step-class name from :mod:`repro.mpi.schedule`
+        (``"SendStep"``, ``"RecvReduceStep"``, ``"CopyStep"``,
+        ``"ReduceLocalStep"``).  Sends are eager (alpha only); receives pay
+        the wire transfer; reduce kinds add the CPU summing term.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if kind == "SendStep":
+            return self.alpha
+        if kind == "CopyStep":
+            return self.alpha + nbytes * self.beta
+        if kind == "RecvReduceStep":
+            return self.alpha + nbytes * (self.beta + self.gamma)
+        if kind == "ReduceLocalStep":
+            return nbytes * self.gamma
+        raise ValueError(f"unknown step kind {kind!r}")
+
+    def step_deadline(
+        self,
+        kind: str,
+        nbytes: float,
+        *,
+        grace: float = DEFAULT_DEADLINE_GRACE,
+        slack: float = DEFAULT_DEADLINE_SLACK,
+    ) -> float:
+        """How long a step may plausibly stay in flight before it is suspect.
+
+        The failure-attribution layer compares each blocked step's wait
+        against this deadline; ``grace`` absorbs fabric sharing/congestion,
+        ``slack`` absorbs latency noise on near-zero-cost steps.
+        """
+        if grace <= 0:
+            raise ValueError("grace must be > 0")
+        return grace * self.step_seconds(kind, nbytes) + slack
 
     # -- fundamental bounds -------------------------------------------------
     def allreduce_lower_bound(self, n_ranks: int, nbytes: float) -> float:

@@ -98,9 +98,19 @@ ALLREDUCE_COMPILERS = {
     "binomial": compile_binomial_allreduce,
 }
 
+#: Structural families of the registered allreduces; the chaos smoke sweep
+#: (CI) covers one representative per family instead of all eight.  The
+#: first name in each tuple is the representative.
+ALLREDUCE_FAMILIES = {
+    "tree": ("multicolor", "binomial"),
+    "ring": ("ring", "rsag", "hierarchical"),
+    "recursive": ("recursive_doubling", "rabenseifner", "openmpi_default"),
+}
+
 __all__ = [
     "ALLREDUCE_ALGORITHMS",
     "ALLREDUCE_COMPILERS",
+    "ALLREDUCE_FAMILIES",
     "DEFAULT_SEGMENT_BYTES",
     "Tree",
     "alltoallv",

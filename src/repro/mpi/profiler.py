@@ -40,6 +40,9 @@ class CollectiveProfile:
     per_rank_sent: dict[int, float] = field(default_factory=dict)
     step_counts: dict[str, int] = field(default_factory=dict)
     n_messages: int = 0
+    #: Per-rank executed/total schedule steps (from the executor's progress
+    #: tracking); a clean profile run completes every step on every rank.
+    steps_completed: dict[int, tuple[int, int]] = field(default_factory=dict)
 
     @property
     def efficiency(self) -> float:
@@ -131,4 +134,8 @@ def profile_allreduce(
         per_rank_sent=sent,
         step_counts=dict(step_counts),
         n_messages=executor.stats.n_messages,
+        steps_completed={
+            r: (executor.progress.steps_done[r], executor.progress.steps_total[r])
+            for r in range(n_ranks)
+        },
     )

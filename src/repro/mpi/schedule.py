@@ -52,6 +52,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from repro.mpi.analytic import (
+    DEFAULT_DEADLINE_GRACE,
+    DEFAULT_DEADLINE_SLACK,
+    AlphaBetaModel,
+)
 from repro.mpi.datatypes import Buffer, SizeBuffer
 from repro.mpi.world import Communicator
 from repro.sim.engine import Interrupt, Process
@@ -60,8 +65,12 @@ __all__ = [
     "CollectiveTelemetry",
     "CollectiveTimeout",
     "CopyStep",
+    "ExecutionProgress",
     "ExecutionStats",
+    "FailureDiagnosis",
     "RankFailure",
+    "StalledStep",
+    "diagnose_execution",
     "RecvReduceStep",
     "ReduceLocalStep",
     "Schedule",
@@ -91,16 +100,31 @@ class RankFailure(RuntimeError):
 
 
 class CollectiveTimeout(RuntimeError):
-    """A collective did not complete within the detection deadline."""
+    """A collective did not complete within the detection deadline.
 
-    def __init__(self, timeout: float, iteration: int, attempts: int):
-        super().__init__(
+    Carries the last :class:`FailureDiagnosis` (when progress tracking ran)
+    so the message names the suspected victim rank and step, not just the
+    elapsed time.
+    """
+
+    def __init__(
+        self,
+        timeout: float,
+        iteration: int,
+        attempts: int,
+        diagnosis: "FailureDiagnosis | None" = None,
+    ):
+        msg = (
             f"collective at iteration {iteration} timed out "
             f"({timeout:g}s simulated) after {attempts} attempt(s)"
         )
+        if diagnosis is not None:
+            msg += f"; {diagnosis}"
+        super().__init__(msg)
         self.timeout = timeout
         self.iteration = iteration
         self.attempts = attempts
+        self.diagnosis = diagnosis
 
 
 # -- IR -----------------------------------------------------------------------
@@ -490,6 +514,237 @@ class ExecutionStats:
     copied_bytes: float = 0.0
 
 
+class ExecutionProgress:
+    """Per-rank, per-step progress bookkeeping for one executor run.
+
+    Pure-Python accounting updated synchronously from inside the strand
+    processes — it adds **no simulation events**, so a tracked run is
+    time-identical to an untracked one (the Figure 5 goldens stay
+    bit-exact).  ``in_flight`` maps the sid of every started-but-unfinished
+    step to ``(step, start_time)``; ``completed`` holds finished sids so the
+    diagnoser can tell a lost message (matching send completed) from an
+    unposted one (sender itself stalled).
+    """
+
+    def __init__(self, schedule: Schedule):
+        n = schedule.n_ranks
+        self.steps_total = [0] * n
+        for s in schedule.steps:
+            self.steps_total[s.rank] += 1
+        self.steps_done = [0] * n
+        self.last_advance = [0.0] * n
+        self.in_flight: dict[int, tuple[Step, float]] = {}
+        self.completed: set[int] = set()
+
+    def begin(self, step: Step, now: float) -> None:
+        self.in_flight[step.sid] = (step, now)
+
+    def finish(self, step: Step, now: float) -> None:
+        self.in_flight.pop(step.sid, None)
+        self.completed.add(step.sid)
+        self.steps_done[step.rank] += 1
+        self.last_advance[step.rank] = now
+
+
+@dataclass(frozen=True)
+class StalledStep:
+    """One blocked receive observed at diagnosis time."""
+
+    rank: int                 # group rank whose strand is blocked
+    sid: int                  # the blocked step
+    kind: str                 # step-class name
+    waiting_on: int           # peer the step is receiving from
+    note: str                 # compiler annotation (segment/chunk metadata)
+    since: float              # when the step started waiting
+    waited: float             # seconds in flight at diagnosis time
+    overdue: float            # waited minus the analytic per-step deadline
+
+
+@dataclass(frozen=True)
+class FailureDiagnosis:
+    """Schedule-level attribution of a stuck collective attempt.
+
+    ``cause`` is one of:
+
+    * ``"message-loss"`` — a blocked receive whose matching send already
+      completed: the payload left the sender eagerly but never arrived
+      (dropped or delayed on the wire).  ``suspect_link`` is the wire.
+    * ``"silent-rank"`` — the cascade of unposted sends traces back to a
+      rank with no blocked receive of its own: it stopped making progress
+      without waiting on anyone (crashed or wedged).
+    * ``"stalled-cycle"`` — the blocked-on graph closes a cycle (only
+      possible for schedules that fail :func:`validate_schedule`).
+    * ``"no-progress"`` — no step is in flight at all.
+    """
+
+    now: float
+    n_ranks: int
+    steps_done: tuple[int, ...]
+    steps_total: tuple[int, ...]
+    stalled: tuple[StalledStep, ...]
+    cause: str
+    suspect_rank: int | None = None
+    suspect_link: tuple[int, int] | None = None
+    suspect_sid: int | None = None
+    suspect_kind: str | None = None
+
+    @property
+    def stalled_ranks(self) -> tuple[int, ...]:
+        """Group ranks that have not finished all their steps."""
+        return tuple(
+            r for r in range(self.n_ranks)
+            if self.steps_done[r] < self.steps_total[r]
+        )
+
+    @property
+    def suspect_step(self) -> str | None:
+        """Human-readable label of the step the stall was observed at."""
+        if self.suspect_kind is None:
+            return None
+        return f"{self.suspect_kind} #{self.suspect_sid}"
+
+    def __str__(self) -> str:
+        behind = self.stalled_ranks
+        progress = ", ".join(
+            f"r{r} {self.steps_done[r]}/{self.steps_total[r]}"
+            for r in behind[:4]
+        )
+        head = (
+            f"{len(behind)}/{self.n_ranks} ranks behind"
+            + (f" ({progress}{', ...' if len(behind) > 4 else ''})" if behind else "")
+        )
+        if self.suspect_rank is None:
+            return f"{head}; no suspect ({self.cause})"
+        link = (
+            f" on link {self.suspect_link[0]}->{self.suspect_link[1]}"
+            if self.suspect_link is not None
+            else ""
+        )
+        step = f" at {self.suspect_step}" if self.suspect_step else ""
+        return f"{head}; suspect rank {self.suspect_rank} ({self.cause}){link}{step}"
+
+
+def diagnose_execution(
+    schedule: Schedule,
+    progress: ExecutionProgress,
+    now: float,
+    *,
+    model: AlphaBetaModel | None = None,
+    grace: float | None = None,
+    slack: float | None = None,
+) -> FailureDiagnosis:
+    """Attribute a stalled run to a suspect rank/link from progress state.
+
+    Blocked receives past their analytic per-step deadline
+    (:meth:`AlphaBetaModel.step_deadline`) are the evidence; attribution
+    distinguishes a payload lost on the wire (matching send completed) from
+    a sender that never posted (cascade traced to its root).  Message
+    matching here is *tolerant* — orphan receives (schedules that would
+    fail the lint) simply stay unmapped instead of raising, because the
+    diagnoser runs on whatever schedule actually got stuck.
+    """
+    model = model if model is not None else AlphaBetaModel()
+    grace = DEFAULT_DEADLINE_GRACE if grace is None else grace
+    slack = DEFAULT_DEADLINE_SLACK if slack is None else slack
+    itemsize = schedule.itemsize if schedule.itemsize else 1
+
+    def _nbytes(step: Step) -> int:
+        if not isinstance(step, ReduceLocalStep) and step.buf is None:
+            return 0
+        return (step.hi - step.lo) * itemsize
+
+    blocked: list[StalledStep] = []
+    for step, since in progress.in_flight.values():
+        if not isinstance(step, (RecvReduceStep, CopyStep)):
+            continue
+        waited = now - since
+        deadline = model.step_deadline(
+            type(step).__name__, _nbytes(step), grace=grace, slack=slack
+        )
+        blocked.append(
+            StalledStep(
+                rank=step.rank,
+                sid=step.sid,
+                kind=type(step).__name__,
+                waiting_on=step.src,
+                note=step.note,
+                since=since,
+                waited=waited,
+                overdue=waited - deadline,
+            )
+        )
+    blocked.sort(key=lambda s: (s.since, s.sid))
+
+    base = dict(
+        now=now,
+        n_ranks=schedule.n_ranks,
+        steps_done=tuple(progress.steps_done),
+        steps_total=tuple(progress.steps_total),
+        stalled=tuple(blocked),
+    )
+
+    if not blocked:
+        behind = [
+            r for r in range(schedule.n_ranks)
+            if progress.steps_done[r] < progress.steps_total[r]
+        ]
+        return FailureDiagnosis(
+            cause="no-progress",
+            suspect_rank=behind[0] if behind else None,
+            **base,
+        )
+
+    # Tolerant runtime message matching: per (src, dst, key) triple the
+    # i-th posted send pairs with the i-th posted receive.
+    sends: dict[tuple[int, int, object], list[int]] = {}
+    recvs: dict[tuple[int, int, object], list[int]] = {}
+    for s in schedule.steps:
+        if isinstance(s, SendStep):
+            sends.setdefault((s.rank, s.dst, s.key), []).append(s.sid)
+        elif isinstance(s, (RecvReduceStep, CopyStep)):
+            recvs.setdefault((s.src, s.rank, s.key), []).append(s.sid)
+    recv_to_send: dict[int, int] = {}
+    for triple, recv_list in recvs.items():
+        for snd, rcv in zip(sends.get(triple, []), recv_list):
+            recv_to_send[rcv] = snd
+
+    hot = [s for s in blocked if s.overdue > 0] or blocked
+
+    lost = [s for s in hot if recv_to_send.get(s.sid) in progress.completed]
+    if lost:
+        pick = lost[0]
+        return FailureDiagnosis(
+            cause="message-loss",
+            suspect_rank=pick.waiting_on,
+            suspect_link=(pick.waiting_on, pick.rank),
+            suspect_sid=pick.sid,
+            suspect_kind=pick.kind,
+            **base,
+        )
+
+    # The matching send was never posted: follow the chain of blocked
+    # receives backwards until it reaches a rank that is not itself
+    # waiting on anyone — that rank went silent.
+    by_rank: dict[int, StalledStep] = {}
+    for s in blocked:  # sorted: keeps each rank's earliest blocked receive
+        by_rank.setdefault(s.rank, s)
+    pick = hot[0]
+    suspect = pick.waiting_on
+    seen = {pick.rank}
+    while suspect not in seen and suspect in by_rank:
+        seen.add(suspect)
+        pick = by_rank[suspect]
+        suspect = pick.waiting_on
+    return FailureDiagnosis(
+        cause="stalled-cycle" if suspect in seen else "silent-rank",
+        suspect_rank=suspect,
+        suspect_link=(suspect, pick.rank),
+        suspect_sid=pick.sid,
+        suspect_kind=pick.kind,
+        **base,
+    )
+
+
 def _bind(bufmap: dict[str, Buffer], name: str | None, lo: int, hi: int) -> Buffer | None:
     if name is None:
         return None
@@ -564,18 +819,25 @@ def _partition_strands(steps):
     return strands
 
 
-def _strand_program(comm, entries, bufmap, tag, stats, done):
+def _strand_program(comm, entries, bufmap, tag, stats, done, progress=None):
     """One sim process per strand: run its steps back-to-back.
 
     ``done`` maps the sids that other strands depend on to completion
     events; a step waits on its cross-strand deps before running and
     triggers its own event (if anyone waits on it) right after — the same
     single event hand-off the legacy generators used between phases.
+    ``progress`` (when given) is notified synchronously as each step starts
+    and finishes; the calls add no events, so timing is unchanged.
     """
+    engine = comm.engine
     for step, cross in entries:
         for d in cross:
             yield done[d]  # already-triggered events resume immediately
+        if progress is not None:
+            progress.begin(step, engine.now)
         yield from _perform_step(comm, step, bufmap, tag, stats)
+        if progress is not None:
+            progress.finish(step, engine.now)
         ev = done.get(step.sid)
         if ev is not None:
             ev.succeed()
@@ -588,6 +850,7 @@ def _spawn_rank_steps(
     bufmap: dict[str, Buffer],
     tag: object,
     stats: ExecutionStats | None,
+    progress: ExecutionProgress | None = None,
 ) -> list[Process]:
     """Create one process per dependency strand owned by ``rank``."""
     engine = comm.engine
@@ -599,7 +862,7 @@ def _spawn_rank_steps(
                 done.setdefault(d, engine.event())
     return [
         engine.process(
-            _strand_program(comm, entries, bufmap, tag, stats, done),
+            _strand_program(comm, entries, bufmap, tag, stats, done, progress),
             name=f"sx{entries[0][0].sid}-r{rank}",
         )
         for entries in strands
@@ -698,6 +961,8 @@ class ScheduleExecutor:
         self.stats = ExecutionStats(
             per_rank_sent={r: 0.0 for r in range(comm.size)}
         )
+        #: Per-step progress the attribution layer diagnoses stalls from.
+        self.progress = ExecutionProgress(schedule)
         self.rank_procs: list[Process] = []
         self._done = None
 
@@ -710,7 +975,7 @@ class ScheduleExecutor:
         for rank in range(self.comm.size):
             step_procs = _spawn_rank_steps(
                 self.comm, rank, self.schedule, self.bufmaps[rank],
-                self.tag, self.stats,
+                self.tag, self.stats, self.progress,
             )
             self.rank_procs.append(
                 engine.process(_rank_proxy(engine, step_procs), name=f"sxr{rank}")
@@ -737,17 +1002,43 @@ class ScheduleExecutor:
         engine.run(done)
         return engine.now - start
 
+    def diagnose(
+        self,
+        *,
+        model: AlphaBetaModel | None = None,
+        grace: float | None = None,
+        slack: float | None = None,
+    ) -> FailureDiagnosis:
+        """Attribute the current stall (see :func:`diagnose_execution`)."""
+        return diagnose_execution(
+            self.schedule, self.progress, self.comm.engine.now,
+            model=model, grace=grace, slack=slack,
+        )
+
 
 # -- guarded execution (watchdog / retry / fault arming) ----------------------
 
 @dataclass
 class CollectiveTelemetry:
-    """What one guarded collective cost: time, retries, faults observed."""
+    """What one guarded collective cost: time, retries, faults observed.
+
+    ``diagnoses`` collects one :class:`FailureDiagnosis` per watchdog
+    timeout; ``repaired_ranks`` lists the *group rank at failure time* of
+    every victim surgically repaired around (in repair order — callers
+    replay the pops against their own slot bookkeeping).
+    """
 
     sim_time: float = 0.0
     retries: int = 0
     backoff: float = 0.0
     fault_events: list = field(default_factory=list)
+    diagnoses: list = field(default_factory=list)
+    repaired_ranks: list = field(default_factory=list)
+
+    @property
+    def repairs(self) -> int:
+        """Surgical in-attempt repairs performed (permanent rank losses)."""
+        return len(self.repaired_ranks)
 
 
 def run_guarded(
@@ -762,6 +1053,9 @@ def run_guarded(
     fault_injector=None,
     iteration: int = 0,
     telemetry: CollectiveTelemetry | None = None,
+    repair: bool = False,
+    model: AlphaBetaModel | None = None,
+    deadline_grace: float | None = None,
     **compile_kwargs,
 ) -> tuple[list[Buffer], CollectiveTelemetry]:
     """Run one collective under a watchdog with bounded-backoff retries.
@@ -770,15 +1064,29 @@ def run_guarded(
     ``DistributedSGDTrainer._allreduce``, hoisted to the executor layer so
     every schedule-compiled collective gets it for free:
 
-    * each attempt builds a fresh world and fresh buffers
-      (``make_buffers()``), compiles via ``compiler(n, count, itemsize,
-      **compile_kwargs)`` (cached), arms ``fault_injector`` against the
-      executor's rank proxies, and races completion against ``timeout``;
-    * a transient timeout retries up to ``max_retries`` times with
-      exponential backoff (accounted in simulated time), then raises
-      :class:`CollectiveTimeout`;
-    * a crash surfaces as :class:`RankFailure` — policy (elastic shrink,
-      abort, ...) stays with the caller.
+    * ``make_buffers()`` is called **once**; each rank's input is
+      snapshotted up front and restored before every re-run.  A retried
+      attempt therefore starts from the pristine inputs even when the
+      previous attempt had already merged partial ``RecvReduceStep``
+      results into the buffers — without the restore, a re-run
+      double-reduces those segments and silently corrupts the sum;
+    * each attempt builds a fresh world, compiles via ``compiler(n, count,
+      itemsize, **compile_kwargs)`` (cached), arms ``fault_injector``
+      against the executor's rank proxies, and races completion against
+      ``timeout``;
+    * a watchdog timeout records a :class:`FailureDiagnosis` from the
+      executor's progress state (naming the suspected victim rank/link)
+      and retries up to ``max_retries`` times with exponential backoff
+      (accounted in simulated time), then raises
+      :class:`CollectiveTimeout` carrying the last diagnosis;
+    * a crash surfaces as :class:`RankFailure`.  With ``repair=False``
+      (default) the failure propagates — policy stays with the caller.
+      With ``repair=True`` the diagnosed victim is repaired *surgically*:
+      its buffer and snapshot are dropped, the collective is recompiled
+      for the survivor group, and the same guarded attempt resumes from
+      the restored inputs.  Repairs consume no retry budget (a diagnosed
+      permanent loss is not a suspected transient) and are reported in
+      ``telemetry.repaired_ranks``.
 
     Returns ``(buffers, telemetry)`` for the successful attempt;
     ``telemetry`` is updated in place even when an exception is raised, so
@@ -787,10 +1095,16 @@ def run_guarded(
     from repro.mpi.runner import build_world  # local import: avoids a cycle
 
     telemetry = telemetry if telemetry is not None else CollectiveTelemetry()
+    buffers = list(make_buffers())
+    snapshots = [b.extract() for b in buffers]
     attempts = 0
     backoff = retry_backoff
+    dirty = False  # buffers may hold partial results from a failed run
     while True:
-        buffers = make_buffers()
+        if dirty:
+            for buf, snap in zip(buffers, snapshots):
+                buf.copy_(snap)
+            dirty = False
         n = len(buffers)
         if n == 1:
             return buffers, telemetry
@@ -802,6 +1116,7 @@ def run_guarded(
         if fault_injector is not None:
             fault_injector.arm(engine, world, executor.rank_procs, iteration)
         deadline = engine.timeout(timeout)
+        dirty = True
         try:
             engine.run(engine.any_of([done, deadline]))
         except Interrupt as exc:
@@ -809,6 +1124,14 @@ def run_guarded(
             if fault_injector is not None:
                 telemetry.fault_events.extend(fault_injector.events_since(mark))
             cause = exc.cause
+            if isinstance(cause, RankFailure) and repair:
+                # Surgical repair: drop the diagnosed victim's buffer and
+                # snapshot, recompile for the survivor communicator, and
+                # resume within this guarded attempt.
+                telemetry.repaired_ranks.append(cause.rank)
+                del buffers[cause.rank]
+                del snapshots[cause.rank]
+                continue
             if isinstance(cause, RankFailure):
                 raise cause from exc
             raise
@@ -817,12 +1140,15 @@ def run_guarded(
             telemetry.fault_events.extend(fault_injector.events_since(mark))
         if done.triggered:
             return buffers, telemetry
-        # Watchdog fired first: transient fault suspected — retry with
+        # Watchdog fired first: diagnose the stall from the executor's
+        # progress state, then retry (transient fault suspected) with
         # bounded exponential backoff (accounted in simulated time).
+        diagnosis = executor.diagnose(model=model, grace=deadline_grace)
+        telemetry.diagnoses.append(diagnosis)
         attempts += 1
         telemetry.retries += 1
         if attempts > max_retries:
-            raise CollectiveTimeout(timeout, iteration, attempts)
+            raise CollectiveTimeout(timeout, iteration, attempts, diagnosis)
         telemetry.backoff += backoff
         telemetry.sim_time += backoff
         backoff *= 2

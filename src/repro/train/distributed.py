@@ -46,7 +46,7 @@ from repro.mpi.collectives import ALLREDUCE_ALGORITHMS, ALLREDUCE_COMPILERS
 from repro.mpi.datatypes import ArrayBuffer, chunk_ranges
 from repro.mpi.runner import build_world
 from repro.mpi.schedule import CollectiveTelemetry, RankFailure, run_guarded
-from repro.train.injection import FaultInjector, FaultPlan
+from repro.train.injection import FaultEvent, FaultInjector, FaultPlan
 from repro.train.schedule import WarmupStepSchedule
 from repro.utils.rng import rng_for
 
@@ -91,6 +91,7 @@ class DistributedSGDTrainer:
         retry_backoff: float = 0.5,
         lr_rescale: str = "linear",
         reshuffle_on_shrink: bool = True,
+        collective_repair: str = "surgical",
     ):
         """
         Parameters
@@ -126,6 +127,13 @@ class DistributedSGDTrainer:
         reshuffle_on_shrink:
             After absorbing a dead learner's records, rebalance survivor
             partitions with the Algorithm 2 distributed shuffle.
+        collective_repair:
+            ``"surgical"`` (default) repairs a diagnosed permanent rank
+            loss inside the guarded collective — the survivor group is
+            recompiled and the attempt resumes from snapshotted inputs,
+            then the trainer absorbs the dead learner's state afterwards.
+            ``"restart"`` keeps the legacy path: the failure bubbles up and
+            the whole collective restarts after the elastic shrink.
         """
         if not stores:
             raise ValueError("need at least one learner store")
@@ -145,6 +153,8 @@ class DistributedSGDTrainer:
             )
         if lr_rescale not in ("linear", "none"):
             raise ValueError(f"unknown lr_rescale {lr_rescale!r}")
+        if collective_repair not in ("surgical", "restart"):
+            raise ValueError(f"unknown collective_repair {collective_repair!r}")
         if collective_timeout <= 0:
             raise ValueError("collective_timeout must be positive")
         if max_retries < 0 or retry_backoff < 0:
@@ -163,6 +173,7 @@ class DistributedSGDTrainer:
         self.retry_backoff = retry_backoff
         self.lr_rescale = lr_rescale
         self.reshuffle_on_shrink = reshuffle_on_shrink
+        self.collective_repair = collective_repair
         self.fault_injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
@@ -350,10 +361,12 @@ class DistributedSGDTrainer:
         """
         if self.reducer == "exact" or self.n_learners == 1:
             return np.sum(grads, axis=0), len(grads)
-        # The watchdog/retry/fault-arming loop lives at the executor layer
-        # (run_guarded); the trainer keeps only the elastic-shrink policy.
+        # The watchdog/retry/diagnosis/repair loop lives at the executor
+        # layer (run_guarded); the trainer keeps only the shrink policy.
         compiler = ALLREDUCE_COMPILERS[self.reducer]
         telemetry = CollectiveTelemetry()
+        surgical = self.collective_repair == "surgical"
+        repaired_handled = 0
         try:
             while True:
                 try:
@@ -368,10 +381,17 @@ class DistributedSGDTrainer:
                         fault_injector=self.fault_injector,
                         iteration=self.iteration,
                         telemetry=telemetry,
+                        repair=surgical,
                     )
                 except RankFailure as failure:
+                    # restart mode: full shrink, then rerun from scratch.
                     grads = self._shrink(failure.rank, grads)
                     continue
+                # surgical mode: the collective already completed on the
+                # survivor group — absorb each victim's learner state now.
+                for victim in telemetry.repaired_ranks[repaired_handled:]:
+                    repaired_handled += 1
+                    self._shrink_state(victim)
                 return buffers[0].array, len(buffers)
         finally:
             stats = self._step_stats
@@ -379,15 +399,36 @@ class DistributedSGDTrainer:
             stats.retries += telemetry.retries
             stats.backoff += telemetry.backoff
             stats.fault_events.extend(telemetry.fault_events)
+            # Surface each watchdog diagnosis in the fault log, named after
+            # the suspected victim rank and step.
+            for diag in telemetry.diagnoses:
+                event = FaultEvent(
+                    "stall", self.iteration, diag.suspect_rank, diag.now,
+                    str(diag), step=diag.suspect_step,
+                )
+                stats.fault_events.append(event)
+                if self.fault_injector is not None:
+                    self.fault_injector.record(event)
 
     def _shrink(self, lost_slot: int, grads: list[np.ndarray]) -> list[np.ndarray]:
-        """Elastic recovery from a permanent rank loss.
+        """Elastic recovery from a permanent rank loss (restart mode).
+
+        The lost learner's gradient contribution for the current iteration
+        is gone — the global batch shrinks for good — and the collective
+        restarts from scratch on the survivors.
+        """
+        self._shrink_state(lost_slot)
+        return [g for slot, g in enumerate(grads) if slot != lost_slot]
+
+    def _shrink_state(self, lost_slot: int) -> None:
+        """Absorb a dead learner's state into the survivors.
 
         The dead learner's DIMD records are dealt contiguously to the
         survivors (then rebalanced with the Algorithm 2 shuffle), its table
         is released, and the LR schedule is rescaled to the new effective
-        batch.  The lost learner's gradient contribution for the current
-        iteration is gone — the global batch shrinks for good.
+        batch.  ``lost_slot`` is the victim's slot (group rank) at failure
+        time — in surgical mode the executor reports victims in repair
+        order, so sequential pops here stay aligned with its group ranks.
         """
         if self.n_learners <= 1:
             raise RankFailure(lost_slot)  # nobody left to recover on
@@ -407,7 +448,6 @@ class DistributedSGDTrainer:
             prev_workers = self.schedule.n_workers
             new_workers = max(1, round(prev_workers * survivors / (survivors + 1)))
             self.schedule = replace(self.schedule, n_workers=new_workers)
-        return [g for slot, g in enumerate(grads) if slot != lost_slot]
 
     def _apply_update(self, mean_grad: np.ndarray, lr: float) -> None:
         """The identical SGD step every GPU performs."""

@@ -131,11 +131,13 @@ def delay_messages(
     seconds: float,
     rank: int | None = None,
     count: int = 1,
+    at: float = 0.0,
     max_firings: int = 1,
 ) -> FaultSpec:
-    """Hold the next ``count`` messages (from ``rank``, or any sender)."""
+    """Hold the next ``count`` messages (from ``rank``, or any sender)
+    posted at or after ``at`` seconds into the collective."""
     return FaultSpec(
-        "delay", iteration, rank=rank, seconds=seconds, count=count,
+        "delay", iteration, rank=rank, seconds=seconds, count=count, at=at,
         max_firings=max_firings,
     )
 
@@ -145,11 +147,14 @@ def drop_messages(
     *,
     rank: int | None = None,
     count: int = 1,
+    at: float = 0.0,
     max_firings: int = 1,
 ) -> FaultSpec:
-    """Lose the next ``count`` message payloads in transit."""
+    """Lose the next ``count`` message payloads (from ``rank``, or any
+    sender) posted at or after ``at`` seconds into the collective."""
     return FaultSpec(
-        "drop", iteration, rank=rank, count=count, max_firings=max_firings,
+        "drop", iteration, rank=rank, count=count, at=at,
+        max_firings=max_firings,
     )
 
 
@@ -183,17 +188,27 @@ class FaultPlan:
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One fault that actually fired (for metrics and logs)."""
+    """One fault that actually fired (for metrics and logs).
+
+    ``rank`` names the suspected/affected rank; ``step`` (when known) the
+    schedule step the fault was observed at, e.g. ``"RecvReduceStep #17"``
+    for a diagnosed stall.
+    """
 
     kind: str
     iteration: int
     rank: int | None
     t: float
     detail: str
+    step: str | None = None
 
     def __str__(self) -> str:
         who = "any" if self.rank is None else f"rank {self.rank}"
-        return f"{self.kind}[{who}]@it{self.iteration}+{self.t:.3g}s {self.detail}"
+        at_step = f" at {self.step}" if self.step else ""
+        return (
+            f"{self.kind}[{who}]@it{self.iteration}+{self.t:.3g}s"
+            f"{at_step} {self.detail}"
+        )
 
 
 class FaultInjector:
@@ -209,6 +224,10 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.events: list[FaultEvent] = []
+        # Largest group this injector has ever been armed against; ranks
+        # valid for an earlier, larger group are *stale* after a shrink
+        # (their target is gone), not errors.
+        self._max_group: int | None = None
 
     def arm(
         self,
@@ -217,10 +236,25 @@ class FaultInjector:
         procs: list[Process],
         iteration: int,
     ) -> None:
-        specs = self.plan.live_specs(iteration)
-        if not specs:
+        group = len(procs)
+        live = []
+        for spec in self.plan.live_specs(iteration):
+            if spec.rank is not None and not 0 <= spec.rank < group:
+                if self._max_group is not None and spec.rank < self._max_group:
+                    # Shrink-then-rearm: the spec addressed a group rank
+                    # that existed before the group shrank — skip quietly.
+                    continue
+                raise ValueError(
+                    f"fault spec {spec.kind!r} targets rank {spec.rank}, but "
+                    f"the armed group has {group} rank(s) (group ranks "
+                    f"0..{group - 1}); specs address group ranks at arm "
+                    "time, not world ranks"
+                )
+            live.append(spec)
+        self._max_group = max(self._max_group or 0, group)
+        if not live:
             return
-        armed = _ArmedFaults(self, engine, world, procs, specs, iteration)
+        armed = _ArmedFaults(self, engine, world, procs, live, iteration)
         if armed.message_specs:
             world.fault_controller = armed
 
@@ -251,14 +285,11 @@ class _ArmedFaults:
         self.message_specs: list[FaultSpec] = []
         # Per-attempt budget of messages each delay/drop spec may hit.
         self._budget: dict[int, int] = {}
+        # Rank bounds were validated (or stale specs skipped) at arm time.
         for spec in specs:
             if spec.kind == "crash":
-                if not 0 <= spec.rank < len(procs):
-                    continue  # target already gone (world shrank)
                 engine.process(self._crash_watch(spec), name=f"fault-crash{spec.rank}")
             elif spec.kind == "degrade":
-                if not 0 <= spec.rank < world.n_ranks:
-                    continue  # target already gone (world shrank)
                 engine.process(
                     self._degrade_watch(spec), name=f"fault-degrade{spec.rank}"
                 )

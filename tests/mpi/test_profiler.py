@@ -15,6 +15,9 @@ def test_profile_basic_fields():
     assert 0 < p.efficiency <= 1.0
     assert p.wire_amplification > 1.0
     assert len(p.per_rank_sent) == 8
+    # A clean profiled run finished every rank's schedule slice.
+    assert len(p.steps_completed) == 8
+    assert all(done == total > 0 for done, total in p.steps_completed.values())
 
 
 def test_multicolor_uses_more_core_than_contiguous_ring():

@@ -363,3 +363,134 @@ def test_send_step_type_is_exported():
     assert isinstance(
         _reduce_to_root_schedule().steps[0], SendStep
     )
+
+
+# -- failure attribution and surgical repair ----------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ALLREDUCE_COMPILERS))
+def test_drop_retry_is_bit_exact(name):
+    """A dropped message forces a watchdog retry; the retried attempt must
+    start from pristine inputs (snapshot restore), not the half-reduced
+    buffers the aborted attempt left behind."""
+    from repro.train.injection import FaultInjector, FaultPlan, drop_messages
+
+    rng = np.random.default_rng(7)
+    arrays = [
+        rng.integers(-(2**31), 2**31, size=24).astype(np.int64)
+        for _ in range(4)
+    ]
+    injector = FaultInjector(FaultPlan([drop_messages(0, rank=1, count=1)]))
+    buffers, telemetry = run_guarded(
+        ALLREDUCE_COMPILERS[name],
+        lambda: [ArrayBuffer(a.copy()) for a in arrays],
+        timeout=5.0,
+        max_retries=2,
+        retry_backoff=0.1,
+        fault_injector=injector,
+        iteration=0,
+    )
+    assert telemetry.retries == 1  # the drop fired and cost one attempt
+    expected = np.sum(arrays, axis=0)
+    for buf in buffers:
+        np.testing.assert_array_equal(buf.array, expected)
+
+
+def test_timeout_diagnosis_names_dropping_sender():
+    from repro.train.injection import FaultInjector, FaultPlan, drop_messages
+
+    injector = FaultInjector(
+        FaultPlan([drop_messages(0, rank=2, count=1, max_firings=10)])
+    )
+    make = lambda: [ArrayBuffer(np.full(8, r, dtype=np.int64)) for r in range(4)]
+    with pytest.raises(CollectiveTimeout) as exc:
+        run_guarded(
+            ALLREDUCE_COMPILERS["ring"],
+            make,
+            timeout=1.0,
+            max_retries=1,
+            retry_backoff=0.1,
+            fault_injector=injector,
+        )
+    diag = exc.value.diagnosis
+    assert diag is not None
+    assert diag.cause == "message-loss"
+    assert diag.suspect_rank == 2
+    assert diag.suspect_step is not None
+    msg = str(exc.value)
+    assert "timed out" in msg
+    assert "suspect rank 2" in msg
+    assert "message-loss" in msg
+
+
+def test_timeout_diagnosis_for_never_posted_send():
+    """An orphan receive (its sender never posts) is attributed to the
+    silent peer, not the rank that is visibly stuck."""
+
+    def stuck_compiler(n, count, itemsize):
+        b = ScheduleBuilder(n, name="stuck", count=count, itemsize=itemsize)
+        b.recv_reduce(0, 1, "never", 0, count)
+        return b.build()
+
+    with pytest.raises(CollectiveTimeout) as exc:
+        run_guarded(
+            stuck_compiler,
+            lambda: [SizeBuffer(4, 4), SizeBuffer(4, 4)],
+            timeout=0.5,
+            max_retries=0,
+            retry_backoff=0.1,
+        )
+    diag = exc.value.diagnosis
+    assert diag is not None
+    assert diag.cause == "silent-rank"
+    assert diag.suspect_rank == 1
+    assert diag.stalled_ranks == (0,)
+    assert diag.stalled[0].kind == "RecvReduceStep"
+
+
+def test_surgical_repair_continues_with_survivors():
+    from repro.train.injection import FaultInjector, FaultPlan, crash
+
+    arrays = [np.full(8, r + 1, dtype=np.int64) for r in range(4)]
+    injector = FaultInjector(FaultPlan([crash(1, 0)]))
+    buffers, telemetry = run_guarded(
+        ALLREDUCE_COMPILERS["multicolor"],
+        lambda: [ArrayBuffer(a.copy()) for a in arrays],
+        timeout=5.0,
+        fault_injector=injector,
+        repair=True,
+    )
+    assert telemetry.repaired_ranks == [1]
+    assert telemetry.repairs == 1
+    assert telemetry.retries == 0  # repair happens inside the same attempt
+    assert len(buffers) == 3
+    expected = arrays[0] + arrays[2] + arrays[3]
+    for buf in buffers:
+        np.testing.assert_array_equal(buf.array, expected)
+
+
+def test_rank_failure_propagates_without_repair():
+    from repro.mpi.schedule import RankFailure
+    from repro.train.injection import FaultInjector, FaultPlan, crash
+
+    injector = FaultInjector(FaultPlan([crash(1, 0)]))
+    with pytest.raises(RankFailure):
+        run_guarded(
+            ALLREDUCE_COMPILERS["ring"],
+            lambda: [ArrayBuffer(np.ones(8, dtype=np.int64)) for _ in range(4)],
+            timeout=5.0,
+            fault_injector=injector,
+        )
+
+
+def test_executor_progress_counters_reach_totals():
+    sched = ALLREDUCE_COMPILERS["ring"](4, 8, 8)
+    bufs = [ArrayBuffer(np.full(8, r, dtype=np.int64)) for r in range(4)]
+    engine, world, comm = build_world(4, topology="star")
+    executor = ScheduleExecutor(comm, sched, bufs)
+    executor.run()
+    progress = executor.progress
+    for r in range(4):
+        assert progress.steps_done[r] == progress.steps_total[r] > 0
+    assert progress.in_flight == {}
+    assert len(progress.completed) == len(sched.steps)

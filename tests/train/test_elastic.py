@@ -160,6 +160,47 @@ def test_crash_mid_training_completes_on_survivors():
     assert faulted_tail == pytest.approx(clean_tail, rel=1.0)
 
 
+def test_surgical_and_restart_repair_agree_bit_exactly():
+    """``collective_repair="surgical"`` (in-attempt recompile for the
+    survivors) and ``"restart"`` (raise, shrink, rerun the collective)
+    must produce identical parameters — the repair strategy is an
+    operational knob, not a numerics knob."""
+    crash_at, steps = 3, 8
+    surgical = make_trainer(n=4, plan=FaultPlan([crash(1, crash_at)]))
+    restart = make_trainer(
+        n=4, plan=FaultPlan([crash(1, crash_at)]),
+        collective_repair="restart",
+    )
+    assert surgical.collective_repair == "surgical"  # the default
+    for _ in range(steps):
+        surgical.step()
+        restart.step()
+    assert surgical.n_learners == restart.n_learners == 3
+    assert surgical.learner_ids == restart.learner_ids == [0, 2, 3]
+    np.testing.assert_array_equal(surgical.params(), restart.params())
+    surgical.check_synchronized()
+    restart.check_synchronized()
+
+
+def test_invalid_collective_repair_rejected():
+    with pytest.raises(ValueError, match="collective_repair"):
+        make_trainer(collective_repair="hope")
+
+
+def test_stall_diagnosis_surfaces_in_fault_log():
+    """Each watchdog retry appends a 'stall' fault event naming the
+    suspected victim rank and schedule step."""
+    plan = FaultPlan([drop_messages(0, rank=1, count=1)])
+    trainer = make_trainer(plan=plan, retry_backoff=0.5, max_retries=3)
+    r = trainer.step()
+    assert r.retries == 1
+    stalls = [f for f in r.faults if f.startswith("stall")]
+    assert len(stalls) == 1
+    assert "rank 1" in stalls[0]
+    assert "Step #" in stalls[0]  # names the schedule step
+    trainer.check_synchronized()
+
+
 def test_crash_rescales_schedule_linearly():
     sched = WarmupStepSchedule(
         batch_per_gpu=4, n_workers=4, warmup_epochs=0.0

@@ -13,6 +13,7 @@ from repro.mpi.runner import build_world
 from repro.net.params import LinkParams, NetworkParams
 from repro.sim.engine import Interrupt
 from repro.train.injection import (
+    FaultEvent,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -233,13 +234,53 @@ def test_injected_degrade_slows_but_completes():
     assert [ev.kind for ev in injector.events] == ["degrade"]
 
 
-def test_spec_for_vanished_rank_is_skipped():
-    """After an elastic shrink the world is smaller; stale specs
-    targeting ranks that no longer exist must be ignored, not crash."""
-    engine, injector, procs, buffers = _armed_allreduce(3, [crash(7, 0)])
-    engine.run(engine.all_of(procs))  # completes: no fault armed
+def _arm_world(injector, n_ranks, iteration, nelem=64):
+    """Arm an existing injector against a freshly built collective."""
+    from repro.mpi.collectives import ALLREDUCE_ALGORITHMS
+
+    engine, world, comm = build_world(n_ranks, topology="star")
+    program = ALLREDUCE_ALGORITHMS["multicolor"]
+    buffers = [ArrayBuffer(np.full(nelem, float(r))) for r in range(n_ranks)]
+    procs = [
+        engine.process(program(comm, r, buffers[r], tag="t"), name=f"r{r}")
+        for r in range(n_ranks)
+    ]
+    injector.arm(engine, world, procs, iteration)
+    return engine, procs, buffers
+
+
+def test_arm_rejects_out_of_range_rank_with_clear_error():
+    """A spec rank the armed group never had is a user error, caught at
+    arm time (not just construction time) with an actionable message."""
+    with pytest.raises(ValueError, match="armed group has 3 rank"):
+        _armed_allreduce(3, [crash(7, 0)])
+
+
+def test_stale_spec_after_shrink_is_skipped():
+    """Shrink-then-rearm: a spec addressing a rank of the *previous*,
+    larger group is stale after the shrink (its target is gone) and must
+    be skipped quietly, not raise."""
+    injector = FaultInjector(FaultPlan([crash(3, 1)]))
+    engine, procs, _ = _arm_world(injector, 4, iteration=0)  # records group=4
+    engine.run(engine.all_of(procs))
+    assert injector.events == []
+    engine, procs, _ = _arm_world(injector, 3, iteration=1)  # group shrank
+    engine.run(engine.all_of(procs))  # completes: stale spec skipped
     assert injector.events == []
     assert not injector.plan.specs[0].exhausted
+
+
+def test_shrunken_group_rank_is_still_a_valid_target():
+    """Group rank != world rank after a shrink: a spec for rank 2 of the
+    shrunken 3-rank group arms against slot 2 of the current group."""
+    injector = FaultInjector(FaultPlan([crash(2, 1)]))
+    engine, procs, _ = _arm_world(injector, 4, iteration=0)
+    engine.run(engine.all_of(procs))
+    engine, procs, _ = _arm_world(injector, 3, iteration=1)
+    with pytest.raises(Interrupt) as exc_info:
+        engine.run(engine.all_of(procs))
+    assert isinstance(exc_info.value.cause, RankFailure)
+    assert exc_info.value.cause.rank == 2
 
 
 def test_injector_event_log_and_since():
@@ -251,3 +292,42 @@ def test_injector_event_log_and_since():
     assert injector.events_since(1) == injector.events[1:]
     assert all(ev.kind == "delay" for ev in injector.events)
     assert "held" in str(injector.events[0])
+
+
+def test_events_since_orders_events_across_retried_attempts():
+    """One drop per attempt for two attempts: the log keeps attempt order,
+    events_since slices it consistently, and every watchdog diagnosis
+    names the dropping sender."""
+    from repro.mpi.collectives import ALLREDUCE_COMPILERS
+    from repro.mpi.schedule import run_guarded
+
+    injector = FaultInjector(
+        FaultPlan([drop_messages(0, rank=1, count=1, max_firings=2)])
+    )
+    arrays = [np.full(8, float(r + 1)) for r in range(4)]
+    buffers, telemetry = run_guarded(
+        ALLREDUCE_COMPILERS["ring"],
+        lambda: [ArrayBuffer(a.copy()) for a in arrays],
+        timeout=5.0,
+        max_retries=3,
+        retry_backoff=0.5,
+        fault_injector=injector,
+        iteration=0,
+    )
+    # Two dropped attempts, then a clean third: two events in attempt order.
+    assert [ev.kind for ev in injector.events] == ["drop", "drop"]
+    assert telemetry.fault_events == injector.events
+    assert injector.events_since(0) == injector.events
+    assert injector.events_since(1) == injector.events[1:]
+    assert injector.events_since(2) == []
+    assert telemetry.retries == 2
+    assert telemetry.backoff == pytest.approx(0.5 + 1.0)
+    assert [d.suspect_rank for d in telemetry.diagnoses] == [1, 1]
+    np.testing.assert_array_equal(buffers[0].array, np.sum(arrays, axis=0))
+
+
+def test_fault_event_str_names_rank_and_step():
+    ev = FaultEvent("stall", 2, 1, 0.5, "suspected victim", step="RecvReduceStep #7")
+    s = str(ev)
+    assert "rank 1" in s
+    assert "RecvReduceStep #7" in s
