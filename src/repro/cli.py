@@ -11,6 +11,7 @@ Examples::
     python -m repro trees --ranks 8 --colors 4
     python -m repro faults --learners 4 --crash-rank 1 --crash-at 4
     python -m repro chaos --ranks 4 --algorithms smoke
+    python -m repro chaos --collective shuffle --ranks 4
     python -m repro fig5
 """
 
@@ -97,14 +98,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep every schedule-level fault point and check the "
              "no-deadlock / bit-exactness / telemetry invariants",
     )
+    p.add_argument("--collective", default="allreduce",
+                   choices=("allreduce", "shuffle"),
+                   help="which collective to sweep: the gradient allreduce "
+                        "(control plane) or the DIMD shuffle (data plane)")
     p.add_argument("--ranks", type=int, nargs="+", default=[4],
                    help="group sizes to sweep")
     p.add_argument("--algorithms", default="smoke",
-                   help="'smoke' (one per family), 'all', or a comma list")
-    p.add_argument("--kinds", default="crash,drop,delay",
-                   help="comma list of fault kinds to inject")
+                   help="allreduce only: 'smoke' (one per family), 'all', "
+                        "or a comma list")
+    p.add_argument("--kinds", default=None,
+                   help="comma list of fault kinds to inject (default: "
+                        "crash,drop,delay for allreduce; "
+                        "crash,drop,delay,corrupt for shuffle)")
     p.add_argument("--count", type=int, default=24,
-                   help="elements per rank buffer")
+                   help="allreduce only: elements per rank buffer")
     p.add_argument("--max-points", type=int, default=None,
                    help="cap fault points per rank (evenly subsampled)")
     return parser
@@ -340,8 +348,31 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.mpi.chaos import chaos_sweep, smoke_algorithms
+    from repro.mpi.chaos import (
+        DEFAULT_KINDS,
+        SHUFFLE_KINDS,
+        chaos_sweep,
+        shuffle_chaos_sweep,
+        smoke_algorithms,
+    )
     from repro.mpi.collectives import ALLREDUCE_COMPILERS
+
+    if args.collective == "shuffle":
+        kinds = (
+            SHUFFLE_KINDS
+            if args.kinds is None
+            else tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        )
+        try:
+            report = shuffle_chaos_sweep(
+                tuple(args.ranks), kinds=kinds,
+                max_points_per_rank=args.max_points,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(report.format())
+        return 0 if report.all_ok else 1
 
     if args.algorithms == "smoke":
         algorithms = smoke_algorithms()
@@ -357,7 +388,11 @@ def _cmd_chaos(args) -> int:
             file=sys.stderr,
         )
         return 2
-    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    kinds = (
+        DEFAULT_KINDS
+        if args.kinds is None
+        else tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    )
     try:
         report = chaos_sweep(
             algorithms, tuple(args.ranks), kinds=kinds, count=args.count,

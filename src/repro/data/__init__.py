@@ -13,6 +13,12 @@ Full-scale ImageNet-1k/22k *byte counts* (for the timing studies) come from
 """
 
 from repro.data.codec import decode_image, encode_image
+from repro.data.integrity import (
+    RecordCorrupt,
+    ShuffleIntegrityError,
+    multiset_digest,
+    record_crc,
+)
 from repro.data.records import RecordReader, RecordWriter, write_record_file
 from repro.data.synthetic import (
     IMAGENET_1K,
@@ -21,8 +27,20 @@ from repro.data.synthetic import (
     SyntheticImageDataset,
     build_synthetic_record_file,
 )
-from repro.data.dimd import DIMDStore, GroupLayout, partitioned_load
-from repro.data.shuffle import ShuffleReport, distributed_shuffle, simulate_shuffle
+from repro.data.dimd import (
+    DIMDStore,
+    GroupLayout,
+    QuarantinedRecord,
+    deal_records,
+    partitioned_load,
+)
+from repro.data.shuffle import (
+    ShuffleProgress,
+    ShuffleReport,
+    distributed_shuffle,
+    simulate_shuffle,
+)
+from repro.data.guard import diagnose_shuffle, run_shuffle_guarded
 from repro.data.filestore import FileBackedLoader
 from repro.data.memory import MemoryPlan, max_replication_groups, plan_memory
 from repro.data.augment import augment_batch, normalize_batch
@@ -35,19 +53,28 @@ __all__ = [
     "IMAGENET_1K",
     "IMAGENET_22K",
     "MemoryPlan",
+    "QuarantinedRecord",
+    "RecordCorrupt",
     "RecordReader",
     "RecordWriter",
+    "ShuffleIntegrityError",
+    "ShuffleProgress",
     "ShuffleReport",
     "SyntheticImageDataset",
     "augment_batch",
     "build_synthetic_record_file",
+    "deal_records",
     "decode_image",
+    "diagnose_shuffle",
     "distributed_shuffle",
     "encode_image",
     "max_replication_groups",
+    "multiset_digest",
     "normalize_batch",
     "plan_memory",
     "partitioned_load",
+    "record_crc",
+    "run_shuffle_guarded",
     "simulate_shuffle",
     "write_record_file",
 ]

@@ -14,6 +14,17 @@ ii)  **Random in-memory batch load** (:meth:`DIMDStore.random_batch`) —
      each learner with its own seeded RNG as in Algorithm 1.
 
 iii) **Shuffle across learners** — in :mod:`repro.data.shuffle`.
+
+The store also carries the machinery the crash-safe shuffle needs:
+
+* a per-record CRC32 column (:attr:`DIMDStore.checksums`) so at-rest
+  corruption is detectable at any time (:meth:`DIMDStore.verify_integrity`
+  quarantines mismatches instead of serving them);
+* an epoch-versioned **shuffle transaction**: :meth:`begin_shuffle`
+  snapshots the partition, :meth:`commit_shuffle` swaps in the staged
+  post-exchange contents, and :meth:`rollback_shuffle` restores the
+  snapshot — whether or not this rank had already committed — so a failed
+  distributed shuffle is a no-op rather than data loss.
 """
 
 from __future__ import annotations
@@ -23,10 +34,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.codec import decode_image
+from repro.data.integrity import record_crc
 from repro.data.records import RecordReader
 from repro.mpi.datatypes import chunk_ranges
 
-__all__ = ["GroupLayout", "DIMDStore", "partitioned_load"]
+__all__ = [
+    "GroupLayout",
+    "DIMDStore",
+    "QuarantinedRecord",
+    "deal_records",
+    "partitioned_load",
+]
 
 
 @dataclass(frozen=True)
@@ -68,10 +86,40 @@ class GroupLayout:
         return list(range(base, base + self.learners_per_group))
 
 
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """A record pulled out of circulation after failing its checksum."""
+
+    blob: bytes
+    label: int
+    expected_crc: int
+    actual_crc: int
+    reason: str
+
+
+@dataclass
+class _ShuffleTxn:
+    """Pre-shuffle snapshot kept until the round finalizes or rolls back."""
+
+    round_id: int
+    records: list[bytes]
+    labels: np.ndarray
+    checksums: np.ndarray
+    n_quarantined_before: int
+    committed: bool = False
+
+
 class DIMDStore:
     """One learner's in-memory partition of the dataset."""
 
-    def __init__(self, records: list[bytes], labels: np.ndarray, *, learner: int = 0):
+    def __init__(
+        self,
+        records: list[bytes],
+        labels: np.ndarray,
+        *,
+        learner: int = 0,
+        checksums: np.ndarray | None = None,
+    ):
         if len(records) != len(labels):
             raise ValueError(
                 f"{len(records)} records vs {len(labels)} labels"
@@ -79,6 +127,23 @@ class DIMDStore:
         self.records = list(records)
         self.labels = np.asarray(labels, dtype=np.int64).copy()
         self.learner = learner
+        self.checksums = self._as_checksums(self.records, checksums)
+        #: Records removed from circulation after a checksum mismatch.
+        self.quarantined: list[QuarantinedRecord] = []
+        self._txn: _ShuffleTxn | None = None
+
+    @staticmethod
+    def _as_checksums(
+        records: list[bytes], checksums: np.ndarray | None
+    ) -> np.ndarray:
+        if checksums is None:
+            return np.array([record_crc(r) for r in records], dtype=np.int64)
+        checksums = np.asarray(checksums, dtype=np.int64).copy()
+        if len(checksums) != len(records):
+            raise ValueError(
+                f"{len(records)} records vs {len(checksums)} checksums"
+            )
+        return checksums
 
     def __len__(self) -> int:
         return len(self.records)
@@ -113,7 +178,12 @@ class DIMDStore:
         blobs = [self.records[int(i)] for i in ids]
         return blobs, self.labels[np.asarray(ids, dtype=int)]
 
-    def extend(self, records: list[bytes], labels: np.ndarray) -> None:
+    def extend(
+        self,
+        records: list[bytes],
+        labels: np.ndarray,
+        checksums: np.ndarray | None = None,
+    ) -> None:
         """Absorb extra records (elastic recovery: a dead learner's share)."""
         labels = np.asarray(labels, dtype=np.int64)
         if len(records) != len(labels):
@@ -122,23 +192,156 @@ class DIMDStore:
             )
         self.records.extend(records)
         self.labels = np.concatenate([self.labels, labels])
+        self.checksums = np.concatenate(
+            [self.checksums, self._as_checksums(list(records), checksums)]
+        )
 
-    def replace_contents(self, records: list[bytes], labels: np.ndarray) -> None:
+    def replace_contents(
+        self,
+        records: list[bytes],
+        labels: np.ndarray,
+        checksums: np.ndarray | None = None,
+    ) -> None:
         """Swap in a new partition (after a shuffle)."""
         if len(records) != len(labels):
             raise ValueError("records/labels length mismatch")
         self.records = list(records)
         self.labels = np.asarray(labels, dtype=np.int64).copy()
+        self.checksums = self._as_checksums(self.records, checksums)
 
     def local_permute(self, rng: np.random.Generator) -> None:
         """In-node random permutation (the tail of Algorithm 2)."""
         perm = rng.permutation(len(self.records))
         self.records = [self.records[i] for i in perm]
         self.labels = self.labels[perm]
+        self.checksums = self.checksums[perm]
 
     def content_multiset(self) -> list[tuple[bytes, int]]:
         """Sorted (blob, label) pairs — for conservation checks in tests."""
         return sorted(zip(self.records, (int(l) for l in self.labels)))
+
+    # -- integrity ------------------------------------------------------------
+    def verify_integrity(self) -> list[QuarantinedRecord]:
+        """Re-checksum every record; quarantine and return any mismatches.
+
+        Corrupt records are removed from the active set (they will not be
+        served by :meth:`random_batch` or shuffled onward) and appended to
+        :attr:`quarantined` for reporting.
+        """
+        bad: list[int] = []
+        for i, blob in enumerate(self.records):
+            if record_crc(blob) != int(self.checksums[i]):
+                bad.append(i)
+        if not bad:
+            return []
+        newly = [
+            QuarantinedRecord(
+                blob=self.records[i],
+                label=int(self.labels[i]),
+                expected_crc=int(self.checksums[i]),
+                actual_crc=record_crc(self.records[i]),
+                reason="at-rest checksum mismatch",
+            )
+            for i in bad
+        ]
+        keep = [i for i in range(len(self.records)) if i not in set(bad)]
+        self.records = [self.records[i] for i in keep]
+        self.labels = self.labels[keep]
+        self.checksums = self.checksums[keep]
+        self.quarantined.extend(newly)
+        return newly
+
+    # -- shuffle transaction --------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and not self._txn.committed
+
+    def begin_shuffle(self, round_id: int) -> None:
+        """Open (or join) the transaction for ``round_id``.
+
+        Idempotent within a round: re-entering an *open* transaction keeps
+        the original snapshot, so the guard and the rank program can both
+        call this without clobbering the pre-shuffle state.  A committed
+        or stale transaction is replaced by a fresh snapshot.
+        """
+        txn = self._txn
+        if txn is not None and txn.round_id == round_id and not txn.committed:
+            return
+        self._txn = _ShuffleTxn(
+            round_id=round_id,
+            records=list(self.records),
+            labels=self.labels.copy(),
+            checksums=self.checksums.copy(),
+            n_quarantined_before=len(self.quarantined),
+        )
+
+    def commit_shuffle(
+        self,
+        round_id: int,
+        records: list[bytes],
+        labels: np.ndarray,
+        checksums: np.ndarray | None = None,
+        quarantined: list[QuarantinedRecord] | None = None,
+    ) -> None:
+        """Swap in the staged post-exchange partition.
+
+        The snapshot is *retained* (marked committed) so a guard can still
+        roll this rank back if another rank fails after our commit; it is
+        dropped by :meth:`finalize_shuffle` once the whole group succeeds.
+        """
+        txn = self._txn
+        if txn is None or txn.round_id != round_id:
+            raise ValueError(
+                f"no open shuffle transaction for round {round_id}"
+            )
+        self.replace_contents(records, labels, checksums)
+        self.quarantined.extend(quarantined or [])
+        txn.committed = True
+
+    def rollback_shuffle(self, round_id: int) -> bool:
+        """Restore the pre-shuffle snapshot and close the transaction.
+
+        Safe to call whether or not this rank committed (a failed shuffle
+        must be a no-op on *every* rank); returns ``True`` when a committed
+        swap was actually undone.  No open transaction for ``round_id`` is
+        a no-op returning ``False``.
+        """
+        txn = self._txn
+        if txn is None or txn.round_id != round_id:
+            return False
+        restored = txn.committed
+        if restored:
+            self.records = list(txn.records)
+            self.labels = txn.labels.copy()
+            self.checksums = txn.checksums.copy()
+            del self.quarantined[txn.n_quarantined_before:]
+        self._txn = None
+        return restored
+
+    def finalize_shuffle(self, round_id: int) -> None:
+        """Drop the snapshot: the round succeeded group-wide."""
+        txn = self._txn
+        if txn is not None and txn.round_id == round_id:
+            self._txn = None
+
+
+def deal_records(dead: DIMDStore, survivors: list[DIMDStore]) -> None:
+    """Deal a dead learner's records contiguously to the survivors.
+
+    The single repartitioning policy shared by the trainer's elastic
+    shrink and the guarded shuffle's surgical repair — both must deal
+    identically for repaired runs to stay bit-identical to fault-free
+    survivor-group runs.
+    """
+    if not survivors:
+        raise ValueError("no survivors to absorb the dead learner's records")
+    for slot, (lo, hi) in enumerate(chunk_ranges(len(dead), len(survivors))):
+        if hi > lo:
+            survivors[slot].extend(
+                dead.records[lo:hi],
+                dead.labels[lo:hi],
+                dead.checksums[lo:hi],
+            )
 
 
 def partitioned_load(
@@ -149,7 +352,9 @@ def partitioned_load(
     """DIMD API (i): load this learner's slice of the record file.
 
     Within each group the dataset is split contiguously by group position;
-    every group holds a complete copy.
+    every group holds a complete copy.  Reads are CRC-verified by the
+    reader; the stored checksums travel into the store so corruption
+    stays detectable for the partition's whole in-memory lifetime.
     """
     n = len(reader)
     per_group = layout.learners_per_group
@@ -157,4 +362,7 @@ def partitioned_load(
     lo, hi = chunk_ranges(n, per_group)[pos]
     ids = np.arange(lo, hi)
     blobs, labels = reader.read_many(ids)
-    return DIMDStore(blobs, labels, learner=learner)
+    checksums = reader.checksums
+    if checksums is not None:
+        checksums = checksums[lo:hi]
+    return DIMDStore(blobs, labels, learner=learner, checksums=checksums)

@@ -1,0 +1,273 @@
+"""Guarded execution for the distributed shuffle (data-plane fault tolerance).
+
+:func:`run_shuffle_guarded` is the shuffle's counterpart of
+:func:`repro.mpi.schedule.run_guarded`: it runs one transactional shuffle
+round under a watchdog, rolls every store back to its pre-shuffle snapshot
+on any fault, and either retries (transient: lost/delayed/corrupted
+messages) or surgically repairs around a permanent rank loss by dealing
+the victim's partition to the survivors and re-running the round over the
+survivor group.  Because the re-run draws its randomness from the same
+``(seed, round_id)`` and the dealing policy is shared with the trainer's
+elastic shrink (:func:`repro.data.dimd.deal_records`), a repaired shuffle
+is bit-identical to a fault-free shuffle over the same survivor group.
+
+Failure attribution mirrors the executor layer: :func:`diagnose_shuffle`
+turns the :class:`~repro.data.shuffle.ShuffleProgress` bookkeeping into a
+:class:`~repro.mpi.schedule.FailureDiagnosis` naming the suspected victim
+rank/link, distinguishing a payload lost on the wire (matching send was
+posted) from a rank that went silent (cascade of blocked receives traced
+to its root).  CRC failures get their own ``"corruption"`` diagnosis that
+names the corrupting sender directly from the raised
+:class:`~repro.data.integrity.ShuffleIntegrityError`.
+"""
+
+from __future__ import annotations
+
+from repro.data.dimd import DIMDStore, deal_records
+from repro.data.integrity import ShuffleIntegrityError
+from repro.data.shuffle import (
+    MPI_OFFSET_LIMIT,
+    ShuffleProgress,
+    ShuffleReport,
+    distributed_shuffle,
+)
+from repro.mpi.runner import build_world
+from repro.mpi.schedule import (
+    CollectiveTelemetry,
+    CollectiveTimeout,
+    FailureDiagnosis,
+    RankFailure,
+    StalledStep,
+)
+from repro.sim.engine import Interrupt
+from repro.utils.rng import rng_for
+
+__all__ = ["diagnose_shuffle", "run_shuffle_guarded"]
+
+
+def _steps_total(progress: ShuffleProgress) -> tuple[int, ...]:
+    """Message steps each rank has done plus one pending unless finished."""
+    return tuple(
+        done + (0 if fin else 1)
+        for done, fin in zip(progress.steps_done, progress.finished)
+    )
+
+
+def diagnose_shuffle(progress: ShuffleProgress, now: float) -> FailureDiagnosis:
+    """Attribute a stalled shuffle attempt from its progress bookkeeping.
+
+    Same attribution logic as :func:`repro.mpi.schedule.diagnose_execution`
+    at message granularity: each blocked receive whose matching send was
+    posted is ``"message-loss"`` on that wire; otherwise the chain of
+    blocked receives is walked backwards to the rank that stopped making
+    progress without waiting on anyone (``"silent-rank"``), or to a cycle.
+    """
+    blocked: list[StalledStep] = []
+    for rank in sorted(progress.waiting):
+        src, key, since = progress.waiting[rank]
+        blocked.append(
+            StalledStep(
+                rank=rank,
+                sid=progress.steps_done[rank],
+                kind="ShuffleRecv",
+                waiting_on=src,
+                note=str(key),
+                since=since,
+                waited=now - since,
+                overdue=now - since,
+            )
+        )
+    blocked.sort(key=lambda s: (s.since, s.rank))
+
+    base = dict(
+        now=now,
+        n_ranks=progress.n_ranks,
+        steps_done=tuple(progress.steps_done),
+        steps_total=_steps_total(progress),
+        stalled=tuple(blocked),
+    )
+
+    if not blocked:
+        behind = [
+            r for r in range(progress.n_ranks) if not progress.finished[r]
+        ]
+        return FailureDiagnosis(
+            cause="no-progress",
+            suspect_rank=behind[0] if behind else None,
+            **base,
+        )
+
+    for s in blocked:
+        _, key, _ = progress.waiting[s.rank]
+        if key in progress.sends:
+            return FailureDiagnosis(
+                cause="message-loss",
+                suspect_rank=s.waiting_on,
+                suspect_link=(s.waiting_on, s.rank),
+                suspect_sid=s.sid,
+                suspect_kind=s.kind,
+                **base,
+            )
+
+    # No lost payload: follow the chain of blocked receives backwards until
+    # it reaches a rank that is not itself waiting on anyone.
+    by_rank = {s.rank: s for s in blocked}
+    pick = blocked[0]
+    suspect = pick.waiting_on
+    seen = {pick.rank}
+    while suspect not in seen and suspect in by_rank:
+        seen.add(suspect)
+        pick = by_rank[suspect]
+        suspect = pick.waiting_on
+    return FailureDiagnosis(
+        cause="stalled-cycle" if suspect in seen else "silent-rank",
+        suspect_rank=suspect,
+        suspect_link=(suspect, pick.rank),
+        suspect_sid=pick.sid,
+        suspect_kind=pick.kind,
+        **base,
+    )
+
+
+def _corruption_diagnosis(
+    progress: ShuffleProgress, exc: ShuffleIntegrityError, now: float
+) -> FailureDiagnosis:
+    link = None
+    if exc.suspect is not None and exc.detected_by is not None:
+        link = (exc.suspect, exc.detected_by)
+    return FailureDiagnosis(
+        now=now,
+        n_ranks=progress.n_ranks,
+        steps_done=tuple(progress.steps_done),
+        steps_total=_steps_total(progress),
+        stalled=(),
+        cause="corruption",
+        suspect_rank=exc.suspect,
+        suspect_link=link,
+    )
+
+
+def _rollback_all(stores: list[DIMDStore], round_id: int) -> None:
+    for s in stores:
+        s.rollback_shuffle(round_id)
+
+
+def run_shuffle_guarded(
+    stores: list[DIMDStore],
+    *,
+    seed: int = 0,
+    round_id: int = 0,
+    timeout: float,
+    max_retries: int = 3,
+    retry_backoff: float = 0.5,
+    topology: str = "star",
+    max_chunk_bytes: int = MPI_OFFSET_LIMIT,
+    tag: object = None,
+    fault_injector=None,
+    iteration: int = 0,
+    telemetry: CollectiveTelemetry | None = None,
+    repair: bool = True,
+) -> tuple[list[ShuffleReport], CollectiveTelemetry]:
+    """Run one shuffle round to completion under watchdog/retry/repair.
+
+    ``stores`` is consumed as the live survivor list: a surgically repaired
+    victim is popped (after its records are dealt to the survivors) and
+    the group-rank of every pop is appended to ``telemetry.repaired_ranks``
+    in order, so callers can replay the pops against their own slot
+    bookkeeping — exactly the :func:`~repro.mpi.schedule.run_guarded`
+    contract.  Returns ``(reports, telemetry)`` with one
+    :class:`~repro.data.shuffle.ShuffleReport` per surviving rank.
+
+    Every failed attempt rolls **all** stores back to their pre-round
+    snapshots (including ranks that had already committed), so partial
+    commits can never leak: a failed round is a group-wide no-op.
+    """
+    telemetry = telemetry if telemetry is not None else CollectiveTelemetry()
+    stores = list(stores)
+    attempts = 0
+    backoff = retry_backoff
+    while True:
+        n = len(stores)
+        if n == 1:
+            stores[0].local_permute(rng_for(seed, "perm", round_id, 0))
+            return [ShuffleReport(0.0, 0.0, stores[0].nbytes, 1)], telemetry
+        for s in stores:
+            s.begin_shuffle(round_id)
+        engine, world, comm = build_world(n, topology=topology)
+        progress = ShuffleProgress(n)
+        procs = [
+            engine.process(
+                distributed_shuffle(
+                    comm,
+                    r,
+                    stores[r],
+                    seed=seed,
+                    round_id=round_id,
+                    max_chunk_bytes=max_chunk_bytes,
+                    tag=tag,
+                    progress=progress,
+                ),
+                name=f"shuffle{r}",
+            )
+            for r in range(n)
+        ]
+        done = engine.all_of(procs)
+        mark = len(fault_injector.events) if fault_injector is not None else 0
+        if fault_injector is not None:
+            fault_injector.arm(engine, world, procs, iteration)
+        deadline = engine.timeout(timeout)
+        try:
+            engine.run(engine.any_of([done, deadline]))
+        except Interrupt as exc:
+            telemetry.sim_time += engine.now
+            if fault_injector is not None:
+                telemetry.fault_events.extend(fault_injector.events_since(mark))
+            _rollback_all(stores, round_id)
+            cause = exc.cause
+            if isinstance(cause, RankFailure) and repair:
+                # Surgical repair: the victim's (rolled-back) partition is
+                # dealt to the survivors and the round re-runs over the
+                # survivor group from pristine post-deal state.
+                telemetry.repaired_ranks.append(cause.rank)
+                dead = stores.pop(cause.rank)
+                deal_records(dead, stores)
+                continue
+            if isinstance(cause, RankFailure):
+                raise cause from exc
+            raise
+        except ShuffleIntegrityError as exc:
+            telemetry.sim_time += engine.now
+            if fault_injector is not None:
+                telemetry.fault_events.extend(fault_injector.events_since(mark))
+            _rollback_all(stores, round_id)
+            diagnosis = _corruption_diagnosis(progress, exc, engine.now)
+            telemetry.diagnoses.append(diagnosis)
+            attempts += 1
+            telemetry.retries += 1
+            if attempts > max_retries:
+                raise CollectiveTimeout(
+                    timeout, iteration, attempts, diagnosis
+                ) from exc
+            telemetry.backoff += backoff
+            telemetry.sim_time += backoff
+            backoff *= 2
+            continue
+        telemetry.sim_time += engine.now
+        if fault_injector is not None:
+            telemetry.fault_events.extend(fault_injector.events_since(mark))
+        if done.triggered:
+            for s in stores:
+                s.finalize_shuffle(round_id)
+            return [p.value for p in procs], telemetry
+        # Watchdog fired first: roll back, attribute the stall, retry with
+        # bounded exponential backoff (accounted in simulated time).
+        _rollback_all(stores, round_id)
+        diagnosis = diagnose_shuffle(progress, engine.now)
+        telemetry.diagnoses.append(diagnosis)
+        attempts += 1
+        telemetry.retries += 1
+        if attempts > max_retries:
+            raise CollectiveTimeout(timeout, iteration, attempts, diagnosis)
+        telemetry.backoff += backoff
+        telemetry.sim_time += backoff
+        backoff *= 2

@@ -1,0 +1,117 @@
+"""End-to-end record integrity for the DIMD data plane.
+
+Every record carries a CRC32 of its compressed bytes from the moment it is
+written (:class:`~repro.data.records.RecordWriter` stores the checksum in
+the index file) through the in-memory store
+(:attr:`~repro.data.dimd.DIMDStore.checksums`) and across the shuffle wire
+format.  Three failure classes become detectable:
+
+* **at rest** — a record's bytes no longer match its stored checksum
+  (flipped in memory or on disk); the record is *quarantined* rather than
+  trained on or shuffled onward;
+* **in flight** — a shuffle payload or metadata block arrives with a CRC
+  mismatch; the receiving rank raises :class:`ShuffleIntegrityError`
+  naming the sender, the transaction rolls back, and the guarded executor
+  retries;
+* **protocol loss** — the post-exchange conservation barrier compares a
+  permutation-invariant *multiset digest* (sum of per-record
+  fingerprints) before and after the exchange, so silently lost or
+  duplicated records fail the commit even if every individual message
+  verified.
+
+All functions here are pure Python/NumPy with no simulation coupling.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "RecordCorrupt",
+    "ShuffleIntegrityError",
+    "crc_of_ints",
+    "multiset_digest",
+    "record_crc",
+    "record_fingerprint",
+]
+
+#: Digests live in [0, 2**63) so they always fit a non-negative int64.
+_DIGEST_MOD = 2**63
+
+
+class RecordCorrupt(RuntimeError):
+    """A record's bytes do not match its stored CRC32 checksum."""
+
+    def __init__(self, index: int, expected: int, actual: int, where: str = ""):
+        suffix = f" in {where}" if where else ""
+        super().__init__(
+            f"record {index}{suffix} is corrupt: "
+            f"CRC32 {actual:#010x} != stored {expected:#010x}"
+        )
+        self.index = index
+        self.expected = expected
+        self.actual = actual
+
+
+class ShuffleIntegrityError(RuntimeError):
+    """A shuffle attempt failed verification and must roll back.
+
+    ``suspect`` is the group rank whose message failed its CRC (the
+    immediate sender — for forwarded control blocks the corrupting hop);
+    ``detected_by`` is the rank that observed the mismatch.  Either may be
+    ``None`` for conservation-barrier failures that no single link
+    explains.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        detected_by: int | None = None,
+        suspect: int | None = None,
+    ):
+        super().__init__(message)
+        self.detected_by = detected_by
+        self.suspect = suspect
+
+
+def record_crc(blob: bytes) -> int:
+    """CRC32 of one record's compressed bytes (non-negative, < 2**32)."""
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def crc_of_ints(values) -> int:
+    """CRC32 over an int64 vector's bytes — trailer for control blocks."""
+    return zlib.crc32(np.ascontiguousarray(values, dtype=np.int64).tobytes()) & 0xFFFFFFFF
+
+
+def record_fingerprint(crc: int, label: int, length: int) -> int:
+    """Order-independent per-record digest contribution.
+
+    Mixes the payload CRC with the label and length (all of which travel
+    in the shuffle metadata) through a splitmix-style scramble so that
+    swapping bytes *between* records cannot cancel out in the sum.
+    """
+    x = (
+        int(crc) * 0x9E3779B97F4A7C15
+        + int(label) * 0xBF58476D1CE4E5B9
+        + int(length) * 0x94D049BB133111EB
+        + 0x2545F4914F6CDD1D
+    ) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 29
+    return x % _DIGEST_MOD
+
+
+def multiset_digest(crcs, labels, lengths) -> int:
+    """Permutation-invariant digest of a record multiset.
+
+    Summing :func:`record_fingerprint` modulo ``2**63`` makes the digest
+    independent of record order and cheap to combine across ranks — the
+    conservation barrier allreduces one int64 per rank.
+    """
+    total = 0
+    for crc, label, length in zip(crcs, labels, lengths):
+        total += record_fingerprint(crc, label, length)
+    return total % _DIGEST_MOD

@@ -6,7 +6,15 @@ an index file which contains the start location of each image along with
 its label id".
 
 * ``<name>.data`` — the record blobs, back to back.
-* ``<name>.idx``  — int64 array of shape (n, 3): (offset, length, label).
+* ``<name>.idx``  — int64 array of shape (n, 4):
+  (offset, length, label, crc32).
+
+The CRC32 column gives end-to-end record integrity: the writer stamps each
+blob as it is appended and :meth:`RecordReader.read` verifies it on every
+fetch, raising :class:`~repro.data.integrity.RecordCorrupt` on a mismatch
+instead of handing corrupt bytes to the training pipeline.  Index files
+written before the checksum column (shape ``(n, 3)``) still load; reads
+from them simply skip verification.
 
 Readers memory-map nothing fancy — they read the index eagerly and fetch
 record byte ranges on demand, which is exactly the random-access pattern
@@ -20,6 +28,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.data.integrity import RecordCorrupt, record_crc
+
 __all__ = ["RecordWriter", "RecordReader", "write_record_file"]
 
 _IDX_DTYPE = np.int64
@@ -32,7 +42,7 @@ class RecordWriter:
         self.base = Path(base_path)
         self.base.parent.mkdir(parents=True, exist_ok=True)
         self._data = open(self.base.with_suffix(".data"), "wb")
-        self._entries: list[tuple[int, int, int]] = []
+        self._entries: list[tuple[int, int, int, int]] = []
         self._offset = 0
         self._closed = False
 
@@ -43,7 +53,7 @@ class RecordWriter:
         if label < 0:
             raise ValueError(f"label must be >= 0, got {label}")
         self._data.write(blob)
-        self._entries.append((self._offset, len(blob), label))
+        self._entries.append((self._offset, len(blob), label, record_crc(blob)))
         self._offset += len(blob)
         return len(self._entries) - 1
 
@@ -51,7 +61,7 @@ class RecordWriter:
         if self._closed:
             return
         self._data.close()
-        index = np.asarray(self._entries, dtype=_IDX_DTYPE).reshape(-1, 3)
+        index = np.asarray(self._entries, dtype=_IDX_DTYPE).reshape(-1, 4)
         np.save(self.base.with_suffix(".idx"), index)
         self._closed = True
 
@@ -71,7 +81,7 @@ class RecordWriter:
 
 
 class RecordReader:
-    """Random access to a record file pair."""
+    """Random access to a record file pair (CRC-verified per read)."""
 
     def __init__(self, base_path: str | os.PathLike):
         self.base = Path(base_path)
@@ -79,7 +89,7 @@ class RecordReader:
         if not idx_path.exists():
             idx_path = self.base.with_suffix(".idx")
         self.index = np.load(idx_path)
-        if self.index.ndim != 2 or self.index.shape[1] != 3:
+        if self.index.ndim != 2 or self.index.shape[1] not in (3, 4):
             raise ValueError(f"malformed index file {idx_path}")
         self._data = open(self.base.with_suffix(".data"), "rb")
 
@@ -95,18 +105,30 @@ class RecordReader:
         return self.index[:, 1]
 
     @property
+    def checksums(self) -> np.ndarray | None:
+        """Per-record CRC32 column, or ``None`` for a legacy 3-col index."""
+        if self.index.shape[1] < 4:
+            return None
+        return self.index[:, 3]
+
+    @property
     def data_bytes(self) -> int:
         return int(self.index[:, 1].sum())
 
     def read(self, i: int) -> tuple[bytes, int]:
-        """Fetch record ``i``: (blob, label)."""
+        """Fetch record ``i``: (blob, label); verifies the stored CRC32."""
         if not 0 <= i < len(self):
             raise IndexError(f"record {i} out of range [0, {len(self)})")
-        offset, length, label = (int(v) for v in self.index[i])
+        offset, length, label = (int(v) for v in self.index[i, :3])
         self._data.seek(offset)
         blob = self._data.read(length)
         if len(blob) != length:
             raise IOError(f"short read for record {i}")
+        if self.index.shape[1] >= 4:
+            expected = int(self.index[i, 3])
+            actual = record_crc(blob)
+            if actual != expected:
+                raise RecordCorrupt(i, expected, actual, where=str(self.base))
         return blob, label
 
     def read_many(self, ids: np.ndarray) -> tuple[list[bytes], np.ndarray]:

@@ -22,6 +22,26 @@ Fault points are discovered from an instrumented *reference run*: a
 fault-free execution whose per-step completion times give the crash
 boundaries and whose send-observer timestamps give the drop/delay points.
 
+The same treatment covers the **data plane**: the transactional DIMD
+shuffle (:func:`repro.data.shuffle.distributed_shuffle` under
+:func:`repro.data.guard.run_shuffle_guarded`) gets its own sweep —
+every (rank x pass x exchange step) crash/drop/delay/**corrupt** point —
+with the invariants adapted to data movement:
+
+1. **No deadlock** — same watchdog-budget bound on simulated time.
+2. **Record conservation** — the multiset of (record bytes, label) pairs
+   across the surviving stores equals the pre-shuffle multiset exactly:
+   zero records lost or duplicated, a crashed rank's partition included
+   (it is dealt to the survivors during repair).
+3. **Repair determinism** — surviving partitions are bit-identical to a
+   fault-free shuffle over the same survivor group (same seed/round),
+   because retries restart from rolled-back snapshots and the repair
+   dealing policy is shared with the elastic shrink.
+4. **Telemetry consistency** — same bookkeeping rules, with corruption
+   diagnoses naming the corrupting sender.
+5. **No open transactions** — every store's shuffle transaction is
+   finalized or rolled back, never leaked.
+
 Used by ``repro chaos`` (CLI) and ``tests/mpi/test_chaos.py``.
 """
 
@@ -31,6 +51,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.data.dimd import DIMDStore, deal_records
+from repro.data.guard import run_shuffle_guarded
+from repro.data.shuffle import ShuffleProgress, distributed_shuffle
 from repro.mpi.collectives import ALLREDUCE_COMPILERS, ALLREDUCE_FAMILIES
 from repro.mpi.datatypes import ArrayBuffer
 from repro.mpi.runner import build_world
@@ -52,16 +75,25 @@ __all__ = [
     "chaos_input",
     "chaos_sweep",
     "enumerate_points",
+    "enumerate_shuffle_points",
     "reference_run",
     "run_point",
+    "run_shuffle_point",
+    "shuffle_chaos_stores",
+    "shuffle_chaos_sweep",
+    "shuffle_reference_run",
     "smoke_algorithms",
 ]
 
 DEFAULT_COUNT = 24          # elements per rank buffer (ragged across ranks)
 DEFAULT_ITEMSIZE = 8        # int64 payloads -> exact integer sums
 DEFAULT_KINDS = ("crash", "drop", "delay")
+SHUFFLE_KINDS = ("crash", "drop", "delay", "corrupt")
 #: Watchdog timeout as a multiple of the fault-free reference elapsed time.
 DEFAULT_TIMEOUT_FACTOR = 64.0
+#: Shuffle sweep sizing: records per rank and the forced multi-pass chunk.
+SHUFFLE_PER_RANK = 6
+SHUFFLE_CHUNK_BYTES = 128
 
 
 def chaos_input(rank: int, count: int) -> np.ndarray:
@@ -465,4 +497,361 @@ def chaos_sweep(
                     timeout_factor=timeout_factor, topology=topology,
                     **compile_kwargs,
                 ))
+    return report
+
+
+# -- data-plane (shuffle) chaos -----------------------------------------------
+
+SHUFFLE_SEED = 7
+
+
+def shuffle_chaos_stores(
+    n_ranks: int, *, per_rank: int = SHUFFLE_PER_RANK
+) -> list[DIMDStore]:
+    """Deterministic opaque-blob stores, distinct across ranks and records."""
+    stores = []
+    for rank in range(n_ranks):
+        rng = np.random.default_rng(0x5F0C4A05 + rank)
+        records = [
+            bytes(rng.integers(0, 256, size=int(rng.integers(40, 56)), dtype=np.uint8))
+            for _ in range(per_rank)
+        ]
+        labels = np.arange(rank * per_rank, (rank + 1) * per_rank, dtype=np.int64)
+        stores.append(DIMDStore(records, labels, learner=rank))
+    return stores
+
+
+def _global_multiset(stores: list[DIMDStore]) -> list[tuple[bytes, int]]:
+    combined: list[tuple[bytes, int]] = []
+    for s in stores:
+        combined.extend(s.content_multiset())
+    return sorted(combined)
+
+
+class _RecordingShuffleProgress(ShuffleProgress):
+    """Shuffle progress tracker that additionally keeps advance times."""
+
+    def __init__(self, n_ranks: int):
+        super().__init__(n_ranks)
+        self.advance_times: dict[int, list[float]] = {}
+
+    def end_recv(self, rank: int, now: float) -> None:
+        super().end_recv(rank, now)
+        self.advance_times.setdefault(rank, []).append(now)
+
+
+def shuffle_reference_run(
+    n_ranks: int,
+    *,
+    per_rank: int = SHUFFLE_PER_RANK,
+    max_chunk_bytes: int = SHUFFLE_CHUNK_BYTES,
+    topology: str = "star",
+) -> ReferenceRun:
+    """Run the shuffle fault-free and record every receive-completion
+    (crash boundary) and send-post time per rank."""
+    stores = shuffle_chaos_stores(n_ranks, per_rank=per_rank)
+    engine, world, comm = build_world(n_ranks, topology=topology)
+    progress = _RecordingShuffleProgress(n_ranks)
+
+    send_times: dict[int, set[float]] = {r: set() for r in range(n_ranks)}
+
+    def observe(src, dst, tag, nbytes):
+        send_times[src].add(engine.now)
+
+    world.send_observers.append(observe)
+    start = engine.now
+    procs = [
+        engine.process(
+            distributed_shuffle(
+                comm, r, stores[r], seed=SHUFFLE_SEED, round_id=0,
+                max_chunk_bytes=max_chunk_bytes, progress=progress,
+            ),
+            name=f"shuffle{r}",
+        )
+        for r in range(n_ranks)
+    ]
+    engine.run(engine.all_of(procs))
+    for s in stores:
+        s.finalize_shuffle(0)
+    boundaries = {
+        r: tuple(sorted({0.0, *progress.advance_times.get(r, [])}))
+        for r in range(n_ranks)
+    }
+    return ReferenceRun(
+        algorithm="shuffle",
+        n_ranks=n_ranks,
+        elapsed=engine.now - start,
+        boundaries=boundaries,
+        send_times={r: tuple(sorted(send_times[r])) for r in range(n_ranks)},
+    )
+
+
+def enumerate_shuffle_points(
+    n_ranks: int,
+    *,
+    kinds: tuple[str, ...] = SHUFFLE_KINDS,
+    per_rank: int = SHUFFLE_PER_RANK,
+    max_chunk_bytes: int = SHUFFLE_CHUNK_BYTES,
+    max_points_per_rank: int | None = None,
+    topology: str = "star",
+) -> tuple[list[ChaosPoint], ReferenceRun]:
+    """Enumerate every injectable fault point of one shuffle group size.
+
+    Crash points are each rank's receive-completion instants (plus t=0,
+    covering every pass and exchange step of the transactional shuffle);
+    drop/delay/corrupt points are each rank's distinct send-post instants.
+    """
+    for kind in kinds:
+        if kind not in SHUFFLE_KINDS:
+            raise ValueError(f"unknown chaos kind {kind!r}; use {SHUFFLE_KINDS}")
+    ref = shuffle_reference_run(
+        n_ranks, per_rank=per_rank, max_chunk_bytes=max_chunk_bytes,
+        topology=topology,
+    )
+    points: list[ChaosPoint] = []
+    for rank in range(n_ranks):
+        if "crash" in kinds:
+            times = _subsample(ref.boundaries[rank], max_points_per_rank)
+            capped = len(times) < len(ref.boundaries[rank])
+            for i, t in enumerate(times):
+                points.append(ChaosPoint(
+                    "shuffle", n_ranks, "crash", rank, t,
+                    note=f"boundary {i}/{len(times)}"
+                    + (" (subsampled)" if capped else ""),
+                ))
+        for kind in ("drop", "delay", "corrupt"):
+            if kind not in kinds:
+                continue
+            times = _subsample(ref.send_times[rank], max_points_per_rank)
+            capped = len(times) < len(ref.send_times[rank])
+            for i, t in enumerate(times):
+                points.append(ChaosPoint(
+                    "shuffle", n_ranks, kind, rank, t,
+                    note=f"send {i}/{len(times)}"
+                    + (" (subsampled)" if capped else ""),
+                ))
+    return points, ref
+
+
+def _shuffle_end_state(
+    n_ranks: int,
+    victims: tuple[int, ...],
+    *,
+    per_rank: int,
+    max_chunk_bytes: int,
+    timeout: float,
+    topology: str,
+) -> list[DIMDStore]:
+    """Fault-free survivor-group end state: pop victims (in repair order,
+    dealing each one's records), then run the same shuffle round."""
+    live = shuffle_chaos_stores(n_ranks, per_rank=per_rank)
+    for victim in victims:
+        dead = live.pop(victim)
+        deal_records(dead, live)
+    run_shuffle_guarded(
+        live, seed=SHUFFLE_SEED, round_id=0, timeout=timeout,
+        topology=topology, max_chunk_bytes=max_chunk_bytes,
+    )
+    return live
+
+
+def run_shuffle_point(
+    point: ChaosPoint,
+    *,
+    reference: ReferenceRun,
+    per_rank: int = SHUFFLE_PER_RANK,
+    max_chunk_bytes: int = SHUFFLE_CHUNK_BYTES,
+    timeout_factor: float = DEFAULT_TIMEOUT_FACTOR,
+    max_retries: int = 3,
+    topology: str = "star",
+    _end_state_cache: dict | None = None,
+) -> ChaosOutcome:
+    """Inject one fault point under ``run_shuffle_guarded`` and check the
+    data-plane invariants (see the module docstring)."""
+    n = point.n_ranks
+    stores = shuffle_chaos_stores(n, per_rank=per_rank)
+    before = _global_multiset(stores)
+    timeout = max(timeout_factor * reference.elapsed, 1e-4)
+    retry_backoff = timeout / 4.0
+    if point.kind == "crash":
+        spec = FaultSpec("crash", 0, rank=point.rank, at=point.at)
+    elif point.kind == "drop":
+        spec = FaultSpec("drop", 0, rank=point.rank, at=point.at, count=1)
+    elif point.kind == "corrupt":
+        spec = FaultSpec("corrupt", 0, rank=point.rank, at=point.at, count=1)
+    else:
+        spec = FaultSpec(
+            "delay", 0, rank=point.rank, at=point.at, count=1,
+            seconds=2.0 * timeout,
+        )
+    injector = FaultInjector(FaultPlan([spec]))
+    telemetry = CollectiveTelemetry()
+
+    def fail(detail: str, **kw) -> ChaosOutcome:
+        return ChaosOutcome(
+            point=point, ok=False,
+            fired=bool(injector.events),
+            survivors=kw.get("survivors", ()),
+            retries=telemetry.retries, repairs=telemetry.repairs,
+            sim_time=telemetry.sim_time,
+            diagnosis_named_victim=kw.get("named"),
+            detail=detail,
+        )
+
+    try:
+        run_shuffle_guarded(
+            stores,
+            seed=SHUFFLE_SEED,
+            round_id=0,
+            timeout=timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            topology=topology,
+            max_chunk_bytes=max_chunk_bytes,
+            tag=("chaos", point.kind, point.rank),
+            fault_injector=injector,
+            iteration=0,
+            telemetry=telemetry,
+            repair=True,
+        )
+    except CollectiveTimeout as exc:
+        return fail(f"retry budget exhausted (possible deadlock): {exc}")
+    except RankFailure as exc:  # pragma: no cover - repair=True absorbs these
+        return fail(f"unrepaired rank failure: {exc}")
+
+    fired = bool(injector.events)
+    survivors = list(range(n))
+    for victim in telemetry.repaired_ranks:
+        survivors.pop(victim)
+    survivors = tuple(survivors)
+    live = [stores[r] for r in survivors]
+
+    named = None
+    if telemetry.diagnoses:
+        named = all(
+            d.suspect_rank == point.rank for d in telemetry.diagnoses
+        )
+
+    # Invariant 1: bounded simulated time (no deadlock).
+    bound = (telemetry.retries + telemetry.repairs + 1) * timeout
+    bound += telemetry.backoff + 1e-9
+    if telemetry.sim_time > bound:
+        return fail(
+            f"sim time {telemetry.sim_time:g}s exceeds watchdog bound "
+            f"{bound:g}s", survivors=survivors, named=named,
+        )
+
+    # Invariant 2: record conservation — zero lost or duplicated records
+    # across the surviving stores (a crashed rank's partition was dealt to
+    # the survivors, so the global multiset is unchanged).
+    if _global_multiset(live) != before:
+        return fail(
+            "record multiset changed across the shuffle "
+            f"({sum(len(s) for s in live)} records across "
+            f"{len(live)} survivors vs {len(before)} before)",
+            survivors=survivors, named=named,
+        )
+
+    # Invariant 3: repair determinism — surviving partitions bit-identical
+    # to a fault-free shuffle over the same survivor group.
+    cache = _end_state_cache if _end_state_cache is not None else {}
+    key = (n, tuple(telemetry.repaired_ranks))
+    if key not in cache:
+        cache[key] = _shuffle_end_state(
+            n, tuple(telemetry.repaired_ranks), per_rank=per_rank,
+            max_chunk_bytes=max_chunk_bytes, timeout=timeout,
+            topology=topology,
+        )
+    expected = cache[key]
+    for got, want in zip(live, expected):
+        if got.records != want.records or not np.array_equal(
+            got.labels, want.labels
+        ):
+            return fail(
+                f"survivor {got.learner} partition differs from the "
+                "fault-free survivor-group shuffle",
+                survivors=survivors, named=named,
+            )
+
+    # Invariant 4: telemetry consistency.
+    if telemetry.retries != len(telemetry.diagnoses):
+        return fail(
+            f"{telemetry.retries} retries but {len(telemetry.diagnoses)} "
+            "diagnoses", survivors=survivors, named=named,
+        )
+    want_backoff = retry_backoff * (2 ** telemetry.retries - 1)
+    if abs(telemetry.backoff - want_backoff) > 1e-9 * max(1.0, want_backoff):
+        return fail(
+            f"backoff {telemetry.backoff:g}s is not the geometric sum "
+            f"{want_backoff:g}s of {telemetry.retries} retries",
+            survivors=survivors, named=named,
+        )
+    if point.kind == "crash":
+        if fired and telemetry.retries != 0:
+            return fail(
+                "surgical repair consumed the retry budget "
+                f"({telemetry.retries} retries for a diagnosed crash)",
+                survivors=survivors, named=named,
+            )
+        if fired and telemetry.repairs != 1:
+            return fail(
+                f"{telemetry.repairs} repairs for one crash",
+                survivors=survivors, named=named,
+            )
+    else:
+        if telemetry.repairs != 0:
+            return fail(
+                f"{telemetry.repairs} repairs for a {point.kind} fault",
+                survivors=survivors, named=named,
+            )
+        if fired and named is not True:
+            return fail(
+                "diagnosis did not name the injected victim (suspects: "
+                f"{[d.suspect_rank for d in telemetry.diagnoses]}, "
+                f"victim: rank {point.rank})",
+                survivors=survivors, named=named,
+            )
+
+    # Invariant 5: no leaked shuffle transactions on any store (victims
+    # included — a rolled-back rank must not keep its snapshot open).
+    if any(s.in_transaction for s in stores):
+        leaked = [s.learner for s in stores if s.in_transaction]
+        return fail(
+            f"open shuffle transaction leaked on store(s) {leaked}",
+            survivors=survivors, named=named,
+        )
+
+    return ChaosOutcome(
+        point=point, ok=True, fired=fired, survivors=survivors,
+        retries=telemetry.retries, repairs=telemetry.repairs,
+        sim_time=telemetry.sim_time, diagnosis_named_victim=named,
+    )
+
+
+def shuffle_chaos_sweep(
+    n_ranks: tuple[int, ...] = (4,),
+    *,
+    kinds: tuple[str, ...] = SHUFFLE_KINDS,
+    per_rank: int = SHUFFLE_PER_RANK,
+    max_chunk_bytes: int = SHUFFLE_CHUNK_BYTES,
+    max_points_per_rank: int | None = None,
+    timeout_factor: float = DEFAULT_TIMEOUT_FACTOR,
+    topology: str = "star",
+) -> ChaosReport:
+    """Sweep every shuffle fault point of every group size."""
+    report = ChaosReport()
+    for n in n_ranks:
+        points, ref = enumerate_shuffle_points(
+            n, kinds=kinds, per_rank=per_rank,
+            max_chunk_bytes=max_chunk_bytes,
+            max_points_per_rank=max_points_per_rank, topology=topology,
+        )
+        cache: dict = {}
+        for point in points:
+            report.outcomes.append(run_shuffle_point(
+                point, reference=ref, per_rank=per_rank,
+                max_chunk_bytes=max_chunk_bytes,
+                timeout_factor=timeout_factor, topology=topology,
+                _end_state_cache=cache,
+            ))
     return report

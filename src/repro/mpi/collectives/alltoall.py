@@ -25,12 +25,18 @@ def alltoallv(
     send_bufs: list[Buffer],
     *,
     tag: object = None,
+    progress=None,
 ):
     """Rank program: exchange ``send_bufs[d] -> rank d`` for all d.
 
     Returns ``received`` where ``received[s]`` is the payload sent by group
     rank ``s`` (for :class:`~repro.mpi.datatypes.SizeBuffer` runs the
     payloads are ``None`` but byte counts are still simulated).
+
+    ``progress``, when given, receives ``sent``/``begin_recv``/``end_recv``
+    callbacks keyed by ``("a2a", tag, src, dst)`` — synchronous Python
+    bookkeeping that adds no simulation events (see
+    :class:`repro.data.shuffle.ShuffleProgress`).
     """
     n = comm.size
     if len(send_bufs) != n:
@@ -46,8 +52,16 @@ def alltoallv(
     for offset in range(1, n):
         dst = (rank + offset) % n
         comm.isend(rank, dst, ("a2a", tag), send_bufs[dst])
+        if progress is not None:
+            progress.sent(rank, dst, ("a2a", tag, rank, dst))
     for offset in range(1, n):
         src = (rank - offset) % n
+        if progress is not None:
+            progress.begin_recv(
+                rank, src, ("a2a", tag, src, rank), comm.engine.now
+            )
         msg = yield comm.recv(rank, src, ("a2a", tag))
+        if progress is not None:
+            progress.end_recv(rank, comm.engine.now)
         received[src] = msg.payload
     return received

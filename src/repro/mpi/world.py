@@ -83,7 +83,10 @@ class MPIWorld:
         self._channel_tail: dict[tuple[int, int], Event] = {}
         #: Optional message-fault hook (see :mod:`repro.train.injection`).
         #: Must expose ``on_send(src, dst, tag, nbytes) -> (action, seconds)``
-        #: where action is ``"deliver"``, ``"delay"`` or ``"drop"``.
+        #: where action is ``"deliver"``, ``"delay"``, ``"drop"`` or
+        #: ``"corrupt"`` (the latter also requires ``corrupt_payload(data)``,
+        #: which returns a bit-flipped copy deposited in place of the
+        #: original — size, and hence timing, unchanged).
         self.fault_controller: object | None = None
         #: Passive send taps: callables ``(src, dst, tag, nbytes)`` invoked
         #: at every :meth:`isend` posting.  Used by the schedule executor
@@ -123,15 +126,18 @@ class MPIWorld:
             if prev_tail is not None:
                 yield prev_tail
             action = "deliver"
+            data = payload
             if self.fault_controller is not None:
                 action, seconds = self.fault_controller.on_send(
                     src, dst, tag, nbytes
                 )
                 if action == "delay" and seconds > 0:
                     yield self.engine.timeout(seconds)
+                elif action == "corrupt":
+                    data = self.fault_controller.corrupt_payload(data)
             yield self.fabric.transfer(src, dst, nbytes)
             if action != "drop":
-                self._deposit(dst, Message(src, tag, payload, nbytes))
+                self._deposit(dst, Message(src, tag, data, nbytes))
             done.succeed()
 
         self.engine.process(channel_program(), name=f"send{src}->{dst}")

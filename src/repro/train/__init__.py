@@ -9,7 +9,8 @@
 * :mod:`repro.train.accuracy` — the convergence surrogate producing
   top-1/loss curves (Figures 13-16) without 10^18 real FLOPs.
 * :mod:`repro.train.injection` — live fault injection (crash / degrade /
-  delay / drop) into the simulated collectives, with elastic recovery in
+  delay / drop / corrupt) into the simulated collectives, with elastic
+  recovery in
   the trainer and bit-exact checkpoint/restore in
   :mod:`repro.train.checkpoint`.
 """
@@ -25,6 +26,7 @@ from repro.train.injection import (
     FaultPlan,
     FaultSpec,
     RankFailure,
+    corrupt_messages,
     crash,
     degrade_links,
     delay_messages,
@@ -45,6 +47,7 @@ __all__ = [
     "TrainStepResult",
     "TrainerCheckpoint",
     "WarmupStepSchedule",
+    "corrupt_messages",
     "crash",
     "degrade_links",
     "delay_messages",

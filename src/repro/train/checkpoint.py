@@ -20,12 +20,19 @@ the equivalence test in ``tests/train/test_elastic.py`` asserts
 
 Serialization uses :mod:`pickle` (stdlib): the payload is NumPy arrays,
 ``bytes`` blobs and primitive config — no custom classes beyond the
-checkpoint itself and the frozen schedule dataclass.
+checkpoint itself and the frozen schedule dataclass.  On disk the pickle
+payload travels behind a small header (magic + CRC32), so a truncated or
+bit-flipped checkpoint fails loudly with :class:`CheckpointCorrupt`
+instead of resuming training from silently damaged state.  Headerless
+files written before the format change still load (best-effort, no
+verification).
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -34,9 +41,22 @@ import numpy as np
 from repro.data.dimd import DIMDStore
 from repro.train.schedule import WarmupStepSchedule
 
-__all__ = ["TrainerCheckpoint", "CHECKPOINT_VERSION"]
+__all__ = ["CheckpointCorrupt", "TrainerCheckpoint", "CHECKPOINT_VERSION"]
 
 CHECKPOINT_VERSION = 1
+
+#: File header: magic, then the CRC32 of the pickle payload (little-endian).
+CHECKPOINT_MAGIC = b"RPCK"
+_HEADER = struct.Struct("<4sI")
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint file failed its integrity check and must not be trusted."""
+
+    def __init__(self, path, detail: str):
+        super().__init__(f"checkpoint {path} is corrupt: {detail}")
+        self.path = str(path)
+        self.detail = detail
 
 
 @dataclass
@@ -122,11 +142,34 @@ class TrainerCheckpoint:
 
     # -- (de)serialization --------------------------------------------------
     def save(self, path) -> None:
-        Path(path).write_bytes(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(CHECKPOINT_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF)
+        Path(path).write_bytes(header + payload)
 
     @classmethod
     def load(cls, path) -> "TrainerCheckpoint":
-        ckpt = pickle.loads(Path(path).read_bytes())
+        raw = Path(path).read_bytes()
+        if raw[:4] == CHECKPOINT_MAGIC:
+            if len(raw) < _HEADER.size:
+                raise CheckpointCorrupt(path, "truncated header")
+            _, expected = _HEADER.unpack(raw[: _HEADER.size])
+            payload = raw[_HEADER.size:]
+            actual = zlib.crc32(payload) & 0xFFFFFFFF
+            if actual != expected:
+                raise CheckpointCorrupt(
+                    path,
+                    f"payload CRC32 {actual:#010x} != header {expected:#010x} "
+                    "(bit-flipped or truncated)",
+                )
+            try:
+                ckpt = pickle.loads(payload)
+            except Exception as exc:
+                raise CheckpointCorrupt(
+                    path, f"payload verified but failed to unpickle: {exc}"
+                ) from exc
+        else:
+            # Legacy headerless pickle: load best-effort, no verification.
+            ckpt = pickle.loads(raw)
         if not isinstance(ckpt, cls):
             raise TypeError(f"{path} does not contain a TrainerCheckpoint")
         return ckpt

@@ -25,6 +25,11 @@ exponential backoff and surfaced in :class:`TrainStepResult`; a permanent
 rank crash triggers an *elastic shrink* — the dead learner's DIMD records
 are repartitioned over the survivors, the LR schedule is rescaled to the
 smaller effective batch, and training continues on the remaining ranks.
+The periodic Algorithm 2 shuffle gets the same treatment on the data
+plane: it runs transactionally under its own guard
+(:func:`~repro.data.guard.run_shuffle_guarded`), so a faulted round rolls
+back to a no-op and retries, and a crashed rank's partition is reabsorbed
+without losing or duplicating a single record.
 """
 
 from __future__ import annotations
@@ -34,8 +39,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.data.dimd import DIMDStore
-from repro.data.shuffle import distributed_shuffle
+from repro.data.dimd import DIMDStore, deal_records
+from repro.data.guard import run_shuffle_guarded
 from repro.dpt.table import (
     BaselineDataParallelTable,
     OptimizedDataParallelTable,
@@ -43,8 +48,7 @@ from repro.dpt.table import (
 )
 from repro.models.nn.network import Network
 from repro.mpi.collectives import ALLREDUCE_ALGORITHMS, ALLREDUCE_COMPILERS
-from repro.mpi.datatypes import ArrayBuffer, chunk_ranges
-from repro.mpi.runner import build_world
+from repro.mpi.datatypes import ArrayBuffer
 from repro.mpi.schedule import CollectiveTelemetry, RankFailure, run_guarded
 from repro.train.injection import FaultEvent, FaultInjector, FaultPlan
 from repro.train.schedule import WarmupStepSchedule
@@ -92,6 +96,7 @@ class DistributedSGDTrainer:
         lr_rescale: str = "linear",
         reshuffle_on_shrink: bool = True,
         collective_repair: str = "surgical",
+        topology: str = "star",
     ):
         """
         Parameters
@@ -134,6 +139,10 @@ class DistributedSGDTrainer:
             then the trainer absorbs the dead learner's state afterwards.
             ``"restart"`` keeps the legacy path: the failure bubbles up and
             the whole collective restarts after the elastic shrink.
+        topology:
+            Fabric the simulated collectives (allreduce *and* shuffle) run
+            on: ``"star"`` (default), ``"ring"``, ``"full_mesh"`` or
+            ``"fat_tree"``.
         """
         if not stores:
             raise ValueError("need at least one learner store")
@@ -174,6 +183,7 @@ class DistributedSGDTrainer:
         self.lr_rescale = lr_rescale
         self.reshuffle_on_shrink = reshuffle_on_shrink
         self.collective_repair = collective_repair
+        self.topology = topology
         self.fault_injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
@@ -280,29 +290,68 @@ class DistributedSGDTrainer:
         return self.tables[0].replicas[0].accuracy(images, labels)
 
     def shuffle(self) -> None:
-        """Algorithm 2 across all learners' stores."""
-        if self.n_learners == 1:
-            self.stores[0].local_permute(
-                rng_for(self.seed, "perm", self._shuffle_round)
-            )
-            self._shuffle_round += 1
-            return
-        engine, world, comm = build_world(self.n_learners, topology="star")
-        procs = [
-            engine.process(
-                distributed_shuffle(
-                    comm,
-                    r,
-                    self.stores[r],
-                    seed=self.seed,
-                    round_id=self._shuffle_round,
-                ),
-                name=f"shuffle{r}",
-            )
-            for r in range(self.n_learners)
-        ]
-        engine.run(engine.all_of(procs))
-        self._shuffle_round += 1
+        """Algorithm 2 across all learners' stores, guarded end to end.
+
+        The round runs through
+        :func:`~repro.data.guard.run_shuffle_guarded` on the trainer's
+        configured fabric: a transactional exchange under a watchdog, with
+        transient faults (lost/delayed/corrupted messages) retried from the
+        rolled-back snapshots and permanent rank losses absorbed the same
+        way the gradient allreduce absorbs them — surgically (the guard
+        deals the victim's records to the survivors and re-runs the round
+        over the survivor group) or via restart (the failure bubbles up,
+        the trainer shrinks, and the round reruns).  Telemetry folds into
+        the current step's stats alongside the allreduce's.
+        """
+        round_id = self._shuffle_round
+        telemetry = CollectiveTelemetry()
+        surgical = self.collective_repair == "surgical"
+        repaired_handled = 0
+        try:
+            while True:
+                try:
+                    run_shuffle_guarded(
+                        self.stores,
+                        seed=self.seed,
+                        round_id=round_id,
+                        timeout=self.collective_timeout,
+                        max_retries=self.max_retries,
+                        retry_backoff=self.retry_backoff,
+                        topology=self.topology,
+                        tag=("sh", round_id),
+                        fault_injector=self.fault_injector,
+                        iteration=self.iteration,
+                        telemetry=telemetry,
+                        repair=surgical,
+                    )
+                except RankFailure as failure:
+                    # restart mode: shrink (the round itself rebalances the
+                    # survivors, so no nested reshuffle), then rerun the
+                    # same round over the survivor group.
+                    self._shrink_state(failure.rank, reshuffle=False)
+                    continue
+                # surgical mode: the guard already dealt each victim's
+                # records — absorb the rest of its learner state now.
+                for victim in telemetry.repaired_ranks[repaired_handled:]:
+                    repaired_handled += 1
+                    self._shrink_state(victim, records_dealt=True)
+                self._shuffle_round += 1
+                return
+        finally:
+            stats = self._step_stats
+            stats.sim_time += telemetry.sim_time
+            stats.retries += telemetry.retries
+            stats.backoff += telemetry.backoff
+            stats.fault_events.extend(telemetry.fault_events)
+            for diag in telemetry.diagnoses:
+                kind = "corruption" if diag.cause == "corruption" else "stall"
+                event = FaultEvent(
+                    kind, self.iteration, diag.suspect_rank, diag.now,
+                    str(diag), step=diag.suspect_step,
+                )
+                stats.fault_events.append(event)
+                if self.fault_injector is not None:
+                    self.fault_injector.record(event)
 
     def check_synchronized(self) -> None:
         """Assert every replica on every learner holds identical weights."""
@@ -376,7 +425,7 @@ class DistributedSGDTrainer:
                         timeout=self.collective_timeout,
                         max_retries=self.max_retries,
                         retry_backoff=self.retry_backoff,
-                        topology="star",
+                        topology=self.topology,
                         tag=("it", self.iteration),
                         fault_injector=self.fault_injector,
                         iteration=self.iteration,
@@ -420,7 +469,13 @@ class DistributedSGDTrainer:
         self._shrink_state(lost_slot)
         return [g for slot, g in enumerate(grads) if slot != lost_slot]
 
-    def _shrink_state(self, lost_slot: int) -> None:
+    def _shrink_state(
+        self,
+        lost_slot: int,
+        *,
+        records_dealt: bool = False,
+        reshuffle: bool | None = None,
+    ) -> None:
         """Absorb a dead learner's state into the survivors.
 
         The dead learner's DIMD records are dealt contiguously to the
@@ -429,6 +484,12 @@ class DistributedSGDTrainer:
         batch.  ``lost_slot`` is the victim's slot (group rank) at failure
         time — in surgical mode the executor reports victims in repair
         order, so sequential pops here stay aligned with its group ranks.
+
+        ``records_dealt=True`` means the guarded shuffle already dealt the
+        victim's records to the survivor stores (shared objects), so only
+        the table/identity/LR bookkeeping remains here.  ``reshuffle``
+        overrides ``reshuffle_on_shrink`` — a shrink *inside* a shuffle
+        round must not nest another round.
         """
         if self.n_learners <= 1:
             raise RankFailure(lost_slot)  # nobody left to recover on
@@ -437,13 +498,12 @@ class DistributedSGDTrainer:
         dead_table.close()
         self.learner_ids.pop(lost_slot)
         survivors = len(self.stores)
-        for slot, (lo, hi) in enumerate(chunk_ranges(len(dead_store), survivors)):
-            if hi > lo:
-                self.stores[slot].extend(
-                    dead_store.records[lo:hi], dead_store.labels[lo:hi]
-                )
-        if self.reshuffle_on_shrink and survivors > 1:
-            self.shuffle()
+        if not records_dealt:
+            deal_records(dead_store, self.stores)
+            if reshuffle is None:
+                reshuffle = self.reshuffle_on_shrink
+            if reshuffle and survivors > 1:
+                self.shuffle()
         if self.lr_rescale == "linear":
             prev_workers = self.schedule.n_workers
             new_workers = max(1, round(prev_workers * survivors / (survivors + 1)))

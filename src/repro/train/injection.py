@@ -15,6 +15,9 @@ through the real code paths:
   seconds before transfer (a congested or flapping path).
 * **drop** — message payloads are lost in transit; the sender completes
   locally and the receiver hangs until a collective timeout fires.
+* **corrupt** — a message payload is bit-flipped in transit (same size,
+  same timing); the receiver's CRC validation detects it, names the
+  sender, and the transactional shuffle rolls back and retries.
 
 A :class:`FaultPlan` is a declarative schedule of :class:`FaultSpec`
 entries keyed by trainer iteration; :class:`FaultInjector` arms the live
@@ -28,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.mpi.schedule import CollectiveTimeout, RankFailure
 from repro.mpi.world import MPIWorld
 from repro.sim.engine import Engine, Process
@@ -39,13 +44,14 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RankFailure",
+    "corrupt_messages",
     "crash",
     "degrade_links",
     "delay_messages",
     "drop_messages",
 ]
 
-_KINDS = ("crash", "degrade", "delay", "drop")
+_KINDS = ("crash", "degrade", "delay", "drop", "corrupt")
 
 # RankFailure / CollectiveTimeout now live at the executor layer
 # (repro.mpi.schedule) where the watchdog and retry logic runs; they are
@@ -85,7 +91,7 @@ class FaultSpec:
             raise ValueError("degrade factor must be in (0, 1]")
         if self.kind == "delay" and self.seconds <= 0:
             raise ValueError("delay needs seconds > 0")
-        if self.kind in ("delay", "drop") and self.count < 1:
+        if self.kind in ("delay", "drop", "corrupt") and self.count < 1:
             raise ValueError("count must be >= 1")
         if self.max_firings < 1:
             raise ValueError("max_firings must be >= 1")
@@ -154,6 +160,23 @@ def drop_messages(
     sender) posted at or after ``at`` seconds into the collective."""
     return FaultSpec(
         "drop", iteration, rank=rank, count=count, at=at,
+        max_firings=max_firings,
+    )
+
+
+def corrupt_messages(
+    iteration: int,
+    *,
+    rank: int | None = None,
+    count: int = 1,
+    at: float = 0.0,
+    max_firings: int = 1,
+) -> FaultSpec:
+    """Bit-flip the next ``count`` non-empty message payloads (from
+    ``rank``, or any sender) posted at or after ``at`` seconds into the
+    collective.  Size and timing are unchanged — only the bytes lie."""
+    return FaultSpec(
+        "corrupt", iteration, rank=rank, count=count, at=at,
         max_firings=max_firings,
     )
 
@@ -336,6 +359,10 @@ class _ArmedFaults:
                 continue
             if self.engine.now < spec.at:
                 continue
+            if spec.kind == "corrupt" and nbytes == 0:
+                # Nothing to flip in an empty payload; hold the budget for
+                # the next message that actually carries bytes.
+                continue
             budget = self._budget[id(spec)]
             if budget <= 0:
                 continue
@@ -348,9 +375,35 @@ class _ArmedFaults:
                                f"{nbytes}B to rank {dst} lost in transit")
                 )
                 return "drop", 0.0
+            if spec.kind == "corrupt":
+                self.injector.record(
+                    FaultEvent("corrupt", self.iteration, src, self.engine.now,
+                               f"{nbytes}B to rank {dst} bit-flipped in transit")
+                )
+                return "corrupt", 0.0
             self.injector.record(
                 FaultEvent("delay", self.iteration, src, self.engine.now,
                            f"{nbytes}B to rank {dst} held {spec.seconds:g}s")
             )
             return "delay", spec.seconds
         return "deliver", 0.0
+
+    def corrupt_payload(self, payload):
+        """Return a copy of ``payload`` with one bit flipped mid-buffer.
+
+        Called by :meth:`MPIWorld.isend` when :meth:`on_send` answered
+        ``"corrupt"``.  Size-only payloads (``None``) pass through — there
+        are no bytes to damage in a timing run.
+        """
+        if payload is None:
+            return None
+        if isinstance(payload, np.ndarray) and payload.nbytes > 0:
+            flipped = payload.copy()
+            view = flipped.view(np.uint8).reshape(-1)
+            view[len(view) // 2] ^= 0x80
+            return flipped
+        if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
+            flipped = bytearray(payload)
+            flipped[len(flipped) // 2] ^= 0x80
+            return bytes(flipped)
+        return payload

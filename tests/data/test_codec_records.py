@@ -106,3 +106,53 @@ def test_writer_validation(tmp_path):
     w.close()  # idempotent
     with pytest.raises(ValueError):
         w.append(b"b", 1)
+
+
+# -- record integrity ---------------------------------------------------------
+
+
+def test_index_has_crc_column_and_checksums_property(tmp_path):
+    from repro.data.integrity import record_crc
+
+    records = [(b"abc", 1), (b"defgh", 2)]
+    base = write_record_file(tmp_path / "t", records)
+    with RecordReader(base) as reader:
+        assert reader.index.shape == (2, 4)
+        assert reader.checksums.tolist() == [
+            record_crc(b"abc"), record_crc(b"defgh"),
+        ]
+
+
+def test_read_detects_flipped_data_byte(tmp_path):
+    from repro.data.integrity import RecordCorrupt
+
+    records = [(b"hello world", 3), (b"intact", 4)]
+    base = write_record_file(tmp_path / "t", records)
+    data_path = base.with_suffix(".data")
+    raw = bytearray(data_path.read_bytes())
+    raw[2] ^= 0x01  # flip one bit inside record 0
+    data_path.write_bytes(bytes(raw))
+    with RecordReader(base) as reader:
+        with pytest.raises(RecordCorrupt) as excinfo:
+            reader.read(0)
+        assert excinfo.value.index == 0
+        # the undamaged record still reads fine
+        assert reader.read(1) == (b"intact", 4)
+
+
+def test_legacy_three_column_index_loads_unverified(tmp_path):
+    records = [(b"old", 1), (b"format", 2)]
+    base = write_record_file(tmp_path / "t", records)
+    idx_path = base.with_suffix(".idx.npy")
+    legacy = np.load(idx_path)[:, :3]  # strip the CRC column
+    np.save(idx_path, legacy)
+    # Corrupt the data; a legacy index has no CRC, so the read succeeds.
+    data_path = base.with_suffix(".data")
+    raw = bytearray(data_path.read_bytes())
+    raw[0] ^= 0xFF
+    data_path.write_bytes(bytes(raw))
+    with RecordReader(base) as reader:
+        assert reader.checksums is None
+        blob, label = reader.read(0)
+        assert label == 1
+        assert blob != b"old"  # corruption passed through silently

@@ -118,3 +118,156 @@ def test_partitioned_load_groups_replicate(tmp_path):
     assert stores[0].records == stores[2].records
     assert stores[1].records == stores[3].records
     assert len(stores[0]) + len(stores[1]) == 12
+
+
+# -- checksums & integrity ----------------------------------------------------
+
+
+def test_store_checksums_match_records():
+    from repro.data.integrity import record_crc
+
+    store = make_store(6)
+    assert store.checksums.dtype == np.int64
+    assert store.checksums.tolist() == [record_crc(r) for r in store.records]
+
+
+def test_store_checksums_follow_extend_and_permute():
+    from repro.data.integrity import record_crc
+
+    a = make_store(5, seed=1)
+    b = make_store(4, seed=2, learner=1)
+    a.extend(b.records, b.labels, b.checksums)
+    assert len(a.checksums) == 9
+    a.local_permute(np.random.default_rng(3))
+    assert a.checksums.tolist() == [record_crc(r) for r in a.records]
+
+
+def test_verify_integrity_quarantines_rotted_record():
+    store = make_store(8, seed=4)
+    victim = store.records[3]
+    store.records[3] = bytes([victim[0] ^ 0xFF]) + victim[1:]
+    bad = store.verify_integrity()
+    assert len(bad) == 1
+    assert len(store) == 7
+    assert bad[0].label == int(store.quarantined[0].label)
+    assert store.quarantined == bad
+    # A clean store reports nothing and loses nothing.
+    assert store.verify_integrity() == []
+    assert len(store) == 7
+
+
+def test_checksum_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        DIMDStore([b"a", b"b"], np.array([0, 1]), checksums=np.array([1]))
+
+
+# -- shuffle transaction ------------------------------------------------------
+
+
+def test_txn_commit_then_finalize():
+    store = make_store(6, seed=5)
+    other = make_store(6, seed=6)
+    store.begin_shuffle(0)
+    assert store.in_transaction
+    store.commit_shuffle(0, other.records, other.labels, other.checksums)
+    assert not store.in_transaction  # committed, awaiting finalize
+    store.finalize_shuffle(0)
+    assert store.records == other.records
+    assert store._txn is None
+
+
+def test_txn_rollback_before_commit_is_noop():
+    store = make_store(6, seed=7)
+    before = store.content_multiset()
+    store.begin_shuffle(0)
+    assert store.rollback_shuffle(0) is False
+    assert store.content_multiset() == before
+    assert not store.in_transaction
+
+
+def test_txn_rollback_after_commit_restores_snapshot():
+    store = make_store(6, seed=8)
+    before = store.content_multiset()
+    other = make_store(6, seed=9)
+    store.begin_shuffle(0)
+    store.commit_shuffle(0, other.records, other.labels, other.checksums)
+    assert store.rollback_shuffle(0) is True
+    assert store.content_multiset() == before
+
+
+def test_txn_rollback_truncates_quarantined():
+    from repro.data import QuarantinedRecord
+
+    store = make_store(6, seed=10)
+    store.begin_shuffle(0)
+    q = QuarantinedRecord(b"bad", 0, 1, 2, "in-flight")
+    other = make_store(6, seed=11)
+    store.commit_shuffle(
+        0, other.records, other.labels, other.checksums, quarantined=[q]
+    )
+    assert store.quarantined == [q]
+    store.rollback_shuffle(0)
+    assert store.quarantined == []
+
+
+def test_txn_begin_is_idempotent_within_round():
+    store = make_store(6, seed=12)
+    before = store.content_multiset()
+    store.begin_shuffle(3)
+    store.local_permute(np.random.default_rng(0))  # mutate after snapshot
+    store.begin_shuffle(3)  # re-entry must keep the original snapshot
+    other = make_store(6, seed=13)
+    store.commit_shuffle(3, other.records, other.labels, other.checksums)
+    store.rollback_shuffle(3)
+    assert store.content_multiset() == before
+
+
+def test_txn_commit_wrong_round_rejected():
+    store = make_store(4, seed=14)
+    store.begin_shuffle(1)
+    with pytest.raises(ValueError):
+        store.commit_shuffle(2, [], np.array([], dtype=np.int64))
+
+
+def test_txn_stale_round_replaced_by_fresh_begin():
+    store = make_store(4, seed=15)
+    store.begin_shuffle(0)
+    other = make_store(4, seed=16)
+    store.commit_shuffle(0, other.records, other.labels, other.checksums)
+    # Next round begins without finalize: fresh snapshot of current state.
+    current = store.content_multiset()
+    store.begin_shuffle(1)
+    third = make_store(4, seed=17)
+    store.commit_shuffle(1, third.records, third.labels, third.checksums)
+    store.rollback_shuffle(1)
+    assert store.content_multiset() == current
+
+
+# -- deal_records -------------------------------------------------------------
+
+
+def test_deal_records_contiguous_and_conserving():
+    dead = make_store(7, seed=18, learner=2)
+    survivors = [make_store(4, seed=19 + i, learner=i) for i in range(3)]
+    before = sorted(
+        p
+        for s in [dead, *survivors]
+        for p in s.content_multiset()
+    )
+    deal_before = [len(s) for s in survivors]
+    from repro.data import deal_records
+
+    deal_records(dead, survivors)
+    after = sorted(p for s in survivors for p in s.content_multiset())
+    assert after == before
+    # chunk_ranges(7, 3) -> 3/2/2 contiguous slices, in order.
+    gains = [len(s) - b for s, b in zip(survivors, deal_before)]
+    assert gains == [3, 2, 2]
+    assert survivors[0].records[-3:] == dead.records[:3]
+
+
+def test_deal_records_requires_survivors():
+    from repro.data import deal_records
+
+    with pytest.raises(ValueError):
+        deal_records(make_store(3), [])

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.data import DIMDStore, IMAGENET_1K, IMAGENET_22K, distributed_shuffle, simulate_shuffle
 from repro.data.codec import encode_image
+from repro.data.integrity import record_crc
 from repro.mpi import build_world
 
 
@@ -132,6 +133,91 @@ def test_shuffle_conservation_property(n_ranks, per_rank, seed):
     before = global_multiset(stores)
     run_shuffle(stores, seed=seed + 100)
     assert global_multiset(stores) == before
+
+
+def test_shuffle_report_elapsed_positive_multi_rank():
+    """The report must account the real simulated exchange time (the old
+    implementation always returned 0.0)."""
+    stores = make_stores(4, 8, seed=8)
+    reports = run_shuffle(stores, seed=21)
+    for r in reports:
+        assert r.elapsed > 0.0
+        assert r.bytes_exchanged > 0.0
+
+
+def test_shuffle_report_elapsed_zero_single_rank():
+    stores = make_stores(1, 8, seed=8)
+    (report,) = run_shuffle(stores, seed=21)
+    assert report.elapsed == 0.0
+
+
+# -- edge cases ---------------------------------------------------------------
+
+
+def test_shuffle_with_one_empty_store():
+    stores = make_stores(3, 6, seed=9)
+    stores[1] = DIMDStore([], np.array([], dtype=np.int64), learner=1)
+    before = global_multiset(stores)
+    run_shuffle(stores, seed=17)
+    assert global_multiset(stores) == before
+
+
+def test_shuffle_with_all_stores_empty():
+    stores = [
+        DIMDStore([], np.array([], dtype=np.int64), learner=r) for r in range(3)
+    ]
+    reports = run_shuffle(stores, seed=17)
+    assert all(len(s) == 0 for s in stores)
+    assert all(r.bytes_exchanged == 0.0 for r in reports)
+
+
+def test_shuffle_single_record_stores():
+    stores = make_stores(3, 1, seed=10)
+    before = global_multiset(stores)
+    run_shuffle(stores, seed=19)
+    assert global_multiset(stores) == before
+
+
+def test_shuffle_chunk_smaller_than_largest_record():
+    """max_chunk_bytes below one record's size must still shuffle whole
+    records (passes multiply, records never split)."""
+    stores = make_stores(3, 2, seed=11)
+    largest = max(len(r) for s in stores for r in s.records)
+    before = global_multiset(stores)
+    reports = run_shuffle(stores, seed=23, max_chunk_bytes=largest // 2)
+    assert all(r.n_passes >= 2 for r in reports)
+    assert global_multiset(stores) == before
+
+
+def test_shuffle_rejects_nonpositive_chunk():
+    stores = make_stores(2, 2, seed=12)
+    with pytest.raises(ValueError):
+        run_shuffle(stores, seed=3, max_chunk_bytes=0)
+
+
+# -- integrity ----------------------------------------------------------------
+
+
+def test_shuffle_quarantines_at_rest_corruption():
+    """A record whose bytes rotted in memory is pulled out of circulation
+    at pack time, reported, and excluded from the exchange — while every
+    healthy record still shuffles and conserves."""
+    stores = make_stores(3, 6, seed=13)
+    victim = stores[1].records[2]
+    corrupted = bytes([victim[0] ^ 0xFF]) + victim[1:]
+    assert record_crc(corrupted) != record_crc(victim)
+    stores[1].records[2] = corrupted  # checksum column keeps the old CRC
+    healthy_before = [
+        pair for s in stores for pair in s.content_multiset()
+        if pair[0] != corrupted
+    ]
+    reports = run_shuffle(stores, seed=29)
+    assert sum(r.quarantined for r in reports) == 1
+    assert global_multiset(stores) == sorted(healthy_before)
+    quarantined = [q for s in stores for q in s.quarantined]
+    assert len(quarantined) == 1
+    assert quarantined[0].blob == corrupted
+    assert quarantined[0].actual_crc == record_crc(corrupted)
 
 
 # -- full-scale timing (Figures 7-9) ------------------------------------------

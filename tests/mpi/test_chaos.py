@@ -156,3 +156,88 @@ def test_chaos_point_str_mentions_everything():
     p = ChaosPoint("ring", 4, "drop", 2, 0.125, note="send 3/9")
     s = str(p)
     assert "ring@4" in s and "drop" in s and "rank 2" in s and "send 3/9" in s
+
+
+# -- shuffle (data-plane) chaos -----------------------------------------------
+
+
+from repro.mpi.chaos import (  # noqa: E402
+    SHUFFLE_KINDS,
+    enumerate_shuffle_points,
+    run_shuffle_point,
+    shuffle_chaos_sweep,
+    shuffle_reference_run,
+)
+
+
+def test_shuffle_reference_run_records_boundaries_and_sends():
+    ref = shuffle_reference_run(4)
+    assert ref.algorithm == "shuffle"
+    assert ref.elapsed > 0
+    for r in range(4):
+        assert ref.boundaries[r][0] == 0.0
+        assert ref.send_times[r]  # every rank sends in a 4-rank shuffle
+        assert all(t <= ref.elapsed for t in ref.send_times[r])
+
+
+def test_enumerate_shuffle_points_covers_every_rank_and_kind():
+    points, ref = enumerate_shuffle_points(4)
+    assert {p.kind for p in points} == set(SHUFFLE_KINDS)
+    assert all(p.algorithm == "shuffle" for p in points)
+    for r in range(4):
+        crashes = [p for p in points if p.kind == "crash" and p.rank == r]
+        corrupts = [p for p in points if p.kind == "corrupt" and p.rank == r]
+        assert len(crashes) == len(ref.boundaries[r])
+        assert any(p.at == 0.0 for p in crashes)
+        assert len(corrupts) == len(ref.send_times[r])
+
+
+def test_enumerate_shuffle_points_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown chaos kind"):
+        enumerate_shuffle_points(4, kinds=("degrade",))
+
+
+def test_shuffle_crash_point_repairs_and_conserves():
+    points, ref = enumerate_shuffle_points(4, kinds=("crash",))
+    point = [p for p in points if p.rank == 2 and p.at > 0][0]
+    outcome = run_shuffle_point(point, reference=ref)
+    assert outcome.ok, outcome.detail
+    assert outcome.fired
+    assert outcome.repairs == 1
+    assert outcome.retries == 0
+    assert outcome.survivors == (0, 1, 3)
+
+
+def test_shuffle_corrupt_point_retries_and_names_victim():
+    points, ref = enumerate_shuffle_points(4, kinds=("corrupt",))
+    point = [p for p in points if p.rank == 1][0]
+    outcome = run_shuffle_point(point, reference=ref)
+    assert outcome.ok, outcome.detail
+    assert outcome.fired
+    assert outcome.repairs == 0
+    assert outcome.retries >= 1
+    assert outcome.diagnosis_named_victim is True
+    assert outcome.survivors == (0, 1, 2, 3)
+
+
+def test_shuffle_smoke_sweep_at_2_ranks():
+    report = shuffle_chaos_sweep((2,), max_points_per_rank=3)
+    assert report.n_points > 0
+    assert report.all_ok, report.format()
+    assert all(o.fired for o in report.outcomes)
+
+
+@pytest.mark.slow
+def test_shuffle_full_sweep_at_2_ranks():
+    report = shuffle_chaos_sweep((2,))
+    assert report.n_points > 0
+    assert report.all_ok, report.format()
+    assert all(o.fired for o in report.outcomes)
+
+
+@pytest.mark.slow
+def test_shuffle_full_sweep_at_4_ranks():
+    report = shuffle_chaos_sweep((4,))
+    assert report.n_points > 0
+    assert report.all_ok, report.format()
+    assert all(o.fired for o in report.outcomes)

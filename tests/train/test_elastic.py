@@ -23,6 +23,7 @@ from repro.train import (
     FaultPlan,
     TrainerCheckpoint,
     WarmupStepSchedule,
+    corrupt_messages,
     crash,
     degrade_links,
     delay_messages,
@@ -335,3 +336,121 @@ def test_restore_overrides_operational_knobs(tmp_path):
     assert resumed.max_retries == 7
     # State untouched by the overrides.
     np.testing.assert_array_equal(resumed.params(), trainer.params())
+
+
+def test_checkpoint_bit_flip_raises_corrupt(tmp_path):
+    from repro.train.checkpoint import CheckpointCorrupt
+
+    trainer = make_trainer(n=2)
+    trainer.step()
+    path = tmp_path / "c.ckpt"
+    trainer.save_checkpoint(path)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0x40  # flip a payload bit
+    path.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointCorrupt, match="CRC32"):
+        TrainerCheckpoint.load(path)
+
+
+def test_checkpoint_truncation_raises_corrupt(tmp_path):
+    from repro.train.checkpoint import CheckpointCorrupt
+
+    trainer = make_trainer(n=2)
+    trainer.step()
+    path = tmp_path / "c.ckpt"
+    trainer.save_checkpoint(path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(CheckpointCorrupt):
+        TrainerCheckpoint.load(path)
+
+
+def test_checkpoint_legacy_headerless_pickle_loads(tmp_path):
+    import pickle
+
+    trainer = make_trainer(n=2)
+    trainer.step()
+    ckpt = trainer.checkpoint()
+    path = tmp_path / "legacy.ckpt"
+    path.write_bytes(pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL))
+    loaded = TrainerCheckpoint.load(path)
+    assert loaded.iteration == ckpt.iteration
+    np.testing.assert_array_equal(loaded.params, ckpt.params)
+
+
+# -- data-plane faults (guarded shuffle) --------------------------------------
+
+
+def test_crash_during_shuffle_shrinks_and_training_continues():
+    """The crash lands inside the shuffle round (armed after the step's
+    allreduce): the guard repairs surgically and training finishes on the
+    survivors with every record accounted for."""
+    trainer = make_trainer(
+        n=3, plan=FaultPlan([crash(1, 1)]), shuffle_every=1
+    )
+    before = content_multiset(trainer)
+    r1 = trainer.step()  # allreduce at it=0, shuffle armed at it=1 -> crash
+    assert trainer.n_learners == 2
+    assert trainer.learner_ids == [0, 2]
+    assert any("crash" in f for f in r1.faults)
+    assert content_multiset(trainer) == before
+    for _ in range(2):
+        trainer.step()
+    trainer.check_synchronized()
+    assert content_multiset(trainer) == before
+
+
+def test_crash_during_shuffle_restart_mode():
+    trainer = make_trainer(
+        n=3, plan=FaultPlan([crash(2, 1)]), shuffle_every=1,
+        collective_repair="restart",
+    )
+    before = content_multiset(trainer)
+    trainer.step()
+    assert trainer.n_learners == 2
+    assert trainer.learner_ids == [0, 1]
+    assert content_multiset(trainer) == before
+    trainer.step()
+    trainer.check_synchronized()
+
+
+def test_corrupt_during_shuffle_rolls_back_and_retries():
+    """An in-flight bit flip is caught by the wire checksums: the round
+    rolls back, retries clean, and the step reports the corruption."""
+    trainer = make_trainer(
+        n=3, plan=FaultPlan([corrupt_messages(1, rank=2)]), shuffle_every=1
+    )
+    before = content_multiset(trainer)
+    r1 = trainer.step()
+    assert r1.retries >= 1
+    assert any("corrupt" in f for f in r1.faults)
+    assert trainer.n_learners == 3
+    assert content_multiset(trainer) == before
+    trainer.step()
+    trainer.check_synchronized()
+
+
+def test_corrupt_shuffle_matches_fault_free_run_bit_exactly():
+    """Retry-from-snapshot must reproduce the fault-free shuffle exactly:
+    the corrupted attempt leaves no trace in the data or the weights."""
+    faulted = make_trainer(
+        n=3, plan=FaultPlan([corrupt_messages(1, rank=0)]), shuffle_every=1
+    )
+    clean = make_trainer(n=3, shuffle_every=1)
+    for _ in range(3):
+        faulted.step()
+        clean.step()
+    np.testing.assert_array_equal(faulted.params(), clean.params())
+    for a, b in zip(faulted.stores, clean.stores):
+        assert a.records == b.records
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_trainer_topology_knob_reaches_shuffle():
+    trainer = make_trainer(n=3, shuffle_every=1, topology="ring")
+    assert trainer.topology == "ring"
+    before = content_multiset(trainer)
+    for _ in range(2):
+        trainer.step()
+    trainer.check_synchronized()
+    assert content_multiset(trainer) == before
