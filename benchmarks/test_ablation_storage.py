@@ -6,8 +6,6 @@ effect from the memory already on the nodes.  This bench quantifies the
 epoch time on shared-fs / flash / DIMD.
 """
 
-from dataclasses import replace
-
 from conftest import emit
 
 from repro.cluster import FLASH_STORAGE, MINSKY_NODE, NFS_STORAGE, ClusterSpec

@@ -1,0 +1,51 @@
+"""Ablation: static-verification cost per allreduce algorithm.
+
+The verifier (DESIGN.md §4g) proves every compiled schedule before it is
+trusted, so its wall-time is part of the operational budget alongside
+the MTTR rows: a proof that took longer than a watchdog restart would
+undercut the case for static checking.  This bench records the per-pass
+cost of a full proof (lint + determinism + races + semantics + bounds)
+for each of the eight allreduce compilers at 16 ranks.
+"""
+
+from conftest import emit
+
+from repro.mpi.collectives import ALLREDUCE_COMPILERS
+from repro.mpi.verify import allreduce_contract, verify_schedule
+from repro.utils.ascii import render_table
+
+N_RANKS = 16
+COUNT = 1003
+ITEMSIZE = 8
+
+
+def run_verify_study():
+    rows = []
+    for name in sorted(ALLREDUCE_COMPILERS):
+        schedule = ALLREDUCE_COMPILERS[name](N_RANKS, COUNT, ITEMSIZE)
+        report = verify_schedule(schedule, allreduce_contract(N_RANKS, COUNT))
+        rows.append((name, len(schedule.steps), report))
+    return rows
+
+
+def test_ablation_verify_wall_time(benchmark):
+    rows = benchmark.pedantic(run_verify_study, rounds=1, iterations=1)
+    table = render_table(
+        ["algorithm", "steps", "verify (ms)", "verdict"],
+        [
+            [name, str(steps), f"{report.wall_time_s * 1e3:.3g}",
+             "PROVED" if report.ok else "FAILED"]
+            for name, steps, report in rows
+        ],
+        title=f"Ablation — verifier wall-time per algorithm ({N_RANKS} ranks)",
+    )
+    emit("ablation_verify", table)
+
+    assert len(rows) == len(ALLREDUCE_COMPILERS)
+    for name, _steps, report in rows:
+        # Every production compiler must prove clean...
+        assert report.ok, f"{name}: {sorted(report.kinds())}"
+        # ...and the proof must cost far less than a watchdog restart
+        # (MTTR table: restarts are tens of sim-milliseconds; a proof
+        # that took minutes of wall time would not be a viable gate).
+        assert 0.0 < report.wall_time_s < 60.0, name

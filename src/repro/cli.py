@@ -12,6 +12,7 @@ Examples::
     python -m repro faults --learners 4 --crash-rank 1 --crash-at 4
     python -m repro chaos --ranks 4 --algorithms smoke
     python -m repro chaos --collective shuffle --ranks 4
+    python -m repro verify --all --goldens --mutate smoke
     python -m repro fig5
 """
 
@@ -115,6 +116,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allreduce only: elements per rank buffer")
     p.add_argument("--max-points", type=int, default=None,
                    help="cap fault points per rank (evenly subsampled)")
+
+    p = sub.add_parser(
+        "verify",
+        help="statically prove compiled schedules correct, race-free "
+             "and bounded (semantic, race, determinism, bounds passes)",
+    )
+    p.add_argument("--all", action="store_true",
+                   help="sweep every registered allreduce compiler plus the "
+                        "auxiliary collectives (default: one per family)")
+    p.add_argument("--algorithms", default=None,
+                   help="comma list of allreduce algorithms to verify "
+                        "(overrides --all)")
+    p.add_argument("--ranks", type=int, nargs="+", default=[2, 4, 6, 16],
+                   help="group sizes to sweep")
+    p.add_argument("--count", type=int, default=1003,
+                   help="elements per rank buffer")
+    p.add_argument("--goldens", action="store_true",
+                   help="cross-check the alpha-beta critical-path lower "
+                        "bound against the Fig. 5 goldens")
+    p.add_argument("--goldens-max-mb", type=float, default=None,
+                   help="only cross-check goldens up to this payload size")
+    p.add_argument("--mutate", default="off",
+                   choices=("off", "smoke", "full"),
+                   help="also run the mutation self-test: 'smoke' mutates "
+                        "one compiler per family, 'full' all compilers")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every schedule's report, not just failures")
     return parser
 
 
@@ -405,6 +433,52 @@ def _cmd_chaos(args) -> int:
     return 0 if report.all_ok else 1
 
 
+def _cmd_verify(args) -> int:
+    from repro.mpi.chaos import smoke_algorithms
+    from repro.mpi.collectives import ALLREDUCE_COMPILERS
+    from repro.mpi.verify.mutate import run_mutation_suite
+    from repro.mpi.verify.sweep import run_sweep
+
+    if args.algorithms is not None:
+        algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+        unknown = [a for a in algorithms if a not in ALLREDUCE_COMPILERS]
+        if unknown:
+            print(
+                f"unknown algorithm(s) {unknown}; "
+                f"choose from {sorted(ALLREDUCE_COMPILERS)}",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.all:
+        algorithms = sorted(ALLREDUCE_COMPILERS)
+    else:
+        algorithms = smoke_algorithms()
+
+    result = run_sweep(
+        algorithms=algorithms,
+        ranks=tuple(args.ranks),
+        count=args.count,
+        goldens=args.goldens,
+        goldens_max_mb=args.goldens_max_mb,
+    )
+    print(result.format(verbose=args.verbose))
+    ok = result.all_ok
+
+    if args.mutate != "off":
+        names = (
+            sorted(ALLREDUCE_COMPILERS)
+            if args.mutate == "full"
+            else smoke_algorithms()
+        )
+        mutation = run_mutation_suite(
+            {name: ALLREDUCE_COMPILERS[name] for name in names}
+        )
+        print(mutation.format())
+        ok = ok and mutation.kill_rate >= 0.95
+
+    return 0 if ok else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -431,6 +505,7 @@ _COMMANDS = {
     "trees": _cmd_trees,
     "faults": _cmd_faults,
     "chaos": _cmd_chaos,
+    "verify": _cmd_verify,
 }
 
 

@@ -26,7 +26,7 @@ Registered allreduce algorithms:
 * ``"binomial"`` — naive reduce-to-root + broadcast (latency baseline).
 """
 
-from repro.mpi.collectives.alltoall import alltoallv
+from repro.mpi.collectives.alltoall import alltoallv, compile_alltoallv
 from repro.mpi.collectives.basic import (
     binomial_allreduce,
     binomial_bcast,
@@ -119,6 +119,7 @@ __all__ = [
     "binomial_reduce",
     "binomial_tree",
     "color_trees",
+    "compile_alltoallv",
     "compile_binomial_allreduce",
     "compile_binomial_bcast",
     "compile_binomial_reduce",

@@ -14,9 +14,10 @@ MPI implementations that short-circuit self messages through memcpy).
 from __future__ import annotations
 
 from repro.mpi.datatypes import Buffer
+from repro.mpi.schedule import Schedule, ScheduleBuilder
 from repro.mpi.world import Communicator
 
-__all__ = ["alltoallv"]
+__all__ = ["alltoallv", "compile_alltoallv"]
 
 
 def alltoallv(
@@ -65,3 +66,47 @@ def alltoallv(
             progress.end_recv(rank, comm.engine.now)
         received[src] = msg.payload
     return received
+
+
+def compile_alltoallv(
+    counts: list[list[int]] | tuple[tuple[int, ...], ...],
+    itemsize: int = 1,
+) -> Schedule:
+    """Compile the balanced linear alltoallv into Schedule IR.
+
+    ``counts[s][d]`` is the element count rank ``s`` sends to rank ``d``.
+    The schedule mirrors :func:`alltoallv` step for step: rank ``r``
+    lands its own block via a local reduce (``out{r} -> in{r}``, which
+    equals a copy because the ``in`` landing zones start zeroed), posts
+    all remote sends in the rotated order ``(r+1)%n, (r+2)%n, ...``, and
+    drains receives in the mirrored order ``(r-1)%n, (r-2)%n, ...``,
+    serialized per rank exactly like the blocking ``comm.recv`` loop.
+
+    Buffer naming matches
+    :func:`repro.mpi.verify.contracts.alltoallv_contract`: rank ``r``
+    sends from ``out0..out{n-1}`` and receives into ``in0..in{n-1}``
+    (``in{s}`` holding rank ``s``'s payload).
+    """
+    n = len(counts)
+    if any(len(row) != n for row in counts):
+        raise ValueError("counts must be a square n_ranks x n_ranks matrix")
+    b = ScheduleBuilder(n, name=f"alltoallv(n={n})", itemsize=itemsize)
+    for rank in range(n):
+        b.reduce_local(
+            rank, 0, counts[rank][rank], 0, counts[rank][rank],
+            buf=f"in{rank}", src_buf=f"out{rank}", note="local block",
+        )
+        for offset in range(1, n):
+            dst = (rank + offset) % n
+            b.send(
+                rank, dst, "a2a", 0, counts[rank][dst],
+                buf=f"out{dst}", note=f"block for {dst}",
+            )
+        prev: int | None = None
+        for offset in range(1, n):
+            src = (rank - offset) % n
+            prev = b.copy(
+                rank, src, "a2a", 0, counts[src][rank],
+                buf=f"in{src}", deps=prev, note=f"block from {src}",
+            )
+    return b.build()

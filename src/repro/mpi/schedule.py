@@ -313,7 +313,12 @@ class ScheduleBuilder:
             itemsize=self.itemsize,
         )
         if validate:
-            validate_schedule(schedule)
+            try:
+                validate_schedule(schedule)
+            except ScheduleError as exc:
+                raise ScheduleError(
+                    f"schedule {self.name!r} failed validation: {exc}"
+                ) from exc
         return schedule
 
 
@@ -393,6 +398,11 @@ def validate_schedule(schedule: Schedule) -> dict[str, Any]:
         for peer in _peers_of(s):
             if peer is not None and not 0 <= peer < schedule.n_ranks:
                 raise ScheduleError(f"step {i} peer rank {peer} out of range")
+            if peer == s.rank:
+                # A rank messaging itself never matches: the executor's
+                # send and receive strands would deadlock silently.
+                verb = "sends to" if isinstance(s, SendStep) else "receives from"
+                raise ScheduleError(f"step {i} rank {s.rank} {verb} itself")
 
     edges = _message_edges(schedule)
 

@@ -1,0 +1,179 @@
+"""Resource-bounds analysis: critical path and peak in-flight bytes.
+
+Two complementary numbers per schedule:
+
+* **critical path** — a *lower bound* on any execution's elapsed time,
+  so the Fig. 5 golden cross-check can assert ``critical path <=
+  simulated elapsed`` (a violation means the schedule or the model is
+  wrong).  Soundness dictates the weights: posting a send is free (the
+  runtime's ``isend`` detaches a channel process and returns
+  immediately); a receive-reduce or local reduce occupies its rank's
+  CPU for at least ``nbytes * gamma``; a message cannot arrive earlier
+  than its send plus ``nbytes * beta`` of wire time; and transfers on
+  one ``(src, dst)`` channel serialize FIFO, so the *i*-th payload also
+  waits for the *(i-1)*-th to finish its wire time.  Costs the
+  simulator *may* overlap (wire vs reduce pipelining, per-message
+  software overhead, copy-engine time) are deliberately excluded —
+  every term counted is one the simulator provably pays in sequence.
+* **peak in-flight bytes** — walking the canonical linearization, every
+  send deposits its payload on its ``(src, dst)`` link and its source
+  rank's outstanding-bytes account; the matching receive drains it.  The
+  maxima bound the buffering the runtime needs per rank and per link,
+  and a nonzero final balance (impossible after the matching lint, but
+  checked anyway) would mean a payload nobody ever drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mpi.analytic import AlphaBetaModel
+from repro.mpi.schedule import (
+    RecvReduceStep,
+    ReduceLocalStep,
+    Schedule,
+    SendStep,
+    Step,
+)
+from repro.mpi.verify.hb import HBGraph
+from repro.mpi.verify.report import Issue, cap_issues
+
+__all__ = ["ResourceBounds", "analyze_bounds", "check_bounds"]
+
+
+@dataclass
+class ResourceBounds:
+    """Critical path and in-flight byte accounting for one schedule."""
+
+    critical_path_s: float
+    #: sids of the steps on (one) critical path, source to sink.
+    critical_path_sids: tuple[int, ...]
+    #: (src, dst) -> maximum bytes simultaneously in flight on the link.
+    peak_link_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: rank -> maximum bytes of its sends outstanding at once.
+    peak_rank_bytes: dict[int, int] = field(default_factory=dict)
+    #: total bytes crossing the wire (sum over all send payloads).
+    total_wire_bytes: int = 0
+    #: bytes still undrained at the end (0 for any lint-clean schedule).
+    leaked_bytes: int = 0
+
+
+def _nbytes(step: Step, itemsize: int) -> int:
+    buf = getattr(step, "buf", None)
+    if buf is None:
+        return 0
+    return (step.hi - step.lo) * itemsize
+
+
+def analyze_bounds(
+    schedule: Schedule,
+    hb: HBGraph | None = None,
+    *,
+    model: AlphaBetaModel | None = None,
+) -> ResourceBounds:
+    """Compute the critical path and in-flight peaks of a schedule."""
+    hb = hb if hb is not None else HBGraph(schedule)
+    model = model if model is not None else AlphaBetaModel()
+    itemsize = schedule.itemsize if schedule.itemsize else 1
+
+    n = len(schedule.steps)
+    weight = [0.0] * n
+    for s in schedule.steps:
+        if isinstance(s, (RecvReduceStep, ReduceLocalStep)):
+            weight[s.sid] = _nbytes(s, itemsize) * model.gamma
+    finish = [0.0] * n
+    via = [-1] * n
+    #: per channel: wire-completion time of the last transfer so far.
+    channel_done: dict[tuple[int, int, object], float] = {}
+    for sid in hb.order:
+        step = schedule.steps[sid]
+        best, best_pred = 0.0, -1
+        for p in step.deps:
+            if finish[p] > best:
+                best, best_pred = finish[p], p
+        snd_sid = hb.recv_to_send.get(sid)
+        if snd_sid is not None:
+            snd = schedule.steps[snd_sid]
+            channel = (snd.rank, snd.dst, snd.key)
+            arrival = max(finish[snd_sid], channel_done.get(channel, 0.0))
+            arrival += _nbytes(snd, itemsize) * model.beta
+            channel_done[channel] = arrival
+            if arrival > best:
+                best, best_pred = arrival, snd_sid
+        finish[sid] = best + weight[sid]
+        via[sid] = best_pred
+    if n:
+        tail = max(range(n), key=lambda i: finish[i])
+        path = [tail]
+        while via[path[-1]] >= 0:
+            path.append(via[path[-1]])
+        path.reverse()
+        critical = finish[tail]
+    else:
+        path, critical = [], 0.0
+
+    bounds = ResourceBounds(
+        critical_path_s=critical,
+        critical_path_sids=tuple(path),
+    )
+    link_now: dict[tuple[int, int], int] = {}
+    rank_now: dict[int, int] = {}
+    for sid in hb.order:
+        step = schedule.steps[sid]
+        if isinstance(step, SendStep):
+            nbytes = _nbytes(step, itemsize)
+            link = (step.rank, step.dst)
+            link_now[link] = link_now.get(link, 0) + nbytes
+            rank_now[step.rank] = rank_now.get(step.rank, 0) + nbytes
+            bounds.total_wire_bytes += nbytes
+            bounds.peak_link_bytes[link] = max(
+                bounds.peak_link_bytes.get(link, 0), link_now[link]
+            )
+            bounds.peak_rank_bytes[step.rank] = max(
+                bounds.peak_rank_bytes.get(step.rank, 0), rank_now[step.rank]
+            )
+        elif sid in hb.recv_to_send:
+            snd = schedule.steps[hb.recv_to_send[sid]]
+            nbytes = _nbytes(snd, itemsize)
+            link_now[(snd.rank, snd.dst)] -= nbytes
+            rank_now[snd.rank] -= nbytes
+    bounds.leaked_bytes = sum(link_now.values())
+    return bounds
+
+
+def check_bounds(
+    bounds: ResourceBounds,
+    *,
+    max_in_flight_bytes: int | None = None,
+    golden_elapsed_s: float | None = None,
+    schedule_name: str = "",
+) -> list[Issue]:
+    """Turn bound violations into issues (empty list when all hold)."""
+    issues: list[Issue] = []
+    if bounds.leaked_bytes:
+        issues.append(Issue(
+            pass_name="bounds", kind="in-flight-leak",
+            message=f"{bounds.leaked_bytes} B sent but never received",
+        ))
+    if max_in_flight_bytes is not None:
+        for rank, peak in sorted(bounds.peak_rank_bytes.items()):
+            if peak > max_in_flight_bytes:
+                issues.append(Issue(
+                    pass_name="bounds", kind="in-flight-exceeds-cap",
+                    rank=rank,
+                    message=(
+                        f"rank {rank} holds {peak} B in flight "
+                        f"(cap {max_in_flight_bytes} B)"
+                    ),
+                ))
+    if golden_elapsed_s is not None and bounds.critical_path_s > golden_elapsed_s:
+        issues.append(Issue(
+            pass_name="bounds", kind="critical-path-exceeds-golden",
+            message=(
+                f"{schedule_name or 'schedule'}: analytic critical path "
+                f"{bounds.critical_path_s:.6e} s exceeds the simulated "
+                f"golden {golden_elapsed_s:.6e} s — the lower bound is "
+                f"violated, so the schedule or the model is wrong"
+            ),
+        ))
+    return cap_issues(issues, "bounds")

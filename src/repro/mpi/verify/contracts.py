@@ -1,0 +1,144 @@
+"""Postcondition contracts for the semantic verification pass.
+
+A :class:`Contract` declares, per rank, which named buffers a schedule
+operates on, what abstract value each buffer element starts with, and
+what multiset of *rank contributions* each element must hold when the
+schedule completes.  The abstract value of one element is a multiset of
+contribution tokens ``(origin_rank, origin_buf, origin_index)``; the
+semantic interpreter moves those multisets through the happens-before
+DAG and checks them against the contract's expectation.
+
+Shipped contracts:
+
+* :func:`allreduce_contract` — every rank ends with exactly one
+  contribution from every rank at every element index;
+* :func:`reduce_contract` — the root ends with the full multiset; other
+  ranks are unconstrained (like MPI, only the root's result is defined);
+* :func:`broadcast_contract` — every rank ends with exactly the root's
+  original element;
+* :func:`barrier_contract` — no data buffers at all (the schedule only
+  moves zero-byte tokens);
+* :func:`alltoallv_contract` — rank ``r``'s ``in{s}`` buffer ends with
+  exactly rank ``s``'s original ``out{r}`` buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "Contract",
+    "allreduce_contract",
+    "alltoallv_contract",
+    "barrier_contract",
+    "broadcast_contract",
+    "reduce_contract",
+]
+
+#: One rank-contribution: (origin rank, origin buffer name, origin index).
+Token = tuple[int, str, int]
+#: Abstract value of one buffer element: contribution token -> multiplicity.
+Multiset = dict[Token, int]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Buffers, initial abstract state and postcondition of a collective.
+
+    ``buffers(rank)`` maps buffer name -> element count for that rank.
+    ``initial(rank, buf, idx)`` returns the element's starting multiset.
+    ``expected(rank, buf, idx)`` returns the required final multiset, or
+    ``None`` when the element's final value is unconstrained.
+    """
+
+    name: str
+    n_ranks: int
+    buffers: Callable[[int], dict[str, int]]
+    initial: Callable[[int, str, int], Multiset]
+    expected: Callable[[int, str, int], Multiset | None]
+
+
+def _own_element(rank: int, buf: str, idx: int) -> Multiset:
+    return {(rank, buf, idx): 1}
+
+
+def allreduce_contract(n_ranks: int, count: int) -> Contract:
+    """Every rank ends with one contribution from every rank, elementwise."""
+    full = lambda idx: {(r, "data", idx): 1 for r in range(n_ranks)}
+    return Contract(
+        name="allreduce",
+        n_ranks=n_ranks,
+        buffers=lambda rank: {"data": count},
+        initial=_own_element,
+        expected=lambda rank, buf, idx: full(idx),
+    )
+
+
+def reduce_contract(n_ranks: int, count: int, *, root: int = 0) -> Contract:
+    """The root ends with the full sum; other ranks are undefined (MPI)."""
+    full = lambda idx: {(r, "data", idx): 1 for r in range(n_ranks)}
+    return Contract(
+        name=f"reduce(root={root})",
+        n_ranks=n_ranks,
+        buffers=lambda rank: {"data": count},
+        initial=_own_element,
+        expected=lambda rank, buf, idx: full(idx) if rank == root else None,
+    )
+
+
+def broadcast_contract(n_ranks: int, count: int, *, root: int = 0) -> Contract:
+    """Every rank ends with exactly the root's original element."""
+    return Contract(
+        name=f"broadcast(root={root})",
+        n_ranks=n_ranks,
+        buffers=lambda rank: {"data": count},
+        initial=_own_element,
+        expected=lambda rank, buf, idx: {(root, "data", idx): 1},
+    )
+
+
+def barrier_contract(n_ranks: int) -> Contract:
+    """No data buffers: the schedule may only move zero-byte tokens."""
+    return Contract(
+        name="barrier",
+        n_ranks=n_ranks,
+        buffers=lambda rank: {},
+        initial=_own_element,  # unreachable: no buffers declared
+        expected=lambda rank, buf, idx: None,
+    )
+
+
+def alltoallv_contract(counts: tuple[tuple[int, ...], ...]) -> Contract:
+    """Rank ``r`` ends with ``in{s}`` == rank ``s``'s original ``out{r}``.
+
+    ``counts[s][d]`` is the element count rank ``s`` sends to rank ``d``.
+    Receive buffers start *empty* (they are pure landing zones — the
+    compiled schedule overwrites or fills them, so their prior content
+    must never leak into the result).
+    """
+    n = len(counts)
+
+    def buffers(rank: int) -> dict[str, int]:
+        out = {f"out{d}": counts[rank][d] for d in range(n)}
+        out.update({f"in{s}": counts[s][rank] for s in range(n)})
+        return out
+
+    def initial(rank: int, buf: str, idx: int) -> Multiset:
+        if buf.startswith("in"):
+            return {}
+        return {(rank, buf, idx): 1}
+
+    def expected(rank: int, buf: str, idx: int) -> Multiset | None:
+        if not buf.startswith("in"):
+            return None  # send buffers may be consumed in place
+        src = int(buf[2:])
+        return {(src, f"out{rank}", idx): 1}
+
+    return Contract(
+        name="alltoallv",
+        n_ranks=n,
+        buffers=buffers,
+        initial=initial,
+        expected=expected,
+    )

@@ -1,0 +1,55 @@
+"""Match-determinism: every send must pair with exactly one receive.
+
+The runtime matches messages per ``(src, dst, key)`` channel in FIFO
+order: the i-th *posted* send pairs with the i-th *posted* receive.  The
+lint (and :class:`~repro.mpi.verify.hb.HBGraph`) pair them in **sid**
+order instead — which is only the pairing the runtime will realize if
+the schedule forces that posting order.  Sends are eager: a rank posts a
+send the moment its deps are satisfied, so two same-channel sends with
+no happens-before path between them may hit the wire in either order,
+and the receiver's payloads silently swap.  The same holds for two
+unordered receives on one channel.
+
+This pass therefore requires, per channel with more than one message,
+that consecutive sends (in sid order) are happens-before ordered, and
+likewise consecutive receives.  When that holds, the runtime's FIFO
+matching provably equals the lint's sid-order pairing — the precondition
+the semantic pass relies on.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.schedule import Schedule
+from repro.mpi.verify.hb import HBGraph
+from repro.mpi.verify.report import Issue, cap_issues
+
+__all__ = ["check_match_determinism"]
+
+
+def check_match_determinism(
+    schedule: Schedule, hb: HBGraph | None = None
+) -> list[Issue]:
+    """Flag channels whose FIFO matching depends on execution order."""
+    hb = hb if hb is not None else HBGraph(schedule)
+    issues: list[Issue] = []
+    for (src, dst, key), (send_sids, recv_sids) in sorted(
+        hb.channels.items(), key=lambda kv: (kv[0][0], kv[0][1], str(kv[0][2]))
+    ):
+        for role, rank, sids in (
+            ("send", src, send_sids),
+            ("recv", dst, recv_sids),
+        ):
+            for a, b in zip(sids, sids[1:]):
+                if not hb.happens_before(a, b):
+                    issues.append(Issue(
+                        pass_name="determinism",
+                        kind=f"ambiguous-{role}-order",
+                        rank=rank,
+                        sids=(a, b),
+                        message=(
+                            f"channel {src}->{dst} key={key!r}: {role}s "
+                            f"{a} and {b} are unordered, so FIFO matching "
+                            f"may swap their payloads"
+                        ),
+                    ))
+    return cap_issues(issues, "determinism")

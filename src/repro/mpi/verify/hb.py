@@ -1,0 +1,118 @@
+"""The happens-before graph of a schedule, shared by every verifier pass.
+
+Happens-before combines two edge families, exactly mirroring the runtime:
+
+* same-rank dependency edges (``step.deps``), and
+* message edges — a send happens-before the receive it matches, paired
+  per ``(src, dst, key)`` channel in posted (sid) order, the same pairing
+  :func:`repro.mpi.schedule.validate_schedule` lints.
+
+On top of the edge lists this module provides a deterministic
+linearization (Kahn's algorithm with a min-sid heap — every run of the
+verifier visits steps in the same order) and full reachability as one
+bitmask per step, which turns "is there a happens-before path a -> b?"
+into a single shift-and-test.  Reachability is what lets the race and
+determinism passes decide *concurrency* rather than merely adjacency.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.mpi.schedule import (
+    CopyStep,
+    RecvReduceStep,
+    Schedule,
+    ScheduleError,
+    SendStep,
+    _message_edges,
+)
+
+__all__ = ["HBGraph"]
+
+
+class HBGraph:
+    """Happens-before edges, topological order and reachability.
+
+    Raises :class:`~repro.mpi.schedule.ScheduleError` on unmatched
+    messages or cycles — run :func:`~repro.mpi.schedule.validate_schedule`
+    first for a friendlier message.
+    """
+
+    def __init__(self, schedule: Schedule):
+        self.schedule = schedule
+        n = len(schedule.steps)
+        self.message_pairs: list[tuple[int, int]] = _message_edges(schedule)
+        self.recv_to_send: dict[int, int] = {r: s for s, r in self.message_pairs}
+        self.send_to_recv: dict[int, int] = {s: r for s, r in self.message_pairs}
+
+        #: per ``(src, dst, key)`` channel: send sids and recv sids in
+        #: posted (sid) order — the pairing the lint and runtime use.
+        self.channels: dict[tuple[int, int, object], tuple[list[int], list[int]]] = {}
+        for s in schedule.steps:
+            if isinstance(s, SendStep):
+                self.channels.setdefault((s.rank, s.dst, s.key), ([], []))[0].append(s.sid)
+            elif isinstance(s, (RecvReduceStep, CopyStep)):
+                self.channels.setdefault((s.src, s.rank, s.key), ([], []))[1].append(s.sid)
+
+        self.preds: list[list[int]] = [list(s.deps) for s in schedule.steps]
+        self.succs: list[list[int]] = [[] for _ in range(n)]
+        for s in schedule.steps:
+            for d in s.deps:
+                self.succs[d].append(s.sid)
+        for snd, rcv in self.message_pairs:
+            self.preds[rcv].append(snd)
+            self.succs[snd].append(rcv)
+
+        self.order = self._topological_order()
+        #: position of each step in the canonical linearization.
+        self.position = [0] * n
+        for pos, sid in enumerate(self.order):
+            self.position[sid] = pos
+        self._desc: list[int] | None = None
+
+    def _topological_order(self) -> list[int]:
+        n = len(self.schedule.steps)
+        indeg = [len(p) for p in self.preds]
+        heap = [i for i in range(n) if indeg[i] == 0]
+        heapq.heapify(heap)
+        order: list[int] = []
+        while heap:
+            u = heapq.heappop(heap)
+            order.append(u)
+            for v in self.succs[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    heapq.heappush(heap, v)
+        if len(order) != n:
+            stuck = [i for i in range(n) if indeg[i] > 0]
+            raise ScheduleError(
+                f"happens-before cycle involving steps {stuck[:8]}"
+            )
+        return order
+
+    @property
+    def descendants(self) -> list[int]:
+        """Bitmask per step: bit ``v`` set iff there is an HB path to ``v``
+        (the step itself included)."""
+        if self._desc is None:
+            desc = [0] * len(self.schedule.steps)
+            for u in reversed(self.order):
+                mask = 1 << u
+                for v in self.succs[u]:
+                    mask |= desc[v]
+                desc[u] = mask
+            self._desc = desc
+        return self._desc
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """True iff there is a happens-before path from step a to step b."""
+        return a != b and bool((self.descendants[a] >> b) & 1)
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True iff neither step is ordered before the other."""
+        return (
+            a != b
+            and not self.happens_before(a, b)
+            and not self.happens_before(b, a)
+        )

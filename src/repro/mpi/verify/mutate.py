@@ -1,0 +1,384 @@
+"""Mutation self-test: the verifier and the executor check each other.
+
+Each mutator applies one small, realistic compiler bug to a correct
+schedule — dropping or duplicating a matched send/receive pair, widening
+a transfer range, retargeting a reduce window, deleting a dependency
+edge, swapping two chained steps, or turning a reduce into a copy (and
+vice versa).  Every mutant is then judged twice:
+
+* **statically** — :func:`repro.mpi.verify.verify_schedule` against the
+  collective's contract;
+* **dynamically** — executed on the simulator with integer payloads and
+  compared against the exact elementwise sum (deadlock and crash count
+  as miscomputation).
+
+The cross product classifies each mutant: ``killed`` (executor
+miscomputes, verifier flags — the desired outcome), ``escaped``
+(miscomputes but verifies clean — a verifier hole), ``benign`` (both
+agree the mutant is harmless, e.g. a transitively-implied dep removed)
+and ``overcautious`` (verifier flags a mutant the executor happens to
+compute correctly — acceptable: the verifier quantifies over *all*
+execution orders while one run samples one).  The suite asserts the
+kill rate over harmful mutants stays >= 95%.
+
+Mutants are constructed to pass the structural lint wherever possible
+(pairs are dropped/duplicated together, ranges stay inside the buffer)
+so the deeper passes — not the lint — do the killing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpi.datatypes import ArrayBuffer
+from repro.mpi.runner import build_world
+from repro.mpi.schedule import (
+    CopyStep,
+    RecvReduceStep,
+    Schedule,
+    ScheduleExecutor,
+    _message_edges,
+)
+from repro.mpi.verify import allreduce_contract, verify_schedule
+from repro.sim.engine import SimulationError
+
+__all__ = ["MUTATORS", "Mutant", "MutationRecord", "MutationResult", "run_mutation_suite"]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One mutated schedule plus what was done to it."""
+
+    operator: str
+    description: str
+    schedule: Schedule
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """Verdict on one mutant: static findings x dynamic behaviour."""
+
+    algorithm: str
+    operator: str
+    description: str
+    #: defect kinds the verifier reported (empty = verifies clean).
+    static_kinds: tuple[str, ...]
+    #: ``"correct"``, ``"wrong"``, ``"deadlock"`` or ``"crash"``.
+    dynamic: str
+
+    @property
+    def harmful(self) -> bool:
+        return self.dynamic != "correct"
+
+    @property
+    def caught(self) -> bool:
+        return bool(self.static_kinds)
+
+    @property
+    def classification(self) -> str:
+        if self.harmful:
+            return "killed" if self.caught else "escaped"
+        return "overcautious" if self.caught else "benign"
+
+
+@dataclass
+class MutationResult:
+    """Aggregate of one mutation sweep."""
+
+    records: list[MutationRecord] = field(default_factory=list)
+
+    def by_class(self, cls: str) -> list[MutationRecord]:
+        return [r for r in self.records if r.classification == cls]
+
+    @property
+    def kill_rate(self) -> float:
+        """Fraction of executor-miscomputing mutants flagged statically."""
+        harmful = [r for r in self.records if r.harmful]
+        if not harmful:
+            return 1.0
+        return sum(r.caught for r in harmful) / len(harmful)
+
+    def format(self) -> str:
+        counts = {
+            cls: len(self.by_class(cls))
+            for cls in ("killed", "escaped", "benign", "overcautious")
+        }
+        lines = [
+            f"mutation sweep: {len(self.records)} mutants — "
+            + ", ".join(f"{v} {k}" for k, v in counts.items())
+            + f"; kill rate {self.kill_rate:.1%}"
+        ]
+        for r in self.by_class("escaped"):
+            lines.append(
+                f"  ESCAPED {r.algorithm}/{r.operator}: {r.description} "
+                f"(dynamic={r.dynamic})"
+            )
+        return "\n".join(lines)
+
+
+# -- schedule surgery ---------------------------------------------------------
+
+def _rebuild(schedule: Schedule, steps, suffix: str) -> Schedule:
+    return dataclasses.replace(
+        schedule, steps=tuple(steps), name=f"{schedule.name}|{suffix}"
+    )
+
+
+def _drop_steps(schedule: Schedule, remove: set[int], suffix: str) -> Schedule:
+    """Remove steps, renumber densely, splice deps through removed steps."""
+    mapping: dict[int, int] = {}
+    new_steps = []
+
+    def resolve(d: int) -> list[int]:
+        if d in remove:
+            out: list[int] = []
+            for dd in schedule.steps[d].deps:
+                out.extend(resolve(dd))
+            return out
+        return [d]
+
+    for s in schedule.steps:
+        if s.sid in remove:
+            continue
+        mapping[s.sid] = len(new_steps)
+        deps = tuple(sorted({mapping[x] for d in s.deps for x in resolve(d)}))
+        new_steps.append(dataclasses.replace(s, sid=len(new_steps), deps=deps))
+    return _rebuild(schedule, new_steps, suffix)
+
+
+def _edit_step(schedule: Schedule, sid: int, suffix: str, **fields) -> Schedule:
+    steps = list(schedule.steps)
+    steps[sid] = dataclasses.replace(steps[sid], **fields)
+    return _rebuild(schedule, steps, suffix)
+
+
+def _sample(candidates: list, per_op: int) -> list:
+    """Deterministic spread of up to ``per_op`` mutation sites."""
+    if len(candidates) <= per_op:
+        return candidates
+    stride = (len(candidates) - 1) / (per_op - 1) if per_op > 1 else 1
+    return [candidates[round(i * stride)] for i in range(per_op)]
+
+
+# -- mutation operators -------------------------------------------------------
+
+def _mut_drop_send(schedule: Schedule, per_op: int):
+    """Drop a matched send/receive pair (lint stays balanced)."""
+    for snd, rcv in _sample(_message_edges(schedule), per_op):
+        yield Mutant(
+            "drop-send", f"drop send {snd} and its matched recv {rcv}",
+            _drop_steps(schedule, {snd, rcv}, f"drop{snd}"),
+        )
+
+
+def _mut_duplicate_send(schedule: Schedule, per_op: int):
+    """Replay a matched pair: append a second send and a second receive."""
+    for snd, rcv in _sample(_message_edges(schedule), per_op):
+        steps = list(schedule.steps)
+        s, r = schedule.steps[snd], schedule.steps[rcv]
+        steps.append(dataclasses.replace(
+            s, sid=len(steps), deps=(snd,), note="dup send"
+        ))
+        steps.append(dataclasses.replace(
+            r, sid=len(steps), deps=(rcv,), note="dup recv"
+        ))
+        yield Mutant(
+            "duplicate-send", f"replay send {snd} -> recv {rcv}",
+            _rebuild(schedule, steps, f"dup{snd}"),
+        )
+
+
+def _mut_widen_range(schedule: Schedule, per_op: int):
+    """Widen a matched pair's range by one element (staying in bounds)."""
+    count = schedule.count
+    if count is None:
+        return
+    candidates = []
+    for snd, rcv in _message_edges(schedule):
+        s, r = schedule.steps[snd], schedule.steps[rcv]
+        if s.buf is None or r.buf is None:
+            continue
+        if s.hi < count and r.hi < count:
+            candidates.append((snd, rcv, "hi"))
+        elif s.lo > 0 and r.lo > 0:
+            candidates.append((snd, rcv, "lo"))
+    for snd, rcv, edge in _sample(candidates, per_op):
+        s, r = schedule.steps[snd], schedule.steps[rcv]
+        steps = list(schedule.steps)
+        if edge == "hi":
+            steps[snd] = dataclasses.replace(s, hi=s.hi + 1)
+            steps[rcv] = dataclasses.replace(r, hi=r.hi + 1)
+        else:
+            steps[snd] = dataclasses.replace(s, lo=s.lo - 1)
+            steps[rcv] = dataclasses.replace(r, lo=r.lo - 1)
+        yield Mutant(
+            "widen-range", f"widen {edge} of send {snd}/recv {rcv} by 1",
+            _rebuild(schedule, steps, f"widen{snd}"),
+        )
+
+
+def _mut_retarget_reduce(schedule: Schedule, per_op: int):
+    """Shift a receive-reduce window (same size, wrong offset)."""
+    count = schedule.count
+    if count is None:
+        return
+    candidates = []
+    for s in schedule.steps:
+        if isinstance(s, RecvReduceStep) and s.hi > s.lo:
+            size = s.hi - s.lo
+            if s.hi + size <= count:
+                candidates.append((s.sid, size))
+            elif s.lo - size >= 0:
+                candidates.append((s.sid, -size))
+            elif s.hi < count:
+                candidates.append((s.sid, 1))
+            elif s.lo > 0:
+                candidates.append((s.sid, -1))
+    for sid, shift in _sample(candidates, per_op):
+        s = schedule.steps[sid]
+        yield Mutant(
+            "retarget-reduce",
+            f"shift reduce {sid} window [{s.lo},{s.hi}) by {shift:+d}",
+            _edit_step(schedule, sid, f"shift{sid}",
+                       lo=s.lo + shift, hi=s.hi + shift),
+        )
+
+
+def _mut_drop_dep(schedule: Schedule, per_op: int):
+    """Delete one dependency edge (may race or reorder matching)."""
+    candidates = [s.sid for s in schedule.steps if s.deps]
+    for sid in _sample(candidates, per_op):
+        deps = schedule.steps[sid].deps
+        yield Mutant(
+            "drop-dep", f"drop dep {deps[0]} of step {sid}",
+            _edit_step(schedule, sid, f"nodep{sid}", deps=deps[1:]),
+        )
+
+
+def _mut_swap_steps(schedule: Schedule, per_op: int):
+    """Swap the actions of two dep-chained same-rank steps.
+
+    Each step keeps its sid and dep spine but performs the other's
+    operation — the schedule-IR analogue of reordering two statements.
+    """
+    candidates = []
+    for s in schedule.steps:
+        for d in s.deps:
+            if type(schedule.steps[d]) is not type(s):
+                candidates.append((d, s.sid))
+                break
+    for a, b in _sample(candidates, per_op):
+        sa, sb = schedule.steps[a], schedule.steps[b]
+        steps = list(schedule.steps)
+        steps[a] = dataclasses.replace(sb, sid=a, deps=sa.deps)
+        steps[b] = dataclasses.replace(sa, sid=b, deps=sb.deps)
+        yield Mutant(
+            "swap-steps", f"swap actions of chained steps {a} and {b}",
+            _rebuild(schedule, steps, f"swap{a}-{b}"),
+        )
+
+
+def _mut_reduce_to_copy(schedule: Schedule, per_op: int):
+    """Demote a receive-reduce to a copy (result overwritten, not summed)."""
+    candidates = [
+        s.sid for s in schedule.steps
+        if isinstance(s, RecvReduceStep) and s.hi > s.lo
+    ]
+    for sid in _sample(candidates, per_op):
+        s = schedule.steps[sid]
+        steps = list(schedule.steps)
+        steps[sid] = CopyStep(
+            s.sid, s.rank, s.deps, s.note, s.src, s.key, s.buf, s.lo, s.hi
+        )
+        yield Mutant(
+            "reduce-to-copy", f"turn reduce {sid} into a copy",
+            _rebuild(schedule, steps, f"r2c{sid}"),
+        )
+
+
+def _mut_copy_to_reduce(schedule: Schedule, per_op: int):
+    """Promote a copy to a receive-reduce (stale value summed in)."""
+    candidates = [
+        s.sid for s in schedule.steps
+        if isinstance(s, CopyStep) and s.buf is not None and s.hi > s.lo
+    ]
+    for sid in _sample(candidates, per_op):
+        s = schedule.steps[sid]
+        steps = list(schedule.steps)
+        steps[sid] = RecvReduceStep(
+            s.sid, s.rank, s.deps, s.note, s.src, s.key, s.buf, s.lo, s.hi
+        )
+        yield Mutant(
+            "copy-to-reduce", f"turn copy {sid} into a reduce",
+            _rebuild(schedule, steps, f"c2r{sid}"),
+        )
+
+
+#: operator name -> generator of mutants (schedule, sites-per-operator).
+MUTATORS = {
+    "drop-send": _mut_drop_send,
+    "duplicate-send": _mut_duplicate_send,
+    "widen-range": _mut_widen_range,
+    "retarget-reduce": _mut_retarget_reduce,
+    "drop-dep": _mut_drop_dep,
+    "swap-steps": _mut_swap_steps,
+    "reduce-to-copy": _mut_reduce_to_copy,
+    "copy-to-reduce": _mut_copy_to_reduce,
+}
+
+
+# -- dynamic oracle -----------------------------------------------------------
+
+def _execute_allreduce(schedule: Schedule, n_ranks: int, count: int) -> str:
+    """Run a (possibly broken) allreduce schedule; classify the outcome."""
+    arrays = [
+        (np.arange(count, dtype=np.int64) * (rank + 1) + rank * 1_000_003)
+        for rank in range(n_ranks)
+    ]
+    want = np.sum(arrays, axis=0)
+    bufs = [ArrayBuffer(a.copy()) for a in arrays]
+    engine, world, comm = build_world(n_ranks, topology="star")
+    try:
+        ScheduleExecutor(comm, schedule, bufs).run()
+    except SimulationError:
+        return "deadlock"
+    except Exception:
+        return "crash"
+    for buf in bufs:
+        if not np.array_equal(buf.array, want):
+            return "wrong"
+    return "correct"
+
+
+def run_mutation_suite(
+    compilers: dict[str, object],
+    *,
+    n_ranks: int = 4,
+    count: int = 29,
+    itemsize: int = 8,
+    per_op: int = 2,
+) -> MutationResult:
+    """Mutate each compiler's schedule and grade verifier vs executor.
+
+    ``per_op`` bounds the mutation sites sampled per operator per
+    algorithm (sites are spread deterministically over the candidates).
+    """
+    result = MutationResult()
+    contract = allreduce_contract(n_ranks, count)
+    for name, compiler in sorted(compilers.items()):
+        baseline = compiler(n_ranks, count, itemsize)
+        for mutate in MUTATORS.values():
+            for mutant in mutate(baseline, per_op):
+                report = verify_schedule(mutant.schedule, contract)
+                dynamic = _execute_allreduce(mutant.schedule, n_ranks, count)
+                result.records.append(MutationRecord(
+                    algorithm=name,
+                    operator=mutant.operator,
+                    description=mutant.description,
+                    static_kinds=tuple(sorted(report.kinds())),
+                    dynamic=dynamic,
+                ))
+    return result

@@ -1,0 +1,91 @@
+"""Strand race detection over the happens-before graph.
+
+Two steps of the *same rank* race when no happens-before path orders
+them, their buffer ranges overlap, and at least one of them writes.  The
+executor is free to interleave (or fuse) concurrent same-rank steps, so
+a racy schedule can produce different numbers on different runs — and,
+worse, it invalidates the semantic pass, whose single canonical
+linearization is only representative when every conflicting access pair
+is ordered.
+
+Access classification mirrors the runtime:
+
+* ``SendStep`` reads its range (the payload snapshot);
+* ``RecvReduceStep`` read-modify-writes its range — classified as a
+  write (any overlap with a concurrent access is order-sensitive);
+* ``CopyStep`` writes its range;
+* ``ReduceLocalStep`` writes ``buf[lo:hi)`` and reads
+  ``src_buf[src_lo:src_hi)``.
+
+Zero-byte token steps (``buf=None``) touch no data and cannot race.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.schedule import (
+    CopyStep,
+    RecvReduceStep,
+    ReduceLocalStep,
+    Schedule,
+    SendStep,
+)
+from repro.mpi.verify.hb import HBGraph
+from repro.mpi.verify.report import Issue, cap_issues
+
+__all__ = ["find_races"]
+
+
+def _accesses(schedule: Schedule):
+    """Yield ``(rank, buf, sid, mode, lo, hi)`` for every data access."""
+    for step in schedule.steps:
+        if isinstance(step, SendStep):
+            if step.buf is not None:
+                yield step.rank, step.buf, step.sid, "r", step.lo, step.hi
+        elif isinstance(step, (RecvReduceStep, CopyStep)):
+            if step.buf is not None:
+                yield step.rank, step.buf, step.sid, "w", step.lo, step.hi
+        elif isinstance(step, ReduceLocalStep):
+            yield step.rank, step.buf, step.sid, "w", step.lo, step.hi
+            yield step.rank, step.src_buf, step.sid, "r", step.src_lo, step.src_hi
+
+
+def find_races(schedule: Schedule, hb: HBGraph | None = None) -> list[Issue]:
+    """All unordered conflicting same-rank access pairs, as issues."""
+    hb = hb if hb is not None else HBGraph(schedule)
+    per_buffer: dict[tuple[int, str], list[tuple[int, str, int, int]]] = {}
+    for rank, buf, sid, mode, lo, hi in _accesses(schedule):
+        if hi > lo:
+            per_buffer.setdefault((rank, buf), []).append((sid, mode, lo, hi))
+
+    issues: list[Issue] = []
+    seen: set[tuple[int, int]] = set()
+    for (rank, buf), accesses in sorted(per_buffer.items()):
+        accesses.sort()
+        for i, (sid_a, mode_a, lo_a, hi_a) in enumerate(accesses):
+            for sid_b, mode_b, lo_b, hi_b in accesses[i + 1:]:
+                if sid_a == sid_b:
+                    continue  # ReduceLocal reading and writing one buffer
+                if mode_a == "r" and mode_b == "r":
+                    continue
+                if lo_b >= hi_a or lo_a >= hi_b:
+                    continue
+                pair = (min(sid_a, sid_b), max(sid_a, sid_b))
+                if pair in seen or not hb.concurrent(sid_a, sid_b):
+                    continue
+                seen.add(pair)
+                kind = (
+                    "write-write-race"
+                    if mode_a == "w" and mode_b == "w"
+                    else "read-write-race"
+                )
+                overlap_lo = max(lo_a, lo_b)
+                overlap_hi = min(hi_a, hi_b)
+                issues.append(Issue(
+                    pass_name="race", kind=kind, rank=rank, sids=pair,
+                    message=(
+                        f"steps {pair[0]} ({mode_a}[{lo_a},{hi_a})) and "
+                        f"{pair[1]} ({mode_b}[{lo_b},{hi_b})) on {buf!r} are "
+                        f"concurrent and overlap on [{overlap_lo},{overlap_hi})"
+                    ),
+                ))
+    return cap_issues(issues, "race")

@@ -1,0 +1,110 @@
+"""Findings and reports for the static schedule verifier.
+
+Every pass in :mod:`repro.mpi.verify` reduces to a list of
+:class:`Issue` records — one per defect, each naming the pass that found
+it, a machine-checkable ``kind``, the offending step ids, and a
+human-readable message.  :class:`VerificationReport` aggregates the
+issues of one schedule's full verification (lint + semantic + race +
+determinism + bounds) together with the resource analysis, so callers
+get one object to assert on (``report.ok``) or print (``report.format()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.verify.bounds import ResourceBounds
+
+__all__ = ["Issue", "VerificationReport"]
+
+#: Every pass caps its issue list at this many records and appends one
+#: summary issue for the remainder, so a badly broken schedule produces a
+#: readable report instead of one line per corrupted element.
+MAX_ISSUES_PER_PASS = 16
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One defect found by a verifier pass.
+
+    ``pass_name`` is ``"lint"``, ``"semantic"``, ``"race"``,
+    ``"determinism"`` or ``"bounds"``; ``kind`` is the defect class within
+    the pass (e.g. ``"double-reduce"``, ``"write-write-race"``).  ``sids``
+    are the offending step ids when attribution succeeded.
+    """
+
+    pass_name: str
+    kind: str
+    message: str
+    rank: int | None = None
+    sids: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        where = f" r{self.rank}" if self.rank is not None else ""
+        steps = f" steps={list(self.sids)}" if self.sids else ""
+        return f"[{self.pass_name}/{self.kind}]{where}{steps}: {self.message}"
+
+
+def cap_issues(issues: list[Issue], pass_name: str) -> list[Issue]:
+    """Truncate a pass's findings to :data:`MAX_ISSUES_PER_PASS` records."""
+    if len(issues) <= MAX_ISSUES_PER_PASS:
+        return issues
+    dropped = len(issues) - MAX_ISSUES_PER_PASS
+    return issues[:MAX_ISSUES_PER_PASS] + [
+        Issue(
+            pass_name=pass_name,
+            kind="truncated",
+            message=f"{dropped} further issue(s) of this pass suppressed",
+        )
+    ]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one schedule against one contract."""
+
+    schedule_name: str
+    n_ranks: int
+    n_steps: int
+    contract: str | None = None
+    issues: list[Issue] = field(default_factory=list)
+    lint_summary: dict[str, Any] | None = None
+    resources: "ResourceBounds | None" = None
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def issues_by_pass(self, pass_name: str) -> list[Issue]:
+        return [i for i in self.issues if i.pass_name == pass_name]
+
+    def kinds(self) -> set[str]:
+        """Defect kinds present (handy for asserting what a mutant trips)."""
+        return {i.kind for i in self.issues}
+
+    def format(self) -> str:
+        head = (
+            f"verify {self.schedule_name!r}: {self.n_ranks} ranks, "
+            f"{self.n_steps} steps"
+            + (f", contract={self.contract}" if self.contract else "")
+            + f" ({self.wall_time_s * 1e3:.1f} ms)"
+        )
+        lines = [head]
+        if self.resources is not None:
+            r = self.resources
+            peak_link = max(r.peak_link_bytes.values(), default=0)
+            peak_rank = max(r.peak_rank_bytes.values(), default=0)
+            lines.append(
+                f"  bounds: critical path {r.critical_path_s * 1e6:.1f} us, "
+                f"peak in-flight {peak_rank} B/rank, {peak_link} B/link, "
+                f"{r.total_wire_bytes} B on the wire"
+            )
+        if self.ok:
+            lines.append("  PROVED: all passes clean")
+        else:
+            lines.append(f"  FAILED: {len(self.issues)} issue(s)")
+            lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)

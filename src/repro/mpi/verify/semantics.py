@@ -1,0 +1,229 @@
+"""Semantic abstract interpretation of a schedule.
+
+The interpreter executes the happens-before DAG symbolically: every
+buffer element carries a *multiset of contribution tokens* ``(origin
+rank, origin buffer, origin index)`` instead of numbers.  Sends snapshot
+the abstract value of their range at the moment they execute (eager
+``isend`` semantics); ``RecvReduceStep`` unions the payload into the
+destination (recording a **double-reduce event** whenever a token that is
+already present arrives again); ``CopyStep`` replaces the destination
+(recording a **destroy event** for every token the overwrite kills);
+``ReduceLocalStep`` unions a local range into another.
+
+After the run, each element is checked against the contract's expected
+multiset (see :mod:`repro.mpi.verify.contracts`).  Defects are
+classified from the mismatch plus the event logs:
+
+* ``double-reduce`` — an expected token present with multiplicity > 1
+  (the event log names the step where the duplicate first arrived);
+* ``misrouted-contribution`` — a token that should never reach this
+  element (retargeted reduce, widened range);
+* ``overwrite-after-reduce`` — an expected token is missing *and* the
+  log shows a ``CopyStep`` destroyed it;
+* ``missing-contribution`` — an expected token simply never arrived.
+
+The result is exact — not an approximation — **provided** the schedule
+is race-free and match-deterministic: then every execution order the
+runtime may choose yields the same abstract values the canonical
+linearization computes.  The race and determinism passes establish
+exactly that precondition, which is why
+:func:`repro.mpi.verify.verify_schedule` always runs them together.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.mpi.schedule import (
+    CopyStep,
+    RecvReduceStep,
+    ReduceLocalStep,
+    Schedule,
+    SendStep,
+)
+from repro.mpi.verify.contracts import Contract, Multiset, Token
+from repro.mpi.verify.hb import HBGraph
+from repro.mpi.verify.report import Issue, cap_issues
+
+__all__ = ["SemanticResult", "interpret_schedule"]
+
+
+@dataclass
+class SemanticResult:
+    """Outcome of one abstract interpretation run."""
+
+    issues: list[Issue]
+    #: rank -> buffer name -> per-element contribution multisets.
+    states: dict[int, dict[str, list[Multiset]]]
+    #: (sid, rank, buf, idx, token) for every duplicate arrival observed.
+    dup_events: list[tuple[int, int, str, int, Token]] = field(default_factory=list)
+    #: token -> sids of CopySteps that destroyed a live copy of it.
+    destroyed: dict[Token, list[int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def _init_states(contract: Contract) -> dict[int, dict[str, list[Multiset]]]:
+    states: dict[int, dict[str, list[Multiset]]] = {}
+    for rank in range(contract.n_ranks):
+        states[rank] = {
+            buf: [dict(contract.initial(rank, buf, i)) for i in range(cnt)]
+            for buf, cnt in contract.buffers(rank).items()
+        }
+    return states
+
+
+def interpret_schedule(
+    schedule: Schedule,
+    contract: Contract,
+    *,
+    hb: HBGraph | None = None,
+) -> SemanticResult:
+    """Run the abstract interpreter and check the contract's postcondition.
+
+    Expects a schedule that already passed
+    :func:`~repro.mpi.schedule.validate_schedule` (unmatched messages and
+    cycles raise :class:`~repro.mpi.schedule.ScheduleError` here too, just
+    less gracefully).
+    """
+    hb = hb if hb is not None else HBGraph(schedule)
+    states = _init_states(contract)
+    result = SemanticResult(issues=[], states=states)
+    channels: dict[tuple[int, int, object], deque] = {}
+    structural: list[Issue] = []
+
+    def element_slice(rank: int, buf: str | None, lo: int, hi: int, sid: int):
+        """Resolve ``buf[lo:hi)`` or record a structural issue and skip."""
+        if buf is None:
+            return []
+        store = states[rank].get(buf)
+        if store is None:
+            structural.append(Issue(
+                pass_name="semantic", kind="unbound-buffer", rank=rank,
+                sids=(sid,),
+                message=f"step {sid} touches buffer {buf!r} the "
+                        f"{contract.name} contract does not declare for rank {rank}",
+            ))
+            return None
+        if hi > len(store):
+            structural.append(Issue(
+                pass_name="semantic", kind="range-overflow", rank=rank,
+                sids=(sid,),
+                message=f"step {sid} range [{lo}, {hi}) exceeds {buf!r} "
+                        f"length {len(store)} on rank {rank}",
+            ))
+            return None
+        return store[lo:hi]
+
+    def reduce_into(dst: list[Multiset], payload, rank: int, buf: str, lo: int, sid: int):
+        for j, items in enumerate(payload):
+            cell = dst[j]
+            for token, mult in items:
+                if token in cell:
+                    result.dup_events.append((sid, rank, buf, lo + j, token))
+                cell[token] = cell.get(token, 0) + mult
+
+    for sid in hb.order:
+        step = schedule.steps[sid]
+        if isinstance(step, SendStep):
+            view = element_slice(step.rank, step.buf, step.lo, step.hi, sid)
+            if view is None:
+                view = []
+            payload = [tuple(cell.items()) for cell in view]
+            channels.setdefault((step.rank, step.dst, step.key), deque()).append(payload)
+        elif isinstance(step, (RecvReduceStep, CopyStep)):
+            queue = channels.get((step.src, step.rank, step.key))
+            payload = queue.popleft() if queue else []
+            if step.buf is None:
+                continue
+            view = element_slice(step.rank, step.buf, step.lo, step.hi, sid)
+            if view is None:
+                continue
+            if isinstance(step, RecvReduceStep):
+                reduce_into(view, payload, step.rank, step.buf, step.lo, sid)
+            else:
+                store = states[step.rank][step.buf]
+                for j, items in enumerate(payload):
+                    new = dict(items)
+                    old = store[step.lo + j]
+                    for token, mult in old.items():
+                        if mult > new.get(token, 0):
+                            result.destroyed.setdefault(token, []).append(sid)
+                    store[step.lo + j] = new
+        elif isinstance(step, ReduceLocalStep):
+            src = element_slice(step.rank, step.src_buf, step.src_lo, step.src_hi, sid)
+            dst = element_slice(step.rank, step.buf, step.lo, step.hi, sid)
+            if src is None or dst is None:
+                continue
+            payload = [tuple(cell.items()) for cell in src]
+            reduce_into(dst, payload, step.rank, step.buf, step.lo, sid)
+
+    result.issues.extend(_check_postcondition(contract, result))
+    result.issues = cap_issues(structural, "semantic") + result.issues
+    return result
+
+
+def _check_postcondition(contract: Contract, result: SemanticResult) -> list[Issue]:
+    """Compare final abstract states against the contract's expectation."""
+    dup_sids: dict[tuple[int, str, Token], list[int]] = {}
+    for sid, rank, buf, _idx, token in result.dup_events:
+        dup_sids.setdefault((rank, buf, token), []).append(sid)
+
+    # Aggregate per (rank, buf, kind, token-origin, sids): element indices.
+    grouped: dict[tuple, list[int]] = {}
+    details: dict[tuple, str] = {}
+    for rank, bufs in result.states.items():
+        for buf, store in bufs.items():
+            for idx, actual in enumerate(store):
+                expected = contract.expected(rank, buf, idx)
+                if expected is None:
+                    continue
+                for token, mult in actual.items():
+                    want = expected.get(token, 0)
+                    if mult > want:
+                        if want > 0:
+                            kind = "double-reduce"
+                            sids = tuple(sorted(set(
+                                dup_sids.get((rank, buf, token), [])
+                            )))
+                        else:
+                            kind = "misrouted-contribution"
+                            sids = ()
+                        key = (rank, buf, kind, token[0], sids)
+                        grouped.setdefault(key, []).append(idx)
+                        details[key] = (
+                            f"contribution {token} appears x{mult} "
+                            f"(expected x{want})"
+                        )
+                for token, want in expected.items():
+                    have = actual.get(token, 0)
+                    if have < want:
+                        killers = tuple(sorted(set(
+                            result.destroyed.get(token, [])
+                        )))
+                        kind = (
+                            "overwrite-after-reduce" if killers
+                            else "missing-contribution"
+                        )
+                        key = (rank, buf, kind, token[0], killers)
+                        grouped.setdefault(key, []).append(idx)
+                        details[key] = (
+                            f"contribution {token} appears x{have} "
+                            f"(expected x{want})"
+                        )
+
+    issues: list[Issue] = []
+    for key, indices in sorted(grouped.items(), key=lambda kv: kv[1][0]):
+        rank, buf, kind, _origin, sids = key
+        span = (
+            f"element {indices[0]}" if len(indices) == 1
+            else f"{len(indices)} elements ({indices[0]}..{indices[-1]})"
+        )
+        issues.append(Issue(
+            pass_name="semantic", kind=kind, rank=rank, sids=sids,
+            message=f"{buf}: {span}: {details[key]}",
+        ))
+    return cap_issues(issues, "semantic")

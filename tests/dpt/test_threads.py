@@ -17,7 +17,6 @@ def test_jobs_run_and_return_values():
 
 def test_ending_callbacks_serialized_in_order():
     order = []
-    lock = threading.Lock()
     with TorchThreads(4) as pool:
         for i in range(8):
             pool.add_job(lambda i=i: i, lambda v: order.append(v))

@@ -14,7 +14,7 @@ from repro.models.nn import (
     Sequential,
     build_tiny_resnet,
 )
-from tests.models.test_nn_layers import check_layer_gradients, numerical_grad
+from tests.models.test_nn_layers import check_layer_gradients
 
 RNG = np.random.default_rng(7)
 

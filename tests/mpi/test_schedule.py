@@ -110,12 +110,63 @@ def test_validate_catches_range_beyond_count():
         validate_schedule(b.build())
 
 
+def test_validate_rejects_self_send_and_self_receive():
+    # A rank messaging itself never matches — the executor's send and
+    # receive strands would silently deadlock waiting on each other.
+    b = ScheduleBuilder(2, count=4)
+    b.send(0, 0, "loop", 0, 4)
+    b.recv_reduce(0, 0, "loop", 0, 4)
+    with pytest.raises(ScheduleError, match="rank 0 sends to itself"):
+        validate_schedule(b.build())
+
+    b = ScheduleBuilder(2, count=4)
+    b.copy(1, 1, "loop", 0, 4)
+    with pytest.raises(ScheduleError, match="rank 1 receives from itself"):
+        validate_schedule(b.build())
+
+
+def test_build_validate_names_the_failing_schedule():
+    b = ScheduleBuilder(2, name="broken_compiler(n=2)", count=4)
+    b.send(0, 1, "x", 0, 4)  # unmatched: lint must fail
+    with pytest.raises(ScheduleError, match="broken_compiler"):
+        b.build(validate=True)
+    # build() without validation stays permissive (compilers lint later).
+    assert b.build().n_steps == 1
+
+
 def test_format_schedule_renders_and_truncates():
     sched = ALLREDUCE_COMPILERS["ring"](4, 1024, 4, segment_bytes=1024)
     text = format_schedule(sched)
     assert "rank 0:" in text and "send" in text and "recv" in text
     short = format_schedule(sched, max_steps=3)
     assert "more steps" in short and len(short) < len(text)
+
+
+def test_format_schedule_step_kinds_and_token_rendering():
+    b = ScheduleBuilder(2, name="kinds", count=8, itemsize=4)
+    b.send(0, 1, "tok")                      # zero-byte token send
+    b.recv(1, 0, "tok")                      # buf=None synchronization
+    b.send(0, 1, "k", 0, 4, note="payload")
+    b.recv_reduce(1, 0, "k", 0, 4)
+    b.reduce_local(1, 4, 8, 0, 4, src_buf="data")
+    text = format_schedule(b.build(validate=True))
+    assert "(token)" in text                 # buf=None renders as a token
+    assert "recv+copy" in text and "recv+reduce" in text
+    assert "reduce-local data[0:4) -> data[4:8)" in text
+    assert "# payload" in text               # notes survive formatting
+    header = text.splitlines()[0]
+    assert "'kinds'" in header and "2 ranks" in header
+
+
+def test_format_schedule_truncation_counts_remaining_steps():
+    b = ScheduleBuilder(2, name="trunc", count=4, itemsize=4)
+    for i in range(5):
+        b.send(0, 1, f"k{i}", 0, 4)
+        b.recv_reduce(1, 0, f"k{i}", 0, 4)
+    text = format_schedule(b.build(validate=True), max_steps=4)
+    assert "... (6 more steps)" in text
+    # Truncation must not lose the per-rank headers seen so far.
+    assert "rank 0: 5 steps" in text
 
 
 def test_every_registered_compiler_passes_the_lint():

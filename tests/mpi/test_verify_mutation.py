@@ -1,0 +1,64 @@
+"""Mutation self-test: the verifier must kill what the executor miscomputes.
+
+The smoke slice (one compiler per structural family) runs in tier 1;
+the full eight-compiler sweep is ``slow``-marked for CI's dedicated
+schedule-verify step.
+"""
+
+import pytest
+
+from repro.mpi.collectives import ALLREDUCE_COMPILERS, ALLREDUCE_FAMILIES
+from repro.mpi.verify import allreduce_contract, verify_schedule
+from repro.mpi.verify.mutate import (
+    MUTATORS,
+    _execute_allreduce,
+    run_mutation_suite,
+)
+
+SMOKE = sorted(family[0] for family in ALLREDUCE_FAMILIES.values())
+
+
+def _assert_no_escapes(result):
+    escaped = result.by_class("escaped")
+    assert result.kill_rate >= 0.95, result.format()
+    assert not escaped, result.format()
+
+
+def test_mutation_smoke_slice_kills_all_harmful_mutants():
+    result = run_mutation_suite(
+        {name: ALLREDUCE_COMPILERS[name] for name in SMOKE}
+    )
+    assert result.records, "no mutants generated"
+    _assert_no_escapes(result)
+    # Every operator fired on at least one algorithm.
+    assert {r.operator for r in result.records} == set(MUTATORS)
+
+
+@pytest.mark.slow
+def test_mutation_full_sweep_kills_all_harmful_mutants():
+    result = run_mutation_suite(ALLREDUCE_COMPILERS, per_op=3)
+    _assert_no_escapes(result)
+
+
+def test_mutants_are_valid_schedule_objects():
+    # Surgery must renumber sids densely and keep deps backward same-rank
+    # references; the verifier's lint pass would reject anything else as
+    # "lint-error" — the deeper passes, not the lint, should do the work.
+    baseline = ALLREDUCE_COMPILERS["rsag"](4, 29, 8)
+    lint_only = 0
+    total = 0
+    for mutate in MUTATORS.values():
+        for mutant in mutate(baseline, 2):
+            total += 1
+            report = verify_schedule(
+                mutant.schedule, allreduce_contract(4, 29)
+            )
+            if report.issues_by_pass("lint"):
+                lint_only += 1
+    assert total > 0
+    assert lint_only == 0, "mutants should survive the structural lint"
+
+
+def test_dynamic_oracle_judges_the_baseline_correct():
+    sched = ALLREDUCE_COMPILERS["ring"](4, 29, 8, segment_bytes=64)
+    assert _execute_allreduce(sched, 4, 29) == "correct"

@@ -62,7 +62,7 @@ def test_same_channel_sends_fifo():
 
     def receiver():
         for i in range(2):
-            msg = yield world.recv(1, src=0, tag=("m", i))
+            yield world.recv(1, src=0, tag=("m", i))
             arrivals.append((i, eng.now))
 
     world.isend(0, 1, ("m", 0), SizeBuffer(10_000_000))  # big first

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, Engine, Event, Interrupt, SimulationError
+from repro.sim import AllOf, Engine, Interrupt, SimulationError
 
 
 def test_timeout_advances_clock():

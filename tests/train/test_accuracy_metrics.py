@@ -27,7 +27,6 @@ def test_peak_top1_matches_table1(resnet, googlenet):
 
 
 def test_peak_top1_batch_penalty_monotone(resnet):
-    peaks = [resnet.peak_top1(b, seed=1) for b in (2048, 8192, 32768)]
     # strip noise by averaging over seeds
     avg = [
         np.mean([resnet.peak_top1(b, seed=s) for s in range(20)])
