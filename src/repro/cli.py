@@ -12,8 +12,15 @@ Examples::
     python -m repro faults --learners 4 --crash-rank 1 --crash-at 4
     python -m repro chaos --ranks 4 --algorithms smoke
     python -m repro chaos --collective shuffle --ranks 4
+    python -m repro chaos --collective fleet
+    python -m repro fleet --jobs 4 --placement spread --kill-node 0
+    python -m repro fleet --chaos --full
     python -m repro verify --all --goldens --mutate smoke
     python -m repro fig5
+
+Exit codes follow the fault tooling convention: 0 = ran and every
+invariant held, 1 = ran but an invariant failed (lost recovery, chaos
+violation), 2 = bad arguments.
 """
 
 from __future__ import annotations
@@ -100,9 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
              "no-deadlock / bit-exactness / telemetry invariants",
     )
     p.add_argument("--collective", default="allreduce",
-                   choices=("allreduce", "shuffle"),
-                   help="which collective to sweep: the gradient allreduce "
-                        "(control plane) or the DIMD shuffle (data plane)")
+                   choices=("allreduce", "shuffle", "fleet"),
+                   help="what to sweep: the gradient allreduce (control "
+                        "plane), the DIMD shuffle (data plane), or the "
+                        "multi-tenant fleet (node kills, link degrades, "
+                        "arrival bursts, preemption)")
     p.add_argument("--ranks", type=int, nargs="+", default=[4],
                    help="group sizes to sweep")
     p.add_argument("--algorithms", default="smoke",
@@ -116,6 +125,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allreduce only: elements per rank buffer")
     p.add_argument("--max-points", type=int, default=None,
                    help="cap fault points per rank (evenly subsampled)")
+
+    p = sub.add_parser(
+        "fleet",
+        help="run many concurrent training jobs on one shared simulated "
+             "cluster (gang scheduling, preemption, fault domains)",
+    )
+    p.add_argument("--jobs", type=int, default=4, help="number of jobs")
+    p.add_argument("--learners", type=int, default=2,
+                   help="learners per job")
+    p.add_argument("--steps", type=int, default=5, help="steps per job")
+    p.add_argument("--placement", default="pack", choices=("pack", "spread"),
+                   help="pack jobs into few racks, or spread fault domains")
+    p.add_argument("--racks", type=int, default=2)
+    p.add_argument("--nodes-per-rack", type=int, default=4)
+    p.add_argument("--slots-per-node", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0,
+                   help="fleet seed (requeue jitter etc.)")
+    p.add_argument("--kill-node", type=int, default=None,
+                   help="kill this node once every job has made progress")
+    p.add_argument("--events", action="store_true",
+                   help="print the scheduler event log")
+    p.add_argument("--chaos", action="store_true",
+                   help="run the fleet chaos sweep instead of one workload")
+    p.add_argument("--full", action="store_true",
+                   help="with --chaos: the full sweep, not the smoke subset")
 
     p = sub.add_parser(
         "verify",
@@ -359,19 +393,26 @@ def _cmd_faults(args) -> int:
     )
     total = sum(len(s) for s in trainer.stores)
     print(f"{'it':>3} {'learners':>8} {'loss':>8} {'retries':>7}  faults")
-    for _ in range(args.steps):
-        r = trainer.step()
-        note = "; ".join(r.faults) if r.faults else "-"
-        print(
-            f"{r.iteration:>3} {r.n_learners:>8} {r.loss:>8.4f} "
-            f"{r.retries:>7}  {note}"
-        )
-    trainer.check_synchronized()
+    try:
+        for _ in range(args.steps):
+            r = trainer.step()
+            note = "; ".join(r.faults) if r.faults else "-"
+            print(
+                f"{r.iteration:>3} {r.n_learners:>8} {r.loss:>8.4f} "
+                f"{r.retries:>7}  {note}"
+            )
+        trainer.check_synchronized()
+    except Exception as exc:
+        print(f"recovery failed: {exc!r}", file=sys.stderr)
+        return 1
+    conserved = sum(len(s) for s in trainer.stores)
     print(
         f"survivors {trainer.n_learners}/{args.learners}, replicas "
-        f"synchronized, records conserved "
-        f"{sum(len(s) for s in trainer.stores)}/{total}"
+        f"synchronized, records conserved {conserved}/{total}"
     )
+    if conserved != total:
+        print("records lost during recovery", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -384,6 +425,22 @@ def _cmd_chaos(args) -> int:
         smoke_algorithms,
     )
     from repro.mpi.collectives import ALLREDUCE_COMPILERS
+
+    if args.collective == "fleet":
+        from repro.fleet.chaos import FLEET_KINDS, fleet_chaos_sweep
+
+        kinds = (
+            FLEET_KINDS
+            if args.kinds is None
+            else tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        )
+        try:
+            report = fleet_chaos_sweep(kinds=kinds, smoke=True)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(report.format())
+        return 0 if report.all_ok else 1
 
     if args.collective == "shuffle":
         kinds = (
@@ -431,6 +488,73 @@ def _cmd_chaos(args) -> int:
         return 2
     print(report.format())
     return 0 if report.all_ok else 1
+
+
+def _cmd_fleet(args) -> int:
+    from repro.fleet import (
+        FleetScheduler,
+        JobSpec,
+        SharedCluster,
+        fleet_chaos_sweep,
+    )
+
+    if args.chaos:
+        report = fleet_chaos_sweep(smoke=not args.full)
+        print(report.format())
+        return 0 if report.all_ok else 1
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        cluster = SharedCluster(
+            n_racks=args.racks,
+            nodes_per_rack=args.nodes_per_rack,
+            slots_per_node=args.slots_per_node,
+        )
+        specs = [
+            JobSpec(
+                name=f"job{i}",
+                n_learners=args.learners,
+                n_steps=args.steps,
+                seed=args.seed * 1000 + i,
+            )
+            for i in range(args.jobs)
+        ]
+        scheduler = FleetScheduler(
+            cluster, specs, placement=args.placement, seed=args.seed
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.kill_node is not None:
+        if not 0 <= args.kill_node < cluster.n_nodes:
+            print(
+                f"--kill-node {args.kill_node} out of range "
+                f"[0, {cluster.n_nodes})",
+                file=sys.stderr,
+            )
+            return 2
+
+        def killer():
+            while not all(
+                j.telemetry.steps >= 1 or j.status in ("failed", "rejected")
+                for j in scheduler.jobs.values()
+            ):
+                yield cluster.engine.timeout(1e-4)
+            if cluster.nodes[args.kill_node].alive:
+                scheduler.kill_node(args.kill_node)
+
+        scheduler.spawn(killer(), name="kill-node")
+    report = scheduler.run()
+    print(report.format())
+    if args.events:
+        for event in report.events:
+            print(event)
+    ok = report.all_terminal and not report.leaked and not any(
+        j.status == "failed" for j in report.jobs
+    )
+    return 0 if ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -505,6 +629,7 @@ _COMMANDS = {
     "trees": _cmd_trees,
     "faults": _cmd_faults,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "verify": _cmd_verify,
 }
 

@@ -1,0 +1,44 @@
+"""Multi-tenant fleet layer: many trainer jobs on one shared cluster.
+
+See DESIGN.md §4h.  The pieces:
+
+* :class:`~repro.fleet.cluster.SharedCluster` — nodes, racks, the shared
+  engine/fabric/world, and the slot/utilization ledger;
+* :class:`~repro.fleet.jobs.JobSpec` / :class:`~repro.fleet.jobs.FleetJob`
+  — deterministic job definitions and their runtime training programs;
+* :func:`~repro.fleet.collective.guarded_fleet_allreduce` — the
+  watchdog/retry/surgical-repair guard re-expressed as a generator for a
+  shared engine;
+* :class:`~repro.fleet.scheduler.FleetScheduler` — gang scheduling,
+  pack/spread placement, priority preemption, seeded-backoff requeue;
+* :func:`~repro.fleet.chaos.fleet_chaos_sweep` — the fleet-level chaos
+  harness asserting the five robustness invariants.
+"""
+
+from repro.fleet.chaos import FleetChaosReport, fleet_chaos_sweep
+from repro.fleet.cluster import Node, SharedCluster
+from repro.fleet.collective import JobLost, guarded_fleet_allreduce
+from repro.fleet.jobs import FleetJob, JobSpec, PreemptionNotice, build_trainer
+from repro.fleet.scheduler import (
+    FleetEvent,
+    FleetReport,
+    FleetScheduler,
+    JobSummary,
+)
+
+__all__ = [
+    "FleetChaosReport",
+    "FleetEvent",
+    "FleetJob",
+    "FleetReport",
+    "FleetScheduler",
+    "JobLost",
+    "JobSpec",
+    "JobSummary",
+    "Node",
+    "PreemptionNotice",
+    "SharedCluster",
+    "build_trainer",
+    "fleet_chaos_sweep",
+    "guarded_fleet_allreduce",
+]

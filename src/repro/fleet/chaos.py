@@ -1,0 +1,426 @@
+"""Fleet-level chaos: kill nodes, degrade racks, burst arrivals, preempt
+mid-checkpoint — and prove the fleet absorbs all of it.
+
+Each chaos point runs a full multi-job fleet on a 2-rack cluster with one
+injected disturbance, then asserts five invariants:
+
+1. **no job lost or duplicated** — every submitted job reaches exactly
+   one terminal state (``finished``, or ``rejected`` only where the
+   scenario's admission limit predicts it), and every finished job ran
+   its full step count;
+2. **bit-exact survivors** — each finished job's final params equal a
+   fault-free single-job reference run that replays the job's recorded
+   shrink lineage as *controlled* shrinks (``JobSpec.scripted_shrinks``);
+3. **bounded makespan** — the faulted fleet's makespan stays within a
+   fixed factor of the fault-free fleet's (retries, requeues and backoff
+   are bounded, so recovery cannot stall the fleet indefinitely);
+4. **no leaked placements** — every slot allocation was returned to the
+   ledger, dead nodes included;
+5. **victim naming** — a node kill logs a diagnosis naming the node, its
+   rack and *every* hosted job's slot and learner id.
+
+Triggers are event-driven (they poll simulated state on a fixed tick and
+fire when the fleet reaches the scenario's window), so every point is
+bit-reproducible: same seed, same sweep, same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.fleet.cluster import SharedCluster
+from repro.fleet.jobs import TERMINAL, JobSpec
+from repro.fleet.scheduler import FleetReport, FleetScheduler
+
+__all__ = ["FleetChaosOutcome", "FleetChaosPoint", "FleetChaosReport",
+           "fleet_chaos_sweep"]
+
+#: Chaos trigger poll tick (simulated seconds) — well under one job step.
+_POLL = 1e-4
+#: Makespan bound: faulted <= factor * fault-free + slack (requeue backoff
+#: and checkpoint windows are additive, not multiplicative).
+_MAKESPAN_FACTOR = 10.0
+_MAKESPAN_SLACK = 2.0
+
+FLEET_KINDS = ("node-kill", "link-degrade", "burst-arrival",
+               "preempt-in-checkpoint")
+
+
+@dataclass(frozen=True)
+class FleetChaosPoint:
+    """One scenario: a disturbance against a workload under a policy."""
+
+    kind: str
+    placement: str
+    n_jobs: int
+    hosted: int | None = None  # node-kill: jobs on the victim node
+
+    def label(self) -> str:
+        extra = f" hosted={self.hosted}" if self.hosted is not None else ""
+        return f"{self.kind} placement={self.placement} jobs={self.n_jobs}{extra}"
+
+
+@dataclass
+class FleetChaosOutcome:
+    point: FleetChaosPoint
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    makespan: float = 0.0
+    ref_makespan: float = 0.0
+    report: FleetReport | None = None
+
+
+@dataclass
+class FleetChaosReport:
+    outcomes: list[FleetChaosOutcome]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def format(self) -> str:
+        lines = [
+            f"fleet chaos: {len(self.outcomes)} points, "
+            f"{sum(o.ok for o in self.outcomes)} ok, "
+            f"{sum(not o.ok for o in self.outcomes)} failed"
+        ]
+        for o in self.outcomes:
+            mark = "ok " if o.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {o.point.label():<55s} "
+                f"makespan {o.makespan:.4f}s (ref {o.ref_makespan:.4f}s)"
+            )
+            for v in o.violations:
+                lines.append(f"         - {v}")
+        return "\n".join(lines)
+
+
+# -- workloads ----------------------------------------------------------------
+
+def _workload(point: FleetChaosPoint) -> tuple[list[JobSpec], dict, int]:
+    """Specs, cluster kwargs and expected rejections for one scenario."""
+    cluster_kw = dict(n_racks=2, nodes_per_rack=4, slots_per_node=2)
+    expect_rejects = 0
+    if point.kind == "burst-arrival":
+        # One-slot nodes so the burst actually queues; the admission limit
+        # turns the deepest arrival into a counted rejection, not a loss.
+        cluster_kw["slots_per_node"] = 1
+        specs = [
+            JobSpec(name=f"base{i}", n_learners=3, n_steps=4,
+                    seed=300 + i, arrival=0.0)
+            for i in range(2)
+        ] + [
+            JobSpec(name=f"burst{i}", n_learners=3, n_steps=3,
+                    seed=320 + i, arrival=3e-4)
+            for i in range(point.n_jobs)
+        ]
+        expect_rejects = max(0, point.n_jobs - 2)
+    elif point.kind == "preempt-in-checkpoint":
+        cluster_kw["slots_per_node"] = 1
+        specs = [
+            JobSpec(name="victim", n_learners=4, n_steps=5, seed=400,
+                    checkpoint_every=1, checkpoint_time=5e-4),
+            JobSpec(name="vip", n_learners=6, n_steps=3, seed=401,
+                    priority=5, arrival=1.5e-3),
+        ]
+    else:  # node-kill, link-degrade
+        specs = [
+            JobSpec(name=f"job{i}", n_learners=2, n_steps=5, seed=100 + i)
+            for i in range(point.n_jobs)
+        ]
+    return specs, cluster_kw, expect_rejects
+
+
+def _run_fleet(
+    specs: list[JobSpec],
+    placement: str,
+    cluster_kw: dict,
+    *,
+    seed: int = 0,
+    max_queued: int | None = None,
+    trigger=None,
+) -> tuple[FleetReport, FleetScheduler, dict]:
+    cluster = SharedCluster(**cluster_kw)
+    scheduler = FleetScheduler(
+        cluster, specs, placement=placement, seed=seed, max_queued=max_queued
+    )
+    record: dict = {}
+    if trigger is not None:
+        scheduler.spawn(trigger(cluster, scheduler, record))
+    report = scheduler.run()
+    return report, scheduler, record
+
+
+# -- triggers -----------------------------------------------------------------
+
+def _drained(scheduler: FleetScheduler) -> bool:
+    return all(j.status in TERMINAL for j in scheduler.jobs.values())
+
+
+def _kill_trigger(hosted: int):
+    """Kill the first node hosting exactly ``hosted`` jobs, once every
+    job has made a step of progress (so the kill lands mid-training)."""
+
+    def trigger(cluster, scheduler, record):
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            active = [
+                j for j in scheduler.jobs.values() if j.status not in TERMINAL
+            ]
+            if active and all(j.telemetry.steps >= 1 for j in active):
+                candidates = [
+                    n for n in cluster.nodes if n.alive and len(n.held) == hosted
+                ]
+                if not candidates:
+                    continue
+                node = candidates[0]
+                record["node"] = node.index
+                record["jobs"] = sorted(node.held)
+                scheduler.kill_node(node.index)
+                return
+        record["skipped"] = "fleet drained before a kill candidate appeared"
+
+    return trigger
+
+
+def _degrade_trigger(rack: int = 0, factor: float = 0.05, window: float = 5e-4):
+    """Degrade one rack's spine uplinks mid-run, then restore them."""
+
+    def trigger(cluster, scheduler, record):
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            if any(j.telemetry.steps >= 1 for j in scheduler.jobs.values()):
+                record["rack"] = rack
+                cluster.degrade_rack_uplinks(rack, factor)
+                yield cluster.engine.timeout(window)
+                cluster.degrade_rack_uplinks(rack, 1.0)
+                record["restored"] = True
+                return
+        record["skipped"] = "fleet drained before degrade window"
+
+    return trigger
+
+
+def _preempt_in_checkpoint_trigger(victim_name: str = "victim"):
+    """Deliver a preemption while the victim is inside a checkpoint write —
+    the torn-write window the job must commit through, then vacate from."""
+
+    def trigger(cluster, scheduler, record):
+        victim = scheduler.jobs[victim_name]
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            if (
+                victim.status == "checkpointing"
+                and not victim.preempt_pending
+                and victim.proc is not None
+                and victim.proc.is_alive
+            ):
+                from repro.fleet.jobs import PreemptionNotice
+
+                record["at_status"] = victim.status
+                victim.preempt_pending = True
+                victim.proc.interrupt(PreemptionNotice())
+                scheduler._log(
+                    "preempt",
+                    f"{victim_name} preempted inside its checkpoint window",
+                    job=victim_name,
+                )
+                return
+        record["skipped"] = "victim never entered a checkpoint window"
+
+    return trigger
+
+
+# -- invariants ---------------------------------------------------------------
+
+def _reference_params(
+    spec: JobSpec,
+    shrinks: tuple[tuple[int, int], ...],
+    cluster_kw: dict,
+    cache: dict,
+) -> np.ndarray:
+    """Final params of a fault-free solo run replaying ``shrinks``."""
+    key = (spec.seed, spec.n_learners, spec.n_steps, spec.batch_per_gpu,
+           spec.records_per_learner, spec.reducer, shrinks)
+    if key not in cache:
+        ref_spec = replace(
+            spec, arrival=0.0, priority=0, scripted_shrinks=tuple(shrinks)
+        )
+        _report, scheduler, _rec = _run_fleet(
+            [ref_spec], "pack", cluster_kw
+        )
+        job = scheduler.jobs[spec.name]
+        if job.status != "finished" or job.final_params is None:
+            raise RuntimeError(
+                f"reference run for {spec.name!r} did not finish "
+                f"(status {job.status!r})"
+            )
+        cache[key] = job.final_params
+    return cache[key]
+
+
+def _check_point(
+    point: FleetChaosPoint,
+    cluster_kw: dict,
+    expect_rejects: int,
+    report: FleetReport,
+    scheduler: FleetScheduler,
+    record: dict,
+    ref_makespan: float,
+    ref_cache: dict,
+) -> list[str]:
+    violations: list[str] = []
+    if "skipped" in record:
+        violations.append(f"trigger never fired: {record['skipped']}")
+    # 1. No job lost or duplicated.
+    names = [j.name for j in report.jobs]
+    if len(set(names)) != len(names):
+        violations.append(f"duplicated job summaries: {names}")
+    rejected = [j.name for j in report.jobs if j.status == "rejected"]
+    for summary in report.jobs:
+        if summary.status == "rejected":
+            continue
+        if summary.status != "finished":
+            violations.append(
+                f"job {summary.name} lost: terminal status {summary.status!r}"
+            )
+            continue
+        job = scheduler.jobs[summary.name]
+        if job.final_iteration != job.spec.n_steps:
+            violations.append(
+                f"job {summary.name} finished at iteration "
+                f"{job.final_iteration} != {job.spec.n_steps}"
+            )
+    if len(rejected) != expect_rejects:
+        violations.append(
+            f"expected {expect_rejects} admission rejections, got "
+            f"{len(rejected)}: {rejected}"
+        )
+    # 2. Bit-exact survivor params vs the fault-free shrunk reference.
+    for summary in report.jobs:
+        if summary.status != "finished":
+            continue
+        job = scheduler.jobs[summary.name]
+        ref = _reference_params(
+            job.spec, tuple(job.shrink_log), cluster_kw, ref_cache
+        )
+        if not np.array_equal(job.final_params, ref):
+            violations.append(
+                f"job {summary.name} params diverge from its fault-free "
+                f"shrunk reference (shrinks {job.shrink_log})"
+            )
+    # 3. Bounded makespan.
+    bound = _MAKESPAN_FACTOR * ref_makespan + _MAKESPAN_SLACK
+    if not (0.0 <= report.makespan <= bound):
+        violations.append(
+            f"makespan {report.makespan:.4f}s exceeds bound {bound:.4f}s "
+            f"(ref {ref_makespan:.4f}s)"
+        )
+    # 4. No leaked placements.
+    if report.leaked:
+        violations.append(f"leaked placements: {report.leaked}")
+    # 5. Victim-naming diagnosis for node kills.
+    if point.kind == "node-kill" and "skipped" not in record:
+        kills = [e for e in report.events if e.kind == "node-kill"]
+        if not kills:
+            violations.append("node killed but no node-kill event logged")
+        else:
+            event = kills[0]
+            hosted_jobs = record.get("jobs", [])
+            if len(hosted_jobs) != point.hosted:
+                violations.append(
+                    f"victim node hosted {len(hosted_jobs)} jobs, "
+                    f"point wanted {point.hosted}"
+                )
+            for name in hosted_jobs:
+                if f"job {name} " not in event.text:
+                    violations.append(
+                        f"node-kill diagnosis does not name hosted job "
+                        f"{name!r}: {event.text!r}"
+                    )
+            if f"node {record['node']} " not in event.text:
+                violations.append(
+                    f"node-kill diagnosis does not name the node: "
+                    f"{event.text!r}"
+                )
+    return violations
+
+
+# -- the sweep ----------------------------------------------------------------
+
+def _points(kinds, placements, smoke: bool) -> list[FleetChaosPoint]:
+    points: list[FleetChaosPoint] = []
+    # 3 and 5 jobs both leave the cluster with at least one singly- and one
+    # doubly-hosted node under *both* placement policies (4 jobs pair up
+    # perfectly and leave no singly-hosted node to kill).
+    job_counts = (3,) if smoke else (3, 5)
+    for placement in placements:
+        if "node-kill" in kinds:
+            for n_jobs in job_counts:
+                for hosted in (1, 2):
+                    points.append(FleetChaosPoint(
+                        "node-kill", placement, n_jobs, hosted))
+        if "link-degrade" in kinds:
+            points.append(FleetChaosPoint("link-degrade", placement, 2))
+        if "burst-arrival" in kinds:
+            points.append(FleetChaosPoint("burst-arrival", placement, 3))
+        if "preempt-in-checkpoint" in kinds:
+            points.append(FleetChaosPoint(
+                "preempt-in-checkpoint", placement, 2))
+    return points
+
+
+def fleet_chaos_sweep(
+    *,
+    kinds: tuple[str, ...] = FLEET_KINDS,
+    placements: tuple[str, ...] = ("pack", "spread"),
+    smoke: bool = False,
+    seed: int = 0,
+) -> FleetChaosReport:
+    """Run every chaos point and check the five fleet invariants."""
+    unknown = [k for k in kinds if k not in FLEET_KINDS]
+    if unknown:
+        raise ValueError(
+            f"unknown fleet chaos kind(s) {unknown}; choose from {FLEET_KINDS}"
+        )
+    ref_cache: dict = {}
+    ref_makespans: dict = {}
+    outcomes: list[FleetChaosOutcome] = []
+    for point in _points(kinds, placements, smoke):
+        specs, cluster_kw, expect_rejects = _workload(point)
+        if point.kind == "node-kill":
+            trigger = _kill_trigger(point.hosted)
+        elif point.kind == "link-degrade":
+            trigger = _degrade_trigger()
+        elif point.kind == "preempt-in-checkpoint":
+            trigger = _preempt_in_checkpoint_trigger()
+        else:
+            trigger = None
+        max_queued = 2 if point.kind == "burst-arrival" else None
+        ref_key = (point.kind, point.placement, point.n_jobs)
+        if ref_key not in ref_makespans:
+            ref_report, _s, _r = _run_fleet(
+                specs, point.placement, cluster_kw,
+                seed=seed, max_queued=max_queued,
+            )
+            ref_makespans[ref_key] = ref_report.makespan
+        ref_makespan = ref_makespans[ref_key]
+        report, scheduler, record = _run_fleet(
+            specs, point.placement, cluster_kw,
+            seed=seed, max_queued=max_queued, trigger=trigger,
+        )
+        violations = _check_point(
+            point, cluster_kw, expect_rejects,
+            report, scheduler, record, ref_makespan, ref_cache,
+        )
+        outcomes.append(FleetChaosOutcome(
+            point=point,
+            ok=not violations,
+            violations=violations,
+            makespan=report.makespan,
+            ref_makespan=ref_makespan,
+            report=report,
+        ))
+    return FleetChaosReport(outcomes)

@@ -1,0 +1,215 @@
+"""The shared simulated cluster every fleet job runs on.
+
+One :class:`SharedCluster` owns a single :class:`~repro.sim.engine.Engine`,
+one fat-tree :class:`~repro.net.fabric.Fabric` and one
+:class:`~repro.mpi.world.MPIWorld` spanning all nodes.  Concurrent jobs'
+collectives therefore share links under the existing max-min flow model,
+share each node's reduce/copy CPU (:class:`~repro.sim.resources.Resource`)
+and share the per-``(src, dst)`` NIC send queue — co-location manufactures
+genuine stragglers instead of modelled ones.
+
+Fault domains are *nodes*: :meth:`SharedCluster.kill_node` marks a node
+dead and reports every job slot hosted there, so the scheduler can emit
+one correlated :class:`~repro.mpi.schedule.RankFailure` per hosted job.
+Racks are the placement-level fault domains (`rack = node // nodes_per_rack`
+equals the node's fat-tree leaf), which the ``pack``/``spread`` placement
+policies trade off against allreduce locality.
+
+Slot allocation is strictly accounted: every ``allocate`` must be paired
+with a ``release``, and :meth:`leaked_placements` names any slot still
+held after the fleet drains — the chaos sweep's "no leaked placements"
+invariant reads it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mpi.world import MPIWorld
+from repro.net.fabric import Fabric
+from repro.net.params import CONNECTX5_DUAL, NetworkParams
+from repro.net.topology import fat_tree
+from repro.sim.engine import Engine, SimulationError
+
+__all__ = ["Node", "SharedCluster"]
+
+
+@dataclass
+class Node:
+    """One host: a fault domain holding ``slots`` learner slots."""
+
+    index: int
+    rack: int
+    slots: int
+    alive: bool = True
+    #: job name -> number of slots that job holds here (at most 1 today:
+    #: a communicator cannot host two ranks of one job on the same node).
+    held: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def used(self) -> int:
+        return sum(self.held.values())
+
+    @property
+    def free(self) -> int:
+        return self.slots - self.used if self.alive else 0
+
+
+class SharedCluster:
+    """All nodes, the shared network and the slot/utilization ledger."""
+
+    def __init__(
+        self,
+        *,
+        n_racks: int = 2,
+        nodes_per_rack: int = 4,
+        slots_per_node: int = 2,
+        network: NetworkParams = CONNECTX5_DUAL,
+        reduce_bandwidth: float = 15e9,
+        copy_bandwidth: float = 40e9,
+    ):
+        if n_racks < 1 or nodes_per_rack < 1 or slots_per_node < 1:
+            raise ValueError("racks, nodes per rack and slots must be >= 1")
+        self.n_racks = n_racks
+        self.nodes_per_rack = nodes_per_rack
+        self.slots_per_node = slots_per_node
+        n_nodes = n_racks * nodes_per_rack
+        self.engine = Engine()
+        topo = fat_tree(
+            n_nodes, network, hosts_per_leaf=nodes_per_rack, name="fleet"
+        )
+        self.fabric = Fabric(
+            self.engine,
+            topo,
+            software_overhead=network.software_overhead,
+            per_flow_cap=network.per_flow_cap,
+        )
+        self.world = MPIWorld(
+            self.engine,
+            self.fabric,
+            n_nodes,
+            reduce_bandwidth=reduce_bandwidth,
+            copy_bandwidth=copy_bandwidth,
+        )
+        self.nodes = [
+            Node(i, i // nodes_per_rack, slots_per_node) for i in range(n_nodes)
+        ]
+        # Utilization ledger: integrals of busy slots and live capacity over
+        # simulated time, advanced lazily at every allocation event.
+        self._busy = 0
+        self._capacity = n_nodes * slots_per_node
+        self._busy_integral = 0.0
+        self._capacity_integral = 0.0
+        self._last_account = 0.0
+
+    # -- topology helpers ---------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def rack_of(self, node_index: int) -> int:
+        return self.nodes[node_index].rack
+
+    def live_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.alive]
+
+    def rack_uplinks(self, rack: int) -> list[int]:
+        """Indices of both directions of ``rack``'s leaf-to-spine cables."""
+        leaf = f"s:leaf{rack}"
+        return [
+            link.index
+            for link in self.fabric.topology.links
+            if leaf in (link.src, link.dst)
+            and (link.src.startswith("s:spine") or link.dst.startswith("s:spine"))
+        ]
+
+    def degrade_rack_uplinks(self, rack: int, factor: float) -> None:
+        """Scale ``rack``'s spine uplinks mid-flight (1.0 restores)."""
+        self.fabric.scale_links(self.rack_uplinks(rack), factor)
+
+    # -- slot ledger --------------------------------------------------------
+    def allocate(self, job_name: str, node_index: int) -> None:
+        node = self.nodes[node_index]
+        if not node.alive:
+            raise SimulationError(
+                f"allocate on dead node {node_index} for job {job_name!r}"
+            )
+        if node.free < 1:
+            raise SimulationError(
+                f"no free slot on node {node_index} for job {job_name!r}"
+            )
+        self._account()
+        node.held[job_name] = node.held.get(job_name, 0) + 1
+        self._busy += 1
+
+    def release(self, job_name: str, node_index: int) -> None:
+        node = self.nodes[node_index]
+        held = node.held.get(job_name, 0)
+        if held < 1:
+            raise SimulationError(
+                f"release of unheld slot on node {node_index} by {job_name!r}"
+            )
+        self._account()
+        if held == 1:
+            del node.held[job_name]
+        else:
+            node.held[job_name] = held - 1
+        if node.alive:
+            # A dead node's held slots already left the busy ledger when
+            # the node died; releasing them is pure bookkeeping.
+            self._busy -= 1
+
+    def kill_node(self, node_index: int) -> list[tuple[str, int]]:
+        """Mark a node dead; returns ``(job_name, held_slots)`` casualties.
+
+        The node's capacity and its busy slots leave the utilization
+        ledger immediately, but the *allocations* stay on the node until
+        each hosted job absorbs the failure and releases them — exactly
+        the window the "no leaked placements" invariant polices.
+        """
+        node = self.nodes[node_index]
+        if not node.alive:
+            raise SimulationError(f"node {node_index} is already dead")
+        self._account()
+        node.alive = False
+        self._capacity -= node.slots
+        self._busy -= node.used
+        return sorted(node.held.items())
+
+    def leaked_placements(self) -> list[tuple[int, str, int]]:
+        """Every slot still held, as ``(node, job_name, count)``."""
+        return [
+            (node.index, job, count)
+            for node in self.nodes
+            for job, count in sorted(node.held.items())
+        ]
+
+    # -- utilization --------------------------------------------------------
+    def _account(self, until: float | None = None) -> None:
+        now = self.engine.now if until is None else min(until, self.engine.now)
+        dt = now - self._last_account
+        if dt > 0:
+            self._busy_integral += dt * self._busy
+            self._capacity_integral += dt * self._capacity
+            self._last_account = now
+
+    def utilization(self, until: float | None = None) -> float:
+        """Busy node-slot-seconds over live node-slot-seconds.
+
+        ``until`` caps the accounting horizon: stale watchdog timers keep
+        the drained engine's clock running past the last real event, and
+        that idle tail should not dilute the fleet's utilization.
+        """
+        self._account(until)
+        if self._capacity_integral <= 0:
+            return 0.0
+        return self._busy_integral / self._capacity_integral
+
+    def capacity_integral_at(self, until: float | None = None) -> float:
+        """Live node-slot-seconds accumulated up to ``until`` (or now)."""
+        self._account(until)
+        return self._capacity_integral
+
+    @property
+    def capacity_integral(self) -> float:
+        return self.capacity_integral_at()

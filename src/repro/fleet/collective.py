@@ -1,0 +1,167 @@
+"""Guarded allreduce for fleet jobs sharing one live engine.
+
+:func:`~repro.mpi.schedule.run_guarded` owns its engine: every attempt
+builds a fresh isolated world and blocks in ``engine.run``.  A fleet job
+cannot do that — it is *one process among many* on the shared cluster
+engine, so its watchdog/retry/repair loop must itself be a generator that
+yields control back to the scheduler's event loop.  This module is that
+generator: the same snapshot/restore, diagnosis, surgical-repair and
+bounded-backoff semantics as ``run_guarded``, re-expressed for a
+persistent world.
+
+The delicate part is *abandoning* a timed-out or preempted attempt
+without poisoning the shared engine.  Interrupting the executor's strand
+processes (never its rank proxies directly) fails each strand with an
+:class:`~repro.sim.engine.Interrupt`; the failure then walks the chain
+strand -> per-rank ``AllOf`` -> rank proxy -> completion ``AllOf``, and
+every hop defuses its child, so no failed event ever reaches
+``engine.step`` unhandled.  The completion gate itself is pre-defused at
+creation: if the job process is interrupted *away* from the gate (a
+preemption landing mid-wait), the gate's later failure is already marked
+handled.  Per-attempt wire tags carry ``(job, iteration, sequence)`` so a
+stale message from an abandoned attempt can never satisfy a retry's recv.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives import ALLREDUCE_COMPILERS
+from repro.mpi.datatypes import ArrayBuffer
+from repro.mpi.schedule import (
+    CollectiveTelemetry,
+    CollectiveTimeout,
+    RankFailure,
+    ScheduleExecutor,
+)
+from repro.mpi.world import Communicator
+from repro.sim.engine import Interrupt
+
+__all__ = ["JobLost", "abandon_attempt", "guarded_fleet_allreduce"]
+
+
+class JobLost(RuntimeError):
+    """A job ran out of live learners and must requeue from checkpoint."""
+
+    def __init__(self, job_name: str, detail: str):
+        super().__init__(f"job {job_name!r} lost all learners: {detail}")
+        self.job_name = job_name
+        self.detail = detail
+
+
+class _Abandoned(Exception):
+    """Interrupt cause delivered to a doomed attempt's strand processes."""
+
+
+def abandon_attempt(executor: ScheduleExecutor) -> None:
+    """Kill a launched attempt's processes without crashing the engine.
+
+    Only *strand* processes are interrupted; each rank proxy then dies of
+    its inner ``AllOf``'s failure, which keeps every ``_resume`` callback
+    attached along the chain so each failure is defused by its consumer.
+    (Interrupting a proxy directly would detach its callback from the
+    inner ``AllOf`` and leave that failure unobserved — an engine crash.)
+    """
+    for proc in executor.strand_procs:
+        if proc.is_alive:
+            proc.interrupt(_Abandoned())
+
+
+def guarded_fleet_allreduce(cluster, job, grads, telemetry=None):
+    """Generator: sum ``grads`` across ``job``'s live learners, guarded.
+
+    Yields engine events (run it inside the job's process); returns
+    ``(buffers, telemetry)`` exactly like ``run_guarded``.  Differences
+    forced by the shared engine:
+
+    * **pre-launch victims** — nodes that died while the job was computing
+      (no collective in flight to interrupt) are absorbed here, before the
+      attempt launches, through the same ``telemetry.repaired_ranks``
+      bookkeeping as a mid-collective repair;
+    * **mid-attempt crashes** — the scheduler interrupts the victim's rank
+      proxy; the failure arrives at the gate as ``Interrupt(RankFailure)``,
+      the attempt is abandoned, the victim's buffer/snapshot/slot are
+      dropped and the survivor group recompiles;
+    * **real backoff** — retry backoff is slept in shared simulated time
+      (``yield engine.timeout``), not merely accounted, because other jobs
+      keep running through it;
+    * **preemption** — any non-``RankFailure`` interrupt abandons the
+      attempt and propagates to the job program (the scheduler's
+      controlled-fault path), leaving the engine clean.
+    """
+    engine = cluster.engine
+    telemetry = telemetry if telemetry is not None else CollectiveTelemetry()
+    spec = job.spec
+    compiler = ALLREDUCE_COMPILERS[spec.reducer]
+    buffers = [ArrayBuffer(g.copy()) for g in grads]
+    snapshots = [b.extract() for b in buffers]
+    attempts = 0
+    backoff = spec.retry_backoff
+    dirty = False
+    while True:
+        # Absorb every pending victim: dead nodes noticed between
+        # collectives, plus controlled preemption shrinks.
+        victim = job.next_victim()
+        while victim is not None:
+            if len(buffers) <= 1:
+                raise JobLost(spec.name, "last learner's node died")
+            telemetry.repaired_ranks.append(victim)
+            del buffers[victim]
+            del snapshots[victim]
+            job.drop_slot(victim)
+            victim = job.next_victim()
+        if dirty:
+            for buf, snap in zip(buffers, snapshots):
+                buf.copy_(snap)
+            dirty = False
+        n = len(buffers)
+        if n == 1:
+            return buffers, telemetry
+        comm = Communicator(cluster.world, job.placement_ranks())
+        schedule = compiler(n, buffers[0].count, buffers[0].itemsize)
+        tag = (spec.name, job.trainer.iteration, job.next_collective_seq())
+        executor = ScheduleExecutor(comm, schedule, buffers, tag=tag)
+        done = executor.launch()
+        job.active_executor = executor
+        deadline = engine.timeout(spec.collective_timeout)
+        gate = engine.any_of([done, deadline])
+        # If this process gets interrupted away from the gate, the gate's
+        # eventual failure has no waiter left — pre-defuse it.
+        gate.defuse()
+        dirty = True
+        start = engine.now
+        try:
+            yield gate
+        except Interrupt as exc:
+            telemetry.sim_time += engine.now - start
+            abandon_attempt(executor)
+            cause = exc.cause
+            if isinstance(cause, RankFailure):
+                # Surgical repair: a launched attempt has n >= 2, so at
+                # least one survivor remains (a lone survivor is fine —
+                # the n == 1 short-circuit above handles it next pass).
+                telemetry.repaired_ranks.append(cause.rank)
+                del buffers[cause.rank]
+                del snapshots[cause.rank]
+                job.drop_slot(cause.rank)
+                continue
+            raise
+        finally:
+            executor.release_observer()
+            job.active_executor = None
+        telemetry.sim_time += engine.now - start
+        if done.triggered:
+            return buffers, telemetry
+        # Watchdog fired: diagnose the stall (naming the suspect rank and
+        # step), abandon the attempt, back off for real, and retry.
+        diagnosis = executor.diagnose()
+        telemetry.diagnoses.append(diagnosis)
+        abandon_attempt(executor)
+        attempts += 1
+        telemetry.retries += 1
+        if attempts > spec.max_retries:
+            raise CollectiveTimeout(
+                spec.collective_timeout, job.trainer.iteration, attempts, diagnosis
+            )
+        telemetry.backoff += backoff
+        telemetry.sim_time += backoff
+        yield engine.timeout(backoff)
+        backoff *= 2

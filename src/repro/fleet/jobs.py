@@ -1,0 +1,391 @@
+"""Fleet jobs: specs, runtime state and the per-job training program.
+
+A :class:`FleetJob` wraps one :class:`DistributedSGDTrainer` whose
+compute/apply halves run as a generator process on the shared cluster
+engine; the gradient sum goes through
+:func:`~repro.fleet.collective.guarded_fleet_allreduce` so every job
+independently gets the PR 1/3 watchdog + surgical-repair semantics while
+contending with its neighbours for links and CPUs.
+
+Fault and preemption semantics:
+
+* a **node death** reaches the job either as a mid-collective
+  ``Interrupt(RankFailure)`` (the scheduler kills the victim's rank
+  proxy) or, between collectives, through the pending-victim scan at the
+  next attempt launch — both funnel into the same elastic shrink;
+* a **preemption** is a *controlled* fault: the job checkpoints
+  (``TrainerCheckpoint`` capture plus a simulated write window), releases
+  every slot and requeues; restore is bit-exact, so a preempted job's
+  final params equal an uninterrupted run's;
+* **shrink-mode preemption** instead surrenders one learner at the next
+  collective boundary (same pending-victim path, but the slot's node is
+  alive, so the freed slot backfills immediately);
+* a **total loss** (:class:`JobLost`) requeues from the last periodic
+  checkpoint (or from scratch if none was taken yet).
+
+For bit-exactness audits the job keeps ``shrink_log``: the ``(iteration,
+slot)`` history of its *current lineage*.  A checkpoint stores the log
+alongside the trainer state; restoring rolls the log back with it, so the
+log always scripts exactly the shrinks a fault-free reference run must
+replay (see ``JobSpec.scripted_shrinks``) to land on identical weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.codec import encode_image
+from repro.data.dimd import DIMDStore
+from repro.fleet.collective import guarded_fleet_allreduce
+from repro.models.nn import Dense, Flatten, Network, ReLU
+from repro.mpi.schedule import CollectiveTelemetry
+from repro.sim.engine import Interrupt
+from repro.train.checkpoint import TrainerCheckpoint
+from repro.train.distributed import DistributedSGDTrainer
+from repro.train.schedule import WarmupStepSchedule
+
+__all__ = ["JobSpec", "FleetJob", "PreemptionNotice", "build_trainer"]
+
+#: Terminal job states (the no-lost-no-duplicated invariant counts these).
+TERMINAL = ("finished", "failed", "rejected")
+
+
+class PreemptionNotice(Exception):
+    """Interrupt cause asking a job to checkpoint and yield its slots."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to (re)create one job deterministically."""
+
+    name: str
+    n_learners: int = 2
+    n_steps: int = 5
+    arrival: float = 0.0
+    priority: int = 0
+    seed: int = 0
+    compute_time: float = 2e-4
+    records_per_learner: int = 24
+    n_classes: int = 3
+    batch_per_gpu: int = 4
+    reducer: str = "multicolor"
+    collective_timeout: float = 5.0
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    checkpoint_every: int = 2
+    checkpoint_time: float = 1e-3
+    preemption: str = "requeue"  # "requeue" | "shrink"
+    #: Controlled shrinks a fault-free reference run replays to mirror a
+    #: faulted run's lineage: ``((iteration, slot), ...)`` applied between
+    #: gradient compute and the collective of that iteration.
+    scripted_shrinks: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self):
+        if self.n_learners < 1 or self.n_steps < 1:
+            raise ValueError("n_learners and n_steps must be >= 1")
+        if self.preemption not in ("requeue", "shrink"):
+            raise ValueError(f"unknown preemption mode {self.preemption!r}")
+
+
+def build_trainer(spec: JobSpec) -> DistributedSGDTrainer:
+    """Deterministic tiny-MLP trainer for one fleet job (from its seed)."""
+    n_classes = spec.n_classes
+
+    def net_factory(rng):
+        return Network(
+            [Flatten(), Dense(16, 10, rng), ReLU(), Dense(10, n_classes, rng)]
+        )
+
+    rng = np.random.default_rng(spec.seed)
+    stores = []
+    for learner in range(spec.n_learners):
+        labels = rng.integers(0, n_classes, size=spec.records_per_learner)
+        records = []
+        for lab in labels:
+            img = rng.integers(0, 60, size=(1, 4, 4), dtype=np.uint8)
+            img[0, int(lab) % 4, :] = 255
+            records.append(encode_image(img))
+        stores.append(DIMDStore(records, labels, learner=learner))
+    schedule = WarmupStepSchedule(
+        batch_per_gpu=spec.batch_per_gpu,
+        n_workers=spec.n_learners,
+        base_lr=0.08,
+        reference_batch=spec.batch_per_gpu * spec.n_learners,
+        warmup_epochs=0.0,
+    )
+    trainer = DistributedSGDTrainer(
+        net_factory,
+        stores,
+        gpus_per_node=1,
+        batch_per_gpu=spec.batch_per_gpu,
+        schedule=schedule,
+        reducer=spec.reducer,
+        seed=spec.seed,
+        shuffle_every=None,
+        reshuffle_on_shrink=False,
+        collective_repair="surgical",
+    )
+    return trainer
+
+
+@dataclass
+class JobTelemetry:
+    """Per-job fleet metrics, in simulated seconds."""
+
+    submitted: float = 0.0
+    first_start: float | None = None
+    finished: float | None = None
+    queue_wait: float = 0.0
+    steps: int = 0
+    retries: int = 0
+    backoff: float = 0.0
+    requeues: int = 0
+    preemptions: int = 0
+    checkpoints: int = 0
+    #: Node-slot-seconds spent making forward progress (steps that landed).
+    goodput_node_seconds: float = 0.0
+
+
+class FleetJob:
+    """Runtime state of one job: placement, lineage, process handle."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self.status = "pending"
+        self.trainer: DistributedSGDTrainer | None = None
+        #: World rank (= node index) of each live slot, group-rank order.
+        self.placement: list[int] = []
+        self.proc = None
+        self.active_executor = None
+        self.telemetry = JobTelemetry()
+        self.shrink_log: list[tuple[int, int]] = []
+        self.saved: tuple[TrainerCheckpoint, tuple] | None = None
+        self.pending_shrinks = 0  # controlled (preemption) shrink requests
+        self.preempt_pending = False
+        self.final_params: np.ndarray | None = None
+        self._enqueued_at: float | None = None
+        self._collective_seq = 0
+        self._scripted = {}
+        for iteration, slot in spec.scripted_shrinks:
+            self._scripted.setdefault(iteration, []).append(slot)
+
+    # -- identity / bookkeeping --------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_live(self) -> int:
+        return len(self.placement)
+
+    def learners_needed(self) -> int:
+        """Gang size for the next (re)start."""
+        if self.saved is not None:
+            return len(self.saved[0].learner_ids)
+        return self.spec.n_learners
+
+    def placement_ranks(self) -> list[int]:
+        return list(self.placement)
+
+    def next_collective_seq(self) -> int:
+        self._collective_seq += 1
+        return self._collective_seq
+
+    def learner_id(self, slot: int) -> int:
+        return self.trainer.learner_ids[slot]
+
+    # -- victim plumbing (called from the guarded collective) ---------------
+    def next_victim(self) -> int | None:
+        """Lowest slot whose node is dead, else a pending controlled shrink."""
+        for slot, node_index in enumerate(self.placement):
+            if not self._cluster.nodes[node_index].alive:
+                return slot
+        if self.pending_shrinks > 0 and self.n_live > 1:
+            self.pending_shrinks -= 1
+            return self.n_live - 1
+        return None
+
+    def drop_slot(self, slot: int) -> None:
+        """Forget a victim slot and return its allocation to the ledger."""
+        node_index = self.placement.pop(slot)
+        self._cluster.release(self.name, node_index)
+        self._scheduler.on_slot_freed(self, node_index)
+
+    def record_shrink(self, iteration: int, slot: int) -> None:
+        self.shrink_log.append((iteration, slot))
+
+    # -- program -------------------------------------------------------------
+    def start(self, cluster, scheduler, placement: list[int]) -> None:
+        """Claim ``placement`` and spawn the training process."""
+        self._cluster = cluster
+        self._scheduler = scheduler
+        now = cluster.engine.now
+        if self._enqueued_at is not None:
+            self.telemetry.queue_wait += now - self._enqueued_at
+            self._enqueued_at = None
+        if self.telemetry.first_start is None:
+            self.telemetry.first_start = now
+        for node_index in placement:
+            cluster.allocate(self.name, node_index)
+        self.placement = list(placement)
+        if self.trainer is None:
+            if self.saved is not None:
+                ckpt, shrinks = self.saved
+                self.trainer = DistributedSGDTrainer.from_checkpoint(
+                    ckpt, ckpt_net_factory(self.spec)
+                )
+                self.shrink_log = list(shrinks)
+            else:
+                self.trainer = build_trainer(self.spec)
+                self.shrink_log = []
+        self.status = "running"
+        self.proc = cluster.engine.process(self._program(), name=f"job:{self.name}")
+
+    def mark_enqueued(self, now: float) -> None:
+        self.status = "queued"
+        self._enqueued_at = now
+
+    def _program(self):
+        engine = self._cluster.engine
+        trainer = self.trainer
+        spec = self.spec
+        try:
+            while trainer.iteration < spec.n_steps:
+                step_start = engine.now
+                try:
+                    yield engine.timeout(spec.compute_time)
+                    grads, losses = trainer.step_compute()
+                    grads = self._apply_scripted_shrinks(grads)
+                    telemetry = CollectiveTelemetry()
+                    buffers, _ = yield from guarded_fleet_allreduce(
+                        self._cluster, self, grads, telemetry
+                    )
+                    for victim in telemetry.repaired_ranks:
+                        self.record_shrink(trainer.iteration, victim)
+                        trainer.absorb_failure(victim, reshuffle=False)
+                    trainer.step_apply(buffers[0].array, len(buffers), losses)
+                    self.telemetry.steps += 1
+                    self.telemetry.retries += telemetry.retries
+                    self.telemetry.backoff += telemetry.backoff
+                    productive = max(
+                        0.0, engine.now - step_start - telemetry.backoff
+                    )
+                    self.telemetry.goodput_node_seconds += (
+                        productive * self.n_live
+                    )
+                    if (
+                        spec.checkpoint_every
+                        and trainer.iteration % spec.checkpoint_every == 0
+                        and trainer.iteration < spec.n_steps
+                    ):
+                        yield from self._take_checkpoint(absorb_preempts=False)
+                except Interrupt as exc:
+                    if isinstance(exc.cause, PreemptionNotice):
+                        yield from self._preempt_requeue()
+                        return
+                    raise
+            self._finish()
+        except Exception as exc:
+            self._scheduler.on_job_error(self, exc)
+
+    def _apply_scripted_shrinks(self, grads):
+        """Replay a reference script's controlled shrinks for this step.
+
+        Applied between gradient compute and the collective — exactly
+        where a surgically-repaired crash removes the victim's
+        contribution — so the scripted run's sums, LR rescales and record
+        deals land identically to the faulted run's.
+        """
+        trainer = self.trainer
+        for slot in self._scripted.get(trainer.iteration, ()):
+            del grads[slot]
+            self.record_shrink(trainer.iteration, slot)
+            trainer.absorb_failure(slot, reshuffle=False)
+            self.drop_slot(slot)
+        return grads
+
+    def _take_checkpoint(self, *, absorb_preempts: bool):
+        """Capture state, then pay the simulated write window.
+
+        Capture is atomic (plain Python state), so a fault *during* the
+        write window can neither tear the snapshot nor corrupt the
+        previous one — interrupts here only re-run the remaining wait.
+        A preemption landing inside the window (the chaos sweep's
+        preemption-during-checkpoint point) lets the write finish and
+        commit first; with ``absorb_preempts=False`` it is then re-raised
+        so the program's preemption path runs against the fresh save,
+        with ``absorb_preempts=True`` (already preempting) it is dropped.
+        """
+        engine = self._cluster.engine
+        self.status = "checkpointing"
+        state = TrainerCheckpoint.capture(self.trainer)
+        shrinks = tuple(self.shrink_log)
+        self.telemetry.checkpoints += 1
+        end = engine.now + self.spec.checkpoint_time
+        preempted = False
+        while True:
+            remaining = end - engine.now
+            if remaining <= 0:
+                break
+            try:
+                yield engine.timeout(remaining)
+                break
+            except Interrupt as exc:
+                if isinstance(exc.cause, PreemptionNotice):
+                    preempted = True
+                    continue
+                self.saved = (state, shrinks)
+                self.status = "running"
+                raise
+        self.saved = (state, shrinks)
+        self.status = "running"
+        if preempted and not absorb_preempts:
+            raise Interrupt(PreemptionNotice())
+
+    def _preempt_requeue(self):
+        """Controlled preemption: checkpoint, release everything, requeue."""
+        self.telemetry.preemptions += 1
+        yield from self._take_checkpoint(absorb_preempts=True)
+        self._teardown_trainer()
+        self._release_all()
+        self.status = "preempted"
+        self._scheduler.on_preempted(self)
+
+    def requeue_from_loss(self) -> None:
+        """After a total loss: drop the live trainer, keep the last save."""
+        self._teardown_trainer()
+        self._release_all()
+
+    def _teardown_trainer(self) -> None:
+        if self.trainer is not None:
+            self.trainer.close()
+        self.trainer = None
+
+    def _release_all(self) -> None:
+        for node_index in self.placement:
+            self._cluster.release(self.name, node_index)
+            self._scheduler.on_slot_freed(self, node_index)
+        self.placement = []
+
+    def _finish(self) -> None:
+        self.final_params = self.trainer.params().copy()
+        self.final_iteration = self.trainer.iteration
+        self._teardown_trainer()
+        self._release_all()
+        self.status = "finished"
+        self.telemetry.finished = self._cluster.engine.now
+        self._scheduler.on_finished(self)
+
+
+def ckpt_net_factory(spec: JobSpec):
+    """The network factory a restored trainer needs (same as build time)."""
+    n_classes = spec.n_classes
+
+    def net_factory(rng):
+        return Network(
+            [Flatten(), Dense(16, 10, rng), ReLU(), Dense(10, n_classes, rng)]
+        )
+
+    return net_factory

@@ -1,0 +1,468 @@
+"""The fleet scheduler: gang placement, preemption, requeue, backfill.
+
+One :class:`FleetScheduler` drives a workload of :class:`JobSpec`s over a
+:class:`~repro.fleet.cluster.SharedCluster`:
+
+* **gang scheduling** — a job starts only when *all* its learners can be
+  placed on distinct live nodes (a communicator rejects duplicate
+  members, so one node hosts at most one learner per job);
+* **topology-aware placement** — ``placement="pack"`` fills the fewest
+  racks (cheap allreduce, correlated blast radius), ``"spread"``
+  round-robins racks (expensive allreduce, independent fault domains);
+* **priority preemption** — a higher-priority arrival that cannot be
+  placed preempts strictly-lower-priority victims, delivered as a
+  controlled fault (checkpoint + requeue, or a single-learner elastic
+  shrink for ``preemption="shrink"`` victims);
+* **bounded-backoff requeue** — a job that loses all learners requeues
+  from its last checkpoint with exponential backoff whose jitter is drawn
+  from the deterministic sim RNG (``rng_for(seed, "requeue", job, n)``),
+  so fleet sweeps are bit-reproducible run to run;
+* **backfill** — every freed slot (finish, shrink, preemption) re-runs
+  the placement scan over the whole queue, so small jobs flow around a
+  blocked gang at the head.
+
+Node deaths enter here: :meth:`FleetScheduler.kill_node` marks the fault
+domain dead, emits one correlated ``RankFailure`` into every hosted job's
+in-flight collective, and logs a diagnosis naming every victim — the
+chaos sweep asserts on that naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.cluster import SharedCluster
+from repro.fleet.collective import JobLost
+from repro.fleet.jobs import TERMINAL, FleetJob, JobSpec, PreemptionNotice
+from repro.mpi.schedule import RankFailure
+from repro.utils.rng import rng_for
+
+__all__ = ["FleetEvent", "FleetReport", "FleetScheduler", "JobSummary"]
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One scheduler decision or fault, timestamped in simulated seconds."""
+
+    t: float
+    kind: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.t:10.4f}s] {self.kind:<12s} {self.text}"
+
+
+@dataclass
+class JobSummary:
+    name: str
+    status: str
+    priority: int
+    submitted: float
+    first_start: float | None
+    finished: float | None
+    queue_wait: float
+    steps: int
+    retries: int
+    requeues: int
+    preemptions: int
+    shrinks: tuple[tuple[int, int], ...]
+
+
+@dataclass
+class FleetReport:
+    """What one fleet run did: per-job summaries plus fleet metrics."""
+
+    placement: str
+    seed: int
+    jobs: list[JobSummary]
+    events: list[FleetEvent]
+    makespan: float
+    utilization: float
+    goodput: float
+    leaked: list[tuple[int, str, int]]
+
+    @property
+    def all_terminal(self) -> bool:
+        return all(j.status in TERMINAL for j in self.jobs)
+
+    def job(self, name: str) -> JobSummary:
+        for j in self.jobs:
+            if j.name == name:
+                return j
+        raise KeyError(name)
+
+    def format(self) -> str:
+        lines = [
+            f"fleet: placement={self.placement} seed={self.seed} "
+            f"makespan={self.makespan:.4f}s utilization={self.utilization:.1%} "
+            f"goodput={self.goodput:.1%}"
+        ]
+        for j in self.jobs:
+            lines.append(
+                f"  {j.name:<10s} {j.status:<9s} prio={j.priority} "
+                f"wait={j.queue_wait:.4f}s steps={j.steps} "
+                f"retries={j.retries} requeues={j.requeues} "
+                f"preempt={j.preemptions} shrinks={len(j.shrinks)}"
+            )
+        if self.leaked:
+            lines.append(f"  LEAKED PLACEMENTS: {self.leaked}")
+        return "\n".join(lines)
+
+
+class FleetScheduler:
+    """Queue + placement + failure-domain policy over one shared cluster."""
+
+    def __init__(
+        self,
+        cluster: SharedCluster,
+        specs: list[JobSpec],
+        *,
+        placement: str = "pack",
+        seed: int = 0,
+        max_queued: int | None = None,
+        requeue_base: float = 0.05,
+        max_requeues: int = 6,
+    ):
+        if placement not in ("pack", "spread"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names in workload: {names}")
+        self.cluster = cluster
+        self.placement = placement
+        self.seed = seed
+        self.max_queued = max_queued
+        self.requeue_base = requeue_base
+        self.max_requeues = max_requeues
+        self.jobs: dict[str, FleetJob] = {s.name: FleetJob(s) for s in specs}
+        self.events: list[FleetEvent] = []
+        self._queue: list[FleetJob] = []
+        self._seq = 0
+        self._order: dict[str, int] = {}
+        self._ran = False
+
+    # -- driving ------------------------------------------------------------
+    def run(self) -> FleetReport:
+        """Submit every spec at its arrival time and drain the fleet."""
+        if self._ran:
+            raise RuntimeError("a FleetScheduler instance runs once")
+        self._ran = True
+        engine = self.cluster.engine
+        for job in self.jobs.values():
+            engine.process(self._arrival(job), name=f"arrive:{job.name}")
+        engine.run()
+        return self.report()
+
+    def spawn(self, generator, name: str = "chaos"):
+        """Register an auxiliary process (chaos triggers) on the engine."""
+        return self.cluster.engine.process(generator, name=name)
+
+    def _arrival(self, job: FleetJob):
+        if job.spec.arrival > 0:
+            yield self.cluster.engine.timeout(job.spec.arrival)
+        now = self.cluster.engine.now
+        job.telemetry.submitted = now
+        if job.spec.n_learners > len(self.cluster.live_nodes()):
+            job.status = "rejected"
+            self._log(
+                "reject", f"{job.name}: needs {job.spec.n_learners} nodes, "
+                f"{len(self.cluster.live_nodes())} alive", job=job.name,
+            )
+            return
+        if self.max_queued is not None and len(self._queue) >= self.max_queued:
+            job.status = "rejected"
+            self._log(
+                "reject", f"{job.name}: queue full ({self.max_queued})",
+                job=job.name,
+            )
+            return
+        self._log("submit", f"{job.name} (priority {job.spec.priority})",
+                  job=job.name)
+        self._enqueue(job)
+        self._kick()
+
+    # -- queue / placement --------------------------------------------------
+    def _enqueue(self, job: FleetJob) -> None:
+        if job.name not in self._order:
+            self._order[job.name] = self._seq
+            self._seq += 1
+        job.mark_enqueued(self.cluster.engine.now)
+        self._queue.append(job)
+
+    def _kick(self) -> None:
+        """Scan the queue (priority order, with backfill) and start fits."""
+        progress = True
+        while progress:
+            progress = False
+            ordered = sorted(
+                self._queue,
+                key=lambda j: (-j.spec.priority, self._order[j.name]),
+            )
+            for job in ordered:
+                chosen = self._place(job.learners_needed())
+                if chosen is not None:
+                    self._queue.remove(job)
+                    job.start(self.cluster, self, chosen)
+                    self._log(
+                        "start",
+                        f"{job.name} on nodes {chosen} "
+                        f"(racks {sorted({self.cluster.rack_of(n) for n in chosen})})",
+                        job=job.name, nodes=list(chosen),
+                    )
+                    progress = True
+                    break
+                self._maybe_preempt(job)
+                # Gang blocked: leave it queued and backfill smaller jobs.
+        return
+
+    def _place(self, k: int) -> list[int] | None:
+        """Pick ``k`` distinct nodes under the active policy, or ``None``."""
+        free = [n for n in self.cluster.nodes if n.alive and n.free > 0]
+        if len(free) < k:
+            return None
+        by_rack: dict[int, list] = {}
+        for node in free:
+            by_rack.setdefault(node.rack, []).append(node)
+        for nodes in by_rack.values():
+            nodes.sort(key=lambda n: n.index)
+        if self.placement == "pack":
+            # Fewest racks: take racks with the most placeable nodes first.
+            racks = sorted(by_rack, key=lambda r: (-len(by_rack[r]), r))
+            chosen = []
+            for rack in racks:
+                for node in by_rack[rack]:
+                    chosen.append(node.index)
+                    if len(chosen) == k:
+                        return chosen
+            return None
+        # spread: round-robin racks so fault domains stay independent.
+        racks = sorted(by_rack)
+        chosen = []
+        cursors = {r: 0 for r in racks}
+        while len(chosen) < k:
+            advanced = False
+            for rack in racks:
+                nodes = by_rack[rack]
+                if cursors[rack] < len(nodes):
+                    chosen.append(nodes[cursors[rack]].index)
+                    cursors[rack] += 1
+                    advanced = True
+                    if len(chosen) == k:
+                        return chosen
+            if not advanced:
+                return None
+        return chosen
+
+    # -- preemption ---------------------------------------------------------
+    def _maybe_preempt(self, job: FleetJob) -> None:
+        """Free slots for ``job`` by preempting lower-priority victims."""
+        k = job.learners_needed()
+        free = {
+            n.index: n.free for n in self.cluster.nodes if n.alive
+        }
+        # Slots already on their way back (victims mid-preemption).
+        for other in self.jobs.values():
+            if getattr(other, "preempt_pending", False) or other.pending_shrinks:
+                for node_index in other.placement:
+                    if node_index in free:
+                        free[node_index] += 1
+        if sum(1 for f in free.values() if f > 0) >= k:
+            return  # enough capacity is already draining towards us
+        victims = sorted(
+            (
+                other
+                for other in self.jobs.values()
+                if other.status in ("running", "checkpointing")
+                and not getattr(other, "preempt_pending", False)
+                and other.spec.priority < job.spec.priority
+                and other.proc is not None
+                and other.proc.is_alive
+            ),
+            key=lambda o: (o.spec.priority, -self._order.get(o.name, 0)),
+        )
+        chosen = []
+        for victim in victims:
+            if victim.spec.preemption == "shrink" and victim.n_live > 1:
+                freed_nodes = victim.placement[-1:]
+            else:
+                freed_nodes = list(victim.placement)
+            chosen.append((victim, freed_nodes))
+            for node_index in freed_nodes:
+                if node_index in free:
+                    free[node_index] += 1
+            if sum(1 for f in free.values() if f > 0) >= k:
+                break
+        else:
+            return  # even preempting everyone would not fit: just wait
+        for victim, _freed in chosen:
+            if victim.spec.preemption == "shrink" and victim.n_live > 1:
+                victim.pending_shrinks += 1
+                self._log(
+                    "shrink-req",
+                    f"{victim.name} surrenders one learner to {job.name}",
+                    job=victim.name, beneficiary=job.name,
+                )
+            else:
+                victim.preempt_pending = True
+                victim.proc.interrupt(PreemptionNotice())
+                self._log(
+                    "preempt",
+                    f"{victim.name} (priority {victim.spec.priority}) "
+                    f"checkpoints for {job.name} "
+                    f"(priority {job.spec.priority})",
+                    job=victim.name, beneficiary=job.name,
+                )
+
+    # -- fault domains -------------------------------------------------------
+    def kill_node(self, node_index: int) -> None:
+        """Kill a node: correlated ``RankFailure`` into every hosted job."""
+        engine = self.cluster.engine
+        casualties = self.cluster.kill_node(node_index)
+        parts = []
+        for job_name, _slots in casualties:
+            job = self.jobs[job_name]
+            slot = job.placement.index(node_index)
+            parts.append(
+                f"job {job_name} slot {slot} (learner {job.learner_id(slot)})"
+            )
+            executor = job.active_executor
+            if executor is not None and slot < len(executor.rank_procs):
+                proc = executor.rank_procs[slot]
+                if proc.is_alive:
+                    proc.interrupt(RankFailure(slot, engine.now))
+            # Otherwise the job is between collectives; the pending-victim
+            # scan absorbs the death at its next attempt launch.
+        detail = "; ".join(parts) if parts else "no hosted jobs"
+        self._log(
+            "node-kill",
+            f"node {node_index} (rack {self.cluster.rack_of(node_index)}) "
+            f"died: {detail}",
+            node=node_index, jobs=[name for name, _ in casualties],
+        )
+        self._kick()
+
+    # -- job callbacks -------------------------------------------------------
+    def on_slot_freed(self, job: FleetJob, node_index: int) -> None:
+        self._log(
+            "release", f"{job.name} released node {node_index}",
+            job=job.name, node=node_index,
+        )
+        self._kick()
+
+    def on_finished(self, job: FleetJob) -> None:
+        self._log(
+            "finish",
+            f"{job.name} after {job.telemetry.steps} steps "
+            f"({job.telemetry.retries} retries, "
+            f"{len(job.shrink_log)} shrinks)",
+            job=job.name,
+        )
+        self._kick()
+
+    def on_preempted(self, job: FleetJob) -> None:
+        job.preempt_pending = False
+        self._log("requeue", f"{job.name} (preempted, checkpoint saved)",
+                  job=job.name)
+        self._enqueue(job)
+        self._kick()
+
+    def on_job_error(self, job: FleetJob, exc: BaseException) -> None:
+        if isinstance(exc, JobLost):
+            job.requeue_from_loss()
+            self._log("job-lost", str(exc), job=job.name)
+            self._requeue_with_backoff(job)
+            self._kick()
+            return
+        job.requeue_from_loss()
+        job.status = "failed"
+        job.telemetry.finished = self.cluster.engine.now
+        self._log("job-failed", f"{job.name}: {exc!r}", job=job.name)
+        self._kick()
+
+    def _requeue_with_backoff(self, job: FleetJob) -> None:
+        """Bounded exponential backoff, jitter seeded from the sim RNG."""
+        job.telemetry.requeues += 1
+        if job.telemetry.requeues > self.max_requeues:
+            job.status = "failed"
+            job.telemetry.finished = self.cluster.engine.now
+            self._log(
+                "job-failed",
+                f"{job.name}: requeue budget exhausted "
+                f"({self.max_requeues})",
+                job=job.name,
+            )
+            return
+        base = self.requeue_base * (2 ** (job.telemetry.requeues - 1))
+        jitter = rng_for(
+            self.seed, "requeue", job.name, job.telemetry.requeues
+        ).uniform(0.5, 1.5)
+        delay = base * jitter
+        self._log(
+            "requeue",
+            f"{job.name} in {delay:.4f}s "
+            f"(attempt {job.telemetry.requeues})",
+            job=job.name, delay=delay,
+        )
+        job.status = "backoff"
+        self.spawn(self._delayed_enqueue(job, delay), name=f"requeue:{job.name}")
+
+    def _delayed_enqueue(self, job: FleetJob, delay: float):
+        yield self.cluster.engine.timeout(delay)
+        self._enqueue(job)
+        self._kick()
+
+    # -- reporting -----------------------------------------------------------
+    def _log(self, kind: str, text: str, **data) -> None:
+        self.events.append(
+            FleetEvent(self.cluster.engine.now, kind, text, data)
+        )
+
+    def report(self) -> FleetReport:
+        jobs = []
+        finishes = []
+        submits = []
+        for name in sorted(self.jobs):
+            job = self.jobs[name]
+            t = job.telemetry
+            jobs.append(
+                JobSummary(
+                    name=name,
+                    status=job.status,
+                    priority=job.spec.priority,
+                    submitted=t.submitted,
+                    first_start=t.first_start,
+                    finished=t.finished,
+                    queue_wait=t.queue_wait,
+                    steps=t.steps,
+                    retries=t.retries,
+                    requeues=t.requeues,
+                    preemptions=t.preemptions,
+                    shrinks=tuple(job.shrink_log),
+                )
+            )
+            if t.finished is not None:
+                finishes.append(t.finished)
+            if job.status != "rejected":
+                submits.append(t.submitted)
+        makespan = (max(finishes) - min(submits)) if finishes and submits else 0.0
+        # Account up to the last real fleet event: once drained, stale
+        # watchdog deadlines coast the engine clock through pure idle time.
+        end = max(finishes) if finishes else self.cluster.engine.now
+        capacity = self.cluster.capacity_integral_at(end)
+        goodput = (
+            sum(j.telemetry.goodput_node_seconds for j in self.jobs.values())
+            / capacity
+            if capacity > 0
+            else 0.0
+        )
+        return FleetReport(
+            placement=self.placement,
+            seed=self.seed,
+            jobs=jobs,
+            events=list(self.events),
+            makespan=makespan,
+            utilization=self.cluster.utilization(end),
+            goodput=goodput,
+            leaked=self.cluster.leaked_placements(),
+        )

@@ -974,6 +974,11 @@ class ScheduleExecutor:
         #: Per-step progress the attribution layer diagnoses stalls from.
         self.progress = ExecutionProgress(schedule)
         self.rank_procs: list[Process] = []
+        #: Every strand process spawned by :meth:`launch`.  Callers sharing
+        #: one engine across collectives (the fleet scheduler) interrupt
+        #: these to abandon a timed-out attempt instead of abandoning the
+        #: whole engine.
+        self.strand_procs: list[Process] = []
         self._done = None
 
     def launch(self):
@@ -987,11 +992,24 @@ class ScheduleExecutor:
                 self.comm, rank, self.schedule, self.bufmaps[rank],
                 self.tag, self.stats, self.progress,
             )
+            self.strand_procs.extend(step_procs)
             self.rank_procs.append(
                 engine.process(_rank_proxy(engine, step_procs), name=f"sxr{rank}")
             )
         self._done = engine.all_of(self.rank_procs)
         return self._done
+
+    def release_observer(self) -> None:
+        """Detach this executor's send observer from the world.
+
+        Long-lived shared worlds (the fleet cluster) run thousands of
+        executors; without detaching, the observer list — and the cost of
+        every subsequent send — would grow without bound.
+        """
+        try:
+            self.comm.world.send_observers.remove(self._observer)
+        except ValueError:
+            pass
 
     def _observer(self, src: int, dst: int, tag: object, nbytes: int) -> None:
         if (

@@ -62,9 +62,34 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, request_event: Event) -> None:
+        """Withdraw a pending request, or release a granted-but-unused slot.
+
+        Needed when the requesting process is interrupted: a request left
+        in the waiter queue would be granted to a dead process later and
+        leak the slot for good (deadlocking every other user).
+        """
+        if request_event.triggered:
+            self.release()
+            return
+        try:
+            self._waiters.remove(request_event)
+        except ValueError:
+            pass
+
     def use(self, duration: float):
-        """Generator helper: acquire, hold for ``duration``, release."""
-        yield self.request()
+        """Generator helper: acquire, hold for ``duration``, release.
+
+        Interrupt-safe: an exception thrown in while waiting for the grant
+        withdraws the request; one thrown in while holding releases the
+        slot — either way no capacity is leaked.
+        """
+        req = self.request()
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
         try:
             yield self.engine.timeout(duration)
         finally:
@@ -98,6 +123,14 @@ class PriorityResource(Resource):
             ev.succeed(self)
         else:
             self._in_use -= 1
+
+    def cancel(self, request_event: Event) -> None:  # type: ignore[override]
+        if request_event.triggered:
+            self.release()
+            return
+        self._prio_waiters = [
+            t for t in self._prio_waiters if t[2] is not request_event
+        ]
 
 
 class Store:

@@ -149,6 +149,8 @@ class TrainerCheckpoint:
     @classmethod
     def load(cls, path) -> "TrainerCheckpoint":
         raw = Path(path).read_bytes()
+        if not raw:
+            raise CheckpointCorrupt(path, "empty file (torn write?)")
         if raw[:4] == CHECKPOINT_MAGIC:
             if len(raw) < _HEADER.size:
                 raise CheckpointCorrupt(path, "truncated header")
@@ -168,8 +170,19 @@ class TrainerCheckpoint:
                     path, f"payload verified but failed to unpickle: {exc}"
                 ) from exc
         else:
-            # Legacy headerless pickle: load best-effort, no verification.
-            ckpt = pickle.loads(raw)
+            # Legacy headerless pickle: load best-effort, no CRC — but a
+            # torn write must still surface as corruption, not a pickle
+            # stack trace.
+            try:
+                ckpt = pickle.loads(raw)
+            except Exception as exc:
+                raise CheckpointCorrupt(
+                    path,
+                    f"headerless payload failed to unpickle "
+                    f"(truncated or not a checkpoint): {exc}",
+                ) from exc
         if not isinstance(ckpt, cls):
-            raise TypeError(f"{path} does not contain a TrainerCheckpoint")
+            raise CheckpointCorrupt(
+                path, f"payload is {type(ckpt).__name__}, not a TrainerCheckpoint"
+            )
         return ckpt

@@ -250,6 +250,19 @@ class DistributedSGDTrainer:
 
     def step(self) -> TrainStepResult:
         """One iteration of Algorithm 1 across all live learners."""
+        per_learner_grads, losses = self.step_compute()
+        summed, n_contributing = self._allreduce(per_learner_grads)
+        return self.step_apply(summed, n_contributing, losses)
+
+    def step_compute(self) -> tuple[list[np.ndarray], list[float]]:
+        """Phase 1 of :meth:`step`: per-learner gradients and losses.
+
+        Pure local compute — deterministic given ``(seed, learner_ids,
+        iteration)`` and the current stores, with no simulated
+        communication.  Split out so an external driver (the fleet
+        scheduler) can run the collective phase on its own shared fabric
+        between :meth:`step_compute` and :meth:`step_apply`.
+        """
         self._step_stats = _StepStats()
         per_learner_grads: list[np.ndarray] = []
         losses: list[float] = []
@@ -259,8 +272,17 @@ class DistributedSGDTrainer:
             loss, grads = table.forward_backward(images, labels)
             per_learner_grads.append(grads)
             losses.append(loss)
+        return per_learner_grads, losses
 
-        summed, n_contributing = self._allreduce(per_learner_grads)
+    def step_apply(
+        self, summed: np.ndarray, n_contributing: int, losses: list[float]
+    ) -> TrainStepResult:
+        """Phase 2 of :meth:`step`: apply the reduced gradient everywhere.
+
+        ``summed`` is the gradient sum over the ``n_contributing`` learners
+        that completed the collective (fewer than computed when a permanent
+        rank loss shrank the group mid-step).
+        """
         mean_grad = summed / n_contributing
         epoch = self.iteration / self.steps_per_epoch
         lr = self.schedule.lr_at(epoch)
@@ -352,6 +374,15 @@ class DistributedSGDTrainer:
                 stats.fault_events.append(event)
                 if self.fault_injector is not None:
                     self.fault_injector.record(event)
+
+    def absorb_failure(self, lost_slot: int, *, reshuffle: bool | None = None) -> None:
+        """Absorb a permanent learner loss delivered from outside the
+        collective (a node-level fault domain dying, or a controlled
+        preemption shrink).  Equivalent to the elastic shrink the guarded
+        collective performs on a diagnosed :class:`RankFailure`: the dead
+        slot's records are dealt to the survivors and the LR schedule is
+        rescaled.  ``reshuffle`` overrides ``reshuffle_on_shrink``."""
+        self._shrink_state(lost_slot, reshuffle=reshuffle)
 
     def check_synchronized(self) -> None:
         """Assert every replica on every learner holds identical weights."""

@@ -91,6 +91,69 @@ def test_faults_command_rejects_bad_crash_rank(capsys):
     assert code == 2
 
 
+def test_faults_command_exits_1_when_recovery_fails(capsys, monkeypatch):
+    from repro.train.distributed import DistributedSGDTrainer
+
+    def broken(self):
+        raise AssertionError("replicas diverged")
+
+    monkeypatch.setattr(DistributedSGDTrainer, "check_synchronized", broken)
+    code = main(["faults", "--steps", "2", "--crash-rank", "-1",
+                 "--drop-at", "-1"])
+    assert code == 1
+    assert "recovery failed" in capsys.readouterr().err
+
+
+def test_fleet_command(capsys):
+    code, out = run_cli(
+        capsys, "fleet", "--jobs", "3", "--steps", "3", "--events"
+    )
+    assert code == 0
+    assert "placement=pack" in out
+    assert "job2" in out
+    assert "finish" in out
+
+
+def test_fleet_command_with_node_kill(capsys):
+    code, out = run_cli(
+        capsys, "fleet", "--jobs", "2", "--kill-node", "0", "--events"
+    )
+    assert code == 0
+    assert "node-kill" in out
+
+
+def test_fleet_command_rejects_bad_args(capsys):
+    assert main(["fleet", "--jobs", "0"]) == 2
+    assert main(["fleet", "--kill-node", "99"]) == 2
+    assert main(["fleet", "--racks", "0"]) == 2
+
+
+def test_fleet_chaos_exit_codes(capsys, monkeypatch):
+    import repro.cli as cli
+
+    class FakeReport:
+        all_ok = False
+
+        def format(self):
+            return "fleet chaos: 1 points, 0 ok, 1 failed"
+
+    def fake_sweep(**kwargs):
+        return FakeReport()
+
+    import repro.fleet
+    import repro.fleet.chaos
+
+    monkeypatch.setattr(repro.fleet, "fleet_chaos_sweep", fake_sweep)
+    monkeypatch.setattr(repro.fleet.chaos, "fleet_chaos_sweep", fake_sweep)
+    assert main(["fleet", "--chaos"]) == 1
+    assert main(["chaos", "--collective", "fleet"]) == 1
+
+
+def test_fleet_chaos_rejects_unknown_kind(capsys):
+    code = main(["chaos", "--collective", "fleet", "--kinds", "bogus"])
+    assert code == 2
+
+
 def test_module_invocation_smoke():
     result = subprocess.run(
         [sys.executable, "-m", "repro", "trees", "--ranks", "8", "--colors", "4"],

@@ -1,0 +1,64 @@
+"""Fleet chaos sweep: the five robustness invariants under disturbance."""
+
+import pytest
+
+from repro.fleet import fleet_chaos_sweep
+from repro.fleet.chaos import FLEET_KINDS, FleetChaosPoint, _points
+
+
+def test_smoke_sweep_holds_all_invariants():
+    report = fleet_chaos_sweep(smoke=True)
+    assert report.outcomes, "sweep enumerated no points"
+    failed = [o for o in report.outcomes if not o.ok]
+    assert report.all_ok, "\n" + report.format() + f"\n{len(failed)} failed"
+
+
+def test_smoke_sweep_covers_every_kind_and_placement():
+    report = fleet_chaos_sweep(smoke=True)
+    seen = {(o.point.kind, o.point.placement) for o in report.outcomes}
+    for kind in FLEET_KINDS:
+        for placement in ("pack", "spread"):
+            assert (kind, placement) in seen
+
+
+def test_node_kills_actually_fired_and_shrank_jobs():
+    report = fleet_chaos_sweep(kinds=("node-kill",), smoke=True)
+    assert report.all_ok, "\n" + report.format()
+    for outcome in report.outcomes:
+        kills = [e for e in outcome.report.events if e.kind == "node-kill"]
+        assert len(kills) == 1
+        shrunk = [j for j in outcome.report.jobs if j.shrinks]
+        assert len(shrunk) == outcome.point.hosted
+
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(ValueError, match="unknown fleet chaos kind"):
+        fleet_chaos_sweep(kinds=("bogus",))
+
+
+def test_full_point_set_covers_node_kill_cross_product():
+    points = _points(FLEET_KINDS, ("pack", "spread"), smoke=False)
+    kills = {
+        (p.placement, p.n_jobs, p.hosted)
+        for p in points
+        if p.kind == "node-kill"
+    }
+    for placement in ("pack", "spread"):
+        for n_jobs in (3, 5):
+            for hosted in (1, 2):
+                assert (placement, n_jobs, hosted) in kills
+    assert FleetChaosPoint("node-kill", "pack", 3, 1).label()
+
+
+@pytest.mark.slow
+def test_full_sweep_holds_all_invariants():
+    report = fleet_chaos_sweep(smoke=False)
+    assert report.all_ok, "\n" + report.format()
+    # Full sweep widens node-kill to the 5-job workload on both policies.
+    kill_points = {
+        (o.point.placement, o.point.n_jobs, o.point.hosted)
+        for o in report.outcomes
+        if o.point.kind == "node-kill"
+    }
+    assert ("pack", 5, 1) in kill_points
+    assert ("spread", 5, 2) in kill_points

@@ -319,8 +319,10 @@ def test_checkpoint_capture_fields_and_load_type_check(tmp_path):
     bogus = tmp_path / "bogus.ckpt"
     import pickle
 
+    from repro.train.checkpoint import CheckpointCorrupt
+
     bogus.write_bytes(pickle.dumps({"not": "a checkpoint"}))
-    with pytest.raises(TypeError, match="TrainerCheckpoint"):
+    with pytest.raises(CheckpointCorrupt, match="TrainerCheckpoint"):
         TrainerCheckpoint.load(bogus)
 
 
@@ -376,6 +378,38 @@ def test_checkpoint_legacy_headerless_pickle_loads(tmp_path):
     loaded = TrainerCheckpoint.load(path)
     assert loaded.iteration == ckpt.iteration
     np.testing.assert_array_equal(loaded.params, ckpt.params)
+
+
+@pytest.mark.parametrize("keep", [0, 1, 3, 6, 40])
+def test_checkpoint_torn_write_raises_corrupt_never_traceback(tmp_path, keep):
+    """A torn write — the file cut at any prefix length, including inside
+    the magic/header and inside the payload — must surface as
+    CheckpointCorrupt, never as a raw pickle/struct stack trace."""
+    from repro.train.checkpoint import CheckpointCorrupt
+
+    trainer = make_trainer(n=2)
+    trainer.step()
+    path = tmp_path / "torn.ckpt"
+    trainer.save_checkpoint(path)
+    path.write_bytes(path.read_bytes()[:keep])
+    with pytest.raises(CheckpointCorrupt):
+        TrainerCheckpoint.load(path)
+
+
+def test_checkpoint_torn_legacy_write_raises_corrupt(tmp_path):
+    """Headerless (legacy) files get no CRC, but a truncated one must
+    still fail loudly as corruption, not an unpickling traceback."""
+    import pickle
+
+    from repro.train.checkpoint import CheckpointCorrupt
+
+    trainer = make_trainer(n=2)
+    trainer.step()
+    raw = pickle.dumps(trainer.checkpoint(), protocol=pickle.HIGHEST_PROTOCOL)
+    path = tmp_path / "legacy-torn.ckpt"
+    path.write_bytes(raw[: len(raw) // 3])
+    with pytest.raises(CheckpointCorrupt, match="unpickle"):
+        TrainerCheckpoint.load(path)
 
 
 # -- data-plane faults (guarded shuffle) --------------------------------------
