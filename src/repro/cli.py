@@ -6,6 +6,7 @@ Examples::
     python -m repro table2
     python -m repro epoch --model resnet50 --nodes 8 --baseline
     python -m repro allreduce --ranks 16 --mbytes 93 --algorithm multicolor
+    python -m repro step --model resnet50 --ranks 16 --algorithm multicolor
     python -m repro shuffle --dataset imagenet-22k --learners 32
     python -m repro memory --dataset imagenet-22k --learners 32
     python -m repro trees --ranks 8 --colors 4
@@ -72,6 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--segment-kib", type=int, default=64)
     p.add_argument("--max-steps", type=int, default=None,
                    help="print at most this many steps per rank")
+
+    p = sub.add_parser(
+        "step",
+        help="compile one whole training iteration (forward, bucketed "
+             "backward, per-bucket allreduce, optimizer) to a unified "
+             "schedule; verify and time it",
+    )
+    p.add_argument("--model", default="resnet50")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--algorithm", default="multicolor")
+    p.add_argument("--buckets", type=int, default=8,
+                   help="gradient buckets the backward pass is split into")
+    p.add_argument("--batch", type=int, default=32, help="batch per GPU")
+    p.add_argument("--fp16", action="store_true",
+                   help="halve the wire payload (2-byte gradients)")
+    p.add_argument("--print", dest="print_steps", action="store_true",
+                   help="also print the compiled schedule")
+    p.add_argument("--max-steps", type=int, default=6,
+                   help="with --print: at most this many steps per rank")
 
     p = sub.add_parser("shuffle", help="full-scale DIMD shuffle timing")
     p.add_argument("--dataset", default="imagenet-22k")
@@ -286,6 +306,82 @@ def _cmd_schedule(args) -> int:
         f"sends/rank {report['sends_per_rank']}"
     )
     return 0
+
+
+def _cmd_step(args) -> int:
+    from repro.core.calibration import GPU_EFFICIENCY, compute_model_for
+    from repro.models.zoo import get_model
+    from repro.mpi import ALLREDUCE_COMPILERS, format_schedule
+    from repro.mpi.datatypes import SizeBuffer
+    from repro.mpi.runner import build_world
+    from repro.mpi.schedule import ScheduleExecutor, validate_schedule
+    from repro.mpi.verify import analyze_bounds, train_step_contract, verify_schedule
+    from repro.train.stepdag import compile_bucketed_step, compile_model_step
+
+    if args.model not in GPU_EFFICIENCY:
+        print(
+            f"unknown model {args.model!r}; "
+            f"choose from {sorted(GPU_EFFICIENCY)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm not in ALLREDUCE_COMPILERS:
+        print(
+            f"unknown algorithm {args.algorithm!r}; "
+            f"choose from {sorted(ALLREDUCE_COMPILERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    model = get_model(args.model)
+    schedule = compile_model_step(
+        model,
+        n_ranks=args.ranks,
+        algorithm=args.algorithm,
+        compute=compute_model_for(args.model),
+        batch_per_gpu=args.batch,
+        n_buckets=args.buckets,
+        fp16=args.fp16,
+        memory="data",
+    )
+    report = validate_schedule(schedule)
+    if args.print_steps:
+        print(format_schedule(schedule, max_steps=args.max_steps))
+    print(
+        f"{schedule.name}: {report['n_steps']} steps, "
+        f"{report['n_messages']} messages"
+    )
+
+    # Prove the same DAG shape statically, at a tractable element count.
+    proxy_count = 1003
+    proxy = compile_bucketed_step(
+        args.ranks, proxy_count, schedule.itemsize,
+        forward_time=1e-3, backward_time=2e-3, optim_time=5e-4,
+        n_buckets=args.buckets, algorithm=args.algorithm, memory="staged",
+    )
+    vreport = verify_schedule(proxy, train_step_contract(args.ranks, proxy_count))
+    print(vreport.format())
+    if not vreport.ok:
+        return 1
+
+    # Time the full-size step and cross-check the analytic lower bound.
+    engine, world, comm = build_world(args.ranks)
+    buffers = [
+        SizeBuffer(schedule.count, schedule.itemsize) for _ in range(args.ranks)
+    ]
+    executor = ScheduleExecutor(comm, schedule, buffers)
+    start = engine.now
+    engine.run(executor.launch())
+    elapsed = engine.now - start
+    bounds = analyze_bounds(schedule)
+    ok = bounds.critical_path_s <= elapsed
+    print(
+        f"simulated step {format_duration(elapsed)} "
+        f"(compute {format_duration(executor.stats.compute_seconds / args.ranks)}"
+        f"/rank); critical-path lower bound "
+        f"{format_duration(bounds.critical_path_s)} "
+        f"{'ok' if ok else 'VIOLATED'}"
+    )
+    return 0 if ok else 1
 
 
 def _cmd_shuffle(args) -> int:
@@ -624,6 +720,7 @@ _COMMANDS = {
     "epoch": _cmd_epoch,
     "allreduce": _cmd_allreduce,
     "schedule": _cmd_schedule,
+    "step": _cmd_step,
     "shuffle": _cmd_shuffle,
     "memory": _cmd_memory,
     "trees": _cmd_trees,

@@ -22,6 +22,14 @@ Step types
   without touching memory (barrier tokens).
 * :class:`ReduceLocalStep` — add one local buffer range into another
   without any communication (charging the reduce CPU).
+* :class:`ComputeStep` — occupy the rank's GPU for a priced duration
+  (layer forward/backward segments).  With ``buf`` set the step *produces*
+  that gradient range when it finishes (optionally materialized by copying
+  from ``src_buf``); with ``buf=None`` it is pure occupancy.
+* :class:`OptimStep` — the parameter update for one gradient range: reads
+  ``buf[lo:hi]`` when it starts, occupies the GPU, and (optionally) writes
+  the result into ``dst_buf``.  The verifier's semantic pass proves the
+  range is fully reduced before the read.
 
 Dependency edges (``deps``) connect steps *on the same rank* only;
 cross-rank ordering comes exclusively from message matching on
@@ -64,10 +72,12 @@ from repro.sim.engine import Interrupt, Process
 __all__ = [
     "CollectiveTelemetry",
     "CollectiveTimeout",
+    "ComputeStep",
     "CopyStep",
     "ExecutionProgress",
     "ExecutionStats",
     "FailureDiagnosis",
+    "OptimStep",
     "RankFailure",
     "StalledStep",
     "diagnose_execution",
@@ -188,7 +198,47 @@ class ReduceLocalStep(_Step):
     src_hi: int = 0
 
 
-Step = SendStep | RecvReduceStep | CopyStep | ReduceLocalStep
+@dataclass(frozen=True)
+class ComputeStep(_Step):
+    """Occupy ``rank``'s GPU for ``seconds`` (layer fwd/bwd segment).
+
+    With ``buf`` set the step produces ``buf[lo:hi]`` when the compute
+    finishes — the gradient for that bucket becomes available only then.
+    When ``src_buf`` is also set the executor materializes the production
+    by copying ``src_buf[lo:hi]`` into ``buf[lo:hi]`` (staged memory mode,
+    used by the verifier's dynamic oracle); with ``src_buf=None`` the write
+    is abstract (data mode: the gradient already lives in the buffer, so
+    execution is a timing-only no-op and numerics are untouched).
+    """
+
+    seconds: float = 0.0
+    buf: str | None = None
+    lo: int = 0
+    hi: int = 0
+    src_buf: str | None = None
+
+
+@dataclass(frozen=True)
+class OptimStep(_Step):
+    """The parameter update for gradient range ``buf[lo:hi]``.
+
+    Reads the gradient range at the moment it *starts* (so an update
+    racing an in-flight reduction really does consume stale values), then
+    occupies the GPU for ``seconds``.  With ``dst_buf`` set the updated
+    parameters are written there when the compute finishes; with
+    ``dst_buf=None`` the step is read-only (data mode).
+    """
+
+    seconds: float = 0.0
+    buf: str = "data"
+    lo: int = 0
+    hi: int = 0
+    dst_buf: str | None = None
+
+
+Step = (
+    SendStep | RecvReduceStep | CopyStep | ReduceLocalStep | ComputeStep | OptimStep
+)
 
 
 @dataclass(frozen=True)
@@ -304,6 +354,32 @@ class ScheduleBuilder:
         )
         return sid
 
+    def compute(
+        self, rank, seconds, *,
+        buf=None, lo=0, hi=0, src_buf=None, deps=None, note="",
+    ):
+        """GPU occupancy for a fwd/bwd segment; ``buf`` marks production."""
+        deps = _norm_deps(deps)
+        self._admit(rank, deps)
+        sid = len(self._steps)
+        self._steps.append(
+            ComputeStep(sid, rank, deps, note, seconds, buf, lo, hi, src_buf)
+        )
+        return sid
+
+    def optim(
+        self, rank, seconds, lo, hi, *,
+        buf="data", dst_buf=None, deps=None, note="",
+    ):
+        """Parameter update reading gradient ``buf[lo:hi]`` at start."""
+        deps = _norm_deps(deps)
+        self._admit(rank, deps)
+        sid = len(self._steps)
+        self._steps.append(
+            OptimStep(sid, rank, deps, note, seconds, buf, lo, hi, dst_buf)
+        )
+        return sid
+
     def build(self, *, validate: bool = False) -> Schedule:
         schedule = Schedule(
             name=self.name,
@@ -388,6 +464,8 @@ def validate_schedule(schedule: Schedule) -> dict[str, Any]:
                 raise ScheduleError(f"step {i} dep {d} is not a backward reference")
             if schedule.steps[d].rank != s.rank:
                 raise ScheduleError(f"step {i} dep {d} crosses ranks")
+        if isinstance(s, (ComputeStep, OptimStep)) and s.seconds < 0:
+            raise ScheduleError(f"step {i} has negative duration {s.seconds!r}")
         for lo, hi in _ranges_of(s):
             if not 0 <= lo <= hi:
                 raise ScheduleError(f"step {i} has invalid range [{lo}, {hi})")
@@ -454,6 +532,8 @@ def validate_schedule(schedule: Schedule) -> dict[str, Any]:
 def _ranges_of(s: Step) -> list[tuple[int, int]]:
     if isinstance(s, ReduceLocalStep):
         return [(s.lo, s.hi), (s.src_lo, s.src_hi)]
+    if isinstance(s, OptimStep):
+        return [(s.lo, s.hi)]
     if s.buf is None:
         return []
     return [(s.lo, s.hi)]
@@ -493,7 +573,14 @@ def _format_step(s: Step) -> str:
     deps = f" after {list(s.deps)}" if s.deps else ""
     note = f"  # {s.note}" if s.note else ""
     span = f"[{s.lo}:{s.hi})" if getattr(s, "buf", None) is not None else "(token)"
-    if isinstance(s, SendStep):
+    if isinstance(s, ComputeStep):
+        produced = f" -> {s.buf}{span}" if s.buf is not None else ""
+        src = f" from {s.src_buf}" if s.src_buf is not None else ""
+        body = f"compute {s.seconds * 1e3:.3f}ms{produced}{src}"
+    elif isinstance(s, OptimStep):
+        dst = f" -> {s.dst_buf}{span}" if s.dst_buf is not None else ""
+        body = f"optim {s.seconds * 1e3:.3f}ms reads {s.buf}{span}{dst}"
+    elif isinstance(s, SendStep):
         body = f"send -> r{s.dst} key={s.key!r} {s.buf or ''}{span}"
     elif isinstance(s, RecvReduceStep):
         body = f"recv+reduce <- r{s.src} key={s.key!r} {s.buf}{span}"
@@ -522,6 +609,7 @@ class ExecutionStats:
     n_messages: int = 0
     reduced_bytes: float = 0.0
     copied_bytes: float = 0.0
+    compute_seconds: float = 0.0
 
 
 class ExecutionProgress:
@@ -584,6 +672,9 @@ class FailureDiagnosis:
       without waiting on anyone (crashed or wedged).
     * ``"stalled-cycle"`` — the blocked-on graph closes a cycle (only
       possible for schedules that fail :func:`validate_schedule`).
+    * ``"compute-stall"`` — no receive is blocked but a
+      :class:`ComputeStep`/:class:`OptimStep` is stuck past ``grace``
+      times its own priced duration: a wedged GPU, not a lost message.
     * ``"no-progress"`` — no step is in flight at all.
     """
 
@@ -664,7 +755,28 @@ def diagnose_execution(
         return (step.hi - step.lo) * itemsize
 
     blocked: list[StalledStep] = []
+    compute_stalled: list[StalledStep] = []
     for step, since in progress.in_flight.values():
+        if isinstance(step, (ComputeStep, OptimStep)):
+            # A compute step's deadline is its own priced duration (plus
+            # grace); one stuck past that is a wedged GPU, not a lost
+            # message — no wire is involved.
+            waited = now - since
+            deadline = grace * step.seconds + slack
+            if waited > deadline:
+                compute_stalled.append(
+                    StalledStep(
+                        rank=step.rank,
+                        sid=step.sid,
+                        kind=type(step).__name__,
+                        waiting_on=step.rank,
+                        note=step.note,
+                        since=since,
+                        waited=waited,
+                        overdue=waited - deadline,
+                    )
+                )
+            continue
         if not isinstance(step, (RecvReduceStep, CopyStep)):
             continue
         waited = now - since
@@ -684,6 +796,7 @@ def diagnose_execution(
             )
         )
     blocked.sort(key=lambda s: (s.since, s.sid))
+    compute_stalled.sort(key=lambda s: (s.since, s.sid))
 
     base = dict(
         now=now,
@@ -692,6 +805,20 @@ def diagnose_execution(
         steps_total=tuple(progress.steps_total),
         stalled=tuple(blocked),
     )
+
+    if not blocked and compute_stalled:
+        pick = compute_stalled[0]
+        return FailureDiagnosis(
+            cause="compute-stall",
+            suspect_rank=pick.rank,
+            suspect_sid=pick.sid,
+            suspect_kind=pick.kind,
+            now=now,
+            n_ranks=schedule.n_ranks,
+            steps_done=tuple(progress.steps_done),
+            steps_total=tuple(progress.steps_total),
+            stalled=tuple(compute_stalled),
+        )
 
     if not blocked:
         behind = [
@@ -793,8 +920,40 @@ def _perform_step(comm, step, bufmap, tag, stats):
         yield from comm.reduce_cpu(step.rank, dst.nbytes)
         if stats is not None:
             stats.reduced_bytes += dst.nbytes
+    elif isinstance(step, ComputeStep):
+        yield from comm.gpu_compute(step.rank, step.seconds)
+        if step.buf is not None and step.src_buf is not None:
+            # Staged memory mode: materialize the produced gradient range.
+            view = _bind(bufmap, step.buf, step.lo, step.hi)
+            src = _bind(bufmap, step.src_buf, step.lo, step.hi)
+            view.copy_(src.extract())
+        if stats is not None:
+            stats.compute_seconds += step.seconds
+    elif isinstance(step, OptimStep):
+        # The gradient is read when the update *starts*: a schedule that
+        # lets the optimizer race an in-flight reduction really consumes
+        # the stale values (so dropped-dependency mutants miscompute).
+        grad = _bind(bufmap, step.buf, step.lo, step.hi)
+        data = grad.extract()
+        yield from comm.gpu_compute(step.rank, step.seconds)
+        if step.dst_buf is not None:
+            dst = _bind(bufmap, step.dst_buf, step.lo, step.hi)
+            dst.copy_(data)
+        if stats is not None:
+            stats.compute_seconds += step.seconds
     else:  # pragma: no cover - new step types must be handled here
         raise ScheduleError(f"unknown step type {type(step).__name__}")
+
+
+def _resource_class(step: Step) -> str:
+    """The exclusive resource a step occupies: the GPU or the network/CPU.
+
+    Strand fusion must not chain across this boundary — a fused strand is
+    one sim process, and chaining a network step behind a compute step (or
+    vice versa) would serialize the two resources even when the DAG allows
+    them to overlap.
+    """
+    return "gpu" if isinstance(step, (ComputeStep, OptimStep)) else "net"
 
 
 def _partition_strands(steps):
@@ -809,13 +968,21 @@ def _partition_strands(steps):
     process per rank) and therefore their exact resource-grant ordering at
     equal timestamps — a requirement for bit-identical Figure 5/6 timings.
 
+    Fusion never crosses the GPU/network resource boundary
+    (:func:`_resource_class`): compute and communication stay in separate
+    strands so overlap falls out of the dependency structure.  Schedules
+    without compute steps partition exactly as before.
+
     Returns a list of strands; each strand is a list of
     ``(step, cross_dep_sids)`` pairs.
     """
     strands: list[list[tuple[Step, list[int]]]] = []
     tails: dict[int, int] = {}  # sid of a strand's last step -> strand index
+    res: dict[int, str] = {}    # sid -> resource class (same-rank deps only)
     for step in steps:
-        fusable = [d for d in step.deps if d in tails]
+        mine = _resource_class(step)
+        res[step.sid] = mine
+        fusable = [d for d in step.deps if d in tails and res.get(d) == mine]
         if fusable:
             link = max(fusable)
             idx = tails.pop(link)

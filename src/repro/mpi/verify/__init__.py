@@ -34,6 +34,7 @@ from repro.mpi.verify.contracts import (
     barrier_contract,
     broadcast_contract,
     reduce_contract,
+    train_step_contract,
 )
 from repro.mpi.verify.determinism import check_match_determinism
 from repro.mpi.verify.hb import HBGraph
@@ -57,6 +58,7 @@ __all__ = [
     "find_races",
     "interpret_schedule",
     "reduce_contract",
+    "train_step_contract",
     "verify_schedule",
 ]
 
@@ -66,6 +68,7 @@ _LAZY = {
     "run_sweep": "repro.mpi.verify.sweep",
     "sweep_cases": "repro.mpi.verify.sweep",
     "run_mutation_suite": "repro.mpi.verify.mutate",
+    "run_step_mutation_suite": "repro.mpi.verify.mutate",
     "MUTATORS": "repro.mpi.verify.mutate",
 }
 

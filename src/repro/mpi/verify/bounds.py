@@ -15,6 +15,12 @@ Two complementary numbers per schedule:
   simulator *may* overlap (wire vs reduce pipelining, per-message
   software overhead, copy-engine time) are deliberately excluded —
   every term counted is one the simulator provably pays in sequence.
+  Compute steps price whole training steps: a ``ComputeStep``/
+  ``OptimStep`` occupies its rank's GPU for its declared ``seconds``
+  (the gamma-plus-GPU terms), and because the GPU is exclusive per
+  rank, the per-rank *sum* of compute seconds is itself a lower bound
+  the DAG path may not reach — the final critical path is the max of
+  the two.
 * **peak in-flight bytes** — walking the canonical linearization, every
   send deposits its payload on its ``(src, dst)`` link and its source
   rank's outstanding-bytes account; the matching receive drains it.  The
@@ -29,6 +35,8 @@ from dataclasses import dataclass, field
 
 from repro.mpi.analytic import AlphaBetaModel
 from repro.mpi.schedule import (
+    ComputeStep,
+    OptimStep,
     RecvReduceStep,
     ReduceLocalStep,
     Schedule,
@@ -78,9 +86,13 @@ def analyze_bounds(
 
     n = len(schedule.steps)
     weight = [0.0] * n
+    gpu_seconds: dict[int, float] = {}
     for s in schedule.steps:
         if isinstance(s, (RecvReduceStep, ReduceLocalStep)):
             weight[s.sid] = _nbytes(s, itemsize) * model.gamma
+        elif isinstance(s, (ComputeStep, OptimStep)):
+            weight[s.sid] = s.seconds
+            gpu_seconds[s.rank] = gpu_seconds.get(s.rank, 0.0) + s.seconds
     finish = [0.0] * n
     via = [-1] * n
     #: per channel: wire-completion time of the last transfer so far.
@@ -111,6 +123,11 @@ def analyze_bounds(
         critical = finish[tail]
     else:
         path, critical = [], 0.0
+    # The GPU is exclusive per rank: one rank's compute seconds serialize
+    # even when the dependency DAG would allow them to overlap, so the
+    # largest per-rank compute sum is a second sound lower bound.
+    if gpu_seconds:
+        critical = max(critical, max(gpu_seconds.values()))
 
     bounds = ResourceBounds(
         critical_path_s=critical,

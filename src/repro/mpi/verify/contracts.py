@@ -19,7 +19,11 @@ Shipped contracts:
 * :func:`barrier_contract` — no data buffers at all (the schedule only
   moves zero-byte tokens);
 * :func:`alltoallv_contract` — rank ``r``'s ``in{s}`` buffer ends with
-  exactly rank ``s``'s original ``out{r}`` buffer.
+  exactly rank ``s``'s original ``out{r}`` buffer;
+* :func:`train_step_contract` — one unified training step over staged
+  buffers: the backward pass moves ``local`` gradients into ``grad``,
+  the allreduce fills every ``grad`` element with the full multiset, and
+  the optimizer writes the fully-reduced values into ``update``.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ __all__ = [
     "barrier_contract",
     "broadcast_contract",
     "reduce_contract",
+    "train_step_contract",
 ]
 
 #: One rank-contribution: (origin rank, origin buffer name, origin index).
@@ -106,6 +111,43 @@ def barrier_contract(n_ranks: int) -> Contract:
         buffers=lambda rank: {},
         initial=_own_element,  # unreachable: no buffers declared
         expected=lambda rank, buf, idx: None,
+    )
+
+
+def train_step_contract(n_ranks: int, count: int) -> Contract:
+    """One unified training step over staged buffers.
+
+    ``local`` holds each rank's own backward-pass gradient (one own token
+    per element); ``grad`` is the communication buffer the backward pass
+    stages into and the allreduce runs over; ``update`` receives the
+    optimizer's output.  Postcondition: every ``grad`` *and* ``update``
+    element carries exactly one ``local`` contribution from every rank —
+    i.e. the optimizer consumed a fully-reduced gradient.  ``local`` is
+    unconstrained (it may be consumed in place).
+
+    The semantic pass additionally checks the ``grad`` expectation at the
+    moment each :class:`~repro.mpi.schedule.OptimStep` *reads* it
+    (``unreduced-optim-read``), which is strictly stronger than the final
+    state check alone.
+    """
+    full = lambda idx: {(r, "local", idx): 1 for r in range(n_ranks)}
+
+    def initial(rank: int, buf: str, idx: int) -> Multiset:
+        if buf == "local":
+            return {(rank, "local", idx): 1}
+        return {}
+
+    def expected(rank: int, buf: str, idx: int) -> Multiset | None:
+        if buf == "local":
+            return None
+        return full(idx)
+
+    return Contract(
+        name="train-step",
+        n_ranks=n_ranks,
+        buffers=lambda rank: {"local": count, "grad": count, "update": count},
+        initial=initial,
+        expected=expected,
     )
 
 

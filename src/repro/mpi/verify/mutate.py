@@ -4,7 +4,12 @@ Each mutator applies one small, realistic compiler bug to a correct
 schedule — dropping or duplicating a matched send/receive pair, widening
 a transfer range, retargeting a reduce window, deleting a dependency
 edge, swapping two chained steps, or turning a reduce into a copy (and
-vice versa).  Every mutant is then judged twice:
+vice versa).  Unified training-step DAGs get two compute-aware
+operators on top: un-gating an ``OptimStep`` from its bucket's reduce
+(the classic "optimizer ran before the allreduce finished" overlap bug)
+and swapping a dep-chained compute/comm pair (communication fires
+before the gradient it ships exists).  Every mutant is then judged
+twice:
 
 * **statically** — :func:`repro.mpi.verify.verify_schedule` against the
   collective's contract;
@@ -36,16 +41,25 @@ import numpy as np
 from repro.mpi.datatypes import ArrayBuffer
 from repro.mpi.runner import build_world
 from repro.mpi.schedule import (
+    ComputeStep,
     CopyStep,
+    OptimStep,
     RecvReduceStep,
     Schedule,
     ScheduleExecutor,
     _message_edges,
 )
-from repro.mpi.verify import allreduce_contract, verify_schedule
+from repro.mpi.verify import allreduce_contract, train_step_contract, verify_schedule
 from repro.sim.engine import SimulationError
 
-__all__ = ["MUTATORS", "Mutant", "MutationRecord", "MutationResult", "run_mutation_suite"]
+__all__ = [
+    "MUTATORS",
+    "Mutant",
+    "MutationRecord",
+    "MutationResult",
+    "run_mutation_suite",
+    "run_step_mutation_suite",
+]
 
 
 @dataclass(frozen=True)
@@ -317,6 +331,65 @@ def _mut_copy_to_reduce(schedule: Schedule, per_op: int):
         )
 
 
+def _is_compute(step) -> bool:
+    return isinstance(step, (ComputeStep, OptimStep))
+
+
+def _mut_drop_optim_dep(schedule: Schedule, per_op: int):
+    """Un-gate an optimizer from its bucket's reduce (overlap bug #1).
+
+    Drops every dep of an ``OptimStep`` that leads to a communication
+    step, keeping the compute-chain deps (previous optim, backward) — the
+    schedule-IR rendering of an optimizer kernel launched without waiting
+    for the bucket's allreduce completion event.
+    """
+    candidates = []
+    for s in schedule.steps:
+        if not isinstance(s, OptimStep):
+            continue
+        comm_deps = tuple(
+            d for d in s.deps if not _is_compute(schedule.steps[d])
+        )
+        if comm_deps:
+            candidates.append((s.sid, comm_deps))
+    for sid, comm_deps in _sample(candidates, per_op):
+        dropped = set(comm_deps)
+        keep = tuple(d for d in schedule.steps[sid].deps if d not in dropped)
+        yield Mutant(
+            "drop-optim-dep",
+            f"optim {sid} no longer waits for its bucket's reduce "
+            f"(deps {sorted(dropped)} dropped)",
+            _edit_step(schedule, sid, f"nogate{sid}", deps=keep),
+        )
+
+
+def _mut_swap_compute_comm(schedule: Schedule, per_op: int):
+    """Swap a dep-chained compute/comm pair (overlap bug #2).
+
+    Exactly one of the two steps is compute-class, so after the swap the
+    communication fires before the gradient it ships exists (or the
+    compute consumes data the communication was meant to deliver first).
+    Same surgery as ``swap-steps``: each position keeps its sid and dep
+    spine but performs the other's action.
+    """
+    candidates = []
+    for s in schedule.steps:
+        for d in s.deps:
+            if _is_compute(schedule.steps[d]) != _is_compute(s):
+                candidates.append((d, s.sid))
+                break
+    for a, b in _sample(candidates, per_op):
+        sa, sb = schedule.steps[a], schedule.steps[b]
+        steps = list(schedule.steps)
+        steps[a] = dataclasses.replace(sb, sid=a, deps=sa.deps)
+        steps[b] = dataclasses.replace(sa, sid=b, deps=sb.deps)
+        yield Mutant(
+            "swap-compute-comm",
+            f"swap compute/comm order of chained steps {a} and {b}",
+            _rebuild(schedule, steps, f"xcswap{a}-{b}"),
+        )
+
+
 #: operator name -> generator of mutants (schedule, sites-per-operator).
 MUTATORS = {
     "drop-send": _mut_drop_send,
@@ -327,6 +400,8 @@ MUTATORS = {
     "swap-steps": _mut_swap_steps,
     "reduce-to-copy": _mut_reduce_to_copy,
     "copy-to-reduce": _mut_copy_to_reduce,
+    "drop-optim-dep": _mut_drop_optim_dep,
+    "swap-compute-comm": _mut_swap_compute_comm,
 }
 
 
@@ -349,6 +424,42 @@ def _execute_allreduce(schedule: Schedule, n_ranks: int, count: int) -> str:
         return "crash"
     for buf in bufs:
         if not np.array_equal(buf.array, want):
+            return "wrong"
+    return "correct"
+
+
+def _execute_train_step(schedule: Schedule, n_ranks: int, count: int) -> str:
+    """Run a (possibly broken) staged training-step schedule; classify it.
+
+    Binds the staged ``local``/``grad``/``update`` buffer triple with
+    integer payloads; correct means *both* the communication buffer and
+    the optimizer's output hold the exact elementwise sum of every rank's
+    local gradient.
+    """
+    locals_ = [
+        (np.arange(count, dtype=np.int64) * (rank + 1) + rank * 1_000_003)
+        for rank in range(n_ranks)
+    ]
+    want = np.sum(locals_, axis=0)
+    bufmaps = [
+        {
+            "local": ArrayBuffer(arr.copy()),
+            "grad": ArrayBuffer(np.zeros(count, dtype=np.int64)),
+            "update": ArrayBuffer(np.zeros(count, dtype=np.int64)),
+        }
+        for arr in locals_
+    ]
+    engine, world, comm = build_world(n_ranks, topology="star")
+    try:
+        ScheduleExecutor(comm, schedule, bufmaps).run()
+    except SimulationError:
+        return "deadlock"
+    except Exception:
+        return "crash"
+    for m in bufmaps:
+        if not np.array_equal(m["grad"].array, want):
+            return "wrong"
+        if not np.array_equal(m["update"].array, want):
             return "wrong"
     return "correct"
 
@@ -376,6 +487,48 @@ def run_mutation_suite(
                 dynamic = _execute_allreduce(mutant.schedule, n_ranks, count)
                 result.records.append(MutationRecord(
                     algorithm=name,
+                    operator=mutant.operator,
+                    description=mutant.description,
+                    static_kinds=tuple(sorted(report.kinds())),
+                    dynamic=dynamic,
+                ))
+    return result
+
+
+def run_step_mutation_suite(
+    algorithms: tuple[str, ...] = ("multicolor", "ring"),
+    *,
+    n_ranks: int = 4,
+    count: int = 29,
+    itemsize: int = 8,
+    n_buckets: int = 3,
+    per_op: int = 2,
+) -> MutationResult:
+    """Mutate unified training-step DAGs and grade verifier vs executor.
+
+    Same cross-grading as :func:`run_mutation_suite`, but over staged
+    :func:`~repro.train.stepdag.compile_bucketed_step` schedules judged
+    against :func:`~repro.mpi.verify.contracts.train_step_contract`, with
+    :func:`_execute_train_step` as the dynamic oracle.  Compute times are
+    kept far below the network's latency so an un-gated optimizer
+    provably reads before any reduction can land.
+    """
+    from repro.train.stepdag import compile_bucketed_step
+
+    result = MutationResult()
+    contract = train_step_contract(n_ranks, count)
+    for name in sorted(algorithms):
+        baseline = compile_bucketed_step(
+            n_ranks, count, itemsize,
+            forward_time=1e-9, backward_time=2e-9, optim_time=1e-9,
+            n_buckets=n_buckets, algorithm=name, memory="staged",
+        )
+        for mutate in MUTATORS.values():
+            for mutant in mutate(baseline, per_op):
+                report = verify_schedule(mutant.schedule, contract)
+                dynamic = _execute_train_step(mutant.schedule, n_ranks, count)
+                result.records.append(MutationRecord(
+                    algorithm=f"step[{name}]",
                     operator=mutant.operator,
                     description=mutant.description,
                     static_kinds=tuple(sorted(report.kinds())),

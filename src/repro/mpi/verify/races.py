@@ -15,7 +15,10 @@ Access classification mirrors the runtime:
   write (any overlap with a concurrent access is order-sensitive);
 * ``CopyStep`` writes its range;
 * ``ReduceLocalStep`` writes ``buf[lo:hi)`` and reads
-  ``src_buf[src_lo:src_hi)``.
+  ``src_buf[src_lo:src_hi)``;
+* ``ComputeStep`` with ``buf`` set writes its produced range (and reads
+  the same range of ``src_buf`` when staged);
+* ``OptimStep`` reads its gradient range and writes ``dst_buf`` when set.
 
 Zero-byte token steps (``buf=None``) touch no data and cannot race.
 """
@@ -23,7 +26,9 @@ Zero-byte token steps (``buf=None``) touch no data and cannot race.
 from __future__ import annotations
 
 from repro.mpi.schedule import (
+    ComputeStep,
     CopyStep,
+    OptimStep,
     RecvReduceStep,
     ReduceLocalStep,
     Schedule,
@@ -47,6 +52,15 @@ def _accesses(schedule: Schedule):
         elif isinstance(step, ReduceLocalStep):
             yield step.rank, step.buf, step.sid, "w", step.lo, step.hi
             yield step.rank, step.src_buf, step.sid, "r", step.src_lo, step.src_hi
+        elif isinstance(step, ComputeStep):
+            if step.buf is not None:
+                yield step.rank, step.buf, step.sid, "w", step.lo, step.hi
+                if step.src_buf is not None:
+                    yield step.rank, step.src_buf, step.sid, "r", step.lo, step.hi
+        elif isinstance(step, OptimStep):
+            yield step.rank, step.buf, step.sid, "r", step.lo, step.hi
+            if step.dst_buf is not None:
+                yield step.rank, step.dst_buf, step.sid, "w", step.lo, step.hi
 
 
 def find_races(schedule: Schedule, hb: HBGraph | None = None) -> list[Issue]:

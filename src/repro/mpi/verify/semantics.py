@@ -10,6 +10,14 @@ already present arrives again); ``CopyStep`` replaces the destination
 (recording a **destroy event** for every token the overwrite kills);
 ``ReduceLocalStep`` unions a local range into another.
 
+Compute steps participate too: a ``ComputeStep`` that produces a range
+overwrites it — with a snapshot of ``src_buf`` when staged, or with fresh
+own-rank tokens when abstract — and an ``OptimStep`` checks its gradient
+range against the contract's expectation *at the moment it reads* (the
+``unreduced-optim-read`` defect: the parameter update consumed a
+partially-reduced gradient, even if the reduction completes later), then
+overwrites ``dst_buf`` with the values it read.
+
 After the run, each element is checked against the contract's expected
 multiset (see :mod:`repro.mpi.verify.contracts`).  Defects are
 classified from the mismatch plus the event logs:
@@ -36,7 +44,9 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.mpi.schedule import (
+    ComputeStep,
     CopyStep,
+    OptimStep,
     RecvReduceStep,
     ReduceLocalStep,
     Schedule,
@@ -94,6 +104,7 @@ def interpret_schedule(
     result = SemanticResult(issues=[], states=states)
     channels: dict[tuple[int, int, object], deque] = {}
     structural: list[Issue] = []
+    premature: list[tuple[int, int, str, int]] = []
 
     def element_slice(rank: int, buf: str | None, lo: int, hi: int, sid: int):
         """Resolve ``buf[lo:hi)`` or record a structural issue and skip."""
@@ -160,6 +171,68 @@ def interpret_schedule(
                 continue
             payload = [tuple(cell.items()) for cell in src]
             reduce_into(dst, payload, step.rank, step.buf, step.lo, sid)
+        elif isinstance(step, ComputeStep):
+            if step.buf is None:
+                continue
+            dst = element_slice(step.rank, step.buf, step.lo, step.hi, sid)
+            if dst is None:
+                continue
+            if step.src_buf is not None:
+                src = element_slice(step.rank, step.src_buf, step.lo, step.hi, sid)
+                if src is None:
+                    continue
+                payload = [dict(cell) for cell in src]
+            else:
+                # Abstract production: the backward pass writes a fresh
+                # local gradient — one own-rank token per element.
+                payload = [
+                    {(step.rank, step.buf, step.lo + j): 1}
+                    for j in range(step.hi - step.lo)
+                ]
+            store = states[step.rank][step.buf]
+            for j, new in enumerate(payload):
+                old = store[step.lo + j]
+                for token, mult in old.items():
+                    if mult > new.get(token, 0):
+                        result.destroyed.setdefault(token, []).append(sid)
+                store[step.lo + j] = new
+        elif isinstance(step, OptimStep):
+            view = element_slice(step.rank, step.buf, step.lo, step.hi, sid)
+            if view is None:
+                continue
+            for j, cell in enumerate(view):
+                idx = step.lo + j
+                expected = contract.expected(step.rank, step.buf, idx)
+                if expected is not None and dict(cell) != dict(expected):
+                    premature.append((sid, step.rank, step.buf, idx))
+            if step.dst_buf is not None:
+                dst = element_slice(step.rank, step.dst_buf, step.lo, step.hi, sid)
+                if dst is not None:
+                    store = states[step.rank][step.dst_buf]
+                    for j, cell in enumerate(view):
+                        new = dict(cell)
+                        old = store[step.lo + j]
+                        for token, mult in old.items():
+                            if mult > new.get(token, 0):
+                                result.destroyed.setdefault(token, []).append(sid)
+                        store[step.lo + j] = new
+
+    grouped_reads: dict[tuple[int, int, str], list[int]] = {}
+    for sid, rank, buf, idx in premature:
+        grouped_reads.setdefault((sid, rank, buf), []).append(idx)
+    for (sid, rank, buf), indices in sorted(grouped_reads.items()):
+        span = (
+            f"element {indices[0]}" if len(indices) == 1
+            else f"{len(indices)} elements ({indices[0]}..{indices[-1]})"
+        )
+        structural.append(Issue(
+            pass_name="semantic", kind="unreduced-optim-read", rank=rank,
+            sids=(sid,),
+            message=(
+                f"optim step {sid} reads {buf}: {span} before the range "
+                f"is fully reduced"
+            ),
+        ))
 
     result.issues.extend(_check_postcondition(contract, result))
     result.issues = cap_issues(structural, "semantic") + result.issues

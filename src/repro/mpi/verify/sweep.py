@@ -5,7 +5,11 @@ Three layers, composed by :func:`run_sweep`:
 * every registered allreduce compiler x rank counts x segment sizes,
   each proved against :func:`~repro.mpi.verify.contracts.allreduce_contract`
   (memoized compilers that ignore ``segment_bytes`` return the same
-  schedule object, which is deduplicated rather than re-verified);
+  schedule object, which is deduplicated rather than re-verified), plus
+  the unified training-step DAG of every algorithm
+  (:func:`~repro.train.stepdag.compile_bucketed_step`, staged memory)
+  proved against
+  :func:`~repro.mpi.verify.contracts.train_step_contract`;
 * the auxiliary collectives — alltoallv with a deliberately ragged count
   matrix (including zero-length blocks), the dissemination barrier,
   binomial reduce and broadcast — against their own contracts;
@@ -39,6 +43,7 @@ from repro.mpi.verify import (
     barrier_contract,
     broadcast_contract,
     reduce_contract,
+    train_step_contract,
     verify_schedule,
 )
 from repro.utils.units import MB
@@ -70,6 +75,9 @@ def sweep_cases(
     itemsize: int = 4,
 ) -> Iterator[tuple[str, Schedule, Contract | None]]:
     """Yield ``(label, schedule, contract)`` for every sweep case."""
+    # Lazy: stepdag pulls in the compiler registry's training-side users.
+    from repro.train.stepdag import compile_bucketed_step
+
     names = sorted(ALLREDUCE_COMPILERS) if algorithms is None else algorithms
     for name in names:
         compiler = ALLREDUCE_COMPILERS[name]
@@ -84,6 +92,15 @@ def sweep_cases(
                     continue  # memoized: segment size ignored by this compiler
                 seen.add(id(schedule))
                 yield f"{name} n={n} seg={seg_kib}KiB", schedule, contract
+            yield (
+                f"step[{name}] n={n} buckets=4",
+                compile_bucketed_step(
+                    n, count, itemsize,
+                    forward_time=1e-3, backward_time=2e-3, optim_time=5e-4,
+                    n_buckets=4, algorithm=name, memory="staged",
+                ),
+                train_step_contract(n, count),
+            )
     for n in ranks:
         counts = _ragged_counts(n)
         yield (

@@ -80,6 +80,7 @@ class MPIWorld:
             {} for _ in range(n_ranks)
         ]
         self._cpu = [Resource(engine, 1, name=f"cpu{r}") for r in range(n_ranks)]
+        self._gpu = [Resource(engine, 1, name=f"gpu{r}") for r in range(n_ranks)]
         self._channel_tail: dict[tuple[int, int], Event] = {}
         #: Optional message-fault hook (see :mod:`repro.train.injection`).
         #: Must expose ``on_send(src, dst, tag, nbytes) -> (action, seconds)``
@@ -198,6 +199,15 @@ class MPIWorld:
         """Generator: occupy ``rank``'s CPU for a copy of ``nbytes``."""
         yield from self._cpu[rank].use(nbytes / self.copy_bandwidth)
 
+    def gpu_compute(self, rank: int, seconds: float):
+        """Generator: occupy ``rank``'s GPU for an already-priced duration.
+
+        The GPU is an exclusive per-rank resource distinct from the reduce/
+        copy CPU: compute steps serialize against each other on one rank but
+        overlap freely with that rank's communication.
+        """
+        yield from self._gpu[rank].use(seconds)
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_ranks:
             raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
@@ -264,6 +274,9 @@ class Communicator:
 
     def copy_cpu(self, rank: int, nbytes: float):
         yield from self.world.copy_cpu(self.members[rank], nbytes)
+
+    def gpu_compute(self, rank: int, seconds: float):
+        yield from self.world.gpu_compute(self.members[rank], seconds)
 
     # -- topology-ish helpers -------------------------------------------------
     def split(self, n_groups: int) -> list["Communicator"]:

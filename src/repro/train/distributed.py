@@ -97,6 +97,10 @@ class DistributedSGDTrainer:
         reshuffle_on_shrink: bool = True,
         collective_repair: str = "surgical",
         topology: str = "star",
+        step_dag: bool = False,
+        step_fwd_time: float = 0.0,
+        step_bwd_time: float = 0.0,
+        step_buckets: int = 1,
     ):
         """
         Parameters
@@ -143,6 +147,22 @@ class DistributedSGDTrainer:
             Fabric the simulated collectives (allreduce *and* shuffle) run
             on: ``"star"`` (default), ``"ring"``, ``"full_mesh"`` or
             ``"fat_tree"``.
+        step_dag:
+            Route iteration timing through the unified training-step DAG
+            (:func:`repro.train.stepdag.compile_bucketed_step`): forward/
+            backward compute steps, per-bucket allreduces and the update
+            compile into *one* schedule run under the same guarded loop,
+            so the watchdog, attribution and surgical repair cover compute
+            stalls too, and ``sim_time`` reflects compute/comm overlap.
+            Gradient numerics are bit-identical to ``step_dag=False`` (the
+            data-mode compute steps never touch memory).  Requires a
+            simulated reducer.
+        step_fwd_time / step_bwd_time:
+            Per-iteration forward/backward GPU seconds the step DAG prices
+            (e.g. from :meth:`GPUComputeModel.step_time`).
+        step_buckets:
+            Gradient buckets for backward/allreduce overlap in the step
+            DAG.
         """
         if not stores:
             raise ValueError("need at least one learner store")
@@ -168,6 +188,15 @@ class DistributedSGDTrainer:
             raise ValueError("collective_timeout must be positive")
         if max_retries < 0 or retry_backoff < 0:
             raise ValueError("max_retries and retry_backoff must be >= 0")
+        if step_dag and reducer == "exact":
+            raise ValueError(
+                "step_dag compiles compute+comm into one simulated "
+                "schedule; reducer='exact' bypasses the simulation"
+            )
+        if step_buckets < 1:
+            raise ValueError("step_buckets must be >= 1")
+        if step_fwd_time < 0 or step_bwd_time < 0:
+            raise ValueError("step compute times must be >= 0")
         self.gpus_per_node = gpus_per_node
         self.batch_per_gpu = batch_per_gpu
         self.stores = stores
@@ -184,6 +213,10 @@ class DistributedSGDTrainer:
         self.reshuffle_on_shrink = reshuffle_on_shrink
         self.collective_repair = collective_repair
         self.topology = topology
+        self.step_dag = step_dag
+        self.step_fwd_time = step_fwd_time
+        self.step_bwd_time = step_bwd_time
+        self.step_buckets = step_buckets
         self.fault_injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
@@ -432,6 +465,33 @@ class DistributedSGDTrainer:
         self.close()
 
     # -- internals ----------------------------------------------------------
+    def _step_compiler(self):
+        """The schedule compiler :meth:`_allreduce` hands to ``run_guarded``.
+
+        With ``step_dag=True`` the whole iteration — forward/backward
+        compute, bucketed allreduce and the parameter update — compiles to
+        one unified Schedule in data memory mode, so the guarded loop's
+        watchdog, attribution and surgical repair cover compute stalls too
+        while the gradient numerics stay bit-identical to the plain
+        collective (compute steps never touch the buffers).
+        """
+        if not self.step_dag:
+            return ALLREDUCE_COMPILERS[self.reducer]
+        from repro.train.stepdag import compile_bucketed_step
+
+        def compiler(n, count, itemsize, **kwargs):
+            return compile_bucketed_step(
+                n, count, itemsize,
+                forward_time=self.step_fwd_time,
+                backward_time=self.step_bwd_time,
+                n_buckets=self.step_buckets,
+                algorithm=self.reducer,
+                memory="data",
+                **kwargs,
+            )
+
+        return compiler
+
     def _allreduce(self, grads: list[np.ndarray]) -> tuple[np.ndarray, int]:
         """Sum gradients across live learners.
 
@@ -443,7 +503,7 @@ class DistributedSGDTrainer:
             return np.sum(grads, axis=0), len(grads)
         # The watchdog/retry/diagnosis/repair loop lives at the executor
         # layer (run_guarded); the trainer keeps only the shrink policy.
-        compiler = ALLREDUCE_COMPILERS[self.reducer]
+        compiler = self._step_compiler()
         telemetry = CollectiveTelemetry()
         surgical = self.collective_repair == "surgical"
         repaired_handled = 0

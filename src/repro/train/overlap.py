@@ -17,11 +17,17 @@ Two fidelity levels:
 
 * :func:`bucketed_iteration_time` — closed-form pipeline arithmetic over a
   caller-supplied ``allreduce_time(nbytes)`` cost function;
-* :func:`simulate_bucketed_overlap` — the real thing: every bucket is
-  compiled to a point-to-point :class:`~repro.mpi.schedule.Schedule` and
-  executed by the :class:`~repro.mpi.schedule.ScheduleExecutor` inside
-  *one* simulated fabric, so consecutive bucket collectives genuinely
-  contend for NICs and links instead of being summed analytically.
+* :func:`simulate_bucketed_overlap` — the real thing: the whole iteration
+  (forward, backward segments, bucket allreduces, update) is lowered by
+  :func:`repro.train.stepdag.compile_bucketed_step` into **one** unified
+  :class:`~repro.mpi.schedule.Schedule` run by **one**
+  :class:`~repro.mpi.schedule.ScheduleExecutor` — overlap falls out of
+  the dependency structure instead of a bespoke bucket-release driver,
+  and the same schedule is provable by :mod:`repro.mpi.verify`.
+
+The retired bucket-release driver survives as
+:func:`_legacy_simulate_bucketed_overlap`, the independent reference the
+unified DAG is cross-checked against (CI asserts agreement within 1%).
 """
 
 from __future__ import annotations
@@ -47,13 +53,24 @@ class OverlapResult:
 
     @property
     def exposed_comm(self) -> float:
-        """Communication time that could not hide behind the backward."""
-        return self.iteration_time - self.compute_time
+        """Communication time that could not hide behind the backward.
+
+        Well-defined 0.0 for steps with no communication at all, and
+        clamped at 0.0 so float jitter in ``iteration_time`` vs
+        ``compute_time`` never reports negative exposure.
+        """
+        if self.total_comm_time <= 0:
+            return 0.0
+        return max(0.0, self.iteration_time - self.compute_time)
 
     @property
     def overlap_gain(self) -> float:
-        """Fraction of the serial iteration saved by overlapping."""
-        if self.serial_iteration_time <= 0:
+        """Fraction of the serial iteration saved by overlapping.
+
+        Well-defined 0.0 for degenerate steps — zero serial time (nothing
+        to divide by) or zero communication (nothing to overlap).
+        """
+        if self.serial_iteration_time <= 0 or self.total_comm_time <= 0:
             return 0.0
         return 1.0 - self.iteration_time / self.serial_iteration_time
 
@@ -102,6 +119,23 @@ def _default_segment_bytes(bucket_bytes: int) -> int:
     return max(64 * 1024, bucket_bytes // 16)
 
 
+def _seg_rule(segment_bytes) -> Callable[[int], int]:
+    def seg_for(nbytes: int) -> int:
+        if segment_bytes is None:
+            return _default_segment_bytes(nbytes)
+        if callable(segment_bytes):
+            return segment_bytes(nbytes)
+        return segment_bytes
+    return seg_for
+
+
+def _check_overlap_args(forward_time, backward_time, gradient_bytes, n_buckets):
+    if forward_time < 0 or backward_time < 0:
+        raise ValueError("compute times must be >= 0")
+    if gradient_bytes < 1 or n_buckets < 1:
+        raise ValueError("gradient_bytes and n_buckets must be >= 1")
+
+
 def simulate_bucketed_overlap(
     *,
     n_ranks: int,
@@ -119,28 +153,28 @@ def simulate_bucketed_overlap(
 ) -> OverlapResult:
     """Run the bucketed overlap for real on the simulated fabric.
 
-    One engine + one world carry *all* bucket collectives: a driver process
-    releases bucket *i*'s schedule at its gradient-ready time
-    ``forward + backward * (i+1)/n`` (and, with ``serialize_buckets``, not
-    before bucket ``i-1`` finished — the DDP execution model); each bucket
-    is a compiled schedule run by its own
-    :class:`~repro.mpi.schedule.ScheduleExecutor`, so with
-    ``serialize_buckets=False`` concurrent bucket collectives share NIC
-    and link bandwidth through the fabric instead of a closed-form sum.
+    The whole iteration compiles to one unified training-step DAG
+    (:func:`repro.train.stepdag.compile_bucketed_step`, data memory mode):
+    forward/backward :class:`~repro.mpi.schedule.ComputeStep` chains make
+    bucket *i*'s gradient dependency-visible at
+    ``forward + backward * (i+1)/n``, each bucket's allreduce schedule is
+    spliced in behind that edge (and, with ``serialize_buckets``, behind
+    the previous bucket — the DDP execution model), and one executor run
+    yields the iteration time.  Concurrent bucket collectives
+    (``serialize_buckets=False``) share NIC and link bandwidth through
+    the fabric instead of a closed-form sum.
 
     ``segment_bytes`` may be an int, a callable of the bucket's byte size,
     or ``None`` for the benchmark default ``max(64 KiB, bytes/16)``.
     """
     from repro.mpi.collectives import ALLREDUCE_COMPILERS
-    from repro.mpi.datatypes import SizeBuffer, chunk_ranges
+    from repro.mpi.datatypes import SizeBuffer
     from repro.mpi.runner import build_world
-    from repro.mpi.schedule import ScheduleExecutor
+    from repro.mpi.schedule import ExecutionProgress, ScheduleExecutor
     from repro.net.params import CONNECTX5_DUAL
+    from repro.train.stepdag import compile_bucketed_step
 
-    if forward_time < 0 or backward_time < 0:
-        raise ValueError("compute times must be >= 0")
-    if gradient_bytes < 1 or n_buckets < 1:
-        raise ValueError("gradient_bytes and n_buckets must be >= 1")
+    _check_overlap_args(forward_time, backward_time, gradient_bytes, n_buckets)
     try:
         compiler = ALLREDUCE_COMPILERS[algorithm]
     except KeyError:
@@ -151,13 +185,115 @@ def simulate_bucketed_overlap(
     network = network if network is not None else CONNECTX5_DUAL
     compute = forward_time + backward_time
     count = max(1, gradient_bytes // itemsize)
+    seg_for = _seg_rule(segment_bytes)
 
-    def seg_for(nbytes: int) -> int:
-        if segment_bytes is None:
-            return _default_segment_bytes(nbytes)
-        if callable(segment_bytes):
-            return segment_bytes(nbytes)
-        return segment_bytes
+    # Serial baseline: compute, then one full-gradient allreduce (own world
+    # so its traffic does not pollute the overlapped run).
+    engine, world, comm = build_world(n_ranks, topology=topology, network=network)
+    bufs = [SizeBuffer(count, itemsize) for _ in range(n_ranks)]
+    full = ScheduleExecutor(
+        comm,
+        compiler(
+            n_ranks, count, itemsize,
+            segment_bytes=seg_for(count * itemsize), **alg_kwargs,
+        ),
+        bufs,
+    )
+    serial_time = compute + full.run()
+
+    # Overlapped run: one unified step DAG, one executor, one world.
+    step = compile_bucketed_step(
+        n_ranks, count, itemsize,
+        forward_time=forward_time,
+        backward_time=backward_time,
+        n_buckets=n_buckets,
+        algorithm=algorithm,
+        segment_bytes=segment_bytes,
+        serialize_buckets=serialize_buckets,
+        memory="data",
+        **alg_kwargs,
+    )
+
+    class _BucketSpans(ExecutionProgress):
+        """Span tracking off the ``b{i}|`` note prefix; zero sim events."""
+
+        def __init__(self, schedule):
+            super().__init__(schedule)
+            self.spans = [[None, 0.0] for _ in range(n_buckets)]
+
+        @staticmethod
+        def _bucket_of(note: str) -> int | None:
+            if not note.startswith("b"):
+                return None
+            head, sep, _rest = note.partition("|")
+            return int(head[1:]) if sep else None
+
+        def begin(self, s, now):
+            super().begin(s, now)
+            i = self._bucket_of(s.note)
+            if i is not None and self.spans[i][0] is None:
+                self.spans[i][0] = now
+
+        def finish(self, s, now):
+            super().finish(s, now)
+            i = self._bucket_of(s.note)
+            if i is not None:
+                self.spans[i][1] = max(self.spans[i][1], now)
+
+    engine, world, comm = build_world(n_ranks, topology=topology, network=network)
+    step_bufs = [SizeBuffer(count, itemsize) for _ in range(n_ranks)]
+    executor = ScheduleExecutor(comm, step, step_bufs, tag="stepdag")
+    tracker = _BucketSpans(step)
+    executor.progress = tracker
+    elapsed = executor.run()
+
+    spans = [(s[0] if s[0] is not None else 0.0, s[1]) for s in tracker.spans]
+    return OverlapResult(
+        n_buckets=n_buckets,
+        compute_time=compute,
+        total_comm_time=sum(end - start for start, end in spans),
+        iteration_time=max(compute, elapsed),
+        serial_iteration_time=serial_time,
+        bucket_spans=tuple(spans),
+    )
+
+
+def _legacy_simulate_bucketed_overlap(
+    *,
+    n_ranks: int,
+    forward_time: float,
+    backward_time: float,
+    gradient_bytes: int,
+    n_buckets: int,
+    algorithm: str = "multicolor",
+    itemsize: int = 4,
+    topology: str = "fat_tree",
+    network=None,
+    serialize_buckets: bool = True,
+    segment_bytes: Callable[[int], int] | int | None = None,
+    **alg_kwargs,
+) -> OverlapResult:
+    """The retired bucket-release driver, kept as a reference oracle.
+
+    One executor *per bucket*, released by a driver process at the
+    gradient-ready time ``forward + backward * (i+1)/n`` (and, with
+    ``serialize_buckets``, not before bucket *i-1* finished).  The unified
+    step DAG in :func:`simulate_bucketed_overlap` must reproduce this
+    estimate within 1% — the cross-check the CI composition smoke runs.
+    Not part of the public API.
+    """
+    from repro.mpi.collectives import ALLREDUCE_COMPILERS
+    from repro.mpi.datatypes import SizeBuffer, chunk_ranges
+    from repro.mpi.runner import build_world
+    from repro.mpi.schedule import ScheduleExecutor
+    from repro.net.params import CONNECTX5_DUAL
+
+    _check_overlap_args(forward_time, backward_time, gradient_bytes, n_buckets)
+    compiler = ALLREDUCE_COMPILERS[algorithm]
+    network = network if network is not None else CONNECTX5_DUAL
+    compute = forward_time + backward_time
+    count = max(1, gradient_bytes // itemsize)
+    seg_for = _seg_rule(segment_bytes)
 
     def compile_for(n_elems: int) -> object:
         return compiler(
@@ -165,14 +301,11 @@ def simulate_bucketed_overlap(
             segment_bytes=seg_for(n_elems * itemsize), **alg_kwargs,
         )
 
-    # Serial baseline: compute, then one full-gradient allreduce (own world
-    # so its traffic does not pollute the overlapped run).
     engine, world, comm = build_world(n_ranks, topology=topology, network=network)
     bufs = [SizeBuffer(count, itemsize) for _ in range(n_ranks)]
     full = ScheduleExecutor(comm, compile_for(count), bufs)
     serial_time = compute + full.run()
 
-    # Overlapped run: one world for every bucket collective.
     engine, world, comm = build_world(n_ranks, topology=topology, network=network)
     spans: list[list[float]] = [[0.0, 0.0] for _ in range(n_buckets)]
     bucket_sizes = [hi - lo for lo, hi in chunk_ranges(count, n_buckets)]

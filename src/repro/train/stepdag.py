@@ -1,0 +1,281 @@
+"""Unified training-step DAG: compute + communication in one Schedule.
+
+Following the DAG model of synchronous SGD (Shi et al., arXiv:1805.03812)
+and the layer-wise compute/comm interleaving of Das et al.
+(arXiv:1602.06709), this module lowers one whole training iteration —
+forward pass, back-to-front backward segments, per-bucket gradient
+allreduces and the parameter update — into a single
+:class:`~repro.mpi.schedule.Schedule`:
+
+* the forward and backward passes become :class:`ComputeStep` chains on
+  each rank's GPU resource, the backward split into ``n_buckets``
+  segments so bucket *i*'s gradient is *produced* (dependency-visible)
+  at ``forward + backward * (i+1)/n``;
+* each bucket's allreduce is the unmodified compiled schedule of the
+  chosen algorithm, spliced in with its sids/deps renumbered, its ranges
+  shifted into the bucket's slice of the gradient buffer and its message
+  keys namespaced per bucket — the compilers are reused, not
+  re-implemented;
+* a per-bucket :class:`OptimStep` consumes the reduced slice, chained so
+  updates apply in bucket order.
+
+Overlap is no longer special-cased: it falls out of the dependency
+structure when the one strand-fused
+:class:`~repro.mpi.schedule.ScheduleExecutor` runs the DAG, and the
+whole step is provable by every :mod:`repro.mpi.verify` pass (the
+semantic pass asserts each bucket's gradient is fully reduced before its
+``OptimStep`` reads it).
+
+Two memory modes:
+
+* ``memory="data"`` — everything lives in the single ``"data"`` buffer:
+  compute steps are timing-only (no memory writes), so the schedule binds
+  to the trainer's gradient :class:`~repro.mpi.datatypes.ArrayBuffer`
+  list unchanged and the numerics are bit-identical to running the plain
+  allreduce.  Used by :func:`repro.train.overlap.simulate_bucketed_overlap`
+  and ``DistributedSGDTrainer(step_dag=True)``.
+* ``memory="staged"`` — three buffers ``local``/``grad``/``update``: the
+  backward copies ``local`` into ``grad``, the allreduce runs over
+  ``grad`` and the optimizer writes ``update``.  Data flow is real, so
+  the verifier's dynamic mutation oracle can execute it with integer
+  payloads and catch miscomputation.  Used by ``repro step``, the verify
+  sweep and the mutation self-test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.mpi.collectives import ALLREDUCE_COMPILERS
+from repro.mpi.datatypes import chunk_ranges
+from repro.mpi.schedule import (
+    ComputeStep,
+    CopyStep,
+    OptimStep,
+    RecvReduceStep,
+    ReduceLocalStep,
+    Schedule,
+    SendStep,
+    memoize_compiler,
+    validate_schedule,
+)
+
+__all__ = ["compile_bucketed_step", "compile_model_step"]
+
+#: Pipeline segment rule used by the Figure 5/6 benchmarks.
+_DEFAULT_SEGMENT_DIVISOR = 16
+
+
+def _default_segment_bytes(bucket_bytes: int) -> int:
+    return max(64 * 1024, bucket_bytes // _DEFAULT_SEGMENT_DIVISOR)
+
+
+def _splice_step(step, base, extra_deps, bucket, lo, comm_buf):
+    """Renumber one allreduce sub-step into the unified step DAG.
+
+    sids and deps shift by ``base``; root steps gain ``extra_deps`` (the
+    gradient-ready and bucket-serialization edges); ``"data"`` ranges
+    shift by the bucket's offset ``lo`` and rebind to ``comm_buf``;
+    message keys are namespaced per bucket so concurrent buckets never
+    cross-match; notes get a ``b{bucket}|`` prefix for span tracking.
+    """
+    deps = tuple(d + base for d in step.deps)
+    if not step.deps:
+        deps = tuple(sorted(extra_deps))
+    fields = dict(
+        sid=step.sid + base,
+        deps=deps,
+        note=f"b{bucket}|{step.note}" if step.note else f"b{bucket}|",
+    )
+    if isinstance(step, (SendStep, RecvReduceStep, CopyStep)):
+        fields["key"] = (bucket, step.key)
+    if isinstance(step, ReduceLocalStep):
+        fields.update(
+            buf=comm_buf, lo=step.lo + lo, hi=step.hi + lo,
+            src_buf=comm_buf, src_lo=step.src_lo + lo, src_hi=step.src_hi + lo,
+        )
+    elif step.buf is not None:
+        fields.update(buf=comm_buf, lo=step.lo + lo, hi=step.hi + lo)
+    return dataclasses.replace(step, **fields)
+
+
+def compile_bucketed_step(
+    n_ranks: int,
+    count: int,
+    itemsize: int,
+    *,
+    forward_time: float = 0.0,
+    backward_time: float = 0.0,
+    optim_time: float = 0.0,
+    n_buckets: int = 1,
+    algorithm: str = "multicolor",
+    segment_bytes: Callable[[int], int] | int | None = None,
+    serialize_buckets: bool = True,
+    memory: str = "data",
+    **alg_kwargs,
+) -> Schedule:
+    """Lower one training iteration to a single unified Schedule.
+
+    The positional ``(n_ranks, count, itemsize)`` prefix matches the
+    allreduce compiler convention, so the result drops into
+    :func:`~repro.mpi.schedule.run_guarded` unchanged.  ``segment_bytes``
+    may be an int, a callable of the bucket's byte size, or ``None`` for
+    the benchmark default ``max(64 KiB, bytes/16)``.
+
+    With ``serialize_buckets`` (the DDP/Horovod execution model) each
+    rank's bucket-*i* collective additionally waits for that rank's
+    bucket-*i-1* steps — the schedule-DAG rendering of the legacy
+    driver's "one collective on the NIC at a time" rule.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if forward_time < 0 or backward_time < 0 or optim_time < 0:
+        raise ValueError("compute times must be >= 0")
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    if memory not in ("data", "staged"):
+        raise ValueError(f"memory must be 'data' or 'staged', got {memory!r}")
+    try:
+        compiler = ALLREDUCE_COMPILERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown allreduce algorithm {algorithm!r}; "
+            f"choose from {sorted(ALLREDUCE_COMPILERS)}"
+        ) from None
+
+    staged = memory == "staged"
+    comm_buf = "grad" if staged else "data"
+    bwd_src = "local" if staged else None
+    optim_dst = "update" if staged else None
+
+    def seg_for(nbytes: int) -> int:
+        if segment_bytes is None:
+            return _default_segment_bytes(nbytes)
+        if callable(segment_bytes):
+            return segment_bytes(nbytes)
+        return segment_bytes
+
+    buckets = chunk_ranges(count, n_buckets)
+    steps: list = []
+
+    def emit(cls, rank, deps, note, **kw):
+        sid = len(steps)
+        steps.append(cls(sid, rank, tuple(sorted(deps)), note, **kw))
+        return sid
+
+    # Forward pass, then the backward split back-to-front into buckets:
+    # bucket i's gradient slice exists once segment i completes.
+    bwd_sid = [[0] * n_buckets for _ in range(n_ranks)]
+    for rank in range(n_ranks):
+        prev = emit(
+            ComputeStep, rank, (), "fwd", seconds=forward_time, buf=None,
+        )
+        for i, (lo, hi) in enumerate(buckets):
+            prev = emit(
+                ComputeStep, rank, (prev,), f"bwd bucket {i}",
+                seconds=backward_time / n_buckets,
+                buf=comm_buf, lo=lo, hi=hi, src_buf=bwd_src,
+            )
+            bwd_sid[rank][i] = prev
+
+    # Splice each non-empty bucket's compiled allreduce, gated on the
+    # bucket's gradient (and, when serializing, the previous bucket).
+    prev_exits: list[set] = [set() for _ in range(n_ranks)]
+    bucket_exits: list[list[set]] = []
+    for i, (lo, hi) in enumerate(buckets):
+        n_elems = hi - lo
+        exits: list[set] = [set() for _ in range(n_ranks)]
+        bucket_exits.append(exits)
+        if n_elems < 1:
+            continue
+        sub = compiler(
+            n_ranks, n_elems, itemsize,
+            segment_bytes=seg_for(n_elems * itemsize), **alg_kwargs,
+        )
+        base = len(steps)
+        interior = [set() for _ in range(n_ranks)]
+        for s in sub.steps:
+            extra = {bwd_sid[s.rank][i]}
+            if serialize_buckets:
+                extra |= prev_exits[s.rank]
+            steps.append(_splice_step(s, base, extra, i, lo, comm_buf))
+            exits[s.rank].add(s.sid + base)
+            interior[s.rank].update(d + base for d in s.deps)
+        for rank in range(n_ranks):
+            exits[rank] -= interior[rank]
+            if exits[rank]:
+                prev_exits[rank] = exits[rank]
+
+    # Per-bucket parameter updates, chained in bucket order per rank.
+    for rank in range(n_ranks):
+        prev_optim = None
+        for i, (lo, hi) in enumerate(buckets):
+            if hi - lo < 1:
+                continue
+            deps = set(bucket_exits[i][rank]) or {bwd_sid[rank][i]}
+            if prev_optim is not None:
+                deps.add(prev_optim)
+            prev_optim = emit(
+                OptimStep, rank, deps, f"optim bucket {i}",
+                seconds=optim_time * (hi - lo) / count,
+                buf=comm_buf, lo=lo, hi=hi, dst_buf=optim_dst,
+            )
+
+    schedule = Schedule(
+        name=(
+            f"step[{algorithm} x{n_buckets} {memory}]"
+            f"(n={n_ranks}, count={count})"
+        ),
+        n_ranks=n_ranks,
+        steps=tuple(steps),
+        count=count,
+        itemsize=itemsize,
+    )
+    validate_schedule(schedule)
+    return schedule
+
+
+compile_bucketed_step = memoize_compiler(compile_bucketed_step)
+
+
+def compile_model_step(
+    model,
+    *,
+    n_ranks: int,
+    algorithm: str,
+    compute,
+    batch_per_gpu: int = 32,
+    n_buckets: int = 8,
+    fp16: bool = False,
+    optim_flops_per_param: float = 4.0,
+    memory: str = "staged",
+    **step_kwargs,
+) -> Schedule:
+    """Lower a model descriptor + knobs into one training-step Schedule.
+
+    ``model`` is a :class:`~repro.models.descriptors.ModelDescriptor`;
+    ``compute`` a :class:`~repro.cluster.gpu.GPUComputeModel` (e.g. from
+    :func:`repro.core.calibration.compute_model_for`).  Forward/backward
+    times follow the 1:2 FLOP accounting of the compute model; ``fp16``
+    halves the wire payload (itemsize 2), composing with bucketing and
+    any ``algorithm`` in one schedule.
+    """
+    step = compute.step_time(model.forward_flops, batch_per_gpu, model.n_layers)
+    itemsize = 2 if fp16 else 4
+    count = max(1, model.n_params)
+    optim_time = (
+        optim_flops_per_param * model.n_params / compute.effective_flops(batch_per_gpu)
+    )
+    return compile_bucketed_step(
+        n_ranks, count, itemsize,
+        forward_time=step / 3.0,
+        backward_time=step * 2.0 / 3.0,
+        optim_time=optim_time,
+        n_buckets=n_buckets,
+        algorithm=algorithm,
+        memory=memory,
+        **step_kwargs,
+    )

@@ -52,6 +52,40 @@ def test_epoch_baseline_flag(capsys):
     assert epoch_seconds(base_out) != epoch_seconds(opt_out)
 
 
+def test_step_command(capsys):
+    code, out = run_cli(
+        capsys, "step", "--model", "googlenet_bn", "--ranks", "4",
+        "--algorithm", "multicolor", "--buckets", "4",
+    )
+    assert code == 0
+    assert "step[multicolor x4 data]" in out
+    assert "PROVED: all passes clean" in out
+    assert "critical-path lower bound" in out
+    assert "VIOLATED" not in out
+
+
+def test_step_command_prints_schedule(capsys):
+    code, out = run_cli(
+        capsys, "step", "--model", "googlenet_bn", "--ranks", "2",
+        "--buckets", "2", "--fp16", "--print", "--max-steps", "3",
+    )
+    assert code == 0
+    assert "compute" in out and "bwd bucket" in out
+    assert "more steps" in out  # truncation marker from --max-steps
+
+
+def test_step_command_unknown_model(capsys):
+    code = main(["step", "--model", "resnet9000"])
+    assert code == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_step_command_unknown_algorithm(capsys):
+    code = main(["step", "--algorithm", "warp"])
+    assert code == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
 def test_shuffle_command(capsys):
     code, out = run_cli(
         capsys, "shuffle", "--dataset", "imagenet-1k", "--learners", "16"

@@ -545,3 +545,147 @@ def test_executor_progress_counters_reach_totals():
         assert progress.steps_done[r] == progress.steps_total[r] > 0
     assert progress.in_flight == {}
     assert len(progress.completed) == len(sched.steps)
+
+
+# -- compute steps in the unified training-step DAG ---------------------------
+
+
+def _toy_step_schedule():
+    """1 rank, staged: bwd copies local->grad, optim writes update."""
+    b = ScheduleBuilder(1, name="toy-step", count=4, itemsize=4)
+    fwd = b.compute(0, 1e-3, note="fwd")
+    bwd = b.compute(0, 2e-3, buf="grad", lo=0, hi=4, src_buf="local",
+                    deps=fwd, note="bwd")
+    b.optim(0, 5e-4, 0, 4, buf="grad", dst_buf="update", deps=bwd,
+            note="optim")
+    return b.build(validate=True)
+
+
+def test_builder_emits_compute_and_optim_steps():
+    sched = _toy_step_schedule()
+    assert sched.step_counts() == {"ComputeStep": 2, "OptimStep": 1}
+    assert sched.steps[1].deps == (0,)
+    assert sched.steps[2].deps == (1,)
+
+
+def test_validate_rejects_negative_compute_duration():
+    b = ScheduleBuilder(1, count=4)
+    b.compute(0, -1.0)
+    with pytest.raises(ScheduleError, match="negative duration"):
+        b.build(validate=True)
+
+
+def test_validate_catches_optim_range_beyond_count():
+    b = ScheduleBuilder(1, count=4)
+    b.optim(0, 1e-3, 0, 5)
+    with pytest.raises(ScheduleError, match="range"):
+        b.build(validate=True)
+
+
+def test_format_schedule_renders_compute_steps():
+    text = format_schedule(_toy_step_schedule())
+    assert "compute 1.000ms" in text            # pure timing, no buffer
+    assert "compute 2.000ms -> grad[0:4) from local" in text
+    assert "optim 0.500ms reads grad[0:4) -> update[0:4)" in text
+    assert "1 ComputeStep" not in text           # counts are aggregated
+    assert "2 ComputeStep, 1 OptimStep" in text
+
+
+def test_executor_runs_staged_compute_and_optim():
+    sched = _toy_step_schedule()
+    engine, world, comm = build_world(1, topology="star")
+    bufs = [{
+        "local": ArrayBuffer(np.arange(4, dtype=np.int64)),
+        "grad": ArrayBuffer(np.zeros(4, dtype=np.int64)),
+        "update": ArrayBuffer(np.zeros(4, dtype=np.int64)),
+    }]
+    executor = ScheduleExecutor(comm, sched, bufs)
+    elapsed = executor.run()
+    np.testing.assert_array_equal(bufs[0]["grad"].array, np.arange(4))
+    np.testing.assert_array_equal(bufs[0]["update"].array, np.arange(4))
+    # fwd + bwd + optim occupy the single GPU back-to-back.
+    assert elapsed == pytest.approx(3.5e-3)
+    assert executor.stats.compute_seconds == pytest.approx(3.5e-3)
+
+
+def test_optim_step_reads_gradient_at_start():
+    # The optimizer snapshots its gradient when it STARTS, so a write
+    # landing during its GPU occupancy must not leak into dst_buf — the
+    # property that makes dropped-gate mutants dynamically wrong.
+    b = ScheduleBuilder(2, name="stale-read", count=2, itemsize=8)
+    b.optim(0, 1e-3, 0, 2, buf="grad", dst_buf="update")
+    b.send(1, 0, "k", 0, 2, buf="grad")
+    b.recv_reduce(0, 1, "k", 0, 2, buf="grad", deps=None)
+    sched = b.build(validate=False)  # racy by construction
+    engine, world, comm = build_world(2, topology="star")
+    bufs = [
+        {"grad": ArrayBuffer(np.ones(2, dtype=np.int64)),
+         "update": ArrayBuffer(np.zeros(2, dtype=np.int64))},
+        {"grad": ArrayBuffer(np.full(2, 7, dtype=np.int64)),
+         "update": ArrayBuffer(np.zeros(2, dtype=np.int64))},
+    ]
+    ScheduleExecutor(comm, sched, bufs).run()
+    # The reduce landed (grad = 1 + 7) but the optimizer read before it.
+    np.testing.assert_array_equal(bufs[0]["grad"].array, [8, 8])
+    np.testing.assert_array_equal(bufs[0]["update"].array, [1, 1])
+
+
+def test_gpu_resource_serializes_same_rank_concurrent_compute():
+    b = ScheduleBuilder(2, name="gpu-serial", count=1, itemsize=4)
+    b.compute(0, 1e-3)   # two dependency-free compute steps, same rank
+    b.compute(0, 1e-3)
+    b.compute(1, 1e-3)   # and one on the other rank's own GPU
+    sched = b.build(validate=True)
+    engine, world, comm = build_world(2, topology="star")
+    elapsed = ScheduleExecutor(
+        comm, sched, [SizeBuffer(1, 4), SizeBuffer(1, 4)]
+    ).run()
+    # Rank 0's two steps serialize on its GPU; rank 1 overlaps fully.
+    assert elapsed == pytest.approx(2e-3)
+
+
+def test_strands_never_fuse_across_the_gpu_boundary():
+    from repro.mpi.schedule import _partition_strands
+
+    b = ScheduleBuilder(2, name="mixed", count=4, itemsize=4)
+    fwd = b.compute(0, 1e-3, note="fwd")
+    bwd = b.compute(0, 2e-3, buf="data", lo=0, hi=4, deps=fwd, note="bwd")
+    snd = b.send(0, 1, "k", 0, 4, deps=bwd)
+    b.optim(0, 5e-4, 0, 4, deps=snd)
+    b.recv_reduce(1, 0, "k", 0, 4)
+    sched = b.build(validate=True)
+
+    strands = _partition_strands(sched.rank_steps(0))
+    shapes = [[type(s).__name__ for s, _cross in strand] for strand in strands]
+    # fwd+bwd fuse (both GPU); the send and the optim each start a new
+    # strand — dep-chained but across the GPU/network boundary.
+    assert shapes == [
+        ["ComputeStep", "ComputeStep"], ["SendStep"], ["OptimStep"]
+    ]
+    # The boundary deps become cross-strand waits, preserving order.
+    assert [cross for s, cross in strands[1]] == [[1]]
+    assert [cross for s, cross in strands[2]] == [[2]]
+
+
+def test_comm_only_schedules_partition_exactly_as_before():
+    from repro.mpi.schedule import _partition_strands
+
+    sched = ALLREDUCE_COMPILERS["ring"](4, 16, 4, segment_bytes=64)
+    for rank in range(4):
+        for strand in _partition_strands(sched.rank_steps(rank)):
+            assert len(strand) >= 1  # pure-comm strands always fuse
+    # One strand per hand-written generator process: reduce + broadcast.
+    assert len(_partition_strands(sched.rank_steps(0))) <= 3
+
+
+def test_diagnose_reports_compute_stall():
+    from repro.mpi.schedule import ExecutionProgress, diagnose_execution
+
+    sched = _toy_step_schedule()
+    progress = ExecutionProgress(sched)
+    progress.begin(sched.steps[0], 0.0)     # fwd ComputeStep, 1 ms budget
+    diag = diagnose_execution(sched, progress, now=10.0)
+    assert diag.cause == "compute-stall"
+    assert diag.suspect_rank == 0
+    assert diag.suspect_sid == 0
+    assert diag.suspect_kind == "ComputeStep"

@@ -318,8 +318,8 @@ def test_run_sweep_restricted_slice():
     result = run_sweep(
         algorithms=["ring"], ranks=(2, 4), count=64, segment_kibs=(1,)
     )
-    # 2 allreduce cases + 4 aux collectives per rank count.
-    assert len(result.reports) == 2 + 2 * 4
+    # Per rank count: 1 allreduce + 1 step DAG, plus 4 aux collectives.
+    assert len(result.reports) == 2 + 2 + 2 * 4
     assert result.all_ok
     assert result.total_wall_time_s > 0
     assert "proved" in result.format()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.train.overlap import bucketed_iteration_time
+from repro.train.overlap import OverlapResult, bucketed_iteration_time
 
 
 def linear_allreduce(alpha=0.001, beta=1e-8):
@@ -96,6 +96,46 @@ def test_with_simulated_allreduce_times():
     )
     assert r.iteration_time < r.serial_iteration_time
     assert 0.0 < r.overlap_gain < 0.2
+
+
+def _result(**kw):
+    fields = dict(
+        n_buckets=1, compute_time=0.3, total_comm_time=0.1,
+        iteration_time=0.35, serial_iteration_time=0.4,
+    )
+    fields.update(kw)
+    return OverlapResult(**fields)
+
+
+def test_zero_comm_step_has_no_exposure_and_no_gain():
+    # A compute-only step (e.g. single-rank "allreduce") must not report
+    # phantom exposed communication or a divide-by-nothing gain.
+    r = _result(total_comm_time=0.0, iteration_time=0.3,
+                serial_iteration_time=0.3)
+    assert r.exposed_comm == 0.0
+    assert r.overlap_gain == 0.0
+
+
+def test_zero_compute_step_is_well_defined():
+    # Pure-communication step: everything is exposed, gain well-defined.
+    r = _result(compute_time=0.0, total_comm_time=0.2, iteration_time=0.2,
+                serial_iteration_time=0.2)
+    assert r.exposed_comm == pytest.approx(0.2)
+    assert r.overlap_gain == pytest.approx(0.0)
+
+
+def test_degenerate_zero_serial_time_gives_zero_gain():
+    r = _result(compute_time=0.0, total_comm_time=0.0, iteration_time=0.0,
+                serial_iteration_time=0.0)
+    assert r.overlap_gain == 0.0
+    assert r.exposed_comm == 0.0
+
+
+def test_exposed_comm_clamped_against_float_jitter():
+    # iteration_time a hair below compute_time (simulator float noise)
+    # must clamp to zero, not go negative.
+    r = _result(compute_time=0.3, iteration_time=0.3 - 1e-15)
+    assert r.exposed_comm == 0.0
 
 
 def test_validation():
