@@ -1,0 +1,87 @@
+"""Ablation: elastic grow-after-shrink vs shrink-only under a node flap.
+
+The same workload — one long job plus a short neighbour on a tight
+4-node cluster — survives a node kill followed by a revival.  With
+``elastic_grow`` off the long job limps to the finish at half gang while
+the revived node idles; with it on, the scheduler re-grants the freed
+slot at the next iteration boundary and the job reclaims its learner.
+The grown fleet converts the revived capacity back into goodput.
+"""
+
+from conftest import emit
+
+from repro.fleet import FleetScheduler, JobSpec, SharedCluster
+from repro.utils.ascii import render_table
+
+CLUSTER = dict(n_racks=2, nodes_per_rack=2, slots_per_node=1)
+REVIVE_AFTER = 3e-4
+
+
+def make_specs(elastic):
+    return [
+        JobSpec(name="long", n_learners=2, n_steps=12, seed=800,
+                elastic_grow=elastic, checkpoint_every=4),
+        JobSpec(name="short", n_learners=2, n_steps=3, seed=801),
+    ]
+
+
+def kill_then_revive(cluster, scheduler):
+    """Kill one of the long job's nodes early, revive it shortly after."""
+    job = scheduler.jobs["long"]
+    while job.telemetry.steps < 1:
+        yield cluster.engine.timeout(1e-4)
+    node = job.placement[-1]
+    scheduler.kill_node(node)
+    yield cluster.engine.timeout(REVIVE_AFTER)
+    scheduler.revive_node(node)
+
+
+def run_elastic_ablation():
+    rows = []
+    for label, elastic in (("shrink-only", False), ("grow-after-shrink", True)):
+        cluster = SharedCluster(**CLUSTER)
+        scheduler = FleetScheduler(cluster, make_specs(elastic))
+        scheduler.spawn(kill_then_revive(cluster, scheduler))
+        report = scheduler.run()
+        assert all(j.status == "finished" for j in report.jobs)
+        assert report.leaked == []
+        long = report.job("long")
+        rows.append(
+            (
+                label,
+                report.makespan,
+                report.utilization,
+                report.goodput,
+                len(long.shrinks),
+                len(long.grows),
+            )
+        )
+    return rows
+
+
+def test_ablation_elastic(benchmark):
+    rows = benchmark.pedantic(run_elastic_ablation, rounds=1, iterations=1)
+    table = render_table(
+        ["mode", "makespan (ms)", "utilization", "goodput",
+         "shrinks", "grows"],
+        [
+            [label, f"{makespan * 1e3:.2f}", f"{util:.1%}", f"{goodput:.1%}",
+             str(shrinks), str(grows)]
+            for label, makespan, util, goodput, shrinks, grows in rows
+        ],
+        title="Ablation — elastic recovery: shrink-only vs grow-after-shrink",
+    )
+    emit("ablation_elastic", table)
+
+    by_mode = {r[0]: r for r in rows}
+    shrink_only = by_mode["shrink-only"]
+    grown = by_mode["grow-after-shrink"]
+    # Both modes shrank exactly once; only the elastic one grew back.
+    assert shrink_only[4] == grown[4] == 1
+    assert shrink_only[5] == 0 and grown[5] == 1
+    # Growing back turns the revived node's capacity into useful work.
+    assert grown[3] > shrink_only[3]
+    assert grown[2] > shrink_only[2]
+    for row in rows:
+        assert row[1] > 0
+        assert 0 < row[3] <= row[2] <= 1

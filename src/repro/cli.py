@@ -131,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="what to sweep: the gradient allreduce (control "
                         "plane), the DIMD shuffle (data plane), or the "
                         "multi-tenant fleet (node kills, link degrades, "
-                        "arrival bursts, preemption)")
+                        "arrival bursts, preemption, grow-in-flight "
+                        "kills, kill-during-grow-replay, node flaps)")
     p.add_argument("--ranks", type=int, nargs="+", default=[4],
                    help="group sizes to sweep")
     p.add_argument("--algorithms", default="smoke",
@@ -164,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fleet seed (requeue jitter etc.)")
     p.add_argument("--kill-node", type=int, default=None,
                    help="kill this node once every job has made progress")
+    p.add_argument("--revive-after", type=float, default=None,
+                   help="with --kill-node: revive the node this many "
+                        "simulated seconds after the kill")
+    p.add_argument("--grow", action="store_true",
+                   help="give every job elastic_grow=True, so shrunk jobs "
+                        "reclaim learners when slots free up")
     p.add_argument("--events", action="store_true",
                    help="print the scheduler event log")
     p.add_argument("--chaos", action="store_true",
@@ -614,6 +621,7 @@ def _cmd_fleet(args) -> int:
                 n_learners=args.learners,
                 n_steps=args.steps,
                 seed=args.seed * 1000 + i,
+                elastic_grow=args.grow,
             )
             for i in range(args.jobs)
         ]
@@ -623,6 +631,9 @@ def _cmd_fleet(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.revive_after is not None and args.kill_node is None:
+        print("--revive-after needs --kill-node", file=sys.stderr)
+        return 2
     if args.kill_node is not None:
         if not 0 <= args.kill_node < cluster.n_nodes:
             print(
@@ -630,6 +641,9 @@ def _cmd_fleet(args) -> int:
                 f"[0, {cluster.n_nodes})",
                 file=sys.stderr,
             )
+            return 2
+        if args.revive_after is not None and args.revive_after <= 0:
+            print("--revive-after must be positive", file=sys.stderr)
             return 2
 
         def killer():
@@ -640,6 +654,10 @@ def _cmd_fleet(args) -> int:
                 yield cluster.engine.timeout(1e-4)
             if cluster.nodes[args.kill_node].alive:
                 scheduler.kill_node(args.kill_node)
+                if args.revive_after is not None:
+                    yield cluster.engine.timeout(args.revive_after)
+                    if not cluster.nodes[args.kill_node].alive:
+                        scheduler.revive_node(args.kill_node)
 
         scheduler.spawn(killer(), name="kill-node")
     report = scheduler.run()

@@ -42,6 +42,7 @@ __all__ = [
     "GroupLayout",
     "DIMDStore",
     "QuarantinedRecord",
+    "collect_regrow_share",
     "deal_records",
     "partitioned_load",
 ]
@@ -342,6 +343,44 @@ def deal_records(dead: DIMDStore, survivors: list[DIMDStore]) -> None:
                 dead.labels[lo:hi],
                 dead.checksums[lo:hi],
             )
+
+
+def collect_regrow_share(
+    survivors: list[DIMDStore], learner: int
+) -> DIMDStore:
+    """Fund a (re)joining learner's partition from the survivors.
+
+    The inverse of :func:`deal_records`, and like it the *single* regrow
+    policy shared by every elastic-grow path: each survivor surrenders the
+    tail ``len(survivor) // (n + 1)`` of its partition (``n`` survivors),
+    so the newcomer ends up with roughly a ``1/(n + 1)`` share and every
+    record is conserved.  Deterministic — no RNG — which is what lets a
+    scripted reference run replay a grow bit-exactly.
+    """
+    if not survivors:
+        raise ValueError("no survivors to fund the new learner's partition")
+    n = len(survivors)
+    records: list[bytes] = []
+    label_parts: list[np.ndarray] = []
+    crc_parts: list[np.ndarray] = []
+    for store in survivors:
+        give = len(store) // (n + 1)
+        if give == 0:
+            continue
+        records.extend(store.records[-give:])
+        label_parts.append(store.labels[-give:])
+        crc_parts.append(store.checksums[-give:])
+        del store.records[-give:]
+        store.labels = store.labels[:-give].copy()
+        store.checksums = store.checksums[:-give].copy()
+    if not records:
+        raise ValueError(
+            "survivor partitions too small to fund a new learner "
+            f"({[len(s) for s in survivors]} records across {n} stores)"
+        )
+    labels = np.concatenate(label_parts)
+    checksums = np.concatenate(crc_parts)
+    return DIMDStore(records, labels, learner=learner, checksums=checksums)
 
 
 def partitioned_load(

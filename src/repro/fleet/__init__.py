@@ -10,15 +10,25 @@ See DESIGN.md §4h.  The pieces:
   watchdog/retry/surgical-repair guard re-expressed as a generator for a
   shared engine;
 * :class:`~repro.fleet.scheduler.FleetScheduler` — gang scheduling,
-  pack/spread placement, priority preemption, seeded-backoff requeue;
+  pack/spread placement, priority preemption, seeded-backoff requeue,
+  elastic grow-after-shrink and proactive drain/migration;
+* :mod:`~repro.fleet.health` — the opt-in straggler monitor that turns
+  per-node runtime signals into proactive drains;
 * :func:`~repro.fleet.chaos.fleet_chaos_sweep` — the fleet-level chaos
-  harness asserting the five robustness invariants.
+  harness asserting the seven robustness invariants.
 """
 
 from repro.fleet.chaos import FleetChaosReport, fleet_chaos_sweep
 from repro.fleet.cluster import Node, SharedCluster
 from repro.fleet.collective import JobLost, guarded_fleet_allreduce
-from repro.fleet.jobs import FleetJob, JobSpec, PreemptionNotice, build_trainer
+from repro.fleet.health import HealthPolicy, health_monitor
+from repro.fleet.jobs import (
+    FleetJob,
+    JobSpec,
+    PreemptionNotice,
+    build_trainer,
+    validate_scripted_lineage,
+)
 from repro.fleet.scheduler import (
     FleetEvent,
     FleetReport,
@@ -32,6 +42,7 @@ __all__ = [
     "FleetJob",
     "FleetReport",
     "FleetScheduler",
+    "HealthPolicy",
     "JobLost",
     "JobSpec",
     "JobSummary",
@@ -41,4 +52,6 @@ __all__ = [
     "build_trainer",
     "fleet_chaos_sweep",
     "guarded_fleet_allreduce",
+    "health_monitor",
+    "validate_scripted_lineage",
 ]

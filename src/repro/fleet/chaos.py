@@ -2,7 +2,7 @@
 mid-checkpoint — and prove the fleet absorbs all of it.
 
 Each chaos point runs a full multi-job fleet on a 2-rack cluster with one
-injected disturbance, then asserts five invariants:
+injected disturbance, then asserts seven invariants:
 
 1. **no job lost or duplicated** — every submitted job reaches exactly
    one terminal state (``finished``, or ``rejected`` only where the
@@ -17,7 +17,15 @@ injected disturbance, then asserts five invariants:
 4. **no leaked placements** — every slot allocation was returned to the
    ledger, dead nodes included;
 5. **victim naming** — a node kill logs a diagnosis naming the node, its
-   rack and *every* hosted job's slot and learner id.
+   rack and *every* hosted job's slot and learner id;
+6. **bit-exact grown jobs** — a job that shrank *and grew back* lands on
+   the same params as a fault-free reference replaying its full recorded
+   lineage (``scripted_shrinks`` **and** ``scripted_grows``), and every
+   grow point actually produced at least one grow;
+7. **no double-granted slots** — auditing the event log, every
+   ``grow-grant`` (and every migration's replacement grant) resolves to
+   exactly one ``grow`` or ``grow-revoked``, never two outstanding
+   grants of one node to one job, and none left outstanding at drain.
 
 Triggers are event-driven (they poll simulated state on a fixed tick and
 fire when the fleet reaches the scenario's window), so every point is
@@ -31,8 +39,10 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.fleet.cluster import SharedCluster
+from repro.fleet.health import HealthPolicy
 from repro.fleet.jobs import TERMINAL, JobSpec
 from repro.fleet.scheduler import FleetReport, FleetScheduler
+from repro.train.faults import DrainPolicy
 
 __all__ = ["FleetChaosOutcome", "FleetChaosPoint", "FleetChaosReport",
            "fleet_chaos_sweep"]
@@ -44,8 +54,19 @@ _POLL = 1e-4
 _MAKESPAN_FACTOR = 10.0
 _MAKESPAN_SLACK = 2.0
 
+#: Grow/flap points: the elastic-grow and proactive-migration scenarios.
+GROW_KINDS = ("grow-in-flight-kill", "kill-in-grow-replay", "node-flap")
 FLEET_KINDS = ("node-kill", "link-degrade", "burst-arrival",
-               "preempt-in-checkpoint")
+               "preempt-in-checkpoint") + GROW_KINDS
+
+#: Health policy for the node-flap point: link-factor-only (a clean run's
+#: factor is exactly 1.0, so a healthy fleet can never drain), two strikes.
+_FLAP_HEALTH = HealthPolicy(
+    policy=DrainPolicy(
+        link_factor_threshold=0.5, queue_depth_threshold=None, strikes=2
+    ),
+    poll_every=2e-4,
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +146,17 @@ def _workload(point: FleetChaosPoint) -> tuple[list[JobSpec], dict, int]:
             JobSpec(name="vip", n_learners=6, n_steps=3, seed=401,
                     priority=5, arrival=1.5e-3),
         ]
+    elif point.kind in GROW_KINDS:
+        # Tight one-slot cluster: killing one of "long"'s nodes shrinks
+        # it, and the revived node is the only capacity its elastic grow
+        # can reclaim.  "short" finishes early, freeing migration targets
+        # for the flap scenario.
+        cluster_kw = dict(n_racks=2, nodes_per_rack=2, slots_per_node=1)
+        specs = [
+            JobSpec(name="long", n_learners=2, n_steps=8, seed=500,
+                    elastic_grow=True, checkpoint_every=3),
+            JobSpec(name="short", n_learners=2, n_steps=3, seed=501),
+        ]
     else:  # node-kill, link-degrade
         specs = [
             JobSpec(name=f"job{i}", n_learners=2, n_steps=5, seed=100 + i)
@@ -141,10 +173,12 @@ def _run_fleet(
     seed: int = 0,
     max_queued: int | None = None,
     trigger=None,
+    health: HealthPolicy | None = None,
 ) -> tuple[FleetReport, FleetScheduler, dict]:
     cluster = SharedCluster(**cluster_kw)
     scheduler = FleetScheduler(
-        cluster, specs, placement=placement, seed=seed, max_queued=max_queued
+        cluster, specs, placement=placement, seed=seed,
+        max_queued=max_queued, health=health,
     )
     record: dict = {}
     if trigger is not None:
@@ -233,20 +267,160 @@ def _preempt_in_checkpoint_trigger(victim_name: str = "victim"):
     return trigger
 
 
+def _shrink_then_revive(cluster, scheduler, record, job_name="long"):
+    """Shared grow preamble: kill one of the job's nodes mid-training,
+    wait for the elastic shrink to land, then revive the node — the
+    revival's placement kick hands the freed slot straight back as a
+    grow grant (``job.pending_grows``) in the same simulated instant.
+
+    Yields until done; sets ``record['skipped']`` if the window never
+    opened.  Returns the revived node index, or ``None`` on skip.
+    """
+    job = scheduler.jobs[job_name]
+    while not _drained(scheduler):
+        yield cluster.engine.timeout(_POLL)
+        if job.status in TERMINAL:
+            break
+        if job.telemetry.steps >= 1 and job.n_live > 1:
+            node = job.placement[-1]
+            record["killed"] = node
+            scheduler.kill_node(node)
+            break
+    else:
+        record["skipped"] = f"{job_name} never reached the kill window"
+        return None
+    if "killed" not in record:
+        record["skipped"] = f"{job_name} terminal before the kill window"
+        return None
+    while not _drained(scheduler):
+        yield cluster.engine.timeout(_POLL)
+        if job.status in TERMINAL:
+            record["skipped"] = f"{job_name} terminal before regrowing"
+            return None
+        if job.n_live == 1 and record["killed"] not in job.placement:
+            break
+    scheduler.revive_node(record["killed"])
+    record["revived"] = record["killed"]
+    return record["killed"]
+
+
+def _grow_in_flight_kill_trigger(job_name="long"):
+    """Kill a *granted-but-not-yet-joined* node: the grant must be
+    revoked (never half-joined), and a later revival must still grow the
+    job back to full strength."""
+
+    def trigger(cluster, scheduler, record):
+        job = scheduler.jobs[job_name]
+        node = yield from _shrink_then_revive(cluster, scheduler, record)
+        if node is None:
+            return
+        # The revival's kick granted the slot synchronously; no simulated
+        # time has passed, so the learner cannot have joined yet.
+        if node not in job.pending_grows:
+            record["skipped"] = "revived node was not granted back"
+            return
+        record["granted"] = node
+        scheduler.kill_node(node)
+        record["revoked"] = True
+        # Second revival: this grant is allowed to complete.
+        yield cluster.engine.timeout(_POLL)
+        scheduler.revive_node(node)
+
+    return trigger
+
+
+def _kill_in_grow_replay_trigger(job_name="long"):
+    """Kill a placement node again *after* a grow has joined, so the
+    lineage interleaves shrink → grow → shrink → grow and the reference
+    replay must reproduce all four."""
+
+    def trigger(cluster, scheduler, record):
+        job = scheduler.jobs[job_name]
+        node = yield from _shrink_then_revive(cluster, scheduler, record)
+        if node is None:
+            return
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            if job.status in TERMINAL:
+                record["skipped"] = f"{job_name} terminal before its grow"
+                return
+            if job.grow_log and job.n_live > 1:
+                second = job.placement[-1]
+                record["second_kill"] = second
+                scheduler.kill_node(second)
+                break
+        else:
+            return
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            if job.status in TERMINAL:
+                return
+            if job.n_live == 1 and record["second_kill"] not in job.placement:
+                scheduler.revive_node(record["second_kill"])
+                return
+
+    return trigger
+
+
+def _node_flap_trigger(job_name="long", factor: float = 0.05):
+    """Full flap: kill → revive → grow back, then degrade the revived
+    node's links until the health monitor drains it and the job migrates
+    off proactively, then restore the links and the node."""
+
+    def trigger(cluster, scheduler, record):
+        job = scheduler.jobs[job_name]
+        node = yield from _shrink_then_revive(cluster, scheduler, record)
+        if node is None:
+            return
+        short = scheduler.jobs["short"]
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            if job.status in TERMINAL:
+                record["skipped"] = f"{job_name} terminal before its grow"
+                return
+            # Degrade only once the grow joined and "short" has freed a
+            # migration target, so the drain can grant a replacement.
+            if (
+                job.grow_log
+                and node in job.placement
+                and short.status in TERMINAL
+            ):
+                record["degraded"] = node
+                cluster.degrade_node_links(node, factor)
+                break
+        else:
+            return
+        while not _drained(scheduler):
+            yield cluster.engine.timeout(_POLL)
+            if node not in job.placement or job.status in TERMINAL:
+                # Migrated off (or finished): restore the flapping NIC.
+                cluster.degrade_node_links(node, 1.0)
+                scheduler.undrain_node(node)
+                record["restored"] = True
+                return
+
+    return trigger
+
+
 # -- invariants ---------------------------------------------------------------
 
 def _reference_params(
     spec: JobSpec,
     shrinks: tuple[tuple[int, int], ...],
+    grows: tuple[tuple[int, int], ...],
     cluster_kw: dict,
     cache: dict,
 ) -> np.ndarray:
-    """Final params of a fault-free solo run replaying ``shrinks``."""
+    """Final params of a fault-free solo run replaying the full lineage:
+    ``shrinks`` as controlled shrinks *and* ``grows`` as scripted grows
+    (elastic grow itself disabled, so the reference only ever does what
+    the script says)."""
     key = (spec.seed, spec.n_learners, spec.n_steps, spec.batch_per_gpu,
-           spec.records_per_learner, spec.reducer, shrinks)
+           spec.records_per_learner, spec.reducer, shrinks, grows)
     if key not in cache:
         ref_spec = replace(
-            spec, arrival=0.0, priority=0, scripted_shrinks=tuple(shrinks)
+            spec, arrival=0.0, priority=0, elastic_grow=False,
+            scripted_shrinks=tuple(shrinks), scripted_grows=tuple(grows),
         )
         _report, scheduler, _rec = _run_fleet(
             [ref_spec], "pack", cluster_kw
@@ -298,18 +472,21 @@ def _check_point(
             f"expected {expect_rejects} admission rejections, got "
             f"{len(rejected)}: {rejected}"
         )
-    # 2. Bit-exact survivor params vs the fault-free shrunk reference.
+    # 2 & 6. Bit-exact survivor params vs the fault-free reference that
+    # replays the job's full recorded lineage (shrinks and grows).
     for summary in report.jobs:
         if summary.status != "finished":
             continue
         job = scheduler.jobs[summary.name]
         ref = _reference_params(
-            job.spec, tuple(job.shrink_log), cluster_kw, ref_cache
+            job.spec, tuple(job.shrink_log), tuple(job.grow_log),
+            cluster_kw, ref_cache,
         )
         if not np.array_equal(job.final_params, ref):
             violations.append(
                 f"job {summary.name} params diverge from its fault-free "
-                f"shrunk reference (shrinks {job.shrink_log})"
+                f"reference (shrinks {job.shrink_log}, "
+                f"grows {job.grow_log})"
             )
     # 3. Bounded makespan.
     bound = _MAKESPAN_FACTOR * ref_makespan + _MAKESPAN_SLACK
@@ -345,6 +522,81 @@ def _check_point(
                     f"node-kill diagnosis does not name the node: "
                     f"{event.text!r}"
                 )
+    # 6. Grow points must actually grow (the replay above already proved
+    # the grown params bit-exact).
+    if point.kind in GROW_KINDS and "skipped" not in record:
+        long_job = scheduler.jobs["long"]
+        if not long_job.grow_log:
+            violations.append(
+                "grow point finished without a single recorded grow"
+            )
+        if point.kind == "grow-in-flight-kill":
+            if not any(e.kind == "grow-revoked" for e in report.events):
+                violations.append(
+                    "in-flight kill never revoked the granted slot"
+                )
+        if point.kind == "node-flap":
+            if long_job.telemetry.migrations < 1:
+                violations.append("flap point never migrated a learner")
+            for needed in ("drain", "migrate"):
+                if not any(e.kind == needed for e in report.events):
+                    violations.append(f"flap point logged no {needed} event")
+            migrates = [e for e in report.events if e.kind == "migrate"]
+            if migrates and (
+                f"node {record.get('degraded')} " not in migrates[0].text
+                or "degraded links" not in migrates[0].text
+            ):
+                violations.append(
+                    f"migration not attributed to the sick node and its "
+                    f"drain reason: {migrates[0].text!r}"
+                )
+    # 7. No slot double-granted: every grant resolves exactly once.
+    violations.extend(_audit_grow_grants(report))
+    return violations
+
+
+def _audit_grow_grants(report: FleetReport) -> list[str]:
+    """Replay the event log's grant lifecycle (invariant 7).
+
+    A ``grow-grant`` (or a migration's replacement grant) opens exactly
+    one outstanding ``(job, node)`` claim; a ``grow`` or ``grow-revoked``
+    closes it.  Two simultaneous claims on one pair, a close without an
+    open, or a claim still open once the fleet drained all violate the
+    no-double-grant invariant.
+    """
+    violations: list[str] = []
+    outstanding: set[tuple[str, int]] = set()
+    for event in report.events:
+        job = event.data.get("job")
+        if event.kind == "grow-grant":
+            key = (job, event.data.get("node"))
+            if key in outstanding:
+                violations.append(
+                    f"node {key[1]} granted twice to {key[0]} with the "
+                    f"first grant still outstanding"
+                )
+            outstanding.add(key)
+        elif event.kind == "migrate" and "replacement" in event.data:
+            key = (job, event.data["replacement"])
+            if key in outstanding:
+                violations.append(
+                    f"migration replacement node {key[1]} already granted "
+                    f"to {key[0]}"
+                )
+            outstanding.add(key)
+        elif event.kind in ("grow", "grow-revoked"):
+            key = (job, event.data.get("node"))
+            if key not in outstanding:
+                violations.append(
+                    f"{event.kind} of node {key[1]} for {key[0]} without "
+                    f"an outstanding grant"
+                )
+            outstanding.discard(key)
+    for job, node in sorted(outstanding, key=str):
+        violations.append(
+            f"grant of node {node} to {job} never resolved (no grow or "
+            f"revoke before drain)"
+        )
     return violations
 
 
@@ -369,6 +621,9 @@ def _points(kinds, placements, smoke: bool) -> list[FleetChaosPoint]:
         if "preempt-in-checkpoint" in kinds:
             points.append(FleetChaosPoint(
                 "preempt-in-checkpoint", placement, 2))
+        for kind in GROW_KINDS:
+            if kind in kinds:
+                points.append(FleetChaosPoint(kind, placement, 2))
     return points
 
 
@@ -379,7 +634,7 @@ def fleet_chaos_sweep(
     smoke: bool = False,
     seed: int = 0,
 ) -> FleetChaosReport:
-    """Run every chaos point and check the five fleet invariants."""
+    """Run every chaos point and check the seven fleet invariants."""
     unknown = [k for k in kinds if k not in FLEET_KINDS]
     if unknown:
         raise ValueError(
@@ -396,9 +651,16 @@ def fleet_chaos_sweep(
             trigger = _degrade_trigger()
         elif point.kind == "preempt-in-checkpoint":
             trigger = _preempt_in_checkpoint_trigger()
+        elif point.kind == "grow-in-flight-kill":
+            trigger = _grow_in_flight_kill_trigger()
+        elif point.kind == "kill-in-grow-replay":
+            trigger = _kill_in_grow_replay_trigger()
+        elif point.kind == "node-flap":
+            trigger = _node_flap_trigger()
         else:
             trigger = None
         max_queued = 2 if point.kind == "burst-arrival" else None
+        health = _FLAP_HEALTH if point.kind == "node-flap" else None
         ref_key = (point.kind, point.placement, point.n_jobs)
         if ref_key not in ref_makespans:
             ref_report, _s, _r = _run_fleet(
@@ -410,6 +672,7 @@ def fleet_chaos_sweep(
         report, scheduler, record = _run_fleet(
             specs, point.placement, cluster_kw,
             seed=seed, max_queued=max_queued, trigger=trigger,
+            health=health,
         )
         violations = _check_point(
             point, cluster_kw, expect_rejects,

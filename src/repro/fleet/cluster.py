@@ -127,6 +127,32 @@ class SharedCluster:
         """Scale ``rack``'s spine uplinks mid-flight (1.0 restores)."""
         self.fabric.scale_links(self.rack_uplinks(rack), factor)
 
+    def degrade_node_links(self, node_index: int, factor: float) -> None:
+        """Scale one node's host links mid-flight (a flapping NIC; 1.0
+        restores)."""
+        self.fabric.scale_host_links(node_index, factor)
+
+    def node_link_factor(self, node_index: int) -> float:
+        """Worst residual bandwidth factor on ``node_index``'s data path.
+
+        1.0 when healthy; the minimum over the node's own host links and
+        its rack's spine uplinks of (effective / nominal) bandwidth after
+        any live :meth:`~repro.net.fabric.Fabric.scale_links` degrades.
+        The health monitor's link-degrade-residue signal.
+        """
+        topo = self.fabric.topology
+        host = topo.host(node_index)
+        indices = [
+            link.index
+            for link in topo.links
+            if host in (link.src, link.dst)
+        ]
+        indices += self.rack_uplinks(self.nodes[node_index].rack)
+        return min(
+            self.fabric.link_bandwidth(i) / topo.links[i].params.bandwidth
+            for i in indices
+        )
+
     # -- slot ledger --------------------------------------------------------
     def allocate(self, job_name: str, node_index: int) -> None:
         node = self.nodes[node_index]
@@ -175,6 +201,24 @@ class SharedCluster:
         self._capacity -= node.slots
         self._busy -= node.used
         return sorted(node.held.items())
+
+    def revive_node(self, node_index: int) -> None:
+        """Bring a dead node back: its capacity rejoins the ledger.
+
+        Any slots still *held* on the node (jobs that have not yet
+        absorbed the death) rejoin the busy integral too — their eventual
+        ``release`` decrements it symmetrically, because the node is alive
+        again.  The learners themselves stay doomed: each hosting job's
+        pending-victim scan keys on the recorded death, not on current
+        liveness, so a flap can never resurrect a half-dead rank.
+        """
+        node = self.nodes[node_index]
+        if node.alive:
+            raise SimulationError(f"node {node_index} is already alive")
+        self._account()
+        node.alive = True
+        self._capacity += node.slots
+        self._busy += node.used
 
     def leaked_placements(self) -> list[tuple[int, str, int]]:
         """Every slot still held, as ``(node, job_name, count)``."""

@@ -23,11 +23,23 @@ Fault and preemption semantics:
 * a **total loss** (:class:`JobLost`) requeues from the last periodic
   checkpoint (or from scratch if none was taken yet).
 
-For bit-exactness audits the job keeps ``shrink_log``: the ``(iteration,
-slot)`` history of its *current lineage*.  A checkpoint stores the log
-alongside the trainer state; restoring rolls the log back with it, so the
-log always scripts exactly the shrinks a fault-free reference run must
-replay (see ``JobSpec.scripted_shrinks``) to land on identical weights.
+For bit-exactness audits the job keeps ``shrink_log`` and ``grow_log``:
+the ``(iteration, slot)`` histories of its *current lineage*.  A
+checkpoint stores both logs alongside the trainer state; restoring rolls
+them back with it, so the logs always script exactly the shrinks and
+grows a fault-free reference run must replay (see
+``JobSpec.scripted_shrinks`` / ``scripted_grows``) to land on identical
+weights.
+
+Elastic grow (the inverse of the shrink): when the scheduler grants a
+freed slot to a shrunk job (node revival, a neighbour finishing, a
+proactive drain's replacement), the grant is *ledgered immediately* —
+the slot is allocated at grant time, so it can never be double-granted —
+and the learner joins at the job's next iteration boundary: the trainer
+re-deals a share of the survivors' DIMD records to the newcomer, seeds
+its replicas from the live weights and rescales the LR schedule back up
+(:meth:`~repro.train.distributed.DistributedSGDTrainer.grow_learner`).
+A granted node that dies before the boundary is revoked, never joined.
 """
 
 from __future__ import annotations
@@ -46,7 +58,13 @@ from repro.train.checkpoint import TrainerCheckpoint
 from repro.train.distributed import DistributedSGDTrainer
 from repro.train.schedule import WarmupStepSchedule
 
-__all__ = ["JobSpec", "FleetJob", "PreemptionNotice", "build_trainer"]
+__all__ = [
+    "JobSpec",
+    "FleetJob",
+    "PreemptionNotice",
+    "build_trainer",
+    "validate_scripted_lineage",
+]
 
 #: Terminal job states (the no-lost-no-duplicated invariant counts these).
 TERMINAL = ("finished", "failed", "rejected")
@@ -77,16 +95,85 @@ class JobSpec:
     checkpoint_every: int = 2
     checkpoint_time: float = 1e-3
     preemption: str = "requeue"  # "requeue" | "shrink"
+    #: Opt-in elastic grow: a shrunk job reclaims learners when the
+    #: scheduler has slots to spare (back up to ``n_learners``).
+    elastic_grow: bool = False
     #: Controlled shrinks a fault-free reference run replays to mirror a
     #: faulted run's lineage: ``((iteration, slot), ...)`` applied between
     #: gradient compute and the collective of that iteration.
     scripted_shrinks: tuple[tuple[int, int], ...] = ()
+    #: Controlled grows the reference run replays: ``((iteration, slot),
+    #: ...)`` applied at the *top* of that iteration, before gradient
+    #: compute (slot is the appended index, i.e. the live count before
+    #: the grow).
+    scripted_grows: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self):
         if self.n_learners < 1 or self.n_steps < 1:
             raise ValueError("n_learners and n_steps must be >= 1")
         if self.preemption not in ("requeue", "shrink"):
             raise ValueError(f"unknown preemption mode {self.preemption!r}")
+        validate_scripted_lineage(
+            self.n_learners, self.n_steps,
+            self.scripted_shrinks, self.scripted_grows,
+        )
+
+
+def validate_scripted_lineage(
+    n_learners: int,
+    n_steps: int,
+    shrinks: tuple[tuple[int, int], ...],
+    grows: tuple[tuple[int, int], ...],
+) -> None:
+    """Reject an unreplayable script at construction, not mid-replay.
+
+    Replays a merged timeline of the scripted shrinks and grows (grows
+    apply at the top of their iteration, shrinks after that iteration's
+    gradient compute) over a live-learner counter and raises
+    ``ValueError`` on the first entry that could not happen: iterations
+    must be non-decreasing within each log and inside ``[0, n_steps)``, a
+    shrink slot must name a live learner and may never drop the last one,
+    and a grow slot must equal the live count at its boundary (grown
+    learners are always appended).
+    """
+    for name, log in (("scripted_shrinks", shrinks), ("scripted_grows", grows)):
+        iterations = [it for it, _slot in log]
+        if iterations != sorted(iterations):
+            raise ValueError(
+                f"{name} iterations must be non-decreasing, got {iterations}"
+            )
+    merged = sorted(
+        [(it, 0, slot) for it, slot in grows]
+        + [(it, 1, slot) for it, slot in shrinks],
+        key=lambda e: (e[0], e[1]),
+    )
+    live = n_learners
+    for iteration, phase, slot in merged:
+        kind = "grow" if phase == 0 else "shrink"
+        if not 0 <= iteration < n_steps:
+            raise ValueError(
+                f"scripted {kind} at iteration {iteration} outside "
+                f"[0, {n_steps})"
+            )
+        if phase == 0:
+            if slot != live:
+                raise ValueError(
+                    f"scripted grow ({iteration}, {slot}): grown learners "
+                    f"append at the end, expected slot {live}"
+                )
+            live += 1
+        else:
+            if live <= 1:
+                raise ValueError(
+                    f"scripted shrink ({iteration}, {slot}) would drop the "
+                    "last learner"
+                )
+            if not 0 <= slot < live:
+                raise ValueError(
+                    f"scripted shrink ({iteration}, {slot}): slot outside "
+                    f"[0, {live})"
+                )
+            live -= 1
 
 
 def build_trainer(spec: JobSpec) -> DistributedSGDTrainer:
@@ -144,6 +231,8 @@ class JobTelemetry:
     requeues: int = 0
     preemptions: int = 0
     checkpoints: int = 0
+    grows: int = 0
+    migrations: int = 0
     #: Node-slot-seconds spent making forward progress (steps that landed).
     goodput_node_seconds: float = 0.0
 
@@ -161,15 +250,29 @@ class FleetJob:
         self.active_executor = None
         self.telemetry = JobTelemetry()
         self.shrink_log: list[tuple[int, int]] = []
-        self.saved: tuple[TrainerCheckpoint, tuple] | None = None
+        self.grow_log: list[tuple[int, int]] = []
+        self.saved: tuple[TrainerCheckpoint, tuple, tuple] | None = None
         self.pending_shrinks = 0  # controlled (preemption) shrink requests
         self.preempt_pending = False
+        #: Nodes granted by the scheduler (slots already allocated), to be
+        #: incorporated as learners at the next iteration boundary.
+        self.pending_grows: list[int] = []
+        #: Nodes that died while hosting one of our slots — the victim
+        #: scan keys on this, not on current liveness, so a revived
+        #: (flapping) node can never resurrect a doomed learner.
+        self.dead_nodes: set[int] = set()
+        #: Nodes being drained under us: surrender that slot at the next
+        #: collective boundary (the proactive-migration shrink half).
+        self.pending_migrations: set[int] = set()
         self.final_params: np.ndarray | None = None
         self._enqueued_at: float | None = None
         self._collective_seq = 0
         self._scripted = {}
         for iteration, slot in spec.scripted_shrinks:
             self._scripted.setdefault(iteration, []).append(slot)
+        self._scripted_grows = {}
+        for iteration, slot in spec.scripted_grows:
+            self._scripted_grows.setdefault(iteration, []).append(slot)
 
     # -- identity / bookkeeping --------------------------------------------
     @property
@@ -198,23 +301,36 @@ class FleetJob:
 
     # -- victim plumbing (called from the guarded collective) ---------------
     def next_victim(self) -> int | None:
-        """Lowest slot whose node is dead, else a pending controlled shrink."""
+        """Lowest slot whose node died, else a pending controlled shrink,
+        else a slot being drained off a sick node (proactive migration)."""
         for slot, node_index in enumerate(self.placement):
-            if not self._cluster.nodes[node_index].alive:
+            if (
+                node_index in self.dead_nodes
+                or not self._cluster.nodes[node_index].alive
+            ):
                 return slot
         if self.pending_shrinks > 0 and self.n_live > 1:
             self.pending_shrinks -= 1
             return self.n_live - 1
+        if self.n_live > 1:
+            for slot, node_index in enumerate(self.placement):
+                if node_index in self.pending_migrations:
+                    return slot
         return None
 
     def drop_slot(self, slot: int) -> None:
         """Forget a victim slot and return its allocation to the ledger."""
         node_index = self.placement.pop(slot)
+        self.dead_nodes.discard(node_index)
+        self.pending_migrations.discard(node_index)
         self._cluster.release(self.name, node_index)
         self._scheduler.on_slot_freed(self, node_index)
 
     def record_shrink(self, iteration: int, slot: int) -> None:
         self.shrink_log.append((iteration, slot))
+
+    def record_grow(self, iteration: int, slot: int) -> None:
+        self.grow_log.append((iteration, slot))
 
     # -- program -------------------------------------------------------------
     def start(self, cluster, scheduler, placement: list[int]) -> None:
@@ -232,14 +348,16 @@ class FleetJob:
         self.placement = list(placement)
         if self.trainer is None:
             if self.saved is not None:
-                ckpt, shrinks = self.saved
+                ckpt, shrinks, grows = self.saved
                 self.trainer = DistributedSGDTrainer.from_checkpoint(
                     ckpt, ckpt_net_factory(self.spec)
                 )
                 self.shrink_log = list(shrinks)
+                self.grow_log = list(grows)
             else:
                 self.trainer = build_trainer(self.spec)
                 self.shrink_log = []
+                self.grow_log = []
         self.status = "running"
         self.proc = cluster.engine.process(self._program(), name=f"job:{self.name}")
 
@@ -255,6 +373,7 @@ class FleetJob:
             while trainer.iteration < spec.n_steps:
                 step_start = engine.now
                 try:
+                    self._incorporate_grows()
                     yield engine.timeout(spec.compute_time)
                     grads, losses = trainer.step_compute()
                     grads = self._apply_scripted_shrinks(grads)
@@ -306,6 +425,39 @@ class FleetJob:
             self.drop_slot(slot)
         return grads
 
+    def _incorporate_grows(self) -> None:
+        """Join granted (or scripted) learners at this iteration boundary.
+
+        Runs at the *top* of the iteration, before gradient compute, so
+        the newcomer contributes fully to this step — the ordering the
+        scripted-lineage validator and the reference replay both assume.
+        Pure Python state changes only (no engine events), so a job with
+        no grants pays nothing.
+        """
+        trainer = self.trainer
+        for _slot in self._scripted_grows.get(trainer.iteration, ()):
+            node = self._scheduler.grant_scripted_grow(self)
+            self._grow_onto(node)
+        while self.pending_grows:
+            node = self.pending_grows.pop(0)
+            if not self._cluster.nodes[node].alive:
+                # Granted node died before the boundary: the scheduler's
+                # kill path normally revokes it, but guard anyway.
+                self._cluster.release(self.name, node)
+                self._scheduler.on_grow_revoked(self, node)
+                continue
+            self._grow_onto(node)
+
+    def _grow_onto(self, node_index: int) -> None:
+        """Turn one already-allocated node into a live learner."""
+        trainer = self.trainer
+        new_id = self.spec.n_learners + len(self.grow_log)
+        slot = trainer.grow_learner(new_id)
+        self.placement.append(node_index)
+        self.record_grow(trainer.iteration, slot)
+        self.telemetry.grows += 1
+        self._scheduler.on_grown(self, node_index)
+
     def _take_checkpoint(self, *, absorb_preempts: bool):
         """Capture state, then pay the simulated write window.
 
@@ -322,6 +474,7 @@ class FleetJob:
         self.status = "checkpointing"
         state = TrainerCheckpoint.capture(self.trainer)
         shrinks = tuple(self.shrink_log)
+        grows = tuple(self.grow_log)
         self.telemetry.checkpoints += 1
         end = engine.now + self.spec.checkpoint_time
         preempted = False
@@ -336,10 +489,10 @@ class FleetJob:
                 if isinstance(exc.cause, PreemptionNotice):
                     preempted = True
                     continue
-                self.saved = (state, shrinks)
+                self.saved = (state, shrinks, grows)
                 self.status = "running"
                 raise
-        self.saved = (state, shrinks)
+        self.saved = (state, shrinks, grows)
         self.status = "running"
         if preempted and not absorb_preempts:
             raise Interrupt(PreemptionNotice())
@@ -368,6 +521,12 @@ class FleetJob:
             self._cluster.release(self.name, node_index)
             self._scheduler.on_slot_freed(self, node_index)
         self.placement = []
+        while self.pending_grows:
+            node_index = self.pending_grows.pop(0)
+            self._cluster.release(self.name, node_index)
+            self._scheduler.on_grow_revoked(self, node_index)
+        self.dead_nodes.clear()
+        self.pending_migrations.clear()
 
     def _finish(self) -> None:
         self.final_params = self.trainer.params().copy()

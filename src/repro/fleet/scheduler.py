@@ -25,6 +25,23 @@ Node deaths enter here: :meth:`FleetScheduler.kill_node` marks the fault
 domain dead, emits one correlated ``RankFailure`` into every hosted job's
 in-flight collective, and logs a diagnosis naming every victim — the
 chaos sweep asserts on that naming.
+
+Two elastic flows run on top (both opt-in, both no-ops for a clean
+fleet):
+
+* **grow-after-shrink** — whenever the queue is empty and slots are
+  spare, shrunk jobs with ``elastic_grow=True`` are offered nodes back
+  (up to their original gang size).  The grant allocates the slot in the
+  cluster ledger *immediately* — one slot can never back two grants —
+  and the job joins the learner at its next iteration boundary
+  (``grow`` event) or the grant is revoked if the node dies first
+  (``grow-revoked`` event).  Queued gangs strictly outrank grow-backs.
+* **proactive migration** — a :mod:`repro.fleet.health` monitor (enabled
+  by passing ``health=``) watches per-node straggler signals and calls
+  :meth:`drain_node`: every hosted learner is surrendered at its next
+  collective boundary (the controlled-shrink path) while a replacement
+  node is granted up front (the grow path), so the job moves off the
+  sick node before the collective watchdog ever fires.
 """
 
 from __future__ import annotations
@@ -33,8 +50,10 @@ from dataclasses import dataclass, field
 
 from repro.fleet.cluster import SharedCluster
 from repro.fleet.collective import JobLost
+from repro.fleet.health import HealthPolicy, health_monitor
 from repro.fleet.jobs import TERMINAL, FleetJob, JobSpec, PreemptionNotice
 from repro.mpi.schedule import RankFailure
+from repro.sim.engine import SimulationError
 from repro.utils.rng import rng_for
 
 __all__ = ["FleetEvent", "FleetReport", "FleetScheduler", "JobSummary"]
@@ -67,6 +86,8 @@ class JobSummary:
     requeues: int
     preemptions: int
     shrinks: tuple[tuple[int, int], ...]
+    grows: tuple[tuple[int, int], ...] = ()
+    migrations: int = 0
 
 
 @dataclass
@@ -103,7 +124,8 @@ class FleetReport:
                 f"  {j.name:<10s} {j.status:<9s} prio={j.priority} "
                 f"wait={j.queue_wait:.4f}s steps={j.steps} "
                 f"retries={j.retries} requeues={j.requeues} "
-                f"preempt={j.preemptions} shrinks={len(j.shrinks)}"
+                f"preempt={j.preemptions} shrinks={len(j.shrinks)} "
+                f"grows={len(j.grows)}"
             )
         if self.leaked:
             lines.append(f"  LEAKED PLACEMENTS: {self.leaked}")
@@ -123,6 +145,7 @@ class FleetScheduler:
         max_queued: int | None = None,
         requeue_base: float = 0.05,
         max_requeues: int = 6,
+        health: HealthPolicy | None = None,
     ):
         if placement not in ("pack", "spread"):
             raise ValueError(f"unknown placement policy {placement!r}")
@@ -135,8 +158,12 @@ class FleetScheduler:
         self.max_queued = max_queued
         self.requeue_base = requeue_base
         self.max_requeues = max_requeues
+        self.health = health
         self.jobs: dict[str, FleetJob] = {s.name: FleetJob(s) for s in specs}
         self.events: list[FleetEvent] = []
+        #: Nodes under a proactive drain: excluded from placement and from
+        #: grow grants until revived or restored to health.
+        self.draining: set[int] = set()
         self._queue: list[FleetJob] = []
         self._seq = 0
         self._order: dict[str, int] = {}
@@ -151,6 +178,11 @@ class FleetScheduler:
         engine = self.cluster.engine
         for job in self.jobs.values():
             engine.process(self._arrival(job), name=f"arrive:{job.name}")
+        if self.health is not None:
+            self.spawn(
+                health_monitor(self.cluster, self, self.health),
+                name="health-monitor",
+            )
         engine.run()
         return self.report()
 
@@ -214,11 +246,17 @@ class FleetScheduler:
                     break
                 self._maybe_preempt(job)
                 # Gang blocked: leave it queued and backfill smaller jobs.
+        if not self._queue:
+            # Only spare capacity (no queued gang wants it) feeds grows.
+            self._offer_grows()
         return
 
     def _place(self, k: int) -> list[int] | None:
         """Pick ``k`` distinct nodes under the active policy, or ``None``."""
-        free = [n for n in self.cluster.nodes if n.alive and n.free > 0]
+        free = [
+            n for n in self.cluster.nodes
+            if n.alive and n.free > 0 and n.index not in self.draining
+        ]
         if len(free) < k:
             return None
         by_rack: dict[int, list] = {}
@@ -253,6 +291,96 @@ class FleetScheduler:
             if not advanced:
                 return None
         return chosen
+
+    # -- elastic grow --------------------------------------------------------
+    def _grow_eligible(self, job: FleetJob) -> bool:
+        """Is ``job`` running, shrunk, elastic and not on its way out?"""
+        return (
+            job.spec.elastic_grow
+            and job.trainer is not None
+            and job.status in ("running", "checkpointing")
+            and not job.preempt_pending
+            and job.proc is not None
+            and job.proc.is_alive
+            and job.n_live + len(job.pending_grows) < job.spec.n_learners
+        )
+
+    def _offer_grows(self) -> None:
+        """Grant spare slots back to shrunk elastic jobs (priority order).
+
+        The slot is allocated in the cluster ledger *here*, at grant
+        time — the no-double-grant invariant — and parked on the job's
+        ``pending_grows`` until its next iteration boundary joins the
+        learner (or a node death revokes it).
+        """
+        for job in sorted(
+            self.jobs.values(),
+            key=lambda j: (-j.spec.priority, self._order.get(j.name, 0)),
+        ):
+            while self._grow_eligible(job):
+                node_index = self._pick_grow_node(job)
+                if node_index is None:
+                    break
+                self.cluster.allocate(job.name, node_index)
+                job.pending_grows.append(node_index)
+                self._log(
+                    "grow-grant",
+                    f"{job.name} granted node {node_index} "
+                    f"(back towards {job.spec.n_learners} learners)",
+                    job=job.name, node=node_index,
+                )
+
+    def _pick_grow_node(self, job: FleetJob) -> int | None:
+        """One free node for ``job``, honouring the placement policy.
+
+        Never a node the job already occupies or was granted, never a
+        draining node.  ``pack`` prefers racks the job already uses
+        (cheap allreduce), ``spread`` prefers fresh racks (independent
+        fault domains).
+        """
+        exclude = set(job.placement) | set(job.pending_grows) | self.draining
+        candidates = [
+            n for n in self.cluster.nodes
+            if n.alive and n.free > 0 and n.index not in exclude
+        ]
+        if not candidates:
+            return None
+        used_racks = {self.cluster.rack_of(n) for n in job.placement}
+        if self.placement == "pack":
+            candidates.sort(key=lambda n: (n.rack not in used_racks, n.index))
+        else:
+            candidates.sort(key=lambda n: (n.rack in used_racks, n.index))
+        return candidates[0].index
+
+    def grant_scripted_grow(self, job: FleetJob) -> int:
+        """Allocate a node for one of ``job``'s scripted (reference) grows."""
+        node_index = self._pick_grow_node(job)
+        if node_index is None:
+            raise SimulationError(
+                f"scripted grow for {job.name}: no free node to grant"
+            )
+        self.cluster.allocate(job.name, node_index)
+        self._log(
+            "grow-grant",
+            f"{job.name} granted node {node_index} (scripted replay)",
+            job=job.name, node=node_index,
+        )
+        return node_index
+
+    def on_grown(self, job: FleetJob, node_index: int) -> None:
+        self._log(
+            "grow",
+            f"{job.name} grew onto node {node_index} "
+            f"(now {job.n_live} learners)",
+            job=job.name, node=node_index,
+        )
+
+    def on_grow_revoked(self, job: FleetJob, node_index: int) -> None:
+        self._log(
+            "grow-revoked",
+            f"{job.name}: granted node {node_index} revoked before joining",
+            job=job.name, node=node_index,
+        )
 
     # -- preemption ---------------------------------------------------------
     def _maybe_preempt(self, job: FleetJob) -> None:
@@ -316,12 +444,26 @@ class FleetScheduler:
 
     # -- fault domains -------------------------------------------------------
     def kill_node(self, node_index: int) -> None:
-        """Kill a node: correlated ``RankFailure`` into every hosted job."""
+        """Kill a node: correlated ``RankFailure`` into every hosted job.
+
+        A slot merely *granted* on the node (a grow not yet joined) is
+        revoked on the spot — released back to the ledger, never turned
+        into a learner.  A live slot's death is recorded in the job's
+        ``dead_nodes`` so the pending-victim scan keys on the recorded
+        death even if the node later revives (flap-safety).
+        """
         engine = self.cluster.engine
         casualties = self.cluster.kill_node(node_index)
         parts = []
         for job_name, _slots in casualties:
             job = self.jobs[job_name]
+            if node_index in job.pending_grows:
+                job.pending_grows.remove(node_index)
+                self.cluster.release(job_name, node_index)
+                self.on_grow_revoked(job, node_index)
+                parts.append(f"job {job_name} grant revoked (not yet joined)")
+                continue
+            job.dead_nodes.add(node_index)
             slot = job.placement.index(node_index)
             parts.append(
                 f"job {job_name} slot {slot} (learner {job.learner_id(slot)})"
@@ -342,6 +484,81 @@ class FleetScheduler:
         )
         self._kick()
 
+    def revive_node(self, node_index: int) -> None:
+        """Bring a dead node back into service and re-run placement.
+
+        Learners the death doomed stay doomed (their jobs key on the
+        recorded death, not current liveness); the node's capacity simply
+        becomes placeable — and grow-grantable — again.
+        """
+        self.cluster.revive_node(node_index)
+        self.draining.discard(node_index)
+        self._log(
+            "revive",
+            f"node {node_index} (rack {self.cluster.rack_of(node_index)}) "
+            f"back in service ({self.cluster.nodes[node_index].slots} slots)",
+            node=node_index,
+        )
+        self._kick()
+
+    def drain_node(self, node_index: int, reason: str) -> None:
+        """Proactively migrate learners off a degraded-but-alive node.
+
+        Each hosted job (with a learner to spare) surrenders its slot on
+        the node at its next collective boundary — the same controlled
+        shrink a preemption uses — while a replacement node is granted up
+        front, so the learner count recovers at the next iteration
+        boundary without waiting for the collective watchdog to fire.
+        """
+        node = self.cluster.nodes[node_index]
+        if not node.alive or node_index in self.draining:
+            return
+        self.draining.add(node_index)
+        self._log(
+            "drain",
+            f"node {node_index} (rack {self.cluster.rack_of(node_index)}) "
+            f"draining: {reason}",
+            node=node_index, reason=reason,
+        )
+        for job_name in sorted(node.held):
+            job = self.jobs[job_name]
+            if (
+                job.trainer is None
+                or node_index not in job.placement
+                or node_index in job.pending_migrations
+                or job.n_live <= 1
+            ):
+                continue
+            job.pending_migrations.add(node_index)
+            job.telemetry.migrations += 1
+            replacement = self._pick_grow_node(job)
+            if replacement is not None:
+                self.cluster.allocate(job.name, replacement)
+                job.pending_grows.append(replacement)
+                self._log(
+                    "migrate",
+                    f"{job.name}: learner migrating off node {node_index} "
+                    f"({reason}); replacement node {replacement} granted",
+                    job=job.name, node=node_index,
+                    replacement=replacement, reason=reason,
+                )
+            else:
+                self._log(
+                    "migrate",
+                    f"{job.name}: learner migrating off node {node_index} "
+                    f"({reason}); no replacement free",
+                    job=job.name, node=node_index, reason=reason,
+                )
+        self._kick()
+
+    def undrain_node(self, node_index: int) -> None:
+        """Restore a drained (but alive) node to placement service."""
+        if node_index in self.draining:
+            self.draining.discard(node_index)
+            self._log("undrain", f"node {node_index} restored to service",
+                      node=node_index)
+            self._kick()
+
     # -- job callbacks -------------------------------------------------------
     def on_slot_freed(self, job: FleetJob, node_index: int) -> None:
         self._log(
@@ -355,7 +572,7 @@ class FleetScheduler:
             "finish",
             f"{job.name} after {job.telemetry.steps} steps "
             f"({job.telemetry.retries} retries, "
-            f"{len(job.shrink_log)} shrinks)",
+            f"{len(job.shrink_log)} shrinks, {len(job.grow_log)} grows)",
             job=job.name,
         )
         self._kick()
@@ -439,6 +656,8 @@ class FleetScheduler:
                     requeues=t.requeues,
                     preemptions=t.preemptions,
                     shrinks=tuple(job.shrink_log),
+                    grows=tuple(job.grow_log),
+                    migrations=t.migrations,
                 )
             )
             if t.finished is not None:

@@ -190,6 +190,15 @@ class MPIWorld:
             return
         self._mailbox[dst].setdefault(key, deque()).append(msg)
 
+    def cpu_queue_depth(self, rank: int) -> int:
+        """Requests queued behind ``rank``'s reduce/copy CPU right now.
+
+        A live straggler signal: a degraded or oversubscribed node's CPU
+        backs up, stalling every collective it hosts (the fleet health
+        monitor polls this to decide proactive drains).
+        """
+        return self._cpu[rank].queue_length
+
     # -- local compute --------------------------------------------------------
     def reduce_cpu(self, rank: int, nbytes: float):
         """Generator: occupy ``rank``'s CPU for a reduction of ``nbytes``."""

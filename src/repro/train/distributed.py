@@ -39,7 +39,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.data.dimd import DIMDStore, deal_records
+from repro.data.dimd import DIMDStore, collect_regrow_share, deal_records
 from repro.data.guard import run_shuffle_guarded
 from repro.dpt.table import (
     BaselineDataParallelTable,
@@ -239,6 +239,9 @@ class DistributedSGDTrainer:
             if dpt_variant == "optimized"
             else BaselineDataParallelTable
         )
+        # Kept for elastic grow: a rejoining learner needs fresh replicas.
+        self._network_factory = network_factory
+        self._table_cls = table_cls
         self.tables: list[_DataParallelTableBase] = []
         for learner in range(len(stores)):
             replicas = [
@@ -407,6 +410,50 @@ class DistributedSGDTrainer:
                 stats.fault_events.append(event)
                 if self.fault_injector is not None:
                     self.fault_injector.record(event)
+
+    def grow_learner(self, learner_id: int | None = None) -> int:
+        """Elastic grow: the inverse of the elastic shrink.
+
+        Adds one learner to the group at an iteration boundary and returns
+        its slot (always appended at the end):
+
+        * its DIMD partition is funded by the survivors through the single
+          deterministic regrow policy
+          (:func:`~repro.data.dimd.collect_regrow_share` — the inverse of
+          ``deal_records``), conserving every record;
+        * its replicas are **checkpoint-seeded**: built fresh, then
+          overwritten with the live group's current weights, so the group
+          stays synchronized and the newcomer's init RNG never matters;
+        * the LR schedule is rescaled back *up* (inverse of the shrink's
+          linear rescale) so the linear-scaling rule follows the larger
+          effective batch.
+
+        Deterministic given ``(trainer state, learner_id)``, which is what
+        makes a recorded grow replayable bit-exactly by a scripted
+        reference run (``JobSpec.scripted_grows`` in the fleet).
+        """
+        if learner_id is None:
+            learner_id = max(self.learner_ids) + 1
+        if learner_id in self.learner_ids:
+            raise ValueError(
+                f"learner id {learner_id} is already live ({self.learner_ids})"
+            )
+        n = self.n_learners
+        store = collect_regrow_share(self.stores, learner_id)
+        replicas = [
+            self._network_factory(rng_for(self.seed, "replica", learner_id, g))
+            for g in range(self.gpus_per_node)
+        ]
+        table = self._table_cls(replicas)
+        table.broadcast_params(self.params())
+        self.stores.append(store)
+        self.tables.append(table)
+        self.learner_ids.append(learner_id)
+        if self.lr_rescale == "linear":
+            prev_workers = self.schedule.n_workers
+            new_workers = max(1, round(prev_workers * (n + 1) / n))
+            self.schedule = replace(self.schedule, n_workers=new_workers)
+        return self.n_learners - 1
 
     def absorb_failure(self, lost_slot: int, *, reshuffle: bool | None = None) -> None:
         """Absorb a permanent learner loss delivered from outside the

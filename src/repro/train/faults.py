@@ -19,7 +19,13 @@ from dataclasses import dataclass
 
 from repro.train.pipeline import EpochTimeModel, IterationBreakdown
 
-__all__ = ["StragglerReport", "straggler_epoch_time", "degraded_allreduce_time"]
+__all__ = [
+    "DrainPolicy",
+    "NodeHealthSignal",
+    "StragglerReport",
+    "straggler_epoch_time",
+    "degraded_allreduce_time",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +51,86 @@ class StragglerReport:
     def penalty(self) -> float:
         """Fractional epoch-time increase caused by the stragglers."""
         return self.degraded_epoch / self.healthy_epoch - 1.0
+
+
+@dataclass(frozen=True)
+class NodeHealthSignal:
+    """One poll of a node's runtime straggler signals.
+
+    The live counterpart of :class:`StragglerReport`'s closed-form inputs:
+    ``cpu_queue_depth`` is the node's reduce/copy CPU queue length (how
+    many collective operations are stacked up behind it — the Nessi-style
+    queue-depth signal), ``link_factor`` the worst residual bandwidth
+    factor on the node's links (1.0 healthy, <1 after a live degrade).
+    """
+
+    node: int
+    cpu_queue_depth: int
+    link_factor: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_queue_depth < 0:
+            raise ValueError("cpu_queue_depth must be >= 0")
+        if not 0 < self.link_factor <= 1.0:
+            raise ValueError(
+                f"link_factor must be in (0, 1], got {self.link_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class DrainPolicy:
+    """When does a degraded-but-alive node warrant a proactive drain?
+
+    The barrier-max model (:class:`StragglerReport`) says one sick node
+    sets the pace of *every* collective it hosts, so a sustained signal
+    justifies migrating learners off it before the watchdog ever fires.
+    ``classify`` is pure — it maps one signal to a drain reason or
+    ``None``; the fleet health monitor adds the "sustained for
+    ``strikes`` consecutive polls" hysteresis on top, so one transient
+    queue spike never triggers a migration.
+    """
+
+    link_factor_threshold: float | None = 0.5
+    queue_depth_threshold: int | None = None
+    strikes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.link_factor_threshold is not None and not (
+            0 < self.link_factor_threshold <= 1.0
+        ):
+            raise ValueError("link_factor_threshold must be in (0, 1]")
+        if (
+            self.queue_depth_threshold is not None
+            and self.queue_depth_threshold < 1
+        ):
+            raise ValueError("queue_depth_threshold must be >= 1")
+        if self.strikes < 1:
+            raise ValueError("strikes must be >= 1")
+        if (
+            self.link_factor_threshold is None
+            and self.queue_depth_threshold is None
+        ):
+            raise ValueError("policy watches neither links nor CPU queues")
+
+    def classify(self, signal: NodeHealthSignal) -> str | None:
+        """Drain reason for one poll of ``signal``, or ``None`` if healthy."""
+        if (
+            self.link_factor_threshold is not None
+            and signal.link_factor < self.link_factor_threshold
+        ):
+            return (
+                f"degraded links (factor {signal.link_factor:.2f} < "
+                f"{self.link_factor_threshold:.2f})"
+            )
+        if (
+            self.queue_depth_threshold is not None
+            and signal.cpu_queue_depth >= self.queue_depth_threshold
+        ):
+            return (
+                f"cpu queue depth {signal.cpu_queue_depth} >= "
+                f"{self.queue_depth_threshold}"
+            )
+        return None
 
 
 def straggler_epoch_time(

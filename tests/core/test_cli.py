@@ -156,10 +156,25 @@ def test_fleet_command_with_node_kill(capsys):
     assert "node-kill" in out
 
 
+def test_fleet_command_kill_revive_grow(capsys):
+    code, out = run_cli(
+        capsys, "fleet", "--jobs", "3", "--kill-node", "0",
+        "--revive-after", "0.0005", "--grow", "--events",
+    )
+    assert code == 0
+    assert "node-kill" in out
+    assert "revive" in out
+    assert "grow-grant" in out
+    assert "grew onto node" in out
+    assert "grows=1" in out  # per-job summary reports the grow
+
+
 def test_fleet_command_rejects_bad_args(capsys):
     assert main(["fleet", "--jobs", "0"]) == 2
     assert main(["fleet", "--kill-node", "99"]) == 2
     assert main(["fleet", "--racks", "0"]) == 2
+    assert main(["fleet", "--revive-after", "0.1"]) == 2  # needs --kill-node
+    assert main(["fleet", "--kill-node", "0", "--revive-after", "-1"]) == 2
 
 
 def test_fleet_chaos_exit_codes(capsys, monkeypatch):

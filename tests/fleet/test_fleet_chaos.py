@@ -1,9 +1,9 @@
-"""Fleet chaos sweep: the five robustness invariants under disturbance."""
+"""Fleet chaos sweep: the seven robustness invariants under disturbance."""
 
 import pytest
 
 from repro.fleet import fleet_chaos_sweep
-from repro.fleet.chaos import FLEET_KINDS, FleetChaosPoint, _points
+from repro.fleet.chaos import FLEET_KINDS, GROW_KINDS, FleetChaosPoint, _points
 
 
 def test_smoke_sweep_holds_all_invariants():
@@ -29,6 +29,23 @@ def test_node_kills_actually_fired_and_shrank_jobs():
         assert len(kills) == 1
         shrunk = [j for j in outcome.report.jobs if j.shrinks]
         assert len(shrunk) == outcome.point.hosted
+
+
+def test_grow_kind_triggers_actually_fired():
+    report = fleet_chaos_sweep(kinds=GROW_KINDS, smoke=True)
+    assert report.all_ok, "\n" + report.format()
+    for outcome in report.outcomes:
+        label = outcome.point.label()
+        long = outcome.report.job("long")
+        assert long.grows, label  # every grow kind regrew the shrunk job
+        kinds = [e.kind for e in outcome.report.events]
+        if outcome.point.kind == "grow-in-flight-kill":
+            assert "grow-revoked" in kinds, label
+        elif outcome.point.kind == "kill-in-grow-replay":
+            assert len(long.shrinks) >= 2 and len(long.grows) >= 2, label
+        elif outcome.point.kind == "node-flap":
+            assert "drain" in kinds and "migrate" in kinds, label
+            assert long.migrations >= 1, label
 
 
 def test_unknown_kind_is_rejected():

@@ -1,0 +1,143 @@
+"""Elastic grow: the trainer-level inverse of the elastic shrink.
+
+``DistributedSGDTrainer.grow_learner`` adds a learner at an iteration
+boundary: its DIMD partition is funded by the survivors through the
+deterministic regrow policy (records conserved), its replicas are seeded
+from the live weights (group stays synchronized), and the LR schedule is
+rescaled back up — the exact inverse of the shrink's linear rescale, so
+a shrink followed by a grow round-trips ``n_workers``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dimd import DIMDStore, collect_regrow_share
+from repro.train import DistributedSGDTrainer, FaultPlan, WarmupStepSchedule, crash
+
+from tests.train.test_elastic import (
+    content_multiset,
+    make_stores,
+    make_trainer,
+    net_factory,
+)
+
+
+def worker_schedule(n):
+    return WarmupStepSchedule(batch_per_gpu=4, n_workers=n, warmup_epochs=0.0)
+
+
+# -- growth mechanics ---------------------------------------------------------
+
+def test_grow_conserves_records_and_stays_synchronized():
+    trainer = make_trainer(n=3)
+    before = content_multiset(trainer)
+    for _ in range(2):
+        trainer.step()
+    slot = trainer.grow_learner()
+    assert slot == 3  # appended at the end
+    assert trainer.n_learners == 4
+    assert trainer.learner_ids == [0, 1, 2, 3]
+    # The newcomer's share came out of the survivors: nothing created,
+    # nothing lost.
+    assert content_multiset(trainer) == before
+    assert len(trainer.stores[slot]) > 0
+    trainer.check_synchronized()
+    for _ in range(2):
+        trainer.step()
+    trainer.check_synchronized()
+    assert content_multiset(trainer) == before
+
+
+def test_grow_default_id_is_max_plus_one():
+    trainer = make_trainer(n=4, plan=FaultPlan([crash(1, 1)]))
+    for _ in range(2):
+        trainer.step()
+    assert trainer.learner_ids == [0, 2, 3]
+    trainer.grow_learner()
+    assert trainer.learner_ids == [0, 2, 3, 4]
+
+
+def test_grow_rejects_live_learner_id():
+    trainer = make_trainer(n=2)
+    with pytest.raises(ValueError, match="already live"):
+        trainer.grow_learner(1)
+
+
+def test_shrink_then_grow_round_trips_lr_schedule():
+    trainer = make_trainer(
+        n=4, plan=FaultPlan([crash(2, 1)]), schedule=worker_schedule(4),
+        lr_rescale="linear",
+    )
+    for _ in range(2):
+        trainer.step()
+    assert trainer.schedule.n_workers == 3  # shrink rescaled down
+    trainer.grow_learner()
+    assert trainer.schedule.n_workers == 4  # grow rescaled back up
+
+
+def test_grow_lr_rescale_none_keeps_schedule():
+    trainer = make_trainer(
+        n=2, schedule=worker_schedule(2), lr_rescale="none"
+    )
+    trainer.step()
+    trainer.grow_learner()
+    assert trainer.schedule.n_workers == 2
+
+
+def test_grow_after_shrink_is_deterministic():
+    """Two identically-seeded shrink-then-grow runs produce identical
+    weights — the property the fleet's scripted-lineage replay rests on."""
+
+    def run():
+        trainer = make_trainer(n=3, plan=FaultPlan([crash(1, 1)]))
+        for _ in range(2):
+            trainer.step()
+        trainer.grow_learner()
+        for _ in range(3):
+            trainer.step()
+        return trainer
+
+    a, b = run(), run()
+    np.testing.assert_array_equal(a.params(), b.params())
+    assert [len(s) for s in a.stores] == [len(s) for s in b.stores]
+    a.check_synchronized()
+
+
+def test_grow_newcomer_seeded_from_live_weights_not_init_rng():
+    """The newcomer's replicas are checkpoint-seeded: its weights equal
+    the live group's params immediately after the grow, regardless of
+    what its init RNG would have produced."""
+    trainer = make_trainer(n=2)
+    for _ in range(3):
+        trainer.step()
+    live = trainer.params().copy()
+    slot = trainer.grow_learner()
+    for replica in trainer.tables[slot].replicas:
+        np.testing.assert_array_equal(replica.get_flat_params(), live)
+
+
+# -- the regrow share policy --------------------------------------------------
+
+def test_collect_regrow_share_conserves_and_balances():
+    stores = make_stores(3, per_learner=24)
+    total = sorted(p for s in stores for p in s.content_multiset())
+    newcomer = collect_regrow_share(stores, learner=9)
+    assert newcomer.learner == 9
+    assert len(newcomer) == 3 * (24 // 4)  # each survivor gives len//(n+1)
+    after = sorted(
+        p for s in stores + [newcomer] for p in s.content_multiset()
+    )
+    assert after == total
+    assert newcomer.verify_integrity() == []  # checksums moved intact
+
+
+def test_collect_regrow_share_requires_survivors():
+    with pytest.raises(ValueError, match="no survivors"):
+        collect_regrow_share([], learner=0)
+
+
+def test_collect_regrow_share_rejects_starved_survivors():
+    rng = np.random.default_rng(0)
+    tiny = DIMDStore([b"x"], rng.integers(0, 2, size=1), learner=0)
+    with pytest.raises(ValueError, match="too small"):
+        collect_regrow_share([tiny], learner=1)
