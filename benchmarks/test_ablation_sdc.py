@@ -1,0 +1,131 @@
+"""Ablation: what the SDC defense costs, and what it saves.
+
+Two questions the fingerprinting design must answer with numbers:
+
+* **Detection overhead** — per-bucket fingerprints are pure bookkeeping
+  outside the simulation, so a clean run's *simulated* time is bit-equal
+  with the guard on or off; the wall-clock cost of hashing is measured
+  here, and the real-world audit latency enters simulated time only
+  through the explicit ``sdc_audit_time`` knob on the step DAG's gated
+  audit steps.
+* **MTTR** — when a flip is caught at the allreduce boundary, quarantine
+  and-rerun repeats one collective on the survivors; the classic
+  alternative restores the last checkpoint and replays every step since.
+  The gap between those two is the repair-time saving.
+"""
+
+import time
+
+from conftest import emit
+
+import numpy as np
+
+from repro.train.injection import FaultPlan, sdc_flip
+from repro.train.sdc_chaos import _N_STEPS, SDCChaosPoint, _build_trainer
+from repro.utils.ascii import render_table
+
+#: The scripted flip used for the MTTR comparison.
+POINT = SDCChaosPoint(rank=1, bucket=0, iteration=2)
+#: Checkpoint cadence of the hypothetical restore-based recovery.
+CHECKPOINT_EVERY = 4
+
+
+def _run(trainer):
+    """Drive a trainer to completion; wall seconds, per-step sim, params."""
+    with trainer:
+        start = time.perf_counter()
+        results = [trainer.step() for _ in range(_N_STEPS)]
+        wall = time.perf_counter() - start
+        return wall, [r.sim_time for r in results], trainer.params()
+
+
+def _scripted_shrink_times(point):
+    """Per-step sim times of a fault-free run shedding the same learner
+    at the same iteration (the quarantine repair's reference cost)."""
+    trainer = _build_trainer()
+    with trainer:
+        times = []
+        for iteration in range(_N_STEPS):
+            grads, losses = trainer.step_compute()
+            if iteration == point.iteration:
+                del grads[point.rank]
+                trainer.absorb_failure(point.rank, reshuffle=False)
+            summed, n = trainer._allreduce(grads)
+            result = trainer.step_apply(summed, n, losses)
+            times.append(result.sim_time)
+        return times
+
+
+def run_sdc_ablation():
+    out = {}
+    # Clean path: guard off vs on.
+    for check in (False, True):
+        out["on" if check else "off"] = _run(_build_trainer(sdc_check=check))
+    # Priced audit: the step DAG's gated audit steps with explicit latency.
+    for label, audit in (("audit-free", 0.0), ("audit-priced", 5e-4)):
+        out[label] = _run(_build_trainer(
+            sdc_check=True, step_dag=True, sdc_audit_time=audit
+        ))
+    # MTTR: one scripted flip, quarantine-and-rerun measured for real.
+    plan = FaultPlan([
+        sdc_flip(POINT.rank, POINT.iteration, bucket=POINT.bucket)
+    ])
+    out["faulted"] = _run(_build_trainer(plan=plan, sdc_check=True))
+    out["shrink-ref"] = _scripted_shrink_times(POINT)
+    return out
+
+
+def test_ablation_sdc(benchmark):
+    out = benchmark.pedantic(run_sdc_ablation, rounds=1, iterations=1)
+
+    wall_off, sim_off, params_off = out["off"]
+    wall_on, sim_on, params_on = out["on"]
+    # Zero simulated cost on the clean path: params and sim time bit-equal.
+    np.testing.assert_array_equal(params_off, params_on)
+    assert sim_off == sim_on
+
+    _, sim_free, _ = out["audit-free"]
+    _, sim_priced, _ = out["audit-priced"]
+    assert sum(sim_priced) > sum(sim_free)  # the knob is really priced
+
+    # MTTR: extra simulated time the quarantine repair added, vs a full
+    # restore-and-replay of every step since the last checkpoint.
+    _, sim_faulted, _ = out["faulted"]
+    ref_times = out["shrink-ref"]
+    mttr_quarantine = sum(sim_faulted) - sum(ref_times)
+    last_ckpt = (POINT.iteration // CHECKPOINT_EVERY) * CHECKPOINT_EVERY
+    replayed = POINT.iteration - last_ckpt + 1
+    mttr_restart = sum(sim_off[last_ckpt:POINT.iteration + 1])
+    assert 0 < mttr_quarantine < mttr_restart
+
+    overhead = (wall_on - wall_off) / wall_off if wall_off else 0.0
+    cost = render_table(
+        ["mode", "wall (ms)", "simulated (ms)"],
+        [
+            ["fingerprints off", f"{wall_off * 1e3:.2f}",
+             f"{sum(sim_off) * 1e3:.4f}"],
+            ["fingerprints on", f"{wall_on * 1e3:.2f}",
+             f"{sum(sim_on) * 1e3:.4f}"],
+            ["audited step DAG (audit_time=0)", "-",
+             f"{sum(sim_free) * 1e3:.4f}"],
+            ["audited step DAG (audit_time=0.5ms)", "-",
+             f"{sum(sim_priced) * 1e3:.4f}"],
+        ],
+        title="Ablation — SDC detection cost "
+              f"(wall overhead {overhead:+.0%}; simulated cost 0 unless "
+              "priced via sdc_audit_time)",
+    )
+    mttr = render_table(
+        ["recovery", "replayed work", "MTTR (sim ms)"],
+        [
+            ["quarantine-and-rerun",
+             "1 collective on survivors",
+             f"{mttr_quarantine * 1e3:.4f}"],
+            [f"restore + replay (ckpt every {CHECKPOINT_EVERY})",
+             f"{replayed} full steps",
+             f"{mttr_restart * 1e3:.4f}"],
+        ],
+        title="Ablation — SDC repair: mean time to recovery "
+              f"({mttr_restart / mttr_quarantine:.1f}x faster than restart)",
+    )
+    emit("ablation_sdc", cost + "\n\n" + mttr)

@@ -20,13 +20,20 @@ format.  Three failure classes become detectable:
   verified.
 
 All functions here are pure Python/NumPy with no simulation coupling.
+The digest core (splitmix fingerprint, multiset sum, CRC helpers) lives
+in :mod:`repro.utils.digest` so the compute plane's SDC defense
+(:mod:`repro.train.sdc`) shares it without a data→train import cycle;
+this module re-exports it for the data plane's historical import surface.
 """
 
 from __future__ import annotations
 
-import zlib
-
-import numpy as np
+from repro.utils.digest import (
+    crc_of_bytes,
+    crc_of_ints,
+    multiset_digest,
+    record_fingerprint,
+)
 
 __all__ = [
     "RecordCorrupt",
@@ -36,9 +43,6 @@ __all__ = [
     "record_crc",
     "record_fingerprint",
 ]
-
-#: Digests live in [0, 2**63) so they always fit a non-negative int64.
-_DIGEST_MOD = 2**63
 
 
 class RecordCorrupt(RuntimeError):
@@ -79,39 +83,4 @@ class ShuffleIntegrityError(RuntimeError):
 
 def record_crc(blob: bytes) -> int:
     """CRC32 of one record's compressed bytes (non-negative, < 2**32)."""
-    return zlib.crc32(blob) & 0xFFFFFFFF
-
-
-def crc_of_ints(values) -> int:
-    """CRC32 over an int64 vector's bytes — trailer for control blocks."""
-    return zlib.crc32(np.ascontiguousarray(values, dtype=np.int64).tobytes()) & 0xFFFFFFFF
-
-
-def record_fingerprint(crc: int, label: int, length: int) -> int:
-    """Order-independent per-record digest contribution.
-
-    Mixes the payload CRC with the label and length (all of which travel
-    in the shuffle metadata) through a splitmix-style scramble so that
-    swapping bytes *between* records cannot cancel out in the sum.
-    """
-    x = (
-        int(crc) * 0x9E3779B97F4A7C15
-        + int(label) * 0xBF58476D1CE4E5B9
-        + int(length) * 0x94D049BB133111EB
-        + 0x2545F4914F6CDD1D
-    ) & 0xFFFFFFFFFFFFFFFF
-    x ^= x >> 29
-    return x % _DIGEST_MOD
-
-
-def multiset_digest(crcs, labels, lengths) -> int:
-    """Permutation-invariant digest of a record multiset.
-
-    Summing :func:`record_fingerprint` modulo ``2**63`` makes the digest
-    independent of record order and cheap to combine across ranks — the
-    conservation barrier allreduces one int64 per rank.
-    """
-    total = 0
-    for crc, label, length in zip(crcs, labels, lengths):
-        total += record_fingerprint(crc, label, length)
-    return total % _DIGEST_MOD
+    return crc_of_bytes(blob)

@@ -25,7 +25,14 @@ injected disturbance, then asserts seven invariants:
 7. **no double-granted slots** — auditing the event log, every
    ``grow-grant`` (and every migration's replacement grant) resolves to
    exactly one ``grow`` or ``grow-revoked``, never two outstanding
-   grants of one node to one job, and none left outstanding at drain.
+   grants of one node to one job, and none left outstanding at drain;
+8. **SDC contained** (``sdc`` points) — every scripted gradient bit-flip
+   is detected at the allreduce boundary *before any optimizer apply*
+   and logged as an ``sdc-detect`` event naming the corrupting learner
+   and node; repeat strikes on one node drain it ("silent data
+   corruption" reason) and hosted learners migrate off; and a clean
+   fleet with fingerprinting enabled keeps its event log byte-identical
+   to one with it disabled.
 
 Triggers are event-driven (they poll simulated state on a fixed tick and
 fire when the fleet reaches the scenario's window), so every point is
@@ -45,7 +52,7 @@ from repro.fleet.scheduler import FleetReport, FleetScheduler
 from repro.train.faults import DrainPolicy
 
 __all__ = ["FleetChaosOutcome", "FleetChaosPoint", "FleetChaosReport",
-           "fleet_chaos_sweep"]
+           "FLEET_KINDS", "GROW_KINDS", "SDC_KINDS", "fleet_chaos_sweep"]
 
 #: Chaos trigger poll tick (simulated seconds) — well under one job step.
 _POLL = 1e-4
@@ -56,14 +63,27 @@ _MAKESPAN_SLACK = 2.0
 
 #: Grow/flap points: the elastic-grow and proactive-migration scenarios.
 GROW_KINDS = ("grow-in-flight-kill", "kill-in-grow-replay", "node-flap")
+#: Silent-data-corruption points: scripted gradient bit-flips.
+SDC_KINDS = ("sdc",)
 FLEET_KINDS = ("node-kill", "link-degrade", "burst-arrival",
-               "preempt-in-checkpoint") + GROW_KINDS
+               "preempt-in-checkpoint") + GROW_KINDS + SDC_KINDS
 
 #: Health policy for the node-flap point: link-factor-only (a clean run's
 #: factor is exactly 1.0, so a healthy fleet can never drain), two strikes.
 _FLAP_HEALTH = HealthPolicy(
     policy=DrainPolicy(
         link_factor_threshold=0.5, queue_depth_threshold=None, strikes=2
+    ),
+    poll_every=2e-4,
+)
+
+#: Health policy for the sdc point: SDC-strikes-only (a clean run books
+#: zero strikes, so a healthy fleet can never drain); the ledger already
+#: counts *confirmed* detections, so one poll over threshold suffices.
+_SDC_HEALTH = HealthPolicy(
+    policy=DrainPolicy(
+        link_factor_threshold=None, queue_depth_threshold=None,
+        sdc_threshold=2, strikes=1,
     ),
     poll_every=2e-4,
 )
@@ -156,6 +176,20 @@ def _workload(point: FleetChaosPoint) -> tuple[list[JobSpec], dict, int]:
             JobSpec(name="long", n_learners=2, n_steps=8, seed=500,
                     elastic_grow=True, checkpoint_every=3),
             JobSpec(name="short", n_learners=2, n_steps=3, seed=501),
+        ]
+    elif point.kind in SDC_KINDS:
+        # Three co-located 3-gangs on a 4-node cluster: both sick jobs'
+        # slot-1 learners share a node (under pack *and* spread), so two
+        # confirmed strikes drain it; node 3 stays free as the clean
+        # job's migration target.
+        cluster_kw = dict(n_racks=2, nodes_per_rack=2, slots_per_node=3)
+        specs = [
+            JobSpec(name="sickA", n_learners=3, n_steps=6, seed=600,
+                    sdc_check=True, sdc_buckets=2, sdc_faults=((1, 1, 0),)),
+            JobSpec(name="sickB", n_learners=3, n_steps=6, seed=601,
+                    sdc_check=True, sdc_buckets=2, sdc_faults=((2, 1, 1),)),
+            JobSpec(name="clean", n_learners=3, n_steps=10, seed=602,
+                    sdc_check=True, elastic_grow=True),
         ]
     else:  # node-kill, link-degrade
         specs = [
@@ -416,11 +450,13 @@ def _reference_params(
     (elastic grow itself disabled, so the reference only ever does what
     the script says)."""
     key = (spec.seed, spec.n_learners, spec.n_steps, spec.batch_per_gpu,
-           spec.records_per_learner, spec.reducer, shrinks, grows)
+           spec.records_per_learner, spec.reducer, spec.sdc_check,
+           shrinks, grows)
     if key not in cache:
         ref_spec = replace(
             spec, arrival=0.0, priority=0, elastic_grow=False,
             scripted_shrinks=tuple(shrinks), scripted_grows=tuple(grows),
+            sdc_faults=(),
         )
         _report, scheduler, _rec = _run_fleet(
             [ref_spec], "pack", cluster_kw
@@ -550,8 +586,76 @@ def _check_point(
                     f"migration not attributed to the sick node and its "
                     f"drain reason: {migrates[0].text!r}"
                 )
+    # 8. SDC points: detect before apply, attribute, contain, migrate.
+    if point.kind in SDC_KINDS:
+        violations.extend(_check_sdc(point, cluster_kw, report, scheduler))
     # 7. No slot double-granted: every grant resolves exactly once.
     violations.extend(_audit_grow_grants(report))
+    return violations
+
+
+def _check_sdc(
+    point: FleetChaosPoint,
+    cluster_kw: dict,
+    report: FleetReport,
+    scheduler: FleetScheduler,
+) -> list[str]:
+    """The sdc point's invariant 8: every flip detected and quarantined
+    before any optimizer apply, repeat strikes drain the node, hosted
+    learners migrate, and fingerprinting leaves a clean fleet's event
+    log byte-identical."""
+    violations: list[str] = []
+    detects = [e for e in report.events if e.kind == "sdc-detect"]
+    injected = sum(
+        len(j.sdc_injected) for j in scheduler.jobs.values()
+    )
+    expected = sum(
+        len(j.spec.sdc_faults) for j in scheduler.jobs.values()
+    )
+    if injected != expected:
+        violations.append(
+            f"{expected} scripted sdc flips but only {injected} injected"
+        )
+    if len(detects) != injected:
+        violations.append(
+            f"{injected} injected flips but {len(detects)} sdc-detect "
+            f"events — a flip reached the optimizer undetected"
+        )
+    for job in scheduler.jobs.values():
+        for iteration, slot, _bucket in job.sdc_injected:
+            if (iteration, slot) not in job.shrink_log:
+                violations.append(
+                    f"job {job.name}: flip at iteration {iteration} slot "
+                    f"{slot} never quarantined (shrinks {job.shrink_log})"
+                )
+    drains = [e for e in report.events if e.kind == "drain"]
+    if not any("corruption" in e.text for e in drains):
+        violations.append(
+            "repeat SDC strikes never drained the offending node"
+        )
+    migrates = [e for e in report.events if e.kind == "migrate"]
+    if not any("corruption" in e.text for e in migrates):
+        violations.append(
+            "no learner migrated off the drained corrupting node"
+        )
+    # Clean-fleet equivalence: same workload, faults stripped, no health
+    # monitor — the event timeline must be byte-identical with
+    # fingerprinting on and off (zero-sim-event bookkeeping).
+    logs = []
+    for check in (True, False):
+        clean_specs = [
+            replace(j.spec, sdc_faults=(), sdc_check=check)
+            for j in scheduler.jobs.values()
+        ]
+        clean_report, _s, _r = _run_fleet(
+            clean_specs, point.placement, cluster_kw
+        )
+        logs.append([str(e) for e in clean_report.events])
+    if logs[0] != logs[1]:
+        violations.append(
+            "fingerprinting perturbed a clean fleet's event log "
+            "(zero-sim-event bookkeeping broken)"
+        )
     return violations
 
 
@@ -624,6 +728,8 @@ def _points(kinds, placements, smoke: bool) -> list[FleetChaosPoint]:
         for kind in GROW_KINDS:
             if kind in kinds:
                 points.append(FleetChaosPoint(kind, placement, 2))
+        if "sdc" in kinds:
+            points.append(FleetChaosPoint("sdc", placement, 3))
     return points
 
 
@@ -660,11 +766,22 @@ def fleet_chaos_sweep(
         else:
             trigger = None
         max_queued = 2 if point.kind == "burst-arrival" else None
-        health = _FLAP_HEALTH if point.kind == "node-flap" else None
+        if point.kind == "node-flap":
+            health = _FLAP_HEALTH
+        elif point.kind in SDC_KINDS:
+            health = _SDC_HEALTH
+        else:
+            health = None
         ref_key = (point.kind, point.placement, point.n_jobs)
         if ref_key not in ref_makespans:
+            # The sdc point's disturbance lives in the specs themselves;
+            # strip it so the makespan reference is genuinely fault-free.
+            ref_specs = (
+                [replace(s, sdc_faults=()) for s in specs]
+                if point.kind in SDC_KINDS else specs
+            )
             ref_report, _s, _r = _run_fleet(
-                specs, point.placement, cluster_kw,
+                ref_specs, point.placement, cluster_kw,
                 seed=seed, max_queued=max_queued,
             )
             ref_makespans[ref_key] = ref_report.makespan

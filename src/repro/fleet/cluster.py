@@ -101,6 +101,9 @@ class SharedCluster:
         self._busy_integral = 0.0
         self._capacity_integral = 0.0
         self._last_account = 0.0
+        # Confirmed silent-data-corruption detections per node since its
+        # last drain — the compute-plane health signal.
+        self._sdc_counts: dict[int, int] = {}
 
     # -- topology helpers ---------------------------------------------------
     @property
@@ -219,6 +222,24 @@ class SharedCluster:
         node.alive = True
         self._capacity += node.slots
         self._busy += node.used
+
+    # -- silent-data-corruption ledger --------------------------------------
+    def record_sdc(self, node_index: int) -> int:
+        """Charge one confirmed SDC detection to a node; returns the new
+        count.  Attribution (which learner, hence which node) happens at
+        the allreduce boundary in :mod:`repro.train.sdc`; the scheduler
+        books each confirmed event here so the health monitor sees repeat
+        offenders across *jobs*."""
+        self._sdc_counts[node_index] = self._sdc_counts.get(node_index, 0) + 1
+        return self._sdc_counts[node_index]
+
+    def sdc_count(self, node_index: int) -> int:
+        return self._sdc_counts.get(node_index, 0)
+
+    def clear_sdc(self, node_index: int) -> None:
+        """Reset a node's SDC strikes (on drain: the fault follows the
+        hardware out of service, and a later revived node starts clean)."""
+        self._sdc_counts.pop(node_index, None)
 
     def leaked_placements(self) -> list[tuple[int, str, int]]:
         """Every slot still held, as ``(node, job_name, count)``."""

@@ -7,7 +7,9 @@ every job it hosts until a collective watchdog finally times out.  The
 monitor closes that gap: it polls each live node's runtime signals
 (worst residual link-bandwidth factor via
 :meth:`~repro.fleet.cluster.SharedCluster.node_link_factor`, reduce-CPU
-queue depth via :meth:`~repro.mpi.world.MPIWorld.cpu_queue_depth`),
+queue depth via :meth:`~repro.mpi.world.MPIWorld.cpu_queue_depth`, and
+confirmed silent-data-corruption strikes via
+:meth:`~repro.fleet.cluster.SharedCluster.sdc_count`),
 classifies them with a pure :class:`~repro.train.faults.DrainPolicy`,
 and — after the policy's ``strikes`` *consecutive* unhealthy polls, so a
 single transient queue spike never moves a learner — asks the scheduler
@@ -65,6 +67,7 @@ def health_monitor(cluster, scheduler, health: HealthPolicy):
                 node=node.index,
                 cpu_queue_depth=cluster.world.cpu_queue_depth(node.index),
                 link_factor=min(1.0, cluster.node_link_factor(node.index)),
+                sdc_count=cluster.sdc_count(node.index),
             )
             reason = policy.classify(signal)
             if reason is None:

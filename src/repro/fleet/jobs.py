@@ -57,6 +57,7 @@ from repro.sim.engine import Interrupt
 from repro.train.checkpoint import TrainerCheckpoint
 from repro.train.distributed import DistributedSGDTrainer
 from repro.train.schedule import WarmupStepSchedule
+from repro.train.sdc import SDCDetected, SDCGuard, flip_bit
 
 __all__ = [
     "JobSpec",
@@ -107,6 +108,15 @@ class JobSpec:
     #: compute (slot is the appended index, i.e. the live count before
     #: the grow).
     scripted_grows: tuple[tuple[int, int], ...] = ()
+    #: Audit every collective boundary for silent data corruption
+    #: (:mod:`repro.train.sdc`); pure bookkeeping, so a clean run's fleet
+    #: event log is byte-identical with it on or off.
+    sdc_check: bool = False
+    #: Gradient buckets the SDC guard fingerprints per learner.
+    sdc_buckets: int = 2
+    #: SDC injections: ``((iteration, slot, bucket), ...)`` — flip one bit
+    #: of that slot's gradient bucket between backward and the collective.
+    sdc_faults: tuple[tuple[int, int, int], ...] = ()
 
     def __post_init__(self):
         if self.n_learners < 1 or self.n_steps < 1:
@@ -117,6 +127,26 @@ class JobSpec:
             self.n_learners, self.n_steps,
             self.scripted_shrinks, self.scripted_grows,
         )
+        if self.sdc_buckets < 1:
+            raise ValueError("sdc_buckets must be >= 1")
+        if self.sdc_faults and not self.sdc_check:
+            raise ValueError(
+                "sdc_faults without sdc_check would poison training "
+                "undetected"
+            )
+        for iteration, slot, bucket in self.sdc_faults:
+            if not 0 <= iteration < self.n_steps:
+                raise ValueError(
+                    f"sdc fault at iteration {iteration} outside "
+                    f"[0, {self.n_steps})"
+                )
+            if slot < 0:
+                raise ValueError(f"sdc fault slot must be >= 0, got {slot}")
+            if not 0 <= bucket < self.sdc_buckets:
+                raise ValueError(
+                    f"sdc fault bucket {bucket} outside "
+                    f"[0, {self.sdc_buckets})"
+                )
 
 
 def validate_scripted_lineage(
@@ -273,6 +303,12 @@ class FleetJob:
         self._scripted_grows = {}
         for iteration, slot in spec.scripted_grows:
             self._scripted_grows.setdefault(iteration, []).append(slot)
+        self._sdc_by_iter: dict[int, list[tuple[int, int]]] = {}
+        for iteration, slot, bucket in spec.sdc_faults:
+            self._sdc_by_iter.setdefault(iteration, []).append((slot, bucket))
+        #: ``(iteration, slot, bucket)`` flips that actually fired — the
+        #: chaos sweep checks every one of these produced a detection.
+        self.sdc_injected: list[tuple[int, int, int]] = []
 
     # -- identity / bookkeeping --------------------------------------------
     @property
@@ -377,13 +413,59 @@ class FleetJob:
                     yield engine.timeout(spec.compute_time)
                     grads, losses = trainer.step_compute()
                     grads = self._apply_scripted_shrinks(grads)
+                    guard = pre = None
+                    if spec.sdc_check:
+                        guard = SDCGuard(grads[0].size, spec.sdc_buckets)
+                        # Honest post-backward claims, then the injected
+                        # flip lands between fingerprint and collective.
+                        pre = [guard.fingerprint(g) for g in grads]
+                        self._inject_sdc(grads, guard)
                     telemetry = CollectiveTelemetry()
-                    buffers, _ = yield from guarded_fleet_allreduce(
-                        self._cluster, self, grads, telemetry
-                    )
-                    for victim in telemetry.repaired_ranks:
-                        self.record_shrink(trainer.iteration, victim)
-                        trainer.absorb_failure(victim, reshuffle=False)
+                    handled = 0
+                    sdc_retries = 0
+                    while True:
+                        buffers, _ = yield from guarded_fleet_allreduce(
+                            self._cluster, self, grads, telemetry
+                        )
+                        new_victims = telemetry.repaired_ranks[handled:]
+                        for victim in new_victims:
+                            handled += 1
+                            self.record_shrink(trainer.iteration, victim)
+                            trainer.absorb_failure(victim, reshuffle=False)
+                            if guard is not None:
+                                del grads[victim]
+                                del pre[victim]
+                        if guard is None:
+                            break
+                        verdict = guard.check(
+                            pre, grads, [b.array for b in buffers],
+                            recompute=trainer._recompute_grad,
+                        )
+                        if verdict.ok:
+                            break
+                        if not verdict.suspects:
+                            # In-flight corruption spread to every replica:
+                            # retry the collective (transient specs are
+                            # exhausted per attempt), give up if persistent.
+                            sdc_retries += 1
+                            if sdc_retries > spec.max_retries:
+                                raise SDCDetected(verdict, trainer.iteration)
+                            continue
+                        # Quarantine each named corrupter before any
+                        # optimizer apply, then re-run on the survivors.
+                        for offset, suspect in enumerate(
+                            sorted(verdict.suspects)
+                        ):
+                            slot = suspect - offset
+                            self._scheduler.on_sdc(
+                                self, slot, self.placement[slot],
+                                verdict.detail,
+                            )
+                            self.record_shrink(trainer.iteration, slot)
+                            trainer.absorb_failure(slot, reshuffle=False)
+                            self.drop_slot(slot)
+                            del grads[slot]
+                            del pre[slot]
                     trainer.step_apply(buffers[0].array, len(buffers), losses)
                     self.telemetry.steps += 1
                     self.telemetry.retries += telemetry.retries
@@ -424,6 +506,20 @@ class FleetJob:
             trainer.absorb_failure(slot, reshuffle=False)
             self.drop_slot(slot)
         return grads
+
+    def _inject_sdc(self, grads, guard: SDCGuard) -> None:
+        """Fire this iteration's scripted SDC flips (mid-bucket bit 62).
+
+        A slot whose learner is already gone (shrunk earlier in the
+        lineage) is skipped — the fault targeted hardware that no longer
+        hosts a learner of ours.
+        """
+        for slot, bucket in self._sdc_by_iter.get(self.trainer.iteration, ()):
+            if slot >= len(grads):
+                continue
+            lo, hi = guard.ranges[bucket]
+            flip_bit(grads[slot], lo + (hi - lo) // 2)
+            self.sdc_injected.append((self.trainer.iteration, slot, bucket))
 
     def _incorporate_grows(self) -> None:
         """Join granted (or scripted) learners at this iteration boundary.

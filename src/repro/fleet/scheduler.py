@@ -514,6 +514,9 @@ class FleetScheduler:
         if not node.alive or node_index in self.draining:
             return
         self.draining.add(node_index)
+        # The node leaves service with its SDC strikes: a later revive
+        # starts from a clean compute-plane record.
+        self.cluster.clear_sdc(node_index)
         self._log(
             "drain",
             f"node {node_index} (rack {self.cluster.rack_of(node_index)}) "
@@ -560,6 +563,26 @@ class FleetScheduler:
             self._kick()
 
     # -- job callbacks -------------------------------------------------------
+    def on_sdc(self, job, slot: int, node_index: int, detail: str) -> int:
+        """Book one confirmed SDC detection against the hosting node.
+
+        Called by a job at the allreduce boundary, *before* it absorbs
+        the quarantined learner (so ``slot`` still resolves).  The strike
+        lands in the cluster's per-node ledger, where the health monitor
+        reads it — a repeat offender crosses ``DrainPolicy.sdc_threshold``
+        and is drained exactly like a degraded link.  Returns the node's
+        updated strike count.
+        """
+        count = self.cluster.record_sdc(node_index)
+        self._log(
+            "sdc-detect",
+            f"{job.name}: learner {job.learner_id(slot)} on node "
+            f"{node_index} quarantined for silent data corruption "
+            f"(node strike {count}): {detail}",
+            job=job.name, node=node_index, slot=slot, strikes=count,
+        )
+        return count
+
     def on_slot_freed(self, job: FleetJob, node_index: int) -> None:
         self._log(
             "release", f"{job.name} released node {node_index}",

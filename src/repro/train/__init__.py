@@ -9,10 +9,12 @@
 * :mod:`repro.train.accuracy` — the convergence surrogate producing
   top-1/loss curves (Figures 13-16) without 10^18 real FLOPs.
 * :mod:`repro.train.injection` — live fault injection (crash / degrade /
-  delay / drop / corrupt) into the simulated collectives, with elastic
-  recovery in
-  the trainer and bit-exact checkpoint/restore in
-  :mod:`repro.train.checkpoint`.
+  delay / drop / corrupt / sdc) into the simulated collectives and the
+  compute plane, with elastic recovery in the trainer and bit-exact
+  checkpoint/restore in :mod:`repro.train.checkpoint`.
+* :mod:`repro.train.sdc` — silent-data-corruption defense: per-bucket
+  gradient fingerprints checked at the allreduce boundary, attribution
+  of the corrupting rank, quarantine and bit-exact re-run.
 """
 
 from repro.train.schedule import WarmupStepSchedule
@@ -21,8 +23,10 @@ from repro.train.pipeline import EpochTimeModel, IterationBreakdown
 from repro.train.accuracy import AccuracyModel
 from repro.train.checkpoint import TrainerCheckpoint
 from repro.train.injection import (
+    FAULT_KINDS,
     CollectiveTimeout,
     FaultInjector,
+    FaultKind,
     FaultPlan,
     FaultSpec,
     RankFailure,
@@ -31,7 +35,9 @@ from repro.train.injection import (
     degrade_links,
     delay_messages,
     drop_messages,
+    sdc_flip,
 )
+from repro.train.sdc import SDCDetected, SDCGuard, SDCVerdict
 from repro.train.metrics import scaling_efficiency, speedup, time_to_epoch
 
 __all__ = [
@@ -39,11 +45,16 @@ __all__ = [
     "CollectiveTimeout",
     "DistributedSGDTrainer",
     "EpochTimeModel",
+    "FAULT_KINDS",
     "FaultInjector",
+    "FaultKind",
     "FaultPlan",
     "FaultSpec",
     "IterationBreakdown",
     "RankFailure",
+    "SDCDetected",
+    "SDCGuard",
+    "SDCVerdict",
     "TrainStepResult",
     "TrainerCheckpoint",
     "WarmupStepSchedule",
@@ -54,5 +65,6 @@ __all__ = [
     "drop_messages",
     "scaling_efficiency",
     "speedup",
+    "sdc_flip",
     "time_to_epoch",
 ]

@@ -70,6 +70,7 @@ class TrainStepResult:
     retries: int = 0             # collective attempts beyond the first
     backoff: float = 0.0         # simulated seconds of retry backoff
     faults: tuple[str, ...] = () # human-readable fault events this step
+    quarantined: tuple[int, ...] = ()  # learner ids expelled for SDC
 
 
 class DistributedSGDTrainer:
@@ -101,6 +102,10 @@ class DistributedSGDTrainer:
         step_fwd_time: float = 0.0,
         step_bwd_time: float = 0.0,
         step_buckets: int = 1,
+        sdc_check: bool = False,
+        sdc_tolerance: float = 16.0,
+        sdc_recompute: bool = True,
+        sdc_audit_time: float = 0.0,
     ):
         """
         Parameters
@@ -163,6 +168,29 @@ class DistributedSGDTrainer:
         step_buckets:
             Gradient buckets for backward/allreduce overlap in the step
             DAG.
+        sdc_check:
+            Audit every allreduce boundary for silent data corruption
+            (:mod:`repro.train.sdc`): each learner fingerprints its
+            gradient buckets after backward, and before any update
+            applies the group cross-checks replica agreement and the
+            allreduce's linearity.  A named corrupter is *quarantined*
+            (elastic shrink) and the iteration re-runs on the survivors,
+            bit-exact versus a scripted shrink; an unattributable hit
+            (in-flight corruption spread to every replica) retries the
+            collective.  Pure bookkeeping outside the simulation: clean
+            runs are byte-identical to ``sdc_check=False``.  Requires a
+            simulated reducer.
+        sdc_tolerance:
+            Tolerance factor for the linearity checksum (multiplies the
+            standard recursive-summation error bound).
+        sdc_recompute:
+            Confirm a single suspect by deterministically recomputing its
+            corrupted bucket from the batch RNG.
+        sdc_audit_time:
+            Modeled GPU seconds (per whole gradient) the step DAG prices
+            for the fingerprint audit steps; requires ``step_dag`` and
+            defaults to 0.0 (audit steps exist but cost nothing, keeping
+            timings bit-identical).
         """
         if not stores:
             raise ValueError("need at least one learner store")
@@ -197,6 +225,32 @@ class DistributedSGDTrainer:
             raise ValueError("step_buckets must be >= 1")
         if step_fwd_time < 0 or step_bwd_time < 0:
             raise ValueError("step compute times must be >= 0")
+        if sdc_check and reducer == "exact":
+            raise ValueError(
+                "sdc_check audits the simulated allreduce boundary; "
+                "reducer='exact' bypasses it"
+            )
+        if sdc_tolerance <= 0:
+            raise ValueError("sdc_tolerance must be > 0")
+        if sdc_audit_time < 0:
+            raise ValueError("sdc_audit_time must be >= 0")
+        if sdc_audit_time > 0 and not step_dag:
+            raise ValueError(
+                "sdc_audit_time prices the step DAG's audit steps; "
+                "it needs step_dag=True"
+            )
+        if fault_plan is not None and not sdc_check:
+            from repro.train.injection import FAULT_KINDS
+            compute_kinds = sorted({
+                s.kind for s in fault_plan.specs
+                if FAULT_KINDS[s.kind].plane == "compute"
+            })
+            if compute_kinds:
+                raise ValueError(
+                    f"fault plan injects compute-plane kind(s) "
+                    f"{compute_kinds} but sdc_check is off — the flips "
+                    "would poison training undetected"
+                )
         self.gpus_per_node = gpus_per_node
         self.batch_per_gpu = batch_per_gpu
         self.stores = stores
@@ -217,6 +271,10 @@ class DistributedSGDTrainer:
         self.step_fwd_time = step_fwd_time
         self.step_bwd_time = step_bwd_time
         self.step_buckets = step_buckets
+        self.sdc_check = sdc_check
+        self.sdc_tolerance = sdc_tolerance
+        self.sdc_recompute = sdc_recompute
+        self.sdc_audit_time = sdc_audit_time
         self.fault_injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
@@ -338,6 +396,7 @@ class DistributedSGDTrainer:
             retries=stats.retries,
             backoff=stats.backoff,
             faults=tuple(str(ev) for ev in stats.fault_events),
+            quarantined=tuple(stats.quarantined),
         )
 
     def train_epoch(self) -> list[TrainStepResult]:
@@ -534,6 +593,8 @@ class DistributedSGDTrainer:
                 n_buckets=self.step_buckets,
                 algorithm=self.reducer,
                 memory="data",
+                audit=self.sdc_check,
+                audit_time=self.sdc_audit_time,
                 **kwargs,
             )
 
@@ -554,6 +615,27 @@ class DistributedSGDTrainer:
         telemetry = CollectiveTelemetry()
         surgical = self.collective_repair == "surgical"
         repaired_handled = 0
+        guard = pre = None
+        sdc_retries = 0
+        if self.sdc_check:
+            from repro.train.sdc import SDCDetected, SDCGuard
+
+            guard = SDCGuard(
+                grads[0].size, self.step_buckets,
+                tolerance_factor=self.sdc_tolerance,
+            )
+            # Each rank's post-backward claim, digested *before* any
+            # compute fault fires: the injected flip lands between the
+            # fingerprint and the send, exactly the window a silent GPU
+            # fault occupies.
+            pre = [guard.fingerprint(g) for g in grads]
+            if self.fault_injector is not None:
+                fired = self.fault_injector.apply_compute_faults(
+                    grads, self.iteration, bucket_ranges=guard.ranges,
+                )
+                # run_guarded only harvests injector events recorded
+                # after it arms; these fired before it is entered.
+                self._step_stats.fault_events.extend(fired)
         try:
             while True:
                 try:
@@ -573,13 +655,81 @@ class DistributedSGDTrainer:
                 except RankFailure as failure:
                     # restart mode: full shrink, then rerun from scratch.
                     grads = self._shrink(failure.rank, grads)
+                    if pre is not None:
+                        pre = [
+                            fp for slot, fp in enumerate(pre)
+                            if slot != failure.rank
+                        ]
                     continue
                 # surgical mode: the collective already completed on the
                 # survivor group — absorb each victim's learner state now.
-                for victim in telemetry.repaired_ranks[repaired_handled:]:
+                new_victims = telemetry.repaired_ranks[repaired_handled:]
+                for victim in new_victims:
                     repaired_handled += 1
                     self._shrink_state(victim)
-                return buffers[0].array, len(buffers)
+                if new_victims and guard is not None:
+                    # Keep the gradient/fingerprint lists aligned with the
+                    # survivor group in case the audit forces a re-run.
+                    for victim in new_victims:
+                        grads = [
+                            g for slot, g in enumerate(grads)
+                            if slot != victim
+                        ]
+                        pre = [
+                            fp for slot, fp in enumerate(pre)
+                            if slot != victim
+                        ]
+                if guard is None:
+                    return buffers[0].array, len(buffers)
+                verdict = guard.check(
+                    pre, grads, [b.array for b in buffers],
+                    recompute=(
+                        self._recompute_grad if self.sdc_recompute else None
+                    ),
+                )
+                if verdict.ok:
+                    return buffers[0].array, len(buffers)
+                if verdict.suspects:
+                    # Attribute → quarantine each named corrupter (an
+                    # elastic shrink) and re-run on the survivors from
+                    # the already-snapshotted honest gradients.
+                    suspects = sorted(verdict.suspects)
+                    gone = set(suspects)
+                    for offset, suspect in enumerate(suspects):
+                        event = FaultEvent(
+                            "sdc-detect", self.iteration, suspect,
+                            telemetry.sim_time, verdict.detail,
+                        )
+                        self._step_stats.fault_events.append(event)
+                        if self.fault_injector is not None:
+                            self.fault_injector.record(event)
+                        slot = suspect - offset
+                        self._step_stats.quarantined.append(
+                            self.learner_ids[slot]
+                        )
+                        self._shrink_state(slot)
+                    grads = [
+                        g for slot, g in enumerate(grads) if slot not in gone
+                    ]
+                    pre = [
+                        fp for slot, fp in enumerate(pre) if slot not in gone
+                    ]
+                    continue
+                # Detected but unattributable: corruption in flight that
+                # spread to every replica (no rank's fed data contradicts
+                # its claim).  Retry the collective — transient faults are
+                # exhausted per attempt — and only give up if it persists.
+                event = FaultEvent(
+                    "sdc-detect", self.iteration, None,
+                    telemetry.sim_time, verdict.detail,
+                )
+                self._step_stats.fault_events.append(event)
+                if self.fault_injector is not None:
+                    self.fault_injector.record(event)
+                sdc_retries += 1
+                if sdc_retries > self.max_retries:
+                    raise SDCDetected(verdict, self.iteration)
+                self._step_stats.retries += 1
         finally:
             stats = self._step_stats
             stats.sim_time += telemetry.sim_time
@@ -596,6 +746,18 @@ class DistributedSGDTrainer:
                 stats.fault_events.append(event)
                 if self.fault_injector is not None:
                     self.fault_injector.record(event)
+
+    def _recompute_grad(self, slot: int, lo: int, hi: int) -> np.ndarray:
+        """Deterministically regenerate one learner's gradient window.
+
+        The batch RNG is keyed by ``(seed, learner id, iteration)``, so
+        re-running forward/backward reproduces the honest gradient bit
+        for bit — the confirmation step of the SDC attribution.
+        """
+        rng = rng_for(self.seed, "batch", self.learner_ids[slot], self.iteration)
+        images, labels = self.stores[slot].random_batch(self.node_batch, rng)
+        _, grads = self.tables[slot].forward_backward(images, labels)
+        return grads[lo:hi]
 
     def _shrink(self, lost_slot: int, grads: list[np.ndarray]) -> list[np.ndarray]:
         """Elastic recovery from a permanent rank loss (restart mode).
@@ -667,3 +829,4 @@ class _StepStats:
     retries: int = 0
     backoff: float = 0.0
     fault_events: list = field(default_factory=list)
+    quarantined: list = field(default_factory=list)

@@ -61,12 +61,16 @@ class NodeHealthSignal:
     ``cpu_queue_depth`` is the node's reduce/copy CPU queue length (how
     many collective operations are stacked up behind it — the Nessi-style
     queue-depth signal), ``link_factor`` the worst residual bandwidth
-    factor on the node's links (1.0 healthy, <1 after a live degrade).
+    factor on the node's links (1.0 healthy, <1 after a live degrade),
+    ``sdc_count`` the confirmed silent-data-corruption detections
+    attributed to the node since its last drain (the compute-plane
+    integrity signal of :mod:`repro.train.sdc`).
     """
 
     node: int
     cpu_queue_depth: int
     link_factor: float
+    sdc_count: int = 0
 
     def __post_init__(self) -> None:
         if self.cpu_queue_depth < 0:
@@ -75,6 +79,8 @@ class NodeHealthSignal:
             raise ValueError(
                 f"link_factor must be in (0, 1], got {self.link_factor}"
             )
+        if self.sdc_count < 0:
+            raise ValueError("sdc_count must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,7 @@ class DrainPolicy:
 
     link_factor_threshold: float | None = 0.5
     queue_depth_threshold: int | None = None
+    sdc_threshold: int | None = None
     strikes: int = 2
 
     def __post_init__(self) -> None:
@@ -104,13 +111,18 @@ class DrainPolicy:
             and self.queue_depth_threshold < 1
         ):
             raise ValueError("queue_depth_threshold must be >= 1")
+        if self.sdc_threshold is not None and self.sdc_threshold < 1:
+            raise ValueError("sdc_threshold must be >= 1")
         if self.strikes < 1:
             raise ValueError("strikes must be >= 1")
         if (
             self.link_factor_threshold is None
             and self.queue_depth_threshold is None
+            and self.sdc_threshold is None
         ):
-            raise ValueError("policy watches neither links nor CPU queues")
+            raise ValueError(
+                "policy watches neither links, CPU queues nor SDC strikes"
+            )
 
     def classify(self, signal: NodeHealthSignal) -> str | None:
         """Drain reason for one poll of ``signal``, or ``None`` if healthy."""
@@ -129,6 +141,14 @@ class DrainPolicy:
             return (
                 f"cpu queue depth {signal.cpu_queue_depth} >= "
                 f"{self.queue_depth_threshold}"
+            )
+        if (
+            self.sdc_threshold is not None
+            and signal.sdc_count >= self.sdc_threshold
+        ):
+            return (
+                f"silent data corruption ({signal.sdc_count} confirmed "
+                f"event(s) >= {self.sdc_threshold})"
             )
         return None
 

@@ -18,6 +18,16 @@ through the real code paths:
 * **corrupt** — a message payload is bit-flipped in transit (same size,
   same timing); the receiver's CRC validation detects it, names the
   sender, and the transactional shuffle rolls back and retries.
+* **sdc** — a compute buffer window is bit-flipped *between backward and
+  allreduce* (a silent GPU fault): the payload is bit-valid, so no CRC
+  catches it; the :mod:`repro.train.sdc` fingerprint invariants at the
+  allreduce boundary do, before any optimizer applies.
+
+Fault kinds are registered in :data:`FAULT_KINDS`, which records for
+each the plane it attacks, whether it carries a per-attempt payload
+budget (``count``), and whether it must name a target rank — the
+validation in :meth:`FaultSpec.__post_init__` reads the registry, so a
+new kind cannot silently skip e.g. the ``count >= 1`` check.
 
 A :class:`FaultPlan` is a declarative schedule of :class:`FaultSpec`
 entries keyed by trainer iteration; :class:`FaultInjector` arms the live
@@ -39,8 +49,10 @@ from repro.sim.engine import Engine, Process
 
 __all__ = [
     "CollectiveTimeout",
+    "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
+    "FaultKind",
     "FaultPlan",
     "FaultSpec",
     "RankFailure",
@@ -49,9 +61,66 @@ __all__ = [
     "degrade_links",
     "delay_messages",
     "drop_messages",
+    "sdc_flip",
 ]
 
-_KINDS = ("crash", "degrade", "delay", "drop", "corrupt")
+
+@dataclass(frozen=True)
+class FaultKind:
+    """Registry entry describing one injectable fault kind.
+
+    ``payload`` kinds affect a budget of ``count`` messages/elements per
+    attempt (and so must validate ``count >= 1``); ``needs_rank`` kinds
+    cannot default to the any-sender wildcard.
+    """
+
+    name: str
+    plane: str          # "process" | "network" | "compute"
+    doc: str            # one line, shown by `repro faults --list`
+    payload: bool = False
+    needs_rank: bool = False
+
+
+FAULT_KINDS: dict[str, FaultKind] = {
+    k.name: k for k in (
+        FaultKind(
+            "crash", "process",
+            "kill a rank process mid-collective (fail-stop, permanent)",
+            needs_rank=True,
+        ),
+        FaultKind(
+            "degrade", "network",
+            "rescale a host's link bandwidth mid-flight (transient if "
+            "duration set)",
+            needs_rank=True,
+        ),
+        FaultKind(
+            "delay", "network",
+            "hold messages on the wire for extra seconds before transfer",
+            payload=True,
+        ),
+        FaultKind(
+            "drop", "network",
+            "lose message payloads in transit until a collective timeout "
+            "fires",
+            payload=True,
+        ),
+        FaultKind(
+            "corrupt", "network",
+            "bit-flip message payloads in transit; CRC/fingerprint checks "
+            "detect and retry",
+            payload=True,
+        ),
+        FaultKind(
+            "sdc", "compute",
+            "bit-flip a gradient bucket between backward and allreduce; "
+            "fingerprint invariants detect before any optimizer apply",
+            payload=True, needs_rank=True,
+        ),
+    )
+}
+
+_KINDS = tuple(FAULT_KINDS)
 
 # RankFailure / CollectiveTimeout now live at the executor layer
 # (repro.mpi.schedule) where the watchdog and retry logic runs; they are
@@ -76,13 +145,15 @@ class FaultSpec:
     factor: float = 0.25          # degrade: link bandwidth multiplier
     duration: float | None = None  # degrade: restore after this long
     seconds: float = 0.0          # delay: extra on-wire time per message
-    count: int = 1                # delay/drop: messages affected per attempt
+    count: int = 1                # payload kinds: messages/bits per attempt
+    bucket: int = 0               # sdc: gradient bucket index to flip
     max_firings: int = 1
     firings: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
+        if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; use {_KINDS}")
+        registered = FAULT_KINDS[self.kind]
         if self.iteration < 0:
             raise ValueError("iteration must be >= 0")
         if self.at < 0:
@@ -91,14 +162,14 @@ class FaultSpec:
             raise ValueError("degrade factor must be in (0, 1]")
         if self.kind == "delay" and self.seconds <= 0:
             raise ValueError("delay needs seconds > 0")
-        if self.kind in ("delay", "drop", "corrupt") and self.count < 1:
+        if registered.payload and self.count < 1:
             raise ValueError("count must be >= 1")
+        if self.bucket < 0:
+            raise ValueError("bucket must be >= 0")
         if self.max_firings < 1:
             raise ValueError("max_firings must be >= 1")
-        if self.kind == "crash" and self.rank is None:
-            raise ValueError("crash needs a target rank")
-        if self.kind == "degrade" and self.rank is None:
-            raise ValueError("degrade needs a target rank")
+        if registered.needs_rank and self.rank is None:
+            raise ValueError(f"{self.kind} needs a target rank")
 
     @property
     def exhausted(self) -> bool:
@@ -177,6 +248,24 @@ def corrupt_messages(
     collective.  Size and timing are unchanged — only the bytes lie."""
     return FaultSpec(
         "corrupt", iteration, rank=rank, count=count, at=at,
+        max_firings=max_firings,
+    )
+
+
+def sdc_flip(
+    rank: int,
+    iteration: int,
+    *,
+    bucket: int = 0,
+    count: int = 1,
+    max_firings: int = 1,
+) -> FaultSpec:
+    """Bit-flip ``count`` element(s) of ``rank``'s gradient ``bucket``
+    between backward and allreduce — a silent GPU compute fault.  The
+    damaged payload is bit-valid on the wire; only the fingerprint
+    invariants at the allreduce boundary can catch it."""
+    return FaultSpec(
+        "sdc", iteration, rank=rank, bucket=bucket, count=count,
         max_firings=max_firings,
     )
 
@@ -262,6 +351,10 @@ class FaultInjector:
         group = len(procs)
         live = []
         for spec in self.plan.live_specs(iteration):
+            if FAULT_KINDS[spec.kind].plane == "compute":
+                # Compute faults fire between backward and allreduce via
+                # apply_compute_faults, never inside the simulation.
+                continue
             if spec.rank is not None and not 0 <= spec.rank < group:
                 if self._max_group is not None and spec.rank < self._max_group:
                     # Shrink-then-rearm: the spec addressed a group rank
@@ -286,6 +379,63 @@ class FaultInjector:
 
     def events_since(self, mark: int) -> list[FaultEvent]:
         return self.events[mark:]
+
+    def apply_compute_faults(
+        self,
+        grads: list,
+        iteration: int,
+        *,
+        bucket_ranges: list[tuple[int, int]],
+    ) -> list[FaultEvent]:
+        """Fire this iteration's compute-plane (``"sdc"``) specs.
+
+        Called by the trainer after backward, before the allreduce, with
+        the per-rank gradient arrays and the guard's bucket windows.
+        Flips ``count`` evenly spread bits inside the spec's bucket of
+        the target rank's gradient, in place.  Returns the events fired
+        (also recorded), so the caller can fold them into step telemetry
+        — :func:`~repro.mpi.schedule.run_guarded` only harvests events
+        recorded after *it* arms, and these fire before it is entered.
+        """
+        from repro.train.sdc import FLIP_BIT, flip_bit
+
+        group = len(grads)
+        fired: list[FaultEvent] = []
+        for spec in self.plan.live_specs(iteration):
+            if FAULT_KINDS[spec.kind].plane != "compute":
+                continue
+            if not 0 <= spec.rank < group:
+                if self._max_group is not None and spec.rank < self._max_group:
+                    continue  # stale after a shrink, like arm()
+                raise ValueError(
+                    f"fault spec {spec.kind!r} targets rank {spec.rank}, but "
+                    f"the group has {group} rank(s)"
+                )
+            if spec.bucket >= len(bucket_ranges):
+                raise ValueError(
+                    f"fault spec {spec.kind!r} targets bucket {spec.bucket}, "
+                    f"but the gradient has {len(bucket_ranges)} bucket(s)"
+                )
+            lo, hi = bucket_ranges[spec.bucket]
+            width = hi - lo
+            if width < 1:
+                raise ValueError(
+                    f"fault spec {spec.kind!r} targets empty bucket "
+                    f"{spec.bucket} [{lo}:{hi}]"
+                )
+            spec.firings += 1
+            n_flips = min(spec.count, width)
+            for j in range(n_flips):
+                flip_bit(grads[spec.rank], lo + (width * (2 * j + 1)) // (2 * n_flips))
+            event = FaultEvent(
+                "sdc", iteration, spec.rank, 0.0,
+                f"{n_flips} bit(s) flipped in gradient bucket {spec.bucket} "
+                f"[{lo}:{hi}] (bit {FLIP_BIT}) between backward and allreduce",
+            )
+            self.record(event)
+            fired.append(event)
+        self._max_group = max(self._max_group or 0, group)
+        return fired
 
 
 class _ArmedFaults:

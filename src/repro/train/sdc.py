@@ -1,0 +1,288 @@
+"""Silent-data-corruption defense for the compute plane.
+
+The data plane carries per-record CRCs end to end and every comm schedule
+is statically proved, but a rank whose GPU silently flips a bit in a
+bucket gradient produces a *bit-valid* payload that passes every existing
+check, gets summed into the allreduce, and poisons all replicas.  This
+module closes that hole with two invariants checked at the allreduce
+boundary, before any optimizer applies:
+
+* **Invariant A (replica agreement)** — allreduce is a broadcast of one
+  sum, so every rank's post-allreduce bucket must be bit-identical.
+  Each rank fingerprints its result buckets
+  (:func:`repro.utils.digest.array_fingerprint`); any divergence is
+  corruption *after* the sum formed, and minority vote names the rank
+  holding the odd replica out.
+* **Invariant B (linearity)** — allreduce is a linear operator, so the
+  post-sum checksum (sum of the bucket's elements) must equal the
+  combined pre-sum checksums, within a calibrated float tolerance.  A
+  bit flipped *before* the sum passes invariant A (the wrong sum is
+  faithfully replicated everywhere) but breaks B.  Attribution then
+  compares what each rank actually *fed* the collective against the
+  fingerprint it claimed after backward; an optional deterministic
+  single-bucket recompute confirms the suspect.
+
+Everything here is pure-Python bookkeeping **outside** the simulation:
+no events, no messages, no time — so clean runs with the guard enabled
+are byte-identical to guard-off runs.  The real-world cost of auditing
+is modeled only as an explicit knob (the ``audit_time`` of
+:func:`repro.train.stepdag.compile_bucketed_step`'s gated audit steps),
+benchmarked in ``benchmarks/test_ablation_sdc.py``.
+
+The tolerance for invariant B scales as
+``tolerance_factor * eps * n_terms * max(sum |x|, 1)`` where ``n_terms``
+is the number of float additions folded into the comparison (ranks ×
+bucket width) — the standard forward error bound for recursive summation
+— while the reference side uses :func:`math.fsum`, so a flipped high
+exponent bit (the injector's bit 62) lands orders of magnitude outside
+it and honest reduction-order noise lands well inside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.datatypes import chunk_ranges
+from repro.utils.digest import array_fingerprint
+
+__all__ = [
+    "FLIP_BIT",
+    "BucketFingerprint",
+    "SDCDetected",
+    "SDCGuard",
+    "SDCVerdict",
+    "flip_bit",
+]
+
+#: Default bit to flip when injecting: a high exponent bit of a float64,
+#: so the corruption is far above any summation tolerance.
+FLIP_BIT = 62
+
+
+def flip_bit(array: np.ndarray, index: int, bit: int = FLIP_BIT) -> None:
+    """Flip one bit of ``array``'s float64 element at ``index``, in place.
+
+    Works through a uint64 view so the damage is exactly one bit — the
+    payload stays the same size and shape, only the bytes lie.
+    """
+    if array.dtype != np.float64:
+        raise ValueError(f"sdc flip needs a float64 buffer, got {array.dtype}")
+    if not 0 <= index < array.size:
+        raise ValueError(f"flip index {index} out of range for size {array.size}")
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit must be in [0, 64), got {bit}")
+    flat = array.reshape(-1)
+    flat.view(np.uint64)[index] ^= np.uint64(1) << np.uint64(bit)
+
+
+@dataclass(frozen=True)
+class BucketFingerprint:
+    """One rank's digest of one gradient bucket.
+
+    ``crc`` is the bit-level fingerprint (order-sensitive, collision
+    probability ~2**-32 per check); ``checksum`` the float64 element sum
+    that crosses the allreduce linearly; ``abs_sum`` the magnitude mass
+    that calibrates the tolerance.
+    """
+
+    bucket: int
+    lo: int
+    hi: int
+    crc: int
+    checksum: float
+    abs_sum: float
+
+
+@dataclass(frozen=True)
+class SDCVerdict:
+    """Outcome of one allreduce-boundary audit.
+
+    ``suspects`` are group ranks (at check time) the attribution named;
+    empty with ``ok=False`` means the corruption was detected but no
+    single rank explains it (e.g. an in-flight payload flip early in a
+    reduce-scatter that spread to every replica) — the caller should
+    retry the collective rather than quarantine.
+    """
+
+    ok: bool
+    bucket: int | None = None
+    invariant: str | None = None
+    suspects: tuple[int, ...] = ()
+    recompute_confirmed: bool | None = None
+    detail: str = ""
+
+
+class SDCDetected(RuntimeError):
+    """Corruption detected at the allreduce boundary and not repaired."""
+
+    def __init__(self, verdict: SDCVerdict, iteration: int):
+        super().__init__(
+            f"silent data corruption at iteration {iteration}: {verdict.detail}"
+        )
+        self.verdict = verdict
+        self.iteration = iteration
+
+
+class SDCGuard:
+    """Per-bucket fingerprint bookkeeping for one gradient geometry.
+
+    One guard serves a whole run of a fixed gradient size; buckets follow
+    the same :func:`chunk_ranges` block split the step DAG uses for its
+    per-bucket allreduce splice, so an audit step gated on bucket *i*
+    covers exactly the window fingerprinted here.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        n_buckets: int = 1,
+        *,
+        tolerance_factor: float = 16.0,
+    ):
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        if tolerance_factor <= 0:
+            raise ValueError(
+                f"tolerance_factor must be > 0, got {tolerance_factor}"
+            )
+        self.count = count
+        self.tolerance_factor = float(tolerance_factor)
+        self.ranges: list[tuple[int, int]] = chunk_ranges(count, n_buckets)
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.ranges)
+
+    def fingerprint(self, array: np.ndarray) -> tuple[BucketFingerprint, ...]:
+        """Digest every bucket window of one rank's gradient."""
+        if array.size != self.count:
+            raise ValueError(
+                f"gradient has {array.size} elements, guard expects {self.count}"
+            )
+        flat = array.reshape(-1)
+        prints = []
+        # A flipped exponent bit can push a window sum to inf/NaN; that is
+        # exactly what invariant B catches, so the overflow is expected.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for i, (lo, hi) in enumerate(self.ranges):
+                window = flat[lo:hi]
+                prints.append(BucketFingerprint(
+                    bucket=i, lo=lo, hi=hi,
+                    crc=array_fingerprint(window, label=i),
+                    checksum=float(np.sum(window, dtype=np.float64)),
+                    abs_sum=float(np.sum(np.abs(window), dtype=np.float64)),
+                ))
+        return tuple(prints)
+
+    def tolerance(self, pre_column: list[BucketFingerprint]) -> float:
+        """Forward error bound for invariant B on one bucket column.
+
+        ``n_terms`` counts the float additions whose rounding the
+        comparison must absorb: each of ``n_ranks`` ranks summed its
+        bucket window serially, the tree reduction combined the ranks,
+        and the post-sum checksum re-folded the window once more.
+        """
+        n_ranks = len(pre_column)
+        width = pre_column[0].hi - pre_column[0].lo
+        abs_total = math.fsum(fp.abs_sum for fp in pre_column)
+        n_terms = max(1, (n_ranks + 1) * max(width, 1))
+        eps = float(np.finfo(np.float64).eps)
+        return self.tolerance_factor * eps * n_terms * max(abs_total, 1.0)
+
+    def check(
+        self,
+        pre: list[tuple[BucketFingerprint, ...]],
+        fed: list[np.ndarray],
+        results: list[np.ndarray],
+        *,
+        recompute=None,
+    ) -> SDCVerdict:
+        """Audit one allreduce boundary; call before any optimizer apply.
+
+        ``pre`` holds each rank's post-backward fingerprints, ``fed`` the
+        arrays the ranks actually handed the collective (to attribute a
+        flip that happened between backward and the send), ``results``
+        each rank's post-allreduce replica.  ``recompute``, when given,
+        maps ``(rank, lo, hi) -> np.ndarray`` deterministically
+        regenerating one rank's bucket window to confirm a suspect.
+        """
+        n_ranks = len(pre)
+        if not (len(fed) == len(results) == n_ranks):
+            raise ValueError(
+                f"pre/fed/results disagree on group size: "
+                f"{n_ranks}/{len(fed)}/{len(results)}"
+            )
+        post = [self.fingerprint(r) for r in results]
+
+        for i, (lo, hi) in enumerate(self.ranges):
+            # Invariant A: every post-allreduce replica is bit-identical.
+            crcs = [post[r][i].crc for r in range(n_ranks)]
+            if len(set(crcs)) > 1:
+                votes: dict[int, list[int]] = {}
+                for r, crc in enumerate(crcs):
+                    votes.setdefault(crc, []).append(r)
+                majority = max(len(ranks) for ranks in votes.values())
+                suspects = tuple(sorted(
+                    r for ranks in votes.values() if len(ranks) < majority
+                    for r in ranks
+                ))
+                return SDCVerdict(
+                    ok=False, bucket=i, invariant="replica-divergence",
+                    suspects=suspects,
+                    detail=(
+                        f"bucket {i} [{lo}:{hi}] post-allreduce replicas "
+                        f"diverge ({len(votes)} distinct fingerprints across "
+                        f"{n_ranks} rank(s)); minority rank(s) "
+                        f"{list(suspects) or '<none>'}"
+                    ),
+                )
+
+            # Invariant B: linearity — post sum == combined pre sums.
+            column = [pre[r][i] for r in range(n_ranks)]
+            expected = math.fsum(fp.checksum for fp in column)
+            actual = post[0][i].checksum
+            tol = self.tolerance(column)
+            error = abs(actual - expected)
+            # NaN error (a flip that made the sum inf/NaN) compares False
+            # against the tolerance, so it is detected too.
+            if not error <= tol:
+                suspects_list = []
+                confirmed = None
+                for r in range(n_ranks):
+                    window = fed[r].reshape(-1)[lo:hi]
+                    if array_fingerprint(window, label=i) != column[r].crc:
+                        suspects_list.append(r)
+                if recompute is not None and len(suspects_list) == 1:
+                    honest = recompute(suspects_list[0], lo, hi)
+                    fed_window = fed[suspects_list[0]].reshape(-1)[lo:hi]
+                    confirmed = bool(
+                        array_fingerprint(np.asarray(honest).reshape(-1), label=i)
+                        != array_fingerprint(fed_window, label=i)
+                    )
+                suspects = tuple(suspects_list)
+                who = (
+                    f"rank(s) {list(suspects)} fed data that contradicts "
+                    "their post-backward fingerprints"
+                    if suspects else
+                    "no rank's fed data contradicts its fingerprint "
+                    "(in-flight corruption spread to all replicas)"
+                )
+                return SDCVerdict(
+                    ok=False, bucket=i, invariant="linearity",
+                    suspects=suspects, recompute_confirmed=confirmed,
+                    detail=(
+                        f"bucket {i} [{lo}:{hi}] post-sum checksum off by "
+                        f"{error:.6g} (tolerance {tol:.6g}); {who}"
+                        + (
+                            "; recompute confirms" if confirmed
+                            else "; recompute exonerates" if confirmed is False
+                            else ""
+                        )
+                    ),
+                )
+        return SDCVerdict(ok=True, detail="all buckets clean")

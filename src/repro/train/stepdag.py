@@ -113,6 +113,8 @@ def compile_bucketed_step(
     segment_bytes: Callable[[int], int] | int | None = None,
     serialize_buckets: bool = True,
     memory: str = "data",
+    audit: bool = False,
+    audit_time: float = 0.0,
     **alg_kwargs,
 ) -> Schedule:
     """Lower one training iteration to a single unified Schedule.
@@ -127,6 +129,16 @@ def compile_bucketed_step(
     rank's bucket-*i* collective additionally waits for that rank's
     bucket-*i-1* steps — the schedule-DAG rendering of the legacy
     driver's "one collective on the NIC at a time" rule.
+
+    With ``audit`` (the SDC defense of :mod:`repro.train.sdc`) each
+    bucket gains a read-only ``OptimStep`` ("sdc audit") between the
+    bucket's allreduce and its real optimizer step: ``dst_buf=None``
+    with the bucket's window, so the semantic verify pass proves the
+    fingerprint check reads *fully reduced* data — the audit inherits
+    the ``unreduced-optim-read`` contract coverage for free — and the
+    real update cannot fire before the audit.  ``audit_time`` models the
+    per-element cost of fingerprinting; at the default ``0.0`` the added
+    steps leave every timing bit-identical.
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -136,6 +148,8 @@ def compile_bucketed_step(
         raise ValueError("compute times must be >= 0")
     if n_buckets < 1:
         raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    if audit_time < 0:
+        raise ValueError(f"audit_time must be >= 0, got {audit_time}")
     if memory not in ("data", "staged"):
         raise ValueError(f"memory must be 'data' or 'staged', got {memory!r}")
     try:
@@ -210,6 +224,10 @@ def compile_bucketed_step(
                 prev_exits[rank] = exits[rank]
 
     # Per-bucket parameter updates, chained in bucket order per rank.
+    # With auditing, a read-only OptimStep (dst_buf=None) sits between
+    # the bucket's allreduce and its real update: the verifier's
+    # unreduced-optim-read check then proves the fingerprint audit sees
+    # fully reduced data, and the update is gated on the audit.
     for rank in range(n_ranks):
         prev_optim = None
         for i, (lo, hi) in enumerate(buckets):
@@ -218,6 +236,13 @@ def compile_bucketed_step(
             deps = set(bucket_exits[i][rank]) or {bwd_sid[rank][i]}
             if prev_optim is not None:
                 deps.add(prev_optim)
+            if audit:
+                audit_sid = emit(
+                    OptimStep, rank, deps, f"sdc audit bucket {i}",
+                    seconds=audit_time * (hi - lo) / count,
+                    buf=comm_buf, lo=lo, hi=hi, dst_buf=None,
+                )
+                deps = {audit_sid}
             prev_optim = emit(
                 OptimStep, rank, deps, f"optim bucket {i}",
                 seconds=optim_time * (hi - lo) / count,
@@ -226,7 +251,8 @@ def compile_bucketed_step(
 
     schedule = Schedule(
         name=(
-            f"step[{algorithm} x{n_buckets} {memory}]"
+            f"step[{algorithm} x{n_buckets} {memory}"
+            f"{' audit' if audit else ''}]"
             f"(n={n_ranks}, count={count})"
         ),
         n_ranks=n_ranks,

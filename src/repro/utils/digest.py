@@ -1,0 +1,91 @@
+"""Shared digest core for data- and compute-plane integrity checks.
+
+Extracted from :mod:`repro.data.integrity` so the compute plane's SDC
+defense (:mod:`repro.train.sdc`) and the data plane's record/shuffle
+checks share one digest implementation without a ``data`` → ``train``
+import cycle.  Everything here is pure Python/NumPy with no simulation
+coupling:
+
+* :func:`record_fingerprint` / :func:`multiset_digest` — the splitmix
+  scramble and permutation-invariant multiset sum the DIMD shuffle's
+  conservation barrier allreduces (one int64 per rank);
+* :func:`crc_of_bytes` / :func:`crc_of_ints` — plain CRC32 trailers for
+  payloads and control blocks;
+* :func:`array_fingerprint` — the bit-level digest of one buffer window
+  the SDC guard compares across ranks at the allreduce boundary (a CRC
+  of the raw bytes folded through the same scramble, so the data- and
+  compute-plane fingerprints are one family).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "DIGEST_MOD",
+    "array_fingerprint",
+    "crc_of_bytes",
+    "crc_of_ints",
+    "multiset_digest",
+    "record_fingerprint",
+]
+
+#: Digests live in [0, 2**63) so they always fit a non-negative int64.
+DIGEST_MOD = 2**63
+
+
+def crc_of_bytes(blob: bytes) -> int:
+    """CRC32 of a byte string (non-negative, < 2**32)."""
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def crc_of_ints(values) -> int:
+    """CRC32 over an int64 vector's bytes — trailer for control blocks."""
+    return zlib.crc32(
+        np.ascontiguousarray(values, dtype=np.int64).tobytes()
+    ) & 0xFFFFFFFF
+
+
+def record_fingerprint(crc: int, label: int, length: int) -> int:
+    """Order-independent per-record digest contribution.
+
+    Mixes the payload CRC with the label and length (all of which travel
+    in the shuffle metadata) through a splitmix-style scramble so that
+    swapping bytes *between* records cannot cancel out in the sum.
+    """
+    x = (
+        int(crc) * 0x9E3779B97F4A7C15
+        + int(label) * 0xBF58476D1CE4E5B9
+        + int(length) * 0x94D049BB133111EB
+        + 0x2545F4914F6CDD1D
+    ) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 29
+    return x % DIGEST_MOD
+
+
+def multiset_digest(crcs, labels, lengths) -> int:
+    """Permutation-invariant digest of a record multiset.
+
+    Summing :func:`record_fingerprint` modulo ``2**63`` makes the digest
+    independent of record order and cheap to combine across ranks — the
+    conservation barrier allreduces one int64 per rank.
+    """
+    total = 0
+    for crc, label, length in zip(crcs, labels, lengths):
+        total += record_fingerprint(crc, label, length)
+    return total % DIGEST_MOD
+
+
+def array_fingerprint(array, label: int = 0) -> int:
+    """Bit-level digest of one buffer window (order-sensitive).
+
+    A CRC32 of the window's raw bytes folded through the same splitmix
+    scramble as :func:`record_fingerprint`, with the window's byte count
+    as the length term — equal arrays (bit-for-bit) digest equal, any
+    single flipped bit digests different.  The compute-plane SDC guard
+    exchanges these per gradient bucket at the allreduce boundary.
+    """
+    a = np.ascontiguousarray(array)
+    return record_fingerprint(crc_of_bytes(a.tobytes()), label, a.nbytes)

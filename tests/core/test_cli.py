@@ -138,6 +138,50 @@ def test_faults_command_exits_1_when_recovery_fails(capsys, monkeypatch):
     assert "recovery failed" in capsys.readouterr().err
 
 
+def test_faults_list_prints_registry(capsys):
+    from repro.train import FAULT_KINDS
+
+    code, out = run_cli(capsys, "faults", "--list")
+    assert code == 0
+    for name, kind in FAULT_KINDS.items():
+        assert name in out
+        assert kind.doc in out
+
+
+def test_faults_unknown_kind_exits_2(capsys):
+    code = main(["faults", "--kind", "bogus"])
+    assert code == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_faults_kind_sdc_demo(capsys):
+    code, out = run_cli(capsys, "faults", "--kind", "sdc")
+    assert code == 0
+    assert "sdc" in out
+    assert "survivors 3/4" in out
+
+
+def test_sdc_step_chaos_exit_codes(capsys, monkeypatch):
+    code, out = run_cli(
+        capsys, "chaos", "--collective", "sdc-step", "--max-points", "1"
+    )
+    assert code == 0
+    assert "sdc chaos: 1 points, 1 ok" in out
+
+    import repro.train.sdc_chaos as sdc_chaos
+
+    class FakeReport:
+        all_ok = False
+
+        def format(self):
+            return "sdc chaos: 1 points, 0 ok, 1 failed"
+
+    monkeypatch.setattr(
+        sdc_chaos, "sdc_chaos_sweep", lambda **kw: FakeReport()
+    )
+    assert main(["chaos", "--collective", "sdc-step"]) == 1
+
+
 def test_fleet_command(capsys):
     code, out = run_cli(
         capsys, "fleet", "--jobs", "3", "--steps", "3", "--events"

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.fleet import fleet_chaos_sweep
-from repro.fleet.chaos import FLEET_KINDS, GROW_KINDS, FleetChaosPoint, _points
+from repro.fleet.chaos import (
+    FLEET_KINDS,
+    GROW_KINDS,
+    SDC_KINDS,
+    FleetChaosPoint,
+    _points,
+)
 
 
 def test_smoke_sweep_holds_all_invariants():
@@ -46,6 +52,25 @@ def test_grow_kind_triggers_actually_fired():
         elif outcome.point.kind == "node-flap":
             assert "drain" in kinds and "migrate" in kinds, label
             assert long.migrations >= 1, label
+
+
+def test_sdc_kind_detects_quarantines_drains_and_migrates():
+    report = fleet_chaos_sweep(kinds=SDC_KINDS, smoke=True)
+    assert report.all_ok, "\n" + report.format()
+    for outcome in report.outcomes:
+        label = outcome.point.label()
+        kinds = [e.kind for e in outcome.report.events]
+        # One flip per sick job, both detected before any optimizer apply.
+        assert kinds.count("sdc-detect") == 2, label
+        # Cross-job strikes on the co-located node drained it and moved
+        # the hosted learners elsewhere.
+        assert "drain" in kinds and "migrate" in kinds, label
+        for name in ("sickA", "sickB"):
+            assert outcome.report.job(name).shrinks, label
+        # The clean job is never quarantined — its only disturbance is
+        # the migration off the drained node, which regrows elastically.
+        clean = outcome.report.job("clean")
+        assert clean.migrations >= 1 and clean.grows, label
 
 
 def test_unknown_kind_is_rejected():
