@@ -217,6 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "one compiler per family, 'full' all compilers")
     p.add_argument("--verbose", action="store_true",
                    help="print every schedule's report, not just failures")
+    p.add_argument("--fleet", action="store_true",
+                   help="model-check the fleet control plane instead: "
+                        "exhaustively explore event interleavings and prove "
+                        "the eight control-plane invariants (exit 0 proved, "
+                        "1 counterexample, 2 bad bounds)")
+    p.add_argument("--fleet-depth", type=int, default=None,
+                   help="with --fleet: maximum events per explored trace "
+                        "(default: the CI smoke bound's depth)")
+    p.add_argument("--fleet-steps", type=int, default=None,
+                   help="with --fleet: per-job iteration boundaries explored")
+    p.add_argument("--fleet-placement", default="pack",
+                   help="with --fleet: placement policy to check "
+                        "(pack or spread)")
+    p.add_argument("--fleet-sweep", action="store_true",
+                   help="with --fleet: the slow full bound (revive and "
+                        "undrain flaps armed) instead of the CI smoke bound")
+    p.add_argument("--fleet-max-states", type=int, default=None,
+                   help="with --fleet: abort if the exploration exceeds "
+                        "this many states (exit 2)")
+    p.add_argument("--fleet-replay", action="store_true",
+                   help="with --fleet: replay any counterexample trace "
+                        "through the real scheduler and print the audit")
     return parser
 
 
@@ -735,6 +757,8 @@ def _cmd_fleet(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    if args.fleet:
+        return _cmd_verify_fleet(args)
     from repro.mpi.chaos import smoke_algorithms
     from repro.mpi.collectives import ALLREDUCE_COMPILERS
     from repro.mpi.verify.mutate import run_mutation_suite
@@ -776,6 +800,59 @@ def _cmd_verify(args) -> int:
         )
         print(mutation.format())
         ok = ok and mutation.kill_rate >= 0.95
+
+    return 0 if ok else 1
+
+
+def _cmd_verify_fleet(args) -> int:
+    """Bounded model checking of the fleet control plane.
+
+    Exit codes: 0 all invariants proved within the bound, 1 a
+    counterexample (or escaped mutant) was found, 2 the requested bounds
+    are invalid or the exploration blew the state cap.
+    """
+    import dataclasses
+
+    from repro.fleet.verify import (
+        replay_trace,
+        run_fleet_mutation_suite,
+        smoke_bounds,
+        sweep_bounds,
+        verify_fleet,
+    )
+
+    try:
+        if args.fleet_sweep:
+            bounds = sweep_bounds(placement=args.fleet_placement)
+        else:
+            bounds = smoke_bounds(placement=args.fleet_placement)
+        overrides = {}
+        if args.fleet_depth is not None:
+            overrides["depth"] = args.fleet_depth
+        if args.fleet_steps is not None:
+            overrides["max_steps"] = args.fleet_steps
+        if overrides:
+            bounds = dataclasses.replace(bounds, **overrides)
+    except ValueError as exc:
+        print(f"bad bounds: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = verify_fleet(bounds, max_states=args.fleet_max_states)
+    except RuntimeError as exc:
+        print(f"aborted: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    ok = result.ok
+
+    if result.counterexample is not None and args.fleet_replay:
+        replay = replay_trace(bounds, result.counterexample.trace)
+        print(replay.format())
+
+    if args.mutate != "off":
+        mutation = run_fleet_mutation_suite()
+        print(mutation.format())
+        ok = ok and mutation.kill_rate == 1.0
 
     return 0 if ok else 1
 

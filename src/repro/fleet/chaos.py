@@ -41,6 +41,7 @@ bit-reproducible: same seed, same sweep, same report.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Generator, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -49,7 +50,13 @@ from repro.fleet.cluster import SharedCluster
 from repro.fleet.health import HealthPolicy
 from repro.fleet.jobs import TERMINAL, JobSpec
 from repro.fleet.scheduler import FleetReport, FleetScheduler
+from repro.sim.engine import Event
 from repro.train.faults import DrainPolicy
+
+#: A chaos trigger: a generator process the scheduler spawns alongside the
+#: fleet; it polls simulated state and fires its disturbance when the
+#: scenario's window opens, leaving evidence in ``record``.
+Trigger = Callable[[SharedCluster, FleetScheduler, dict], Iterator[Event]]
 
 __all__ = ["FleetChaosOutcome", "FleetChaosPoint", "FleetChaosReport",
            "FLEET_KINDS", "GROW_KINDS", "SDC_KINDS", "fleet_chaos_sweep"]
@@ -206,7 +213,7 @@ def _run_fleet(
     *,
     seed: int = 0,
     max_queued: int | None = None,
-    trigger=None,
+    trigger: Trigger | None = None,
     health: HealthPolicy | None = None,
 ) -> tuple[FleetReport, FleetScheduler, dict]:
     cluster = SharedCluster(**cluster_kw)
@@ -227,11 +234,13 @@ def _drained(scheduler: FleetScheduler) -> bool:
     return all(j.status in TERMINAL for j in scheduler.jobs.values())
 
 
-def _kill_trigger(hosted: int):
+def _kill_trigger(hosted: int) -> Trigger:
     """Kill the first node hosting exactly ``hosted`` jobs, once every
     job has made a step of progress (so the kill lands mid-training)."""
 
-    def trigger(cluster, scheduler, record):
+    def trigger(
+        cluster: SharedCluster, scheduler: FleetScheduler, record: dict,
+    ) -> Iterator[Event]:
         while not _drained(scheduler):
             yield cluster.engine.timeout(_POLL)
             active = [
@@ -253,10 +262,14 @@ def _kill_trigger(hosted: int):
     return trigger
 
 
-def _degrade_trigger(rack: int = 0, factor: float = 0.05, window: float = 5e-4):
+def _degrade_trigger(
+    rack: int = 0, factor: float = 0.05, window: float = 5e-4,
+) -> Trigger:
     """Degrade one rack's spine uplinks mid-run, then restore them."""
 
-    def trigger(cluster, scheduler, record):
+    def trigger(
+        cluster: SharedCluster, scheduler: FleetScheduler, record: dict,
+    ) -> Iterator[Event]:
         while not _drained(scheduler):
             yield cluster.engine.timeout(_POLL)
             if any(j.telemetry.steps >= 1 for j in scheduler.jobs.values()):
@@ -271,11 +284,13 @@ def _degrade_trigger(rack: int = 0, factor: float = 0.05, window: float = 5e-4):
     return trigger
 
 
-def _preempt_in_checkpoint_trigger(victim_name: str = "victim"):
+def _preempt_in_checkpoint_trigger(victim_name: str = "victim") -> Trigger:
     """Deliver a preemption while the victim is inside a checkpoint write —
     the torn-write window the job must commit through, then vacate from."""
 
-    def trigger(cluster, scheduler, record):
+    def trigger(
+        cluster: SharedCluster, scheduler: FleetScheduler, record: dict,
+    ) -> Iterator[Event]:
         victim = scheduler.jobs[victim_name]
         while not _drained(scheduler):
             yield cluster.engine.timeout(_POLL)
@@ -301,7 +316,12 @@ def _preempt_in_checkpoint_trigger(victim_name: str = "victim"):
     return trigger
 
 
-def _shrink_then_revive(cluster, scheduler, record, job_name="long"):
+def _shrink_then_revive(
+    cluster: SharedCluster,
+    scheduler: FleetScheduler,
+    record: dict,
+    job_name: str = "long",
+) -> Generator[Event, object, int | None]:
     """Shared grow preamble: kill one of the job's nodes mid-training,
     wait for the elastic shrink to land, then revive the node — the
     revival's placement kick hands the freed slot straight back as a
@@ -338,12 +358,14 @@ def _shrink_then_revive(cluster, scheduler, record, job_name="long"):
     return record["killed"]
 
 
-def _grow_in_flight_kill_trigger(job_name="long"):
+def _grow_in_flight_kill_trigger(job_name: str = "long") -> Trigger:
     """Kill a *granted-but-not-yet-joined* node: the grant must be
     revoked (never half-joined), and a later revival must still grow the
     job back to full strength."""
 
-    def trigger(cluster, scheduler, record):
+    def trigger(
+        cluster: SharedCluster, scheduler: FleetScheduler, record: dict,
+    ) -> Iterator[Event]:
         job = scheduler.jobs[job_name]
         node = yield from _shrink_then_revive(cluster, scheduler, record)
         if node is None:
@@ -363,12 +385,14 @@ def _grow_in_flight_kill_trigger(job_name="long"):
     return trigger
 
 
-def _kill_in_grow_replay_trigger(job_name="long"):
+def _kill_in_grow_replay_trigger(job_name: str = "long") -> Trigger:
     """Kill a placement node again *after* a grow has joined, so the
     lineage interleaves shrink → grow → shrink → grow and the reference
     replay must reproduce all four."""
 
-    def trigger(cluster, scheduler, record):
+    def trigger(
+        cluster: SharedCluster, scheduler: FleetScheduler, record: dict,
+    ) -> Iterator[Event]:
         job = scheduler.jobs[job_name]
         node = yield from _shrink_then_revive(cluster, scheduler, record)
         if node is None:
@@ -396,12 +420,14 @@ def _kill_in_grow_replay_trigger(job_name="long"):
     return trigger
 
 
-def _node_flap_trigger(job_name="long", factor: float = 0.05):
+def _node_flap_trigger(job_name: str = "long", factor: float = 0.05) -> Trigger:
     """Full flap: kill → revive → grow back, then degrade the revived
     node's links until the health monitor drains it and the job migrates
     off proactively, then restore the links and the node."""
 
-    def trigger(cluster, scheduler, record):
+    def trigger(
+        cluster: SharedCluster, scheduler: FleetScheduler, record: dict,
+    ) -> Iterator[Event]:
         job = scheduler.jobs[job_name]
         node = yield from _shrink_then_revive(cluster, scheduler, record)
         if node is None:
@@ -706,7 +732,9 @@ def _audit_grow_grants(report: FleetReport) -> list[str]:
 
 # -- the sweep ----------------------------------------------------------------
 
-def _points(kinds, placements, smoke: bool) -> list[FleetChaosPoint]:
+def _points(
+    kinds: Sequence[str], placements: Sequence[str], smoke: bool,
+) -> list[FleetChaosPoint]:
     points: list[FleetChaosPoint] = []
     # 3 and 5 jobs both leave the cluster with at least one singly- and one
     # doubly-hosted node under *both* placement policies (4 jobs pair up

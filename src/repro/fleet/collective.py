@@ -24,6 +24,11 @@ stale message from an abandoned attempt can never satisfy a retry's recv.
 
 from __future__ import annotations
 
+from collections.abc import Generator
+from typing import TYPE_CHECKING
+
+import numpy as np
+
 from repro.mpi.collectives import ALLREDUCE_COMPILERS
 from repro.mpi.datatypes import ArrayBuffer
 from repro.mpi.schedule import (
@@ -33,7 +38,11 @@ from repro.mpi.schedule import (
     ScheduleExecutor,
 )
 from repro.mpi.world import Communicator
-from repro.sim.engine import Interrupt
+from repro.sim.engine import Event, Interrupt
+
+if TYPE_CHECKING:  # circular at runtime: jobs imports this module
+    from repro.fleet.cluster import SharedCluster
+    from repro.fleet.jobs import FleetJob
 
 __all__ = ["JobLost", "abandon_attempt", "guarded_fleet_allreduce"]
 
@@ -65,7 +74,12 @@ def abandon_attempt(executor: ScheduleExecutor) -> None:
             proc.interrupt(_Abandoned())
 
 
-def guarded_fleet_allreduce(cluster, job, grads, telemetry=None):
+def guarded_fleet_allreduce(
+    cluster: SharedCluster,
+    job: FleetJob,
+    grads: list[np.ndarray],
+    telemetry: CollectiveTelemetry | None = None,
+) -> Generator[Event, object, tuple[list[ArrayBuffer], CollectiveTelemetry]]:
     """Generator: sum ``grads`` across ``job``'s live learners, guarded.
 
     Yields engine events (run it inside the job's process); returns

@@ -23,10 +23,17 @@ timeline, placements and makespan are identical with or without it.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.fleet.jobs import TERMINAL
 from repro.train.faults import DrainPolicy, NodeHealthSignal
+
+if TYPE_CHECKING:  # circular at runtime: scheduler imports this module
+    from repro.fleet.cluster import SharedCluster
+    from repro.fleet.scheduler import FleetScheduler
+    from repro.sim.engine import Event
 
 __all__ = ["HealthPolicy", "health_monitor"]
 
@@ -44,7 +51,9 @@ class HealthPolicy:
             raise ValueError("poll_every must be positive")
 
 
-def health_monitor(cluster, scheduler, health: HealthPolicy):
+def health_monitor(
+    cluster: SharedCluster, scheduler: FleetScheduler, health: HealthPolicy,
+) -> Iterator[Event]:
     """Generator process: poll node signals, drain after sustained strikes.
 
     Strike counters are per node and reset by any healthy poll, by a

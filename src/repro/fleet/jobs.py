@@ -44,7 +44,9 @@ A granted node that dies before the boundary is revoked, never joined.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -53,7 +55,11 @@ from repro.data.dimd import DIMDStore
 from repro.fleet.collective import guarded_fleet_allreduce
 from repro.models.nn import Dense, Flatten, Network, ReLU
 from repro.mpi.schedule import CollectiveTelemetry
-from repro.sim.engine import Interrupt
+from repro.sim.engine import Event, Interrupt
+
+if TYPE_CHECKING:  # circular at runtime: scheduler imports this module
+    from repro.fleet.cluster import SharedCluster
+    from repro.fleet.scheduler import FleetScheduler
 from repro.train.checkpoint import TrainerCheckpoint
 from repro.train.distributed import DistributedSGDTrainer
 from repro.train.schedule import WarmupStepSchedule
@@ -118,7 +124,7 @@ class JobSpec:
     #: of that slot's gradient bucket between backward and the collective.
     sdc_faults: tuple[tuple[int, int, int], ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_learners < 1 or self.n_steps < 1:
             raise ValueError("n_learners and n_steps must be >= 1")
         if self.preemption not in ("requeue", "shrink"):
@@ -210,7 +216,7 @@ def build_trainer(spec: JobSpec) -> DistributedSGDTrainer:
     """Deterministic tiny-MLP trainer for one fleet job (from its seed)."""
     n_classes = spec.n_classes
 
-    def net_factory(rng):
+    def net_factory(rng: np.random.Generator) -> Network:
         return Network(
             [Flatten(), Dense(16, 10, rng), ReLU(), Dense(10, n_classes, rng)]
         )
@@ -369,7 +375,10 @@ class FleetJob:
         self.grow_log.append((iteration, slot))
 
     # -- program -------------------------------------------------------------
-    def start(self, cluster, scheduler, placement: list[int]) -> None:
+    def start(
+        self, cluster: SharedCluster, scheduler: FleetScheduler,
+        placement: list[int],
+    ) -> None:
         """Claim ``placement`` and spawn the training process."""
         self._cluster = cluster
         self._scheduler = scheduler
@@ -401,7 +410,7 @@ class FleetJob:
         self.status = "queued"
         self._enqueued_at = now
 
-    def _program(self):
+    def _program(self) -> Iterator[Event]:
         engine = self._cluster.engine
         trainer = self.trainer
         spec = self.spec
@@ -491,7 +500,9 @@ class FleetJob:
         except Exception as exc:
             self._scheduler.on_job_error(self, exc)
 
-    def _apply_scripted_shrinks(self, grads):
+    def _apply_scripted_shrinks(
+        self, grads: list[np.ndarray]
+    ) -> list[np.ndarray]:
         """Replay a reference script's controlled shrinks for this step.
 
         Applied between gradient compute and the collective — exactly
@@ -507,7 +518,7 @@ class FleetJob:
             self.drop_slot(slot)
         return grads
 
-    def _inject_sdc(self, grads, guard: SDCGuard) -> None:
+    def _inject_sdc(self, grads: list[np.ndarray], guard: SDCGuard) -> None:
         """Fire this iteration's scripted SDC flips (mid-bucket bit 62).
 
         A slot whose learner is already gone (shrunk earlier in the
@@ -554,7 +565,7 @@ class FleetJob:
         self.telemetry.grows += 1
         self._scheduler.on_grown(self, node_index)
 
-    def _take_checkpoint(self, *, absorb_preempts: bool):
+    def _take_checkpoint(self, *, absorb_preempts: bool) -> Iterator[Event]:
         """Capture state, then pay the simulated write window.
 
         Capture is atomic (plain Python state), so a fault *during* the
@@ -593,7 +604,7 @@ class FleetJob:
         if preempted and not absorb_preempts:
             raise Interrupt(PreemptionNotice())
 
-    def _preempt_requeue(self):
+    def _preempt_requeue(self) -> Iterator[Event]:
         """Controlled preemption: checkpoint, release everything, requeue."""
         self.telemetry.preemptions += 1
         yield from self._take_checkpoint(absorb_preempts=True)
@@ -634,11 +645,11 @@ class FleetJob:
         self._scheduler.on_finished(self)
 
 
-def ckpt_net_factory(spec: JobSpec):
+def ckpt_net_factory(spec: JobSpec) -> Callable[[np.random.Generator], Network]:
     """The network factory a restored trainer needs (same as build time)."""
     n_classes = spec.n_classes
 
-    def net_factory(rng):
+    def net_factory(rng: np.random.Generator) -> Network:
         return Network(
             [Flatten(), Dense(16, 10, rng), ReLU(), Dense(10, n_classes, rng)]
         )

@@ -46,14 +46,27 @@ fleet):
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.fleet.cluster import SharedCluster
 from repro.fleet.collective import JobLost
 from repro.fleet.health import HealthPolicy, health_monitor
 from repro.fleet.jobs import TERMINAL, FleetJob, JobSpec, PreemptionNotice
+from repro.fleet.policy import (
+    FleetState,
+    JobView,
+    NodeView,
+    choose_placement,
+    drain_admissible,
+    grow_offer_order,
+    pick_grow_node,
+    scan_order,
+    select_preemption_victims,
+    wants_grow,
+)
 from repro.mpi.schedule import RankFailure
-from repro.sim.engine import SimulationError
+from repro.sim.engine import Event, Process, SimulationError
 from repro.utils.rng import rng_for
 
 __all__ = ["FleetEvent", "FleetReport", "FleetScheduler", "JobSummary"]
@@ -186,11 +199,11 @@ class FleetScheduler:
         engine.run()
         return self.report()
 
-    def spawn(self, generator, name: str = "chaos"):
+    def spawn(self, generator: Iterator[Event], name: str = "chaos") -> Process:
         """Register an auxiliary process (chaos triggers) on the engine."""
         return self.cluster.engine.process(generator, name=name)
 
-    def _arrival(self, job: FleetJob):
+    def _arrival(self, job: FleetJob) -> Iterator[Event]:
         if job.spec.arrival > 0:
             yield self.cluster.engine.timeout(job.spec.arrival)
         now = self.cluster.engine.now
@@ -214,6 +227,47 @@ class FleetScheduler:
         self._enqueue(job)
         self._kick()
 
+    # -- pure-policy snapshot ------------------------------------------------
+    def snapshot(self) -> FleetState:
+        """Serializable control-plane state the pure policy decides over.
+
+        Every decision below is ``policy_fn(self.snapshot())`` — the model
+        checker (:mod:`repro.fleet.verify`) calls the same functions on
+        snapshots of its abstract states, so checker and runtime can never
+        disagree about a decision.
+        """
+        nodes = tuple(
+            NodeView(
+                index=n.index, rack=n.rack, slots=n.slots, used=n.used,
+                alive=n.alive, draining=n.index in self.draining,
+            )
+            for n in self.cluster.nodes
+        )
+        jobs = tuple(
+            JobView(
+                name=j.name,
+                priority=j.spec.priority,
+                order=self._order.get(j.name, -1),
+                status=j.status,
+                active=(
+                    j.trainer is not None
+                    and j.proc is not None
+                    and j.proc.is_alive
+                ),
+                preemption=j.spec.preemption,
+                elastic_grow=j.spec.elastic_grow,
+                target=j.spec.n_learners,
+                needed=j.learners_needed(),
+                placement=tuple(j.placement),
+                pending_grows=tuple(j.pending_grows),
+                pending_shrinks=j.pending_shrinks,
+                preempt_pending=j.preempt_pending,
+            )
+            for j in self.jobs.values()
+        )
+        queue = tuple(j.name for j in self._queue)
+        return FleetState(self.placement, nodes, jobs, queue)
+
     # -- queue / placement --------------------------------------------------
     def _enqueue(self, job: FleetJob) -> None:
         if job.name not in self._order:
@@ -227,13 +281,13 @@ class FleetScheduler:
         progress = True
         while progress:
             progress = False
-            ordered = sorted(
-                self._queue,
-                key=lambda j: (-j.spec.priority, self._order[j.name]),
-            )
-            for job in ordered:
-                chosen = self._place(job.learners_needed())
-                if chosen is not None:
+            for name in scan_order(self.snapshot()):
+                job = self.jobs[name]
+                placed = choose_placement(
+                    self.snapshot(), job.learners_needed()
+                )
+                if placed is not None:
+                    chosen = list(placed)
                     self._queue.remove(job)
                     job.start(self.cluster, self, chosen)
                     self._log(
@@ -251,59 +305,10 @@ class FleetScheduler:
             self._offer_grows()
         return
 
-    def _place(self, k: int) -> list[int] | None:
-        """Pick ``k`` distinct nodes under the active policy, or ``None``."""
-        free = [
-            n for n in self.cluster.nodes
-            if n.alive and n.free > 0 and n.index not in self.draining
-        ]
-        if len(free) < k:
-            return None
-        by_rack: dict[int, list] = {}
-        for node in free:
-            by_rack.setdefault(node.rack, []).append(node)
-        for nodes in by_rack.values():
-            nodes.sort(key=lambda n: n.index)
-        if self.placement == "pack":
-            # Fewest racks: take racks with the most placeable nodes first.
-            racks = sorted(by_rack, key=lambda r: (-len(by_rack[r]), r))
-            chosen = []
-            for rack in racks:
-                for node in by_rack[rack]:
-                    chosen.append(node.index)
-                    if len(chosen) == k:
-                        return chosen
-            return None
-        # spread: round-robin racks so fault domains stay independent.
-        racks = sorted(by_rack)
-        chosen = []
-        cursors = {r: 0 for r in racks}
-        while len(chosen) < k:
-            advanced = False
-            for rack in racks:
-                nodes = by_rack[rack]
-                if cursors[rack] < len(nodes):
-                    chosen.append(nodes[cursors[rack]].index)
-                    cursors[rack] += 1
-                    advanced = True
-                    if len(chosen) == k:
-                        return chosen
-            if not advanced:
-                return None
-        return chosen
-
     # -- elastic grow --------------------------------------------------------
     def _grow_eligible(self, job: FleetJob) -> bool:
         """Is ``job`` running, shrunk, elastic and not on its way out?"""
-        return (
-            job.spec.elastic_grow
-            and job.trainer is not None
-            and job.status in ("running", "checkpointing")
-            and not job.preempt_pending
-            and job.proc is not None
-            and job.proc.is_alive
-            and job.n_live + len(job.pending_grows) < job.spec.n_learners
-        )
+        return wants_grow(self.snapshot().job(job.name))
 
     def _offer_grows(self) -> None:
         """Grant spare slots back to shrunk elastic jobs (priority order).
@@ -313,10 +318,8 @@ class FleetScheduler:
         ``pending_grows`` until its next iteration boundary joins the
         learner (or a node death revokes it).
         """
-        for job in sorted(
-            self.jobs.values(),
-            key=lambda j: (-j.spec.priority, self._order.get(j.name, 0)),
-        ):
+        for name in grow_offer_order(self.snapshot()):
+            job = self.jobs[name]
             while self._grow_eligible(job):
                 node_index = self._pick_grow_node(job)
                 if node_index is None:
@@ -331,26 +334,9 @@ class FleetScheduler:
                 )
 
     def _pick_grow_node(self, job: FleetJob) -> int | None:
-        """One free node for ``job``, honouring the placement policy.
-
-        Never a node the job already occupies or was granted, never a
-        draining node.  ``pack`` prefers racks the job already uses
-        (cheap allreduce), ``spread`` prefers fresh racks (independent
-        fault domains).
-        """
-        exclude = set(job.placement) | set(job.pending_grows) | self.draining
-        candidates = [
-            n for n in self.cluster.nodes
-            if n.alive and n.free > 0 and n.index not in exclude
-        ]
-        if not candidates:
-            return None
-        used_racks = {self.cluster.rack_of(n) for n in job.placement}
-        if self.placement == "pack":
-            candidates.sort(key=lambda n: (n.rack not in used_racks, n.index))
-        else:
-            candidates.sort(key=lambda n: (n.rack in used_racks, n.index))
-        return candidates[0].index
+        """One free node for ``job``, via :func:`~repro.fleet.policy.pick_grow_node`."""
+        state = self.snapshot()
+        return pick_grow_node(state, state.job(job.name))
 
     def grant_scripted_grow(self, job: FleetJob) -> int:
         """Allocate a node for one of ``job``'s scripted (reference) grows."""
@@ -384,47 +370,19 @@ class FleetScheduler:
 
     # -- preemption ---------------------------------------------------------
     def _maybe_preempt(self, job: FleetJob) -> None:
-        """Free slots for ``job`` by preempting lower-priority victims."""
-        k = job.learners_needed()
-        free = {
-            n.index: n.free for n in self.cluster.nodes if n.alive
-        }
-        # Slots already on their way back (victims mid-preemption).
-        for other in self.jobs.values():
-            if getattr(other, "preempt_pending", False) or other.pending_shrinks:
-                for node_index in other.placement:
-                    if node_index in free:
-                        free[node_index] += 1
-        if sum(1 for f in free.values() if f > 0) >= k:
-            return  # enough capacity is already draining towards us
-        victims = sorted(
-            (
-                other
-                for other in self.jobs.values()
-                if other.status in ("running", "checkpointing")
-                and not getattr(other, "preempt_pending", False)
-                and other.spec.priority < job.spec.priority
-                and other.proc is not None
-                and other.proc.is_alive
-            ),
-            key=lambda o: (o.spec.priority, -self._order.get(o.name, 0)),
-        )
-        chosen = []
-        for victim in victims:
-            if victim.spec.preemption == "shrink" and victim.n_live > 1:
-                freed_nodes = victim.placement[-1:]
-            else:
-                freed_nodes = list(victim.placement)
-            chosen.append((victim, freed_nodes))
-            for node_index in freed_nodes:
-                if node_index in free:
-                    free[node_index] += 1
-            if sum(1 for f in free.values() if f > 0) >= k:
-                break
-        else:
-            return  # even preempting everyone would not fit: just wait
-        for victim, _freed in chosen:
-            if victim.spec.preemption == "shrink" and victim.n_live > 1:
+        """Free slots for ``job`` by preempting lower-priority victims.
+
+        *Which* victims, in what order, and in which mode is the pure
+        :func:`~repro.fleet.policy.select_preemption_victims`; this
+        method only delivers the verdict (shrink request or controlled
+        preemption interrupt).
+        """
+        chosen = select_preemption_victims(self.snapshot(), job.name)
+        if chosen is None:
+            return  # capacity already coming, or preemption cannot help
+        for victim_name, mode in chosen:
+            victim = self.jobs[victim_name]
+            if mode == "shrink":
                 victim.pending_shrinks += 1
                 self._log(
                     "shrink-req",
@@ -511,7 +469,7 @@ class FleetScheduler:
         boundary without waiting for the collective watchdog to fire.
         """
         node = self.cluster.nodes[node_index]
-        if not node.alive or node_index in self.draining:
+        if not drain_admissible(self.snapshot(), node_index):
             return
         self.draining.add(node_index)
         # The node leaves service with its SDC strikes: a later revive
@@ -563,7 +521,7 @@ class FleetScheduler:
             self._kick()
 
     # -- job callbacks -------------------------------------------------------
-    def on_sdc(self, job, slot: int, node_index: int, detail: str) -> int:
+    def on_sdc(self, job: FleetJob, slot: int, node_index: int, detail: str) -> int:
         """Book one confirmed SDC detection against the hosting node.
 
         Called by a job at the allreduce boundary, *before* it absorbs
@@ -647,13 +605,13 @@ class FleetScheduler:
         job.status = "backoff"
         self.spawn(self._delayed_enqueue(job, delay), name=f"requeue:{job.name}")
 
-    def _delayed_enqueue(self, job: FleetJob, delay: float):
+    def _delayed_enqueue(self, job: FleetJob, delay: float) -> Iterator[Event]:
         yield self.cluster.engine.timeout(delay)
         self._enqueue(job)
         self._kick()
 
     # -- reporting -----------------------------------------------------------
-    def _log(self, kind: str, text: str, **data) -> None:
+    def _log(self, kind: str, text: str, **data: object) -> None:
         self.events.append(
             FleetEvent(self.cluster.engine.now, kind, text, data)
         )

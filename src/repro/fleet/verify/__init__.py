@@ -1,0 +1,71 @@
+"""Bounded model checking of the fleet control plane.
+
+An explicit-state explorer over abstract control-plane events (arrival,
+iteration boundaries, kills, revives, drains, SDC strikes, preemption,
+grow grants), sharing the runtime scheduler's *decision* code through
+:mod:`repro.fleet.policy` and mirroring its plumbing line-for-line.
+Eight invariants — the slot ledger, grant lifecycle, gang atomicity,
+lineage replayability, drain hygiene and requeue budgets — are checked
+at every reachable state up to a configurable bound; breaches come back
+as minimal event traces replayable through the real scheduler via
+:mod:`repro.fleet.verify.replay`.  :mod:`repro.fleet.verify.mutate`
+turns the checker on itself: a battery of surgical scheduler bugs it
+must kill statically.
+
+Entry points: ``repro verify --fleet`` on the CLI,
+:func:`verify_fleet` + :func:`smoke_bounds` / :func:`sweep_bounds` from
+code.
+"""
+
+from repro.fleet.verify.explore import (
+    Counterexample,
+    FleetVerifyResult,
+    smoke_bounds,
+    sweep_bounds,
+    verify_fleet,
+)
+from repro.fleet.verify.invariants import INVARIANTS, check_invariants
+from repro.fleet.verify.model import (
+    Bounds,
+    Event,
+    apply_event,
+    enabled_events,
+    initial_state,
+)
+from repro.fleet.verify.mutate import (
+    FLEET_MUTANTS,
+    FleetMutant,
+    FleetMutationRecord,
+    FleetMutationResult,
+    clean_hunt_bounds,
+    run_fleet_mutation_suite,
+)
+from repro.fleet.verify.replay import ReplayResult, replay_trace, trace_specs
+from repro.fleet.verify.state import ModelJobSpec, ModelState, Violation
+
+__all__ = [
+    "Bounds",
+    "Counterexample",
+    "Event",
+    "FLEET_MUTANTS",
+    "FleetMutant",
+    "FleetMutationRecord",
+    "FleetMutationResult",
+    "FleetVerifyResult",
+    "INVARIANTS",
+    "ModelJobSpec",
+    "ModelState",
+    "ReplayResult",
+    "Violation",
+    "apply_event",
+    "check_invariants",
+    "clean_hunt_bounds",
+    "enabled_events",
+    "initial_state",
+    "replay_trace",
+    "run_fleet_mutation_suite",
+    "smoke_bounds",
+    "sweep_bounds",
+    "trace_specs",
+    "verify_fleet",
+]

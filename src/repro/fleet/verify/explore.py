@@ -1,0 +1,220 @@
+"""Exhaustive breadth-first exploration of fleet control-plane interleavings.
+
+The explorer enumerates every interleaving of the abstract events in
+:mod:`repro.fleet.verify.model` up to ``Bounds.depth``, deduplicating
+via canonical-state hashing (two traces landing on the same control-plane
+state explore its future once), and evaluates all eight invariants at
+every reachable state.  Breadth-first order makes the first breach found
+a *minimal* counterexample: no shorter event trace violates anything.
+"""
+
+from __future__ import annotations
+
+import gc
+from collections import deque
+from dataclasses import dataclass
+
+from repro.fleet.verify.invariants import INVARIANTS, check_invariants
+from repro.fleet.verify.model import (
+    Bounds,
+    Event,
+    apply_event,
+    enabled_events,
+    initial_state,
+)
+from repro.fleet.verify.state import ModelState, Violation
+
+__all__ = [
+    "Counterexample",
+    "FleetVerifyResult",
+    "smoke_bounds",
+    "sweep_bounds",
+    "verify_fleet",
+]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal event trace reaching an invariant breach."""
+
+    invariant: str
+    detail: str
+    trace: tuple[Event, ...]
+    state: ModelState
+
+    def format(self) -> str:
+        lines = [
+            f"invariant violated: {self.invariant}",
+            f"  {self.detail}",
+            f"minimal trace ({len(self.trace)} events):",
+        ]
+        lines += [f"  {i + 1}. {event}" for i, event in enumerate(self.trace)]
+        return "\n".join(lines)
+
+
+@dataclass
+class FleetVerifyResult:
+    """Outcome of one bounded exploration."""
+
+    bounds: Bounds
+    states: int
+    transitions: int
+    frontier_depth: int
+    counterexample: Counterexample | None
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    def format(self) -> str:
+        b = self.bounds
+        head = (
+            f"fleet-verify: {len(b.jobs)} jobs x {b.n_nodes} nodes "
+            f"({b.n_racks} racks, {b.slots_per_node} slot/node, "
+            f"placement={b.placement}) depth<={b.depth}"
+        )
+        body = (
+            f"  explored {self.states} states / {self.transitions} "
+            f"transitions (frontier depth {self.frontier_depth})"
+        )
+        if self.ok:
+            proved = "\n".join(f"    {name}" for name in INVARIANTS)
+            return (
+                f"{head}\n{body}\n  PROVED all {len(INVARIANTS)} "
+                f"invariants within the bound:\n{proved}"
+            )
+        return f"{head}\n{body}\n{self.counterexample.format()}"
+
+
+def verify_fleet(
+    bounds: Bounds, *, max_states: int | None = None
+) -> FleetVerifyResult:
+    """Explore every interleaving within ``bounds``; all-clear or the
+    shortest trace to an invariant breach.
+
+    ``max_states`` caps the seen-set as a runaway guard; hitting it
+    raises ``RuntimeError`` (a truncated exploration must never report
+    "proved").
+    """
+    root = initial_state(bounds)
+    breaches = check_invariants(root, bounds)
+    if breaches:
+        return FleetVerifyResult(
+            bounds, 1, 0, 0, _first(breaches, (), root)
+        )
+    # Model states are trees (no reference cycles), but the explorer
+    # allocates millions of containers the cyclic GC would repeatedly
+    # re-scan as the seen-set grows; pause it for the search.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return _search(bounds, root, max_states)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _search(
+    bounds: Bounds, root: ModelState, max_states: int | None
+) -> FleetVerifyResult:
+    seen = {root.canonical()}
+    frontier: deque[tuple[ModelState, tuple[Event, ...]]] = deque(
+        [(root, ())]
+    )
+    states = 1
+    transitions = 0
+    frontier_depth = 0
+    while frontier:
+        state, trace = frontier.popleft()
+        if len(trace) >= bounds.depth:
+            continue
+        for event in enabled_events(state, bounds):
+            succ = apply_event(state, event, bounds)
+            transitions += 1
+            key = succ.canonical()
+            if key in seen:
+                # Invariants depend only on the state, and this exact
+                # state was checked when first reached (at <= this
+                # depth, BFS) — skipping keeps minimality.
+                continue
+            breaches = check_invariants(succ, bounds)
+            if breaches:
+                return FleetVerifyResult(
+                    bounds, states, transitions, len(trace) + 1,
+                    _first(breaches, trace + (event,), succ),
+                )
+            seen.add(key)
+            states += 1
+            if max_states is not None and states > max_states:
+                raise RuntimeError(
+                    f"exploration exceeded {max_states} states; raise "
+                    "max_states or tighten the bounds"
+                )
+            frontier_depth = max(frontier_depth, len(trace) + 1)
+            frontier.append((succ, trace + (event,)))
+    return FleetVerifyResult(bounds, states, transitions, frontier_depth, None)
+
+
+def _first(
+    breaches: list[Violation], trace: tuple[Event, ...], state: ModelState
+) -> Counterexample:
+    ordered = sorted(
+        breaches,
+        key=lambda v: (
+            INVARIANTS.index(v.invariant)
+            if v.invariant in INVARIANTS
+            else len(INVARIANTS)
+        ),
+    )
+    v = ordered[0]
+    return Counterexample(v.invariant, v.detail, trace, state)
+
+
+def smoke_bounds(
+    *,
+    depth: int = 8,
+    max_steps: int = 2,
+    placement: str = "pack",
+) -> Bounds:
+    """The CI smoke bound: 3 jobs x 4 nodes with every control-plane
+    feature armed (elastic grow, shrink-mode preemption, priority
+    arrival) under one kill, one drain and one SDC strike.
+
+    Revive and undrain budgets are zero here — flap interleavings
+    roughly 1.5x the state space and live in the slow full-bound sweep
+    (``sweep_bounds``) instead, keeping the smoke proof inside its CI
+    time budget.
+    """
+    from repro.fleet.verify.state import ModelJobSpec
+
+    return Bounds(
+        jobs=(
+            ModelJobSpec(
+                name="a", target=2, priority=0,
+                elastic_grow=True, preemption="shrink",
+            ),
+            ModelJobSpec(name="b", target=2, priority=1),
+            ModelJobSpec(name="c", target=3, priority=2),
+        ),
+        n_racks=2,
+        nodes_per_rack=2,
+        slots_per_node=1,
+        placement=placement,
+        depth=depth,
+        max_steps=max_steps,
+        max_kills=1,
+        max_revives=0,
+        max_drains=1,
+        max_undrains=0,
+        max_sdc=1,
+        max_requeues=2,
+    )
+
+
+def sweep_bounds(*, placement: str = "pack") -> Bounds:
+    """The slow full-bound sweep: the smoke workload with the flap
+    budgets armed (revive after kill, undrain after drain) at depth 9."""
+    base = smoke_bounds(depth=9, placement=placement)
+    from dataclasses import replace
+
+    return replace(base, max_revives=1, max_undrains=1)

@@ -1,0 +1,542 @@
+"""Event semantics of the fleet control plane, mirrored for the checker.
+
+Each abstract event corresponds to one entry point of the runtime
+control plane; its ``apply`` mirrors the runtime's plumbing
+*line-for-line* (same order of ledger operations, same trailing
+``_kick``), while every **decision** inside that plumbing goes through
+the shared :mod:`repro.fleet.policy` functions — so mutating a policy
+decision changes the checker and the runtime identically.
+
+| event                  | runtime entry point                              |
+|------------------------|--------------------------------------------------|
+| ``arrive(job)``        | ``FleetScheduler._arrival``                      |
+| ``step(job)``          | one loop pass of ``FleetJob._program``           |
+| ``absorb(job)``        | the guarded collective's victim repair           |
+| ``finish(job)``        | ``FleetJob._finish``                             |
+| ``preempt-yield(job)`` | ``FleetJob._preempt_requeue``                    |
+| ``sdc(job, slot)``     | SDC quarantine at the allreduce boundary         |
+| ``kill(node)``         | ``FleetScheduler.kill_node``                     |
+| ``revive(node)``       | ``FleetScheduler.revive_node``                   |
+| ``drain(node)``        | ``FleetScheduler.drain_node``                    |
+| ``undrain(node)``      | ``FleetScheduler.undrain_node``                  |
+
+The grow offer/grant/revoke lifecycle is not an event of its own: grants
+happen inside the deterministic post-event ``kick`` (as in the runtime),
+joins happen at the next ``step`` boundary, revocations inside ``kill``
+and the release paths — exactly the runtime's seams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.policy import (
+    FleetState,
+    choose_placement,
+    drain_admissible,
+    grow_offer_order,
+    pick_grow_node,
+    scan_order,
+    select_preemption_victims,
+    wants_grow,
+)
+from repro.fleet.verify.state import ModelJob, ModelJobSpec, ModelNode, ModelState
+
+__all__ = ["Bounds", "Event", "apply_event", "enabled_events", "initial_state"]
+
+#: Statuses a terminal model job can be in (mirrors ``jobs.TERMINAL``).
+MODEL_TERMINAL = ("finished", "failed", "rejected")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One abstract control-plane event: ``kind`` plus its target."""
+
+    kind: str
+    job: str | None = None
+    node: int | None = None
+    slot: int | None = None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.job is not None:
+            parts.append(f"job={self.job}")
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.slot is not None:
+            parts.append(f"slot={self.slot}")
+        return f"{self.kind}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Exploration bounds: the workload, the cluster, and event budgets."""
+
+    jobs: tuple[ModelJobSpec, ...]
+    n_racks: int = 2
+    nodes_per_rack: int = 2
+    slots_per_node: int = 1
+    placement: str = "pack"
+    #: Maximum events per trace (exploration depth).
+    depth: int = 8
+    #: Per-job iteration boundaries (``step`` events) explored.
+    max_steps: int = 2
+    max_kills: int = 1
+    max_revives: int = 1
+    max_drains: int = 1
+    max_undrains: int = 0
+    max_sdc: int = 1
+    #: Requeue budget before a job fails (mirrors ``max_requeues``).
+    max_requeues: int = 2
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.jobs]
+        if not names:
+            raise ValueError("bounds need at least one job")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names in workload: {names}")
+        if self.n_racks < 1 or self.nodes_per_rack < 1 or self.slots_per_node < 1:
+            raise ValueError("racks, nodes per rack and slots must be >= 1")
+        if self.placement not in ("pack", "spread"):
+            raise ValueError(f"unknown placement policy {self.placement!r}")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        for name in ("max_kills", "max_revives", "max_drains",
+                     "max_undrains", "max_sdc", "max_requeues"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_racks * self.nodes_per_rack
+
+
+def initial_state(bounds: Bounds) -> ModelState:
+    nodes = [
+        ModelNode(i, i // bounds.nodes_per_rack, bounds.slots_per_node)
+        for i in range(bounds.n_nodes)
+    ]
+    jobs = [ModelJob(spec) for spec in bounds.jobs]
+    return ModelState(bounds.placement, nodes, jobs)
+
+
+# -- ledger operations (mirror SharedCluster, recording instead of raising) --
+
+def _allocate(state: ModelState, job_name: str, node_index: int) -> None:
+    node = state.nodes[node_index]
+    if not node.alive:
+        state.violate(
+            "no-dead-grants",
+            f"allocate on dead node {node_index} for job {job_name!r}",
+        )
+    elif node.draining:
+        state.violate(
+            "no-dead-grants",
+            f"allocate on draining node {node_index} for job {job_name!r}",
+        )
+    elif node.free < 1:
+        state.violate(
+            "no-double-grant",
+            f"no free slot on node {node_index} for job {job_name!r}",
+        )
+    node.held[job_name] = node.held.get(job_name, 0) + 1
+
+
+def _release(state: ModelState, job_name: str, node_index: int) -> None:
+    node = state.nodes[node_index]
+    held = node.held.get(job_name, 0)
+    if held < 1:
+        state.violate(
+            "slot-conservation",
+            f"release of unheld slot on node {node_index} by {job_name!r}",
+        )
+        return
+    if held == 1:
+        del node.held[job_name]
+    else:
+        node.held[job_name] = held - 1
+
+
+def _open_grant(state: ModelState, job: ModelJob, node_index: int) -> None:
+    _allocate(state, job.name, node_index)
+    job.pending_grows += (node_index,)
+    state.grants_opened += 1
+
+
+def _close_grant(
+    state: ModelState, job: ModelJob, node_index: int, how: str
+) -> None:
+    if node_index not in job.pending_grows:
+        state.violate(
+            "grant-closure",
+            f"{how} of grant not held by {job.name!r} on node {node_index}",
+        )
+        return
+    i = job.pending_grows.index(node_index)
+    job.pending_grows = job.pending_grows[:i] + job.pending_grows[i + 1:]
+    state.grants_closed += 1
+    if how == "revoke":
+        _release(state, job.name, node_index)
+
+
+# -- job plumbing (mirror FleetJob) ------------------------------------------
+
+def _next_victim(state: ModelState, job: ModelJob) -> tuple[int, str] | None:
+    """``FleetJob.next_victim``: dead slot, else controlled shrink, else
+    migration — the guarded collective's absorb order.  Returns the
+    victim slot plus which branch chose it (``apply`` must consume the
+    matching mark: the runtime decrements ``pending_shrinks`` inside the
+    scan, before it ever looks at migrations)."""
+    for slot, node_index in enumerate(job.placement):
+        if node_index in job.dead_nodes or not state.nodes[node_index].alive:
+            return slot, "dead"
+    if job.pending_shrinks > 0 and job.n_live > 1:
+        return job.n_live - 1, "shrink"
+    if job.n_live > 1:
+        for slot, node_index in enumerate(job.placement):
+            if node_index in job.pending_migrations:
+                return slot, "migrate"
+    return None
+
+
+def _drop_slot(state: ModelState, job: ModelJob, slot: int) -> None:
+    """``FleetJob.drop_slot`` followed by the runtime's on_slot_freed kick
+    (the kick is issued by the caller)."""
+    node_index = job.placement[slot]
+    job.placement = job.placement[:slot] + job.placement[slot + 1:]
+    job.dead_nodes = tuple(n for n in job.dead_nodes if n != node_index)
+    job.pending_migrations = tuple(
+        n for n in job.pending_migrations if n != node_index
+    )
+    _release(state, job.name, node_index)
+
+
+def _release_all(state: ModelState, job: ModelJob) -> None:
+    """``FleetJob._release_all``: slots back, grants revoked, marks clear."""
+    for node_index in job.placement:
+        _release(state, job.name, node_index)
+    job.placement = ()
+    while job.pending_grows:
+        _close_grant(state, job, job.pending_grows[0], "revoke")
+    job.dead_nodes = ()
+    job.pending_migrations = ()
+
+
+def _commit_checkpoint(state: ModelState, job: ModelJob) -> None:
+    """Capture the restart state (``FleetJob._take_checkpoint`` commit)."""
+    job.saved = (
+        job.n_live, job.iteration, job.shrink_log, job.grow_log,
+    )
+
+
+def _start(state: ModelState, job: ModelJob, placed: tuple[int, ...]) -> None:
+    """``FleetJob.start``: claim the gang atomically, restore or build."""
+    for node_index in placed:
+        _allocate(state, job.name, node_index)
+    job.placement = tuple(placed)
+    if job.saved is not None:
+        _needed, iteration, shrinks, grows = job.saved
+        job.iteration = iteration
+        job.shrink_log = shrinks
+        job.grow_log = grows
+    else:
+        job.iteration = 0
+        job.shrink_log = ()
+        job.grow_log = ()
+    job.shrunk_this_iter = False
+    job.status = "running"
+
+
+def _requeue_from_loss(state: ModelState, job: ModelJob, bounds: Bounds) -> None:
+    """JobLost: release everything, then bounded requeue (backoff elided)."""
+    _release_all(state, job)
+    job.requeues += 1
+    if job.requeues > bounds.max_requeues:
+        job.status = "failed"
+        return
+    _enqueue(state, job)
+
+
+def _enqueue(state: ModelState, job: ModelJob) -> None:
+    if job.order < 0:
+        job.order = state.next_order
+        state.next_order += 1
+    job.status = "queued"
+    state.queue.append(job.name)
+
+
+# -- the deterministic kick (shared decisions, mirrored plumbing) ------------
+
+def _kick(state: ModelState) -> None:
+    """``FleetScheduler._kick``: scan, start fits, preempt, offer grows.
+
+    The runtime rebuilds a snapshot before every decision; between
+    mutations consecutive snapshots are equal, so the model reuses one
+    snapshot until something mutates (start breaks the scan, preemption
+    marks victims) — observationally identical, far fewer rebuilds.
+    """
+    progress = True
+    while progress and state.queue:
+        progress = False
+        snap = state.to_fleet_state()
+        for name in scan_order(snap):
+            job = state.job(name)
+            placed = choose_placement(snap, job.needed())
+            if placed is not None:
+                state.queue.remove(name)
+                _start(state, job, placed)
+                progress = True
+                break
+            if _maybe_preempt(state, snap, job):
+                snap = state.to_fleet_state()
+            # Gang blocked: leave it queued and backfill smaller jobs.
+    if not state.queue:
+        # Only spare capacity (no queued gang wants it) feeds grows.
+        _offer_grows(state)
+
+
+def _maybe_preempt(state: ModelState, snap: FleetState, job: ModelJob) -> bool:
+    chosen = select_preemption_victims(snap, job.name)
+    if chosen is None:
+        return False
+    for victim_name, mode in chosen:
+        victim = state.job(victim_name)
+        if mode == "shrink":
+            victim.pending_shrinks += 1
+        else:
+            victim.preempt_pending = True
+    return True
+
+
+def _offer_grows(state: ModelState) -> None:
+    snap = state.to_fleet_state()
+    for name in grow_offer_order(snap):
+        job = state.job(name)
+        while True:
+            view = snap.job(name)
+            if not wants_grow(view):
+                break
+            node_index = pick_grow_node(snap, view)
+            if node_index is None:
+                break
+            _open_grant(state, job, node_index)
+            snap = state.to_fleet_state()
+
+
+# -- events -------------------------------------------------------------------
+
+def enabled_events(state: ModelState, bounds: Bounds) -> list[Event]:
+    """Every event that may fire next, in deterministic order."""
+    events: list[Event] = []
+    n_alive = sum(1 for n in state.nodes if n.alive)
+    # Built only if a drain is still in budget (snapshots cost real time
+    # across hundreds of thousands of states).
+    snap = None
+    for job in state.jobs:
+        if job.status == "pending":
+            events.append(Event("arrive", job=job.name))
+            continue
+        running = job.status == "running"
+        if not running:
+            continue
+        if job.preempt_pending:
+            events.append(Event("preempt-yield", job=job.name))
+            continue
+        victim = _next_victim(state, job)
+        if victim is not None:
+            events.append(Event("absorb", job=job.name))
+        else:
+            # A step's collective would first absorb any pending victim,
+            # so step/finish only race with *future* faults, not past ones.
+            if job.iteration < bounds.max_steps:
+                events.append(Event("step", job=job.name))
+            if job.iteration >= 1:
+                # ``n_steps >= 1``: a job models finishing after any
+                # completed iteration (abstracting each job's n_steps),
+                # but never before its first.
+                events.append(Event("finish", job=job.name))
+        if state.sdc_strikes < bounds.max_sdc and job.n_live > 1:
+            for slot, node_index in enumerate(job.placement):
+                node = state.nodes[node_index]
+                if (
+                    node.alive and not node.draining
+                    and node_index not in job.dead_nodes
+                ):
+                    events.append(Event("sdc", job=job.name, slot=slot))
+    for node in state.nodes:
+        if node.alive:
+            # Never kill the last node: the model would only explore
+            # mass-rejection, not scheduling.
+            if state.kills < bounds.max_kills and n_alive > 1:
+                events.append(Event("kill", node=node.index))
+            if state.drains < bounds.max_drains:
+                if snap is None:
+                    snap = state.to_fleet_state()
+                if drain_admissible(snap, node.index):
+                    events.append(Event("drain", node=node.index))
+            if state.undrains < bounds.max_undrains and node.draining:
+                events.append(Event("undrain", node=node.index))
+        elif state.revives < bounds.max_revives:
+            events.append(Event("revive", node=node.index))
+    return events
+
+
+def apply_event(state: ModelState, event: Event, bounds: Bounds) -> ModelState:
+    """Apply one event to a copy of ``state`` and return the successor."""
+    state = state.clone()
+    if event.kind == "arrive":
+        _apply_arrive(state, state.job(event.job or ""))
+    elif event.kind == "step":
+        _apply_step(state, state.job(event.job or ""))
+    elif event.kind == "absorb":
+        _apply_absorb(state, state.job(event.job or ""), bounds)
+    elif event.kind == "finish":
+        _apply_finish(state, state.job(event.job or ""))
+    elif event.kind == "preempt-yield":
+        _apply_preempt_yield(state, state.job(event.job or ""))
+    elif event.kind == "sdc":
+        _apply_sdc(state, state.job(event.job or ""), event.slot or 0)
+    elif event.kind == "kill":
+        _apply_kill(state, event.node or 0)
+    elif event.kind == "revive":
+        _apply_revive(state, event.node or 0)
+    elif event.kind == "drain":
+        _apply_drain(state, event.node or 0)
+    elif event.kind == "undrain":
+        _apply_undrain(state, event.node or 0)
+    else:  # pragma: no cover - enabled_events never emits unknown kinds
+        raise ValueError(f"unknown event kind {event.kind!r}")
+    return state
+
+
+def _apply_arrive(state: ModelState, job: ModelJob) -> None:
+    """``FleetScheduler._arrival``: admission, then enqueue and kick."""
+    if job.spec.target > sum(1 for n in state.nodes if n.alive):
+        job.status = "rejected"
+        return
+    _enqueue(state, job)
+    _kick(state)
+
+
+def _apply_step(state: ModelState, job: ModelJob) -> None:
+    """One completed iteration: commit the boundary checkpoint, then join
+    pending grants at the top of the next iteration (``_incorporate_grows``
+    runs before anything else can shrink that iteration)."""
+    job.iteration += 1
+    job.shrunk_this_iter = False
+    _commit_checkpoint(state, job)
+    while job.pending_grows:
+        node_index = job.pending_grows[0]
+        if not state.nodes[node_index].alive:
+            # Granted node died before the boundary: the kill path
+            # normally revokes it, but guard anyway (mirrors the job).
+            _close_grant(state, job, node_index, "revoke")
+            continue
+        _close_grant(state, job, node_index, "join")
+        slot = job.n_live
+        job.placement += (node_index,)
+        job.grow_log += ((job.iteration, slot),)
+
+
+def _apply_absorb(state: ModelState, job: ModelJob, bounds: Bounds) -> None:
+    """The guarded collective absorbing one victim (dead node, controlled
+    shrink, or migration), or raising JobLost for a lone learner."""
+    found = _next_victim(state, job)
+    if found is None:  # pragma: no cover - only enabled with a victim
+        return
+    victim, kind = found
+    if kind == "shrink":
+        job.pending_shrinks -= 1
+    if kind == "dead" and job.n_live <= 1:
+        # ``JobLost``: the last learner's node died.
+        _requeue_from_loss(state, job, bounds)
+        _kick(state)
+        return
+    job.shrink_log += ((job.iteration, victim),)
+    job.shrunk_this_iter = True
+    _drop_slot(state, job, victim)
+    _kick(state)
+
+
+def _apply_finish(state: ModelState, job: ModelJob) -> None:
+    job.status = "finished"
+    _release_all(state, job)
+    _kick(state)
+
+
+def _apply_preempt_yield(state: ModelState, job: ModelJob) -> None:
+    """``_preempt_requeue``: checkpoint commit *then* release and requeue."""
+    _commit_checkpoint(state, job)
+    _release_all(state, job)
+    job.status = "preempted"
+    job.preempt_pending = False
+    _enqueue(state, job)
+    _kick(state)
+
+
+def _apply_sdc(state: ModelState, job: ModelJob, slot: int) -> None:
+    """SDC quarantine: strike the hosting node, shrink the suspect slot."""
+    node_index = job.placement[slot]
+    state.nodes[node_index].sdc += 1
+    state.sdc_strikes += 1
+    job.shrink_log += ((job.iteration, slot),)
+    job.shrunk_this_iter = True
+    _drop_slot(state, job, slot)
+    _kick(state)
+
+
+def _apply_kill(state: ModelState, node_index: int) -> None:
+    """``FleetScheduler.kill_node``: revoke unjoined grants on the node,
+    mark hosted learners dead, then kick."""
+    node = state.nodes[node_index]
+    node.alive = False
+    state.kills += 1
+    for job_name in sorted(node.held):
+        job = state.job(job_name)
+        if node_index in job.pending_grows:
+            _close_grant(state, job, node_index, "revoke")
+            continue
+        job.dead_nodes = tuple(sorted((*job.dead_nodes, node_index)))
+    _kick(state)
+
+
+def _apply_revive(state: ModelState, node_index: int) -> None:
+    node = state.nodes[node_index]
+    node.alive = True
+    node.draining = False
+    state.revives += 1
+    _kick(state)
+
+
+def _apply_drain(state: ModelState, node_index: int) -> None:
+    """``FleetScheduler.drain_node``: mark draining, clear the SDC ledger,
+    grant each hosted job a replacement up front, then kick."""
+    node = state.nodes[node_index]
+    node.draining = True
+    node.sdc = 0
+    state.drains += 1
+    for job_name in sorted(node.held):
+        job = state.job(job_name)
+        if (
+            job.status not in ("running", "checkpointing")
+            or node_index not in job.placement
+            or node_index in job.pending_migrations
+            or job.n_live <= 1
+        ):
+            continue
+        job.pending_migrations = tuple(
+            sorted((*job.pending_migrations, node_index))
+        )
+        snap = state.to_fleet_state()
+        replacement = pick_grow_node(snap, snap.job(job.name))
+        if replacement is not None:
+            _open_grant(state, job, replacement)
+    _kick(state)
+
+
+def _apply_undrain(state: ModelState, node_index: int) -> None:
+    state.nodes[node_index].draining = False
+    state.undrains += 1
+    _kick(state)

@@ -1,0 +1,539 @@
+"""Mutation self-test: surgical control-plane bugs the checker must kill.
+
+Each mutant re-introduces one small, realistic scheduler bug — placing a
+gang on a draining node, granting growth from the drained set, leaving a
+grow grant dangling on a killed node, freeing a slot twice, committing
+the preemption checkpoint *after* releasing the gang, forgetting to
+clear a drained node's SDC ledger, and so on.  Policy mutants are
+patched into every namespace that binds the shared function —
+:mod:`repro.fleet.policy`, the checker's :mod:`~repro.fleet.verify.model`
+*and* the runtime :mod:`~repro.fleet.scheduler` — so one mutation is
+visible to both consumers of the pure-policy seam; plumbing mutants
+patch the checker's line-for-line mirror of the runtime entry point they
+break.
+
+Every mutant is then hunted **statically**: :func:`verify_fleet` is run
+over a bound known to exercise the mutated seam, and the mutant counts
+as *killed* when the explorer returns a counterexample (any invariant —
+a bug often breaches several; the hunt does not insist on a particular
+one, though each mutant records the invariant it aims at).  The suite
+asserts a 100% kill rate: a surviving mutant is a hole in the invariant
+set or the bounds, not a flaky test.
+
+Hunt bounds are deliberately small (one or two jobs where the seam
+allows it): mutation testing needs *a* counterexample, and a tight
+workload finds it in milliseconds instead of re-exploring the full CI
+smoke bound per mutant.  The unmutated model must prove clean under
+every hunt bound — :func:`clean_hunt_bounds` enumerates them for the
+baseline test — so a kill is attributable to the mutation alone.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.fleet import policy, scheduler as _runtime
+from repro.fleet.policy import ACTIVE_STATUSES, FleetState, JobView
+from repro.fleet.verify import model
+from repro.fleet.verify.explore import (
+    FleetVerifyResult,
+    smoke_bounds,
+    verify_fleet,
+)
+from repro.fleet.verify.model import Bounds
+from repro.fleet.verify.state import ModelJob, ModelJobSpec, ModelState
+
+__all__ = [
+    "FLEET_MUTANTS",
+    "FleetMutant",
+    "FleetMutationRecord",
+    "FleetMutationResult",
+    "clean_hunt_bounds",
+    "run_fleet_mutation_suite",
+]
+
+#: Modules where a shared policy name may be bound (import-by-name).
+_SEAMS = (policy, model, _runtime)
+
+#: Originals captured at import time for wrapping mutants.
+_ORIG_CHOOSE_PLACEMENT = policy.choose_placement
+_ORIG_PICK_GROW_NODE = policy.pick_grow_node
+
+
+@dataclass(frozen=True)
+class FleetMutant:
+    """One surgical bug: what to patch, where to hunt, what should trip."""
+
+    operator: str
+    description: str
+    #: Invariant the mutant is aimed at (documentation; any breach kills).
+    expected: str
+    #: ``(attribute name, replacement)`` pairs, patched into every seam
+    #: module that binds the name.
+    patches: tuple[tuple[str, Callable[..., Any]], ...]
+    bounds: Bounds
+
+
+@dataclass(frozen=True)
+class FleetMutationRecord:
+    """Verdict on one mutant."""
+
+    operator: str
+    description: str
+    expected: str
+    #: Invariant of the counterexample found, or ``None`` (escaped).
+    caught: str | None
+    #: Length of the minimal killing trace (0 when escaped).
+    trace_len: int
+
+    @property
+    def killed(self) -> bool:
+        return self.caught is not None
+
+
+@dataclass
+class FleetMutationResult:
+    """Aggregate of one mutation sweep."""
+
+    records: list[FleetMutationRecord] = field(default_factory=list)
+
+    @property
+    def escaped(self) -> list[FleetMutationRecord]:
+        return [r for r in self.records if not r.killed]
+
+    @property
+    def kill_rate(self) -> float:
+        if not self.records:
+            return 1.0
+        return sum(r.killed for r in self.records) / len(self.records)
+
+    @property
+    def invariants_exercised(self) -> set[str]:
+        return {r.caught for r in self.records if r.caught is not None}
+
+    def format(self) -> str:
+        lines = [
+            f"fleet mutation sweep: {len(self.records)} mutants, "
+            f"kill rate {self.kill_rate:.1%}"
+        ]
+        for r in self.records:
+            if r.killed:
+                lines.append(
+                    f"  KILLED {r.operator}: {r.caught} "
+                    f"(trace of {r.trace_len}) — {r.description}"
+                )
+            else:
+                lines.append(
+                    f"  ESCAPED {r.operator}: {r.description} "
+                    f"(aimed at {r.expected})"
+                )
+        return "\n".join(lines)
+
+
+# -- policy mutants (patched into runtime and checker alike) ------------------
+
+def _nodes_with(state: FleetState, **overrides: Any) -> FleetState:
+    """Doctor every node view — how a mutant 'forgets' a status check."""
+    return state._replace(
+        nodes=tuple(n._replace(**overrides) for n in state.nodes)
+    )
+
+
+def _place_on_draining(state: FleetState, k: int) -> tuple[int, ...] | None:
+    """Placement scorer forgets the draining check."""
+    return _ORIG_CHOOSE_PLACEMENT(_nodes_with(state, draining=False), k)
+
+
+def _place_stale_ledger(state: FleetState, k: int) -> tuple[int, ...] | None:
+    """Placement scorer reads a stale ledger: every node looks free."""
+    return _ORIG_CHOOSE_PLACEMENT(_nodes_with(state, used=0), k)
+
+
+def _grant_from_draining(state: FleetState, job: JobView) -> int | None:
+    """Grow-node choice forgets the draining check."""
+    return _ORIG_PICK_GROW_NODE(_nodes_with(state, draining=False), job)
+
+
+def _grant_to_dead(state: FleetState, job: JobView) -> int | None:
+    """Grow-node choice treats every node as alive."""
+    return _ORIG_PICK_GROW_NODE(_nodes_with(state, alive=True), job)
+
+
+def _grow_past_target(job: JobView) -> bool:
+    """Off-by-one: a full gang still asks for one more learner."""
+    return (
+        job.elastic_grow
+        and job.status in ACTIVE_STATUSES
+        and job.active
+        and not job.preempt_pending
+        and job.n_live + len(job.pending_grows) <= job.target
+    )
+
+
+# -- plumbing mutants (the checker's mirror of a runtime entry point) ---------
+
+def _kill_keeps_grants(state: ModelState, node_index: int) -> None:
+    """``kill_node`` forgets to revoke unjoined grants on the dead node."""
+    node = state.nodes[node_index]
+    node.alive = False
+    state.kills += 1
+    for job_name in sorted(node.held):
+        job = state.job(job_name)
+        if node_index in job.pending_grows:
+            continue  # BUG: the grant dangles on a dead node
+        job.dead_nodes = tuple(sorted((*job.dead_nodes, node_index)))
+    model._kick(state)
+
+
+def _double_free_slot(state: ModelState, job: ModelJob, slot: int) -> None:
+    """The slot-freed path fires twice for one dropped learner."""
+    node_index = job.placement[slot]
+    job.placement = job.placement[:slot] + job.placement[slot + 1:]
+    job.dead_nodes = tuple(n for n in job.dead_nodes if n != node_index)
+    job.pending_migrations = tuple(
+        n for n in job.pending_migrations if n != node_index
+    )
+    model._release(state, job.name, node_index)
+    model._release(state, job.name, node_index)  # BUG: freed twice
+
+
+def _preempt_release_before_checkpoint(
+    state: ModelState, job: ModelJob
+) -> None:
+    """Preemption releases the gang first — the checkpoint sees nothing."""
+    model._release_all(state, job)  # BUG: runs before the commit
+    model._commit_checkpoint(state, job)
+    job.status = "preempted"
+    job.preempt_pending = False
+    model._enqueue(state, job)
+    model._kick(state)
+
+
+def _drain_keeps_sdc(state: ModelState, node_index: int) -> None:
+    """``drain_node`` forgets to clear the node's SDC strike ledger."""
+    node = state.nodes[node_index]
+    node.draining = True
+    state.drains += 1  # BUG: ``node.sdc`` never reset
+    for job_name in sorted(node.held):
+        job = state.job(job_name)
+        if (
+            job.status not in ("running", "checkpointing")
+            or node_index not in job.placement
+            or node_index in job.pending_migrations
+            or job.n_live <= 1
+        ):
+            continue
+        job.pending_migrations = tuple(
+            sorted((*job.pending_migrations, node_index))
+        )
+        snap = state.to_fleet_state()
+        replacement = model.pick_grow_node(snap, snap.job(job.name))
+        if replacement is not None:
+            model._open_grant(state, job, replacement)
+    model._kick(state)
+
+
+def _start_uncharged(
+    state: ModelState, job: ModelJob, placed: tuple[int, ...]
+) -> None:
+    """``start`` claims the gang without charging the shared ledger."""
+    job.placement = tuple(placed)  # BUG: ``_allocate`` never called
+    if job.saved is not None:
+        _needed, iteration, shrinks, grows = job.saved
+        job.iteration = iteration
+        job.shrink_log = shrinks
+        job.grow_log = grows
+    else:
+        job.iteration = 0
+        job.shrink_log = ()
+        job.grow_log = ()
+    job.shrunk_this_iter = False
+    job.status = "running"
+
+
+def _requeue_forever(
+    state: ModelState, job: ModelJob, bounds: Bounds
+) -> None:
+    """JobLost requeues without ever consulting the budget."""
+    model._release_all(state, job)
+    job.requeues += 1  # BUG: over-budget check dropped
+    model._enqueue(state, job)
+
+
+def _step_mislogs_grow(state: ModelState, job: ModelJob) -> None:
+    """Grant join records the wrong slot in the lineage grow log."""
+    job.iteration += 1
+    job.shrunk_this_iter = False
+    model._commit_checkpoint(state, job)
+    while job.pending_grows:
+        node_index = job.pending_grows[0]
+        if not state.nodes[node_index].alive:
+            model._close_grant(state, job, node_index, "revoke")
+            continue
+        model._close_grant(state, job, node_index, "join")
+        slot = job.n_live
+        job.placement += (node_index,)
+        job.grow_log += ((job.iteration, slot + 1),)  # BUG: off by one
+
+
+def _revoke_leaks_slot(
+    state: ModelState, job: ModelJob, node_index: int, how: str
+) -> None:
+    """Revocation drops the grant record but never returns the slot."""
+    if node_index not in job.pending_grows:
+        state.violate(
+            "grant-closure",
+            f"{how} of grant not held by {job.name!r} on node {node_index}",
+        )
+        return
+    i = job.pending_grows.index(node_index)
+    job.pending_grows = job.pending_grows[:i] + job.pending_grows[i + 1:]
+    state.grants_closed += 1
+    # BUG: the revoked slot is never released back to the ledger.
+
+
+def _grant_off_books(
+    state: ModelState, job: ModelJob, node_index: int
+) -> None:
+    """A grant is opened without entering the open/close audit trail."""
+    model._allocate(state, job.name, node_index)
+    job.pending_grows += (node_index,)
+    # BUG: ``grants_opened`` never incremented.
+
+
+# -- hunt bounds --------------------------------------------------------------
+
+def _solo_bounds() -> Bounds:
+    """One elastic job on 2x2: the cheapest bound exercising shrink,
+    grow, kill, drain and SDC seams."""
+    return Bounds(
+        jobs=(
+            ModelJobSpec(
+                name="a", target=2, elastic_grow=True, preemption="shrink"
+            ),
+        ),
+        n_racks=2,
+        nodes_per_rack=2,
+        slots_per_node=1,
+        placement="pack",
+        depth=6,
+        max_steps=2,
+        max_kills=1,
+        max_revives=0,
+        max_drains=1,
+        max_undrains=0,
+        max_sdc=1,
+        max_requeues=2,
+    )
+
+
+def _pair_bounds() -> Bounds:
+    """The solo job plus a filler gang pinning the spare rack, so the
+    only 'free' capacity a buggy grow policy can find is dead."""
+    solo = _solo_bounds()
+    return Bounds(
+        jobs=(*solo.jobs, ModelJobSpec(name="b", target=2)),
+        n_racks=2,
+        nodes_per_rack=2,
+        slots_per_node=1,
+        placement="pack",
+        depth=6,
+        max_steps=2,
+        max_kills=1,
+        max_revives=0,
+        max_drains=0,
+        max_undrains=0,
+        max_sdc=0,
+        max_requeues=2,
+    )
+
+
+def _preempt_bounds() -> Bounds:
+    """The three-job smoke workload under ``spread``, deep enough for
+    arrival -> preemption -> yield -> restart."""
+    return smoke_bounds(depth=5, placement="spread")
+
+
+def _requeue_bounds() -> Bounds:
+    """One single-learner job flapping between two nodes: two kills
+    exhaust a requeue budget of one."""
+    return Bounds(
+        jobs=(ModelJobSpec(name="solo", target=1),),
+        n_racks=1,
+        nodes_per_rack=2,
+        slots_per_node=1,
+        placement="pack",
+        depth=6,
+        max_steps=1,
+        max_kills=2,
+        max_revives=1,
+        max_drains=0,
+        max_undrains=0,
+        max_sdc=0,
+        max_requeues=1,
+    )
+
+
+def clean_hunt_bounds() -> dict[str, Bounds]:
+    """Every distinct bound the sweep hunts under, for the baseline
+    check that the *unmutated* model proves clean under each."""
+    return {
+        "solo": _solo_bounds(),
+        "pair": _pair_bounds(),
+        "preempt-spread": _preempt_bounds(),
+        "requeue": _requeue_bounds(),
+    }
+
+
+#: The mutant battery: one realistic control-plane bug each.
+FLEET_MUTANTS: tuple[FleetMutant, ...] = (
+    FleetMutant(
+        operator="place-on-draining",
+        description="placement scorer places gangs onto draining nodes",
+        expected="no-dead-grants",
+        patches=(("choose_placement", _place_on_draining),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="place-stale-ledger",
+        description="placement scorer double-books occupied nodes",
+        expected="no-double-grant",
+        patches=(("choose_placement", _place_stale_ledger),),
+        bounds=_pair_bounds(),
+    ),
+    FleetMutant(
+        operator="grant-from-draining",
+        description="grow-node choice offers slots on draining nodes",
+        expected="no-dead-grants",
+        patches=(("pick_grow_node", _grant_from_draining),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="grant-to-dead",
+        description="grow-node choice treats dead nodes as available",
+        expected="no-dead-grants",
+        patches=(("pick_grow_node", _grant_to_dead),),
+        bounds=_pair_bounds(),
+    ),
+    FleetMutant(
+        operator="grow-overcommit",
+        description="wants_grow off-by-one grows a full gang past target",
+        expected="gang-atomicity",
+        patches=(("wants_grow", _grow_past_target),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="skip-grant-revoke",
+        description="kill_node leaves unjoined grants on the dead node",
+        expected="no-dead-grants",
+        patches=(("_apply_kill", _kill_keeps_grants),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="double-free-slot",
+        description="dropping one learner frees its slot twice",
+        expected="slot-conservation",
+        patches=(("_drop_slot", _double_free_slot),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="reorder-preempt-checkpoint",
+        description="preemption releases the gang before the checkpoint "
+                    "commit, saving an empty restart gang",
+        expected="gang-atomicity",
+        patches=(("_apply_preempt_yield", _preempt_release_before_checkpoint),),
+        bounds=_preempt_bounds(),
+    ),
+    FleetMutant(
+        operator="skip-sdc-clear-on-drain",
+        description="drain_node forgets to clear the SDC strike ledger",
+        expected="drain-clears-sdc",
+        patches=(("_apply_drain", _drain_keeps_sdc),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="start-uncharged",
+        description="start claims a gang without charging the slot ledger",
+        expected="slot-conservation",
+        patches=(("_start", _start_uncharged),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="unbounded-requeue",
+        description="JobLost requeues forever, ignoring the budget",
+        expected="bounded-requeue",
+        patches=(("_requeue_from_loss", _requeue_forever),),
+        bounds=_requeue_bounds(),
+    ),
+    FleetMutant(
+        operator="mislog-grow-slot",
+        description="grant join records the wrong slot in the grow log",
+        expected="lineage-valid",
+        patches=(("_apply_step", _step_mislogs_grow),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="revoke-leaks-slot",
+        description="grant revocation never releases the held slot",
+        expected="slot-conservation",
+        patches=(("_close_grant", _revoke_leaks_slot),),
+        bounds=_solo_bounds(),
+    ),
+    FleetMutant(
+        operator="grant-off-books",
+        description="grants open without entering the closure audit trail",
+        expected="grant-closure",
+        patches=(("_open_grant", _grant_off_books),),
+        bounds=_solo_bounds(),
+    ),
+)
+
+
+@contextlib.contextmanager
+def _patched(mutant: FleetMutant) -> Iterator[None]:
+    """Install the mutant into every seam module binding each name."""
+    saved: list[tuple[Any, str, Any]] = []
+    try:
+        for name, replacement in mutant.patches:
+            for module in _SEAMS:
+                if hasattr(module, name):
+                    saved.append((module, name, getattr(module, name)))
+                    setattr(module, name, replacement)
+        yield
+    finally:
+        for module, name, original in reversed(saved):
+            setattr(module, name, original)
+
+
+def hunt(mutant: FleetMutant, *, max_states: int = 500_000
+         ) -> FleetVerifyResult | None:
+    """Run the checker against one installed mutant (``None`` = the
+    exploration blew the state cap without a verdict)."""
+    with _patched(mutant):
+        try:
+            return verify_fleet(mutant.bounds, max_states=max_states)
+        except RuntimeError:
+            return None
+
+
+def run_fleet_mutation_suite(
+    mutants: tuple[FleetMutant, ...] = FLEET_MUTANTS,
+    *,
+    max_states: int = 500_000,
+) -> FleetMutationResult:
+    """Hunt every mutant statically and report the kill rate."""
+    result = FleetMutationResult()
+    for mutant in mutants:
+        outcome = hunt(mutant, max_states=max_states)
+        cex = outcome.counterexample if outcome is not None else None
+        result.records.append(FleetMutationRecord(
+            operator=mutant.operator,
+            description=mutant.description,
+            expected=mutant.expected,
+            caught=None if cex is None else cex.invariant,
+            trace_len=0 if cex is None else len(cex.trace),
+        ))
+    return result

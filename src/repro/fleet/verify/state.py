@@ -1,0 +1,258 @@
+"""Abstract fleet control-plane state for the bounded model checker.
+
+The model abstracts *time and training away* and keeps everything the
+control plane decides over: the slot ledger, the queue, pending grants,
+the drained set, the per-node SDC ledger and each job's lineage logs.
+Decisions over this state go through the exact same pure functions the
+runtime scheduler uses (:mod:`repro.fleet.policy`), via
+:meth:`ModelState.to_fleet_state`.
+
+Two deliberate abstractions (documented here, asserted nowhere else):
+
+* **checkpoints happen at every iteration boundary** — the runtime's
+  ``checkpoint_every=1`` configuration.  Coarser periods only widen the
+  rollback window; they add no new control-plane interleavings.
+* **requeue backoff is instantaneous** — the runtime sleeps a seeded
+  jitter before re-enqueueing; the model re-enqueues immediately.  The
+  backoff only delays the same kick.
+
+States are plain mutable objects while a transition builds them;
+:meth:`ModelState.canonical` freezes one into nested tuples for the
+explorer's seen-set (canonical-state hashing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.policy import (
+    ACTIVE_STATUSES,
+    FleetState,
+    JobView,
+    NodeView,
+)
+
+__all__ = ["ModelJob", "ModelJobSpec", "ModelNode", "ModelState", "Violation"]
+
+Canonical = tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class ModelJobSpec:
+    """The slice of :class:`~repro.fleet.jobs.JobSpec` the control plane
+    sees: everything that influences a scheduling decision, nothing that
+    influences training."""
+
+    name: str
+    target: int = 2
+    priority: int = 0
+    elastic_grow: bool = False
+    preemption: str = "requeue"  # "requeue" | "shrink"
+
+    def __post_init__(self) -> None:
+        if self.target < 1:
+            raise ValueError("target gang size must be >= 1")
+        if self.preemption not in ("requeue", "shrink"):
+            raise ValueError(f"unknown preemption mode {self.preemption!r}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, recorded where the model detected it."""
+
+    invariant: str
+    detail: str
+
+
+@dataclass(slots=True)
+class ModelNode:
+    """One node's ledger-visible state."""
+
+    index: int
+    rack: int
+    slots: int
+    alive: bool = True
+    draining: bool = False
+    sdc: int = 0
+    #: job name -> slots that job holds here (mirrors ``Node.held``).
+    held: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def used(self) -> int:
+        return sum(self.held.values())
+
+    @property
+    def free(self) -> int:
+        return self.slots - self.used if self.alive else 0
+
+    def clone(self) -> "ModelNode":
+        return ModelNode(
+            self.index, self.rack, self.slots, self.alive,
+            self.draining, self.sdc, dict(self.held),
+        )
+
+    def canonical(self) -> Canonical:
+        return (
+            self.alive, self.draining, self.sdc,
+            tuple(sorted(self.held.items())),
+        )
+
+
+@dataclass(slots=True)
+class ModelJob:
+    """One job's control-plane state (mirrors ``FleetJob`` minus training).
+
+    The object itself is mutable (transitions rebind fields), but every
+    container field holds an *immutable* value — tuples, sorted for the
+    set-like ones — so ``clone`` is a shallow field copy and
+    ``canonical`` needs no conversions.  The explorer visits hundreds of
+    thousands of states; this is what keeps it affordable.
+    """
+
+    spec: ModelJobSpec
+    status: str = "pending"
+    order: int = -1
+    iteration: int = 0
+    placement: tuple[int, ...] = ()
+    pending_grows: tuple[int, ...] = ()
+    pending_shrinks: int = 0
+    preempt_pending: bool = False
+    #: Sorted tuples (set semantics, deterministic canonical form).
+    dead_nodes: tuple[int, ...] = ()
+    pending_migrations: tuple[int, ...] = ()
+    #: True once a shrink was recorded at the current iteration — a grant
+    #: arriving after it must wait for the next boundary so the lineage
+    #: stays replayable (grows precede shrinks within an iteration).
+    shrunk_this_iter: bool = False
+    shrink_log: tuple[tuple[int, int], ...] = ()
+    grow_log: tuple[tuple[int, int], ...] = ()
+    #: Last committed checkpoint: (gang size to restart with, iteration,
+    #: shrink log, grow log) — mirrors ``FleetJob.saved``.
+    saved: tuple[int, int, tuple[tuple[int, int], ...],
+                 tuple[tuple[int, int], ...]] | None = None
+    requeues: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_live(self) -> int:
+        return len(self.placement)
+
+    def needed(self) -> int:
+        """Gang size for the next (re)start — ``FleetJob.learners_needed``."""
+        if self.saved is not None:
+            return self.saved[0]
+        return self.spec.target
+
+    def clone(self) -> "ModelJob":
+        return ModelJob(
+            self.spec, self.status, self.order, self.iteration,
+            self.placement, self.pending_grows,
+            self.pending_shrinks, self.preempt_pending,
+            self.dead_nodes, self.pending_migrations,
+            self.shrunk_this_iter,
+            self.shrink_log, self.grow_log,
+            self.saved, self.requeues,
+        )
+
+    def canonical(self) -> Canonical:
+        return (
+            self.status, self.order, self.iteration,
+            self.placement, self.pending_grows,
+            self.pending_shrinks, self.preempt_pending,
+            self.dead_nodes, self.pending_migrations,
+            self.shrunk_this_iter,
+            self.shrink_log, self.grow_log,
+            self.saved, self.requeues,
+        )
+
+
+@dataclass(slots=True)
+class ModelState:
+    """The whole control plane: nodes, jobs, queue, budgets, violations."""
+
+    placement_policy: str
+    nodes: list[ModelNode]
+    jobs: list[ModelJob]
+    queue: list[str] = field(default_factory=list)
+    next_order: int = 0
+    #: Chaos budgets consumed so far (bounded by ``Bounds``).
+    kills: int = 0
+    revives: int = 0
+    drains: int = 0
+    undrains: int = 0
+    sdc_strikes: int = 0
+    #: Grow grants opened / closed (each grant must close exactly once).
+    grants_opened: int = 0
+    grants_closed: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    def job(self, name: str) -> ModelJob:
+        for job in self.jobs:
+            if job.name == name:
+                return job
+        raise KeyError(name)
+
+    def clone(self) -> "ModelState":
+        return ModelState(
+            self.placement_policy,
+            [n.clone() for n in self.nodes],
+            [j.clone() for j in self.jobs],
+            list(self.queue),
+            self.next_order,
+            self.kills, self.revives, self.drains, self.undrains,
+            self.sdc_strikes, self.grants_opened, self.grants_closed,
+            list(self.violations),
+        )
+
+    def violate(self, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, detail))
+
+    # -- the shared-policy bridge -------------------------------------------
+    def to_fleet_state(self) -> FleetState:
+        """Snapshot for :mod:`repro.fleet.policy` — the checker-side twin
+        of ``FleetScheduler.snapshot()``.  (Positional construction: the
+        explorer builds one or more snapshots per transition.)"""
+        nodes = tuple(
+            NodeView(
+                n.index, n.rack, n.slots, sum(n.held.values()),
+                n.alive, n.draining,
+            )
+            for n in self.nodes
+        )
+        jobs = []
+        for j in self.jobs:
+            spec = j.spec
+            saved = j.saved
+            jobs.append(JobView(
+                spec.name, spec.priority, j.order, j.status,
+                j.status in ACTIVE_STATUSES, spec.preemption,
+                spec.elastic_grow, spec.target,
+                spec.target if saved is None else saved[0],
+                j.placement, j.pending_grows,
+                j.pending_shrinks, j.preempt_pending,
+            ))
+        return FleetState(
+            self.placement_policy, nodes, tuple(jobs), tuple(self.queue)
+        )
+
+    def canonical(self) -> Canonical:
+        """Hashable identity for the explorer's seen-set.
+
+        Excludes ``grants_opened``/``grants_closed``: at every state the
+        explorer keeps exploring from, the grant-closure invariant holds,
+        so their difference equals the pending-grant sum (already in the
+        per-job keys) and their absolute values are pure history — two
+        states differing only there behave identically forever.
+        ``violations`` is likewise always empty on explored states (a
+        breach stops the search).
+        """
+        return (
+            tuple(n.canonical() for n in self.nodes),
+            tuple(j.canonical() for j in self.jobs),
+            tuple(self.queue),
+            self.kills, self.revives, self.drains, self.undrains,
+            self.sdc_strikes,
+        )

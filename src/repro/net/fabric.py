@@ -16,6 +16,7 @@ completions are events, and rate changes reschedule the next completion.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -61,7 +62,7 @@ class Fabric:
         *,
         software_overhead: float = 0.0,
         loopback_bandwidth: float = 60e9,
-        per_flow_cap: float = float("inf"),
+        per_flow_cap: float = math.inf,
     ):
         """
         Parameters
@@ -267,7 +268,7 @@ class Fabric:
 
         while n_unfixed:
             best_link = -1
-            best_share = float("inf")
+            best_share = math.inf
             for li, cnt in unfixed_count.items():
                 if cnt <= 0:
                     continue

@@ -10,6 +10,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any
 
@@ -140,7 +141,7 @@ class Store:
     ``get`` returns an event that triggers with the next item.
     """
 
-    def __init__(self, engine: Engine, capacity: float = float("inf"), name: str = ""):
+    def __init__(self, engine: Engine, capacity: float = math.inf, name: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.engine = engine

@@ -1,0 +1,134 @@
+"""Ledger audit error paths: leaks, torn grants, unreplayable lineages.
+
+The model checker proves these can't happen under the real scheduler's
+policies; these tests prove the *auditors themselves* catch each failure
+shape when it is constructed by hand.
+"""
+
+import pytest
+
+from repro.fleet.cluster import SharedCluster
+from repro.fleet.jobs import validate_scripted_lineage
+from repro.fleet.verify import Bounds, ModelJobSpec, check_invariants
+from repro.fleet.verify.model import (
+    _close_grant,
+    _open_grant,
+    initial_state,
+)
+from repro.sim.engine import SimulationError
+
+
+def small_bounds():
+    return Bounds(
+        jobs=(ModelJobSpec(name="a", target=2, elastic_grow=True),),
+        n_racks=1,
+        nodes_per_rack=2,
+    )
+
+
+# -- SharedCluster.leaked_placements -----------------------------------------
+
+def test_leaked_placements_empty_on_balanced_ledger():
+    cluster = SharedCluster(n_racks=1, nodes_per_rack=2, slots_per_node=1)
+    cluster.allocate("a", 0)
+    cluster.release("a", 0)
+    assert cluster.leaked_placements() == []
+
+
+def test_leaked_placements_reports_every_held_slot():
+    cluster = SharedCluster(n_racks=1, nodes_per_rack=2, slots_per_node=2)
+    cluster.allocate("a", 0)
+    cluster.allocate("a", 0)
+    cluster.allocate("b", 1)
+    assert cluster.leaked_placements() == [(0, "a", 2), (1, "b", 1)]
+    cluster.release("a", 0)
+    assert cluster.leaked_placements() == [(0, "a", 1), (1, "b", 1)]
+
+
+def test_leaked_placements_surfaces_torn_grant_across_kill():
+    # A slot granted, its node killed, never revoked nor absorbed: the
+    # audit must still name it — death does not forgive a held slot.
+    cluster = SharedCluster(n_racks=1, nodes_per_rack=2, slots_per_node=1)
+    cluster.allocate("a", 1)
+    torn = cluster.kill_node(1)
+    assert torn == [("a", 1)]  # kill reports who was holding
+    assert cluster.leaked_placements() == [(1, "a", 1)]
+    cluster.revive_node(1)
+    assert cluster.leaked_placements() == [(1, "a", 1)]  # flap keeps it
+    cluster.release("a", 1)
+    assert cluster.leaked_placements() == []
+
+
+def test_ledger_rejects_double_release_and_dead_allocate():
+    cluster = SharedCluster(n_racks=1, nodes_per_rack=2, slots_per_node=1)
+    cluster.allocate("a", 0)
+    cluster.release("a", 0)
+    with pytest.raises(SimulationError, match="unheld slot"):
+        cluster.release("a", 0)
+    cluster.kill_node(1)
+    with pytest.raises(SimulationError, match="dead node"):
+        cluster.allocate("a", 1)
+
+
+# -- model grant lifecycle ----------------------------------------------------
+
+def test_model_revoke_after_join_is_a_closure_violation():
+    # Join consumes the grant; a second close (the revocation racing the
+    # join) must be flagged, not silently double-counted.
+    bounds = small_bounds()
+    state = initial_state(bounds)
+    job = state.job("a")
+    _open_grant(state, job, 0)
+    _close_grant(state, job, 0, "join")
+    assert not state.violations
+    _close_grant(state, job, 0, "revoke")
+    assert any(
+        v.invariant == "grant-closure" and "not held" in v.detail
+        for v in state.violations
+    )
+
+
+def test_model_torn_grant_is_a_dead_grant_violation():
+    # Grant open, node killed, grant not revoked: the state-level check
+    # names the dangling grant.
+    bounds = small_bounds()
+    state = initial_state(bounds)
+    job = state.job("a")
+    job.status = "running"
+    _open_grant(state, job, 1)
+    state.nodes[1].alive = False
+    breaches = check_invariants(state, bounds)
+    assert any(
+        v.invariant == "no-dead-grants" and "dead node 1" in v.detail
+        for v in breaches
+    )
+
+
+# -- scripted lineage error paths ---------------------------------------------
+
+def test_lineage_rejects_dropping_last_learner():
+    with pytest.raises(ValueError, match="drop the last learner"):
+        validate_scripted_lineage(2, 4, ((0, 1), (1, 0)), ())
+
+
+def test_lineage_rejects_grow_slot_not_at_end():
+    # Grown learners append: slot must equal the live count.
+    with pytest.raises(ValueError, match="expected slot 2"):
+        validate_scripted_lineage(2, 4, (), ((1, 0),))
+
+
+def test_lineage_rejects_interleaved_same_iteration_shrink_then_grow():
+    # Within one iteration grows apply first (top of step), shrinks
+    # after compute — a script that only replays shrink-before-grow at
+    # the same boundary is unreplayable and must be rejected.
+    with pytest.raises(ValueError, match="expected slot 2"):
+        validate_scripted_lineage(2, 4, ((2, 1),), ((2, 1),))
+    # The replayable spelling of the same intent is accepted.
+    validate_scripted_lineage(2, 4, ((2, 1),), ((2, 2),))
+
+
+def test_lineage_rejects_shrink_of_unknown_slot_after_interleaving():
+    # After a scripted shrink the gang is smaller; a later shrink naming
+    # the departed slot index must be rejected with the live range.
+    with pytest.raises(ValueError, match=r"slot outside \[0, 2\)"):
+        validate_scripted_lineage(3, 6, ((1, 0), (2, 2)), ())

@@ -1,0 +1,111 @@
+"""Pure-policy extraction safety net: clean fleet runs vs. frozen goldens.
+
+The PR that introduced ``repro.fleet.policy`` moved every scheduler
+decision (placement scoring, grow-offer order, grow-node choice,
+preemption-victim selection, queue order) out of ``FleetScheduler`` into
+pure functions.  These goldens were captured from the *pre-refactor*
+scheduler: every event (timestamp, kind, text), every placement and the
+makespan of three clean workloads must stay byte-identical, or the
+extraction changed a decision.
+
+Regenerate (only when a behaviour change is intended and reviewed)::
+
+    PYTHONPATH=src python tests/fleet/test_policy_goldens.py --write
+"""
+
+import json
+from pathlib import Path
+
+from repro.fleet import FleetScheduler, JobSpec, SharedCluster
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "clean_fleet.json"
+
+
+def _scenarios():
+    """Deterministic fault-free workloads covering every decision path."""
+    return {
+        # Plain gang scheduling + backfill on a small cluster.
+        "pack-backfill": dict(
+            placement="pack",
+            cluster_kw=dict(n_racks=2, nodes_per_rack=2, slots_per_node=1),
+            specs=[
+                JobSpec(name="job0", n_learners=2, n_steps=4, seed=1),
+                JobSpec(name="big", n_learners=4, n_steps=2, seed=2,
+                        arrival=1e-4),
+                JobSpec(name="small", n_learners=1, n_steps=2, seed=3,
+                        arrival=2e-4),
+            ],
+        ),
+        # Spread placement with three concurrent tenants.
+        "spread-tenants": dict(
+            placement="spread",
+            cluster_kw=dict(n_racks=2, nodes_per_rack=4, slots_per_node=2),
+            specs=[
+                JobSpec(name=f"job{i}", n_learners=2, n_steps=4, seed=50 + i)
+                for i in range(3)
+            ],
+        ),
+        # Priority preemption (requeue + shrink modes) and elastic grow:
+        # every pure-policy function fires, still fault-free.
+        "preempt-grow": dict(
+            placement="pack",
+            cluster_kw=dict(n_racks=2, nodes_per_rack=4, slots_per_node=1),
+            specs=[
+                JobSpec(name="victim", n_learners=4, n_steps=6, seed=11,
+                        checkpoint_every=2),
+                JobSpec(name="shrinky", n_learners=3, n_steps=8, seed=21,
+                        preemption="shrink", elastic_grow=True),
+                JobSpec(name="vip", n_learners=6, n_steps=2, seed=12,
+                        priority=5, arrival=1e-3),
+            ],
+        ),
+    }
+
+
+def _capture(name):
+    scenario = _scenarios()[name]
+    cluster = SharedCluster(**scenario["cluster_kw"])
+    scheduler = FleetScheduler(
+        cluster, scenario["specs"], placement=scenario["placement"], seed=0
+    )
+    report = scheduler.run()
+    return {
+        "events": [[e.t, e.kind, e.text] for e in report.events],
+        "placements": [
+            [e.t, e.data["nodes"]] for e in report.events if e.kind == "start"
+        ],
+        "makespan": report.makespan,
+        "jobs": [
+            [j.name, j.status, j.steps, list(map(list, j.shrinks)),
+             list(map(list, j.grows))]
+            for j in report.jobs
+        ],
+        "leaked": report.leaked,
+    }
+
+
+def _capture_all():
+    return {name: _capture(name) for name in sorted(_scenarios())}
+
+
+def test_clean_fleet_runs_match_pre_refactor_goldens():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    got = _capture_all()
+    # json round-trip normalizes tuples/lists so the diff is structural.
+    got = json.loads(json.dumps(got))
+    assert sorted(got) == sorted(golden)
+    for name in golden:
+        assert got[name]["makespan"] == golden[name]["makespan"], name
+        assert got[name]["placements"] == golden[name]["placements"], name
+        assert got[name]["jobs"] == golden[name]["jobs"], name
+        assert got[name]["leaked"] == golden[name]["leaked"], name
+        assert got[name]["events"] == golden[name]["events"], name
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(_capture_all(), indent=1))
+        print(f"wrote {GOLDEN_PATH}")

@@ -182,7 +182,8 @@ def test_guard_tolerates_reduction_order_noise():
     # Pairwise tree sum instead of sequential: same value up to fp error.
     tree = (grads[0] + grads[1]) + grads[2]
     seq = grads[0] + (grads[1] + grads[2])
-    assert not np.array_equal(tree, seq) or True  # order may or may not differ
+    # tree and seq may or may not differ in the last ulp — either way the
+    # guard must accept the reordered sum.
     verdict = guard.check(pre, grads, [tree.copy() for _ in grads])
     assert verdict.ok, verdict.detail
 
